@@ -1,0 +1,121 @@
+// E10 (paper section 6): state-explosion scaling and what the optional
+// optimizations buy.
+//
+// Sweeps the verified state-space size along the two axes the paper's
+// discussion worries about -- number of concurrent components (bridge cars
+// per side) and channel capacity -- with and without partial-order
+// reduction, plus the bitstate (supertrace) mode for the largest instance.
+#include "bridge/bridge.h"
+#include "common.h"
+
+using namespace pnp;
+using namespace pnp::benchutil;
+using namespace pnp::bridge;
+
+namespace {
+
+explore::Result verify_bridge(int cars, bool optimized_blocks, bool por,
+                              bool bitstate, std::uint64_t max_states,
+                              ModelGenerator& gen) {
+  BridgeConfig cfg;
+  cfg.cars_per_side = cars;
+  cfg.batch_n = 1;
+  Architecture arch = make_v1(cfg);
+  const kernel::Machine m =
+      gen.generate(arch, {.optimize_connectors = optimized_blocks});
+  explore::Options opt;
+  opt.want_trace = false;
+  opt.por = por;
+  opt.bitstate = bitstate;
+  opt.invariant = safety_invariant(gen).ref;
+  opt.invariant_name = "safety";
+  opt.max_states = max_states;
+  return explore::explore(m, opt);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10 -- state-explosion scaling (fixed v1 bridge, N=1)\n\n");
+  std::printf("'faithful' = the paper's busy-polling block models "
+              "(truncated at 400k states to bound the run);\n"
+              "'optblocks' = the section 6 optimized substitution "
+              "(exhaustive).\n\n");
+  print_header({"cars/side", "mode", "states", "trans", "time", "ok",
+                "complete"},
+               {11, 16, 12, 14, 12, 6, 10});
+
+  bool shape = true;
+  auto row = [&](int cars, const char* mode, const explore::Result& r) {
+    print_cell(std::to_string(cars), 11);
+    print_cell(mode, 16);
+    print_cell(std::to_string(r.stats.states_stored), 12);
+    print_cell(std::to_string(r.stats.transitions), 14);
+    print_cell(fmt_ms(r.stats.seconds) + " ms", 12);
+    print_cell(r.ok() ? "yes" : "NO", 6);
+    print_cell(r.stats.complete ? "yes" : "truncated", 10);
+    std::printf("\n");
+  };
+
+  // faithful models: show the explosion (bounded search)
+  {
+    ModelGenerator g;
+    const explore::Result faithful =
+        verify_bridge(1, false, false, false, 400'000, g);
+    row(1, "faithful", faithful);
+    shape &= faithful.ok();
+  }
+  // optimized blocks: exhaustive at 1 car/side, bounded (3M) beyond
+  std::uint64_t prev_full = 0;
+  for (int cars = 1; cars <= 3; ++cars) {
+    const std::uint64_t bound = cars == 1 ? 50'000'000 : 3'000'000;
+    ModelGenerator g1, g2;
+    const explore::Result full =
+        verify_bridge(cars, true, false, false, bound, g1);
+    const explore::Result por =
+        verify_bridge(cars, true, true, false, bound, g2);
+    row(cars, "optblocks", full);
+    row(cars, "optblocks+por", por);
+    shape &= full.ok() && por.ok();
+    if (cars == 1) shape &= full.stats.complete;
+    shape &= por.stats.states_stored <= full.stats.states_stored;
+    if (prev_full) shape &= full.stats.states_stored > prev_full;
+    prev_full = full.stats.states_stored;
+  }
+  {
+    ModelGenerator g;
+    const explore::Result bs =
+        verify_bridge(3, true, false, true, 3'000'000, g);
+    row(3, "optblocks+bit", bs);
+    shape &= bs.ok();
+  }
+
+  // channel-capacity axis on the producer/consumer system
+  std::printf("\nchannel-capacity axis (p2p, AsynBlSend+Fifo(cap)+BlRecv, "
+              "3 messages):\n\n");
+  print_header({"capacity", "states", "trans", "time"}, {10, 14, 14, 12});
+  std::uint64_t prev = 0;
+  for (int cap = 1; cap <= 4; ++cap) {
+    Architecture arch = p2p(3, SendPortKind::AsynBlocking,
+                            RecvPortKind::Blocking, {ChannelKind::Fifo, cap});
+    ModelGenerator gen;
+    const kernel::Machine m = gen.generate(arch);
+    explore::Options opt;
+    opt.want_trace = false;
+    const explore::Result r = explore::explore(m, opt);
+    print_cell(std::to_string(cap), 10);
+    print_cell(std::to_string(r.stats.states_stored), 14);
+    print_cell(std::to_string(r.stats.transitions), 14);
+    print_cell(fmt_ms(r.stats.seconds) + " ms", 12);
+    std::printf("\n");
+    shape &= r.ok();
+    shape &= r.stats.states_stored >= prev;
+    prev = r.stats.states_stored;
+  }
+
+  std::printf("\nshape %s: states grow with components and capacity; POR "
+              "never grows the space; bitstate verifies the same instance "
+              "approximately.\n",
+              shape ? "HOLDS" : "BROKEN");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+// E8 (paper sections 1 and 3): model-construction savings from reuse.
+//
+// A designer explores a design space of connector configurations for the
+// same pair of components (send-port kind x channel kind x capacity --
+// 30 design iterations). Two workflows:
+//   * "rebuild": a fresh generator every iteration -- every block model and
+//     both component models are reconstructed and recompiled each time
+//     (the no-reuse baseline the paper argues against);
+//   * "pnp":     one persistent generator -- pre-defined block models and
+//     the untouched component models are cache hits.
+// Reports the aggregate build/reuse counters and wall-clock totals, plus
+// google-benchmark timings for the two workflows.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+using namespace pnp;
+using namespace pnp::benchutil;
+
+namespace {
+
+struct Design {
+  SendPortKind send;
+  ChannelSpec chan;
+};
+
+std::vector<Design> design_space() {
+  std::vector<Design> out;
+  const SendPortKind sends[] = {
+      SendPortKind::AsynNonblocking, SendPortKind::AsynBlocking,
+      SendPortKind::AsynChecking, SendPortKind::SynBlocking,
+      SendPortKind::SynChecking};
+  const ChannelSpec chans[] = {{ChannelKind::SingleSlot, 1},
+                               {ChannelKind::Fifo, 2},
+                               {ChannelKind::Fifo, 4},
+                               {ChannelKind::Priority, 2},
+                               {ChannelKind::LossyFifo, 2},
+                               {ChannelKind::Fifo, 3}};
+  for (SendPortKind s : sends)
+    for (const ChannelSpec& c : chans) out.push_back({s, c});
+  return out;
+}
+
+/// One design-space sweep. Returns total generation seconds.
+double sweep(bool persistent_generator, GenStats* totals) {
+  const std::vector<Design> space = design_space();
+  Architecture arch = p2p(2, space[0].send, RecvPortKind::Blocking,
+                          space[0].chan);
+  const int sender_id = arch.find_component("Sender");
+  const int link = arch.find_connector("Link");
+
+  double seconds = 0;
+  ModelGenerator persistent;
+  for (const Design& d : space) {
+    arch.set_send_port(sender_id, "out", d.send);
+    arch.set_channel(link, d.chan);
+    if (persistent_generator) {
+      (void)persistent.generate(arch);
+      seconds += persistent.last_stats().seconds;
+    } else {
+      ModelGenerator fresh;
+      (void)fresh.generate(arch);
+      seconds += fresh.last_stats().seconds;
+      if (totals) {
+        totals->component_models_built +=
+            fresh.last_stats().component_models_built;
+        totals->component_models_reused +=
+            fresh.last_stats().component_models_reused;
+        totals->block_models_built += fresh.last_stats().block_models_built;
+        totals->block_models_reused += fresh.last_stats().block_models_reused;
+        totals->proctypes_compiled += fresh.last_stats().proctypes_compiled;
+      }
+    }
+  }
+  if (persistent_generator && totals) *totals = persistent.total_stats();
+  return seconds;
+}
+
+void BM_SweepRebuild(benchmark::State& state) {
+  for (auto _ : state) {
+    const double s = sweep(false, nullptr);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SweepRebuild)->Unit(benchmark::kMillisecond);
+
+void BM_SweepPnpReuse(benchmark::State& state) {
+  for (auto _ : state) {
+    const double s = sweep(true, nullptr);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SweepPnpReuse)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E8 -- model-construction reuse across %zu design "
+              "iterations\n\n",
+              design_space().size());
+
+  GenStats rebuild{}, pnp_reuse{};
+  const double t_rebuild = sweep(false, &rebuild);
+  const double t_pnp = sweep(true, &pnp_reuse);
+
+  print_header({"workflow", "comp built", "comp reused", "blocks built",
+                "blocks reused", "compiled", "gen time"},
+               {12, 12, 13, 14, 15, 10, 12});
+  print_cell("rebuild", 12);
+  print_cell(std::to_string(rebuild.component_models_built), 12);
+  print_cell(std::to_string(rebuild.component_models_reused), 13);
+  print_cell(std::to_string(rebuild.block_models_built), 14);
+  print_cell(std::to_string(rebuild.block_models_reused), 15);
+  print_cell(std::to_string(rebuild.proctypes_compiled), 10);
+  print_cell(fmt_ms(t_rebuild) + " ms", 12);
+  std::printf("\n");
+  print_cell("pnp", 12);
+  print_cell(std::to_string(pnp_reuse.component_models_built), 12);
+  print_cell(std::to_string(pnp_reuse.component_models_reused), 13);
+  print_cell(std::to_string(pnp_reuse.block_models_built), 14);
+  print_cell(std::to_string(pnp_reuse.block_models_reused), 15);
+  print_cell(std::to_string(pnp_reuse.proctypes_compiled), 10);
+  print_cell(fmt_ms(t_pnp) + " ms", 12);
+  std::printf("\n\n");
+
+  const bool shape =
+      pnp_reuse.component_models_built < rebuild.component_models_built &&
+      pnp_reuse.block_models_built < rebuild.block_models_built &&
+      pnp_reuse.proctypes_compiled < rebuild.proctypes_compiled;
+  std::printf("shape %s: the plug-and-play workflow rebuilds %dx fewer "
+              "component models and compiles %dx fewer proctypes.\n\n",
+              shape ? "HOLDS" : "BROKEN",
+              pnp_reuse.component_models_built
+                  ? rebuild.component_models_built /
+                        pnp_reuse.component_models_built
+                  : rebuild.component_models_built,
+              pnp_reuse.proctypes_compiled
+                  ? rebuild.proctypes_compiled / pnp_reuse.proctypes_compiled
+                  : rebuild.proctypes_compiled);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return shape ? 0 : 1;
+}

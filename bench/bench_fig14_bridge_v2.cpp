@@ -1,0 +1,77 @@
+// E7 (paper Fig. 14, section 4): the "at-most-N-cars-per-turn" bridge.
+//
+// The richer design adds two controller-to-controller connectors
+// (SynBlSend + SingleSlot + NbRecv) so a controller can yield its turn
+// early, and switches the controllers to nonblocking (polling) receive
+// ports. Because every controller input is polled, the faithful models
+// generate a very large interleaving space -- exactly the section 6
+// state-explosion discussion -- so the checks below are BOUNDED searches:
+// "no violation within N states". We verify:
+//   * safety: never both directions on the bridge (invariant),
+//   * the same as an LTL property G !both_on through the Buchi product,
+//   * no invalid end states within the bound.
+#include "bridge/bridge.h"
+#include "common.h"
+
+using namespace pnp;
+using namespace pnp::benchutil;
+using namespace pnp::bridge;
+
+int main() {
+  constexpr std::uint64_t kBound = 4'000'000;
+  std::printf("E7 / Fig.14 -- at-most-N-cars-per-turn bridge with yield "
+              "connectors (bounded search, %llu states)\n\n",
+              static_cast<unsigned long long>(kBound));
+  print_header({"cars/side", "N", "check", "verdict", "states", "time"},
+               {11, 4, 26, 9, 12, 12});
+
+  bool ok = true;
+  {
+    BridgeConfig cfg;
+    cfg.cars_per_side = 1;
+    cfg.batch_n = 1;
+    cfg.enter_queue_capacity = 1;
+
+    Architecture arch = make_v2(cfg);
+    ModelGenerator gen;
+    const kernel::Machine m = gen.generate(arch);
+
+    auto row = [&](const char* what, bool passed, std::uint64_t states,
+                   double seconds) {
+      print_cell("1", 11);
+      print_cell("1", 4);
+      print_cell(what, 26);
+      print_cell(verdict(passed), 9);
+      print_cell(std::to_string(states), 12);
+      print_cell(fmt_ms(seconds) + " ms", 12);
+      std::printf("\n");
+      ok &= passed;
+    };
+
+    {
+      const SafetyOutcome out = check_invariant(
+          m, safety_invariant(gen), "one direction at a time",
+          {.max_states = kBound});
+      row("invariant: safety", out.passed(), out.result.stats.states_stored,
+          out.result.stats.seconds);
+    }
+    {
+      register_props(gen);
+      const LtlOutcome out = check_ltl_formula(m, gen.props(), "G !both_on",
+                                               {.max_states = kBound});
+      row("LTL: G !both_on", out.passed(), out.result.stats.states_stored,
+          out.result.stats.seconds);
+    }
+    {
+      const SafetyOutcome out = check_safety(m, {.max_states = kBound});
+      row("no invalid end states", out.passed(),
+          out.result.stats.states_stored, out.result.stats.seconds);
+    }
+  }
+
+  std::printf("\nshape %s: no safety violation, no acceptance cycle, and no "
+              "wedge anywhere in the explored prefix of the at-most-N "
+              "design.\n",
+              ok ? "HOLDS" : "BROKEN");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// E1 (paper Fig. 1): the building-block library.
+//
+// Enumerates every block in the library and sanity-checks each one inside a
+// minimal closed harness (one sender, one receiver, one connector built
+// around the block under test): assertion-free, wedge-free, exhaustive.
+// Prints the catalog with the per-block verification cost.
+#include "common.h"
+
+using namespace pnp;
+using namespace pnp::benchutil;
+
+namespace {
+
+void row(const std::string& block, const std::string& role,
+         const Architecture& arch) {
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  const SafetyOutcome out = check_safety(m, {.max_states = 5'000'000});
+  print_cell(block, 34);
+  print_cell(role, 14);
+  print_cell(verdict(out.passed()), 8);
+  print_cell(std::to_string(out.result.stats.states_stored), 12);
+  print_cell(std::to_string(out.result.stats.transitions), 12);
+  print_cell(fmt_ms(out.result.stats.seconds) + " ms", 12);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1 / Fig.1 -- building-block library catalog\n");
+  std::printf("each block verified inside a minimal closed harness "
+              "(2 messages, 1 sender, 1 receiver)\n\n");
+  print_header({"block", "role", "verdict", "states", "trans", "time"},
+               {34, 14, 8, 12, 12, 12});
+
+  const SendPortKind sends[] = {
+      SendPortKind::AsynNonblocking, SendPortKind::AsynBlocking,
+      SendPortKind::AsynChecking, SendPortKind::SynBlocking,
+      SendPortKind::SynChecking};
+  for (SendPortKind k : sends)
+    row(to_string(k), "send port",
+        p2p(2, k, RecvPortKind::Blocking, {ChannelKind::SingleSlot, 1}));
+
+  row(to_string(RecvPortKind::Blocking, {}), "receive port",
+      p2p(2, SendPortKind::AsynBlocking, RecvPortKind::Blocking,
+          {ChannelKind::SingleSlot, 1}));
+  row(to_string(RecvPortKind::Nonblocking, {}), "receive port",
+      p2p(2, SendPortKind::AsynBlocking, RecvPortKind::Nonblocking,
+          {ChannelKind::SingleSlot, 1}));
+  row("BlRecv/copy", "receive port",
+      p2p(1, SendPortKind::AsynBlocking, RecvPortKind::Blocking,
+          {ChannelKind::SingleSlot, 1}, {.remove = false}));
+  row("BlRecv/selective", "receive port",
+      p2p(2, SendPortKind::AsynBlocking, RecvPortKind::Blocking,
+          {ChannelKind::Fifo, 2}, {.remove = true, .selective = true}));
+
+  const ChannelSpec chans[] = {{ChannelKind::SingleSlot, 1},
+                               {ChannelKind::Fifo, 5},
+                               {ChannelKind::Priority, 5},
+                               {ChannelKind::LossyFifo, 2}};
+  for (const ChannelSpec& c : chans)
+    row(to_string(c), "channel",
+        p2p(2, SendPortKind::AsynBlocking, RecvPortKind::Blocking, c));
+
+  // event pool needs its own topology (pub/sub)
+  {
+    Architecture arch("pool");
+    const int p = arch.add_component("Pub", sender(2));
+    const int s1 = arch.add_component("SubA", receiver(2));
+    const int s2 = arch.add_component("SubB", receiver(2));
+    patterns::publish_subscribe(arch, "Bus", 4,
+                                {{p, "out", SendPortKind::AsynBlocking}},
+                                {{s1, "in", RecvPortKind::Blocking, {}},
+                                 {s2, "in", RecvPortKind::Blocking, {}}});
+    row("EventPool(4) 1pub/2sub", "channel", arch);
+  }
+
+  std::printf("\nevery block model is pre-defined and reusable: the library "
+              "is built once per process and cached by the generator.\n");
+  return 0;
+}

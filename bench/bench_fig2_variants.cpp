@@ -1,0 +1,59 @@
+// E2 (paper Fig. 2): three connector variants built by block substitution.
+//
+//   (a) AsynBlSend + SingleSlot + BlRecv
+//   (b) SynBlSend  + SingleSlot + BlRecv      (swap the send port)
+//   (c) AsynBlSend + Fifo(5)    + BlRecv      (swap the channel)
+//
+// All three reuse the SAME component models (the generator reports zero
+// component rebuilds after the first variant) -- the paper's plug-and-play
+// claim -- and the table shows how the connector choice alone changes the
+// verified state space.
+#include "common.h"
+
+using namespace pnp;
+using namespace pnp::benchutil;
+
+int main() {
+  std::printf("E2 / Fig.2 -- connector variants by plug-and-play "
+              "substitution (3 messages)\n\n");
+  print_header({"variant", "verdict", "states", "trans", "time",
+                "comp models built/reused"},
+               {34, 8, 12, 12, 12, 26});
+
+  Architecture arch =
+      p2p(3, SendPortKind::AsynBlocking, RecvPortKind::Blocking,
+          {ChannelKind::SingleSlot, 1});
+  ModelGenerator gen;
+
+  auto run = [&](const char* name) {
+    const kernel::Machine m = gen.generate(arch);
+    const SafetyOutcome out = check_safety(m);
+    print_cell(name, 34);
+    print_cell(verdict(out.passed()), 8);
+    print_cell(std::to_string(out.result.stats.states_stored), 12);
+    print_cell(std::to_string(out.result.stats.transitions), 12);
+    print_cell(fmt_ms(out.result.stats.seconds) + " ms", 12);
+    print_cell(std::to_string(gen.last_stats().component_models_built) + "/" +
+                   std::to_string(gen.last_stats().component_models_reused),
+               26);
+    std::printf("\n");
+  };
+
+  run("(a) AsynBlSend+SingleSlot+BlRecv");
+
+  // Fig. 2(b): swap one block -- the send port
+  arch.set_send_port(arch.find_component("Sender"), "out",
+                     SendPortKind::SynBlocking);
+  run("(b) SynBlSend+SingleSlot+BlRecv");
+
+  // Fig. 2(c): swap back and replace the channel by a 5-slot FIFO
+  arch.set_send_port(arch.find_component("Sender"), "out",
+                     SendPortKind::AsynBlocking);
+  arch.set_channel(arch.find_connector("Link"), {ChannelKind::Fifo, 5});
+  run("(c) AsynBlSend+Fifo(5)+BlRecv");
+
+  std::printf("\nshape check: (b) synchronous send strictly tightens the "
+              "coupling (different state space than (a)); (c) the larger "
+              "buffer admits more in-flight messages than (a).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E3 (paper Fig. 3): standard-interface conformance matrix.
+//
+// One fixed sender model and one fixed receiver model -- written once
+// against the standard interfaces -- are composed with every send-port
+// kind x receive-port kind x channel kind. Every cell must verify clean:
+// that is what lets connectors change without touching components.
+#include "common.h"
+
+using namespace pnp;
+using namespace pnp::benchutil;
+
+int main() {
+  std::printf("E3 / Fig.3 -- standard component interfaces: full "
+              "composition matrix (2 messages)\n\n");
+  print_header({"send port", "recv port", "channel", "verdict", "states",
+                "time"},
+               {16, 12, 16, 9, 12, 12});
+
+  const SendPortKind sends[] = {
+      SendPortKind::AsynNonblocking, SendPortKind::AsynBlocking,
+      SendPortKind::AsynChecking, SendPortKind::SynBlocking,
+      SendPortKind::SynChecking};
+  const RecvPortKind recvs[] = {RecvPortKind::Blocking,
+                                RecvPortKind::Nonblocking};
+  const ChannelSpec chans[] = {{ChannelKind::SingleSlot, 1},
+                               {ChannelKind::Fifo, 2},
+                               {ChannelKind::Priority, 2},
+                               {ChannelKind::LossyFifo, 1}};
+
+  ModelGenerator gen;  // shared: block models built once, then cache hits
+  int pass = 0, total = 0;
+  for (SendPortKind s : sends) {
+    for (RecvPortKind r : recvs) {
+      for (const ChannelSpec& c : chans) {
+        Architecture arch = p2p(2, s, r, c);
+        const kernel::Machine m = gen.generate(arch);
+        const SafetyOutcome out = check_safety(m, {.max_states = 5'000'000});
+        print_cell(to_string(s), 16);
+        print_cell(to_string(r), 12);
+        print_cell(to_string(c), 16);
+        print_cell(verdict(out.passed()), 9);
+        print_cell(std::to_string(out.result.stats.states_stored), 12);
+        print_cell(fmt_ms(out.result.stats.seconds) + " ms", 12);
+        std::printf("\n");
+        ++total;
+        if (out.passed()) ++pass;
+      }
+    }
+  }
+  std::printf("\n%d/%d combinations verified clean with UNCHANGED component "
+              "models.\n", pass, total);
+  std::printf("generator totals: %s\n", gen.total_stats().summary().c_str());
+  return pass == total ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// E4 (paper Fig. 4): message-sequence-chart scenarios contrasting
+// asynchronous blocking send with synchronous blocking send.
+//
+// For each variant we run a guided simulation (steered to unblock the
+// sender as early as possible) and check WHEN the component receives its
+// SEND_SUCC status relative to the channel's RECV_OK delivery
+// notification:
+//   asynchronous blocking: SEND_SUCC can precede delivery (Fig. 4a)
+//   synchronous blocking:  SEND_SUCC always follows RECV_OK (Fig. 4b)
+#include <optional>
+
+#include "common.h"
+
+using namespace pnp;
+using namespace pnp::benchutil;
+
+namespace {
+
+std::string signal_label(const kernel::Machine& m, int chan,
+                         const std::vector<kernel::Value>& msg) {
+  const std::string& name =
+      m.spec().channels[static_cast<std::size_t>(chan)].name;
+  const bool is_signal = name.find("ig") != std::string::npos &&
+                         (name.ends_with("Sig") || name.ends_with(".sig") ||
+                          name.ends_with("sSig") || name.ends_with("rSig"));
+  if (is_signal && msg.size() == 2) {
+    return name + "(" + signal_name(msg[0]) + ")";
+  }
+  std::string out = name + "(";
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(msg[i]);
+  }
+  return out + ")";
+}
+
+struct Scenario {
+  std::optional<std::size_t> send_succ;  // step index
+  std::optional<std::size_t> recv_ok;
+  std::string msc;
+};
+
+Scenario run_variant(SendPortKind kind, const char* /*name*/) {
+  Architecture arch = p2p(1, kind, RecvPortKind::Blocking,
+                          {ChannelKind::SingleSlot, 1});
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+
+  sim::Simulator s(m, 7);
+  // steer: always prefer delivering SEND_SUCC to the component when enabled
+  for (int i = 0; i < 200; ++i)
+    if (!s.step_preferring("SendStatus SEND_SUCC")) break;
+
+  Scenario out;
+  const auto& chans = m.spec().channels;
+  for (std::size_t i = 0; i < s.history().size(); ++i) {
+    const kernel::Step& st = s.history()[i];
+    if (st.event.chan < 0 || st.event.msg.empty()) continue;
+    const std::string& cname =
+        chans[static_cast<std::size_t>(st.event.chan)].name;
+    if (!out.send_succ && cname == "Sender.out.sig" &&
+        st.event.msg[0] == SEND_SUCC)
+      out.send_succ = i;
+    if (!out.recv_ok && cname == "Link.sSig" && st.event.msg[0] == RECV_OK)
+      out.recv_ok = i;
+  }
+  trace::MscOptions opt;
+  opt.col_width = 24;
+  opt.label = [&m](int chan, const std::vector<kernel::Value>& msg) {
+    return signal_label(m, chan, msg);
+  };
+  out.msc = trace::render_msc(m, s.history(), opt);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4 / Fig.4 -- asynchronous vs synchronous blocking send "
+              "scenarios (1 message)\n\n");
+
+  const Scenario asyn = run_variant(SendPortKind::AsynBlocking,
+                                    "asynchronous blocking send");
+  const Scenario syn = run_variant(SendPortKind::SynBlocking,
+                                   "synchronous blocking send");
+
+  std::printf("--- Fig.4(a) asynchronous blocking send ---\n%s\n",
+              asyn.msc.c_str());
+  std::printf("--- Fig.4(b) synchronous blocking send ---\n%s\n",
+              syn.msc.c_str());
+
+  bool ok = true;
+  if (asyn.send_succ && asyn.recv_ok) {
+    const bool before = *asyn.send_succ < *asyn.recv_ok;
+    std::printf("async: SEND_SUCC at step %zu, RECV_OK at step %zu -> "
+                "component resumed %s delivery  [%s]\n",
+                *asyn.send_succ, *asyn.recv_ok,
+                before ? "BEFORE" : "after", before ? "expected" : "UNEXPECTED");
+    ok &= before;
+  } else {
+    std::printf("async: missing events in scenario [UNEXPECTED]\n");
+    ok = false;
+  }
+  if (syn.send_succ && syn.recv_ok) {
+    const bool after = *syn.send_succ > *syn.recv_ok;
+    std::printf("sync:  SEND_SUCC at step %zu, RECV_OK at step %zu -> "
+                "component resumed %s delivery  [%s]\n",
+                *syn.send_succ, *syn.recv_ok, after ? "AFTER" : "before",
+                after ? "expected" : "UNEXPECTED");
+    ok &= after;
+  } else {
+    std::printf("sync: missing events in scenario [UNEXPECTED]\n");
+    ok = false;
+  }
+  std::printf("\nshape %s: the send-port swap alone flips the ordering of "
+              "SendStatus vs delivery, exactly the paper's Fig.4 contrast.\n",
+              ok ? "HOLDS" : "BROKEN");
+  return ok ? 0 : 1;
+}

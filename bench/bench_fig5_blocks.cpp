@@ -1,0 +1,121 @@
+// E5 (paper Figs. 5-11): the pre-defined block models as executable
+// transition systems -- microbenchmarks of the verification kernel on each
+// block configuration (successor generation and full exploration
+// throughput), using google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+using namespace pnp;
+using namespace pnp::benchutil;
+
+namespace {
+
+Architecture arch_for(int variant) {
+  switch (variant) {
+    case 0:
+      return p2p(2, SendPortKind::AsynBlocking, RecvPortKind::Blocking,
+                 {ChannelKind::SingleSlot, 1});
+    case 1:
+      return p2p(2, SendPortKind::SynBlocking, RecvPortKind::Blocking,
+                 {ChannelKind::SingleSlot, 1});
+    case 2:
+      return p2p(2, SendPortKind::AsynNonblocking, RecvPortKind::Nonblocking,
+                 {ChannelKind::Fifo, 2});
+    case 3:
+      return p2p(2, SendPortKind::SynChecking, RecvPortKind::Blocking,
+                 {ChannelKind::Priority, 2});
+    default:
+      return p2p(2, SendPortKind::AsynChecking, RecvPortKind::Blocking,
+                 {ChannelKind::LossyFifo, 2});
+  }
+}
+
+const char* variant_name(int v) {
+  switch (v) {
+    case 0: return "AsynBl+SingleSlot+Bl";
+    case 1: return "SynBl+SingleSlot+Bl";
+    case 2: return "AsynNb+Fifo2+Nb";
+    case 3: return "SynChk+Prio2+Bl";
+    default: return "AsynChk+Lossy2+Bl";
+  }
+}
+
+void BM_SuccessorGeneration(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  Architecture arch = arch_for(variant);
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+
+  // Collect a pool of distinct reachable states via random walks.
+  std::vector<kernel::State> pool;
+  sim::Simulator s(m, 3);
+  pool.push_back(s.state());
+  for (int i = 0; i < 200; ++i) {
+    if (!s.step_random()) s.reset();
+    pool.push_back(s.state());
+  }
+
+  std::vector<kernel::Succ> out;
+  std::size_t i = 0;
+  std::uint64_t generated = 0;
+  for (auto _ : state) {
+    out.clear();
+    m.successors(pool[i % pool.size()], out);
+    generated += out.size();
+    ++i;
+  }
+  state.SetLabel(variant_name(variant));
+  state.counters["succs/call"] =
+      benchmark::Counter(static_cast<double>(generated) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SuccessorGeneration)->DenseRange(0, 4);
+
+void BM_FullExploration(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  Architecture arch = arch_for(variant);
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    explore::Options opt;
+    opt.want_trace = false;
+    const auto r = explore::explore(m, opt);
+    states = r.stats.states_stored;
+    benchmark::DoNotOptimize(r.stats.transitions);
+  }
+  state.SetLabel(variant_name(variant));
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_FullExploration)->DenseRange(0, 4);
+
+void BM_ModelGeneration(benchmark::State& state) {
+  // cost of architecture -> model, cold cache each time
+  for (auto _ : state) {
+    Architecture arch = arch_for(0);
+    ModelGenerator gen;
+    const kernel::Machine m = gen.generate(arch);
+    benchmark::DoNotOptimize(m.n_processes());
+  }
+}
+BENCHMARK(BM_ModelGeneration);
+
+void BM_StateEncode(benchmark::State& state) {
+  Architecture arch = arch_for(0);
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  const kernel::State s0 = m.initial();
+  std::string key;
+  for (auto _ : state) {
+    key = kernel::encode_key(s0);
+    benchmark::DoNotOptimize(key.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(key.size()));
+}
+BENCHMARK(BM_StateEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

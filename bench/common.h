@@ -1,0 +1,87 @@
+// Shared helpers for the experiment harnesses: canonical sender/receiver
+// component models (used across E1-E5, E8, E9) and table printing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pnp/pnp.h"
+
+namespace pnp::benchutil {
+
+using namespace pnp::model;
+
+/// Sender transmitting `n` numbered messages through port "out", tolerant
+/// of SEND_FAIL (checking/nonblocking ports).
+inline ComponentModelFn sender(int n) {
+  return [n](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const PortEndpoint out = ctx.port("out");
+    const LVar i = b.local("i", 1);
+    return seq(do_(alt(seq(guard(b.l(i) <= b.k(n)),
+                           iface::send_msg(b, out, b.l(i)),
+                           assign(i, b.l(i) + b.k(1)))),
+                   alt(seq(guard(b.l(i) > b.k(n)), break_()))),
+               end_label());
+  };
+}
+
+/// Receiver draining `n` messages through port "in" (retrying on RECV_FAIL
+/// so it composes with nonblocking receive ports too).
+inline ComponentModelFn receiver(int n) {
+  return [n](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const PortEndpoint in = ctx.port("in");
+    const LVar got = b.local("got", 0);
+    const LVar v = b.local("v");
+    const LVar st = b.local("st");
+    iface::RecvMeta meta;
+    meta.status_out = &st;
+    return seq(
+        do_(alt(seq(end_label(), guard(b.l(got) < b.k(n)),
+                    iface::recv_msg(b, in, v, meta),
+                    if_(alt(seq(guard(b.l(st) == b.k(RECV_SUCC)),
+                                assign(got, b.l(got) + b.k(1)))),
+                        alt_else(seq(skip()))))),
+            alt(seq(guard(b.l(got) == b.k(n)), break_()))),
+        end_label());
+  };
+}
+
+/// Builds the canonical one-sender/one-receiver architecture.
+inline Architecture p2p(int n_msgs, SendPortKind sk, RecvPortKind rk,
+                        ChannelSpec cs, RecvPortOpts ro = {}) {
+  Architecture arch("p2p");
+  const int s = arch.add_component("Sender", sender(n_msgs));
+  const int r = arch.add_component("Receiver", receiver(n_msgs));
+  patterns::point_to_point(arch, s, "out", r, "in", "Link", sk, rk, cs, ro);
+  return arch;
+}
+
+// -- table printing --------------------------------------------------------------
+
+inline void print_header(const std::vector<std::string>& cols,
+                         const std::vector<int>& widths) {
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    std::printf("%-*s", widths[i], cols[i].c_str());
+  std::printf("\n");
+  int total = 0;
+  for (int w : widths) total += w;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+inline void print_cell(const std::string& s, int width) {
+  std::printf("%-*s", width, s.c_str());
+}
+
+inline std::string fmt_ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", seconds * 1e3);
+  return buf;
+}
+
+inline std::string verdict(bool passed) { return passed ? "PASS" : "FAIL"; }
+
+}  // namespace pnp::benchutil

@@ -1,0 +1,25 @@
+/* Rendezvous client/server with mtype tags and an end-labeled server loop.
+ *
+ *   pnpv client_server.pml
+ *   pnpv client_server.pml --prop served="served == 2" --ltl "F served" --fair
+ */
+mtype = { REQ, REP };
+chan c = [0] of { mtype, byte };
+byte served;
+
+proctype Server(chan link) {
+  byte v;
+  end: do
+  :: link?REQ,v -> served++
+  od
+}
+
+proctype Client(chan link; byte id) {
+  link!REQ,id
+}
+
+init {
+  run Server(c);
+  run Client(c, 1);
+  run Client(c, 2)
+}

@@ -1,0 +1,24 @@
+/* A (deliberately broken) mutual-exclusion attempt: both processes can
+ * pass the naive flag check simultaneously.
+ *
+ *   pnpv mutex_flawed.pml --invariant "critical <= 1"   # FAILs with a trace
+ */
+byte flag0, flag1, critical;
+
+active proctype A() {
+  flag1 == 0;        /* wait until the other is out -- NOT atomic with entry */
+  flag0 = 1;
+  critical++;
+  assert(critical == 1);
+  critical--;
+  flag0 = 0
+}
+
+active proctype B() {
+  flag0 == 0;
+  flag1 = 1;
+  critical++;
+  assert(critical == 1);
+  critical--;
+  flag1 = 0
+}

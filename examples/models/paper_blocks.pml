@@ -1,0 +1,116 @@
+/* The paper's building-block listings (Figs. 6, 8, 9, 10, 11) as a
+ * runnable PML model: a sender component -> synchronous blocking send
+ * port -> single-slot buffer channel -> blocking receive port -> receiver
+ * component. The SynChan typedef of the paper (a struct of two rendezvous
+ * channels) is flattened into explicit signal/data channel pairs, and
+ * send-side signals are pid-tagged consistently (see DESIGN.md 5.1).
+ *
+ *   pnpv paper_blocks.pml --end-invariant "delivered == 2"
+ *   pnpv paper_blocks.pml --simulate 60 --msc
+ */
+mtype = { SEND_SUCC, SEND_FAIL, IN_OK, IN_FAIL,
+          OUT_OK, OUT_FAIL, RECV_OK, RECV_SUCC, RECV_FAIL };
+
+/* SynChan pairs: component<->send port, send port<->channel,
+ * channel<->receive port, receive port<->component */
+chan sCompSig = [0] of { mtype, byte };
+chan sCompData = [0] of { byte, byte };
+chan sChanSig = [0] of { mtype, byte };
+chan sChanData = [0] of { byte, byte };
+chan rCompSig = [0] of { mtype, byte };
+chan rCompData = [0] of { byte, byte };
+chan rChanSig = [0] of { mtype, byte };
+chan rChanData = [0] of { byte, byte };
+
+byte delivered;
+
+/* Fig. 6: synchronous blocking send port */
+proctype SynBlSendPort(chan compSig; chan compData;
+                       chan chanSig; chan chanData) {
+  byte d; byte snd;
+  end: do
+  :: compData?d,snd ->            /* receives m from the sending component */
+     do
+     :: chanData!d,_pid ->        /* forwards m to the channel */
+        if
+        :: chanSig?IN_OK,eval(_pid) -> break
+        :: chanSig?IN_FAIL,eval(_pid)   /* buffer full: retry */
+        fi
+     od;
+     chanSig?RECV_OK,eval(_pid);  /* delivered to a receiver */
+     compSig!SEND_SUCC,0
+  od
+}
+
+/* Fig. 11: single-slot buffer channel */
+proctype SingleSlotBuffer(chan sendSig; chan sendData;
+                          chan recvSig; chan recvData) {
+  byte d; byte snd; byte bufD; byte bufSnd;
+  bool bufEmpty = true;
+  end: do
+  :: recvData?d,snd ->            /* a receive request */
+     if
+     :: !bufEmpty ->
+        recvSig!OUT_OK,0;
+        recvData!bufD,bufSnd;
+        sendSig!RECV_OK,bufSnd;   /* notify the originating send port */
+        bufEmpty = true
+     :: else -> recvSig!OUT_FAIL,0
+     fi
+  :: sendData?d,snd ->
+     if
+     :: bufEmpty -> sendSig!IN_OK,snd; bufD = d; bufSnd = snd; bufEmpty = false
+     :: else -> sendSig!IN_FAIL,snd
+     fi
+  od
+}
+
+/* Fig. 8: blocking receive port */
+proctype BlRecvPort(chan compSig; chan compData;
+                    chan chanSig; chan chanData) {
+  byte d; byte snd;
+  end: do
+  :: compData?d,snd ->            /* receive request from the component */
+     do
+     :: chanData!0,_pid ->        /* forward the request to the channel */
+        if
+        :: chanSig?OUT_OK,_ -> chanData?d,snd; break
+        :: chanSig?OUT_FAIL,_    /* nothing buffered: retry */
+        fi
+     od;
+     compSig!RECV_SUCC,0;
+     compData!d,snd
+  od
+}
+
+/* Fig. 9: sending component (standard interface) */
+proctype Sender(chan portSig; chan portData) {
+  byte i = 1;
+  do
+  :: i <= 2 -> portData!i,0; portSig?SEND_SUCC,_; i++
+  :: i > 2 -> break
+  od
+}
+
+/* Fig. 10: receiving component (standard interface) */
+proctype Receiver(chan portSig; chan portData) {
+  byte j = 1; byte v; byte snd;
+  do
+  :: j <= 2 ->
+     portData!0,0;                /* receive request */
+     portSig?RECV_SUCC,_;
+     portData?v,snd;
+     assert(v == j);
+     delivered++;
+     j++
+  :: j > 2 -> break
+  od
+}
+
+init {
+  run Sender(sCompSig, sCompData);
+  run SynBlSendPort(sCompSig, sCompData, sChanSig, sChanData);
+  run SingleSlotBuffer(sChanSig, sChanData, rChanSig, rChanData);
+  run BlRecvPort(rCompSig, rCompData, rChanSig, rChanData);
+  run Receiver(rCompSig, rCompData)
+}

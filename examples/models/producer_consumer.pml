@@ -1,0 +1,26 @@
+/* Producer/consumer over a bounded FIFO -- a PML (Promela-subset) model
+ * for the pnpv command-line verifier.
+ *
+ *   pnpv producer_consumer.pml --invariant "received <= 3"
+ *   pnpv producer_consumer.pml --prop done="received == 3" --ltl "F done" --fair
+ *   pnpv producer_consumer.pml --simulate 40 --msc
+ */
+chan box = [2] of { byte };
+byte received;
+
+active proctype Producer() {
+  byte i = 1;
+  do
+  :: i <= 3 -> box!i; i++
+  :: i > 3 -> break
+  od
+}
+
+active proctype Consumer() {
+  byte j = 1;
+  byte v;
+  do
+  :: j <= 3 -> box?v; assert(v == j); received++; j++
+  :: j > 3 -> break
+  od
+}

@@ -1,0 +1,89 @@
+// Quickstart: design a two-component system, verify it, then swap the
+// connector's building blocks plug-and-play style and re-verify -- the
+// component models are untouched and reused.
+//
+// Run: build/examples/quickstart
+#include <cstdio>
+
+#include "pnp/pnp.h"
+
+using namespace pnp;
+using namespace pnp::model;
+
+namespace {
+
+constexpr int kMsgs = 3;
+
+// A producer that pushes kMsgs numbered messages through its "out" port.
+// Note there is nothing connector-specific here: the component only speaks
+// the standard interface (send message, await SendStatus).
+ComponentModelFn producer() {
+  return [](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const PortEndpoint out = ctx.port("out");
+    const LVar i = b.local("i", 1);
+    return seq(do_(alt(seq(guard(b.l(i) <= b.k(kMsgs)),
+                           iface::send_msg(b, out, b.l(i)),
+                           assign(i, b.l(i) + b.k(1)))),
+                   alt(seq(guard(b.l(i) > b.k(kMsgs)), break_()))),
+               end_label());
+  };
+}
+
+// A consumer that pulls kMsgs messages and checks they arrive in order.
+ComponentModelFn consumer() {
+  return [](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const PortEndpoint in = ctx.port("in");
+    const LVar j = b.local("j", 1);
+    const LVar v = b.local("v");
+    return seq(do_(alt(seq(guard(b.l(j) <= b.k(kMsgs)),
+                           iface::recv_msg(b, in, v),
+                           assert_(b.l(v) == b.l(j), "in-order delivery"),
+                           assign(j, b.l(j) + b.k(1)))),
+                   alt(seq(guard(b.l(j) > b.k(kMsgs)), break_()))),
+               end_label());
+  };
+}
+
+void verify(const char* what, ModelGenerator& gen, const Architecture& arch) {
+  const kernel::Machine m = gen.generate(arch);
+  const SafetyOutcome out = check_safety(m);
+  std::printf("---- %s ----\n%s", what, out.report().c_str());
+  std::printf("model generation: %s\n\n", gen.last_stats().summary().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Architecture arch("quickstart");
+  const int p = arch.add_component("Producer", producer());
+  const int c = arch.add_component("Consumer", consumer());
+  patterns::point_to_point(arch, p, "out", c, "in", "Link",
+                           SendPortKind::AsynBlocking, RecvPortKind::Blocking,
+                           {ChannelKind::SingleSlot, 1});
+  std::printf("%s\n", arch.describe().c_str());
+
+  ModelGenerator gen;
+  verify("initial design: AsynBlSend + SingleSlot + BlRecv", gen, arch);
+
+  // Plug-and-play edit #1: make the send synchronous. Only the connector
+  // changes; the generator reuses both component models.
+  arch.set_send_port(p, "out", SendPortKind::SynBlocking);
+  verify("after swapping send port to SynBlSend", gen, arch);
+
+  // Plug-and-play edit #2: give the connector a FIFO queue of 4.
+  arch.set_channel(arch.find_connector("Link"), {ChannelKind::Fifo, 4});
+  verify("after swapping channel to Fifo(4)", gen, arch);
+
+  // Bonus: watch one run of the final design as a message sequence chart.
+  const kernel::Machine m = gen.generate(arch);
+  sim::Simulator simu(m, /*seed=*/42);
+  simu.run_random(400);
+  trace::MscOptions msc;
+  msc.pids = {0, 1};  // the two components
+  msc.show_local = false;
+  std::printf("sample run (components only):\n%s\n",
+              trace::render_msc(m, simu.history(), msc).c_str());
+  return 0;
+}

@@ -1,0 +1,280 @@
+#include "adl/adl.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "pnp/textual.h"
+#include "support/panic.h"
+
+namespace pnp::adl {
+
+namespace {
+
+/// Character-level scanner (the behaviour blocks are extracted raw, so a
+/// token stream would not fit; everything else is words and punctuation).
+class Scanner {
+ public:
+  explicit Scanner(const std::string& src) : src_(src) {}
+
+  void skip_ws() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        bump();
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') bump();
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        bump();
+        bump();
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/'))
+          bump();
+        PNP_CHECK(pos_ + 1 < src_.size(), err("unterminated comment"));
+        bump();
+        bump();
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= src_.size();
+  }
+
+  char peek_char() {
+    skip_ws();
+    return pos_ < src_.size() ? src_[pos_] : '\0';
+  }
+
+  bool accept_char(char c) {
+    skip_ws();
+    if (pos_ < src_.size() && src_[pos_] == c) {
+      bump();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_char(char c) {
+    PNP_CHECK(accept_char(c), err(std::string("expected '") + c + "'"));
+  }
+
+  bool peek_word(const std::string& w) {
+    skip_ws();
+    const std::size_t save = pos_;
+    const int sl = line_, sc = col_;
+    const std::string got = word_raw();
+    pos_ = save;
+    line_ = sl;
+    col_ = sc;
+    return got == w;
+  }
+
+  bool accept_word(const std::string& w) {
+    skip_ws();
+    const std::size_t save = pos_;
+    const int sl = line_, sc = col_;
+    if (word_raw() == w) return true;
+    pos_ = save;
+    line_ = sl;
+    col_ = sc;
+    return false;
+  }
+
+  void expect_word(const std::string& w) {
+    PNP_CHECK(accept_word(w), err("expected '" + w + "'"));
+  }
+
+  std::string ident() {
+    skip_ws();
+    const std::string w = word_raw();
+    PNP_CHECK(!w.empty(), err("expected an identifier"));
+    return w;
+  }
+
+  long number() {
+    skip_ws();
+    PNP_CHECK(pos_ < src_.size(), err("expected a number"));
+    bool neg = false;
+    if (src_[pos_] == '-') {
+      neg = true;
+      bump();
+    }
+    PNP_CHECK(pos_ < src_.size() &&
+                  std::isdigit(static_cast<unsigned char>(src_[pos_])),
+              err("expected a number"));
+    long v = 0;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+      v = v * 10 + (src_[pos_] - '0');
+      bump();
+    }
+    return neg ? -v : v;
+  }
+
+  /// Raw text from after the next '{' to its matching '}' (exclusive).
+  /// Comments inside are preserved (PML handles them); braces inside
+  /// comments still count, so behaviours should not put braces in comments.
+  std::string braced_block() {
+    expect_char('{');
+    const std::size_t start = pos_;
+    int depth = 1;
+    while (pos_ < src_.size() && depth > 0) {
+      const char c = src_[pos_];
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+      if (depth > 0) bump();
+    }
+    PNP_CHECK(depth == 0, err("unterminated '{' block"));
+    const std::string body = src_.substr(start, pos_ - start);
+    bump();  // consume '}'
+    return body;
+  }
+
+  std::string err(const std::string& msg) const {
+    return "ADL parse error at " + std::to_string(line_) + ":" +
+           std::to_string(col_) + ": " + msg;
+  }
+
+ private:
+  void bump() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  std::string word_raw() {
+    std::string w;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        w.push_back(c);
+        bump();
+      } else {
+        break;
+      }
+    }
+    return w;
+  }
+
+  const std::string& src_;
+  std::size_t pos_{0};
+  int line_{1};
+  int col_{1};
+};
+
+ChannelKind channel_kind(Scanner& s, const std::string& w) {
+  if (w == "single_slot" || w == "SingleSlot") return ChannelKind::SingleSlot;
+  if (w == "fifo" || w == "Fifo") return ChannelKind::Fifo;
+  if (w == "priority" || w == "Priority") return ChannelKind::Priority;
+  if (w == "lossy_fifo" || w == "LossyFifo") return ChannelKind::LossyFifo;
+  if (w == "event_pool" || w == "EventPool") return ChannelKind::EventPool;
+  raise_model_error(s.err("unknown channel kind '" + w + "'"));
+}
+
+SendPortKind send_kind(Scanner& s, const std::string& w) {
+  if (w == "asyn_nonblocking") return SendPortKind::AsynNonblocking;
+  if (w == "asyn_blocking") return SendPortKind::AsynBlocking;
+  if (w == "asyn_checking") return SendPortKind::AsynChecking;
+  if (w == "syn_blocking") return SendPortKind::SynBlocking;
+  if (w == "syn_checking") return SendPortKind::SynChecking;
+  raise_model_error(s.err("unknown send-port kind '" + w + "'"));
+}
+
+RecvPortKind recv_kind(Scanner& s, const std::string& w) {
+  if (w == "blocking") return RecvPortKind::Blocking;
+  if (w == "nonblocking") return RecvPortKind::Nonblocking;
+  raise_model_error(s.err("unknown receive-port kind '" + w + "'"));
+}
+
+}  // namespace
+
+Architecture parse_architecture(const std::string& source) {
+  Scanner s(source);
+  s.expect_word("architecture");
+  Architecture arch(s.ident());
+  std::unordered_map<std::string, int> components;
+  std::unordered_map<std::string, int> connectors;
+
+  s.expect_char('{');
+  while (!s.accept_char('}')) {
+    PNP_CHECK(!s.at_end(), s.err("unterminated architecture block"));
+    if (s.accept_word("global")) {
+      const std::string name = s.ident();
+      model::Value init = 0;
+      if (s.accept_char('=')) init = static_cast<model::Value>(s.number());
+      arch.add_global(name, init);
+      s.expect_char(';');
+      continue;
+    }
+    if (s.accept_word("component")) {
+      const std::string name = s.ident();
+      PNP_CHECK(!components.contains(name),
+                s.err("duplicate component '" + name + "'"));
+      s.expect_char('{');
+      s.expect_word("behavior");
+      const std::string body = s.braced_block();
+      s.expect_char('}');
+      components[name] = arch.add_component(name, pml_component(body));
+      continue;
+    }
+    if (s.accept_word("connector")) {
+      const std::string name = s.ident();
+      PNP_CHECK(!connectors.contains(name),
+                s.err("duplicate connector '" + name + "'"));
+      s.expect_char(':');
+      ChannelSpec spec;
+      spec.kind = channel_kind(s, s.ident());
+      spec.capacity = 1;
+      if (s.accept_char('(')) {
+        spec.capacity = static_cast<int>(s.number());
+        s.expect_char(')');
+      }
+      const int conn = arch.add_connector(name, spec);
+      connectors[name] = conn;
+      s.expect_char('{');
+      while (!s.accept_char('}')) {
+        const bool is_sender = s.accept_word("sender");
+        if (!is_sender) s.expect_word("receiver");
+        const std::string comp = s.ident();
+        s.expect_char('.');
+        const std::string port = s.ident();
+        auto cit = components.find(comp);
+        PNP_CHECK(cit != components.end(),
+                  s.err("unknown component '" + comp + "'"));
+        s.expect_word("via");
+        const std::string kind = s.ident();
+        if (is_sender) {
+          arch.attach_sender(cit->second, port, conn, send_kind(s, kind));
+        } else {
+          RecvPortOpts opts;
+          while (true) {
+            if (s.accept_word("copy")) {
+              opts.remove = false;
+            } else if (s.accept_word("selective")) {
+              opts.selective = true;
+            } else {
+              break;
+            }
+          }
+          arch.attach_receiver(cit->second, port, conn, recv_kind(s, kind),
+                               opts);
+        }
+        s.expect_char(';');
+      }
+      continue;
+    }
+    raise_model_error(
+        s.err("expected 'global', 'component', or 'connector'"));
+  }
+  arch.validate();
+  return arch;
+}
+
+}  // namespace pnp::adl

@@ -1,0 +1,34 @@
+// ADL: a textual architecture description language for the PnP workflow --
+// the notation the paper's ArchStudio-based prototype provides through a
+// GUI, here as a parsable file format. Components carry their behaviour as
+// embedded PML (see pnp/textual.h); connectors are assembled from the
+// building-block library by name; the plug-and-play experiment loop is
+// then "edit the connector line, re-run pnpv".
+//
+// Grammar:
+//   architecture NAME {
+//     global NAME [= INT] ;
+//     component NAME { behavior { ...PML statements... } }
+//     connector NAME : CHANNEL_KIND [( CAPACITY )] {
+//       sender   COMPONENT.PORT via SEND_KIND ;
+//       receiver COMPONENT.PORT via RECV_KIND [copy] [selective] ;
+//     }
+//   }
+// Channel kinds: single_slot, fifo, priority, lossy_fifo, event_pool.
+// Send kinds:    asyn_nonblocking, asyn_blocking, asyn_checking,
+//                syn_blocking, syn_checking.
+// Recv kinds:    blocking, nonblocking.
+// Comments: // and /* */.
+#pragma once
+
+#include <string>
+
+#include "pnp/architecture.h"
+
+namespace pnp::adl {
+
+/// Parses an ADL source into an Architecture (validated). Raises
+/// ModelError with line:column positions on errors.
+Architecture parse_architecture(const std::string& source);
+
+}  // namespace pnp::adl

@@ -1,0 +1,240 @@
+#include "bridge/bridge.h"
+
+namespace pnp::bridge {
+
+using namespace model;
+
+namespace {
+
+/// A car: request entry, drive on, drive off, notify the far controller.
+/// The same model works with every connector variant -- the standard
+/// interfaces hide whether SEND_SUCC means "granted" or merely "buffered",
+/// which is exactly the bug the case study revolves around.
+ComponentModelFn car_model(std::string mine, std::string other,
+                           bool with_assert) {
+  return [mine = std::move(mine), other = std::move(other),
+          with_assert](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const PortEndpoint enter = ctx.port("enter");
+    const PortEndpoint exit = ctx.port("exit");
+    const GVar g_mine = ctx.global(mine);
+
+    Seq trip = seq(end_label(),
+                   iface::send_msg(b, enter, b.k(1)),        // request entry
+                   assign(g_mine, ctx.g(mine) + b.k(1)));    // drive on
+    if (with_assert)
+      trip.push_back(assert_(ctx.g(other) == b.k(0),
+                             "no opposite traffic while on the bridge"));
+    trip = seq(std::move(trip),
+               assign(g_mine, ctx.g(mine) - b.k(1)),         // drive off
+               iface::send_msg(b, exit, b.k(1)));            // notify far end
+    return seq(do_(alt(std::move(trip))));
+  };
+}
+
+/// v1 controller: strict alternation -- grant exactly N entry requests,
+/// then wait for N exit notifications from the opposite direction. The
+/// controller that does not start with the turn runs the phases in the
+/// opposite order: it first waits for the other side's batch to clear.
+ComponentModelFn controller_v1(int n, bool starts_with_turn) {
+  return [n, starts_with_turn](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const PortEndpoint enter = ctx.port("enter");
+    const PortEndpoint exits = ctx.port("exitnotes");
+    const LVar cnt = b.local("cnt");
+    const LVar v = b.local("v");
+
+    auto consume_n = [&](const PortEndpoint& ep) {
+      return seq(
+          assign(cnt, b.k(0)),
+          do_(alt(seq(guard(b.l(cnt) < b.k(n)),
+                      iface::recv_msg(b, ep, v),
+                      assign(cnt, b.l(cnt) + b.k(1)))),
+              alt(seq(guard(b.l(cnt) == b.k(n)), break_()))));
+    };
+
+    Seq round = starts_with_turn
+                    ? seq(consume_n(enter),   // grant N of my cars
+                          consume_n(exits))   // wait for the other batch
+                    : seq(consume_n(exits),   // other side's batch clears
+                          consume_n(enter));  // then grant mine
+    return seq(do_(alt(seq(end_label(), std::move(round)))));
+  };
+}
+
+/// v2 controller: grant up to N cars but yield the turn as soon as nobody
+/// is waiting; the yield token carries the number of cars granted so the
+/// other side knows how many exit notifications to collect first.
+ComponentModelFn controller_v2(int n, bool starts_with_turn) {
+  return [n, starts_with_turn](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const PortEndpoint enter = ctx.port("enter");
+    const PortEndpoint exits = ctx.port("exitnotes");
+    const PortEndpoint yield = ctx.port("yield");
+    const PortEndpoint token = ctx.port("token");
+    const LVar granted = b.local("granted");
+    const LVar need = b.local("need");
+    const LVar v = b.local("v");
+    const LVar st = b.local("st");
+
+    iface::RecvMeta with_status;
+    with_status.status_out = &st;
+
+    auto grant_phase = [&] {
+      return seq(
+          assign(granted, b.k(0)),
+          do_(alt(seq(guard(b.l(granted) < b.k(n)),
+                      iface::recv_msg(b, enter, v, with_status),
+                      if_(alt(seq(guard(b.l(st) == b.k(RECV_SUCC)),
+                                  assign(granted, b.l(granted) + b.k(1)))),
+                          // nobody waiting: yield the turn early
+                          alt_else(seq(break_()))))),
+              alt(seq(guard(b.l(granted) == b.k(n)), break_()))));
+    };
+    auto yield_phase = [&] {
+      return iface::send_msg(b, yield, b.l(granted));
+    };
+    auto wait_token = [&] {
+      return seq(do_(alt(seq(
+          end_label(),
+          iface::recv_msg(b, token, need, with_status),
+          if_(alt(seq(guard(b.l(st) == b.k(RECV_SUCC)), break_())),
+              alt_else(seq(skip())))))));
+    };
+    auto wait_exits = [&] {
+      return seq(
+          do_(alt(seq(guard(b.l(need) > b.k(0)),
+                      iface::recv_msg(b, exits, v, with_status),
+                      if_(alt(seq(guard(b.l(st) == b.k(RECV_SUCC)),
+                                  assign(need, b.l(need) - b.k(1)))),
+                          alt_else(seq(skip()))))),
+              alt(seq(guard(b.l(need) == b.k(0)), break_()))));
+    };
+
+    Seq round = starts_with_turn
+                    ? seq(grant_phase(), yield_phase(), wait_token(),
+                          wait_exits())
+                    : seq(wait_token(), wait_exits(), grant_phase(),
+                          yield_phase());
+    return seq(do_(alt(std::move(round))));
+  };
+}
+
+struct CommonParts {
+  std::vector<int> blue_cars, red_cars;
+  int blue_ctrl{-1}, red_ctrl{-1};
+};
+
+CommonParts add_cars(Architecture& arch, const BridgeConfig& cfg) {
+  CommonParts p;
+  arch.add_global("blue_on_bridge", 0);
+  arch.add_global("red_on_bridge", 0);
+  for (int i = 0; i < cfg.cars_per_side; ++i) {
+    p.blue_cars.push_back(arch.add_component(
+        "BlueCar" + std::to_string(i),
+        car_model("blue_on_bridge", "red_on_bridge", cfg.car_asserts)));
+    p.red_cars.push_back(arch.add_component(
+        "RedCar" + std::to_string(i),
+        car_model("red_on_bridge", "blue_on_bridge", cfg.car_asserts)));
+  }
+  return p;
+}
+
+void wire_enter_exit(Architecture& arch, const CommonParts& p,
+                     const BridgeConfig& cfg, SendPortKind enter_send,
+                     RecvPortKind ctrl_recv) {
+  const int blue_enter = arch.add_connector(
+      "BlueEnter", {ChannelKind::Fifo, cfg.enter_queue_capacity});
+  const int red_enter = arch.add_connector(
+      "RedEnter", {ChannelKind::Fifo, cfg.enter_queue_capacity});
+  const int blue_exit =
+      arch.add_connector("BlueExit", {ChannelKind::SingleSlot, 1});
+  const int red_exit =
+      arch.add_connector("RedExit", {ChannelKind::SingleSlot, 1});
+
+  for (int car : p.blue_cars) {
+    arch.attach_sender(car, "enter", blue_enter, enter_send);
+    arch.attach_sender(car, "exit", blue_exit, SendPortKind::AsynBlocking);
+  }
+  for (int car : p.red_cars) {
+    arch.attach_sender(car, "enter", red_enter, enter_send);
+    arch.attach_sender(car, "exit", red_exit, SendPortKind::AsynBlocking);
+  }
+  // enter requests go to the near controller; exit notes to the far one
+  arch.attach_receiver(p.blue_ctrl, "enter", blue_enter, ctrl_recv);
+  arch.attach_receiver(p.red_ctrl, "enter", red_enter, ctrl_recv);
+  arch.attach_receiver(p.red_ctrl, "exitnotes", blue_exit, ctrl_recv);
+  arch.attach_receiver(p.blue_ctrl, "exitnotes", red_exit, ctrl_recv);
+}
+
+}  // namespace
+
+Architecture make_v1(const BridgeConfig& cfg) {
+  Architecture arch("single-lane-bridge-v1");
+  CommonParts p = add_cars(arch, cfg);
+  p.blue_ctrl = arch.add_component(
+      "BlueController", controller_v1(cfg.batch_n, /*starts_with_turn=*/true));
+  p.red_ctrl = arch.add_component(
+      "RedController", controller_v1(cfg.batch_n, /*starts_with_turn=*/false));
+  // The initial (Fig. 13) design: asynchronous blocking send for enter
+  // requests -- the bug under study. The fixed design uses synchronous.
+  const SendPortKind enter_kind = cfg.buggy_async_enter
+                                      ? SendPortKind::AsynBlocking
+                                      : SendPortKind::SynBlocking;
+  wire_enter_exit(arch, p, cfg, enter_kind, RecvPortKind::Blocking);
+  return arch;
+}
+
+void apply_v1_fix(Architecture& arch, const BridgeConfig& cfg) {
+  for (int i = 0; i < cfg.cars_per_side; ++i) {
+    arch.set_send_port(arch.find_component("BlueCar" + std::to_string(i)),
+                       "enter", SendPortKind::SynBlocking);
+    arch.set_send_port(arch.find_component("RedCar" + std::to_string(i)),
+                       "enter", SendPortKind::SynBlocking);
+  }
+}
+
+Architecture make_v2(const BridgeConfig& cfg) {
+  Architecture arch("single-lane-bridge-v2");
+  CommonParts p = add_cars(arch, cfg);
+  p.blue_ctrl = arch.add_component(
+      "BlueController", controller_v2(cfg.batch_n, /*starts_with_turn=*/true));
+  p.red_ctrl = arch.add_component(
+      "RedController", controller_v2(cfg.batch_n, /*starts_with_turn=*/false));
+  // Fig. 14: synchronous enter requests, nonblocking (polling) controllers.
+  wire_enter_exit(arch, p, cfg, SendPortKind::SynBlocking,
+                  RecvPortKind::Nonblocking);
+
+  const int blue_to_red =
+      arch.add_connector("BlueToRed", {ChannelKind::SingleSlot, 1});
+  const int red_to_blue =
+      arch.add_connector("RedToBlue", {ChannelKind::SingleSlot, 1});
+  arch.attach_sender(p.blue_ctrl, "yield", blue_to_red,
+                     SendPortKind::SynBlocking);
+  arch.attach_receiver(p.red_ctrl, "token", blue_to_red,
+                       RecvPortKind::Nonblocking);
+  arch.attach_sender(p.red_ctrl, "yield", red_to_blue,
+                     SendPortKind::SynBlocking);
+  arch.attach_receiver(p.blue_ctrl, "token", red_to_blue,
+                       RecvPortKind::Nonblocking);
+  return arch;
+}
+
+expr::Ex safety_invariant(ModelGenerator& gen) {
+  return !(gen.gx("blue_on_bridge") > gen.kx(0) &&
+           gen.gx("red_on_bridge") > gen.kx(0));
+}
+
+expr::Ex batch_bound_invariant(ModelGenerator& gen, int n) {
+  return gen.gx("blue_on_bridge") <= gen.kx(n) &&
+         gen.gx("red_on_bridge") <= gen.kx(n);
+}
+
+void register_props(ModelGenerator& gen) {
+  gen.add_prop("blue_on", gen.gx("blue_on_bridge") > gen.kx(0));
+  gen.add_prop("red_on", gen.gx("red_on_bridge") > gen.kx(0));
+  gen.add_prop("both_on", gen.gx("blue_on_bridge") > gen.kx(0) &&
+                              gen.gx("red_on_bridge") > gen.kx(0));
+}
+
+}  // namespace pnp::bridge

@@ -1,0 +1,65 @@
+// The single-lane bridge case study (paper section 4, Figs. 12-14).
+//
+// A bridge wide enough for one direction of traffic at a time. Blue cars
+// enter from one end, red cars from the other; a controller at each end
+// grants entry. Blue cars send enter requests to the blue controller and
+// notify the red controller when they exit (they leave at the red end);
+// red cars mirror this.
+//
+// Two traffic-control designs:
+//  * v1 "exactly-N-cars-per-turn" (Fig. 13): controllers take strict turns
+//    of N cars with no controller-to-controller communication. The paper's
+//    initial design wires the enter connectors with ASYNCHRONOUS blocking
+//    send ports -- a car treats SEND_SUCC (request buffered) as permission
+//    and drives on, which lets opposite batches overlap: verification finds
+//    the crash. The plug-and-play fix swaps in synchronous blocking send
+//    ports (SEND_SUCC now means the controller received the request);
+//    components are untouched.
+//  * v2 "at-most-N-cars-per-turn" (Fig. 14): controllers may yield early
+//    when no cars are waiting, exchanging a token (carrying the number of
+//    cars granted) over two new connectors; controllers poll all inputs
+//    with nonblocking receive ports.
+#pragma once
+
+#include "pnp/pnp.h"
+
+namespace pnp::bridge {
+
+struct BridgeConfig {
+  int cars_per_side{1};
+  int batch_n{1};  // N cars per turn
+  int enter_queue_capacity{2};
+  /// v1 only: build the paper's initial (buggy) design with asynchronous
+  /// blocking send ports on the enter connectors.
+  bool buggy_async_enter{false};
+  /// Also assert bridge safety inside each car model (gives car-local
+  /// counterexample traces in addition to the global invariant).
+  bool car_asserts{false};
+};
+
+/// Fig. 13 architecture ("exactly-N-cars-per-turn").
+Architecture make_v1(const BridgeConfig& cfg);
+
+/// The paper's plug-and-play fix for v1: swap every car's enter send port
+/// from asynchronous blocking to synchronous blocking. Touches only the
+/// connector; all component models are reused on the next generate().
+void apply_v1_fix(Architecture& arch, const BridgeConfig& cfg);
+
+/// Fig. 14 architecture ("at-most-N-cars-per-turn") with the two
+/// controller-to-controller yield connectors.
+Architecture make_v2(const BridgeConfig& cfg);
+
+/// The bridge safety property: cars never travel in both directions at
+/// once:  !(blue_on_bridge > 0 && red_on_bridge > 0).
+expr::Ex safety_invariant(ModelGenerator& gen);
+
+/// Per-direction capacity bound: at most N cars of one color on the bridge.
+expr::Ex batch_bound_invariant(ModelGenerator& gen, int n);
+
+/// Registers the propositions used by the LTL properties below on `gen`:
+///   blue_on  := blue_on_bridge > 0
+///   red_on   := red_on_bridge > 0
+///   both_on  := blue_on && red_on
+void register_props(ModelGenerator& gen);
+
+}  // namespace pnp::bridge

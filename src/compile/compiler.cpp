@@ -1,0 +1,338 @@
+#include "compile/compiler.h"
+
+#include "support/panic.h"
+#include "support/string_util.h"
+
+namespace pnp::compile {
+
+namespace {
+
+using model::Branch;
+using model::Seq;
+using model::Stmt;
+using model::StmtKind;
+using model::SystemSpec;
+
+class ProcCompiler {
+ public:
+  ProcCompiler(const SystemSpec& sys, const model::ProcType& proc, int proctype)
+      : sys_(sys) {
+    out_.name = proc.name;
+    out_.proctype = proctype;
+    out_.n_params = static_cast<int>(proc.params.size());
+    out_.frame_size = proc.frame_size();
+    for (const model::VarDecl& v : proc.params) out_.frame_init.push_back(v.init);
+    for (const model::VarDecl& v : proc.locals) out_.frame_init.push_back(v.init);
+
+    out_.entry = new_pc(false);
+    const int exit = compile_seq(proc.body, out_.entry, false);
+    out_.valid_end[static_cast<std::size_t>(exit)] = true;
+    build_adjacency();
+    classify_transitions();
+  }
+
+  CompiledProc take() { return std::move(out_); }
+
+ private:
+  int new_pc(bool in_atomic) {
+    out_.atomic_at.push_back(in_atomic);
+    out_.valid_end.push_back(false);
+    return out_.n_pcs++;
+  }
+
+  void add_trans(Transition t) { out_.trans.push_back(std::move(t)); }
+
+  /// Compiles `s` so that control enters at `entry` and leaves at `exit`.
+  void compile_stmt(const Stmt& s, int entry, int exit, bool in_atomic) {
+    switch (s.kind) {
+      case StmtKind::Skip: {
+        Transition t;
+        t.src = entry;
+        t.dst = exit;
+        t.op = OpKind::Noop;
+        t.label = s.label;
+        add_trans(std::move(t));
+        break;
+      }
+      case StmtKind::Guard: {
+        Transition t;
+        t.src = entry;
+        t.dst = exit;
+        t.op = OpKind::Guard;
+        t.expr = s.expr;
+        t.label = s.label;
+        add_trans(std::move(t));
+        break;
+      }
+      case StmtKind::Assign: {
+        Transition t;
+        t.src = entry;
+        t.dst = exit;
+        t.op = OpKind::Assign;
+        t.expr = s.expr;
+        t.lhs = s.lhs;
+        t.label = s.label;
+        add_trans(std::move(t));
+        break;
+      }
+      case StmtKind::Send: {
+        Transition t;
+        t.src = entry;
+        t.dst = exit;
+        t.op = OpKind::Send;
+        t.chan = s.chan;
+        t.fields = s.fields;
+        t.sorted = s.sorted;
+        t.label = s.label;
+        add_trans(std::move(t));
+        break;
+      }
+      case StmtKind::Recv: {
+        Transition t;
+        t.src = entry;
+        t.dst = exit;
+        t.op = OpKind::Recv;
+        t.chan = s.chan;
+        t.args = s.args;
+        t.random = s.random;
+        t.copy = s.copy;
+        t.label = s.label;
+        add_trans(std::move(t));
+        break;
+      }
+      case StmtKind::Assert: {
+        Transition t;
+        t.src = entry;
+        t.dst = exit;
+        t.op = OpKind::Assert;
+        t.expr = s.expr;
+        t.label = s.label;
+        add_trans(std::move(t));
+        break;
+      }
+      case StmtKind::If: {
+        for (const Branch& b : s.branches) {
+          if (b.is_else) {
+            const int mid = new_pc(in_atomic);
+            Transition t;
+            t.src = entry;
+            t.dst = mid;
+            t.op = OpKind::Else;
+            t.label = "else";
+            add_trans(std::move(t));
+            const int end = compile_seq(b.body, mid, in_atomic);
+            merge_to(end, exit);
+          } else {
+            const int end = compile_seq(b.body, entry, in_atomic);
+            merge_to(end, exit);
+          }
+        }
+        break;
+      }
+      case StmtKind::Do: {
+        break_targets_.push_back(exit);
+        for (const Branch& b : s.branches) {
+          if (b.is_else) {
+            const int mid = new_pc(in_atomic);
+            Transition t;
+            t.src = entry;
+            t.dst = mid;
+            t.op = OpKind::Else;
+            t.label = "else";
+            add_trans(std::move(t));
+            const int end = compile_seq(b.body, mid, in_atomic);
+            merge_to(end, entry);
+          } else {
+            const int end = compile_seq(b.body, entry, in_atomic);
+            merge_to(end, entry);
+          }
+        }
+        break_targets_.pop_back();
+        break;
+      }
+      case StmtKind::Break: {
+        PNP_CHECK(!break_targets_.empty(), "break outside do");
+        Transition t;
+        t.src = entry;
+        t.dst = break_targets_.back();
+        t.op = OpKind::Noop;
+        t.label = "break";
+        add_trans(std::move(t));
+        (void)exit;  // control never reaches the sequential exit
+        break;
+      }
+      case StmtKind::Atomic: {
+        const int end = compile_seq(s.body, entry, true);
+        // Atomicity is released once control reaches the end of the block.
+        merge_to(end, exit);
+        out_.atomic_at[static_cast<std::size_t>(exit)] = in_atomic;
+        break;
+      }
+      case StmtKind::EndLabel:
+        // handled by compile_seq
+        raise_model_error("EndLabel reached compile_stmt");
+    }
+  }
+
+  /// Compiles a sequence starting at `entry`; returns the pc where control
+  /// ends up afterwards.
+  int compile_seq(const Seq& seq, int entry, bool in_atomic) {
+    int cur = entry;
+    for (const model::StmtPtr& sp : seq) {
+      if (sp->kind == StmtKind::EndLabel) {
+        out_.valid_end[static_cast<std::size_t>(cur)] = true;
+        continue;
+      }
+      const int next = new_pc(in_atomic);
+      compile_stmt(*sp, cur, next, in_atomic);
+      cur = next;
+    }
+    return cur;
+  }
+
+  /// Redirects every transition ending at `from` to end at `to` instead
+  /// (used to converge branch exits onto a shared pc). `from` is always the
+  /// most recently created pc with no outgoing edges, so this is safe.
+  void merge_to(int from, int to) {
+    if (from == to) return;
+    for (Transition& t : out_.trans)
+      if (t.dst == from) t.dst = to;
+    if (out_.valid_end[static_cast<std::size_t>(from)])
+      out_.valid_end[static_cast<std::size_t>(to)] = true;
+    // `from` is now orphaned (nothing reaches it): clear its markers so
+    // they do not confuse pc-based bookkeeping.
+    out_.valid_end[static_cast<std::size_t>(from)] = false;
+    out_.atomic_at[static_cast<std::size_t>(from)] = false;
+  }
+
+  void build_adjacency() {
+    out_.out.assign(static_cast<std::size_t>(out_.n_pcs), {});
+    for (std::size_t i = 0; i < out_.trans.size(); ++i)
+      out_.out[static_cast<std::size_t>(out_.trans[i].src)].push_back(
+          static_cast<int>(i));
+  }
+
+  void classify_transitions() {
+    for (Transition& t : out_.trans) {
+      switch (t.op) {
+        case OpKind::Send:
+        case OpKind::Recv:
+          t.local_only = false;
+          break;
+        case OpKind::Else:
+          // Else enabledness depends on siblings, which may touch channels.
+          t.local_only = false;
+          break;
+        case OpKind::Noop:
+          t.local_only = true;
+          break;
+        case OpKind::Guard:
+        case OpKind::Assert:
+          t.local_only = !sys_.exprs.reads_shared(t.expr);
+          break;
+        case OpKind::Assign:
+          t.local_only = !sys_.exprs.reads_shared(t.expr) &&
+                         t.lhs.kind == model::LhsKind::Local;
+          break;
+      }
+    }
+  }
+
+  const SystemSpec& sys_;
+  CompiledProc out_;
+  std::vector<int> break_targets_;
+};
+
+}  // namespace
+
+std::vector<CompiledProc> compile(const model::SystemSpec& sys) {
+  sys.validate();
+  std::vector<CompiledProc> out;
+  out.reserve(sys.proctypes.size());
+  for (std::size_t i = 0; i < sys.proctypes.size(); ++i) {
+    ProcCompiler pc(sys, sys.proctypes[i], static_cast<int>(i));
+    out.push_back(pc.take());
+  }
+  return out;
+}
+
+CompiledProc compile_proc(const model::SystemSpec& sys, int proctype) {
+  PNP_CHECK(proctype >= 0 &&
+                proctype < static_cast<int>(sys.proctypes.size()),
+            "compile_proc: proctype out of range");
+  ProcCompiler pc(sys, sys.proctypes[static_cast<std::size_t>(proctype)],
+                  proctype);
+  return pc.take();
+}
+
+std::string describe(const model::SystemSpec& sys, const CompiledProc& proc,
+                     const Transition& t) {
+  if (!t.label.empty()) return t.label;
+  auto global_name = std::function<std::string(int)>([&sys](int slot) {
+    return sys.globals[static_cast<std::size_t>(slot)].name;
+  });
+  auto local_name = std::function<std::string(int)>([&sys, &proc](int slot) {
+    const model::ProcType& pt =
+        sys.proctypes[static_cast<std::size_t>(proc.proctype)];
+    const std::size_t nparams = pt.params.size();
+    if (static_cast<std::size_t>(slot) < nparams)
+      return pt.params[static_cast<std::size_t>(slot)].name;
+    return pt.locals[static_cast<std::size_t>(slot) - nparams].name;
+  });
+  auto expr_str = [&](ExprRef e) {
+    return sys.exprs.to_string(e, &global_name, &local_name);
+  };
+  auto chan_str = [&](ExprRef e) -> std::string {
+    const expr::Node& n = sys.exprs.at(e);
+    if (n.op == expr::Op::Const &&
+        n.imm >= 0 && n.imm < static_cast<Value>(sys.channels.size()))
+      return sys.channels[static_cast<std::size_t>(n.imm)].name;
+    return expr_str(e);
+  };
+
+  switch (t.op) {
+    case OpKind::Noop:
+      return "skip";
+    case OpKind::Guard:
+      return expr_str(t.expr);
+    case OpKind::Else:
+      return "else";
+    case OpKind::Assign: {
+      const std::string lhs = t.lhs.kind == model::LhsKind::Global
+                                  ? global_name(t.lhs.slot)
+                                  : local_name(t.lhs.slot);
+      return lhs + " = " + expr_str(t.expr);
+    }
+    case OpKind::Assert:
+      return "assert(" + expr_str(t.expr) + ")";
+    case OpKind::Send: {
+      std::vector<std::string> fs;
+      for (ExprRef f : t.fields) fs.push_back(expr_str(f));
+      return chan_str(t.chan) + (t.sorted ? "!!" : "!") + join(fs, ",");
+    }
+    case OpKind::Recv: {
+      std::vector<std::string> as;
+      for (const model::RecvArg& a : t.args) {
+        switch (a.kind) {
+          case model::RecvArgKind::Bind:
+            as.push_back(a.lhs.kind == model::LhsKind::Global
+                             ? global_name(a.lhs.slot)
+                             : local_name(a.lhs.slot));
+            break;
+          case model::RecvArgKind::Match:
+            as.push_back("eval(" + expr_str(a.match) + ")");
+            break;
+          case model::RecvArgKind::Wildcard:
+            as.push_back("_");
+            break;
+        }
+      }
+      std::string s = chan_str(t.chan) + (t.random ? "??" : "?");
+      if (t.copy) return s + "<" + join(as, ",") + ">";
+      return s + join(as, ",");
+    }
+  }
+  return "?";
+}
+
+}  // namespace pnp::compile

@@ -1,0 +1,87 @@
+// Compiler from the statement-tree IR to a flat guarded control-flow graph.
+//
+// Each basic statement becomes one Transition between program counters.
+// Executability is decided per transition kind by the kernel:
+//   Guard   executable iff expr != 0
+//   Else    executable iff no sibling transition from the same pc is
+//   Assign/Assert/Noop  always executable
+//   Send    executable iff the channel can accept (or a rendezvous partner
+//           is ready; lossy channels always accept)
+//   Recv    executable iff a matching message is available
+//
+// `atomic_at[pc]` marks control points inside an atomic region: after a step
+// that lands on such a pc, the process keeps exclusive control while it has
+// an executable transition (Promela atomic semantics: atomicity is lost when
+// the process blocks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/system.h"
+
+namespace pnp::compile {
+
+using model::ExprRef;
+using model::Value;
+
+enum class OpKind : std::uint8_t {
+  Noop,    // skip / structural edge
+  Guard,
+  Else,
+  Assign,
+  Send,
+  Recv,
+  Assert,
+};
+
+struct Transition {
+  int src{-1};
+  int dst{-1};
+  OpKind op{OpKind::Noop};
+
+  ExprRef expr{expr::kNoExpr};  // Guard / Assert / Assign rhs
+  model::Lhs lhs{};             // Assign target
+
+  ExprRef chan{expr::kNoExpr};
+  std::vector<ExprRef> fields;  // Send payload
+  bool sorted{false};
+  std::vector<model::RecvArg> args;  // Recv pattern
+  bool random{false};
+  bool copy{false};
+
+  std::string label;
+
+  /// Precomputed: transition neither reads nor writes shared state
+  /// (no globals, no channels). Used by partial-order reduction.
+  bool local_only{false};
+};
+
+struct CompiledProc {
+  std::string name;
+  int proctype{-1};
+  int n_params{0};
+  int frame_size{0};
+  std::vector<Value> frame_init;  // params overwritten at spawn time
+
+  int entry{0};
+  int n_pcs{0};
+  std::vector<Transition> trans;
+  std::vector<std::vector<int>> out;  // pc -> indices into trans
+  std::vector<bool> atomic_at;        // pc -> inside atomic region
+  std::vector<bool> valid_end;        // pc -> valid end state
+};
+
+/// Compiles every proctype of `sys`. Raises ModelError on malformed input
+/// (runs SystemSpec::validate first).
+std::vector<CompiledProc> compile(const model::SystemSpec& sys);
+
+/// Compiles a single proctype (no whole-system validation; used by the
+/// incremental model generator, which validates what it builds).
+CompiledProc compile_proc(const model::SystemSpec& sys, int proctype);
+
+/// Human-readable rendering of a transition (used in traces and debugging).
+std::string describe(const model::SystemSpec& sys, const CompiledProc& proc,
+                     const Transition& t);
+
+}  // namespace pnp::compile

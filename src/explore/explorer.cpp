@@ -1,0 +1,326 @@
+#include "explore/explorer.h"
+
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "explore/por.h"
+#include "support/hash.h"
+#include "support/panic.h"
+
+namespace pnp::explore {
+
+const char* violation_kind_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::AssertFailed: return "assertion violation";
+    case ViolationKind::Deadlock: return "invalid end state (deadlock)";
+    case ViolationKind::InvariantViolated: return "invariant violation";
+    case ViolationKind::EndInvariantViolated:
+      return "end-state invariant violation";
+    case ViolationKind::AcceptanceCycle: return "acceptance cycle (liveness violation)";
+  }
+  return "?";
+}
+
+namespace {
+
+using kernel::Machine;
+using kernel::State;
+using kernel::Step;
+using kernel::Succ;
+
+/// Visited-state store: exact hash set, or double-bit Bloom filter in
+/// bitstate (supertrace) mode.
+class VisitedSet {
+ public:
+  VisitedSet(bool bitstate, std::uint64_t bytes) : bitstate_(bitstate) {
+    if (bitstate_) bits_.assign(bytes, 0);
+  }
+
+  /// Returns true if `key` was not present before (and records it).
+  bool insert(const std::string& key) {
+    if (!bitstate_) return set_.insert(key).second;
+    const std::span<const std::uint8_t> bytes(
+        reinterpret_cast<const std::uint8_t*>(key.data()), key.size());
+    const std::uint64_t nbits = bits_.size() * 8;
+    const std::uint64_t b1 = hash_bytes(bytes) % nbits;
+    const std::uint64_t b2 = hash_bytes2(bytes) % nbits;
+    const bool seen = get_bit(b1) && get_bit(b2);
+    set_bit(b1);
+    set_bit(b2);
+    if (!seen) ++approx_count_;
+    return !seen;
+  }
+
+  std::uint64_t size() const {
+    return bitstate_ ? approx_count_ : set_.size();
+  }
+
+ private:
+  bool get_bit(std::uint64_t i) const {
+    return (bits_[i >> 3] >> (i & 7)) & 1;
+  }
+  void set_bit(std::uint64_t i) { bits_[i >> 3] |= std::uint8_t(1u << (i & 7)); }
+
+  bool bitstate_;
+  std::vector<std::uint8_t> bits_;
+  std::unordered_set<std::string> set_;
+  std::uint64_t approx_count_ = 0;
+};
+
+class Run {
+ public:
+  Run(const Machine& m, const Options& opt)
+      : m_(m), opt_(opt), visited_(opt.bitstate, opt.bitstate_bytes) {}
+
+  Result go() {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result r = opt_.bfs ? bfs() : dfs();
+    r.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    r.stats.states_stored = visited_.size();
+    r.stats.states_matched = matched_;
+    r.stats.transitions = transitions_;
+    r.stats.max_depth_reached = max_depth_seen_;
+    r.stats.complete = complete_ && !opt_.bitstate;
+    return r;
+  }
+
+ private:
+  // DFS frames do NOT own their successor lists: only the top-of-stack
+  // frame's successors are materialized (in a shared scratch vector) and
+  // they are regenerated when the search returns to a frame. This trades
+  // roughly branching-factor extra successor-generation work for a stack
+  // whose memory is O(depth * state size) instead of
+  // O(depth * branching * state size) -- the difference between fitting in
+  // RAM and not on deep searches.
+  struct Frame {
+    State state;
+    std::string key;
+    Step in_step;  // step that produced this state (invalid at root)
+    std::uint32_t next = 0;
+    bool checked = false;
+    int por_choice = -1;  // recorded ample decision (see por_choose)
+  };
+
+  /// Per-state checks (invariant, deadlock). Returns a violation or nullopt.
+  std::optional<Violation> check_state(const State& s, bool has_succ) {
+    if (opt_.invariant != expr::kNoExpr &&
+        m_.eval_global(opt_.invariant, s) == 0) {
+      Violation v;
+      v.kind = ViolationKind::InvariantViolated;
+      v.message = "invariant violated" +
+                  (opt_.invariant_name.empty() ? std::string()
+                                               : ": " + opt_.invariant_name);
+      return v;
+    }
+    if (opt_.check_deadlock && !has_succ && !m_.is_valid_end(s)) {
+      Violation v;
+      v.kind = ViolationKind::Deadlock;
+      v.message = "no executable transition and not all processes at a "
+                  "valid end state";
+      return v;
+    }
+    if (opt_.end_invariant != expr::kNoExpr && !has_succ &&
+        m_.eval_global(opt_.end_invariant, s) == 0) {
+      Violation v;
+      v.kind = ViolationKind::EndInvariantViolated;
+      v.message =
+          "terminal state violates end invariant" +
+          (opt_.end_invariant_name.empty()
+               ? std::string()
+               : ": " + opt_.end_invariant_name);
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  trace::Trace stack_trace(const std::vector<Frame>& stack,
+                           const Succ* extra) const {
+    trace::Trace t;
+    if (!opt_.want_trace) return t;
+    // Descriptions are rendered only here, on the cold path: the DFS push
+    // path must not pay for string construction.
+    for (std::size_t i = 1; i < stack.size(); ++i)
+      t.steps.push_back(
+          {stack[i].in_step, m_.describe_step(stack[i].in_step)});
+    if (extra)
+      t.steps.push_back({extra->second, m_.describe_step(extra->second)});
+    const State& final_state =
+        extra ? extra->first : stack.back().state;
+    t.final_state = m_.format_state(final_state);
+    return t;
+  }
+
+  Result dfs() {
+    Result r;
+    std::vector<Frame> stack;
+    std::unordered_set<std::string> on_stack;
+    const OnStackFn on_stack_fn = [&on_stack](const State& s) {
+      return on_stack.contains(kernel::encode_key(s));
+    };
+    const OnStackFn* proviso = opt_.por ? &on_stack_fn : nullptr;
+
+    Frame root;
+    root.state = m_.initial();
+    root.key = kernel::encode_key(root.state);
+    visited_.insert(root.key);
+    stack.push_back(std::move(root));
+    if (opt_.por) on_stack.insert(stack.back().key);
+
+    std::vector<Succ> succs;          // successors of the top frame only
+    std::ptrdiff_t succs_for = -1;    // stack index the scratch belongs to
+
+    while (!stack.empty()) {
+      const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(stack.size()) - 1;
+      Frame& f = stack[static_cast<std::size_t>(idx)];
+      if (succs_for != idx) {
+        succs.clear();
+        if (!f.checked && opt_.por) f.por_choice = por_choose(m_, f.state, proviso);
+        if (opt_.por)
+          por_expand(m_, f.state, f.por_choice, succs);
+        else
+          m_.successors(f.state, succs);
+        succs_for = idx;
+        if (!f.checked) {
+          f.checked = true;
+          transitions_ += succs.size();
+          max_depth_seen_ = std::max(max_depth_seen_, static_cast<int>(idx));
+          if (auto v = check_state(f.state, !succs.empty())) {
+            v->trace = stack_trace(stack, nullptr);
+            r.violation = std::move(*v);
+            return r;
+          }
+        }
+      }
+      if (f.next >= succs.size()) {
+        if (opt_.por) on_stack.erase(f.key);
+        stack.pop_back();
+        succs_for = -1;
+        continue;
+      }
+      Succ& succ = succs[f.next++];
+      if (succ.second.assert_failed) {
+        Violation v;
+        v.kind = ViolationKind::AssertFailed;
+        v.message = "assertion failed: " + m_.describe_step(succ.second);
+        v.trace = stack_trace(stack, &succ);
+        r.violation = std::move(v);
+        return r;
+      }
+      std::string key = kernel::encode_key(succ.first);
+      if (!visited_.insert(key)) {
+        ++matched_;
+        continue;
+      }
+      if (visited_.size() >= opt_.max_states ||
+          static_cast<int>(stack.size()) > opt_.max_depth) {
+        complete_ = false;
+        continue;
+      }
+      Frame nf;
+      nf.state = std::move(succ.first);
+      nf.key = std::move(key);
+      nf.in_step = succ.second;
+      if (opt_.por) on_stack.insert(nf.key);
+      stack.push_back(std::move(nf));
+      succs_for = -1;  // the new top needs its own successor list
+    }
+    return r;
+  }
+
+  Result bfs() {
+    Result r;
+    struct Node {
+      State state;
+      std::int64_t parent;
+      Step in_step;
+    };
+    std::deque<Node> nodes;
+    std::unordered_map<std::string, std::int64_t> index;
+
+    auto build_trace = [&](std::int64_t i, const Succ* extra) {
+      trace::Trace t;
+      if (!opt_.want_trace) return t;
+      std::vector<trace::TraceStep> rev;
+      for (std::int64_t j = i; j > 0; j = nodes[static_cast<std::size_t>(j)].parent)
+        rev.push_back({nodes[static_cast<std::size_t>(j)].in_step,
+                       m_.describe_step(nodes[static_cast<std::size_t>(j)].in_step)});
+      t.steps.assign(rev.rbegin(), rev.rend());
+      if (extra)
+        t.steps.push_back({extra->second, m_.describe_step(extra->second)});
+      t.final_state = m_.format_state(
+          extra ? extra->first : nodes[static_cast<std::size_t>(i)].state);
+      return t;
+    };
+
+    {
+      Node root{m_.initial(), -1, {}};
+      const std::string key = kernel::encode_key(root.state);
+      visited_.insert(key);
+      index.emplace(key, 0);
+      nodes.push_back(std::move(root));
+    }
+
+    std::vector<Succ> succs;
+    for (std::int64_t head = 0; head < static_cast<std::int64_t>(nodes.size());
+         ++head) {
+      succs.clear();
+      if (opt_.por)
+        por_successors(m_, nodes[static_cast<std::size_t>(head)].state, succs,
+                       nullptr);
+      else
+        m_.successors(nodes[static_cast<std::size_t>(head)].state, succs);
+      transitions_ += succs.size();
+      if (auto v = check_state(nodes[static_cast<std::size_t>(head)].state,
+                               !succs.empty())) {
+        v->trace = build_trace(head, nullptr);
+        r.violation = std::move(*v);
+        return r;
+      }
+      for (Succ& succ : succs) {
+        if (succ.second.assert_failed) {
+          Violation v;
+          v.kind = ViolationKind::AssertFailed;
+          v.message = "assertion failed: " + m_.describe_step(succ.second);
+          v.trace = build_trace(head, &succ);
+          r.violation = std::move(v);
+          return r;
+        }
+        std::string key = kernel::encode_key(succ.first);
+        if (!visited_.insert(key)) {
+          ++matched_;
+          continue;
+        }
+        if (visited_.size() >= opt_.max_states) {
+          complete_ = false;
+          continue;
+        }
+        index.emplace(std::move(key),
+                      static_cast<std::int64_t>(nodes.size()));
+        nodes.push_back({std::move(succ.first), head, succ.second});
+      }
+    }
+    max_depth_seen_ = 0;  // depth tracking is a DFS notion
+    return r;
+  }
+
+  const Machine& m_;
+  const Options& opt_;
+  VisitedSet visited_;
+  std::uint64_t matched_ = 0;
+  std::uint64_t transitions_ = 0;
+  int max_depth_seen_ = 0;
+  bool complete_ = true;
+};
+
+}  // namespace
+
+Result explore(const kernel::Machine& m, const Options& opt) {
+  Run run(m, opt);
+  return run.go();
+}
+
+}  // namespace pnp::explore

@@ -1,0 +1,78 @@
+// Explicit-state reachability exploration with safety checking.
+//
+// Checks, in one pass over the reachable state space:
+//   * assertion violations (assert statements in the model),
+//   * invalid end states (deadlock: no successor and some process not at a
+//     valid end-state control point),
+//   * a global state invariant (a closed expression over globals/channels
+//     that must hold in every reachable state).
+//
+// DFS is the default; BFS yields shortest counterexamples. Optional
+// partial-order reduction (safe ample sets over purely-local transitions)
+// and double-bit bitstate hashing for very large spaces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "kernel/machine.h"
+#include "trace/trace.h"
+
+namespace pnp::explore {
+
+struct Options {
+  std::uint64_t max_states = 20'000'000;
+  int max_depth = 1'000'000;
+  bool check_deadlock = true;
+  expr::Ref invariant = expr::kNoExpr;  // closed over globals/channels
+  std::string invariant_name;
+  /// Must hold in every TERMINAL state (state without successors). Useful
+  /// for "when the system finishes, X has happened" claims that would need
+  /// fairness as LTL liveness.
+  expr::Ref end_invariant = expr::kNoExpr;
+  std::string end_invariant_name;
+  bool por = false;       // partial-order reduction
+  bool bfs = false;       // breadth-first (shortest counterexamples)
+  bool bitstate = false;  // Bloom-filter visited set (approximate)
+  std::uint64_t bitstate_bytes = std::uint64_t{1} << 24;
+  bool want_trace = true;
+};
+
+enum class ViolationKind : std::uint8_t {
+  AssertFailed,
+  Deadlock,
+  InvariantViolated,
+  EndInvariantViolated,
+  AcceptanceCycle,  // produced by the LTL product search
+};
+
+struct Violation {
+  ViolationKind kind{};
+  std::string message;
+  trace::Trace trace;
+};
+
+struct Stats {
+  std::uint64_t states_stored = 0;
+  std::uint64_t states_matched = 0;
+  std::uint64_t transitions = 0;
+  int max_depth_reached = 0;
+  double seconds = 0.0;
+  /// False when a limit (max_states / max_depth) truncated the search or
+  /// bitstate hashing made it approximate.
+  bool complete = true;
+};
+
+struct Result {
+  std::optional<Violation> violation;
+  Stats stats;
+
+  bool ok() const { return !violation.has_value(); }
+};
+
+const char* violation_kind_name(ViolationKind k);
+
+Result explore(const kernel::Machine& m, const Options& opt = {});
+
+}  // namespace pnp::explore

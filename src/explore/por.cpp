@@ -1,0 +1,58 @@
+#include "explore/por.h"
+
+namespace pnp::explore {
+
+namespace {
+
+bool all_local(const kernel::Machine& m, int pid,
+               const std::vector<kernel::Succ>& succs) {
+  const compile::CompiledProc& cp = m.proc_of(pid);
+  for (const kernel::Succ& s : succs) {
+    const kernel::Step& step = s.second;
+    if (step.partner_pid >= 0) return false;
+    if (!cp.trans[static_cast<std::size_t>(step.trans)].local_only) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int por_choose(const kernel::Machine& m, const kernel::State& s,
+               const OnStackFn* on_stack) {
+  // Atomic regions already restrict interleaving; let the machine handle them.
+  if (s.atomic_pid >= 0) return -1;
+  std::vector<kernel::Succ> tmp;
+  for (int pid = 0; pid < m.n_processes(); ++pid) {
+    tmp.clear();
+    if (!m.successors_of(s, pid, tmp)) continue;
+    if (!all_local(m, pid, tmp)) continue;
+    if (on_stack) {
+      bool cycles_back = false;
+      for (const kernel::Succ& succ : tmp) {
+        if ((*on_stack)(succ.first)) {
+          cycles_back = true;
+          break;
+        }
+      }
+      if (cycles_back) continue;  // C3: would close a cycle on the stack
+    }
+    return pid;
+  }
+  return -1;
+}
+
+void por_expand(const kernel::Machine& m, const kernel::State& s, int choice,
+                std::vector<kernel::Succ>& out) {
+  if (choice < 0) {
+    m.successors(s, out);
+    return;
+  }
+  m.successors_of(s, choice, out);
+}
+
+void por_successors(const kernel::Machine& m, const kernel::State& s,
+                    std::vector<kernel::Succ>& out, const OnStackFn* on_stack) {
+  por_expand(m, s, por_choose(m, s, on_stack), out);
+}
+
+}  // namespace pnp::explore

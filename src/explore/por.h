@@ -1,0 +1,37 @@
+// Partial-order reduction: conservative ample-set computation.
+//
+// A process is an ample candidate in a state when every transition it can
+// take there is `local_only` (touches neither globals nor channels, so it
+// is both invisible to properties and independent of every other process's
+// transitions). The cycle proviso (C3) is enforced by rejecting candidates
+// with a successor already on the DFS stack.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "kernel/machine.h"
+
+namespace pnp::explore {
+
+using OnStackFn = std::function<bool(const kernel::State&)>;
+
+/// Decides the ample set for `s`: the pid of an ample process, or -1 for
+/// full expansion. `on_stack` implements the cycle proviso (C3); pass
+/// nullptr to skip it (BFS, where C3 is not needed for safety-only checking
+/// of our invisible-transition ample sets). The decision is a function of
+/// (state, stack) and must be recorded by the caller so that regenerating a
+/// frame's successors reproduces the exact same list.
+int por_choose(const kernel::Machine& m, const kernel::State& s,
+               const OnStackFn* on_stack);
+
+/// Appends the successors of `s` per a recorded choice (-1 = all processes,
+/// otherwise only that pid's).
+void por_expand(const kernel::Machine& m, const kernel::State& s, int choice,
+                std::vector<kernel::Succ>& out);
+
+/// choose + expand in one call (used by BFS, which never revisits a frame).
+void por_successors(const kernel::Machine& m, const kernel::State& s,
+                    std::vector<kernel::Succ>& out, const OnStackFn* on_stack);
+
+}  // namespace pnp::explore

@@ -1,0 +1,197 @@
+#include "expr/expr.h"
+
+#include "support/hash.h"
+#include "support/panic.h"
+
+namespace pnp::expr {
+
+std::size_t Pool::NodeHash::operator()(const Node& n) const {
+  std::uint64_t h = kFnvOffset;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= kFnvPrime;
+  };
+  mix(static_cast<std::uint64_t>(n.op));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.imm)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.a)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.b)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.c)));
+  return static_cast<std::size_t>(avalanche64(h));
+}
+
+Ref Pool::intern(const Node& n) {
+  auto it = interned_.find(n);
+  if (it != interned_.end()) return it->second;
+  const Ref r = static_cast<Ref>(nodes_.size());
+  nodes_.push_back(n);
+  interned_.emplace(n, r);
+  return r;
+}
+
+Value Pool::eval(Ref r, const EvalEnv& env) const {
+  PNP_CHECK(r != kNoExpr, "eval of null expression");
+  const Node& n = at(r);
+  switch (n.op) {
+    case Op::Const:
+      return n.imm;
+    case Op::Global:
+      PNP_CHECK(static_cast<std::size_t>(n.imm) < env.globals.size(),
+                "global slot out of range");
+      return env.globals[static_cast<std::size_t>(n.imm)];
+    case Op::Local: {
+      const auto slot = static_cast<std::size_t>(n.imm);
+      if (slot < env.params.size()) return env.params[slot];
+      PNP_CHECK(slot - env.params.size() < env.locals.size(),
+                "local slot out of range");
+      return env.locals[slot - env.params.size()];
+    }
+    case Op::SelfPid:
+      return env.self_pid;
+    case Op::Neg:
+      return -eval(n.a, env);
+    case Op::Not:
+      return eval(n.a, env) == 0 ? 1 : 0;
+    case Op::Add:
+      return eval(n.a, env) + eval(n.b, env);
+    case Op::Sub:
+      return eval(n.a, env) - eval(n.b, env);
+    case Op::Mul:
+      return eval(n.a, env) * eval(n.b, env);
+    case Op::Div: {
+      const Value d = eval(n.b, env);
+      PNP_CHECK(d != 0, "division by zero in model expression");
+      return eval(n.a, env) / d;
+    }
+    case Op::Mod: {
+      const Value d = eval(n.b, env);
+      PNP_CHECK(d != 0, "modulo by zero in model expression");
+      return eval(n.a, env) % d;
+    }
+    case Op::And:
+      return (eval(n.a, env) != 0 && eval(n.b, env) != 0) ? 1 : 0;
+    case Op::Or:
+      return (eval(n.a, env) != 0 || eval(n.b, env) != 0) ? 1 : 0;
+    case Op::Eq:
+      return eval(n.a, env) == eval(n.b, env) ? 1 : 0;
+    case Op::Ne:
+      return eval(n.a, env) != eval(n.b, env) ? 1 : 0;
+    case Op::Lt:
+      return eval(n.a, env) < eval(n.b, env) ? 1 : 0;
+    case Op::Le:
+      return eval(n.a, env) <= eval(n.b, env) ? 1 : 0;
+    case Op::Gt:
+      return eval(n.a, env) > eval(n.b, env) ? 1 : 0;
+    case Op::Ge:
+      return eval(n.a, env) >= eval(n.b, env) ? 1 : 0;
+    case Op::ChanLen:
+    case Op::ChanFull:
+    case Op::ChanEmpty: {
+      PNP_CHECK(env.chans != nullptr, "channel query without channel view");
+      const int chan = static_cast<int>(eval(n.a, env));
+      const int len = env.chans->chan_len(chan);
+      if (n.op == Op::ChanLen) return len;
+      const int cap = env.chans->chan_capacity(chan);
+      if (n.op == Op::ChanFull) return len >= cap ? 1 : 0;
+      return len == 0 ? 1 : 0;
+    }
+    case Op::Cond:
+      return eval(n.a, env) != 0 ? eval(n.b, env) : eval(n.c, env);
+  }
+  raise_model_error("unknown expression op");
+}
+
+bool Pool::reads_shared(Ref r) const {
+  if (r == kNoExpr) return false;
+  const Node& n = at(r);
+  switch (n.op) {
+    case Op::Global:
+    case Op::ChanLen:
+    case Op::ChanFull:
+    case Op::ChanEmpty:
+      return true;
+    default:
+      return reads_shared(n.a) || reads_shared(n.b) || reads_shared(n.c);
+  }
+}
+
+namespace {
+
+const char* op_symbol(Op op) {
+  switch (op) {
+    case Op::Add: return "+";
+    case Op::Sub: return "-";
+    case Op::Mul: return "*";
+    case Op::Div: return "/";
+    case Op::Mod: return "%";
+    case Op::And: return "&&";
+    case Op::Or: return "||";
+    case Op::Eq: return "==";
+    case Op::Ne: return "!=";
+    case Op::Lt: return "<";
+    case Op::Le: return "<=";
+    case Op::Gt: return ">";
+    case Op::Ge: return ">=";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string Pool::to_string(Ref r,
+                            const std::function<std::string(int)>* global_name,
+                            const std::function<std::string(int)>* local_name) const {
+  if (r == kNoExpr) return "<none>";
+  const Node& n = at(r);
+  auto rec = [&](Ref x) { return to_string(x, global_name, local_name); };
+  switch (n.op) {
+    case Op::Const:
+      return std::to_string(n.imm);
+    case Op::Global:
+      return global_name ? (*global_name)(n.imm) : "g" + std::to_string(n.imm);
+    case Op::Local:
+      return local_name ? (*local_name)(n.imm) : "l" + std::to_string(n.imm);
+    case Op::SelfPid:
+      return "_pid";
+    case Op::Neg:
+      return "-(" + rec(n.a) + ")";
+    case Op::Not:
+      return "!(" + rec(n.a) + ")";
+    case Op::ChanLen:
+      return "len(" + rec(n.a) + ")";
+    case Op::ChanFull:
+      return "full(" + rec(n.a) + ")";
+    case Op::ChanEmpty:
+      return "empty(" + rec(n.a) + ")";
+    case Op::Cond:
+      return "(" + rec(n.a) + " ? " + rec(n.b) + " : " + rec(n.c) + ")";
+    default:
+      return "(" + rec(n.a) + " " + op_symbol(n.op) + " " + rec(n.b) + ")";
+  }
+}
+
+namespace {
+
+Ex bin(Op op, Ex a, Ex b) {
+  PNP_CHECK(a.pool != nullptr && a.pool == b.pool, "Ex operands from different pools");
+  return Ex{a.pool, a.pool->binary(op, a.ref, b.ref)};
+}
+
+}  // namespace
+
+Ex operator+(Ex a, Ex b) { return bin(Op::Add, a, b); }
+Ex operator-(Ex a, Ex b) { return bin(Op::Sub, a, b); }
+Ex operator*(Ex a, Ex b) { return bin(Op::Mul, a, b); }
+Ex operator/(Ex a, Ex b) { return bin(Op::Div, a, b); }
+Ex operator%(Ex a, Ex b) { return bin(Op::Mod, a, b); }
+Ex operator-(Ex a) { return Ex{a.pool, a.pool->unary(Op::Neg, a.ref)}; }
+Ex operator!(Ex a) { return Ex{a.pool, a.pool->unary(Op::Not, a.ref)}; }
+Ex operator&&(Ex a, Ex b) { return bin(Op::And, a, b); }
+Ex operator||(Ex a, Ex b) { return bin(Op::Or, a, b); }
+Ex operator==(Ex a, Ex b) { return bin(Op::Eq, a, b); }
+Ex operator!=(Ex a, Ex b) { return bin(Op::Ne, a, b); }
+Ex operator<(Ex a, Ex b) { return bin(Op::Lt, a, b); }
+Ex operator<=(Ex a, Ex b) { return bin(Op::Le, a, b); }
+Ex operator>(Ex a, Ex b) { return bin(Op::Gt, a, b); }
+Ex operator>=(Ex a, Ex b) { return bin(Op::Ge, a, b); }
+
+}  // namespace pnp::expr

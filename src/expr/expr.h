@@ -1,0 +1,143 @@
+// Expression layer: values, hash-consed expression trees, and evaluation.
+//
+// Every guard, assignment right-hand side, message field, and property
+// proposition in the modeling IR is an expression over
+//   * global variables (shared state),
+//   * local variables (the evaluating process's frame),
+//   * channel status queries (len / full / empty),
+//   * the evaluating process's pid (`_pid` in Promela terms).
+//
+// Expressions are interned in a Pool and referenced by integer Ref, which
+// keeps the IR compact and makes structural equality trivial.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pnp::expr {
+
+/// All model values are 32-bit signed integers (Promela byte/int/bool/mtype
+/// all embed into this range; channel ids are also values, which is what
+/// lets channels be passed as process parameters).
+using Value = std::int32_t;
+
+using Ref = std::int32_t;
+constexpr Ref kNoExpr = -1;
+
+enum class Op : std::uint8_t {
+  Const,     // imm
+  Global,    // imm = global slot
+  Local,     // imm = local slot in evaluating process frame
+  SelfPid,   // pid of the evaluating process
+  Neg,       // -a
+  Not,       // !a
+  Add, Sub, Mul, Div, Mod,
+  And, Or,   // logical, short-circuit semantics not needed (no side effects)
+  Eq, Ne, Lt, Le, Gt, Ge,
+  ChanLen,    // a = channel-id expression
+  ChanFull,
+  ChanEmpty,
+  Cond,       // a ? b : c
+};
+
+struct Node {
+  Op op{Op::Const};
+  Value imm{0};
+  Ref a{kNoExpr};
+  Ref b{kNoExpr};
+  Ref c{kNoExpr};
+
+  friend bool operator==(const Node&, const Node&) = default;
+};
+
+/// Read-only view of channel occupancy, implemented by the kernel state.
+class ChannelView {
+ public:
+  virtual ~ChannelView() = default;
+  virtual int chan_len(int chan) const = 0;
+  virtual int chan_capacity(int chan) const = 0;
+};
+
+/// Everything an expression may read during evaluation.
+///
+/// A process frame is split into immutable `params` (spawn arguments, e.g.
+/// the channel ids a port was wired with -- kept out of the state vector)
+/// followed by mutable `locals`; Local slot i resolves to params[i] when
+/// i < params.size(), else locals[i - params.size()].
+struct EvalEnv {
+  std::span<const Value> globals;
+  std::span<const Value> locals;
+  std::span<const Value> params;
+  const ChannelView* chans = nullptr;
+  Value self_pid = -1;
+};
+
+/// Interning arena for expression nodes.
+class Pool {
+ public:
+  Ref intern(const Node& n);
+
+  const Node& at(Ref r) const { return nodes_[static_cast<std::size_t>(r)]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  // -- convenience constructors -------------------------------------------
+  Ref konst(Value v) { return intern({Op::Const, v, kNoExpr, kNoExpr, kNoExpr}); }
+  Ref global(int slot) { return intern({Op::Global, slot, kNoExpr, kNoExpr, kNoExpr}); }
+  Ref local(int slot) { return intern({Op::Local, slot, kNoExpr, kNoExpr, kNoExpr}); }
+  Ref self_pid() { return intern({Op::SelfPid, 0, kNoExpr, kNoExpr, kNoExpr}); }
+  Ref unary(Op op, Ref a) { return intern({op, 0, a, kNoExpr, kNoExpr}); }
+  Ref binary(Op op, Ref a, Ref b) { return intern({op, 0, a, b, kNoExpr}); }
+  Ref cond(Ref c, Ref t, Ref f) { return intern({Op::Cond, 0, c, t, f}); }
+  Ref chan_query(Op op, Ref chan) { return intern({op, 0, chan, kNoExpr, kNoExpr}); }
+
+  /// Evaluates `r` under `env`. Division/modulo by zero raises ModelError.
+  Value eval(Ref r, const EvalEnv& env) const;
+
+  /// True if evaluating `r` reads any global variable or channel status
+  /// (used by the partial-order reduction to classify transitions).
+  bool reads_shared(Ref r) const;
+
+  /// Renders the expression; `global_name`/`local_name` may be null, in
+  /// which case slots print as g3 / l2.
+  std::string to_string(Ref r,
+                        const std::function<std::string(int)>* global_name = nullptr,
+                        const std::function<std::string(int)>* local_name = nullptr) const;
+
+ private:
+  struct NodeHash {
+    std::size_t operator()(const Node& n) const;
+  };
+  std::vector<Node> nodes_;
+  std::unordered_map<Node, Ref, NodeHash> interned_;
+};
+
+/// Operator-overloaded wrapper so model-building code reads like the
+/// Promela it mirrors: `len(q) < k(5) && g(turn) == k(BLUE)`.
+struct Ex {
+  Pool* pool = nullptr;
+  Ref ref = kNoExpr;
+};
+
+inline Ex wrap(Pool& p, Ref r) { return Ex{&p, r}; }
+
+Ex operator+(Ex a, Ex b);
+Ex operator-(Ex a, Ex b);
+Ex operator*(Ex a, Ex b);
+Ex operator/(Ex a, Ex b);
+Ex operator%(Ex a, Ex b);
+Ex operator-(Ex a);
+Ex operator!(Ex a);
+Ex operator&&(Ex a, Ex b);
+Ex operator||(Ex a, Ex b);
+Ex operator==(Ex a, Ex b);
+Ex operator!=(Ex a, Ex b);
+Ex operator<(Ex a, Ex b);
+Ex operator<=(Ex a, Ex b);
+Ex operator>(Ex a, Ex b);
+Ex operator>=(Ex a, Ex b);
+
+}  // namespace pnp::expr

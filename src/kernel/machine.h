@@ -1,0 +1,82 @@
+// Machine: a compiled system ready for execution -- owns the compiled
+// proctypes and produces initial states and successors with full Promela
+// interleaving semantics (rendezvous handshakes, buffered channels, `else`,
+// atomic regions, sorted sends, random/copy receives).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "kernel/state.h"
+#include "model/system.h"
+
+namespace pnp::kernel {
+
+/// What a single interleaving step did, for traces and MSC rendering.
+struct StepEvent {
+  enum class Kind : std::uint8_t { Local, Send, Recv, Handshake };
+  Kind kind{Kind::Local};
+  int chan{-1};
+  std::vector<Value> msg;  // message moved by this step, if any
+};
+
+struct Step {
+  int pid{-1};
+  int trans{-1};           // index into the executing proc's transition list
+  int partner_pid{-1};     // rendezvous receiver, if any
+  int partner_trans{-1};
+  StepEvent event;
+  bool assert_failed{false};
+};
+
+using Succ = std::pair<State, Step>;
+
+class Machine {
+ public:
+  /// Compiles `sys`; the spec must outlive the machine.
+  explicit Machine(const model::SystemSpec& sys);
+
+  /// Uses `precompiled` proctypes (index-aligned with sys.proctypes)
+  /// instead of recompiling; used by the incremental model generator.
+  Machine(const model::SystemSpec& sys,
+          std::vector<compile::CompiledProc> precompiled);
+
+  const model::SystemSpec& spec() const { return *sys_; }
+  const Layout& layout() const { return layout_; }
+  const std::vector<compile::CompiledProc>& compiled() const { return procs_; }
+  int n_processes() const { return static_cast<int>(sys_->processes.size()); }
+  const compile::CompiledProc& proc_of(int pid) const;
+  const std::string& proc_name(int pid) const;
+
+  State initial() const;
+
+  /// Appends all successors of `s` to `out`. A successor whose Step has
+  /// `assert_failed` set represents an assertion violation discovered while
+  /// executing that step.
+  void successors(const State& s, std::vector<Succ>& out) const;
+
+  /// Successors produced by process `pid` only (used by POR and the atomic
+  /// rule). Returns true if at least one was produced.
+  bool successors_of(const State& s, int pid, std::vector<Succ>& out) const;
+
+  /// True if every process sits at a valid end-state pc (and, per Promela's
+  /// strict -q interpretation, which we adopt, all buffered channels are
+  /// empty is NOT required).
+  bool is_valid_end(const State& s) const;
+
+  /// Evaluates a closed expression (globals + channels only) on `s`.
+  Value eval_global(expr::Ref e, const State& s) const;
+
+  std::string describe_step(const Step& step) const;
+  std::string format_state(const State& s) const;
+
+ private:
+  friend class SuccGen;
+  const model::SystemSpec* sys_;
+  std::vector<compile::CompiledProc> procs_;
+  Layout layout_;
+};
+
+}  // namespace pnp::kernel

@@ -1,0 +1,123 @@
+#include "kernel/state.h"
+
+#include <cstring>
+
+#include "support/panic.h"
+
+namespace pnp::kernel {
+
+Layout::Layout(const model::SystemSpec& sys) {
+  n_globals_ = static_cast<int>(sys.globals.size());
+  int at = n_globals_;
+  procs_.reserve(sys.processes.size());
+  for (const model::ProcessInst& inst : sys.processes) {
+    const model::ProcType& pt =
+        sys.proctypes[static_cast<std::size_t>(inst.proctype)];
+    ProcSlot p;
+    p.base = at;
+    p.n_params = static_cast<int>(pt.params.size());
+    p.n_locals = static_cast<int>(pt.locals.size());
+    at += 1 + p.n_locals;  // pc + mutable locals (params stay out of state)
+    procs_.push_back(p);
+  }
+  chans_.reserve(sys.channels.size());
+  for (const model::ChannelDecl& cd : sys.channels) {
+    ChanSlot c;
+    c.capacity = cd.capacity;
+    c.arity = cd.arity;
+    c.lossy = cd.lossy;
+    if (cd.capacity > 0) {
+      c.base = at;
+      at += 1 + cd.capacity * cd.arity;  // len + slots
+    }
+    chans_.push_back(c);
+  }
+  total_ = at;
+}
+
+void Layout::chan_push(State& s, int c, const Value* fields) const {
+  const ChanSlot& ch = chans_[static_cast<std::size_t>(c)];
+  PNP_CHECK(ch.base >= 0, "push on rendezvous channel");
+  Value& len = s.mem[static_cast<std::size_t>(ch.base)];
+  PNP_CHECK(len < ch.capacity, "push on full channel");
+  Value* dst = s.mem.data() + ch.base + 1 + len * ch.arity;
+  std::memcpy(dst, fields, sizeof(Value) * static_cast<std::size_t>(ch.arity));
+  ++len;
+}
+
+void Layout::chan_push_sorted(State& s, int c, const Value* fields) const {
+  const ChanSlot& ch = chans_[static_cast<std::size_t>(c)];
+  PNP_CHECK(ch.base >= 0, "push on rendezvous channel");
+  Value& len = s.mem[static_cast<std::size_t>(ch.base)];
+  PNP_CHECK(len < ch.capacity, "push on full channel");
+  Value* base = s.mem.data() + ch.base + 1;
+  // find first message lexicographically greater than `fields`
+  int pos = 0;
+  while (pos < len) {
+    const Value* m = base + pos * ch.arity;
+    bool greater = false;
+    for (int f = 0; f < ch.arity; ++f) {
+      if (m[f] != fields[f]) {
+        greater = m[f] > fields[f];
+        break;
+      }
+    }
+    if (greater) break;
+    ++pos;
+  }
+  // shift tail back one slot
+  std::memmove(base + (pos + 1) * ch.arity, base + pos * ch.arity,
+               sizeof(Value) * static_cast<std::size_t>((len - pos) * ch.arity));
+  std::memcpy(base + pos * ch.arity, fields,
+              sizeof(Value) * static_cast<std::size_t>(ch.arity));
+  ++len;
+}
+
+void Layout::chan_erase(State& s, int c, int i) const {
+  const ChanSlot& ch = chans_[static_cast<std::size_t>(c)];
+  Value& len = s.mem[static_cast<std::size_t>(ch.base)];
+  PNP_CHECK(i >= 0 && i < len, "erase out of range");
+  Value* base = s.mem.data() + ch.base + 1;
+  std::memmove(base + i * ch.arity, base + (i + 1) * ch.arity,
+               sizeof(Value) *
+                   static_cast<std::size_t>((len - i - 1) * ch.arity));
+  // zero the freed slot so equal queue contents encode identically
+  std::memset(base + (len - 1) * ch.arity, 0,
+              sizeof(Value) * static_cast<std::size_t>(ch.arity));
+  --len;
+}
+
+State Layout::initial(const model::SystemSpec& sys,
+                      const std::vector<int>&) const {
+  State s;
+  s.mem.assign(static_cast<std::size_t>(total_), 0);
+  for (std::size_t g = 0; g < sys.globals.size(); ++g)
+    s.mem[g] = sys.globals[g].init;
+  // pcs and frames are filled by the Machine (it knows compiled entries)
+  return s;
+}
+
+std::string encode_key(const State& s) {
+  // Byte-compressed canonical encoding: almost every slot holds a tiny
+  // value (pc, signal, pid, counter), so values in [-126, 127] take one
+  // byte; 0xFE escapes to a full 4-byte little-endian word. The mapping is
+  // injective per position, so equal keys imply equal states.
+  std::string key;
+  key.reserve(s.mem.size() + 8);
+  for (Value v : s.mem) {
+    if (v >= -126 && v <= 127) {
+      key.push_back(static_cast<char>(static_cast<unsigned char>(v + 126)));
+    } else {
+      key.push_back(static_cast<char>(0xFE));
+      const auto u = static_cast<std::uint32_t>(v);
+      key.push_back(static_cast<char>(u & 0xff));
+      key.push_back(static_cast<char>((u >> 8) & 0xff));
+      key.push_back(static_cast<char>((u >> 16) & 0xff));
+      key.push_back(static_cast<char>((u >> 24) & 0xff));
+    }
+  }
+  key.push_back(static_cast<char>(s.atomic_pid & 0xff));
+  return key;
+}
+
+}  // namespace pnp::kernel

@@ -1,0 +1,407 @@
+#include <algorithm>
+#include <sstream>
+
+#include "kernel/machine.h"
+#include "support/panic.h"
+
+namespace pnp::kernel {
+
+namespace {
+
+using compile::CompiledProc;
+using compile::OpKind;
+using compile::Transition;
+using model::RecvArg;
+using model::RecvArgKind;
+
+class ChanView final : public expr::ChannelView {
+ public:
+  ChanView(const Layout& lay, const State& s) : lay_(lay), s_(s) {}
+
+  int chan_len(int chan) const override { return lay_.chan_len(s_, chan); }
+  int chan_capacity(int chan) const override {
+    return lay_.chan_capacity(chan);
+  }
+
+ private:
+  const Layout& lay_;
+  const State& s_;
+};
+
+}  // namespace
+
+Machine::Machine(const model::SystemSpec& sys)
+    : sys_(&sys), procs_(compile::compile(sys)), layout_(sys) {}
+
+Machine::Machine(const model::SystemSpec& sys,
+                 std::vector<compile::CompiledProc> precompiled)
+    : sys_(&sys), procs_(std::move(precompiled)), layout_(sys) {
+  PNP_CHECK(procs_.size() == sys.proctypes.size(),
+            "precompiled proctype count mismatch");
+}
+
+const CompiledProc& Machine::proc_of(int pid) const {
+  const model::ProcessInst& inst =
+      sys_->processes[static_cast<std::size_t>(pid)];
+  return procs_[static_cast<std::size_t>(inst.proctype)];
+}
+
+const std::string& Machine::proc_name(int pid) const {
+  return sys_->processes[static_cast<std::size_t>(pid)].name;
+}
+
+State Machine::initial() const {
+  State s = layout_.initial(*sys_);
+  for (int pid = 0; pid < n_processes(); ++pid) {
+    const CompiledProc& cp = proc_of(pid);
+    layout_.set_pc(s, pid, cp.entry);
+    // parameters are immutable and live in the instance table; only the
+    // mutable locals occupy state slots
+    for (std::size_t i = static_cast<std::size_t>(cp.n_params);
+         i < cp.frame_init.size(); ++i)
+      layout_.set_frame_slot(s, pid, static_cast<int>(i), cp.frame_init[i]);
+  }
+  return s;
+}
+
+namespace {
+
+/// One successor-generation pass over a single state.
+class SuccGen {
+ public:
+  SuccGen(const Machine& m, const State& s, std::vector<Succ>& out)
+      : m_(m),
+        sys_(m.spec()),
+        lay_(m.layout()),
+        s_(s),
+        view_(lay_, s),
+        out_(out) {}
+
+  /// Expands one process; returns true if it produced any successor.
+  bool expand(int pid) {
+    const CompiledProc& cp = m_.proc_of(pid);
+    const int pc = lay_.pc(s_, pid);
+    const std::vector<int>& cands = cp.out[static_cast<std::size_t>(pc)];
+    bool any = false;
+    int else_ti = -1;
+    for (int ti : cands) {
+      const Transition& t = cp.trans[static_cast<std::size_t>(ti)];
+      if (t.op == OpKind::Else) {
+        else_ti = ti;
+        continue;
+      }
+      if (try_exec(pid, ti, t)) any = true;
+    }
+    if (!any && else_ti >= 0) {
+      emit_local(pid, else_ti, cp.trans[static_cast<std::size_t>(else_ti)]);
+      any = true;
+    }
+    return any;
+  }
+
+ private:
+  expr::EvalEnv env(int pid) const {
+    const std::vector<Value>& args =
+        sys_.processes[static_cast<std::size_t>(pid)].args;
+    return expr::EvalEnv{lay_.globals(s_), lay_.locals(s_, pid),
+                         {args.data(), args.size()},
+                         &view_,
+                         static_cast<Value>(pid)};
+  }
+
+  int next_atomic(int pid, int dst, int partner_pid = -1,
+                  int partner_dst = -1) const {
+    if (m_.proc_of(pid).atomic_at[static_cast<std::size_t>(dst)]) return pid;
+    if (partner_pid >= 0 &&
+        m_.proc_of(partner_pid).atomic_at[static_cast<std::size_t>(partner_dst)])
+      return partner_pid;
+    return -1;
+  }
+
+  void finish(State& ns, int pid, const Transition& t) {
+    lay_.set_pc(ns, pid, t.dst);
+    ns.atomic_pid = next_atomic(pid, t.dst);
+  }
+
+  void emit_local(int pid, int ti, const Transition& t,
+                  const model::Lhs* assign_to = nullptr, Value assign_val = 0,
+                  StepEvent event = {}, bool assert_failed = false) {
+    State ns = s_;
+    if (assign_to) {
+      if (assign_to->kind == model::LhsKind::Local)
+        lay_.set_frame_slot(ns, pid, assign_to->slot, assign_val);
+      else
+        lay_.set_global(ns, assign_to->slot, assign_val);
+    }
+    finish(ns, pid, t);
+    Step step;
+    step.pid = pid;
+    step.trans = ti;
+    step.event = std::move(event);
+    step.assert_failed = assert_failed;
+    out_.emplace_back(std::move(ns), std::move(step));
+  }
+
+  bool match_pattern(const std::vector<RecvArg>& args, const Value* fields,
+                     const expr::EvalEnv& receiver_env) const {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i].kind == RecvArgKind::Match &&
+          sys_.exprs.eval(args[i].match, receiver_env) !=
+              fields[i])
+        return false;
+    }
+    return true;
+  }
+
+  void bind_pattern(State& ns, int pid, const std::vector<RecvArg>& args,
+                    const Value* fields) const {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i].kind != RecvArgKind::Bind) continue;
+      const model::Lhs& lhs = args[i].lhs;
+      if (lhs.kind == model::LhsKind::Local)
+        lay_.set_frame_slot(ns, pid, lhs.slot, fields[i]);
+      else
+        lay_.set_global(ns, lhs.slot, fields[i]);
+    }
+  }
+
+  int resolve_chan(expr::Ref chan_expr, const expr::EvalEnv& e) const {
+    const Value id = sys_.exprs.eval(chan_expr, e);
+    PNP_CHECK(id >= 0 && id < static_cast<Value>(sys_.channels.size()),
+              "send/recv on invalid channel id " + std::to_string(id));
+    return static_cast<int>(id);
+  }
+
+  bool try_exec(int pid, int ti, const Transition& t) {
+    const expr::EvalEnv e = env(pid);
+    switch (t.op) {
+      case OpKind::Noop:
+        emit_local(pid, ti, t);
+        return true;
+      case OpKind::Guard: {
+        if (sys_.exprs.eval(t.expr, e) == 0) return false;
+        emit_local(pid, ti, t);
+        return true;
+      }
+      case OpKind::Assign: {
+        const Value v = sys_.exprs.eval(t.expr, e);
+        emit_local(pid, ti, t, &t.lhs, v);
+        return true;
+      }
+      case OpKind::Assert: {
+        const bool ok = sys_.exprs.eval(t.expr, e) != 0;
+        emit_local(pid, ti, t, nullptr, 0, {}, /*assert_failed=*/!ok);
+        return true;
+      }
+      case OpKind::Send:
+        return exec_send(pid, ti, t, e);
+      case OpKind::Recv:
+        return exec_recv(pid, ti, t, e);
+      case OpKind::Else:
+        return false;  // handled by caller
+    }
+    return false;
+  }
+
+  bool exec_send(int pid, int ti, const Transition& t,
+                 const expr::EvalEnv& e) {
+    const int chan = resolve_chan(t.chan, e);
+    const int arity = lay_.chan_arity(chan);
+    PNP_CHECK(static_cast<int>(t.fields.size()) == arity,
+              "send arity mismatch on channel " +
+                  sys_.channels[static_cast<std::size_t>(chan)].name);
+    Value fields[16];
+    PNP_CHECK(arity <= 16, "channel arity > 16 unsupported");
+    for (int i = 0; i < arity; ++i)
+      fields[i] =
+          sys_.exprs.eval(t.fields[static_cast<std::size_t>(i)], e);
+
+    if (lay_.chan_capacity(chan) == 0)
+      return exec_rendezvous(pid, ti, t, chan, fields, arity);
+
+    const bool full = lay_.chan_len(s_, chan) >= lay_.chan_capacity(chan);
+    if (full && !lay_.chan_lossy(chan)) return false;
+
+    State ns = s_;
+    if (!full) {
+      if (t.sorted)
+        lay_.chan_push_sorted(ns, chan, fields);
+      else
+        lay_.chan_push(ns, chan, fields);
+    }
+    // else: lossy channel drops the message silently.
+    finish(ns, pid, t);
+    Step step;
+    step.pid = pid;
+    step.trans = ti;
+    step.event = {StepEvent::Kind::Send, chan,
+                  std::vector<Value>(fields, fields + arity)};
+    out_.emplace_back(std::move(ns), std::move(step));
+    return true;
+  }
+
+  bool exec_rendezvous(int pid, int ti, const Transition& t, int chan,
+                       const Value* fields, int arity) {
+    bool any = false;
+    for (int pid2 = 0; pid2 < m_.n_processes(); ++pid2) {
+      if (pid2 == pid) continue;
+      const CompiledProc& cp2 = m_.proc_of(pid2);
+      const int pc2 = lay_.pc(s_, pid2);
+      const expr::EvalEnv e2 = env(pid2);
+      for (int ti2 : cp2.out[static_cast<std::size_t>(pc2)]) {
+        const Transition& t2 = cp2.trans[static_cast<std::size_t>(ti2)];
+        if (t2.op != OpKind::Recv) continue;
+        if (resolve_chan(t2.chan, e2) != chan) continue;
+        PNP_CHECK(static_cast<int>(t2.args.size()) == arity,
+                  "rendezvous pattern arity mismatch");
+        if (!match_pattern(t2.args, fields, e2)) continue;
+
+        State ns = s_;
+        bind_pattern(ns, pid2, t2.args, fields);
+        lay_.set_pc(ns, pid, t.dst);
+        lay_.set_pc(ns, pid2, t2.dst);
+        ns.atomic_pid = next_atomic(pid, t.dst, pid2, t2.dst);
+        Step step;
+        step.pid = pid;
+        step.trans = ti;
+        step.partner_pid = pid2;
+        step.partner_trans = ti2;
+        step.event = {StepEvent::Kind::Handshake, chan,
+                      std::vector<Value>(fields, fields + arity)};
+        out_.emplace_back(std::move(ns), std::move(step));
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  bool exec_recv(int pid, int ti, const Transition& t,
+                 const expr::EvalEnv& e) {
+    const int chan = resolve_chan(t.chan, e);
+    if (lay_.chan_capacity(chan) == 0) return false;  // rendezvous: passive
+    const int arity = lay_.chan_arity(chan);
+    PNP_CHECK(static_cast<int>(t.args.size()) == arity,
+              "recv arity mismatch on channel " +
+                  sys_.channels[static_cast<std::size_t>(chan)].name);
+
+    const int len = lay_.chan_len(s_, chan);
+    if (len == 0) return false;
+
+    int idx = -1;
+    if (t.random) {
+      for (int i = 0; i < len; ++i) {
+        if (match_pattern(t.args, lay_.chan_msg(s_, chan, i), e)) {
+          idx = i;
+          break;
+        }
+      }
+    } else if (match_pattern(t.args, lay_.chan_msg(s_, chan, 0), e)) {
+      idx = 0;
+    }
+    if (idx < 0) return false;
+
+    Value fields[16];
+    std::copy_n(lay_.chan_msg(s_, chan, idx), arity, fields);
+    State ns = s_;
+    bind_pattern(ns, pid, t.args, fields);
+    if (!t.copy) lay_.chan_erase(ns, chan, idx);
+    finish(ns, pid, t);
+    Step step;
+    step.pid = pid;
+    step.trans = ti;
+    step.event = {StepEvent::Kind::Recv, chan,
+                  std::vector<Value>(fields, fields + arity)};
+    out_.emplace_back(std::move(ns), std::move(step));
+    return true;
+  }
+
+  const Machine& m_;
+  const model::SystemSpec& sys_;
+  const Layout& lay_;
+  const State& s_;
+  ChanView view_;
+  std::vector<Succ>& out_;
+};
+
+}  // namespace
+
+bool Machine::successors_of(const State& s, int pid,
+                            std::vector<Succ>& out) const {
+  SuccGen gen(*this, s, out);
+  return gen.expand(pid);
+}
+
+void Machine::successors(const State& s, std::vector<Succ>& out) const {
+  if (s.atomic_pid >= 0) {
+    // The atomic holder keeps exclusive control while it can move;
+    // atomicity is lost (full interleaving resumes) when it blocks.
+    if (successors_of(s, s.atomic_pid, out)) return;
+  }
+  SuccGen gen(*this, s, out);
+  for (int pid = 0; pid < n_processes(); ++pid) gen.expand(pid);
+}
+
+bool Machine::is_valid_end(const State& s) const {
+  for (int pid = 0; pid < n_processes(); ++pid) {
+    const compile::CompiledProc& cp = proc_of(pid);
+    if (!cp.valid_end[static_cast<std::size_t>(layout_.pc(s, pid))])
+      return false;
+  }
+  return true;
+}
+
+Value Machine::eval_global(expr::Ref e, const State& s) const {
+  ChanView view(layout_, s);
+  expr::EvalEnv env{layout_.globals(s), {}, {}, &view, -1};
+  return sys_->exprs.eval(e, env);
+}
+
+std::string Machine::describe_step(const Step& step) const {
+  if (step.pid < 0) return "<none>";
+  const compile::CompiledProc& cp = proc_of(step.pid);
+  std::string out = proc_name(step.pid) + ": " +
+                    compile::describe(*sys_, cp,
+                                      cp.trans[static_cast<std::size_t>(step.trans)]);
+  if (step.partner_pid >= 0) {
+    const compile::CompiledProc& cp2 = proc_of(step.partner_pid);
+    out += "  <handshake> " + proc_name(step.partner_pid) + ": " +
+           compile::describe(
+               *sys_, cp2,
+               cp2.trans[static_cast<std::size_t>(step.partner_trans)]);
+  }
+  if (step.assert_failed) out += "  [ASSERTION FAILED]";
+  return out;
+}
+
+std::string Machine::format_state(const State& s) const {
+  std::ostringstream os;
+  os << "globals:";
+  for (std::size_t i = 0; i < sys_->globals.size(); ++i)
+    os << " " << sys_->globals[i].name << "="
+       << layout_.global(s, static_cast<int>(i));
+  os << "\nprocs:";
+  for (int pid = 0; pid < n_processes(); ++pid)
+    os << " " << proc_name(pid) << "@" << layout_.pc(s, pid);
+  os << "\nchans:";
+  for (std::size_t c = 0; c < sys_->channels.size(); ++c) {
+    const int ci = static_cast<int>(c);
+    if (layout_.chan_capacity(ci) == 0) continue;  // rendezvous: never holds
+    os << " " << sys_->channels[c].name << "=[";
+    const int len = layout_.chan_len(s, ci);
+    for (int i = 0; i < len; ++i) {
+      if (i) os << " ";
+      os << "(";
+      const Value* msg = layout_.chan_msg(s, ci, i);
+      for (int f = 0; f < layout_.chan_arity(ci); ++f) {
+        if (f) os << ",";
+        os << msg[f];
+      }
+      os << ")";
+    }
+    os << "]";
+  }
+  if (s.atomic_pid >= 0) os << "\natomic: " << proc_name(s.atomic_pid);
+  return os.str();
+}
+
+}  // namespace pnp::kernel

@@ -1,0 +1,249 @@
+#include "ltl/buchi.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/panic.h"
+
+namespace pnp::ltl {
+
+namespace {
+
+/// Tableau node of the GPVW construction.
+struct GNode {
+  int id{0};
+  std::set<int> incoming;
+  std::set<FRef> new_obl;  // "New": obligations still to process
+  std::set<FRef> old;      // processed obligations (hold now)
+  std::set<FRef> next;     // obligations for the next position
+};
+
+class Gpvw {
+ public:
+  explicit Gpvw(FormulaPool& pool) : pool_(pool) {}
+
+  std::vector<GNode> run(FRef formula) {
+    GNode init;
+    init.id = next_id_++;
+    init.incoming.insert(0);  // 0 = virtual initial node
+    init.new_obl.insert(formula);
+    expand(std::move(init));
+    return std::move(done_);
+  }
+
+ private:
+  void expand(GNode q) {
+    if (q.new_obl.empty()) {
+      for (GNode& r : done_) {
+        if (r.old == q.old && r.next == q.next) {
+          r.incoming.insert(q.incoming.begin(), q.incoming.end());
+          return;
+        }
+      }
+      GNode succ;
+      succ.id = next_id_++;
+      succ.incoming.insert(q.id);
+      succ.new_obl = q.next;
+      done_.push_back(std::move(q));
+      expand(std::move(succ));
+      return;
+    }
+    const FRef f = *q.new_obl.begin();
+    q.new_obl.erase(q.new_obl.begin());
+    const FNode& n = pool_.at(f);
+    switch (n.kind) {
+      case FKind::False:
+        return;  // contradiction: drop this node
+      case FKind::True:
+        expand(std::move(q));
+        return;
+      case FKind::Prop: {
+        // contradiction if the dual literal is already required
+        const FRef dual = pool_.prop(n.prop, !n.negated);
+        if (q.old.contains(dual)) return;
+        q.old.insert(f);
+        expand(std::move(q));
+        return;
+      }
+      case FKind::And: {
+        if (!q.old.contains(n.a)) q.new_obl.insert(n.a);
+        if (!q.old.contains(n.b)) q.new_obl.insert(n.b);
+        q.old.insert(f);
+        expand(std::move(q));
+        return;
+      }
+      case FKind::Or: {
+        GNode q1 = q;
+        q1.id = next_id_++;
+        if (!q1.old.contains(n.a)) q1.new_obl.insert(n.a);
+        q1.old.insert(f);
+        GNode q2 = std::move(q);
+        q2.id = next_id_++;
+        if (!q2.old.contains(n.b)) q2.new_obl.insert(n.b);
+        q2.old.insert(f);
+        expand(std::move(q1));
+        expand(std::move(q2));
+        return;
+      }
+      case FKind::Until: {
+        // a U b  =  b  ||  (a && X(a U b))
+        GNode q1 = q;
+        q1.id = next_id_++;
+        if (!q1.old.contains(n.a)) q1.new_obl.insert(n.a);
+        q1.next.insert(f);
+        q1.old.insert(f);
+        GNode q2 = std::move(q);
+        q2.id = next_id_++;
+        if (!q2.old.contains(n.b)) q2.new_obl.insert(n.b);
+        q2.old.insert(f);
+        expand(std::move(q1));
+        expand(std::move(q2));
+        return;
+      }
+      case FKind::Release: {
+        // a R b  =  (a && b)  ||  (b && X(a R b))
+        GNode q1 = q;
+        q1.id = next_id_++;
+        if (!q1.old.contains(n.b)) q1.new_obl.insert(n.b);
+        q1.next.insert(f);
+        q1.old.insert(f);
+        GNode q2 = std::move(q);
+        q2.id = next_id_++;
+        if (!q2.old.contains(n.a)) q2.new_obl.insert(n.a);
+        if (!q2.old.contains(n.b)) q2.new_obl.insert(n.b);
+        q2.old.insert(f);
+        expand(std::move(q1));
+        expand(std::move(q2));
+        return;
+      }
+      case FKind::Next: {
+        q.old.insert(f);
+        q.next.insert(n.a);
+        expand(std::move(q));
+        return;
+      }
+    }
+  }
+
+  FormulaPool& pool_;
+  std::vector<GNode> done_;
+  int next_id_ = 1;  // 0 is the virtual initial node
+};
+
+}  // namespace
+
+BuchiAutomaton build_buchi(FormulaPool& pool, FRef formula,
+                           const PropertyContext* ctx) {
+  Gpvw gpvw(pool);
+  const std::vector<GNode> nodes = gpvw.run(formula);
+
+  // Generalized acceptance sets: one per Until subformula g = a U b,
+  //   F_g = { q : g not in old(q), or b in old(q) }.
+  const std::vector<FRef> untils = pool.until_subformulas(formula);
+  const int k = static_cast<int>(untils.size());
+
+  auto in_set = [&](const GNode& q, int set_idx) {
+    const FRef g = untils[static_cast<std::size_t>(set_idx)];
+    if (!q.old.contains(g)) return true;
+    const FNode& gn = pool.at(g);
+    return q.old.contains(gn.b);
+  };
+
+  // Map GPVW node id -> dense index.
+  std::map<int, int> dense;
+  for (std::size_t i = 0; i < nodes.size(); ++i) dense[nodes[i].id] = static_cast<int>(i);
+
+  auto label_of = [&](const GNode& q) {
+    std::vector<Literal> lits;
+    for (FRef f : q.old) {
+      const FNode& n = pool.at(f);
+      if (n.kind == FKind::Prop) lits.push_back({n.prop, n.negated});
+    }
+    return lits;
+  };
+
+  // GBA adjacency (dense indices): edge p -> q iff p in incoming(q).
+  const int nq = static_cast<int>(nodes.size());
+  std::vector<std::vector<int>> gba_out(static_cast<std::size_t>(nq));
+  std::vector<bool> gba_init(static_cast<std::size_t>(nq), false);
+  for (int qi = 0; qi < nq; ++qi) {
+    for (int src : nodes[static_cast<std::size_t>(qi)].incoming) {
+      if (src == 0) {
+        gba_init[static_cast<std::size_t>(qi)] = true;
+      } else {
+        gba_out[static_cast<std::size_t>(dense.at(src))].push_back(qi);
+      }
+    }
+  }
+
+  BuchiAutomaton ba;
+  ba.n_acceptance_sets = k;
+  ba.formula_text = pool.to_string(formula, ctx);
+
+  if (k == 0) {
+    // No Until subformulas: every infinite run is accepting.
+    ba.states.resize(static_cast<std::size_t>(nq));
+    for (int qi = 0; qi < nq; ++qi) {
+      BuchiState& s = ba.states[static_cast<std::size_t>(qi)];
+      s.label = label_of(nodes[static_cast<std::size_t>(qi)]);
+      s.out = gba_out[static_cast<std::size_t>(qi)];
+      s.accepting = true;
+      s.initial = gba_init[static_cast<std::size_t>(qi)];
+    }
+    return ba;
+  }
+
+  // Counter degeneralization: layers 0..k; layer k is accepting and acts
+  // like layer 0 for outgoing edges. advance(i, q) skips through every
+  // acceptance set that q belongs to, starting at i.
+  auto advance = [&](int layer, int qi) {
+    int j = layer;
+    while (j < k && in_set(nodes[static_cast<std::size_t>(qi)], j)) ++j;
+    return j;
+  };
+  const int layers = k + 1;
+  auto state_id = [&](int qi, int layer) { return qi * layers + layer; };
+
+  ba.states.resize(static_cast<std::size_t>(nq * layers));
+  for (int qi = 0; qi < nq; ++qi) {
+    for (int layer = 0; layer <= k; ++layer) {
+      BuchiState& s = ba.states[static_cast<std::size_t>(state_id(qi, layer))];
+      s.label = label_of(nodes[static_cast<std::size_t>(qi)]);
+      s.accepting = (layer == k);
+      const int base = (layer == k) ? 0 : layer;
+      for (int succ : gba_out[static_cast<std::size_t>(qi)])
+        s.out.push_back(state_id(succ, advance(base, succ)));
+    }
+    if (gba_init[static_cast<std::size_t>(qi)])
+      ba.states[static_cast<std::size_t>(state_id(qi, advance(0, qi)))].initial =
+          true;
+  }
+  return ba;
+}
+
+std::string to_string(const BuchiAutomaton& ba, const PropertyContext* ctx) {
+  std::ostringstream os;
+  os << "Buchi automaton for: " << ba.formula_text << "\n";
+  os << "states: " << ba.states.size()
+     << ", acceptance sets: " << ba.n_acceptance_sets << "\n";
+  for (std::size_t i = 0; i < ba.states.size(); ++i) {
+    const BuchiState& s = ba.states[i];
+    os << "  q" << i << (s.initial ? " [init]" : "")
+       << (s.accepting ? " [accept]" : "") << "  label: ";
+    if (s.label.empty()) os << "true";
+    for (std::size_t j = 0; j < s.label.size(); ++j) {
+      if (j) os << " && ";
+      if (s.label[j].negated) os << "!";
+      os << (ctx ? ctx->name(s.label[j].prop)
+                 : "p" + std::to_string(s.label[j].prop));
+    }
+    os << "  ->";
+    for (int t : s.out) os << " q" << t;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pnp::ltl

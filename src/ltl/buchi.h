@@ -1,0 +1,41 @@
+// LTL -> Büchi automaton translation (Gerth/Peled/Vardi/Wolper tableau,
+// followed by counter degeneralization of the generalized acceptance sets).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ltl/formula.h"
+
+namespace pnp::ltl {
+
+struct Literal {
+  int prop{-1};
+  bool negated{false};
+};
+
+struct BuchiState {
+  /// Conjunction of literals that must hold in a system state for the
+  /// automaton to *enter* this state. Empty = true.
+  std::vector<Literal> label;
+  std::vector<int> out;
+  bool accepting{false};
+  bool initial{false};
+};
+
+struct BuchiAutomaton {
+  std::vector<BuchiState> states;
+  int n_acceptance_sets{0};
+  std::string formula_text;  // for reports
+};
+
+/// Translates `formula` (already in NNF; every FormulaPool formula is).
+/// Note: to check that a system satisfies phi, build the automaton of
+/// NEGATED phi and search the product for an accepting cycle.
+BuchiAutomaton build_buchi(FormulaPool& pool, FRef formula,
+                           const PropertyContext* ctx = nullptr);
+
+std::string to_string(const BuchiAutomaton& ba,
+                      const PropertyContext* ctx = nullptr);
+
+}  // namespace pnp::ltl

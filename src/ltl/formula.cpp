@@ -1,0 +1,139 @@
+#include "ltl/formula.h"
+
+#include <functional>
+
+#include "support/hash.h"
+
+namespace pnp::ltl {
+
+int PropertyContext::add(std::string name, expr::Ref e) {
+  PNP_CHECK(!index_.contains(name), "duplicate proposition: " + name);
+  const int id = static_cast<int>(names_.size());
+  index_.emplace(name, id);
+  names_.push_back(std::move(name));
+  exprs_.push_back(e);
+  return id;
+}
+
+int PropertyContext::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::size_t FormulaPool::NodeHash::operator()(const FNode& n) const {
+  std::uint64_t h = kFnvOffset;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= kFnvPrime;
+  };
+  mix(static_cast<std::uint64_t>(n.kind));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.prop)));
+  mix(n.negated ? 1u : 0u);
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.a)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.b)));
+  return static_cast<std::size_t>(avalanche64(h));
+}
+
+FRef FormulaPool::intern(FNode n) {
+  auto it = interned_.find(n);
+  if (it != interned_.end()) return it->second;
+  const FRef r = static_cast<FRef>(nodes_.size());
+  nodes_.push_back(n);
+  interned_.emplace(n, r);
+  return r;
+}
+
+FRef FormulaPool::tru() { return intern({FKind::True, -1, false, kNoFormula, kNoFormula}); }
+FRef FormulaPool::fls() { return intern({FKind::False, -1, false, kNoFormula, kNoFormula}); }
+
+FRef FormulaPool::prop(int id, bool negated) {
+  return intern({FKind::Prop, id, negated, kNoFormula, kNoFormula});
+}
+
+FRef FormulaPool::and_(FRef a, FRef b) {
+  if (at(a).kind == FKind::True) return b;
+  if (at(b).kind == FKind::True) return a;
+  if (at(a).kind == FKind::False || at(b).kind == FKind::False) return fls();
+  if (a == b) return a;
+  return intern({FKind::And, -1, false, a, b});
+}
+
+FRef FormulaPool::or_(FRef a, FRef b) {
+  if (at(a).kind == FKind::False) return b;
+  if (at(b).kind == FKind::False) return a;
+  if (at(a).kind == FKind::True || at(b).kind == FKind::True) return tru();
+  if (a == b) return a;
+  return intern({FKind::Or, -1, false, a, b});
+}
+
+FRef FormulaPool::next(FRef a) { return intern({FKind::Next, -1, false, a, kNoFormula}); }
+
+FRef FormulaPool::until(FRef a, FRef b) {
+  if (at(b).kind == FKind::True || at(b).kind == FKind::False) return b;
+  return intern({FKind::Until, -1, false, a, b});
+}
+
+FRef FormulaPool::release(FRef a, FRef b) {
+  if (at(b).kind == FKind::True || at(b).kind == FKind::False) return b;
+  return intern({FKind::Release, -1, false, a, b});
+}
+
+FRef FormulaPool::negate(FRef f) {
+  const FNode n = at(f);
+  switch (n.kind) {
+    case FKind::True: return fls();
+    case FKind::False: return tru();
+    case FKind::Prop: return prop(n.prop, !n.negated);
+    case FKind::And: return or_(negate(n.a), negate(n.b));
+    case FKind::Or: return and_(negate(n.a), negate(n.b));
+    case FKind::Next: return next(negate(n.a));
+    case FKind::Until: return release(negate(n.a), negate(n.b));
+    case FKind::Release: return until(negate(n.a), negate(n.b));
+  }
+  raise_model_error("bad formula kind");
+}
+
+std::string FormulaPool::to_string(FRef f, const PropertyContext* ctx) const {
+  const FNode& n = at(f);
+  auto pname = [&](int id) {
+    return ctx ? ctx->name(id) : "p" + std::to_string(id);
+  };
+  switch (n.kind) {
+    case FKind::True: return "true";
+    case FKind::False: return "false";
+    case FKind::Prop:
+      return (n.negated ? "!" : "") + pname(n.prop);
+    case FKind::And:
+      return "(" + to_string(n.a, ctx) + " && " + to_string(n.b, ctx) + ")";
+    case FKind::Or:
+      return "(" + to_string(n.a, ctx) + " || " + to_string(n.b, ctx) + ")";
+    case FKind::Next:
+      return "X(" + to_string(n.a, ctx) + ")";
+    case FKind::Until:
+      if (at(n.a).kind == FKind::True) return "F(" + to_string(n.b, ctx) + ")";
+      return "(" + to_string(n.a, ctx) + " U " + to_string(n.b, ctx) + ")";
+    case FKind::Release:
+      if (at(n.a).kind == FKind::False) return "G(" + to_string(n.b, ctx) + ")";
+      return "(" + to_string(n.a, ctx) + " R " + to_string(n.b, ctx) + ")";
+  }
+  return "?";
+}
+
+std::vector<FRef> FormulaPool::until_subformulas(FRef f) const {
+  std::vector<FRef> out;
+  std::vector<FRef> work{f};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!work.empty()) {
+    const FRef cur = work.back();
+    work.pop_back();
+    if (seen[static_cast<std::size_t>(cur)]) continue;
+    seen[static_cast<std::size_t>(cur)] = true;
+    const FNode& n = at(cur);
+    if (n.kind == FKind::Until) out.push_back(cur);
+    if (n.a != kNoFormula) work.push_back(n.a);
+    if (n.b != kNoFormula) work.push_back(n.b);
+  }
+  return out;
+}
+
+}  // namespace pnp::ltl

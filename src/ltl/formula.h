@@ -1,0 +1,108 @@
+// LTL formulas: hash-consed AST, negation-normal form, and the proposition
+// context binding proposition names to state expressions.
+//
+// Grammar (SPIN-compatible sugar):
+//   f := true | false | ident | !f | f && f | f || f | f -> f | f <-> f
+//      | X f | F f | G f | <> f | [] f | f U f | f R f | f V f | f W f
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+#include "support/panic.h"
+
+namespace pnp::ltl {
+
+using FRef = std::int32_t;
+constexpr FRef kNoFormula = -1;
+
+enum class FKind : std::uint8_t {
+  True,
+  False,
+  Prop,     // prop id, optionally negated (negations are pushed to leaves)
+  And,
+  Or,
+  Next,
+  Until,
+  Release,
+};
+
+struct FNode {
+  FKind kind{FKind::True};
+  int prop{-1};
+  bool negated{false};  // only meaningful for Prop
+  FRef a{kNoFormula};
+  FRef b{kNoFormula};
+
+  friend bool operator==(const FNode&, const FNode&) = default;
+};
+
+/// Names atomic propositions and binds each to a closed expression over
+/// globals/channels, evaluated by the product explorer on every state.
+class PropertyContext {
+ public:
+  int add(std::string name, expr::Ref e);
+  int find(const std::string& name) const;  // -1 if unknown
+  const std::string& name(int id) const { return names_[static_cast<std::size_t>(id)]; }
+  expr::Ref expr_of(int id) const { return exprs_[static_cast<std::size_t>(id)]; }
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<expr::Ref> exprs_;
+  std::unordered_map<std::string, int> index_;
+};
+
+/// Hash-consed formula arena. All constructors return formulas already in
+/// negation-normal form when built through the public helpers plus `negate`.
+class FormulaPool {
+ public:
+  FRef tru();
+  FRef fls();
+  FRef prop(int id, bool negated = false);
+  FRef and_(FRef a, FRef b);
+  FRef or_(FRef a, FRef b);
+  FRef next(FRef a);
+  FRef until(FRef a, FRef b);
+  FRef release(FRef a, FRef b);
+
+  // sugar (already NNF because args are NNF)
+  FRef finally_(FRef a) { return until(tru(), a); }
+  FRef globally(FRef a) { return release(fls(), a); }
+  FRef implies(FRef a, FRef b) { return or_(negate(a), b); }
+  FRef iff(FRef a, FRef b) {
+    return and_(implies(a, b), implies(b, a));
+  }
+  FRef weak_until(FRef a, FRef b) {
+    // a W b  ==  b R (b || a)
+    return release(b, or_(b, a));
+  }
+
+  /// NNF negation: dualizes operators, flips literal polarity.
+  FRef negate(FRef f);
+
+  const FNode& at(FRef f) const { return nodes_[static_cast<std::size_t>(f)]; }
+  std::string to_string(FRef f, const PropertyContext* ctx = nullptr) const;
+
+  /// Collects all Until subformulas reachable from `f` (the generalized
+  /// Büchi acceptance sets of the GPVW construction, one per Until).
+  std::vector<FRef> until_subformulas(FRef f) const;
+
+ private:
+  FRef intern(FNode n);
+
+  struct NodeHash {
+    std::size_t operator()(const FNode& n) const;
+  };
+  std::vector<FNode> nodes_;
+  std::unordered_map<FNode, FRef, NodeHash> interned_;
+};
+
+/// Parses an LTL formula; proposition identifiers must already exist in
+/// `ctx`. Raises ModelError with position info on syntax errors.
+FRef parse_ltl(FormulaPool& pool, const PropertyContext& ctx,
+               const std::string& text);
+
+}  // namespace pnp::ltl

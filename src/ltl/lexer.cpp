@@ -1,0 +1,87 @@
+#include "ltl/lexer.h"
+
+#include <cctype>
+
+#include "support/panic.h"
+
+namespace pnp::ltl {
+
+std::vector<Token> lex_ltl(const std::string& text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto push = [&out](Tok k, std::string t, std::size_t p) {
+    out.push_back({k, std::move(t), p});
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (c == '(') { push(Tok::LParen, "(", start); ++i; continue; }
+    if (c == ')') { push(Tok::RParen, ")", start); ++i; continue; }
+    if (c == '!') { push(Tok::Not, "!", start); ++i; continue; }
+    if (c == '&') {
+      i += (i + 1 < n && text[i + 1] == '&') ? 2 : 1;
+      push(Tok::And, "&&", start);
+      continue;
+    }
+    if (c == '|') {
+      i += (i + 1 < n && text[i + 1] == '|') ? 2 : 1;
+      push(Tok::Or, "||", start);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      push(Tok::Implies, "->", start);
+      i += 2;
+      continue;
+    }
+    if (c == '<') {
+      if (i + 2 < n && text[i + 1] == '-' && text[i + 2] == '>') {
+        push(Tok::Iff, "<->", start);
+        i += 3;
+        continue;
+      }
+      if (i + 1 < n && text[i + 1] == '>') {
+        push(Tok::Finally, "<>", start);
+        i += 2;
+        continue;
+      }
+      raise_model_error("LTL lex error at position " + std::to_string(start));
+    }
+    if (c == '[') {
+      PNP_CHECK(i + 1 < n && text[i + 1] == ']',
+                "LTL lex error: expected ']' at position " + std::to_string(start));
+      push(Tok::Globally, "[]", start);
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_'))
+        ++j;
+      const std::string word = text.substr(i, j - i);
+      i = j;
+      if (word == "true") push(Tok::True, word, start);
+      else if (word == "false") push(Tok::False, word, start);
+      else if (word == "X") push(Tok::Next, word, start);
+      else if (word == "F") push(Tok::Finally, word, start);
+      else if (word == "G") push(Tok::Globally, word, start);
+      else if (word == "U") push(Tok::Until, word, start);
+      else if (word == "R" || word == "V") push(Tok::Release, word, start);
+      else if (word == "W") push(Tok::WeakUntil, word, start);
+      else push(Tok::Ident, word, start);
+      continue;
+    }
+    raise_model_error("LTL lex error: unexpected character '" +
+                      std::string(1, c) + "' at position " +
+                      std::to_string(start));
+  }
+  push(Tok::End, "", n);
+  return out;
+}
+
+}  // namespace pnp::ltl

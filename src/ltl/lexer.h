@@ -1,0 +1,38 @@
+// Tokenizer for the LTL surface syntax (internal to the ltl module).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pnp::ltl {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,   // proposition name
+  True,
+  False,
+  LParen,
+  RParen,
+  Not,     // !
+  And,     // && or &
+  Or,      // || or |
+  Implies, // ->
+  Iff,     // <->
+  Next,    // X
+  Finally, // F or <>
+  Globally,// G or []
+  Until,   // U
+  Release, // R or V
+  WeakUntil, // W
+};
+
+struct Token {
+  Tok kind{Tok::End};
+  std::string text;
+  std::size_t pos{0};
+};
+
+/// Raises ModelError on unknown characters.
+std::vector<Token> lex_ltl(const std::string& text);
+
+}  // namespace pnp::ltl

@@ -1,0 +1,110 @@
+#include "ltl/formula.h"
+#include "ltl/lexer.h"
+#include "support/panic.h"
+
+namespace pnp::ltl {
+
+namespace {
+
+// Recursive-descent parser. Precedence, loosest to tightest:
+//   <->   ->   ||   &&   U/R/W (right-assoc)   unary (! X F G)   atom
+class Parser {
+ public:
+  Parser(FormulaPool& pool, const PropertyContext& ctx, std::vector<Token> toks)
+      : pool_(pool), ctx_(ctx), toks_(std::move(toks)) {}
+
+  FRef parse() {
+    const FRef f = parse_iff();
+    expect(Tok::End, "end of formula");
+    return f;
+  }
+
+ private:
+  const Token& peek() const { return toks_[pos_]; }
+  Token take() { return toks_[pos_++]; }
+  bool accept(Tok k) {
+    if (peek().kind != k) return false;
+    ++pos_;
+    return true;
+  }
+  void expect(Tok k, const std::string& what) {
+    PNP_CHECK(peek().kind == k, "LTL parse error: expected " + what +
+                                    " at position " +
+                                    std::to_string(peek().pos));
+    ++pos_;
+  }
+
+  FRef parse_iff() {
+    FRef a = parse_implies();
+    while (accept(Tok::Iff)) a = pool_.iff(a, parse_implies());
+    return a;
+  }
+
+  FRef parse_implies() {
+    FRef a = parse_or();
+    if (accept(Tok::Implies)) return pool_.implies(a, parse_implies());
+    return a;
+  }
+
+  FRef parse_or() {
+    FRef a = parse_and();
+    while (accept(Tok::Or)) a = pool_.or_(a, parse_and());
+    return a;
+  }
+
+  FRef parse_and() {
+    FRef a = parse_until();
+    while (accept(Tok::And)) a = pool_.and_(a, parse_until());
+    return a;
+  }
+
+  FRef parse_until() {
+    FRef a = parse_unary();
+    if (accept(Tok::Until)) return pool_.until(a, parse_until());
+    if (accept(Tok::Release)) return pool_.release(a, parse_until());
+    if (accept(Tok::WeakUntil)) return pool_.weak_until(a, parse_until());
+    return a;
+  }
+
+  FRef parse_unary() {
+    if (accept(Tok::Not)) return pool_.negate(parse_unary());
+    if (accept(Tok::Next)) return pool_.next(parse_unary());
+    if (accept(Tok::Finally)) return pool_.finally_(parse_unary());
+    if (accept(Tok::Globally)) return pool_.globally(parse_unary());
+    return parse_atom();
+  }
+
+  FRef parse_atom() {
+    if (accept(Tok::True)) return pool_.tru();
+    if (accept(Tok::False)) return pool_.fls();
+    if (peek().kind == Tok::Ident) {
+      const Token t = take();
+      const int id = ctx_.find(t.text);
+      PNP_CHECK(id >= 0, "LTL parse error: unknown proposition '" + t.text +
+                             "' at position " + std::to_string(t.pos));
+      return pool_.prop(id);
+    }
+    if (accept(Tok::LParen)) {
+      const FRef f = parse_iff();
+      expect(Tok::RParen, "')'");
+      return f;
+    }
+    raise_model_error("LTL parse error: unexpected token at position " +
+                      std::to_string(peek().pos));
+  }
+
+  FormulaPool& pool_;
+  const PropertyContext& ctx_;
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FRef parse_ltl(FormulaPool& pool, const PropertyContext& ctx,
+               const std::string& text) {
+  Parser p(pool, ctx, lex_ltl(text));
+  return p.parse();
+}
+
+}  // namespace pnp::ltl

@@ -1,0 +1,342 @@
+#include "ltl/product.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/panic.h"
+
+namespace pnp::ltl {
+
+namespace {
+
+using kernel::Machine;
+using kernel::State;
+using kernel::Step;
+
+struct ProdSucc {
+  State state;
+  int q;
+  int copy;
+  Step step;
+  bool stutter{false};
+};
+
+// The product automaton of system x Buchi automaton, optionally unfolded
+// into #processes + 2 copies for weak fairness (Choueka construction,
+// as in SPIN's -f):
+//   copy 0:       edges from a state whose Buchi component is accepting
+//                 lead to copy 1, others stay in copy 0;
+//   copy i (1..N): edges lead to copy i+1 when process i-1 just moved or is
+//                 disabled in the source state, else stay in copy i;
+//   copy N+1:     edges lead back to copy 0; these states are the accepting
+//                 set -- a cycle through copy N+1 is exactly a fair
+//                 accepting cycle.
+class ProductSearch {
+ public:
+  ProductSearch(const Machine& m, const PropertyContext& ctx,
+                const BuchiAutomaton& ba, const CheckOptions& opt)
+      : m_(m), ctx_(ctx), ba_(ba), opt_(opt) {
+    PNP_CHECK(ctx.size() <= 64, "at most 64 propositions supported");
+    PNP_CHECK(!opt.weak_fairness || m.n_processes() <= 62,
+              "weak fairness supports at most 62 processes");
+    n_copies_ = opt.weak_fairness ? m.n_processes() + 2 : 1;
+  }
+
+  LtlResult run() {
+    const auto t0 = std::chrono::steady_clock::now();
+    LtlResult r;
+    r.buchi_states = ba_.states.size();
+    r.formula_text = ba_.formula_text;
+
+    const State s0 = m_.initial();
+    const std::uint64_t mask0 = props_mask(s0);
+    bool found = false;
+    for (std::size_t q = 0; q < ba_.states.size() && !found; ++q) {
+      if (!ba_.states[q].initial) continue;
+      if (!label_sat(ba_.states[q], mask0)) continue;
+      found = dfs1(s0, static_cast<int>(q), r);
+    }
+    r.holds = !found;
+    r.stats.states_stored = visited1_.size();
+    r.stats.transitions = transitions_;
+    r.stats.complete = complete_;
+    r.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return r;
+  }
+
+ private:
+  std::string prod_key(const State& s, int q, int copy) const {
+    std::string key = kernel::encode_key(s);
+    key.push_back(static_cast<char>(q & 0xff));
+    key.push_back(static_cast<char>((q >> 8) & 0xff));
+    key.push_back(static_cast<char>((q >> 16) & 0xff));
+    key.push_back(static_cast<char>(copy & 0xff));
+    return key;
+  }
+
+  std::uint64_t props_mask(const State& s) const {
+    std::uint64_t mask = 0;
+    for (int i = 0; i < ctx_.size(); ++i)
+      if (m_.eval_global(ctx_.expr_of(i), s) != 0)
+        mask |= std::uint64_t{1} << i;
+    return mask;
+  }
+
+  static bool label_sat(const BuchiState& q, std::uint64_t mask) {
+    for (const Literal& lit : q.label) {
+      const bool v = (mask >> lit.prop) & 1;
+      if (v == lit.negated) return false;
+    }
+    return true;
+  }
+
+  bool accepting(int q, int copy) const {
+    if (!opt_.weak_fairness)
+      return ba_.states[static_cast<std::size_t>(q)].accepting;
+    return copy == n_copies_ - 1;  // copy N+1
+  }
+
+  /// Destination copy for a step executed by `moved_pid` (or a stutter /
+  /// fully-blocked step when moved_pid < 0) out of (q, copy).
+  int next_copy(int q, int copy, int moved_pid, int moved_partner,
+                std::uint64_t enabled_pids) const {
+    if (!opt_.weak_fairness) return 0;
+    const int n = m_.n_processes();
+    if (copy == 0)
+      return ba_.states[static_cast<std::size_t>(q)].accepting ? 1 : 0;
+    if (copy == n + 1) return 0;
+    const int watched = copy - 1;  // process this copy waits on
+    const bool moved = moved_pid == watched || moved_partner == watched;
+    const bool disabled = ((enabled_pids >> watched) & 1) == 0;
+    return (moved || disabled) ? copy + 1 : copy;
+  }
+
+  void prod_successors(const State& s, int q, int copy,
+                       std::vector<ProdSucc>& out) {
+    sys_succs_.clear();
+    m_.successors(s, sys_succs_);
+    const BuchiState& bq = ba_.states[static_cast<std::size_t>(q)];
+
+    std::uint64_t enabled_pids = 0;
+    if (opt_.weak_fairness) {
+      for (const kernel::Succ& succ : sys_succs_) {
+        if (succ.second.pid >= 0 && succ.second.pid < 64)
+          enabled_pids |= std::uint64_t{1} << succ.second.pid;
+        if (succ.second.partner_pid >= 0 && succ.second.partner_pid < 64)
+          enabled_pids |= std::uint64_t{1} << succ.second.partner_pid;
+      }
+    }
+
+    if (sys_succs_.empty()) {
+      // stutter extension: terminal system states loop on themselves
+      const std::uint64_t mask = props_mask(s);
+      const int c2 = next_copy(q, copy, -1, -1, 0);
+      for (int q2 : bq.out)
+        if (label_sat(ba_.states[static_cast<std::size_t>(q2)], mask))
+          out.push_back({s, q2, c2, Step{}, true});
+      return;
+    }
+    for (const kernel::Succ& succ : sys_succs_) {
+      const std::uint64_t mask = props_mask(succ.first);
+      const int c2 = next_copy(q, copy, succ.second.pid,
+                               succ.second.partner_pid, enabled_pids);
+      for (int q2 : bq.out)
+        if (label_sat(ba_.states[static_cast<std::size_t>(q2)], mask))
+          out.push_back({succ.first, q2, c2, succ.second, false});
+    }
+  }
+
+  // As in the safety explorer, frames do not own successor lists: only the
+  // top frame's successors are materialized, regenerated on resume
+  // (prod_successors is deterministic, so indices stay valid).
+  struct Frame {
+    State state;
+    int q;
+    int copy;
+    std::string key;
+    Step in_step;
+    bool in_stutter{false};
+    std::uint32_t next = 0;
+  };
+
+  bool dfs1(const State& s0, int q0, LtlResult& r) {
+    std::vector<Frame> stack;
+    std::unordered_set<std::string> on_stack;
+
+    Frame root;
+    root.state = s0;
+    root.q = q0;
+    root.copy = 0;
+    root.key = prod_key(s0, q0, 0);
+    if (!visited1_.insert(root.key).second) return false;
+    on_stack.insert(root.key);
+    stack.push_back(std::move(root));
+
+    std::vector<ProdSucc> succs;
+    std::ptrdiff_t succs_for = -1;
+
+    while (!stack.empty()) {
+      const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(stack.size()) - 1;
+      Frame& f = stack[static_cast<std::size_t>(idx)];
+      if (succs_for != idx) {
+        succs.clear();
+        prod_successors(f.state, f.q, f.copy, succs);
+        if (f.next == 0) transitions_ += succs.size();  // first expansion
+        succs_for = idx;
+      }
+      if (f.next < succs.size()) {
+        ProdSucc& succ = succs[f.next++];
+        std::string key = prod_key(succ.state, succ.q, succ.copy);
+        if (!visited1_.insert(key).second) continue;
+        if (visited1_.size() >= opt_.max_states) {
+          complete_ = false;
+          continue;
+        }
+        Frame nf;
+        nf.state = std::move(succ.state);
+        nf.q = succ.q;
+        nf.copy = succ.copy;
+        nf.key = std::move(key);
+        nf.in_step = succ.step;
+        nf.in_stutter = succ.stutter;
+        on_stack.insert(nf.key);
+        stack.push_back(std::move(nf));
+        succs_for = -1;
+        continue;
+      }
+      // post-order: seed the inner search from accepting states
+      if (accepting(f.q, f.copy)) {
+        std::vector<std::pair<Step, bool>> cycle;
+        if (dfs2(f.state, f.q, f.copy, on_stack, cycle)) {
+          build_violation(stack, cycle, r);
+          return true;
+        }
+        succs_for = -1;  // dfs2 clobbered nothing, but be conservative
+      }
+      on_stack.erase(f.key);
+      stack.pop_back();
+      succs_for = -1;
+    }
+    return false;
+  }
+
+  /// Inner DFS: from an accepting state, search for any state on the outer
+  /// stack. Returns the cycle steps on success.
+  bool dfs2(const State& seed, int q_seed, int copy_seed,
+            const std::unordered_set<std::string>& on_stack1,
+            std::vector<std::pair<Step, bool>>& cycle_out) {
+    struct F2 {
+      State state;
+      int q;
+      int copy;
+      Step in_step;
+      bool in_stutter{false};
+      std::uint32_t next = 0;
+    };
+    std::vector<F2> stack;
+    stack.push_back({seed, q_seed, copy_seed, Step{}, false, 0});
+    if (!visited2_.insert(prod_key(seed, q_seed, copy_seed)).second)
+      return false;
+
+    std::vector<ProdSucc> succs;
+    std::ptrdiff_t succs_for = -1;
+
+    while (!stack.empty()) {
+      const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(stack.size()) - 1;
+      F2& f = stack[static_cast<std::size_t>(idx)];
+      if (succs_for != idx) {
+        succs.clear();
+        prod_successors(f.state, f.q, f.copy, succs);
+        if (f.next == 0) transitions_ += succs.size();  // first expansion
+        succs_for = idx;
+      }
+      if (f.next >= succs.size()) {
+        stack.pop_back();
+        succs_for = -1;
+        continue;
+      }
+      ProdSucc& succ = succs[f.next++];
+      std::string key = prod_key(succ.state, succ.q, succ.copy);
+      if (on_stack1.contains(key)) {
+        // cycle closes through the outer stack
+        for (std::size_t i = 1; i < stack.size(); ++i)
+          cycle_out.push_back({stack[i].in_step, stack[i].in_stutter});
+        cycle_out.push_back({succ.step, succ.stutter});
+        return true;
+      }
+      if (!visited2_.insert(key).second) continue;
+      if (visited2_.size() >= opt_.max_states) {
+        complete_ = false;
+        continue;
+      }
+      stack.push_back({std::move(succ.state), succ.q, succ.copy, succ.step,
+                       succ.stutter, 0});
+      succs_for = -1;
+    }
+    return false;
+  }
+
+  void build_violation(const std::vector<Frame>& stack,
+                       const std::vector<std::pair<Step, bool>>& cycle,
+                       LtlResult& r) {
+    explore::Violation v;
+    v.kind = explore::ViolationKind::AcceptanceCycle;
+    v.message = "acceptance cycle: an execution violates " + ba_.formula_text;
+    if (opt_.weak_fairness) v.message += " (weak fairness enforced)";
+    if (opt_.want_trace) {
+      auto add = [&](const Step& st, bool stutter) {
+        trace::TraceStep ts;
+        ts.step = st;
+        ts.description = stutter ? "(stutter: system terminated, state repeats)"
+                                 : m_.describe_step(st);
+        v.trace.steps.push_back(std::move(ts));
+      };
+      for (std::size_t i = 1; i < stack.size(); ++i)
+        add(stack[i].in_step, stack[i].in_stutter);
+      trace::TraceStep marker;
+      marker.step = Step{};
+      marker.description = "=== start of accepting cycle ===";
+      v.trace.steps.push_back(std::move(marker));
+      for (const auto& [st, stutter] : cycle) add(st, stutter);
+      v.trace.final_state = m_.format_state(stack.back().state);
+    }
+    r.violation = std::move(v);
+  }
+
+  const Machine& m_;
+  const PropertyContext& ctx_;
+  const BuchiAutomaton& ba_;
+  const CheckOptions& opt_;
+  int n_copies_{1};
+
+  std::unordered_set<std::string> visited1_;
+  std::unordered_set<std::string> visited2_;
+  std::vector<kernel::Succ> sys_succs_;
+  std::uint64_t transitions_ = 0;
+  bool complete_ = true;
+};
+
+}  // namespace
+
+LtlResult check_ltl(const kernel::Machine& m, FormulaPool& pool,
+                    const PropertyContext& ctx, FRef phi,
+                    const CheckOptions& opt) {
+  const FRef neg = pool.negate(phi);
+  const BuchiAutomaton ba = build_buchi(pool, neg, &ctx);
+  ProductSearch search(m, ctx, ba, opt);
+  LtlResult r = search.run();
+  r.formula_text = pool.to_string(phi, &ctx);
+  return r;
+}
+
+LtlResult check_ltl(const kernel::Machine& m, const PropertyContext& ctx,
+                    const std::string& formula, const CheckOptions& opt) {
+  FormulaPool pool;
+  const FRef phi = parse_ltl(pool, ctx, formula);
+  return check_ltl(m, pool, ctx, phi, opt);
+}
+
+}  // namespace pnp::ltl

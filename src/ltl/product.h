@@ -1,0 +1,47 @@
+// LTL model checking: product of the system with the Büchi automaton of the
+// negated formula, searched for accepting cycles with the CVWY nested DFS.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "explore/explorer.h"
+#include "kernel/machine.h"
+#include "ltl/buchi.h"
+
+namespace pnp::ltl {
+
+struct CheckOptions {
+  std::uint64_t max_states = 20'000'000;
+  bool want_trace = true;
+  /// Enforce weak process fairness (SPIN's -f): only consider executions
+  /// where every continuously-enabled process eventually moves. Implemented
+  /// with the Choueka copy construction, multiplying the product by
+  /// (#processes + 2) -- use on small systems or be patient.
+  bool weak_fairness = false;
+};
+
+struct LtlResult {
+  bool holds{false};  // true = property verified on all executions
+  explore::Stats stats;
+  /// Present when !holds: the lasso-shaped counterexample (prefix followed
+  /// by a marked accepting cycle).
+  std::optional<explore::Violation> violation;
+  std::size_t buchi_states{0};
+  std::string formula_text;
+};
+
+/// Checks that `m` satisfies `phi` (passed positively; negation, automaton
+/// construction, and the product search happen inside). Finite executions
+/// are stutter-extended: a state without successors behaves as if it looped
+/// on itself, so properties like `G p` are correctly falsified at
+/// terminal states.
+LtlResult check_ltl(const kernel::Machine& m, FormulaPool& pool,
+                    const PropertyContext& ctx, FRef phi,
+                    const CheckOptions& opt = {});
+
+/// Convenience overload: parses `formula` against `ctx`.
+LtlResult check_ltl(const kernel::Machine& m, const PropertyContext& ctx,
+                    const std::string& formula, const CheckOptions& opt = {});
+
+}  // namespace pnp::ltl

@@ -1,0 +1,198 @@
+#include "model/builder.h"
+
+#include "support/panic.h"
+
+namespace pnp::model {
+
+ProcBuilder::ProcBuilder(SystemSpec& sys, std::string name) : sys_(&sys) {
+  proc_.name = std::move(name);
+}
+
+LVar ProcBuilder::param(std::string name) {
+  PNP_CHECK(proc_.locals.empty(), "params must be declared before locals");
+  proc_.params.push_back({std::move(name), 0});
+  return LVar{static_cast<int>(proc_.params.size()) - 1};
+}
+
+LVar ProcBuilder::local(std::string name, Value init) {
+  proc_.locals.push_back({std::move(name), init});
+  return LVar{static_cast<int>(proc_.params.size() + proc_.locals.size()) - 1};
+}
+
+expr::Ex ProcBuilder::l(LVar v) {
+  PNP_CHECK(v.slot >= 0, "use of undeclared local");
+  return expr::wrap(sys_->exprs, sys_->exprs.local(v.slot));
+}
+
+expr::Ex ProcBuilder::g(GVar v) {
+  PNP_CHECK(v.slot >= 0, "use of undeclared global");
+  return expr::wrap(sys_->exprs, sys_->exprs.global(v.slot));
+}
+
+expr::Ex ProcBuilder::g(const std::string& name) {
+  auto slot = sys_->find_global(name);
+  PNP_CHECK(slot.has_value(), "unknown global: " + name);
+  return expr::wrap(sys_->exprs, sys_->exprs.global(*slot));
+}
+
+expr::Ex ProcBuilder::k(Value v) {
+  return expr::wrap(sys_->exprs, sys_->exprs.konst(v));
+}
+
+expr::Ex ProcBuilder::c(Chan ch) {
+  PNP_CHECK(ch.id >= 0, "use of undeclared channel");
+  return k(static_cast<Value>(ch.id));
+}
+
+expr::Ex ProcBuilder::self() {
+  return expr::wrap(sys_->exprs, sys_->exprs.self_pid());
+}
+
+expr::Ex ProcBuilder::len(expr::Ex chan) {
+  return expr::wrap(sys_->exprs,
+                    sys_->exprs.chan_query(expr::Op::ChanLen, chan.ref));
+}
+
+expr::Ex ProcBuilder::full(expr::Ex chan) {
+  return expr::wrap(sys_->exprs,
+                    sys_->exprs.chan_query(expr::Op::ChanFull, chan.ref));
+}
+
+expr::Ex ProcBuilder::empty(expr::Ex chan) {
+  return expr::wrap(sys_->exprs,
+                    sys_->exprs.chan_query(expr::Op::ChanEmpty, chan.ref));
+}
+
+expr::Ex ProcBuilder::cond(expr::Ex c, expr::Ex t, expr::Ex f) {
+  return expr::wrap(sys_->exprs, sys_->exprs.cond(c.ref, t.ref, f.ref));
+}
+
+int ProcBuilder::finish(Seq body) {
+  PNP_CHECK(!finished_, "ProcBuilder::finish called twice");
+  finished_ = true;
+  proc_.body = std::move(body);
+  return sys_->add_proctype(std::move(proc_));
+}
+
+StmtPtr skip() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Skip;
+  return s;
+}
+
+StmtPtr guard(expr::Ex e) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Guard;
+  s->expr = e.ref;
+  return s;
+}
+
+namespace {
+StmtPtr make_assign(Lhs lhs, expr::Ex e) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Assign;
+  s->lhs = lhs;
+  s->expr = e.ref;
+  return s;
+}
+}  // namespace
+
+StmtPtr assign(LVar v, expr::Ex e) {
+  return make_assign({LhsKind::Local, v.slot}, e);
+}
+
+StmtPtr assign(GVar v, expr::Ex e) {
+  return make_assign({LhsKind::Global, v.slot}, e);
+}
+
+StmtPtr incr(GVar v, SystemSpec& sys) {
+  expr::Ex cur = expr::wrap(sys.exprs, sys.exprs.global(v.slot));
+  expr::Ex one = expr::wrap(sys.exprs, sys.exprs.konst(1));
+  return assign(v, cur + one);
+}
+
+StmtPtr decr(GVar v, SystemSpec& sys) {
+  expr::Ex cur = expr::wrap(sys.exprs, sys.exprs.global(v.slot));
+  expr::Ex one = expr::wrap(sys.exprs, sys.exprs.konst(1));
+  return assign(v, cur - one);
+}
+
+StmtPtr send(expr::Ex chan, std::vector<expr::Ex> fields, std::string label,
+             SendOpts opts) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Send;
+  s->chan = chan.ref;
+  for (const expr::Ex& f : fields) s->fields.push_back(f.ref);
+  s->sorted = opts.sorted;
+  s->label = std::move(label);
+  return s;
+}
+
+RecvArg bind(LVar v) { return {RecvArgKind::Bind, {LhsKind::Local, v.slot}, expr::kNoExpr}; }
+RecvArg bind(GVar v) { return {RecvArgKind::Bind, {LhsKind::Global, v.slot}, expr::kNoExpr}; }
+RecvArg match(expr::Ex e) { return {RecvArgKind::Match, {}, e.ref}; }
+RecvArg any() { return {RecvArgKind::Wildcard, {}, expr::kNoExpr}; }
+
+StmtPtr recv(expr::Ex chan, std::vector<RecvArg> args, std::string label,
+             RecvOpts opts) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Recv;
+  s->chan = chan.ref;
+  s->args = std::move(args);
+  s->random = opts.random;
+  s->copy = opts.copy;
+  s->label = std::move(label);
+  return s;
+}
+
+Branch alt(Seq body) {
+  Branch b;
+  b.body = std::move(body);
+  return b;
+}
+
+Branch alt_else(Seq body) {
+  Branch b;
+  b.body = std::move(body);
+  b.is_else = true;
+  return b;
+}
+
+StmtPtr break_() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Break;
+  return s;
+}
+
+StmtPtr atomic(Seq body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Atomic;
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr assert_(expr::Ex e, std::string label) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Assert;
+  s->expr = e.ref;
+  s->label = std::move(label);
+  return s;
+}
+
+StmtPtr end_label() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::EndLabel;
+  return s;
+}
+
+StmtPtr labeled(StmtPtr s, std::string label) {
+  s->label = std::move(label);
+  return s;
+}
+
+Seq concat(Seq head, Seq tail) {
+  for (StmtPtr& s : tail) head.push_back(std::move(s));
+  return head;
+}
+
+}  // namespace pnp::model

@@ -1,0 +1,159 @@
+// Fluent construction API for the modeling IR.
+//
+// A process model is written as a statement tree using the free factory
+// functions below, with `ProcBuilder` managing the process frame (params and
+// locals) and giving access to expression sugar. The resulting code reads
+// close to the Promela models in the paper, e.g. the synchronous blocking
+// send port (paper Fig. 6) becomes:
+//
+//   ProcBuilder b(sys, "SynBlSendPort");
+//   auto comp_sig = b.param("componentSig"); ... etc
+//   b.finish(seq(
+//     do_(alt(seq(
+//       recv(b.l(comp_data), {bind_msg(m)}),
+//       assign(m_sender, b.self()),
+//       do_(alt(seq(send(b.l(chan_data), {...}), ...)))...
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/system.h"
+
+namespace pnp::model {
+
+/// Typed handles so locals and globals cannot be mixed up.
+struct LVar {
+  int slot{-1};
+};
+struct GVar {
+  int slot{-1};
+};
+/// A statically declared channel instance.
+struct Chan {
+  int id{-1};
+};
+
+class ProcBuilder {
+ public:
+  ProcBuilder(SystemSpec& sys, std::string name);
+
+  LVar param(std::string name);
+  LVar local(std::string name, Value init = 0);
+
+  // -- expression sugar -----------------------------------------------------
+  expr::Ex l(LVar v);                 // read a local
+  expr::Ex g(GVar v);                 // read a global
+  expr::Ex g(const std::string& name);  // read a global by name
+  expr::Ex k(Value v);                // constant
+  expr::Ex c(Chan ch);                // channel-id constant
+  expr::Ex self();                    // _pid
+  expr::Ex len(expr::Ex chan);
+  expr::Ex full(expr::Ex chan);
+  expr::Ex empty(expr::Ex chan);
+  expr::Ex cond(expr::Ex c, expr::Ex t, expr::Ex f);
+
+  /// Registers the proctype with the system and returns its index.
+  int finish(Seq body);
+
+  SystemSpec& sys() { return *sys_; }
+  const std::string& name() const { return proc_.name; }
+
+ private:
+  SystemSpec* sys_;
+  ProcType proc_;
+  bool finished_{false};
+};
+
+// -- statement factories ------------------------------------------------------
+
+namespace detail {
+inline void push_all(Seq&) {}
+template <typename... Rest>
+void push_all(Seq& out, StmtPtr first, Rest&&... rest);
+// Sequences may be spliced into seq() directly.
+template <typename... Rest>
+void push_all(Seq& out, Seq first, Rest&&... rest);
+
+template <typename... Rest>
+void push_all(Seq& out, StmtPtr first, Rest&&... rest) {
+  out.push_back(std::move(first));
+  push_all(out, std::forward<Rest>(rest)...);
+}
+template <typename... Rest>
+void push_all(Seq& out, Seq first, Rest&&... rest) {
+  for (StmtPtr& s : first) out.push_back(std::move(s));
+  push_all(out, std::forward<Rest>(rest)...);
+}
+inline void push_branches(std::vector<Branch>&) {}
+template <typename... Rest>
+void push_branches(std::vector<Branch>& out, Branch first, Rest&&... rest) {
+  out.push_back(std::move(first));
+  push_branches(out, std::forward<Rest>(rest)...);
+}
+}  // namespace detail
+
+template <typename... S>
+Seq seq(S&&... stmts) {
+  Seq out;
+  detail::push_all(out, std::forward<S>(stmts)...);
+  return out;
+}
+
+StmtPtr skip();
+StmtPtr guard(expr::Ex e);
+StmtPtr assign(LVar v, expr::Ex e);
+StmtPtr assign(GVar v, expr::Ex e);
+StmtPtr incr(GVar v, SystemSpec& sys);  // v = v + 1
+StmtPtr decr(GVar v, SystemSpec& sys);  // v = v - 1
+
+struct SendOpts {
+  bool sorted{false};  // `!!` ordered insert
+};
+StmtPtr send(expr::Ex chan, std::vector<expr::Ex> fields, std::string label = "",
+             SendOpts opts = {});
+
+RecvArg bind(LVar v);
+RecvArg bind(GVar v);
+RecvArg match(expr::Ex e);
+RecvArg any();
+
+struct RecvOpts {
+  bool random{false};  // `??` first matching message anywhere in the buffer
+  bool copy{false};    // peek without removing
+};
+StmtPtr recv(expr::Ex chan, std::vector<RecvArg> args, std::string label = "",
+             RecvOpts opts = {});
+
+Branch alt(Seq body);
+Branch alt_else(Seq body);
+
+template <typename... B>
+StmtPtr if_(B&&... branches) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::If;
+  detail::push_branches(s->branches, std::forward<B>(branches)...);
+  return s;
+}
+
+template <typename... B>
+StmtPtr do_(B&&... branches) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Do;
+  detail::push_branches(s->branches, std::forward<B>(branches)...);
+  return s;
+}
+
+StmtPtr break_();
+StmtPtr atomic(Seq body);
+StmtPtr assert_(expr::Ex e, std::string label = "");
+StmtPtr end_label();
+
+/// Attaches a trace label to a statement and returns it.
+StmtPtr labeled(StmtPtr s, std::string label);
+
+/// Appends `tail`'s statements to `head`.
+Seq concat(Seq head, Seq tail);
+
+}  // namespace pnp::model

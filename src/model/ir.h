@@ -1,0 +1,103 @@
+// Modeling IR: a Promela-like guarded-command language as a C++ data
+// structure.
+//
+// Processes are trees of statements with Promela executability semantics:
+// a basic statement is *executable* in a state or it *blocks*; selection
+// (if/do) nondeterministically picks among branches whose first statement
+// is executable; `else` branches fire only when no sibling can.
+//
+// Channels follow Promela too: capacity 0 means rendezvous (a send
+// synchronizes with a matching receive in another process), capacity N > 0
+// means an N-slot buffer. Receives may match constants against message
+// fields (`ch?IN_OK,eval(_pid)`), bind fields to variables, use
+// first-match-anywhere semantics (`??`), or peek without removing (`<...>`).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace pnp::model {
+
+using expr::Value;
+using ExprRef = expr::Ref;
+
+/// Assignment / bind target: a slot in the process frame or a global.
+enum class LhsKind : std::uint8_t { Local, Global };
+
+struct Lhs {
+  LhsKind kind{LhsKind::Local};
+  int slot{-1};
+};
+
+/// One position in a receive pattern.
+enum class RecvArgKind : std::uint8_t {
+  Bind,      // store the field into `lhs`
+  Match,     // executable only if field == eval(match)
+  Wildcard,  // matches anything, value discarded
+};
+
+struct RecvArg {
+  RecvArgKind kind{RecvArgKind::Wildcard};
+  Lhs lhs{};
+  ExprRef match{expr::kNoExpr};
+};
+
+enum class StmtKind : std::uint8_t {
+  Skip,      // always executable, no effect
+  Guard,     // executable iff expr != 0, no effect
+  Assign,    // always executable
+  Send,      // ch!e1,...,en  (or sorted send ch!!...)
+  Recv,      // ch?p1,...,pn  (variants: random ??, copy <>)
+  If,        // if :: ... fi
+  Do,        // do :: ... od
+  Break,     // leave innermost do
+  Atomic,    // atomic { ... }
+  Assert,    // assert(expr)
+  EndLabel,  // marks the current control point as a valid end state
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Seq = std::vector<StmtPtr>;
+
+struct Branch {
+  Seq body;
+  bool is_else{false};
+};
+
+struct Stmt {
+  StmtKind kind{StmtKind::Skip};
+
+  // Guard / Assert
+  ExprRef expr{expr::kNoExpr};
+
+  // Assign target
+  Lhs lhs{};
+
+  // Send / Recv: the channel operand is an expression evaluating to a
+  // channel id, so channels can be process parameters.
+  ExprRef chan{expr::kNoExpr};
+  std::vector<ExprRef> fields;   // send payload (one expr per field)
+  bool sorted{false};            // `!!` ordered insert (priority queues)
+  std::vector<RecvArg> args;     // receive pattern
+  bool random{false};            // `??` first matching message anywhere
+  bool copy{false};              // peek: do not remove the message
+
+  // If / Do
+  std::vector<Branch> branches;
+
+  // Atomic
+  Seq body;
+
+  // Optional human-readable label used in counterexample traces.
+  std::string label;
+};
+
+/// Deep copy (statement trees are otherwise move-only).
+StmtPtr clone(const Stmt& s);
+Seq clone(const Seq& s);
+
+}  // namespace pnp::model

@@ -1,0 +1,197 @@
+#include "model/system.h"
+
+#include "support/panic.h"
+
+namespace pnp::model {
+
+StmtPtr clone(const Stmt& s) {
+  auto out = std::make_unique<Stmt>();
+  out->kind = s.kind;
+  out->expr = s.expr;
+  out->lhs = s.lhs;
+  out->chan = s.chan;
+  out->fields = s.fields;
+  out->sorted = s.sorted;
+  out->args = s.args;
+  out->random = s.random;
+  out->copy = s.copy;
+  out->label = s.label;
+  for (const Branch& b : s.branches) {
+    Branch nb;
+    nb.is_else = b.is_else;
+    nb.body = clone(b.body);
+    out->branches.push_back(std::move(nb));
+  }
+  out->body = clone(s.body);
+  return out;
+}
+
+Seq clone(const Seq& s) {
+  Seq out;
+  out.reserve(s.size());
+  for (const StmtPtr& p : s) out.push_back(clone(*p));
+  return out;
+}
+
+int SystemSpec::add_global(std::string name, Value init) {
+  globals.push_back({std::move(name), init});
+  return static_cast<int>(globals.size()) - 1;
+}
+
+int SystemSpec::add_channel(std::string name, int capacity, int arity, bool lossy) {
+  PNP_CHECK(capacity >= 0, "channel capacity must be >= 0");
+  PNP_CHECK(arity >= 1, "channel arity must be >= 1");
+  PNP_CHECK(!(lossy && capacity == 0), "rendezvous channels cannot be lossy");
+  channels.push_back({std::move(name), capacity, arity, lossy});
+  return static_cast<int>(channels.size()) - 1;
+}
+
+Value SystemSpec::add_mtype(std::string name) {
+  mtypes.push_back(std::move(name));
+  return static_cast<Value>(mtypes.size());  // values start at 1
+}
+
+int SystemSpec::add_proctype(ProcType p) {
+  proctypes.push_back(std::move(p));
+  return static_cast<int>(proctypes.size()) - 1;
+}
+
+int SystemSpec::spawn(std::string name, int proctype, std::vector<Value> args) {
+  PNP_CHECK(proctype >= 0 && proctype < static_cast<int>(proctypes.size()),
+            "spawn of unknown proctype");
+  PNP_CHECK(args.size() == proctypes[static_cast<std::size_t>(proctype)].params.size(),
+            "spawn argument count mismatch for " +
+                proctypes[static_cast<std::size_t>(proctype)].name);
+  processes.push_back({std::move(name), proctype, std::move(args)});
+  return static_cast<int>(processes.size()) - 1;
+}
+
+std::optional<int> SystemSpec::find_global(const std::string& name) const {
+  for (std::size_t i = 0; i < globals.size(); ++i)
+    if (globals[i].name == name) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+std::optional<int> SystemSpec::find_channel(const std::string& name) const {
+  for (std::size_t i = 0; i < channels.size(); ++i)
+    if (channels[i].name == name) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+std::optional<int> SystemSpec::find_proctype(const std::string& name) const {
+  for (std::size_t i = 0; i < proctypes.size(); ++i)
+    if (proctypes[i].name == name) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+std::string SystemSpec::mtype_name(Value v) const {
+  if (v >= 1 && static_cast<std::size_t>(v) <= mtypes.size())
+    return mtypes[static_cast<std::size_t>(v - 1)];
+  return std::to_string(v);
+}
+
+namespace {
+
+struct Validator {
+  const SystemSpec& sys;
+  const ProcType* proc = nullptr;
+  int do_depth = 0;
+
+  void check_lhs(const Lhs& l) const {
+    if (l.kind == LhsKind::Local) {
+      PNP_CHECK(l.slot >= 0 && l.slot < proc->frame_size(),
+                "local slot out of range in " + proc->name);
+    } else {
+      PNP_CHECK(l.slot >= 0 && l.slot < static_cast<int>(sys.globals.size()),
+                "global slot out of range in " + proc->name);
+    }
+  }
+
+  void check_chan_arity(ExprRef chan, std::size_t nfields) const {
+    // Only statically known channel operands can be arity-checked here;
+    // channel parameters are checked at runtime by the kernel.
+    const expr::Node& n = sys.exprs.at(chan);
+    if (n.op != expr::Op::Const) return;
+    PNP_CHECK(n.imm >= 0 && n.imm < static_cast<Value>(sys.channels.size()),
+              "send/recv on unknown channel in " + proc->name);
+    PNP_CHECK(sys.channels[static_cast<std::size_t>(n.imm)].arity ==
+                  static_cast<int>(nfields),
+              "message arity mismatch on channel " +
+                  sys.channels[static_cast<std::size_t>(n.imm)].name);
+  }
+
+  void visit(const Seq& seq) {
+    for (const StmtPtr& s : seq) visit(*s);
+  }
+
+  void visit(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Skip:
+      case StmtKind::EndLabel:
+        break;
+      case StmtKind::Guard:
+      case StmtKind::Assert:
+        PNP_CHECK(s.expr != expr::kNoExpr, "guard/assert without expression");
+        break;
+      case StmtKind::Assign:
+        PNP_CHECK(s.expr != expr::kNoExpr, "assign without rhs");
+        check_lhs(s.lhs);
+        break;
+      case StmtKind::Send:
+        PNP_CHECK(s.chan != expr::kNoExpr, "send without channel");
+        PNP_CHECK(!s.fields.empty(), "send without fields");
+        check_chan_arity(s.chan, s.fields.size());
+        break;
+      case StmtKind::Recv:
+        PNP_CHECK(s.chan != expr::kNoExpr, "recv without channel");
+        PNP_CHECK(!s.args.empty(), "recv without pattern");
+        check_chan_arity(s.chan, s.args.size());
+        for (const RecvArg& a : s.args) {
+          if (a.kind == RecvArgKind::Bind) check_lhs(a.lhs);
+          if (a.kind == RecvArgKind::Match)
+            PNP_CHECK(a.match != expr::kNoExpr, "match arg without expression");
+        }
+        break;
+      case StmtKind::If:
+      case StmtKind::Do: {
+        PNP_CHECK(!s.branches.empty(), "selection with no branches");
+        int n_else = 0;
+        for (const Branch& b : s.branches) {
+          PNP_CHECK(!b.body.empty(), "empty selection branch");
+          if (b.is_else) ++n_else;
+        }
+        PNP_CHECK(n_else <= 1, "selection with multiple else branches");
+        if (s.kind == StmtKind::Do) ++do_depth;
+        for (const Branch& b : s.branches) visit(b.body);
+        if (s.kind == StmtKind::Do) --do_depth;
+        break;
+      }
+      case StmtKind::Break:
+        PNP_CHECK(do_depth > 0, "break outside of do loop in " + proc->name);
+        break;
+      case StmtKind::Atomic:
+        PNP_CHECK(!s.body.empty(), "empty atomic block");
+        visit(s.body);
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+void SystemSpec::validate() const {
+  PNP_CHECK(!processes.empty(), "system has no processes");
+  Validator v{*this};
+  for (const ProcType& p : proctypes) {
+    v.proc = &p;
+    v.do_depth = 0;
+    v.visit(p.body);
+  }
+  for (const ProcessInst& inst : processes) {
+    PNP_CHECK(inst.proctype >= 0 &&
+                  inst.proctype < static_cast<int>(proctypes.size()),
+              "process instance with unknown proctype: " + inst.name);
+  }
+}
+
+}  // namespace pnp::model

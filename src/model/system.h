@@ -1,0 +1,75 @@
+// System specification: global declarations, channels, process types, and
+// process instances -- the unit handed to the compiler and kernel.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/ir.h"
+
+namespace pnp::model {
+
+struct VarDecl {
+  std::string name;
+  Value init{0};
+};
+
+struct ChannelDecl {
+  std::string name;
+  int capacity{0};  // 0 = rendezvous
+  int arity{1};     // fields per message
+  bool lossy{false};  // if true, a send to a full channel succeeds and the
+                      // message is silently dropped (the paper's "third kind
+                      // of channel" in section 3.3)
+};
+
+struct ProcType {
+  std::string name;
+  std::vector<VarDecl> params;  // bound from spawn arguments
+  std::vector<VarDecl> locals;
+  Seq body;
+
+  int frame_size() const {
+    return static_cast<int>(params.size() + locals.size());
+  }
+};
+
+struct ProcessInst {
+  std::string name;       // instance name (e.g. "BlueCar0"), used in traces
+  int proctype{-1};       // index into SystemSpec::proctypes
+  std::vector<Value> args;
+};
+
+class SystemSpec {
+ public:
+  expr::Pool exprs;
+
+  std::vector<VarDecl> globals;
+  std::vector<ChannelDecl> channels;
+  std::vector<ProcType> proctypes;
+  std::vector<ProcessInst> processes;
+
+  /// Symbolic message-tag names (Promela mtype). Values start at 1 so that
+  /// 0 stays distinguishable as "no tag".
+  std::vector<std::string> mtypes;
+
+  // -- declaration helpers --------------------------------------------------
+  int add_global(std::string name, Value init = 0);
+  int add_channel(std::string name, int capacity, int arity, bool lossy = false);
+  Value add_mtype(std::string name);
+  int add_proctype(ProcType p);
+  int spawn(std::string name, int proctype, std::vector<Value> args);
+
+  // -- lookups ---------------------------------------------------------------
+  std::optional<int> find_global(const std::string& name) const;
+  std::optional<int> find_channel(const std::string& name) const;
+  std::optional<int> find_proctype(const std::string& name) const;
+  std::string mtype_name(Value v) const;
+
+  /// Validates arities, slot ranges, and spawn argument counts; raises
+  /// ModelError on the first problem found.
+  void validate() const;
+};
+
+}  // namespace pnp::model

@@ -1,0 +1,242 @@
+#include "pml/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/panic.h"
+
+namespace pnp::pml {
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kw = {
+      {"mtype", Tok::KwMtype},   {"chan", Tok::KwChan},
+      {"of", Tok::KwOf},         {"int", Tok::KwInt},
+      {"byte", Tok::KwByte},     {"bool", Tok::KwBool},
+      {"bit", Tok::KwBit},       {"short", Tok::KwShort},
+      {"proctype", Tok::KwProctype}, {"active", Tok::KwActive},
+      {"init", Tok::KwInit},     {"run", Tok::KwRun},
+      {"if", Tok::KwIf},         {"fi", Tok::KwFi},
+      {"do", Tok::KwDo},         {"od", Tok::KwOd},
+      {"else", Tok::KwElse},     {"break", Tok::KwBreak},
+      {"skip", Tok::KwSkip},     {"goto", Tok::KwGoto},
+      {"atomic", Tok::KwAtomic}, {"d_step", Tok::KwDStep},
+      {"assert", Tok::KwAssert}, {"eval", Tok::KwEval},
+      {"true", Tok::KwTrue},     {"false", Tok::KwFalse},
+      {"len", Tok::KwLen},       {"full", Tok::KwFull},
+      {"empty", Tok::KwEmpty},   {"nfull", Tok::KwNFull},
+      {"nempty", Tok::KwNEmpty}, {"_pid", Tok::KwPid},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+  const std::size_t n = src.size();
+
+  auto advance = [&](std::size_t k) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i < n && src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](Tok k, std::string text, long value = 0) {
+    out.push_back({k, std::move(text), value, line, col});
+  };
+  auto err = [&](const std::string& what) {
+    raise_model_error("PML lex error at " + std::to_string(line) + ":" +
+                      std::to_string(col) + ": " + what);
+  };
+  auto peek2 = [&](char a, char b) {
+    return i + 1 < n && src[i] == a && src[i + 1] == b;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (peek2('/', '/')) {
+      while (i < n && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (peek2('/', '*')) {
+      advance(2);
+      while (i < n && !peek2('*', '/')) advance(1);
+      if (i >= n) err("unterminated comment");
+      advance(2);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      long v = 0;
+      while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) {
+        v = v * 10 + (src[j] - '0');
+        ++j;
+      }
+      push(Tok::Number, src.substr(i, j - i), v);
+      advance(j - i);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_'))
+        ++j;
+      const std::string word = src.substr(i, j - i);
+      if (word == "_") {
+        push(Tok::Underscore, word);
+      } else {
+        auto it = keywords().find(word);
+        push(it != keywords().end() ? it->second : Tok::Ident, word);
+      }
+      advance(j - i);
+      continue;
+    }
+    switch (c) {
+      case '{': push(Tok::LBrace, "{"); advance(1); continue;
+      case '}': push(Tok::RBrace, "}"); advance(1); continue;
+      case '(': push(Tok::LParen, "("); advance(1); continue;
+      case ')': push(Tok::RParen, ")"); advance(1); continue;
+      case '[': push(Tok::LBracket, "["); advance(1); continue;
+      case ']': push(Tok::RBracket, "]"); advance(1); continue;
+      case ';': push(Tok::Semi, ";"); advance(1); continue;
+      case ',': push(Tok::Comma, ","); advance(1); continue;
+      case '+': push(Tok::Plus, "+"); advance(1); continue;
+      case '*': push(Tok::Star, "*"); advance(1); continue;
+      case '/': push(Tok::Slash, "/"); advance(1); continue;
+      case '%': push(Tok::Percent, "%"); advance(1); continue;
+      case ':':
+        if (peek2(':', ':')) {
+          push(Tok::DoubleColon, "::");
+          advance(2);
+        } else {
+          push(Tok::Colon, ":");
+          advance(1);
+        }
+        continue;
+      case '-':
+        if (peek2('-', '>')) {
+          push(Tok::Arrow, "->");
+          advance(2);
+        } else {
+          push(Tok::Minus, "-");
+          advance(1);
+        }
+        continue;
+      case '=':
+        if (peek2('=', '=')) {
+          push(Tok::EqEq, "==");
+          advance(2);
+        } else {
+          push(Tok::Assign, "=");
+          advance(1);
+        }
+        continue;
+      case '!':
+        if (peek2('!', '=')) {
+          push(Tok::NotEq, "!=");
+          advance(2);
+        } else if (peek2('!', '!')) {
+          push(Tok::DoubleBang, "!!");
+          advance(2);
+        } else {
+          push(Tok::Bang, "!");
+          advance(1);
+        }
+        continue;
+      case '?':
+        if (peek2('?', '?')) {
+          push(Tok::DoubleQuery, "??");
+          advance(2);
+        } else if (peek2('?', '<')) {
+          push(Tok::QueryLess, "?<");
+          advance(2);
+        } else {
+          push(Tok::Query, "?");
+          advance(1);
+        }
+        continue;
+      case '<':
+        if (peek2('<', '=')) {
+          push(Tok::LessEq, "<=");
+          advance(2);
+        } else {
+          push(Tok::Less, "<");
+          advance(1);
+        }
+        continue;
+      case '>':
+        if (peek2('>', '=')) {
+          push(Tok::GreaterEq, ">=");
+          advance(2);
+        } else {
+          push(Tok::Greater, ">");
+          advance(1);
+        }
+        continue;
+      case '&':
+        if (peek2('&', '&')) {
+          push(Tok::AndAnd, "&&");
+          advance(2);
+          continue;
+        }
+        err("single '&' is not supported");
+        continue;
+      case '|':
+        if (peek2('|', '|')) {
+          push(Tok::OrOr, "||");
+          advance(2);
+          continue;
+        }
+        err("single '|' is not supported");
+        continue;
+      default:
+        err(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(Tok::End, "");
+  return out;
+}
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semi: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Colon: return "':'";
+    case Tok::DoubleColon: return "'::'";
+    case Tok::Arrow: return "'->'";
+    case Tok::Assign: return "'='";
+    case Tok::Bang: return "'!'";
+    case Tok::DoubleBang: return "'!!'";
+    case Tok::Query: return "'?'";
+    case Tok::DoubleQuery: return "question-question";
+    case Tok::QueryLess: return "'?<'";
+    case Tok::Greater: return "'>'";
+    case Tok::Underscore: return "'_'";
+    default: return "token";
+  }
+}
+
+}  // namespace pnp::pml

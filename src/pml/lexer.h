@@ -1,0 +1,55 @@
+// Tokenizer for the PML (Promela-subset) textual model language.
+//
+// The supported language is the subset the paper's models use: mtype
+// declarations, global scalars and channels, (active) proctypes with
+// parameters and local declarations, if/do selections with else branches,
+// atomic blocks, assertions, all four channel-operation flavours
+// (! !! ? ??, plus ?< > copy receives), eval() match arguments, end labels,
+// and an init block of run statements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnp::pml {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  Number,
+  // punctuation
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Semi, Comma, Colon, DoubleColon, Arrow,           // ; , : :: ->
+  Assign,                                            // =
+  Bang, DoubleBang, Query, DoubleQuery, QueryLess,   // ! !! ? ?? ?<
+  Greater,                                           // > (closes ?<...>)
+  Underscore,                                        // _
+  // operators
+  Plus, Minus, Star, Slash, Percent,
+  EqEq, NotEq, Less, LessEq, GreaterEq,
+  AndAnd, OrOr, Not,
+  // keywords
+  KwMtype, KwChan, KwOf, KwInt, KwByte, KwBool, KwBit, KwShort,
+  KwProctype, KwActive, KwInit, KwRun,
+  KwIf, KwFi, KwDo, KwOd, KwElse, KwBreak, KwSkip, KwGoto,
+  KwAtomic, KwDStep, KwAssert, KwEval, KwTrue, KwFalse,
+  KwLen, KwFull, KwEmpty, KwNFull, KwNEmpty, KwPid,
+};
+
+struct Token {
+  Tok kind{Tok::End};
+  std::string text;
+  long value{0};  // for Number
+  int line{1};
+  int col{1};
+};
+
+/// Tokenizes PML source; raises ModelError (with line/column) on bad input.
+/// Handles // and /* */ comments.
+std::vector<Token> lex(const std::string& source);
+
+/// Token name for diagnostics.
+const char* tok_name(Tok t);
+
+}  // namespace pnp::pml

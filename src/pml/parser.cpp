@@ -1,0 +1,704 @@
+#include "pml/parser.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "model/builder.h"
+#include "pml/lexer.h"
+#include "support/panic.h"
+
+namespace pnp::pml {
+
+namespace {
+
+using namespace model;
+using expr::Ex;
+
+bool is_type_tok(Tok t) {
+  return t == Tok::KwInt || t == Tok::KwByte || t == Tok::KwBool ||
+         t == Tok::KwBit || t == Tok::KwShort || t == Tok::KwMtype;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source)
+      : toks_(lex(source)), sys_(&owned_) {}
+  Parser(const std::string& source, SystemSpec& external)
+      : toks_(lex(source)), sys_(&external) {}
+
+  /// Behavior mode: parse a statement sequence into an existing builder.
+  Parser(const std::string& source, ProcBuilder& b,
+         const BehaviorSymbols& symbols)
+      : toks_(lex(source)), sys_(&b.sys()) {
+    scope_.b = &b;
+    for (const auto& [name, id] : symbols.channels) chans_[name] = id;
+    for (const auto& [name, slot] : symbols.globals) globals_[name] = slot;
+    for (std::size_t i = 0; i < symbols.mtypes.size(); ++i)
+      mtypes_[symbols.mtypes[i]] = static_cast<Value>(i + 1);
+  }
+
+  Seq parse_behavior_body() {
+    Seq body = parse_seq({Tok::End});
+    expect(Tok::End, "end of behavior");
+    return body;
+  }
+
+  SystemSpec take() {
+    parse_program();
+    sys_->validate();
+    return std::move(owned_);
+  }
+
+  /// Expression-only entry point (globals scope of the external spec).
+  expr::Ref parse_expression_only() {
+    index_system_symbols();
+    const Ex e = parse_expr();
+    expect(Tok::End, "end of expression");
+    return e.ref;
+  }
+
+ private:
+  // -- token helpers -----------------------------------------------------------
+  const Token& peek(int ahead = 0) const {
+    const std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+    return p < toks_.size() ? toks_[p] : toks_.back();
+  }
+  Token take_tok() { return toks_[pos_++]; }
+  bool accept(Tok k) {
+    if (peek().kind != k) return false;
+    ++pos_;
+    return true;
+  }
+  Token expect(Tok k, const std::string& what) {
+    PNP_CHECK(peek().kind == k, err_at(peek(), "expected " + what + ", found " +
+                                                   tok_name(peek().kind)));
+    return take_tok();
+  }
+  static std::string err_at(const Token& t, const std::string& msg) {
+    return "PML parse error at " + std::to_string(t.line) + ":" +
+           std::to_string(t.col) + ": " + msg;
+  }
+  [[noreturn]] void fail(const std::string& msg) {
+    raise_model_error(err_at(peek(), msg));
+  }
+
+  // -- symbols -----------------------------------------------------------------
+  struct ProcScope {
+    ProcBuilder* b{nullptr};
+    std::unordered_map<std::string, LVar> locals;
+  };
+
+  void index_system_symbols() {
+    for (std::size_t i = 0; i < sys_->mtypes.size(); ++i)
+      mtypes_[sys_->mtypes[i]] = static_cast<Value>(i + 1);
+    for (std::size_t i = 0; i < sys_->globals.size(); ++i)
+      globals_[sys_->globals[i].name] = static_cast<int>(i);
+    for (std::size_t i = 0; i < sys_->channels.size(); ++i)
+      chans_[sys_->channels[i].name] = static_cast<int>(i);
+  }
+
+  Ex k(Value v) { return expr::wrap(sys_->exprs, sys_->exprs.konst(v)); }
+  Ex gref(int slot) { return expr::wrap(sys_->exprs, sys_->exprs.global(slot)); }
+  Ex lref(int slot) { return expr::wrap(sys_->exprs, sys_->exprs.local(slot)); }
+
+  /// Resolves an identifier to an expression (locals > globals > mtypes >
+  /// channels, mirroring Promela scoping).
+  Ex resolve(const Token& id) {
+    if (scope_.b) {
+      auto it = scope_.locals.find(id.text);
+      if (it != scope_.locals.end()) return lref(it->second.slot);
+    }
+    auto g = globals_.find(id.text);
+    if (g != globals_.end()) return gref(g->second);
+    auto m = mtypes_.find(id.text);
+    if (m != mtypes_.end()) return k(m->second);
+    auto c = chans_.find(id.text);
+    if (c != chans_.end()) return k(static_cast<Value>(c->second));
+    raise_model_error(err_at(id, "unknown identifier '" + id.text + "'"));
+  }
+
+  /// Is `name` a variable (bindable in a receive pattern)?
+  bool is_variable(const std::string& name) const {
+    if (scope_.b && scope_.locals.contains(name)) return true;
+    return globals_.contains(name);
+  }
+
+  std::optional<Lhs> lhs_of(const std::string& name) const {
+    if (scope_.b) {
+      auto it = scope_.locals.find(name);
+      if (it != scope_.locals.end()) return Lhs{LhsKind::Local, it->second.slot};
+    }
+    auto g = globals_.find(name);
+    if (g != globals_.end()) return Lhs{LhsKind::Global, g->second};
+    return std::nullopt;
+  }
+
+  // -- top level ----------------------------------------------------------------
+  void parse_program() {
+    while (peek().kind != Tok::End) {
+      switch (peek().kind) {
+        case Tok::KwMtype:
+          if (peek(1).kind == Tok::Assign) {
+            parse_mtype_decl();
+          } else {
+            parse_global_scalars();  // "mtype x;" global of type mtype
+          }
+          break;
+        case Tok::KwChan:
+          parse_chan_decl();
+          break;
+        case Tok::KwInt:
+        case Tok::KwByte:
+        case Tok::KwBool:
+        case Tok::KwBit:
+        case Tok::KwShort:
+          parse_global_scalars();
+          break;
+        case Tok::KwActive:
+        case Tok::KwProctype:
+          parse_proctype();
+          break;
+        case Tok::KwInit:
+          parse_init();
+          break;
+        case Tok::Semi:
+          take_tok();
+          break;
+        default:
+          fail("expected a declaration");
+      }
+    }
+    // active proctypes already spawned; nothing else to do
+  }
+
+  void parse_mtype_decl() {
+    expect(Tok::KwMtype, "'mtype'");
+    expect(Tok::Assign, "'='");
+    expect(Tok::LBrace, "'{'");
+    do {
+      const Token id = expect(Tok::Ident, "mtype name");
+      PNP_CHECK(!mtypes_.contains(id.text),
+                err_at(id, "duplicate mtype '" + id.text + "'"));
+      mtypes_[id.text] = sys_->add_mtype(id.text);
+    } while (accept(Tok::Comma));
+    expect(Tok::RBrace, "'}'");
+    accept(Tok::Semi);
+  }
+
+  void parse_chan_decl() {
+    expect(Tok::KwChan, "'chan'");
+    const Token id = expect(Tok::Ident, "channel name");
+    expect(Tok::Assign, "'='");
+    expect(Tok::LBracket, "'['");
+    const Token cap = expect(Tok::Number, "capacity");
+    expect(Tok::RBracket, "']'");
+    expect(Tok::KwOf, "'of'");
+    expect(Tok::LBrace, "'{'");
+    int arity = 0;
+    do {
+      if (!is_type_tok(peek().kind) && peek().kind != Tok::KwChan)
+        fail("expected a field type");
+      take_tok();
+      ++arity;
+    } while (accept(Tok::Comma));
+    expect(Tok::RBrace, "'}'");
+    accept(Tok::Semi);
+    PNP_CHECK(!chans_.contains(id.text),
+              err_at(id, "duplicate channel '" + id.text + "'"));
+    chans_[id.text] =
+        sys_->add_channel(id.text, static_cast<int>(cap.value), arity);
+  }
+
+  Value parse_const_initializer() {
+    // constant expressions only: number, mtype, true/false, unary minus
+    bool neg = false;
+    while (accept(Tok::Minus)) neg = !neg;
+    const Token t = take_tok();
+    Value v = 0;
+    switch (t.kind) {
+      case Tok::Number: v = static_cast<Value>(t.value); break;
+      case Tok::KwTrue: v = 1; break;
+      case Tok::KwFalse: v = 0; break;
+      case Tok::Ident: {
+        auto m = mtypes_.find(t.text);
+        PNP_CHECK(m != mtypes_.end(),
+                  err_at(t, "initializer must be a constant"));
+        v = m->second;
+        break;
+      }
+      default:
+        raise_model_error(err_at(t, "initializer must be a constant"));
+    }
+    return neg ? -v : v;
+  }
+
+  void parse_global_scalars() {
+    take_tok();  // type keyword
+    do {
+      const Token id = expect(Tok::Ident, "variable name");
+      Value init = 0;
+      if (accept(Tok::Assign)) init = parse_const_initializer();
+      PNP_CHECK(!globals_.contains(id.text),
+                err_at(id, "duplicate global '" + id.text + "'"));
+      globals_[id.text] = sys_->add_global(id.text, init);
+    } while (accept(Tok::Comma));
+    expect(Tok::Semi, "';'");
+  }
+
+  void parse_proctype() {
+    int active_count = 0;
+    if (accept(Tok::KwActive)) {
+      active_count = 1;
+      if (accept(Tok::LBracket)) {
+        active_count = static_cast<int>(expect(Tok::Number, "count").value);
+        expect(Tok::RBracket, "']'");
+      }
+    }
+    expect(Tok::KwProctype, "'proctype'");
+    const Token name = expect(Tok::Ident, "proctype name");
+    expect(Tok::LParen, "'('");
+
+    ProcBuilder b(*sys_, name.text);
+    scope_ = ProcScope{&b, {}};
+    int n_params = 0;
+    if (peek().kind != Tok::RParen) {
+      do {
+        if (!is_type_tok(peek().kind) && peek().kind != Tok::KwChan)
+          fail("expected a parameter type");
+        take_tok();
+        const Token pid = expect(Tok::Ident, "parameter name");
+        scope_.locals[pid.text] = b.param(pid.text);
+        ++n_params;
+        // Promela separates parameter groups by ';' and same-type names by ','
+      } while (accept(Tok::Semi) || accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "')'");
+    PNP_CHECK(active_count == 0 || n_params == 0,
+              err_at(name, "active proctypes cannot take parameters"));
+    expect(Tok::LBrace, "'{'");
+    Seq body = parse_seq({Tok::RBrace});
+    expect(Tok::RBrace, "'}'");
+    const int pt = b.finish(std::move(body));
+    proctypes_[name.text] = pt;
+    scope_ = ProcScope{};
+    for (int a = 0; a < active_count; ++a)
+      sys_->spawn(active_count == 1 ? name.text
+                                   : name.text + std::to_string(a),
+                 pt, {});
+  }
+
+  void parse_init() {
+    expect(Tok::KwInit, "'init'");
+    expect(Tok::LBrace, "'{'");
+    std::unordered_map<std::string, int> run_counts;
+    while (peek().kind != Tok::RBrace) {
+      if (accept(Tok::Semi)) continue;
+      if (accept(Tok::KwAtomic)) {  // common idiom: init { atomic { run...; } }
+        expect(Tok::LBrace, "'{'");
+        continue;  // contents handled by the loop; closing brace below
+      }
+      if (peek().kind == Tok::RBrace) break;
+      if (accept(Tok::KwRun)) {
+        const Token pname = expect(Tok::Ident, "proctype name");
+        auto it = proctypes_.find(pname.text);
+        PNP_CHECK(it != proctypes_.end(),
+                  err_at(pname, "unknown proctype '" + pname.text + "'"));
+        std::vector<Value> args;
+        expect(Tok::LParen, "'('");
+        if (peek().kind != Tok::RParen) {
+          do {
+            args.push_back(parse_run_arg());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "')'");
+        const int count = run_counts[pname.text]++;
+        sys_->spawn(count == 0 ? pname.text
+                              : pname.text + std::to_string(count),
+                   it->second, std::move(args));
+        continue;
+      }
+      fail("init may only contain run statements");
+    }
+    expect(Tok::RBrace, "'}'");
+    // tolerate the closing brace of an atomic wrapper
+    accept(Tok::RBrace);
+  }
+
+  Value parse_run_arg() {
+    // constants, mtype names, or channel names
+    if (peek().kind == Tok::Ident) {
+      const Token id = take_tok();
+      auto m = mtypes_.find(id.text);
+      if (m != mtypes_.end()) return m->second;
+      auto c = chans_.find(id.text);
+      if (c != chans_.end()) return static_cast<Value>(c->second);
+      raise_model_error(err_at(id, "run argument must be a constant, mtype, "
+                                   "or channel"));
+    }
+    return parse_const_initializer();
+  }
+
+  // -- statements ---------------------------------------------------------------
+  bool at_seq_end(const std::vector<Tok>& terminators) const {
+    for (Tok t : terminators)
+      if (peek().kind == t) return true;
+    return peek().kind == Tok::DoubleColon || peek().kind == Tok::End;
+  }
+
+  Seq parse_seq(const std::vector<Tok>& terminators) {
+    Seq out;
+    while (true) {
+      while (accept(Tok::Semi) || accept(Tok::Arrow)) {
+      }
+      if (at_seq_end(terminators)) break;
+      parse_statement_into(out);
+      if (!accept(Tok::Semi) && !accept(Tok::Arrow)) {
+        if (at_seq_end(terminators)) break;
+        fail("expected ';' or '->' between statements");
+      }
+    }
+    return out;
+  }
+
+  void parse_statement_into(Seq& out) {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::KwSkip:
+        take_tok();
+        out.push_back(skip());
+        return;
+      case Tok::KwBreak:
+        take_tok();
+        out.push_back(break_());
+        return;
+      case Tok::KwGoto:
+        fail("goto is not supported (use structured control flow)");
+      case Tok::KwAssert: {
+        take_tok();
+        expect(Tok::LParen, "'('");
+        const Ex e = parse_expr();
+        expect(Tok::RParen, "')'");
+        out.push_back(assert_(e));
+        return;
+      }
+      case Tok::KwAtomic:
+      case Tok::KwDStep: {
+        take_tok();
+        expect(Tok::LBrace, "'{'");
+        Seq body = parse_seq({Tok::RBrace});
+        expect(Tok::RBrace, "'}'");
+        out.push_back(atomic(std::move(body)));
+        return;
+      }
+      case Tok::KwIf:
+      case Tok::KwDo: {
+        const bool is_do = t.kind == Tok::KwDo;
+        take_tok();
+        auto sel = std::make_unique<Stmt>();
+        sel->kind = is_do ? StmtKind::Do : StmtKind::If;
+        const Tok closer = is_do ? Tok::KwOd : Tok::KwFi;
+        while (accept(Tok::DoubleColon)) {
+          Branch br;
+          if (peek().kind == Tok::KwElse) {
+            take_tok();
+            br.is_else = true;
+            accept(Tok::Arrow);
+            accept(Tok::Semi);
+            if (peek().kind == Tok::DoubleColon || peek().kind == closer) {
+              br.body = seq(skip());
+            } else {
+              br.body = parse_seq({closer});
+            }
+          } else {
+            br.body = parse_seq({closer});
+          }
+          PNP_CHECK(!br.body.empty(), err_at(peek(), "empty branch"));
+          sel->branches.push_back(std::move(br));
+        }
+        expect(closer, is_do ? "'od'" : "'fi'");
+        out.push_back(std::move(sel));
+        return;
+      }
+      case Tok::KwInt:
+      case Tok::KwByte:
+      case Tok::KwBool:
+      case Tok::KwBit:
+      case Tok::KwShort:
+      case Tok::KwMtype: {
+        // local declaration(s)
+        PNP_CHECK(scope_.b != nullptr, err_at(t, "declaration outside proctype"));
+        take_tok();
+        do {
+          const Token id = expect(Tok::Ident, "variable name");
+          Value init = 0;
+          if (accept(Tok::Assign)) init = parse_const_initializer();
+          PNP_CHECK(!scope_.locals.contains(id.text),
+                    err_at(id, "duplicate local '" + id.text + "'"));
+          scope_.locals[id.text] = scope_.b->local(id.text, init);
+        } while (accept(Tok::Comma));
+        return;  // declarations produce no statement
+      }
+      case Tok::Ident: {
+        // label? ident ':' stmt   (only end* labels carry meaning)
+        if (peek(1).kind == Tok::Colon) {
+          const Token label = take_tok();
+          take_tok();  // ':'
+          if (label.text.rfind("end", 0) == 0) {
+            out.push_back(end_label());
+          }
+          // progress*/accept* labels are accepted but have no effect here
+          parse_statement_into(out);
+          return;
+        }
+        parse_ident_statement(out);
+        return;
+      }
+      default: {
+        // expression statement (guard)
+        const Ex e = parse_expr();
+        out.push_back(guard(e));
+        return;
+      }
+    }
+  }
+
+  /// Statements starting with an identifier: assignment, ++/--, or a
+  /// channel operation.
+  void parse_ident_statement(Seq& out) {
+    const Token id = take_tok();
+    switch (peek().kind) {
+      case Tok::Assign: {
+        take_tok();
+        auto lhs = lhs_of(id.text);
+        PNP_CHECK(lhs.has_value(), err_at(id, "cannot assign to '" + id.text + "'"));
+        const Ex e = parse_expr();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::Assign;
+        s->lhs = *lhs;
+        s->expr = e.ref;
+        out.push_back(std::move(s));
+        return;
+      }
+      case Tok::Plus:
+      case Tok::Minus: {
+        // x++ / x--
+        const Tok op = peek().kind;
+        if (peek(1).kind != op) {
+          // not ++/--: it's an expression guard starting with the ident
+          --pos_;  // un-take id
+          out.push_back(guard(parse_expr()));
+          return;
+        }
+        take_tok();
+        take_tok();
+        auto lhs = lhs_of(id.text);
+        PNP_CHECK(lhs.has_value(), err_at(id, "cannot modify '" + id.text + "'"));
+        const Ex cur = lhs->kind == LhsKind::Local ? lref(lhs->slot)
+                                                   : gref(lhs->slot);
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::Assign;
+        s->lhs = *lhs;
+        s->expr = (op == Tok::Plus ? (cur + k(1)) : (cur - k(1))).ref;
+        out.push_back(std::move(s));
+        return;
+      }
+      case Tok::Bang:
+      case Tok::DoubleBang: {
+        const bool sorted = take_tok().kind == Tok::DoubleBang;
+        std::vector<Ex> fields;
+        do {
+          fields.push_back(parse_expr());
+        } while (accept(Tok::Comma));
+        SendOpts so;
+        so.sorted = sorted;
+        out.push_back(send(resolve(id), std::move(fields), "", so));
+        return;
+      }
+      case Tok::Query:
+      case Tok::DoubleQuery:
+      case Tok::QueryLess: {
+        const Tok op = take_tok().kind;
+        RecvOpts ro;
+        ro.random = op == Tok::DoubleQuery;
+        ro.copy = op == Tok::QueryLess;
+        std::vector<RecvArg> args;
+        do {
+          args.push_back(parse_recv_arg());
+        } while (accept(Tok::Comma));
+        if (op == Tok::QueryLess) expect(Tok::Greater, "'>'");
+        out.push_back(recv(resolve(id), std::move(args), "", ro));
+        return;
+      }
+      default: {
+        // expression guard starting with the identifier
+        --pos_;  // un-take id
+        out.push_back(guard(parse_expr()));
+        return;
+      }
+    }
+  }
+
+  RecvArg parse_recv_arg() {
+    if (accept(Tok::Underscore)) return any();
+    if (accept(Tok::KwEval)) {
+      expect(Tok::LParen, "'('");
+      const Ex e = parse_expr();
+      expect(Tok::RParen, "')'");
+      return match(e);
+    }
+    if (peek().kind == Tok::Ident) {
+      const Token id = peek();
+      if (is_variable(id.text)) {
+        take_tok();
+        const auto lhs = lhs_of(id.text);
+        RecvArg a;
+        a.kind = RecvArgKind::Bind;
+        a.lhs = *lhs;
+        return a;
+      }
+      // mtype or channel name: constant match
+      take_tok();
+      return match(resolve(id));
+    }
+    // constant expression match (numbers, true/false, negation)
+    return match(parse_unary());
+  }
+
+  // -- expressions ----------------------------------------------------------------
+  Ex parse_expr() { return parse_or(); }
+
+  Ex parse_or() {
+    Ex a = parse_and();
+    while (accept(Tok::OrOr)) a = a || parse_and();
+    return a;
+  }
+  Ex parse_and() {
+    Ex a = parse_eq();
+    while (accept(Tok::AndAnd)) a = a && parse_eq();
+    return a;
+  }
+  Ex parse_eq() {
+    Ex a = parse_rel();
+    while (true) {
+      if (accept(Tok::EqEq)) a = a == parse_rel();
+      else if (accept(Tok::NotEq)) a = a != parse_rel();
+      else return a;
+    }
+  }
+  Ex parse_rel() {
+    Ex a = parse_add();
+    while (true) {
+      if (accept(Tok::Less)) a = a < parse_add();
+      else if (accept(Tok::LessEq)) a = a <= parse_add();
+      else if (accept(Tok::Greater)) a = a > parse_add();
+      else if (accept(Tok::GreaterEq)) a = a >= parse_add();
+      else return a;
+    }
+  }
+  Ex parse_add() {
+    Ex a = parse_mul();
+    while (true) {
+      if (accept(Tok::Plus)) a = a + parse_mul();
+      else if (accept(Tok::Minus)) a = a - parse_mul();
+      else return a;
+    }
+  }
+  Ex parse_mul() {
+    Ex a = parse_unary();
+    while (true) {
+      if (accept(Tok::Star)) a = a * parse_unary();
+      else if (accept(Tok::Slash)) a = a / parse_unary();
+      else if (accept(Tok::Percent)) a = a % parse_unary();
+      else return a;
+    }
+  }
+  Ex parse_unary() {
+    if (accept(Tok::Not)) return !parse_unary();
+    if (accept(Tok::Bang)) return !parse_unary();  // '!' doubles as logical not
+    if (accept(Tok::Minus)) return -parse_unary();
+    return parse_primary();
+  }
+
+  Ex chan_query(expr::Op op) {
+    expect(Tok::LParen, "'('");
+    const Token id = expect(Tok::Ident, "channel name");
+    const Ex ch = resolve(id);
+    expect(Tok::RParen, "')'");
+    return expr::wrap(sys_->exprs, sys_->exprs.chan_query(op, ch.ref));
+  }
+
+  Ex parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::Number:
+        take_tok();
+        return k(static_cast<Value>(t.value));
+      case Tok::KwTrue:
+        take_tok();
+        return k(1);
+      case Tok::KwFalse:
+        take_tok();
+        return k(0);
+      case Tok::KwPid:
+        take_tok();
+        return expr::wrap(sys_->exprs, sys_->exprs.self_pid());
+      case Tok::KwLen:
+        take_tok();
+        return chan_query(expr::Op::ChanLen);
+      case Tok::KwFull:
+        take_tok();
+        return chan_query(expr::Op::ChanFull);
+      case Tok::KwEmpty:
+        take_tok();
+        return chan_query(expr::Op::ChanEmpty);
+      case Tok::KwNFull:
+        take_tok();
+        return !chan_query(expr::Op::ChanFull);
+      case Tok::KwNEmpty:
+        take_tok();
+        return !chan_query(expr::Op::ChanEmpty);
+      case Tok::LParen: {
+        take_tok();
+        const Ex e = parse_expr();
+        expect(Tok::RParen, "')'");
+        return e;
+      }
+      case Tok::Ident: {
+        const Token id = take_tok();
+        return resolve(id);
+      }
+      default:
+        fail("expected an expression");
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_{0};
+  SystemSpec owned_;
+  SystemSpec* sys_;
+  ProcScope scope_;
+  std::unordered_map<std::string, Value> mtypes_;
+  std::unordered_map<std::string, int> globals_;
+  std::unordered_map<std::string, int> chans_;
+  std::unordered_map<std::string, int> proctypes_;
+};
+
+}  // namespace
+
+SystemSpec parse(const std::string& source) {
+  Parser p(source);
+  return p.take();
+}
+
+expr::Ref parse_global_expr(SystemSpec& sys, const std::string& text) {
+  Parser p(text, sys);
+  return p.parse_expression_only();
+}
+
+model::Seq parse_behavior(model::ProcBuilder& b, const std::string& source,
+                          const BehaviorSymbols& symbols) {
+  Parser p(source, b, symbols);
+  return p.parse_behavior_body();
+}
+
+}  // namespace pnp::pml

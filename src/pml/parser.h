@@ -1,0 +1,50 @@
+// PML parser: Promela-subset text -> model::SystemSpec.
+//
+// Supported subset (what the paper's models need, and a bit more):
+//   mtype = { A, B, ... }
+//   chan q = [N] of { mtype, byte, ... };          (N == 0: rendezvous)
+//   int/byte/bool/bit/short globals with constant initializers
+//   (active [N]) proctype P(chan c; byte x) { ... }
+//   init { run P(q, 3); ... }
+//   statements: skip, break, assert(e), x = e, x++, x--,
+//     c!e1,...  c!!...  c?a1,...  c??...  c?<...>   (args: _, eval(e),
+//     constants match, variables bind), if/do with :: branches and else,
+//     atomic { } and d_step { } (both map to atomic), expression guards,
+//     local declarations anywhere, `end*:` labels (valid end states).
+// Not supported: goto, unless, typedefs/structs, arrays, printf, timeout.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/builder.h"
+#include "model/system.h"
+
+namespace pnp::pml {
+
+/// Parses `source` into a validated SystemSpec. Raises ModelError with
+/// line:column positions on any lexical, syntactic, or semantic error.
+model::SystemSpec parse(const std::string& source);
+
+/// Parses an expression over the globals / mtypes / channels of `sys`
+/// (used by the CLI for --invariant / --prop). Local variables are not in
+/// scope. Returns a ref into sys.exprs.
+expr::Ref parse_global_expr(model::SystemSpec& sys, const std::string& text);
+
+/// Names visible to a textually defined process body (see parse_behavior).
+struct BehaviorSymbols {
+  std::unordered_map<std::string, int> channels;  // name -> channel id
+  std::unordered_map<std::string, int> globals;   // name -> global slot
+  std::vector<std::string> mtypes;                // value(name) = index + 1
+};
+
+/// Parses a PML statement sequence as the body of a process under
+/// construction in `b` (local declarations allowed; the symbols give the
+/// channel/global/mtype names in scope). Used by the textual architecture
+/// front-end to express component behaviours exactly like the paper's
+/// Fig. 9/10 component listings.
+model::Seq parse_behavior(model::ProcBuilder& b, const std::string& source,
+                          const BehaviorSymbols& symbols);
+
+}  // namespace pnp::pml

@@ -1,0 +1,113 @@
+// Design-level architecture entities: components, connectors, and the
+// plug-and-play edit operations (paper section 2).
+//
+// A Connector is a channel building block plus the send/receive ports of
+// the attachments wired to it. Components provide their computation model
+// through a callback that speaks only the standard interfaces of
+// pnp/interfaces.h, which is why the edit operations (swap a port kind,
+// swap the channel) never touch component code.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pnp/blocks.h"
+
+namespace pnp {
+
+class ComponentContext;
+
+/// Builds the component's process body. Called (once, then cached) by the
+/// model generator; use ctx to declare locals, fetch port endpoints and
+/// globals, and emit the standard-interface protocol.
+using ComponentModelFn = std::function<model::Seq(ComponentContext&)>;
+
+struct GlobalDecl {
+  std::string name;
+  model::Value init{0};
+};
+
+struct ComponentDecl {
+  std::string name;
+  ComponentModelFn fn;
+};
+
+struct ConnectorDecl {
+  std::string name;
+  ChannelSpec channel;
+};
+
+struct Attachment {
+  int component{-1};
+  std::string port_name;
+  int connector{-1};
+  bool is_sender{true};
+  SendPortKind send_kind{SendPortKind::AsynBlocking};
+  RecvPortKind recv_kind{RecvPortKind::Blocking};
+  RecvPortOpts recv_opts{};
+};
+
+class Architecture {
+ public:
+  explicit Architecture(std::string name) : name_(std::move(name)) {}
+
+  // -- construction -----------------------------------------------------------
+  int add_global(std::string name, model::Value init = 0);
+  int add_component(std::string name, ComponentModelFn fn);
+  int add_connector(std::string name, ChannelSpec spec);
+  void attach_sender(int component, std::string port_name, int connector,
+                     SendPortKind kind);
+  void attach_receiver(int component, std::string port_name, int connector,
+                       RecvPortKind kind, RecvPortOpts opts = {});
+
+  // -- plug-and-play edits (connector side only; components stay intact) ------
+  void set_send_port(int component, const std::string& port_name,
+                     SendPortKind kind);
+  void set_recv_port(int component, const std::string& port_name,
+                     RecvPortKind kind, RecvPortOpts opts = {});
+  void set_channel(int connector, ChannelSpec spec);
+  /// Rewires an existing attachment to a different connector.
+  void reattach(int component, const std::string& port_name, int connector);
+
+  // -- queries -----------------------------------------------------------------
+  const std::string& name() const { return name_; }
+  int find_component(const std::string& name) const;
+  int find_connector(const std::string& name) const;
+  const std::vector<GlobalDecl>& globals() const { return globals_; }
+  const std::vector<ComponentDecl>& components() const { return components_; }
+  const std::vector<ConnectorDecl>& connectors() const { return connectors_; }
+  const std::vector<Attachment>& attachments() const { return attachments_; }
+  /// Attachments of one connector, senders first (defines the subscriber
+  /// order of event pools).
+  std::vector<const Attachment*> attachments_of(int connector) const;
+
+  /// Structural checks: every attachment resolves, every connector has at
+  /// least one sender and one receiver, and publish/subscribe connectors
+  /// only use asynchronous send ports. Raises ModelError.
+  void validate() const;
+
+  /// Monotonically increasing edit counter (used to invalidate generated
+  /// models).
+  std::uint64_t version() const { return version_; }
+
+  /// One-line-per-entity rendering of the current design.
+  std::string describe() const;
+
+  /// Graphviz dot rendering: components as boxes, connectors as ellipses,
+  /// attachments as labeled edges (sender -> connector -> receiver).
+  std::string to_dot() const;
+
+ private:
+  Attachment& attachment_at(int component, const std::string& port_name);
+
+  std::string name_;
+  std::vector<GlobalDecl> globals_;
+  std::vector<ComponentDecl> components_;
+  std::vector<ConnectorDecl> connectors_;
+  std::vector<Attachment> attachments_;
+  std::uint64_t version_{0};
+};
+
+}  // namespace pnp

@@ -1,0 +1,567 @@
+#include "pnp/blocks.h"
+
+#include "support/panic.h"
+
+namespace pnp {
+
+const char* to_string(SendPortKind k) {
+  switch (k) {
+    case SendPortKind::AsynNonblocking: return "AsynNbSend";
+    case SendPortKind::AsynBlocking: return "AsynBlSend";
+    case SendPortKind::AsynChecking: return "AsynChkSend";
+    case SendPortKind::SynBlocking: return "SynBlSend";
+    case SendPortKind::SynChecking: return "SynChkSend";
+  }
+  return "?";
+}
+
+const char* to_string(RecvPortKind k) {
+  switch (k) {
+    case RecvPortKind::Blocking: return "BlRecv";
+    case RecvPortKind::Nonblocking: return "NbRecv";
+  }
+  return "?";
+}
+
+const char* to_string(ChannelKind k) {
+  switch (k) {
+    case ChannelKind::SingleSlot: return "SingleSlot";
+    case ChannelKind::Fifo: return "Fifo";
+    case ChannelKind::Priority: return "Priority";
+    case ChannelKind::LossyFifo: return "LossyFifo";
+    case ChannelKind::EventPool: return "EventPool";
+  }
+  return "?";
+}
+
+std::string to_string(const ChannelSpec& c) {
+  std::string out = to_string(c.kind);
+  if (c.kind != ChannelKind::SingleSlot)
+    out += "(" + std::to_string(c.capacity) + ")";
+  return out;
+}
+
+std::string to_string(RecvPortKind k, const RecvPortOpts& o) {
+  std::string out = to_string(k);
+  if (!o.remove) out += "/copy";
+  if (o.selective) out += "/selective";
+  return out;
+}
+
+namespace blocks {
+
+using namespace model;
+using expr::Ex;
+
+namespace {
+
+/// Locals holding one data message.
+struct MsgVars {
+  LVar data, snd, sel, seld, rem, prio;
+};
+
+MsgVars declare_msg(ProcBuilder& b, const std::string& prefix) {
+  return {b.local(prefix + "_data"), b.local(prefix + "_snd"),
+          b.local(prefix + "_sel"),  b.local(prefix + "_seld"),
+          b.local(prefix + "_rem"),  b.local(prefix + "_prio")};
+}
+
+std::vector<RecvArg> bind_msg(const MsgVars& m) {
+  return {bind(m.data), bind(m.snd), bind(m.sel),
+          bind(m.seld), bind(m.rem), bind(m.prio)};
+}
+
+/// Field list forwarding a received message, stamping this port's pid as
+/// the sender id (paper: m.sender_id = _pid).
+std::vector<Ex> forward_fields(ProcBuilder& b, const MsgVars& m) {
+  return {b.l(m.data), b.self(),    b.l(m.sel),
+          b.l(m.seld), b.l(m.rem),  b.l(m.prio)};
+}
+
+std::vector<Ex> msg_fields(ProcBuilder& b, const MsgVars& m) {
+  return {b.l(m.data), b.l(m.snd),  b.l(m.sel),
+          b.l(m.seld), b.l(m.rem),  b.l(m.prio)};
+}
+
+/// chanSig receive matching (signal, this port's pid).
+StmtPtr sig_from_chan(ProcBuilder& b, LVar chan_sig, Signal s,
+                      std::string label) {
+  return recv(b.l(chan_sig), {match(b.k(s)), match(b.self())},
+              std::move(label));
+}
+
+/// Drain alternative: consume a stray delivery notification.
+Branch drain_recv_ok(ProcBuilder& b, LVar chan_sig) {
+  return alt(seq(
+      sig_from_chan(b, chan_sig, RECV_OK, "port: drain delivery notification")));
+}
+
+Branch drain_any_signal(ProcBuilder& b, LVar chan_sig) {
+  return alt(seq(recv(b.l(chan_sig), {any(), match(b.self())},
+                      "port: drain stray signal")));
+}
+
+StmtPtr send_status(ProcBuilder& b, LVar comp_sig, Signal s) {
+  return send(b.l(comp_sig), {b.k(s), b.k(-1)},
+              std::string("port: SendStatus ") + signal_name(s));
+}
+
+}  // namespace
+
+int build_send_port(SystemSpec& sys, SendPortKind kind,
+                    const std::string& name) {
+  ProcBuilder b(sys, name);
+  const LVar comp_sig = b.param("compSig");
+  const LVar comp_data = b.param("compData");
+  const LVar chan_sig = b.param("chanSig");
+  const LVar chan_data = b.param("chanData");
+  const MsgVars m = declare_msg(b, "m");
+
+  auto accept_from_component = [&]() {
+    return recv(b.l(comp_data), bind_msg(m), "port: accept message from component");
+  };
+  auto forward_to_channel = [&]() {
+    return send(b.l(chan_data), forward_fields(b, m),
+                "port: forward message to channel");
+  };
+
+  switch (kind) {
+    case SendPortKind::SynBlocking: {
+      // Paper Fig. 6: retry until stored, then await delivery, then confirm.
+      return b.finish(seq(end_label(), do_(alt(seq(
+          accept_from_component(),
+          do_(alt(seq(
+              forward_to_channel(),
+              if_(alt(seq(sig_from_chan(b, chan_sig, IN_OK, "port: IN_OK"),
+                          break_())),
+                  alt(seq(sig_from_chan(b, chan_sig, IN_FAIL,
+                                        "port: IN_FAIL (buffer full, retry)"))))))),
+          sig_from_chan(b, chan_sig, RECV_OK, "port: RECV_OK (delivered)"),
+          send_status(b, comp_sig, SEND_SUCC))))));
+    }
+    case SendPortKind::SynChecking: {
+      // Forward once; IN_FAIL -> SEND_FAIL, IN_OK -> await delivery.
+      return b.finish(seq(end_label(), do_(alt(seq(
+          accept_from_component(),
+          forward_to_channel(),
+          if_(alt(seq(sig_from_chan(b, chan_sig, IN_OK, "port: IN_OK"),
+                      sig_from_chan(b, chan_sig, RECV_OK,
+                                    "port: RECV_OK (delivered)"),
+                      send_status(b, comp_sig, SEND_SUCC))),
+              alt(seq(sig_from_chan(b, chan_sig, IN_FAIL, "port: IN_FAIL"),
+                      send_status(b, comp_sig, SEND_FAIL)))))))));
+    }
+    case SendPortKind::AsynBlocking: {
+      // Confirm once stored; delivery notifications are drained later.
+      return b.finish(seq(end_label(), do_(
+          drain_recv_ok(b, chan_sig),
+          alt(seq(
+              accept_from_component(),
+              do_(alt(seq(forward_to_channel(),
+                          if_(alt(seq(sig_from_chan(b, chan_sig, IN_OK,
+                                                    "port: IN_OK"),
+                                      break_())),
+                              alt(seq(sig_from_chan(
+                                  b, chan_sig, IN_FAIL,
+                                  "port: IN_FAIL (buffer full, retry)")))))),
+                  drain_recv_ok(b, chan_sig)),
+              send_status(b, comp_sig, SEND_SUCC))))));
+    }
+    case SendPortKind::AsynChecking: {
+      return b.finish(seq(end_label(), do_(
+          drain_recv_ok(b, chan_sig),
+          alt(seq(
+              accept_from_component(),
+              do_(alt(seq(forward_to_channel(), break_())),
+                  drain_recv_ok(b, chan_sig)),
+              if_(alt(seq(sig_from_chan(b, chan_sig, IN_OK, "port: IN_OK"),
+                          send_status(b, comp_sig, SEND_SUCC))),
+                  alt(seq(sig_from_chan(b, chan_sig, IN_FAIL, "port: IN_FAIL"),
+                          send_status(b, comp_sig, SEND_FAIL)))))))));
+    }
+    case SendPortKind::AsynNonblocking: {
+      // Paper Fig. 7: confirm before forwarding; drain every later signal.
+      return b.finish(seq(end_label(), do_(
+          drain_any_signal(b, chan_sig),
+          alt(seq(accept_from_component(),
+                  send_status(b, comp_sig, SEND_SUCC),
+                  do_(alt(seq(forward_to_channel(), break_())),
+                      drain_any_signal(b, chan_sig)))))));
+    }
+  }
+  raise_model_error("unknown send port kind");
+}
+
+int build_recv_port(SystemSpec& sys, RecvPortKind kind,
+                    const RecvPortOpts& opts, const std::string& name) {
+  ProcBuilder b(sys, name);
+  const LVar comp_sig = b.param("compSig");
+  const LVar comp_data = b.param("compData");
+  const LVar chan_sig = b.param("chanSig");
+  const LVar chan_data = b.param("chanData");
+  const LVar rq_seld = b.local("rq_seld");
+  const MsgVars m = declare_msg(b, "m");
+
+  auto accept_request = [&]() {
+    return recv(b.l(comp_data),
+                {any(), any(), any(), bind(rq_seld), any(), any()},
+                "port: accept receive request from component");
+  };
+  // The port stamps its kind's flags onto the forwarded request.
+  auto forward_request = [&]() {
+    return send(b.l(chan_data),
+                {b.k(0), b.self(), b.k(opts.selective ? 1 : 0), b.l(rq_seld),
+                 b.k(opts.remove ? 1 : 0), b.k(0)},
+                "port: forward receive request to channel");
+  };
+  auto take_out_ok = [&]() {
+    return recv(b.l(chan_sig), {match(b.k(OUT_OK)), any()}, "port: OUT_OK");
+  };
+  auto take_out_fail = [&]() {
+    return recv(b.l(chan_sig), {match(b.k(OUT_FAIL)), any()}, "port: OUT_FAIL");
+  };
+  auto take_message = [&]() {
+    return recv(b.l(chan_data), bind_msg(m), "port: receive message from channel");
+  };
+  auto deliver = [&](Signal status) {
+    return seq(send(b.l(comp_sig), {b.k(status), b.k(-1)},
+                    std::string("port: RecvStatus ") + signal_name(status)),
+               send(b.l(comp_data),
+                    status == RECV_SUCC
+                        ? msg_fields(b, m)
+                        : std::vector<Ex>{b.k(0), b.k(0), b.k(0), b.k(0),
+                                          b.k(0), b.k(0)},
+                    status == RECV_SUCC ? "port: deliver message to component"
+                                        : "port: deliver stub message"));
+  };
+
+  switch (kind) {
+    case RecvPortKind::Blocking: {
+      // Paper Fig. 8: retry against the channel until a message arrives.
+      return b.finish(seq(end_label(), do_(alt(model::concat(
+          seq(accept_request(),
+              do_(alt(seq(forward_request(),
+                          if_(alt(seq(take_out_ok(), take_message(), break_())),
+                              alt(seq(take_out_fail()))))))),
+          deliver(RECV_SUCC))))));
+    }
+    case RecvPortKind::Nonblocking: {
+      return b.finish(seq(end_label(), do_(alt(seq(
+          accept_request(), forward_request(),
+          if_(alt(model::concat(seq(take_out_ok(), take_message()),
+                                deliver(RECV_SUCC))),
+              alt(model::concat(seq(take_out_fail()), deliver(RECV_FAIL)))))))));
+    }
+  }
+  raise_model_error("unknown recv port kind");
+}
+
+namespace {
+
+/// Request-handling locals shared by the channel builders.
+struct ReqVars {
+  LVar sel, seld, rem;
+};
+
+ReqVars declare_req(ProcBuilder& b) {
+  return {b.local("rq_sel"), b.local("rq_seld"), b.local("rq_rem")};
+}
+
+StmtPtr accept_request(ProcBuilder& b, LVar recv_data, const ReqVars& rq) {
+  return recv(b.l(recv_data),
+              {any(), any(), bind(rq.sel), bind(rq.seld), bind(rq.rem), any()},
+              "channel: accept receive request");
+}
+
+}  // namespace
+
+int build_single_slot(SystemSpec& sys, const std::string& name) {
+  ProcBuilder b(sys, name);
+  const LVar send_sig = b.param("sendSig");
+  const LVar send_data = b.param("sendData");
+  const LVar recv_sig = b.param("recvSig");
+  const LVar recv_data = b.param("recvData");
+  const ReqVars rq = declare_req(b);
+  const MsgVars m = declare_msg(b, "m");
+  const LVar buf_data = b.local("buf_data");
+  const LVar buf_snd = b.local("buf_snd");
+  const LVar buf_seld = b.local("buf_seld");
+  const LVar buf_prio = b.local("buf_prio");
+  const LVar buffer_empty = b.local("buffer_empty", 1);
+
+  // Deliverable: buffer occupied and (non-selective request, or tag match).
+  const Ex can_deliver =
+      (b.l(buffer_empty) == b.k(0)) &&
+      ((b.l(rq.sel) == b.k(0)) || (b.l(buf_seld) == b.l(rq.seld)));
+
+  return b.finish(seq(end_label(), do_(
+      // -- receive-request side (paper Fig. 11, first branch) ------------
+      alt(seq(
+          accept_request(b, recv_data, rq),
+          if_(alt(seq(guard(can_deliver),
+                      send(b.l(recv_sig), {b.k(OUT_OK), b.k(-1)},
+                           "channel: OUT_OK"),
+                      send(b.l(recv_data),
+                           {b.l(buf_data), b.l(buf_snd), b.k(0), b.l(buf_seld),
+                            b.k(0), b.l(buf_prio)},
+                           "channel: deliver buffered message"),
+                      send(b.l(send_sig), {b.k(RECV_OK), b.l(buf_snd)},
+                           "channel: RECV_OK to send port"),
+                      if_(alt(seq(guard(b.l(rq.rem) == b.k(1)),
+                                  assign(buffer_empty, b.k(1)))),
+                          alt_else(seq(skip()))))),
+              alt_else(seq(send(b.l(recv_sig), {b.k(OUT_FAIL), b.k(-1)},
+                                "channel: OUT_FAIL")))))),
+      // -- send side (paper Fig. 11, second branch) -----------------------
+      alt(seq(
+          recv(b.l(send_data), bind_msg(m), "channel: accept message"),
+          if_(alt(seq(guard(b.l(buffer_empty) == b.k(1)),
+                      send(b.l(send_sig), {b.k(IN_OK), b.l(m.snd)},
+                           "channel: IN_OK"),
+                      assign(buf_data, b.l(m.data)),
+                      assign(buf_snd, b.l(m.snd)),
+                      assign(buf_seld, b.l(m.seld)),
+                      assign(buf_prio, b.l(m.prio)),
+                      assign(buffer_empty, b.k(0)))),
+              alt_else(seq(send(b.l(send_sig), {b.k(IN_FAIL), b.l(m.snd)},
+                                "channel: IN_FAIL (buffer occupied)")))))))));
+}
+
+namespace {
+
+/// Internal-queue field layouts. Priority queues store the priority first
+/// so the kernel's lexicographic sorted-send orders by it.
+struct QueueLayout {
+  // position of each logical field within the internal-queue message
+  int data, snd, sel, seld, rem, prio;
+};
+
+constexpr QueueLayout kFifoLayout{0, 1, 2, 3, 4, 5};
+constexpr QueueLayout kPrioLayout{1, 2, 3, 4, 5, 0};
+
+std::vector<Ex> to_layout(ProcBuilder& b, const MsgVars& m,
+                          const QueueLayout& lay) {
+  std::vector<Ex> out(6, b.k(0));
+  out[static_cast<std::size_t>(lay.data)] = b.l(m.data);
+  out[static_cast<std::size_t>(lay.snd)] = b.l(m.snd);
+  out[static_cast<std::size_t>(lay.sel)] = b.l(m.sel);
+  out[static_cast<std::size_t>(lay.seld)] = b.l(m.seld);
+  out[static_cast<std::size_t>(lay.rem)] = b.l(m.rem);
+  out[static_cast<std::size_t>(lay.prio)] = b.l(m.prio);
+  return out;
+}
+
+std::vector<RecvArg> bind_layout(const MsgVars& m, const QueueLayout& lay,
+                                 const RecvArg* seld_match) {
+  std::vector<RecvArg> out(6, any());
+  out[static_cast<std::size_t>(lay.data)] = bind(m.data);
+  out[static_cast<std::size_t>(lay.snd)] = bind(m.snd);
+  out[static_cast<std::size_t>(lay.sel)] = bind(m.sel);
+  out[static_cast<std::size_t>(lay.seld)] =
+      seld_match ? *seld_match : bind(m.seld);
+  out[static_cast<std::size_t>(lay.rem)] = bind(m.rem);
+  out[static_cast<std::size_t>(lay.prio)] = bind(m.prio);
+  return out;
+}
+
+/// The request-handling selection shared by buffered channels and the event
+/// pool: four (selective x remove) combinations, each trying to retrieve a
+/// matching message from `queue` and falling back to OUT_FAIL.
+StmtPtr handle_request(ProcBuilder& b, const ReqVars& rq, const MsgVars& m,
+                       Ex queue, LVar send_sig, LVar recv_sig, LVar recv_data,
+                       const QueueLayout& lay, bool notify_sender) {
+  auto deliver = [&]() {
+    Seq s = seq(
+        send(b.l(recv_sig), {b.k(OUT_OK), b.k(-1)}, "channel: OUT_OK"),
+        send(b.l(recv_data), msg_fields(b, m), "channel: deliver message"));
+    if (notify_sender)
+      s.push_back(send(b.l(send_sig), {b.k(RECV_OK), b.l(m.snd)},
+                       "channel: RECV_OK to send port"));
+    return s;
+  };
+  auto out_fail = [&]() {
+    return seq(send(b.l(recv_sig), {b.k(OUT_FAIL), b.k(-1)},
+                    "channel: OUT_FAIL"));
+  };
+  auto fetch_case = [&](bool selective, bool remove) {
+    const Ex cond = (b.l(rq.sel) == b.k(selective ? 1 : 0)) &&
+                    (b.l(rq.rem) == b.k(remove ? 1 : 0));
+    RecvArg seld_arg = match(b.l(rq.seld));
+    RecvOpts ropts;
+    ropts.random = selective;  // `??`: first matching anywhere
+    ropts.copy = !remove;
+    StmtPtr fetch =
+        recv(queue, bind_layout(m, lay, selective ? &seld_arg : nullptr),
+             "channel: fetch from queue", ropts);
+    return alt(seq(
+        guard(cond),
+        if_(alt(model::concat(seq(std::move(fetch)), deliver())),
+            alt_else(out_fail()))));
+  };
+  return if_(fetch_case(false, true), fetch_case(false, false),
+             fetch_case(true, true), fetch_case(true, false));
+}
+
+}  // namespace
+
+int build_buffered_channel(SystemSpec& sys, ChannelKind kind,
+                           const std::string& name) {
+  PNP_CHECK(kind == ChannelKind::Fifo || kind == ChannelKind::Priority ||
+                kind == ChannelKind::LossyFifo,
+            "build_buffered_channel: wrong kind");
+  ProcBuilder b(sys, name);
+  const LVar send_sig = b.param("sendSig");
+  const LVar send_data = b.param("sendData");
+  const LVar recv_sig = b.param("recvSig");
+  const LVar recv_data = b.param("recvData");
+  const LVar queue = b.param("queue");  // per-instance internal channel id
+  const ReqVars rq = declare_req(b);
+  const MsgVars m = declare_msg(b, "m");
+
+  const QueueLayout& lay =
+      kind == ChannelKind::Priority ? kPrioLayout : kFifoLayout;
+  const Ex q = b.l(queue);
+
+  // -- send side --------------------------------------------------------------
+  Seq send_side = seq(recv(b.l(send_data), bind_msg(m), "channel: accept message"));
+  if (kind == ChannelKind::LossyFifo) {
+    // Always acknowledge; the internal channel is lossy, so a full queue
+    // silently drops (paper section 3.3's third kind of channel).
+    send_side = model::concat(
+        std::move(send_side),
+        seq(send(b.l(send_sig), {b.k(IN_OK), b.l(m.snd)}, "channel: IN_OK"),
+            send(q, to_layout(b, m, lay), "channel: store (may drop)")));
+  } else {
+    SendOpts sopts;
+    sopts.sorted = (kind == ChannelKind::Priority);
+    send_side = model::concat(
+        std::move(send_side),
+        seq(if_(alt(seq(guard(!b.full(q)),
+                        send(b.l(send_sig), {b.k(IN_OK), b.l(m.snd)},
+                             "channel: IN_OK"),
+                        send(q, to_layout(b, m, lay), "channel: store", sopts))),
+                alt_else(seq(send(b.l(send_sig), {b.k(IN_FAIL), b.l(m.snd)},
+                                  "channel: IN_FAIL (queue full)"))))));
+  }
+
+  return b.finish(seq(end_label(), do_(
+      alt(seq(accept_request(b, recv_data, rq),
+              handle_request(b, rq, m, q, send_sig, recv_sig, recv_data, lay,
+                             /*notify_sender=*/true))),
+      alt(std::move(send_side)))));
+}
+
+int build_opt_send_port(SystemSpec& sys, SendPortKind kind,
+                        bool priority_layout, const std::string& name) {
+  PNP_CHECK(kind == SendPortKind::SynBlocking ||
+                kind == SendPortKind::AsynBlocking,
+            "optimized send ports exist only for blocking kinds");
+  ProcBuilder b(sys, name);
+  const LVar comp_sig = b.param("compSig");
+  const LVar comp_data = b.param("compData");
+  const LVar notify_sig = b.param("notifySig");
+  const LVar queue = b.param("queue");
+  const MsgVars m = declare_msg(b, "m");
+  const QueueLayout& lay = priority_layout ? kPrioLayout : kFifoLayout;
+
+  auto accept = [&]() {
+    return recv(b.l(comp_data), bind_msg(m),
+                "port: accept message from component");
+  };
+  // stamp our pid as sender id, then push straight into the native queue
+  // (blocks exactly when the faithful port would spin on IN_FAIL)
+  auto push = [&]() {
+    std::vector<Ex> fields(6, b.k(0));
+    fields[static_cast<std::size_t>(lay.data)] = b.l(m.data);
+    fields[static_cast<std::size_t>(lay.snd)] = b.self();
+    fields[static_cast<std::size_t>(lay.sel)] = b.l(m.sel);
+    fields[static_cast<std::size_t>(lay.seld)] = b.l(m.seld);
+    fields[static_cast<std::size_t>(lay.rem)] = b.l(m.rem);
+    fields[static_cast<std::size_t>(lay.prio)] = b.l(m.prio);
+    SendOpts so;
+    so.sorted = priority_layout;
+    return send(b.l(queue), std::move(fields),
+                "port: store message in connector queue", so);
+  };
+
+  if (kind == SendPortKind::SynBlocking) {
+    return b.finish(seq(end_label(), do_(alt(seq(
+        accept(), push(),
+        sig_from_chan(b, notify_sig, RECV_OK, "port: RECV_OK (delivered)"),
+        send_status(b, comp_sig, SEND_SUCC))))));
+  }
+  // AsynBlocking: stored == confirmed; drain later delivery notifications.
+  return b.finish(seq(end_label(), do_(
+      drain_recv_ok(b, notify_sig),
+      alt(seq(accept(),
+              do_(alt(seq(push(), break_())),
+                  drain_recv_ok(b, notify_sig)),
+              send_status(b, comp_sig, SEND_SUCC))))));
+}
+
+int build_opt_recv_port(SystemSpec& sys, bool priority_layout,
+                        const std::string& name) {
+  ProcBuilder b(sys, name);
+  const LVar comp_sig = b.param("compSig");
+  const LVar comp_data = b.param("compData");
+  const LVar notify_sig = b.param("notifySig");
+  const LVar queue = b.param("queue");
+  const MsgVars m = declare_msg(b, "m");
+  const QueueLayout& lay = priority_layout ? kPrioLayout : kFifoLayout;
+
+  return b.finish(seq(end_label(), do_(alt(seq(
+      recv(b.l(comp_data), {any(), any(), any(), any(), any(), any()},
+           "port: accept receive request from component"),
+      // pull from the native queue: blocks exactly where the faithful port
+      // would spin on OUT_FAIL
+      recv(b.l(queue), bind_layout(m, lay, nullptr),
+           "port: take message from connector queue"),
+      send(b.l(comp_sig), {b.k(RECV_SUCC), b.k(-1)},
+           "port: RecvStatus RECV_SUCC"),
+      send(b.l(comp_data), msg_fields(b, m),
+           "port: deliver message to component"),
+      // notify the originating send port of the delivery (synchronous
+      // senders block on this; asynchronous ones drain it)
+      send(b.l(notify_sig), {b.k(RECV_OK), b.l(m.snd)},
+           "port: RECV_OK to send port"))))));
+}
+
+int build_event_pool(SystemSpec& sys, int n_subscribers,
+                     const std::string& name) {
+  PNP_CHECK(n_subscribers >= 1, "event pool needs at least one subscriber");
+  ProcBuilder b(sys, name);
+  const LVar pub_sig = b.param("pubSig");
+  const LVar pub_data = b.param("pubData");
+  std::vector<LVar> sub_sig, sub_data, queues;
+  for (int i = 0; i < n_subscribers; ++i) {
+    sub_sig.push_back(b.param("subSig" + std::to_string(i)));
+    sub_data.push_back(b.param("subData" + std::to_string(i)));
+    queues.push_back(b.param("queue" + std::to_string(i)));
+  }
+  const ReqVars rq = declare_req(b);
+  const MsgVars m = declare_msg(b, "m");
+
+  // publish branch: ack, then fan out to every subscriber queue (queues are
+  // lossy, so a full queue drops the event for that subscriber only).
+  Seq publish = seq(
+      recv(b.l(pub_data), bind_msg(m), "pool: accept published event"),
+      send(b.l(pub_sig), {b.k(IN_OK), b.l(m.snd)}, "pool: IN_OK to publisher"));
+  for (int i = 0; i < n_subscribers; ++i)
+    publish.push_back(send(b.l(queues[static_cast<std::size_t>(i)]),
+                           to_layout(b, m, kFifoLayout),
+                           "pool: fan out to subscriber " + std::to_string(i)));
+
+  auto loop = do_(alt(std::move(publish)));
+  for (int i = 0; i < n_subscribers; ++i) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    loop->branches.push_back(alt(seq(
+        accept_request(b, sub_data[ui], rq),
+        handle_request(b, rq, m, b.l(queues[ui]), pub_sig, sub_sig[ui],
+                       sub_data[ui], kFifoLayout,
+                       /*notify_sender=*/false))));
+  }
+  return b.finish(seq(end_label(), std::move(loop)));
+}
+
+}  // namespace blocks
+}  // namespace pnp

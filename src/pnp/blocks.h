@@ -1,0 +1,141 @@
+// The building-block library (paper Fig. 1): send ports, receive ports, and
+// channels, each available as a pre-defined, reusable formal model
+// (a proctype parameterized by the rendezvous channels that wire it up).
+//
+// Port proctypes take four parameters:
+//   (component_sig, component_data, channel_sig, channel_data)
+// Channel proctypes take
+//   (sender_sig, sender_data, receiver_sig, receiver_data [, internal...])
+// so one proctype serves every instance of the same block configuration --
+// the generator only spawns it with different channel ids. This is what
+// makes the models reusable across systems and design iterations.
+//
+// Protocol notes (deviations from the paper's listings are deliberate and
+// documented in DESIGN.md):
+//  * IN_OK / IN_FAIL / RECV_OK are tagged with the originating send port's
+//    pid; OUT_OK / OUT_FAIL are untagged (-1), because at most one receive
+//    port can be awaiting them at a time.
+//  * Asynchronous ports carry "drain" alternatives that consume delivery
+//    notifications (RECV_OK) which arrive after the port has already
+//    reported SEND_SUCC -- without them the paper's Figs. 7+11 composition
+//    can deadlock in an interleaving where the channel offers RECV_OK while
+//    the port offers the next message.
+#pragma once
+
+#include <string>
+
+#include "model/builder.h"
+#include "pnp/interfaces.h"
+
+namespace pnp {
+
+/// Send-port kinds (paper Fig. 1, left column).
+enum class SendPortKind : std::uint8_t {
+  AsynNonblocking,  // confirm immediately; message may be lost
+  AsynBlocking,     // confirm once the channel stored the message
+  AsynChecking,     // confirm or report failure based on channel acceptance
+  SynBlocking,      // confirm once a receiver got the message (retry on full)
+  SynChecking,      // like checking, but confirm only after delivery
+};
+
+/// Receive-port kinds (paper Fig. 1, middle column).
+enum class RecvPortKind : std::uint8_t {
+  Blocking,     // wait until a message can be retrieved
+  Nonblocking,  // report RECV_FAIL (with a stub message) when none is ready
+};
+
+/// Copy/remove and selective variants of receive ports.
+struct RecvPortOpts {
+  bool remove{true};     // false = copy receive (message stays buffered)
+  bool selective{false}; // match only messages tagged with the request's tag
+
+  friend bool operator==(const RecvPortOpts&, const RecvPortOpts&) = default;
+};
+
+/// Channel kinds (paper Fig. 1 plus the section 3.3 lossy variant and the
+/// section 2.2/6 publish-subscribe extension).
+enum class ChannelKind : std::uint8_t {
+  SingleSlot,  // 1-message buffer, IN_FAIL when occupied
+  Fifo,        // N-slot FIFO queue
+  Priority,    // N-slot priority queue (lower priority value first)
+  LossyFifo,   // N-slot FIFO that silently drops when full (always IN_OK)
+  EventPool,   // pub/sub event pool: fan-out to per-subscriber queues
+};
+
+struct ChannelSpec {
+  ChannelKind kind{ChannelKind::SingleSlot};
+  int capacity{1};  // per-queue capacity for the buffered kinds
+
+  friend bool operator==(const ChannelSpec&, const ChannelSpec&) = default;
+};
+
+const char* to_string(SendPortKind k);
+const char* to_string(RecvPortKind k);
+const char* to_string(ChannelKind k);
+std::string to_string(const ChannelSpec& c);
+std::string to_string(RecvPortKind k, const RecvPortOpts& o);
+
+namespace blocks {
+
+/// Builds the proctype for a send port of the given kind; returns its index.
+int build_send_port(model::SystemSpec& sys, SendPortKind kind,
+                    const std::string& name);
+
+/// Builds the proctype for a receive port; returns its index.
+int build_recv_port(model::SystemSpec& sys, RecvPortKind kind,
+                    const RecvPortOpts& opts, const std::string& name);
+
+/// Builds the single-slot buffer channel proctype (paper Fig. 11).
+int build_single_slot(model::SystemSpec& sys, const std::string& name);
+
+/// Builds a buffered channel proctype (Fifo / Priority / LossyFifo). The
+/// proctype takes a fifth parameter: the id of a per-instance internal
+/// buffered model channel that realizes the store (see DESIGN.md E9 for the
+/// native-buffer discussion mirroring the paper's section 6 remark).
+int build_buffered_channel(model::SystemSpec& sys, ChannelKind kind,
+                           const std::string& name);
+
+// -- optimized connector models (paper section 6) -----------------------------
+// The faithful port/channel models busy-poll: a blocking receive port keeps
+// re-sending its request until the channel answers OUT_OK, and a blocking
+// send port retries on IN_FAIL. That is what the paper's Figs. 6/8 do, and
+// it is also why section 6 warns that composed connectors "exacerbate the
+// state explosion" and suggests substituting "specially optimized models"
+// for recognized connector configurations.
+//
+// These optimized variants implement that substitution: the connector's
+// channel PROCESS disappears -- ports push to and pull from the native
+// internal queue directly (a native buffered send blocks exactly when the
+// faithful model would spin on IN_FAIL), and the receive port notifies
+// synchronous senders with RECV_OK itself. Observable behaviour at the
+// standard component interfaces is unchanged for configurations without
+// failure reporting:
+//   senders   in { SynBlocking, AsynBlocking }
+//   receivers =  Blocking + remove + non-selective
+//   channels  in { SingleSlot, Fifo, Priority }
+// The generator performs this substitution when asked (GenOptions).
+//
+// Optimized port parameters: (comp_sig, comp_data, notify_sig, queue) where
+// notify_sig is the connector-wide RECV_OK wire and queue the internal
+// buffered channel (capacity = the channel spec's; priority connectors
+// store priority-first so the native sorted send orders correctly).
+
+/// Optimized send port (kind must be SynBlocking or AsynBlocking).
+int build_opt_send_port(model::SystemSpec& sys, SendPortKind kind,
+                        bool priority_layout, const std::string& name);
+
+/// Optimized blocking receive port (remove, non-selective).
+int build_opt_recv_port(model::SystemSpec& sys, bool priority_layout,
+                        const std::string& name);
+
+/// Builds an event-pool proctype for exactly `n_subscribers` subscribers.
+/// Parameters: (pub_sig, pub_data, then per subscriber: sub_sig, sub_data,
+/// queue). Publishing fans out to every subscriber queue (lossy: events are
+/// dropped for subscribers whose queue is full) and acknowledges the
+/// publisher immediately -- publish/subscribe connectors therefore require
+/// asynchronous send ports.
+int build_event_pool(model::SystemSpec& sys, int n_subscribers,
+                     const std::string& name);
+
+}  // namespace blocks
+}  // namespace pnp

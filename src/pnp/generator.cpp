@@ -1,0 +1,376 @@
+#include "pnp/generator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "pml/parser.h"
+#include "support/panic.h"
+
+namespace pnp {
+
+std::string GenStats::summary() const {
+  std::ostringstream os;
+  os << "component models: " << component_models_built << " built, "
+     << component_models_reused << " reused; block models: "
+     << block_models_built << " built, " << block_models_reused
+     << " reused; channels: " << channels_declared << " declared, "
+     << channels_reused << " reused; proctypes compiled: "
+     << proctypes_compiled;
+  if (connectors_optimized > 0)
+    os << "; connectors optimized: " << connectors_optimized;
+  os << "; " << seconds * 1e3 << " ms";
+  return os.str();
+}
+
+PortEndpoint ComponentContext::port(const std::string& port_name) const {
+  auto it = endpoints_.find(port_name);
+  PNP_CHECK(it != endpoints_.end(),
+            "component has no attachment named '" + port_name + "'");
+  return it->second;
+}
+
+model::GVar ComponentContext::global(const std::string& name) const {
+  return model::GVar{gen_->global_slot(name)};
+}
+
+expr::Ex ComponentContext::g(const std::string& name) const {
+  return b_->g(model::GVar{gen_->global_slot(name)});
+}
+
+std::unordered_map<std::string, int> ComponentContext::global_slots() const {
+  return gen_->global_cache_;
+}
+
+int ModelGenerator::ensure_chan(const std::string& key, const std::string& name,
+                                int capacity, int arity, bool lossy) {
+  auto it = chan_cache_.find(key);
+  if (it != chan_cache_.end()) {
+    ++last_.channels_reused;
+    return it->second;
+  }
+  const int id = sys_.add_channel(name, capacity, arity, lossy);
+  chan_cache_.emplace(key, id);
+  ++last_.channels_declared;
+  return id;
+}
+
+template <typename BuildFn>
+int ModelGenerator::ensure_proctype(const std::string& key, BuildFn&& build) {
+  auto it = proctype_cache_.find(key);
+  if (it != proctype_cache_.end()) {
+    ++last_.block_models_reused;
+    return it->second;
+  }
+  const int idx = build();
+  proctype_cache_.emplace(key, idx);
+  ++last_.block_models_built;
+  return idx;
+}
+
+int ModelGenerator::ensure_global(const GlobalDecl& g) {
+  auto it = global_cache_.find(g.name);
+  if (it != global_cache_.end()) return it->second;
+  const int slot = sys_.add_global(g.name, g.init);
+  global_cache_.emplace(g.name, slot);
+  return slot;
+}
+
+int ModelGenerator::global_slot(const std::string& name) const {
+  auto it = global_cache_.find(name);
+  PNP_CHECK(it != global_cache_.end(), "unknown architecture global: " + name);
+  return it->second;
+}
+
+expr::Ex ModelGenerator::gx(const std::string& global_name) {
+  return expr::wrap(sys_.exprs, sys_.exprs.global(global_slot(global_name)));
+}
+
+expr::Ex ModelGenerator::kx(model::Value v) {
+  return expr::wrap(sys_.exprs, sys_.exprs.konst(v));
+}
+
+int ModelGenerator::add_prop(const std::string& name, expr::Ex e) {
+  return props_.add(name, e.ref);
+}
+
+expr::Ex ModelGenerator::parse_expr_text(const std::string& text) {
+  return expr::wrap(sys_.exprs, pml::parse_global_expr(sys_, text));
+}
+
+kernel::Machine ModelGenerator::generate(const Architecture& arch,
+                                         GenOptions opts) {
+  arch.validate();
+  const auto t0 = std::chrono::steady_clock::now();
+  last_ = GenStats{};
+
+  // Which connectors qualify for the optimized (section 6) substitution?
+  auto optimizable = [&](int ci) {
+    if (!opts.optimize_connectors) return false;
+    const ChannelSpec& spec =
+        arch.connectors()[static_cast<std::size_t>(ci)].channel;
+    if (spec.kind != ChannelKind::SingleSlot &&
+        spec.kind != ChannelKind::Fifo && spec.kind != ChannelKind::Priority)
+      return false;
+    for (const Attachment& a : arch.attachments()) {
+      if (a.connector != ci) continue;
+      if (a.is_sender) {
+        if (a.send_kind != SendPortKind::SynBlocking &&
+            a.send_kind != SendPortKind::AsynBlocking)
+          return false;
+      } else {
+        if (a.recv_kind != RecvPortKind::Blocking || !a.recv_opts.remove ||
+            a.recv_opts.selective)
+          return false;
+      }
+    }
+    return true;
+  };
+  std::vector<bool> opt_conn(arch.connectors().size(), false);
+  for (std::size_t ci = 0; ci < arch.connectors().size(); ++ci) {
+    opt_conn[ci] = optimizable(static_cast<int>(ci));
+    if (opt_conn[ci]) ++last_.connectors_optimized;
+  }
+
+  register_signals(sys_);
+  sys_.processes.clear();
+
+  for (const GlobalDecl& g : arch.globals()) ensure_global(g);
+
+  struct Spawn {
+    std::string name;
+    int proctype;
+    std::vector<model::Value> args;
+  };
+  std::vector<Spawn> component_spawns, port_spawns, channel_spawns;
+
+  // -- connectors: channel declarations + channel process ---------------------
+  struct ConnWiring {
+    int send_sig{-1}, send_data{-1};
+    // one pair for ordinary channels; one per subscriber for event pools
+    std::vector<std::pair<int, int>> recv_pairs;
+    bool per_subscriber{false};
+    // optimized (section 6) connectors: no channel process, ports use the
+    // native queue directly and send_sig doubles as the RECV_OK wire
+    bool optimized{false};
+    int queue{-1};
+    bool priority{false};
+  };
+  std::vector<ConnWiring> wiring(arch.connectors().size());
+
+  for (std::size_t ci = 0; ci < arch.connectors().size(); ++ci) {
+    const ConnectorDecl& conn = arch.connectors()[ci];
+    const ChannelSpec& spec = conn.channel;
+    ConnWiring& w = wiring[ci];
+    const std::string base = "conn:" + conn.name;
+    w.send_sig = ensure_chan(base + ":sSig", conn.name + ".sSig", 0,
+                             kSignalArity, false);
+    w.send_data = ensure_chan(base + ":sData", conn.name + ".sData", 0,
+                              kDataArity, false);
+
+    if (spec.kind == ChannelKind::EventPool) {
+      w.per_subscriber = true;
+      int n_subs = 0;
+      for (const Attachment* a : arch.attachments_of(static_cast<int>(ci)))
+        if (!a->is_sender) ++n_subs;
+      std::vector<model::Value> args = {w.send_sig, w.send_data};
+      for (int i = 0; i < n_subs; ++i) {
+        const std::string si = std::to_string(i);
+        const int rs = ensure_chan(base + ":rSig" + si,
+                                   conn.name + ".rSig" + si, 0, kSignalArity,
+                                   false);
+        const int rd = ensure_chan(base + ":rData" + si,
+                                   conn.name + ".rData" + si, 0, kDataArity,
+                                   false);
+        const int q = ensure_chan(
+            base + ":q" + si + ":cap" + std::to_string(spec.capacity),
+            conn.name + ".q" + si, spec.capacity, kDataArity, /*lossy=*/true);
+        w.recv_pairs.emplace_back(rs, rd);
+        args.push_back(rs);
+        args.push_back(rd);
+        args.push_back(q);
+      }
+      const int pt = ensure_proctype(
+          "block:EventPool:" + std::to_string(n_subs), [&] {
+            return blocks::build_event_pool(
+                sys_, n_subs, "EventPool" + std::to_string(n_subs));
+          });
+      channel_spawns.push_back({conn.name + ".pool", pt, std::move(args)});
+      continue;
+    }
+
+    const int rs = ensure_chan(base + ":rSig", conn.name + ".rSig", 0,
+                               kSignalArity, false);
+    const int rd = ensure_chan(base + ":rData", conn.name + ".rData", 0,
+                               kDataArity, false);
+    w.recv_pairs.emplace_back(rs, rd);
+
+    if (opt_conn[ci]) {
+      // section 6 substitution: the connector keeps only a native queue and
+      // the RECV_OK notification wire; ports are wired straight to them
+      w.optimized = true;
+      w.priority = spec.kind == ChannelKind::Priority;
+      const int cap = spec.kind == ChannelKind::SingleSlot ? 1 : spec.capacity;
+      w.queue = ensure_chan(
+          base + ":optq:" + to_string(spec.kind) + ":cap" + std::to_string(cap),
+          conn.name + ".queue", cap, kDataArity, /*lossy=*/false);
+      continue;
+    }
+    if (spec.kind == ChannelKind::SingleSlot) {
+      const int pt = ensure_proctype("block:SingleSlot", [&] {
+        return blocks::build_single_slot(sys_, "SingleSlotBuffer");
+      });
+      channel_spawns.push_back(
+          {conn.name + ".channel", pt,
+           {w.send_sig, w.send_data, rs, rd}});
+    } else {
+      const bool lossy = spec.kind == ChannelKind::LossyFifo;
+      const int q = ensure_chan(
+          base + ":q:" + to_string(spec.kind) + ":cap" +
+              std::to_string(spec.capacity),
+          conn.name + ".q", spec.capacity, kDataArity, lossy);
+      const int pt = ensure_proctype(
+          std::string("block:chan:") + to_string(spec.kind), [&] {
+            return blocks::build_buffered_channel(
+                sys_, spec.kind,
+                std::string(to_string(spec.kind)) + "Channel");
+          });
+      channel_spawns.push_back(
+          {conn.name + ".channel", pt, {w.send_sig, w.send_data, rs, rd, q}});
+    }
+  }
+
+  // -- attachments: ports + component-side endpoints ---------------------------
+  // Components keep their endpoints across connector edits: the endpoint
+  // channels are cached by (component, port name).
+  std::vector<std::unordered_map<std::string, PortEndpoint>> endpoints(
+      arch.components().size());
+  std::vector<int> next_subscriber(arch.connectors().size(), 0);
+
+  for (const Attachment& a : arch.attachments()) {
+    const std::string& comp_name =
+        arch.components()[static_cast<std::size_t>(a.component)].name;
+    const std::string att = comp_name + "." + a.port_name;
+    const int comp_sig =
+        ensure_chan("att:" + att + ":sig", att + ".sig", 0, kSignalArity, false);
+    const int comp_data =
+        ensure_chan("att:" + att + ":data", att + ".data", 0, kDataArity, false);
+    endpoints[static_cast<std::size_t>(a.component)][a.port_name] = {
+        model::Chan{comp_sig}, model::Chan{comp_data}};
+
+    const ConnWiring& w = wiring[static_cast<std::size_t>(a.connector)];
+    int chan_sig, chan_data;
+    if (a.is_sender) {
+      chan_sig = w.send_sig;
+      chan_data = w.send_data;
+    } else if (w.per_subscriber) {
+      const int idx = next_subscriber[static_cast<std::size_t>(a.connector)]++;
+      chan_sig = w.recv_pairs[static_cast<std::size_t>(idx)].first;
+      chan_data = w.recv_pairs[static_cast<std::size_t>(idx)].second;
+    } else {
+      chan_sig = w.recv_pairs[0].first;
+      chan_data = w.recv_pairs[0].second;
+    }
+
+    int pt;
+    const ConnWiring& cw = wiring[static_cast<std::size_t>(a.connector)];
+    if (cw.optimized) {
+      const std::string suffix = cw.priority ? ":prio" : ":fifo";
+      if (a.is_sender) {
+        pt = ensure_proctype(
+            std::string("blockopt:send:") + to_string(a.send_kind) + suffix,
+            [&] {
+              return blocks::build_opt_send_port(
+                  sys_, a.send_kind, cw.priority,
+                  std::string("Opt") + to_string(a.send_kind) +
+                      (cw.priority ? "Prio" : ""));
+            });
+      } else {
+        pt = ensure_proctype(std::string("blockopt:recv:Bl") + suffix, [&] {
+          return blocks::build_opt_recv_port(
+              sys_, cw.priority,
+              std::string("OptBlRecv") + (cw.priority ? "Prio" : ""));
+        });
+      }
+      port_spawns.push_back(
+          {att + ".port", pt, {comp_sig, comp_data, cw.send_sig, cw.queue}});
+      continue;
+    }
+    if (a.is_sender) {
+      pt = ensure_proctype(std::string("block:send:") + to_string(a.send_kind),
+                           [&] {
+                             return blocks::build_send_port(
+                                 sys_, a.send_kind, to_string(a.send_kind));
+                           });
+    } else {
+      pt = ensure_proctype(
+          "block:recv:" + to_string(a.recv_kind, a.recv_opts), [&] {
+            return blocks::build_recv_port(sys_, a.recv_kind, a.recv_opts,
+                                           to_string(a.recv_kind, a.recv_opts));
+          });
+    }
+    port_spawns.push_back(
+        {att + ".port", pt, {comp_sig, comp_data, chan_sig, chan_data}});
+  }
+
+  // -- components ---------------------------------------------------------------
+  for (std::size_t k = 0; k < arch.components().size(); ++k) {
+    const ComponentDecl& comp = arch.components()[k];
+    std::string key = "comp:" + comp.name + ":";
+    {
+      // endpoint ids are part of the identity: a reattachment that changes
+      // them requires regenerating the component model
+      std::vector<std::string> parts;
+      for (const auto& [pname, ep] : endpoints[k])
+        parts.push_back(pname + "@" + std::to_string(ep.sig.id) + "," +
+                        std::to_string(ep.data.id));
+      std::sort(parts.begin(), parts.end());
+      for (const std::string& p : parts) key += p + ";";
+    }
+    int pt;
+    auto it = component_cache_.find(key);
+    if (it != component_cache_.end()) {
+      pt = it->second;
+      ++last_.component_models_reused;
+    } else {
+      model::ProcBuilder b(sys_, "C_" + comp.name);
+      ComponentContext ctx;
+      ctx.b_ = &b;
+      ctx.gen_ = this;
+      ctx.endpoints_ = endpoints[k];
+      pt = b.finish(comp.fn(ctx));
+      component_cache_.emplace(key, pt);
+      ++last_.component_models_built;
+    }
+    component_spawns.push_back({comp.name, pt, {}});
+  }
+
+  // -- spawn (components first: lowest pids, nicest MSC columns) ---------------
+  for (auto* list : {&component_spawns, &port_spawns, &channel_spawns})
+    for (Spawn& s : *list)
+      sys_.spawn(std::move(s.name), s.proctype, std::move(s.args));
+
+  // -- compile only what is new -------------------------------------------------
+  sys_.validate();
+  while (compiled_.size() < sys_.proctypes.size()) {
+    compiled_.push_back(
+        compile::compile_proc(sys_, static_cast<int>(compiled_.size())));
+    ++last_.proctypes_compiled;
+  }
+
+  last_.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  total_.component_models_built += last_.component_models_built;
+  total_.component_models_reused += last_.component_models_reused;
+  total_.block_models_built += last_.block_models_built;
+  total_.block_models_reused += last_.block_models_reused;
+  total_.channels_declared += last_.channels_declared;
+  total_.channels_reused += last_.channels_reused;
+  total_.proctypes_compiled += last_.proctypes_compiled;
+  total_.seconds += last_.seconds;
+
+  return kernel::Machine(sys_, compiled_);
+}
+
+}  // namespace pnp

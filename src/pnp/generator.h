@@ -1,0 +1,126 @@
+// Model generator: turns an Architecture into a verifiable kernel::Machine,
+// reusing pre-defined building-block models and previously built component
+// models across design iterations (the paper's central verification-cost
+// claim, section 3).
+//
+// The generator owns a persistent SystemSpec that grows append-only:
+//  * each building-block configuration (send-port kind, receive-port kind +
+//    options, channel kind) is built and compiled at most once;
+//  * each component model is built once and reused as long as its port list
+//    (and therefore its endpoints) is unchanged -- exactly the paper's
+//    observation that connector changes do not dirty component models;
+//  * internal channels are cached by logical role, so a port swap reuses
+//    the existing wiring.
+// GenStats exposes the build-vs-reuse counts that experiment E8 reports.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "kernel/machine.h"
+#include "ltl/formula.h"
+#include "pnp/architecture.h"
+
+namespace pnp {
+
+struct GenStats {
+  int component_models_built{0};
+  int component_models_reused{0};
+  int block_models_built{0};   // port + channel proctypes
+  int block_models_reused{0};
+  int channels_declared{0};
+  int channels_reused{0};
+  int proctypes_compiled{0};
+  int connectors_optimized{0};
+  double seconds{0.0};
+
+  std::string summary() const;
+};
+
+/// Generation options.
+struct GenOptions {
+  /// Substitute optimized connector models (paper section 6) wherever the
+  /// configuration allows it: senders all SynBlocking/AsynBlocking,
+  /// receivers all Blocking+remove+non-selective, channel SingleSlot/Fifo/
+  /// Priority. The optimized blocks exchange busy-polling (IN_FAIL /
+  /// OUT_FAIL retry loops) for guard-based blocking, shrinking the state
+  /// space by orders of magnitude with unchanged observable behaviour.
+  bool optimize_connectors{false};
+};
+
+class ModelGenerator;
+
+/// Handle given to a component's model callback; see ComponentModelFn.
+class ComponentContext {
+ public:
+  model::ProcBuilder& builder() { return *b_; }
+
+  /// Endpoint of the attachment named `port_name` on this component.
+  PortEndpoint port(const std::string& port_name) const;
+  /// Architecture-level shared variable.
+  model::GVar global(const std::string& name) const;
+
+  // expression sugar forwarding to the builder
+  expr::Ex g(const std::string& name) const;
+  expr::Ex k(model::Value v) const { return b_->k(v); }
+
+  /// All endpoints of this component (port name -> channel pair).
+  const std::unordered_map<std::string, PortEndpoint>& endpoints() const {
+    return endpoints_;
+  }
+  /// All architecture globals by name (for textual behaviours).
+  std::unordered_map<std::string, int> global_slots() const;
+
+ private:
+  friend class ModelGenerator;
+  model::ProcBuilder* b_{nullptr};
+  const ModelGenerator* gen_{nullptr};
+  std::unordered_map<std::string, PortEndpoint> endpoints_;
+};
+
+class ModelGenerator {
+ public:
+  ModelGenerator() = default;
+
+  /// (Re)generates the model for `arch`. The returned Machine borrows this
+  /// generator's SystemSpec: it is invalidated by the next generate() call.
+  kernel::Machine generate(const Architecture& arch, GenOptions opts = {});
+
+  const model::SystemSpec& spec() const { return sys_; }
+  const GenStats& last_stats() const { return last_; }
+  const GenStats& total_stats() const { return total_; }
+
+  // -- property construction on the generator's pool ---------------------------
+  expr::Ex gx(const std::string& global_name);
+  expr::Ex kx(model::Value v);
+
+  /// Parses a PML expression over the architecture's globals and channels
+  /// (used by the pnpv CLI for --invariant / --prop on .arch files).
+  expr::Ex parse_expr_text(const std::string& text);
+
+  /// Named propositions for LTL formulas and invariants.
+  ltl::PropertyContext& props() { return props_; }
+  int add_prop(const std::string& name, expr::Ex e);
+
+ private:
+  friend class ComponentContext;
+
+  int ensure_chan(const std::string& key, const std::string& name,
+                  int capacity, int arity, bool lossy);
+  template <typename BuildFn>
+  int ensure_proctype(const std::string& key, BuildFn&& build);
+  int ensure_global(const GlobalDecl& g);
+  int global_slot(const std::string& name) const;
+
+  model::SystemSpec sys_;
+  std::vector<compile::CompiledProc> compiled_;
+  std::unordered_map<std::string, int> chan_cache_;
+  std::unordered_map<std::string, int> proctype_cache_;
+  std::unordered_map<std::string, int> component_cache_;
+  std::unordered_map<std::string, int> global_cache_;
+  ltl::PropertyContext props_;
+  GenStats last_;
+  GenStats total_;
+};
+
+}  // namespace pnp

@@ -1,0 +1,80 @@
+#include "pnp/interfaces.h"
+
+#include "support/panic.h"
+
+namespace pnp {
+
+void register_signals(model::SystemSpec& sys) {
+  if (!sys.mtypes.empty()) {
+    PNP_CHECK(sys.mtypes.size() >= 9 && sys.mtypes[0] == "SEND_SUCC",
+              "signal mtypes already registered inconsistently");
+    return;
+  }
+  const char* names[] = {"SEND_SUCC", "SEND_FAIL", "IN_OK",     "IN_FAIL",
+                         "OUT_OK",    "OUT_FAIL",  "RECV_OK",   "RECV_SUCC",
+                         "RECV_FAIL"};
+  model::Value v = 1;
+  for (const char* n : names) {
+    const model::Value got = sys.add_mtype(n);
+    PNP_CHECK(got == v, "signal mtype numbering drifted");
+    ++v;
+  }
+}
+
+const char* signal_name(model::Value v) {
+  switch (v) {
+    case SEND_SUCC: return "SEND_SUCC";
+    case SEND_FAIL: return "SEND_FAIL";
+    case IN_OK: return "IN_OK";
+    case IN_FAIL: return "IN_FAIL";
+    case OUT_OK: return "OUT_OK";
+    case OUT_FAIL: return "OUT_FAIL";
+    case RECV_OK: return "RECV_OK";
+    case RECV_SUCC: return "RECV_SUCC";
+    case RECV_FAIL: return "RECV_FAIL";
+    default: return "?";
+  }
+}
+
+namespace iface {
+
+using namespace model;
+
+Seq send_msg(ProcBuilder& b, const PortEndpoint& ep, expr::Ex data,
+             const SendMeta& meta) {
+  std::vector<expr::Ex> fields = {
+      data,                 // data
+      b.k(0),               // sender_id (filled in by the port)
+      b.k(0),               // selective (receive-request flag; unused here)
+      b.k(meta.tag),        // selectiveData
+      b.k(0),               // remove (receive-request flag; unused here)
+      b.k(meta.priority),   // priority
+  };
+  RecvArg status =
+      meta.status_out ? bind(*meta.status_out) : any();
+  return seq(
+      send(b.c(ep.data), std::move(fields), "component->port: send message"),
+      recv(b.c(ep.sig), {std::move(status), any()},
+           "component: await SendStatus"));
+}
+
+Seq recv_msg(ProcBuilder& b, const PortEndpoint& ep, LVar data_out,
+             const RecvMeta& meta) {
+  // A receive request is an ordinary data message; the port fills in the
+  // selective/remove flags that its kind dictates before forwarding.
+  std::vector<expr::Ex> req = {
+      b.k(0), b.k(0), b.k(0), b.k(meta.tag), b.k(0), b.k(0),
+  };
+  RecvArg status =
+      meta.status_out ? bind(*meta.status_out) : any();
+  return seq(
+      send(b.c(ep.data), std::move(req), "component->port: receive request"),
+      recv(b.c(ep.sig), {std::move(status), any()},
+           "component: await RecvStatus"),
+      recv(b.c(ep.data),
+           {bind(data_out), any(), any(), any(), any(), any()},
+           "component: receive message (or stub)"));
+}
+
+}  // namespace iface
+}  // namespace pnp

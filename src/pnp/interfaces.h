@@ -1,0 +1,97 @@
+// Standard component interfaces (paper section 2.2, Figs. 3, 9, 10) and the
+// internal wire protocol shared by all building blocks.
+//
+// Components talk to ports over a pair of rendezvous channels (the paper's
+// `SynChan`): a *signal* channel carrying (status, port_pid) pairs and a
+// *data* channel carrying application messages. Because every send port
+// speaks the same component-side protocol (send message, await SendStatus)
+// and every receive port speaks the same receive protocol (send request,
+// await RecvStatus, receive message-or-stub), connectors can be swapped
+// without touching component models -- the core plug-and-play property.
+#pragma once
+
+#include "model/builder.h"
+
+namespace pnp {
+
+/// Wire-protocol status signals (paper Figs. 5/6). Values are the Promela
+/// mtype encoding: 1-based, in declaration order.
+enum Signal : model::Value {
+  SEND_SUCC = 1,
+  SEND_FAIL = 2,
+  IN_OK = 3,
+  IN_FAIL = 4,
+  OUT_OK = 5,
+  OUT_FAIL = 6,
+  RECV_OK = 7,
+  RECV_SUCC = 8,
+  RECV_FAIL = 9,
+};
+
+/// Registers the signal mtypes on `sys` in enum order. Idempotent per spec.
+void register_signals(model::SystemSpec& sys);
+
+/// Human-readable signal name.
+const char* signal_name(model::Value v);
+
+// -- data-message layout -------------------------------------------------------
+// Every data channel carries 6-field messages (paper's DataMsg plus the
+// bookkeeping fields used by Fig. 11):
+//   [ data, sender_id, selective, selectiveData, remove, priority ]
+inline constexpr int kFData = 0;
+inline constexpr int kFSender = 1;
+inline constexpr int kFSelective = 2;
+inline constexpr int kFSelData = 3;
+inline constexpr int kFRemove = 4;
+inline constexpr int kFPriority = 5;
+inline constexpr int kDataArity = 6;
+
+/// Signal channels carry [ signal, port_pid ].
+inline constexpr int kSignalArity = 2;
+
+/// The pair of rendezvous channels linking a component to one of its ports
+/// (or a port to a connector channel).
+struct PortEndpoint {
+  model::Chan sig;
+  model::Chan data;
+};
+
+namespace iface {
+
+/// Options for the sending interface.
+struct SendMeta {
+  /// Tag stored in the message's selectiveData field (used by selective
+  /// receive and as the pub/sub topic).
+  model::Value tag{0};
+  /// Priority (lower = delivered earlier by priority-queue channels).
+  model::Value priority{0};
+  /// If set, the SendStatus signal (SEND_SUCC/SEND_FAIL) is bound here;
+  /// otherwise it is consumed with a wildcard.
+  const model::LVar* status_out{nullptr};
+};
+
+/// Emits the paper's Fig. 9 protocol: send a message carrying `data`
+/// through `ep`, then block for the SendStatus signal. Identical for every
+/// send-port kind -- which port answers, and when, is the connector's
+/// business.
+model::Seq send_msg(model::ProcBuilder& b, const PortEndpoint& ep,
+                    expr::Ex data, const SendMeta& meta = {});
+
+/// Options for the receiving interface.
+struct RecvMeta {
+  /// For selective receive ports: only messages whose selectiveData equals
+  /// this value are retrieved.
+  model::Value tag{0};
+  /// If set, RECV_SUCC/RECV_FAIL is bound here (needed with nonblocking
+  /// receive ports to distinguish a real message from the stub).
+  const model::LVar* status_out{nullptr};
+};
+
+/// Emits the paper's Fig. 10 protocol: send a receive request through `ep`,
+/// await the RecvStatus signal, then receive the message (a stub when the
+/// status is RECV_FAIL). `data_out` receives the message's data field.
+model::Seq recv_msg(model::ProcBuilder& b, const PortEndpoint& ep,
+                    model::LVar data_out, const RecvMeta& meta = {});
+
+}  // namespace iface
+}  // namespace pnp

@@ -1,0 +1,50 @@
+#include "pnp/patterns.h"
+
+namespace pnp::patterns {
+
+int point_to_point(Architecture& arch, int sender, const std::string& send_port,
+                   int receiver, const std::string& recv_port,
+                   const std::string& name, SendPortKind send_kind,
+                   RecvPortKind recv_kind, ChannelSpec channel,
+                   RecvPortOpts recv_opts) {
+  const int conn = arch.add_connector(name, channel);
+  arch.attach_sender(sender, send_port, conn, send_kind);
+  arch.attach_receiver(receiver, recv_port, conn, recv_kind, recv_opts);
+  return conn;
+}
+
+int publish_subscribe(Architecture& arch, const std::string& name,
+                      int queue_capacity, const std::vector<PubEnd>& pubs,
+                      const std::vector<SubEnd>& subs) {
+  const int conn =
+      arch.add_connector(name, {ChannelKind::EventPool, queue_capacity});
+  for (const PubEnd& p : pubs)
+    arch.attach_sender(p.component, p.port_name, conn, p.kind);
+  for (const SubEnd& s : subs)
+    arch.attach_receiver(s.component, s.port_name, conn, s.kind, s.opts);
+  return conn;
+}
+
+RpcConnector rpc(Architecture& arch, const std::string& name, int client,
+                 const std::string& client_call_port,
+                 const std::string& client_reply_port, int server,
+                 const std::string& server_recv_port,
+                 const std::string& server_reply_port) {
+  RpcConnector out;
+  // The call blocks the client until the server has *received* the request
+  // (synchronous blocking send); the reply travels back asynchronously and
+  // the client blocks on its reply port -- together, classic RPC.
+  out.request = point_to_point(arch, client, client_call_port, server,
+                               server_recv_port, name + ".request",
+                               SendPortKind::SynBlocking,
+                               RecvPortKind::Blocking,
+                               {ChannelKind::SingleSlot, 1});
+  out.reply = point_to_point(arch, server, server_reply_port, client,
+                             client_reply_port, name + ".reply",
+                             SendPortKind::AsynBlocking,
+                             RecvPortKind::Blocking,
+                             {ChannelKind::SingleSlot, 1});
+  return out;
+}
+
+}  // namespace pnp::patterns

@@ -1,0 +1,51 @@
+// Higher-level composition patterns assembled from the building blocks:
+// point-to-point message passing, publish/subscribe, and RPC (paper
+// section 2.2: the standard interfaces generalize beyond message passing).
+#pragma once
+
+#include "pnp/architecture.h"
+
+namespace pnp::patterns {
+
+/// One sender, one receiver, one channel. Returns the connector id.
+int point_to_point(Architecture& arch, int sender, const std::string& send_port,
+                   int receiver, const std::string& recv_port,
+                   const std::string& name, SendPortKind send_kind,
+                   RecvPortKind recv_kind, ChannelSpec channel,
+                   RecvPortOpts recv_opts = {});
+
+struct PubEnd {
+  int component{-1};
+  std::string port_name;
+  SendPortKind kind{SendPortKind::AsynBlocking};
+};
+struct SubEnd {
+  int component{-1};
+  std::string port_name;
+  RecvPortKind kind{RecvPortKind::Blocking};
+  RecvPortOpts opts{};
+};
+
+/// Event-pool connector with any number of publishers and subscribers.
+/// Subscribers typically use selective receive: the request tag acts as the
+/// topic filter. Returns the connector id.
+int publish_subscribe(Architecture& arch, const std::string& name,
+                      int queue_capacity, const std::vector<PubEnd>& pubs,
+                      const std::vector<SubEnd>& subs);
+
+struct RpcConnector {
+  int request{-1};
+  int reply{-1};
+};
+
+/// Remote procedure call: a synchronous request connector (client blocks
+/// until the server picked up the call) plus a reply connector back. The
+/// client component performs iface::send_msg on `client_call_port` followed
+/// by iface::recv_msg on `client_reply_port`; the server mirrors this.
+RpcConnector rpc(Architecture& arch, const std::string& name, int client,
+                 const std::string& client_call_port,
+                 const std::string& client_reply_port, int server,
+                 const std::string& server_recv_port,
+                 const std::string& server_reply_port);
+
+}  // namespace pnp::patterns

@@ -1,0 +1,20 @@
+// Umbrella header: the full public API of the Plug-and-Play design and
+// verification library.
+//
+//   Architecture  -- components, connectors, plug-and-play edits
+//   ModelGenerator -- architecture -> verifiable model, with block/component
+//                     model reuse across design iterations
+//   check_safety / check_invariant / check_ltl_formula -- design-time
+//                     verification with counterexample traces
+//   patterns::*   -- point-to-point, publish/subscribe, RPC composition
+//   iface::*      -- the standard component interfaces
+#pragma once
+
+#include "pnp/architecture.h"
+#include "pnp/blocks.h"
+#include "pnp/generator.h"
+#include "pnp/interfaces.h"
+#include "pnp/patterns.h"
+#include "pnp/verifier.h"
+#include "sim/simulator.h"
+#include "trace/msc.h"

@@ -1,0 +1,24 @@
+#include "pnp/textual.h"
+
+#include "pml/parser.h"
+#include "pnp/generator.h"
+#include "pnp/interfaces.h"
+
+namespace pnp {
+
+ComponentModelFn pml_component(std::string behavior) {
+  return [behavior = std::move(behavior)](ComponentContext& ctx) {
+    pml::BehaviorSymbols symbols;
+    for (const auto& [port, ep] : ctx.endpoints()) {
+      symbols.channels[port + "_sig"] = ep.sig.id;
+      symbols.channels[port + "_data"] = ep.data.id;
+    }
+    symbols.globals = ctx.global_slots();
+    symbols.mtypes = {"SEND_SUCC", "SEND_FAIL", "IN_OK",     "IN_FAIL",
+                      "OUT_OK",    "OUT_FAIL",  "RECV_OK",   "RECV_SUCC",
+                      "RECV_FAIL"};
+    return pml::parse_behavior(ctx.builder(), behavior, symbols);
+  };
+}
+
+}  // namespace pnp

@@ -1,0 +1,29 @@
+// Textually defined component behaviours: wrap a PML statement sequence as
+// a ComponentModelFn. Inside the behaviour text,
+//   * each attachment "p" of the component exposes the rendezvous channels
+//     `p_sig` and `p_data` (the flattened SynChan pair of the paper),
+//   * every architecture global is in scope by name,
+//   * the protocol signal names (SEND_SUCC, ..., RECV_FAIL) are mtype
+//     constants,
+// so a component is written exactly like the paper's Fig. 9/10 listings:
+//
+//   pml_component(R"(
+//     byte i = 1;
+//     do
+//     :: i <= 3 -> out_data!i,0,0,0,0,0; out_sig?SEND_SUCC,_; i++
+//     :: i > 3 -> break
+//     od
+//   )")
+#pragma once
+
+#include <string>
+
+#include "pnp/architecture.h"
+
+namespace pnp {
+
+/// Builds a component model from PML behaviour text (parsed lazily at
+/// generation time, once, then cached like any component model).
+ComponentModelFn pml_component(std::string behavior);
+
+}  // namespace pnp

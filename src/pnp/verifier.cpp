@@ -1,0 +1,96 @@
+#include "pnp/verifier.h"
+
+#include <sstream>
+
+namespace pnp {
+
+namespace {
+
+void append_stats(std::ostringstream& os, const explore::Stats& st) {
+  os << "  states stored: " << st.states_stored
+     << ", matched: " << st.states_matched
+     << ", transitions: " << st.transitions << ", " << st.seconds * 1e3
+     << " ms" << (st.complete ? "" : "  [search truncated]") << "\n";
+}
+
+}  // namespace
+
+std::string SafetyOutcome::report() const {
+  std::ostringstream os;
+  os << "[" << (passed() ? "PASS" : "FAIL") << "] " << property_name << "\n";
+  append_stats(os, result.stats);
+  if (result.violation) {
+    os << "  violation: "
+       << explore::violation_kind_name(result.violation->kind) << " -- "
+       << result.violation->message << "\n";
+    os << "  counterexample (" << result.violation->trace.size()
+       << " steps):\n";
+    os << trace::to_string(result.violation->trace);
+  }
+  return os.str();
+}
+
+SafetyOutcome check_safety(const kernel::Machine& m, VerifyOptions opt) {
+  explore::Options eopt;
+  eopt.max_states = opt.max_states;
+  eopt.check_deadlock = opt.check_deadlock;
+  eopt.por = opt.por;
+  eopt.bfs = opt.bfs;
+  SafetyOutcome out;
+  out.property_name = "safety (assertions + no invalid end states)";
+  out.result = explore::explore(m, eopt);
+  return out;
+}
+
+SafetyOutcome check_invariant(const kernel::Machine& m, expr::Ex invariant,
+                              std::string name, VerifyOptions opt) {
+  explore::Options eopt;
+  eopt.max_states = opt.max_states;
+  eopt.check_deadlock = opt.check_deadlock;
+  eopt.por = opt.por;
+  eopt.bfs = opt.bfs;
+  eopt.invariant = invariant.ref;
+  eopt.invariant_name = name;
+  SafetyOutcome out;
+  out.property_name = "invariant: " + name;
+  out.result = explore::explore(m, eopt);
+  return out;
+}
+
+std::string LtlOutcome::report() const {
+  std::ostringstream os;
+  os << "[" << (passed() ? "PASS" : "FAIL") << "] LTL: " << result.formula_text
+     << "  (Buchi states: " << result.buchi_states << ")\n";
+  append_stats(os, result.stats);
+  if (result.violation) {
+    os << "  " << result.violation->message << "\n";
+    os << trace::to_string(result.violation->trace);
+  }
+  return os.str();
+}
+
+SafetyOutcome check_end_invariant(const kernel::Machine& m, expr::Ex inv,
+                                  std::string name, VerifyOptions opt) {
+  explore::Options eopt;
+  eopt.max_states = opt.max_states;
+  eopt.check_deadlock = opt.check_deadlock;
+  eopt.por = opt.por;
+  eopt.bfs = opt.bfs;
+  eopt.end_invariant = inv.ref;
+  eopt.end_invariant_name = name;
+  SafetyOutcome out;
+  out.property_name = "end invariant: " + name;
+  out.result = explore::explore(m, eopt);
+  return out;
+}
+
+LtlOutcome check_ltl_formula(const kernel::Machine& m,
+                             const ltl::PropertyContext& props,
+                             const std::string& formula,
+                             ltl::CheckOptions opt) {
+  LtlOutcome out;
+  out.result = ltl::check_ltl(m, props, formula, opt);
+  return out;
+}
+
+}  // namespace pnp

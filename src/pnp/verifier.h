@@ -1,0 +1,59 @@
+// Design-time verification facade: safety (assertions, deadlock, state
+// invariants) and LTL checking over a generated model, with human-readable
+// reports for the design-iterate-verify loop of the paper's section 4.
+#pragma once
+
+#include <string>
+
+#include "explore/explorer.h"
+#include "ltl/product.h"
+#include "pnp/generator.h"
+
+namespace pnp {
+
+struct VerifyOptions {
+  std::uint64_t max_states = 20'000'000;
+  bool check_deadlock = true;
+  bool por = false;
+  bool bfs = false;  // shortest counterexamples
+};
+
+struct SafetyOutcome {
+  std::string property_name;
+  explore::Result result;
+
+  bool passed() const { return result.ok(); }
+  /// Multi-line report: verdict, state counts, and the counterexample trace
+  /// when the property failed.
+  std::string report() const;
+};
+
+/// Checks assertions + absence of invalid end states.
+SafetyOutcome check_safety(const kernel::Machine& m, VerifyOptions opt = {});
+
+/// Additionally checks that `invariant` holds in every reachable state.
+SafetyOutcome check_invariant(const kernel::Machine& m, expr::Ex invariant,
+                              std::string name, VerifyOptions opt = {});
+
+/// Checks that every TERMINAL state satisfies `inv` ("when the system
+/// finishes, X has happened") -- the fairness-free way to state many
+/// progress claims.
+SafetyOutcome check_end_invariant(const kernel::Machine& m, expr::Ex inv,
+                                  std::string name, VerifyOptions opt = {});
+
+struct LtlOutcome {
+  ltl::LtlResult result;
+
+  bool passed() const { return result.holds; }
+  std::string report() const;
+};
+
+/// Checks the LTL formula text (propositions from `props`) on `m`.
+/// Set `opt.weak_fairness` for liveness properties that only hold under
+/// fair scheduling.
+LtlOutcome check_ltl_formula(const kernel::Machine& m,
+                             const ltl::PropertyContext& props,
+                             const std::string& formula,
+                             ltl::CheckOptions opt = {});
+
+}  // namespace pnp

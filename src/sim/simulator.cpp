@@ -1,0 +1,61 @@
+#include "sim/simulator.h"
+
+namespace pnp::sim {
+
+Simulator::Simulator(const kernel::Machine& m, std::uint64_t seed)
+    : m_(m), state_(m.initial()), rng_(seed) {}
+
+void Simulator::reset() {
+  state_ = m_.initial();
+  history_.clear();
+}
+
+bool Simulator::step_random() {
+  scratch_.clear();
+  m_.successors(state_, scratch_);
+  if (scratch_.empty()) return false;
+  const std::size_t pick =
+      std::uniform_int_distribution<std::size_t>(0, scratch_.size() - 1)(rng_);
+  state_ = std::move(scratch_[pick].first);
+  history_.push_back(scratch_[pick].second);
+  return true;
+}
+
+bool Simulator::step_with(const Chooser& choose) {
+  scratch_.clear();
+  m_.successors(state_, scratch_);
+  if (scratch_.empty()) return false;
+  const int pick = choose(scratch_);
+  if (pick < 0 || pick >= static_cast<int>(scratch_.size())) return false;
+  state_ = std::move(scratch_[static_cast<std::size_t>(pick)].first);
+  history_.push_back(scratch_[static_cast<std::size_t>(pick)].second);
+  return true;
+}
+
+std::size_t Simulator::run_random(std::size_t max_steps) {
+  std::size_t n = 0;
+  while (n < max_steps && step_random()) ++n;
+  return n;
+}
+
+bool Simulator::step_preferring(const std::string& preferred) {
+  scratch_.clear();
+  m_.successors(state_, scratch_);
+  if (scratch_.empty()) return false;
+  std::size_t pick = scratch_.size();
+  for (std::size_t i = 0; i < scratch_.size(); ++i) {
+    if (m_.describe_step(scratch_[i].second).find(preferred) !=
+        std::string::npos) {
+      pick = i;
+      break;
+    }
+  }
+  if (pick == scratch_.size())
+    pick = std::uniform_int_distribution<std::size_t>(0, scratch_.size() - 1)(
+        rng_);
+  state_ = std::move(scratch_[pick].first);
+  history_.push_back(scratch_[pick].second);
+  return true;
+}
+
+}  // namespace pnp::sim

@@ -1,0 +1,49 @@
+// Random and guided simulation over a compiled machine. Used to generate
+// example scenarios (the paper's Fig. 4 message sequence charts) and for
+// smoke-testing models before exhaustive verification.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "kernel/machine.h"
+
+namespace pnp::sim {
+
+class Simulator {
+ public:
+  /// Picks one successor index from the current candidates, or -1 to stop.
+  using Chooser = std::function<int(const std::vector<kernel::Succ>&)>;
+
+  explicit Simulator(const kernel::Machine& m, std::uint64_t seed = 1);
+
+  void reset();
+  const kernel::State& state() const { return state_; }
+  const std::vector<kernel::Step>& history() const { return history_; }
+
+  /// Executes one uniformly random enabled step; false if none exists.
+  bool step_random();
+
+  /// Executes the successor selected by `choose`; false if it returns -1 or
+  /// no successor exists.
+  bool step_with(const Chooser& choose);
+
+  /// Runs up to `max_steps` random steps; returns how many were taken.
+  std::size_t run_random(std::size_t max_steps);
+
+  /// Runs with a preference function: among the candidates, picks the first
+  /// whose description contains `preferred` (per call), falling back to a
+  /// random step. Handy for steering scenarios.
+  bool step_preferring(const std::string& preferred);
+
+ private:
+  const kernel::Machine& m_;
+  kernel::State state_;
+  std::vector<kernel::Step> history_;
+  std::vector<kernel::Succ> scratch_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace pnp::sim

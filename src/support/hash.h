@@ -1,0 +1,41 @@
+// Hashing utilities for state vectors.
+//
+// The explorer dedupes millions of small byte strings; we use a 64-bit
+// FNV-1a with an avalanche finalizer, which is plenty for closed-set
+// hashing and has no external dependencies. A second independent hash is
+// provided for the double-bit bitstate (supertrace) mode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace pnp {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t avalanche64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::uint64_t hash_bytes(std::span<const std::uint8_t> bytes,
+                                std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return avalanche64(h);
+}
+
+/// Independent second hash for Bloom-style bitstate storage.
+inline std::uint64_t hash_bytes2(std::span<const std::uint8_t> bytes) {
+  return hash_bytes(bytes, 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace pnp

@@ -1,0 +1,7 @@
+#include "support/panic.h"
+
+namespace pnp {
+
+void raise_model_error(const std::string& what) { throw ModelError(what); }
+
+}  // namespace pnp

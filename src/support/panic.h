@@ -1,0 +1,33 @@
+// Error-handling primitives for the pnp library.
+//
+// The library distinguishes two failure categories:
+//  * programming errors (violated preconditions, malformed models) -> ModelError
+//  * resource exhaustion during exploration -> reported through result types,
+//    never via exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pnp {
+
+/// Thrown when a model is structurally invalid (bad channel arity, unbound
+/// variable slot, type mismatch in the IR, ...). These are bugs in the code
+/// that *builds* the model, so they surface loudly instead of being encoded
+/// in return values.
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+[[noreturn]] void raise_model_error(const std::string& what);
+
+/// Precondition check used throughout the library. Unlike assert() it is
+/// active in release builds: model-construction bugs must never silently
+/// corrupt a verification result.
+#define PNP_CHECK(cond, msg)                                  \
+  do {                                                        \
+    if (!(cond)) ::pnp::raise_model_error(std::string(msg)); \
+  } while (0)
+
+}  // namespace pnp

@@ -1,0 +1,33 @@
+#include "support/string_util.h"
+
+namespace pnp {
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_to(std::string_view s, std::size_t width) {
+  std::string out(s.substr(0, width));
+  out.resize(width, ' ');
+  return out;
+}
+
+std::string center(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s.substr(0, width));
+  const std::size_t left = (width - s.size()) / 2;
+  std::string out(left, ' ');
+  out += s;
+  out.resize(width, ' ');
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace pnp

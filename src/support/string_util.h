@@ -1,0 +1,23 @@
+// Small string helpers shared by the trace renderers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pnp {
+
+/// Joins `parts` with `sep` ("a, b, c").
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Left-pads or truncates `s` to exactly `width` columns.
+std::string pad_to(std::string_view s, std::size_t width);
+
+/// Centers `s` within `width` columns (used by the MSC renderer).
+std::string center(std::string_view s, std::size_t width);
+
+/// True if `s` starts with `prefix` (convenience over std::string::starts_with
+/// for string_view pairs on older standard libraries).
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace pnp

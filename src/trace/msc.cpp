@@ -1,0 +1,140 @@
+#include "trace/msc.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace pnp::trace {
+
+namespace {
+
+using kernel::Step;
+using kernel::StepEvent;
+
+std::string default_label(const kernel::Machine& m, int chan,
+                          const std::vector<kernel::Value>& msg) {
+  std::string out = m.spec().channels[static_cast<std::size_t>(chan)].name + "(";
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(msg[i]);
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+std::string render_msc(const kernel::Machine& m,
+                       const std::vector<Step>& steps, const MscOptions& opt) {
+  // -- assign columns ---------------------------------------------------------
+  std::vector<int> pids = opt.pids;
+  if (pids.empty())
+    for (int p = 0; p < m.n_processes(); ++p) pids.push_back(p);
+
+  std::map<int, int> pid_col;   // pid -> column
+  std::map<int, int> chan_col;  // chan -> column
+  std::vector<std::string> headers;
+  for (int p : pids) {
+    pid_col[p] = static_cast<int>(headers.size());
+    headers.push_back(m.proc_name(p));
+  }
+  if (opt.channel_lifelines) {
+    for (const Step& s : steps) {
+      if (s.event.kind != StepEvent::Kind::Send &&
+          s.event.kind != StepEvent::Kind::Recv)
+        continue;
+      if (!pid_col.contains(s.pid)) continue;
+      if (!chan_col.contains(s.event.chan)) {
+        chan_col[s.event.chan] = static_cast<int>(headers.size());
+        headers.push_back(
+            "[" + m.spec().channels[static_cast<std::size_t>(s.event.chan)].name +
+            "]");
+      }
+    }
+  }
+
+  const int w = opt.col_width;
+  const int ncols = static_cast<int>(headers.size());
+  auto center_of = [w](int col) { return col * w + w / 2; };
+
+  std::ostringstream os;
+  // header row
+  for (int c = 0; c < ncols; ++c) os << center(headers[static_cast<std::size_t>(c)], static_cast<std::size_t>(w));
+  os << "\n";
+
+  auto blank_row = [&]() {
+    std::string row(static_cast<std::size_t>(ncols * w), ' ');
+    for (int c = 0; c < ncols; ++c)
+      row[static_cast<std::size_t>(center_of(c))] = '|';
+    return row;
+  };
+
+  auto draw_arrow = [&](std::string& row, int from_col, int to_col,
+                        const std::string& label) {
+    const int a = center_of(from_col);
+    const int b = center_of(to_col);
+    const int lo = std::min(a, b);
+    const int hi = std::max(a, b);
+    for (int i = lo + 1; i < hi; ++i) row[static_cast<std::size_t>(i)] = '-';
+    if (b > a)
+      row[static_cast<std::size_t>(hi - 1)] = '>';
+    else
+      row[static_cast<std::size_t>(lo + 1)] = '<';
+    // overlay the label centered in the span
+    std::string lab = label;
+    const int span = hi - lo - 3;
+    if (span > 2) {
+      if (static_cast<int>(lab.size()) > span) lab = lab.substr(0, static_cast<std::size_t>(span));
+      const int start = lo + 2 + (span - static_cast<int>(lab.size())) / 2;
+      for (std::size_t i = 0; i < lab.size(); ++i)
+        row[static_cast<std::size_t>(start) + i] = lab[i];
+    }
+  };
+
+  std::size_t shown = 0;
+  for (const Step& s : steps) {
+    if (shown >= opt.max_events) {
+      os << "  ... (" << steps.size() - shown << " more events)\n";
+      break;
+    }
+    if (s.pid < 0) continue;
+    auto it = pid_col.find(s.pid);
+    if (it == pid_col.end()) continue;
+    const int src = it->second;
+    std::string row = blank_row();
+    auto label_of = [&](int chan, const std::vector<kernel::Value>& msg) {
+      return opt.label ? opt.label(chan, msg) : default_label(m, chan, msg);
+    };
+    switch (s.event.kind) {
+      case StepEvent::Kind::Handshake: {
+        auto pit = pid_col.find(s.partner_pid);
+        if (pit == pid_col.end()) continue;
+        draw_arrow(row, src, pit->second, label_of(s.event.chan, s.event.msg));
+        break;
+      }
+      case StepEvent::Kind::Send: {
+        auto cit = chan_col.find(s.event.chan);
+        if (cit == chan_col.end()) continue;
+        draw_arrow(row, src, cit->second, label_of(s.event.chan, s.event.msg));
+        break;
+      }
+      case StepEvent::Kind::Recv: {
+        auto cit = chan_col.find(s.event.chan);
+        if (cit == chan_col.end()) continue;
+        draw_arrow(row, cit->second, src, label_of(s.event.chan, s.event.msg));
+        break;
+      }
+      case StepEvent::Kind::Local: {
+        if (!opt.show_local) continue;
+        row[static_cast<std::size_t>(center_of(src))] = '*';
+        break;
+      }
+    }
+    os << row << "\n";
+    ++shown;
+  }
+  return os.str();
+}
+
+}  // namespace pnp::trace

@@ -1,0 +1,32 @@
+// Message Sequence Chart renderer: turns a sequence of kernel steps into an
+// ASCII MSC like the paper's Fig. 4 scenarios (component / port / channel
+// lifelines with message arrows between them).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/machine.h"
+
+namespace pnp::trace {
+
+struct MscOptions {
+  int col_width = 20;
+  /// Lifelines to draw, as pids; empty = all processes.
+  std::vector<int> pids;
+  /// Draw buffered channels as their own lifelines (rendezvous arrows always
+  /// go process-to-process).
+  bool channel_lifelines = true;
+  /// Show steps that move no message (guards, assignments) as '*' marks.
+  bool show_local = false;
+  std::size_t max_events = 300;
+  /// Formats an arrow label; default prints "chan(v1,v2,...)".
+  std::function<std::string(int chan, const std::vector<kernel::Value>&)> label;
+};
+
+std::string render_msc(const kernel::Machine& m,
+                       const std::vector<kernel::Step>& steps,
+                       const MscOptions& opt = {});
+
+}  // namespace pnp::trace

@@ -1,0 +1,22 @@
+#include "trace/trace.h"
+
+#include <sstream>
+
+namespace pnp::trace {
+
+std::string to_string(const Trace& t) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < t.steps.size(); ++i)
+    os << "  " << (i + 1) << ". " << t.steps[i].description << "\n";
+  if (!t.final_state.empty()) os << "final state:\n" << t.final_state << "\n";
+  return os.str();
+}
+
+std::vector<kernel::Step> steps_of(const Trace& t) {
+  std::vector<kernel::Step> out;
+  out.reserve(t.steps.size());
+  for (const TraceStep& s : t.steps) out.push_back(s.step);
+  return out;
+}
+
+}  // namespace pnp::trace

@@ -1,0 +1,32 @@
+// Counterexample traces: the sequence of interleaving steps from the
+// initial state to a violation, with human-readable descriptions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/machine.h"
+
+namespace pnp::trace {
+
+struct TraceStep {
+  kernel::Step step;
+  std::string description;
+};
+
+struct Trace {
+  std::vector<TraceStep> steps;
+  /// Rendering of the violating state (machine.format_state).
+  std::string final_state;
+
+  bool empty() const { return steps.empty(); }
+  std::size_t size() const { return steps.size(); }
+};
+
+/// Renders the trace as a numbered step list.
+std::string to_string(const Trace& t);
+
+/// Extracts the raw kernel steps (input to the MSC renderer).
+std::vector<kernel::Step> steps_of(const Trace& t);
+
+}  // namespace pnp::trace

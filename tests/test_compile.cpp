@@ -1,0 +1,215 @@
+// Compiler tests: CFG shape, else-edge placement, break targets, atomic
+// marking, end labels, validation diagnostics, and transition rendering.
+#include <gtest/gtest.h>
+
+#include "compile/compiler.h"
+#include "model/builder.h"
+#include "support/panic.h"
+
+namespace pnp::compile {
+namespace {
+
+using namespace model;
+
+SystemSpec base_sys() {
+  SystemSpec sys;
+  sys.add_channel("c", 1, 1);
+  sys.add_global("g");
+  return sys;
+}
+
+TEST(Compile, LinearSequenceProducesChainOfTransitions) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  const LVar x = b.local("x");
+  b.finish(seq(assign(x, b.k(1)), assign(x, b.k(2)), assign(x, b.k(3))));
+  sys.spawn("p", 0, {});
+  const auto procs = compile(sys);
+  const CompiledProc& p = procs[0];
+  EXPECT_EQ(p.trans.size(), 3u);
+  EXPECT_EQ(p.n_pcs, 4);
+  // final pc is a valid end state, intermediate ones are not
+  EXPECT_TRUE(p.valid_end[3]);
+  EXPECT_FALSE(p.valid_end[1]);
+}
+
+TEST(Compile, IfBranchesShareEntryAndExit) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  const LVar x = b.local("x");
+  b.finish(seq(if_(alt(seq(guard(b.l(x) == b.k(0)), assign(x, b.k(1)))),
+                   alt(seq(guard(b.l(x) == b.k(1)), assign(x, b.k(2))))),
+               assign(x, b.k(9))));
+  sys.spawn("p", 0, {});
+  const auto procs = compile(sys);
+  const CompiledProc& p = procs[0];
+  // both guards depart from the entry pc
+  int guards_at_entry = 0;
+  for (const Transition& t : p.trans)
+    if (t.op == OpKind::Guard && t.src == p.entry) ++guards_at_entry;
+  EXPECT_EQ(guards_at_entry, 2);
+  // both branch tails converge: one assign per branch plus the final one
+  int assigns = 0;
+  for (const Transition& t : p.trans)
+    if (t.op == OpKind::Assign) ++assigns;
+  EXPECT_EQ(assigns, 3);
+  // the final assign has exactly one source pc, shared by both branches
+  int final_src = -1;
+  for (const Transition& t : p.trans) {
+    bool is_branch_guard = t.op == OpKind::Guard && t.src == p.entry;
+    if (t.op == OpKind::Assign && !is_branch_guard && t.dst != p.entry &&
+        p.valid_end[static_cast<std::size_t>(t.dst)]) {
+      final_src = t.src;
+    }
+  }
+  EXPECT_GE(final_src, 0);
+}
+
+TEST(Compile, ElseBranchCompilesToElseEdge) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  const LVar x = b.local("x");
+  b.finish(seq(if_(alt(seq(guard(b.l(x) == b.k(0)))),
+                   alt_else(seq(assign(x, b.k(7)))))));
+  sys.spawn("p", 0, {});
+  const auto procs = compile(sys);
+  int else_edges = 0;
+  for (const Transition& t : procs[0].trans)
+    if (t.op == OpKind::Else) ++else_edges;
+  EXPECT_EQ(else_edges, 1);
+}
+
+TEST(Compile, DoLoopsBackAndBreakLeaves) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  const LVar x = b.local("x");
+  b.finish(seq(do_(alt(seq(guard(b.l(x) < b.k(3)), assign(x, b.l(x) + b.k(1)))),
+                   alt(seq(guard(b.l(x) == b.k(3)), break_()))),
+               assign(x, b.k(0))));
+  sys.spawn("p", 0, {});
+  const auto procs = compile(sys);
+  const CompiledProc& p = procs[0];
+  // the loop-body assign leads back to the loop head (entry)
+  bool loops_back = false;
+  for (const Transition& t : p.trans)
+    if (t.op == OpKind::Assign && t.dst == p.entry) loops_back = true;
+  EXPECT_TRUE(loops_back);
+  // the break's Noop edge leaves the loop to the pc of the final assign
+  bool break_found = false;
+  for (const Transition& t : p.trans)
+    if (t.op == OpKind::Noop && t.label == "break") break_found = true;
+  EXPECT_TRUE(break_found);
+}
+
+TEST(Compile, AtomicMarksInteriorPcsOnly) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  const LVar x = b.local("x");
+  b.finish(seq(assign(x, b.k(0)),
+               atomic(seq(assign(x, b.k(1)), assign(x, b.k(2)),
+                          assign(x, b.k(3)))),
+               assign(x, b.k(4))));
+  sys.spawn("p", 0, {});
+  const auto procs = compile(sys);
+  const CompiledProc& p = procs[0];
+  int atomic_pcs = 0;
+  for (int pc = 0; pc < p.n_pcs; ++pc)
+    if (p.atomic_at[static_cast<std::size_t>(pc)]) ++atomic_pcs;
+  // interior control points of the 3-statement atomic block: after stmt 1
+  // and after stmt 2 (entry and exit are not atomic)
+  EXPECT_EQ(atomic_pcs, 2);
+}
+
+TEST(Compile, EndLabelMarksLoopHead) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  const LVar x = b.local("x");
+  b.finish(seq(end_label(), do_(alt(seq(guard(b.l(x) == b.k(0)))))));
+  sys.spawn("p", 0, {});
+  const auto procs = compile(sys);
+  EXPECT_TRUE(procs[0].valid_end[static_cast<std::size_t>(procs[0].entry)]);
+}
+
+TEST(Compile, LocalOnlyClassification) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  const LVar x = b.local("x");
+  const GVar g{0};
+  b.finish(seq(assign(x, b.l(x) + b.k(1)),       // local-only
+               assign(g, b.k(1)),                // writes a global
+               assign(x, b.g(g)),                // reads a global
+               guard(b.l(x) == b.k(0)),          // local-only guard
+               send(b.c(Chan{0}), {b.k(1)})));   // channel op
+  sys.spawn("p", 0, {});
+  const auto procs = compile(sys);
+  const auto& tr = procs[0].trans;
+  ASSERT_EQ(tr.size(), 5u);
+  EXPECT_TRUE(tr[0].local_only);
+  EXPECT_FALSE(tr[1].local_only);
+  EXPECT_FALSE(tr[2].local_only);
+  EXPECT_TRUE(tr[3].local_only);
+  EXPECT_FALSE(tr[4].local_only);
+}
+
+TEST(Compile, ValidationCatchesArityMismatch) {
+  SystemSpec sys = base_sys();  // channel "c" has arity 1
+  ProcBuilder b(sys, "P");
+  b.finish(seq(send(b.c(Chan{0}), {b.k(1), b.k(2)})));
+  sys.spawn("p", 0, {});
+  EXPECT_THROW(compile(sys), ModelError);
+}
+
+TEST(Compile, ValidationCatchesBreakOutsideLoop) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  b.finish(seq(break_()));
+  sys.spawn("p", 0, {});
+  EXPECT_THROW(compile(sys), ModelError);
+}
+
+TEST(Compile, ValidationCatchesBadSlots) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  Stmt s;
+  s.kind = StmtKind::Assign;
+  s.lhs = {LhsKind::Local, 99};
+  s.expr = sys.exprs.konst(1);
+  Seq body;
+  body.push_back(std::make_unique<Stmt>(std::move(s)));
+  b.finish(std::move(body));
+  sys.spawn("p", 0, {});
+  EXPECT_THROW(compile(sys), ModelError);
+}
+
+TEST(Compile, DescribeRendersOps) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  const LVar x = b.local("x");
+  b.finish(seq(assign(x, b.k(1)),
+               send(b.c(Chan{0}), {b.l(x)}),
+               recv(b.c(Chan{0}), {bind(x)}),
+               assert_(b.l(x) == b.k(1))));
+  sys.spawn("p", 0, {});
+  const auto procs = compile(sys);
+  const CompiledProc& p = procs[0];
+  EXPECT_EQ(describe(sys, p, p.trans[0]), "x = 1");
+  EXPECT_EQ(describe(sys, p, p.trans[1]), "c!x");
+  EXPECT_EQ(describe(sys, p, p.trans[2]), "c?x");
+  EXPECT_EQ(describe(sys, p, p.trans[3]), "assert((x == 1))");
+}
+
+TEST(Compile, CompileProcMatchesFullCompile) {
+  SystemSpec sys = base_sys();
+  ProcBuilder b(sys, "P");
+  const LVar x = b.local("x");
+  b.finish(seq(assign(x, b.k(1)), assign(x, b.k(2))));
+  sys.spawn("p", 0, {});
+  const auto all = compile(sys);
+  const CompiledProc one = compile_proc(sys, 0);
+  EXPECT_EQ(one.trans.size(), all[0].trans.size());
+  EXPECT_EQ(one.n_pcs, all[0].n_pcs);
+  EXPECT_EQ(one.entry, all[0].entry);
+}
+
+}  // namespace
+}  // namespace pnp::compile

@@ -1,0 +1,124 @@
+// Unit tests for the expression layer: interning, evaluation, shared-state
+// classification, and printing.
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "support/panic.h"
+
+namespace pnp::expr {
+namespace {
+
+class FakeChans : public ChannelView {
+ public:
+  int chan_len(int chan) const override { return chan == 0 ? 2 : 0; }
+  int chan_capacity(int chan) const override { return chan == 0 ? 3 : 1; }
+};
+
+class ExprTest : public ::testing::Test {
+ protected:
+  Value eval(Ref r) {
+    FakeChans chans;
+    EvalEnv env{globals_, locals_, params_, &chans, 7};
+    return pool_.eval(r, env);
+  }
+  Ex g(int slot) { return wrap(pool_, pool_.global(slot)); }
+  Ex l(int slot) { return wrap(pool_, pool_.local(slot)); }
+  Ex k(Value v) { return wrap(pool_, pool_.konst(v)); }
+
+  Pool pool_;
+  std::vector<Value> globals_{10, 20, 30};
+  std::vector<Value> locals_{1, 2};
+  std::vector<Value> params_{};
+};
+
+TEST_F(ExprTest, ParamSlotsResolveBeforeLocals) {
+  params_ = {100, 200};
+  // slot 0/1 -> params, slot 2/3 -> locals
+  EXPECT_EQ(eval(pool_.local(0)), 100);
+  EXPECT_EQ(eval(pool_.local(1)), 200);
+  EXPECT_EQ(eval(pool_.local(2)), 1);
+  EXPECT_EQ(eval(pool_.local(3)), 2);
+  params_.clear();
+}
+
+TEST_F(ExprTest, ConstantsEvaluateToThemselves) {
+  EXPECT_EQ(eval(pool_.konst(42)), 42);
+  EXPECT_EQ(eval(pool_.konst(-5)), -5);
+}
+
+TEST_F(ExprTest, VariableReads) {
+  EXPECT_EQ(eval(pool_.global(0)), 10);
+  EXPECT_EQ(eval(pool_.global(2)), 30);
+  EXPECT_EQ(eval(pool_.local(1)), 2);
+  EXPECT_EQ(eval(pool_.self_pid()), 7);
+}
+
+TEST_F(ExprTest, Arithmetic) {
+  EXPECT_EQ(eval((k(3) + k(4)).ref), 7);
+  EXPECT_EQ(eval((k(3) - k(4)).ref), -1);
+  EXPECT_EQ(eval((k(3) * k(4)).ref), 12);
+  EXPECT_EQ(eval((k(9) / k(2)).ref), 4);
+  EXPECT_EQ(eval((k(9) % k(2)).ref), 1);
+  EXPECT_EQ(eval((-k(5)).ref), -5);
+}
+
+TEST_F(ExprTest, DivisionByZeroRaises) {
+  EXPECT_THROW(eval((k(1) / k(0)).ref), ModelError);
+  EXPECT_THROW(eval((k(1) % k(0)).ref), ModelError);
+}
+
+TEST_F(ExprTest, ComparisonsAndLogic) {
+  EXPECT_EQ(eval((k(1) < k(2)).ref), 1);
+  EXPECT_EQ(eval((k(2) < k(1)).ref), 0);
+  EXPECT_EQ(eval((k(2) <= k(2)).ref), 1);
+  EXPECT_EQ(eval((k(2) == k(2)).ref), 1);
+  EXPECT_EQ(eval((k(2) != k(2)).ref), 0);
+  EXPECT_EQ(eval((k(1) && k(0)).ref), 0);
+  EXPECT_EQ(eval((k(1) || k(0)).ref), 1);
+  EXPECT_EQ(eval((!k(0)).ref), 1);
+  EXPECT_EQ(eval((!k(3)).ref), 0);
+}
+
+TEST_F(ExprTest, ConditionalPicksBranch) {
+  EXPECT_EQ(eval(pool_.cond((k(1) < k(2)).ref, pool_.konst(10), pool_.konst(20))), 10);
+  EXPECT_EQ(eval(pool_.cond((k(2) < k(1)).ref, pool_.konst(10), pool_.konst(20))), 20);
+}
+
+TEST_F(ExprTest, ChannelQueries) {
+  const Ref c0 = pool_.konst(0);
+  const Ref c1 = pool_.konst(1);
+  EXPECT_EQ(eval(pool_.chan_query(Op::ChanLen, c0)), 2);
+  EXPECT_EQ(eval(pool_.chan_query(Op::ChanFull, c0)), 0);
+  EXPECT_EQ(eval(pool_.chan_query(Op::ChanEmpty, c0)), 0);
+  EXPECT_EQ(eval(pool_.chan_query(Op::ChanEmpty, c1)), 1);
+}
+
+TEST_F(ExprTest, InterningDeduplicates) {
+  const Ref a = (k(1) + k(2)).ref;
+  const Ref b = (k(1) + k(2)).ref;
+  EXPECT_EQ(a, b);
+  const std::size_t before = pool_.size();
+  (void)(k(1) + k(2));
+  EXPECT_EQ(pool_.size(), before);
+}
+
+TEST_F(ExprTest, ReadsSharedClassification) {
+  EXPECT_FALSE(pool_.reads_shared((l(0) + k(1)).ref));
+  EXPECT_TRUE(pool_.reads_shared((g(0) + k(1)).ref));
+  EXPECT_TRUE(pool_.reads_shared(pool_.chan_query(Op::ChanLen, pool_.konst(0))));
+  EXPECT_FALSE(pool_.reads_shared(pool_.self_pid()));
+}
+
+TEST_F(ExprTest, ToStringRendersStructure) {
+  EXPECT_EQ(pool_.to_string((g(0) + k(1)).ref), "(g0 + 1)");
+  EXPECT_EQ(pool_.to_string((!l(1)).ref), "!(l1)");
+  EXPECT_EQ(pool_.to_string(pool_.self_pid()), "_pid");
+}
+
+TEST_F(ExprTest, OutOfRangeSlotRaises) {
+  EXPECT_THROW(eval(pool_.global(99)), ModelError);
+  EXPECT_THROW(eval(pool_.local(99)), ModelError);
+}
+
+}  // namespace
+}  // namespace pnp::expr

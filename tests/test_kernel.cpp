@@ -1,0 +1,506 @@
+// Kernel + compiler + explorer integration tests on small hand-built models:
+// Promela executability semantics, rendezvous, buffered channels, sorted
+// send, random/copy receive, else, atomic, deadlock and assertion detection.
+#include <gtest/gtest.h>
+
+#include "explore/explorer.h"
+#include "kernel/machine.h"
+#include "model/builder.h"
+
+namespace pnp {
+namespace {
+
+using namespace model;
+using kernel::Machine;
+
+TEST(Kernel, BufferedProducerConsumerTerminates) {
+  SystemSpec sys;
+  const int ch = sys.add_channel("c", 2, 1);
+  const int done = sys.add_global("done");
+
+  ProcBuilder p(sys, "Producer");
+  const LVar i = p.local("i");
+  const int prod = p.finish(seq(do_(
+      alt(seq(guard(p.l(i) < p.k(3)),
+              send(p.c(Chan{ch}), {p.l(i)}),
+              assign(i, p.l(i) + p.k(1)))),
+      alt(seq(guard(p.l(i) == p.k(3)), break_())))));
+
+  ProcBuilder q(sys, "Consumer");
+  const LVar j = q.local("j");
+  const LVar v = q.local("v");
+  const int cons = q.finish(seq(
+      do_(alt(seq(guard(q.l(j) < q.k(3)),
+                  recv(q.c(Chan{ch}), {bind(v)}),
+                  assert_(q.l(v) == q.l(j)),  // FIFO order preserved
+                  assign(j, q.l(j) + q.k(1)))),
+          alt(seq(guard(q.l(j) == q.k(3)), break_()))),
+      assign(GVar{done}, q.k(1))));
+
+  sys.spawn("prod", prod, {});
+  sys.spawn("cons", cons, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  EXPECT_TRUE(r.ok()) << (r.violation ? r.violation->message : "");
+  EXPECT_TRUE(r.stats.complete);
+  EXPECT_GT(r.stats.states_stored, 3u);
+}
+
+TEST(Kernel, RendezvousTransfersDataSynchronously) {
+  SystemSpec sys;
+  const int ch = sys.add_channel("rv", 0, 2);
+  const int got = sys.add_global("got");
+
+  ProcBuilder p(sys, "Sender");
+  const int snd = p.finish(seq(send(p.c(Chan{ch}), {p.k(41), p.k(1)})));
+
+  ProcBuilder q(sys, "Receiver");
+  const LVar v = q.local("v");
+  const int rcv = q.finish(seq(
+      recv(q.c(Chan{ch}), {bind(v), match(q.k(1))}),
+      assign(GVar{got}, q.l(v) + q.k(1))));
+
+  sys.spawn("s", snd, {});
+  sys.spawn("r", rcv, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  EXPECT_TRUE(r.ok());
+  // exactly one interleaving: handshake, then the assignment
+  EXPECT_EQ(r.stats.states_stored, 3u);
+}
+
+TEST(Kernel, RendezvousPatternMismatchDeadlocks) {
+  SystemSpec sys;
+  const int ch = sys.add_channel("rv", 0, 2);
+
+  ProcBuilder p(sys, "Sender");
+  const int snd = p.finish(seq(send(p.c(Chan{ch}), {p.k(41), p.k(1)})));
+
+  ProcBuilder q(sys, "Receiver");
+  const LVar v = q.local("v");
+  // expects tag 2, sender offers tag 1 -> no handshake possible
+  const int rcv = q.finish(seq(recv(q.c(Chan{ch}), {bind(v), match(q.k(2))})));
+
+  sys.spawn("s", snd, {});
+  sys.spawn("r", rcv, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->kind, explore::ViolationKind::Deadlock);
+}
+
+TEST(Kernel, AssertionViolationProducesTrace) {
+  SystemSpec sys;
+  const int g = sys.add_global("x");
+  ProcBuilder p(sys, "P");
+  const int pt = p.finish(seq(assign(GVar{g}, p.k(5)),
+                              assert_(p.g(GVar{g}) == p.k(4), "x must be 4")));
+  sys.spawn("p", pt, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->kind, explore::ViolationKind::AssertFailed);
+  EXPECT_EQ(r.violation->trace.size(), 2u);  // assign, then failing assert
+}
+
+TEST(Kernel, InvariantCheckedOnEveryState) {
+  SystemSpec sys;
+  const int g = sys.add_global("x");
+  ProcBuilder p(sys, "P");
+  const int pt = p.finish(seq(assign(GVar{g}, p.k(1)), assign(GVar{g}, p.k(0))));
+  sys.spawn("p", pt, {});
+  Machine m(sys);
+
+  explore::Options opt;
+  opt.invariant = (expr::wrap(sys.exprs, sys.exprs.global(g)) ==
+                   expr::wrap(sys.exprs, sys.exprs.konst(0)))
+                      .ref;
+  opt.invariant_name = "x stays 0";
+  const auto r = explore::explore(m, opt);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->kind, explore::ViolationKind::InvariantViolated);
+}
+
+TEST(Kernel, ElseFiresOnlyWhenNoSiblingEnabled) {
+  SystemSpec sys;
+  const int ch = sys.add_channel("c", 1, 1);
+  const int took_else = sys.add_global("took_else");
+
+  ProcBuilder p(sys, "P");
+  const LVar v = p.local("v");
+  const int pt = p.finish(seq(
+      if_(alt(seq(recv(p.c(Chan{ch}), {bind(v)}))),           // channel empty:
+          alt_else(seq(assign(GVar{took_else}, p.k(1)))))));  // must take else
+  sys.spawn("p", pt, {});
+  Machine m(sys);
+
+  explore::Options opt;
+  // took_else must become 1 eventually; check final reachable assignment via
+  // absence of the receive path: state count is tiny, assert the invariant
+  // that v is never bound.
+  const auto r = explore::explore(m, opt);
+  EXPECT_TRUE(r.ok());
+
+  // Now pre-load the channel via a second producer: else must NOT be taken.
+  SystemSpec sys2;
+  const int ch2 = sys2.add_channel("c", 1, 1);
+  const int took_else2 = sys2.add_global("took_else");
+  ProcBuilder pr(sys2, "Pre");
+  const int pre = pr.finish(seq(send(pr.c(Chan{ch2}), {pr.k(9)})));
+  ProcBuilder p2(sys2, "P");
+  const LVar v2 = p2.local("v");
+  const int pt2 = p2.finish(seq(
+      recv(p2.c(Chan{ch2}), {match(p2.k(9))}, "sync on producer"),
+      send(p2.c(Chan{ch2}), {p2.k(9)}),
+      if_(alt(seq(recv(p2.c(Chan{ch2}), {bind(v2)}))),
+          alt_else(seq(assign(GVar{took_else2}, p2.k(1)))))));
+  sys2.spawn("pre", pre, {});
+  sys2.spawn("p", pt2, {});
+  Machine m2(sys2);
+  explore::Options opt2;
+  opt2.invariant = (expr::wrap(sys2.exprs, sys2.exprs.global(took_else2)) ==
+                    expr::wrap(sys2.exprs, sys2.exprs.konst(0)))
+                       .ref;
+  opt2.invariant_name = "else never taken when message available";
+  const auto r2 = explore::explore(m2, opt2);
+  EXPECT_TRUE(r2.ok()) << (r2.violation ? r2.violation->message : "");
+}
+
+TEST(Kernel, SortedSendOrdersByFirstField) {
+  SystemSpec sys;
+  const int ch = sys.add_channel("pq", 3, 2);
+  ProcBuilder p(sys, "P");
+  const LVar v = p.local("v");
+  SendOpts sorted;
+  sorted.sorted = true;
+  const int pt = p.finish(seq(
+      send(p.c(Chan{ch}), {p.k(2), p.k(20)}, "", sorted),
+      send(p.c(Chan{ch}), {p.k(1), p.k(10)}, "", sorted),
+      send(p.c(Chan{ch}), {p.k(3), p.k(30)}, "", sorted),
+      recv(p.c(Chan{ch}), {match(p.k(1)), bind(v)}),
+      assert_(p.l(v) == p.k(10)),
+      recv(p.c(Chan{ch}), {match(p.k(2)), bind(v)}),
+      assert_(p.l(v) == p.k(20)),
+      recv(p.c(Chan{ch}), {match(p.k(3)), bind(v)}),
+      assert_(p.l(v) == p.k(30))));
+  sys.spawn("p", pt, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  EXPECT_TRUE(r.ok()) << (r.violation ? r.violation->message : "");
+}
+
+TEST(Kernel, RandomReceiveFetchesFirstMatchAnywhere) {
+  SystemSpec sys;
+  const int ch = sys.add_channel("c", 3, 2);
+  ProcBuilder p(sys, "P");
+  const LVar v = p.local("v");
+  RecvOpts rnd;
+  rnd.random = true;
+  const int pt = p.finish(seq(
+      send(p.c(Chan{ch}), {p.k(1), p.k(10)}),
+      send(p.c(Chan{ch}), {p.k(2), p.k(20)}),
+      recv(p.c(Chan{ch}), {match(p.k(2)), bind(v)}, "", rnd),
+      assert_(p.l(v) == p.k(20)),
+      // head (tag 1) still present
+      recv(p.c(Chan{ch}), {match(p.k(1)), bind(v)}),
+      assert_(p.l(v) == p.k(10))));
+  sys.spawn("p", pt, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  EXPECT_TRUE(r.ok()) << (r.violation ? r.violation->message : "");
+}
+
+TEST(Kernel, CopyReceiveLeavesMessageBuffered) {
+  SystemSpec sys;
+  const int ch = sys.add_channel("c", 1, 1);
+  ProcBuilder p(sys, "P");
+  const LVar v = p.local("v");
+  RecvOpts copy;
+  copy.copy = true;
+  const int pt = p.finish(seq(
+      send(p.c(Chan{ch}), {p.k(7)}),
+      recv(p.c(Chan{ch}), {bind(v)}, "", copy),
+      assert_(p.l(v) == p.k(7)),
+      recv(p.c(Chan{ch}), {bind(v)}),  // still there: remove it now
+      assert_(p.l(v) == p.k(7))));
+  sys.spawn("p", pt, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  EXPECT_TRUE(r.ok()) << (r.violation ? r.violation->message : "");
+}
+
+TEST(Kernel, LossyChannelDropsWhenFull) {
+  SystemSpec sys;
+  const int ch = sys.add_channel("c", 1, 1, /*lossy=*/true);
+  ProcBuilder p(sys, "P");
+  const LVar v = p.local("v");
+  const int pt = p.finish(seq(
+      send(p.c(Chan{ch}), {p.k(1)}),
+      send(p.c(Chan{ch}), {p.k(2)}),  // dropped: capacity 1
+      recv(p.c(Chan{ch}), {bind(v)}),
+      assert_(p.l(v) == p.k(1)),
+      // channel now empty; a blocking receive here would deadlock, which
+      // proves the second message is gone
+      if_(alt(seq(recv(p.c(Chan{ch}), {bind(v)}),
+                  assert_(p.k(0) == p.k(1), "unreachable"))),
+          alt_else(seq(skip())))));
+  sys.spawn("p", pt, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  EXPECT_TRUE(r.ok()) << (r.violation ? r.violation->message : "");
+}
+
+TEST(Kernel, AtomicReducesInterleavings) {
+  auto build = [](bool use_atomic) {
+    auto sys = std::make_unique<SystemSpec>();
+    const int g = sys->add_global("x");
+    for (int pi = 0; pi < 2; ++pi) {
+      ProcBuilder p(*sys, "P" + std::to_string(pi));
+      Seq body = seq(assign(GVar{g}, p.g(GVar{g}) + p.k(1)),
+                     assign(GVar{g}, p.g(GVar{g}) + p.k(1)),
+                     assign(GVar{g}, p.g(GVar{g}) + p.k(1)));
+      const int pt =
+          p.finish(use_atomic ? seq(atomic(std::move(body))) : std::move(body));
+      sys->spawn("p" + std::to_string(pi), pt, {});
+    }
+    return sys;
+  };
+  auto sys_plain = build(false);
+  auto sys_atomic = build(true);
+  Machine m1(*sys_plain), m2(*sys_atomic);
+  const auto r1 = explore::explore(m1);
+  const auto r2 = explore::explore(m2);
+  EXPECT_TRUE(r1.ok());
+  EXPECT_TRUE(r2.ok());
+  EXPECT_LT(r2.stats.states_stored, r1.stats.states_stored);
+}
+
+TEST(Kernel, EndLabelMakesBlockedStateValid) {
+  // A server that loops forever waiting for requests is not a deadlock when
+  // its wait point carries an end label.
+  SystemSpec sys;
+  const int ch = sys.add_channel("c", 1, 1);
+  ProcBuilder p(sys, "Server");
+  const LVar v = p.local("v");
+  const int srv = p.finish(seq(do_(
+      alt(seq(end_label(), recv(p.c(Chan{ch}), {bind(v)}))))));
+  ProcBuilder q(sys, "Client");
+  const int cli = q.finish(seq(send(q.c(Chan{ch}), {q.k(1)})));
+  sys.spawn("srv", srv, {});
+  sys.spawn("cli", cli, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  EXPECT_TRUE(r.ok()) << (r.violation ? r.violation->message : "");
+
+  // Without the end label the same system reports an invalid end state.
+  SystemSpec sys2;
+  const int ch2 = sys2.add_channel("c", 1, 1);
+  ProcBuilder p2(sys2, "Server");
+  const LVar v2 = p2.local("v");
+  const int srv2 =
+      p2.finish(seq(do_(alt(seq(recv(p2.c(Chan{ch2}), {bind(v2)}))))));
+  ProcBuilder q2(sys2, "Client");
+  const int cli2 = q2.finish(seq(send(q2.c(Chan{ch2}), {q2.k(1)})));
+  sys2.spawn("srv", srv2, {});
+  sys2.spawn("cli", cli2, {});
+  Machine m2(sys2);
+  const auto r2 = explore::explore(m2);
+  ASSERT_TRUE(r2.violation.has_value());
+  EXPECT_EQ(r2.violation->kind, explore::ViolationKind::Deadlock);
+}
+
+TEST(Kernel, BfsFindsShortestCounterexample) {
+  SystemSpec sys;
+  const int g = sys.add_global("x");
+  ProcBuilder p(sys, "P");
+  // two paths to the violation: a long one and a short one
+  const int pt = p.finish(seq(
+      if_(alt(seq(skip(), skip(), skip(), assign(GVar{g}, p.k(1)))),
+          alt(seq(assign(GVar{g}, p.k(1))))),
+      assert_(p.g(GVar{g}) == p.k(0), "x must stay 0")));
+  sys.spawn("p", pt, {});
+  Machine m(sys);
+  explore::Options opt;
+  opt.bfs = true;
+  const auto r = explore::explore(m, opt);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->trace.size(), 2u);  // short assign + assert
+}
+
+TEST(Kernel, MaxStatesTruncatesSearch) {
+  SystemSpec sys;
+  const int g = sys.add_global("x");
+  ProcBuilder p(sys, "P");
+  const int pt = p.finish(seq(do_(
+      alt(seq(guard(p.g(GVar{g}) < p.k(1000)),
+              assign(GVar{g}, p.g(GVar{g}) + p.k(1)))),
+      alt(seq(guard(p.g(GVar{g}) >= p.k(1000)), break_())))));
+  sys.spawn("p", pt, {});
+  Machine m(sys);
+  explore::Options opt;
+  opt.max_states = 50;
+  opt.check_deadlock = false;
+  const auto r = explore::explore(m, opt);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.stats.complete);
+  EXPECT_LE(r.stats.states_stored, 51u);
+}
+
+}  // namespace
+}  // namespace pnp
+// -- appended edge-case suites -------------------------------------------------
+
+namespace pnp {
+namespace {
+
+using namespace model;
+using kernel::Machine;
+
+TEST(KernelAtomic, AtomicityIsLostWhenBlockedAndResumes) {
+  // A enters an atomic region, blocks on an empty channel mid-region; B
+  // must get to run (fills the channel); A then completes.
+  SystemSpec sys;
+  const int ch = sys.add_channel("c", 1, 1);
+  const int order = sys.add_global("order");  // records who moved at the block
+
+  ProcBuilder a(sys, "A");
+  const LVar v = a.local("v");
+  const int pa = a.finish(seq(atomic(seq(
+      assign(GVar{order}, a.k(1)),
+      recv(a.c(Chan{ch}), {bind(v)}),  // blocks: channel empty
+      assign(GVar{order}, a.g(GVar{order}) + a.k(10))))));
+
+  ProcBuilder b(sys, "B");
+  const int pb = b.finish(seq(guard(b.g(GVar{order}) == b.k(1)),
+                              send(b.c(Chan{ch}), {b.k(5)})));
+
+  sys.spawn("a", pa, {});
+  sys.spawn("b", pb, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  EXPECT_TRUE(r.ok()) << (r.violation ? r.violation->message : "");
+}
+
+TEST(KernelAtomic, AtomicHolderExcludesOthersWhileRunnable) {
+  // While A is inside its atomic region and runnable, B must not interleave:
+  // B asserts it never observes the intermediate value x == 1.
+  SystemSpec sys;
+  const int x = sys.add_global("x");
+  ProcBuilder a(sys, "A");
+  const int pa = a.finish(seq(
+      atomic(seq(assign(GVar{x}, a.k(1)), assign(GVar{x}, a.k(2))))));
+  ProcBuilder b(sys, "B");
+  const int pb = b.finish(seq(do_(
+      alt(seq(guard(b.g(GVar{x}) == b.k(2)), break_())),
+      alt(seq(guard(b.g(GVar{x}) < b.k(2)),
+              assert_(b.g(GVar{x}) != b.k(1), "no intermediate value"))))));
+  sys.spawn("a", pa, {});
+  sys.spawn("b", pb, {});
+  Machine m(sys);
+  const auto r = explore::explore(m);
+  EXPECT_TRUE(r.ok()) << (r.violation ? r.violation->message : "");
+}
+
+TEST(KernelRendezvous, CompetingReceiversYieldDistinctSuccessors) {
+  SystemSpec sys;
+  const int ch = sys.add_channel("rv", 0, 1);
+  ProcBuilder s(sys, "S");
+  const int ps = s.finish(seq(send(s.c(Chan{ch}), {s.k(1)})));
+  ProcBuilder r(sys, "R");
+  const LVar v = r.local("v");
+  const int pr = r.finish(seq(recv(r.c(Chan{ch}), {bind(v)})));
+  sys.spawn("s", ps, {});
+  sys.spawn("r1", pr, {});
+  sys.spawn("r2", pr, {});
+  Machine m(sys);
+  std::vector<kernel::Succ> succs;
+  m.successors(m.initial(), succs);
+  // one handshake per competing receiver
+  ASSERT_EQ(succs.size(), 2u);
+  EXPECT_NE(succs[0].second.partner_pid, succs[1].second.partner_pid);
+}
+
+TEST(KernelRendezvous, ChannelIdsFlowThroughParameters) {
+  // The same proctype instantiated twice with different channel arguments:
+  // messages must not cross over.
+  SystemSpec sys;
+  const int c1 = sys.add_channel("c1", 1, 1);
+  const int c2 = sys.add_channel("c2", 1, 1);
+  ProcBuilder w(sys, "Writer");
+  const LVar chan = w.param("chan");
+  const LVar val = w.param("val");
+  const int pw = w.finish(seq(send(w.l(chan), {w.l(val)})));
+
+  ProcBuilder r(sys, "Reader");
+  const LVar v = r.local("v");
+  const int pr = r.finish(seq(
+      recv(r.c(Chan{c1}), {bind(v)}), assert_(r.l(v) == r.k(11)),
+      recv(r.c(Chan{c2}), {bind(v)}), assert_(r.l(v) == r.k(22))));
+
+  sys.spawn("w1", pw, {static_cast<Value>(c1), 11});
+  sys.spawn("w2", pw, {static_cast<Value>(c2), 22});
+  sys.spawn("r", pr, {});
+  Machine m(sys);
+  const auto res = explore::explore(m);
+  EXPECT_TRUE(res.ok()) << (res.violation ? res.violation->message : "");
+}
+
+TEST(KernelState, FlatLayoutRoundTrips) {
+  SystemSpec sys;
+  sys.add_global("g", 7);
+  const int ch = sys.add_channel("c", 2, 3);
+  ProcBuilder p(sys, "P");
+  const LVar a = p.local("a", 3);
+  const int pp = p.finish(seq(send(p.c(Chan{ch}), {p.l(a), p.k(2), p.k(1)}),
+                              send(p.c(Chan{ch}), {p.k(9), p.k(8), p.k(7)})));
+  sys.spawn("p", pp, {});
+  Machine m(sys);
+  kernel::State s = m.initial();
+  EXPECT_EQ(m.layout().global(s, 0), 7);
+  EXPECT_EQ(m.layout().chan_len(s, ch), 0);
+
+  std::vector<kernel::Succ> succs;
+  m.successors(s, succs);
+  ASSERT_EQ(succs.size(), 1u);
+  s = succs[0].first;
+  EXPECT_EQ(m.layout().chan_len(s, ch), 1);
+  EXPECT_EQ(m.layout().chan_msg(s, ch, 0)[0], 3);
+  EXPECT_EQ(m.layout().chan_msg(s, ch, 0)[1], 2);
+
+  succs.clear();
+  m.successors(s, succs);
+  ASSERT_EQ(succs.size(), 1u);
+  s = succs[0].first;
+  EXPECT_EQ(m.layout().chan_len(s, ch), 2);
+  EXPECT_EQ(m.layout().chan_msg(s, ch, 1)[0], 9);
+
+  // equal states produce equal keys; different states different keys
+  EXPECT_EQ(kernel::encode_key(s), kernel::encode_key(s));
+  EXPECT_NE(kernel::encode_key(s), kernel::encode_key(m.initial()));
+}
+
+TEST(KernelState, ErasedSlotsAreZeroedForCanonicalEncoding) {
+  SystemSpec sys;
+  const int ch = sys.add_channel("c", 2, 1);
+  ProcBuilder p(sys, "P");
+  const LVar v = p.local("v");
+  const int pp = p.finish(seq(send(p.c(Chan{ch}), {p.k(5)}),
+                              recv(p.c(Chan{ch}), {bind(v)})));
+  sys.spawn("p", pp, {});
+  Machine m(sys);
+  kernel::State s = m.initial();
+  std::vector<kernel::Succ> succs;
+  m.successors(s, succs);
+  s = std::move(succs[0].first);  // sent
+  succs.clear();
+  m.successors(s, succs);
+  kernel::State after = std::move(succs[0].first);  // received
+  // after receiving, the channel region must encode identically to a state
+  // that never held the message (apart from pc/local differences): check
+  // the queue length and freed slot directly
+  EXPECT_EQ(m.layout().chan_len(after, ch), 0);
+  EXPECT_EQ(m.layout().chan_msg(after, ch, 0)[0], 0);  // zeroed slot
+}
+
+}  // namespace
+}  // namespace pnp

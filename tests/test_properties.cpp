@@ -1,0 +1,242 @@
+// Property-style sweeps (parameterized gtest):
+//  * every verified-deadlock-free system ends random simulation only in
+//    valid end states, for many seeds;
+//  * state-space size is monotone in buffer capacity and message count;
+//  * generation is deterministic (same architecture -> same model);
+//  * livelock detection via the progress-toggle idiom and LTL.
+#include <gtest/gtest.h>
+
+#include "pnp/pnp.h"
+
+namespace pnp {
+namespace {
+
+using namespace model;
+
+ComponentModelFn sender_n(int n) {
+  return [n](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const LVar i = b.local("i", 1);
+    return seq(do_(alt(seq(guard(b.l(i) <= b.k(n)),
+                           iface::send_msg(b, ctx.port("out"), b.l(i)),
+                           assign(i, b.l(i) + b.k(1)))),
+                   alt(seq(guard(b.l(i) > b.k(n)), break_()))),
+               end_label());
+  };
+}
+
+ComponentModelFn receiver_n(int n) {
+  return [n](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const LVar j = b.local("j", 1);
+    const LVar v = b.local("v");
+    return seq(do_(alt(seq(guard(b.l(j) <= b.k(n)),
+                           iface::recv_msg(b, ctx.port("in"), v),
+                           assign(j, b.l(j) + b.k(1)))),
+                   alt(seq(guard(b.l(j) > b.k(n)), break_()))),
+               end_label());
+  };
+}
+
+Architecture p2p_n(int msgs, ChannelSpec cs) {
+  Architecture arch("sweep");
+  const int s = arch.add_component("S", sender_n(msgs));
+  const int r = arch.add_component("R", receiver_n(msgs));
+  patterns::point_to_point(arch, s, "out", r, "in", "L",
+                           SendPortKind::AsynBlocking, RecvPortKind::Blocking,
+                           cs);
+  return arch;
+}
+
+// -- simulation terminates only in states the verifier accepts ------------------
+
+class SimEndStates : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimEndStates, RandomRunsEndInValidEndStates) {
+  Architecture arch = p2p_n(3, {ChannelKind::Fifo, 2});
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  ASSERT_TRUE(check_safety(m).passed());
+
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  sim::Simulator s(m, seed);
+  // run to quiescence (the system terminates: components stop after 3 msgs)
+  while (s.step_random()) {
+    ASSERT_LT(s.history().size(), 100'000u) << "runaway simulation";
+  }
+  EXPECT_TRUE(m.is_valid_end(s.state()))
+      << "seed " << seed << " ended in an invalid state:\n"
+      << m.format_state(s.state());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimEndStates, ::testing::Range(1, 26));
+
+// -- monotonicity of the state space ---------------------------------------------
+
+struct SweepPoint {
+  int msgs;
+  int cap;
+};
+
+class StateGrowth : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(StateGrowth, MoreCapacityOrMessagesNeverShrinksTheSpace) {
+  const SweepPoint p = GetParam();
+  auto states_of = [](int msgs, int cap) {
+    Architecture arch = p2p_n(msgs, {ChannelKind::Fifo, cap});
+    ModelGenerator gen;
+    const kernel::Machine m = gen.generate(arch);
+    explore::Options opt;
+    opt.want_trace = false;
+    const auto r = explore::explore(m, opt);
+    EXPECT_TRUE(r.ok());
+    return r.stats.states_stored;
+  };
+  const std::uint64_t base = states_of(p.msgs, p.cap);
+  EXPECT_LE(base, states_of(p.msgs + 1, p.cap));
+  EXPECT_LE(base, states_of(p.msgs, p.cap + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, StateGrowth,
+    ::testing::Values(SweepPoint{1, 1}, SweepPoint{2, 1}, SweepPoint{2, 2},
+                      SweepPoint{3, 2}),
+    [](const ::testing::TestParamInfo<SweepPoint>& i) {
+      return "m" + std::to_string(i.param.msgs) + "c" +
+             std::to_string(i.param.cap);
+    });
+
+// -- deterministic generation -----------------------------------------------------
+
+TEST(Properties, GenerationIsDeterministic) {
+  auto build = [] {
+    Architecture arch = p2p_n(2, {ChannelKind::Fifo, 2});
+    ModelGenerator gen;
+    const kernel::Machine m = gen.generate(arch);
+    return kernel::encode_key(m.initial());
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Properties, ExplorationIsDeterministic) {
+  Architecture arch = p2p_n(2, {ChannelKind::Fifo, 2});
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  const auto r1 = explore::explore(m, {});
+  const auto r2 = explore::explore(m, {});
+  EXPECT_EQ(r1.stats.states_stored, r2.stats.states_stored);
+  EXPECT_EQ(r1.stats.transitions, r2.stats.transitions);
+}
+
+// -- livelock detection via the progress-toggle idiom -----------------------------
+
+TEST(Properties, ProgressToggleExposesLivelock) {
+  // A consumer that polls a channel that will never receive a second
+  // message: the poll loop cycles forever without progress. The toggle
+  // idiom (flip a bit on every real delivery) plus LTL "G F (bit flips)"
+  // -- expressed as GF p0 && GF p1 -- detects the livelock.
+  Architecture arch("livelock");
+  arch.add_global("bit", 0);
+  const int s = arch.add_component("S", sender_n(1));
+  const int r = arch.add_component("R", [](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const LVar v = b.local("v");
+    const LVar st = b.local("st");
+    iface::RecvMeta meta;
+    meta.status_out = &st;
+    return seq(do_(alt(seq(
+        end_label(), iface::recv_msg(b, ctx.port("in"), v, meta),
+        if_(alt(seq(guard(b.l(st) == b.k(RECV_SUCC)),
+                    assign(ctx.global("bit"),
+                           b.k(1) - ctx.g("bit")))),  // progress: toggle
+            alt_else(seq(skip())))))));
+  });
+  patterns::point_to_point(arch, s, "out", r, "in", "L",
+                           SendPortKind::AsynBlocking,
+                           RecvPortKind::Nonblocking,
+                           {ChannelKind::SingleSlot, 1});
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  gen.add_prop("bit0", gen.gx("bit") == gen.kx(0));
+  gen.add_prop("bit1", gen.gx("bit") == gen.kx(1));
+  // only one message is ever delivered: after that the bit freezes, so the
+  // "infinitely often both values" liveness property fails = livelock found
+  const LtlOutcome out =
+      check_ltl_formula(m, gen.props(), "(G F bit0) && (G F bit1)");
+  EXPECT_FALSE(out.passed());
+  ASSERT_TRUE(out.result.violation.has_value());
+  EXPECT_FALSE(out.result.violation->trace.empty());
+}
+
+}  // namespace
+}  // namespace pnp
+
+// -- optimized-connector substitution equivalence --------------------------------
+
+namespace pnp {
+namespace {
+
+struct OptPoint {
+  SendPortKind send;
+  ChannelKind chan;
+  int cap;
+};
+
+class OptimizedEquivalence : public ::testing::TestWithParam<OptPoint> {};
+
+TEST_P(OptimizedEquivalence, SameVerdictFewerStates) {
+  const OptPoint p = GetParam();
+  auto run = [&](bool optimize) {
+    Architecture arch("opteq");
+    const int s = arch.add_component("S", sender_n(3));
+    const int r = arch.add_component("R", receiver_n(3));
+    patterns::point_to_point(arch, s, "out", r, "in", "L", p.send,
+                             RecvPortKind::Blocking, {p.chan, p.cap});
+    ModelGenerator gen;
+    const kernel::Machine m =
+        gen.generate(arch, {.optimize_connectors = optimize});
+    if (optimize) {
+      EXPECT_EQ(gen.last_stats().connectors_optimized, 1);
+    }
+    return check_safety(m);
+  };
+  const SafetyOutcome faithful = run(false);
+  const SafetyOutcome optimized = run(true);
+  EXPECT_EQ(faithful.passed(), optimized.passed());
+  EXPECT_TRUE(optimized.passed()) << optimized.report();
+  EXPECT_LT(optimized.result.stats.states_stored,
+            faithful.result.stats.states_stored)
+      << "the optimized substitution must shrink the state space";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, OptimizedEquivalence,
+    ::testing::Values(OptPoint{SendPortKind::SynBlocking,
+                               ChannelKind::SingleSlot, 1},
+                      OptPoint{SendPortKind::AsynBlocking,
+                               ChannelKind::SingleSlot, 1},
+                      OptPoint{SendPortKind::SynBlocking, ChannelKind::Fifo, 2},
+                      OptPoint{SendPortKind::AsynBlocking, ChannelKind::Fifo,
+                               2},
+                      OptPoint{SendPortKind::AsynBlocking,
+                               ChannelKind::Priority, 2}),
+    [](const ::testing::TestParamInfo<OptPoint>& i) {
+      return std::string(to_string(i.param.send)) + "_" +
+             to_string(i.param.chan) + std::to_string(i.param.cap);
+    });
+
+TEST(OptimizedEquivalence, IneligibleConnectorsAreLeftFaithful) {
+  Architecture arch("noopt");
+  const int s = arch.add_component("S", sender_n(2));
+  const int r = arch.add_component("R", receiver_n(2));
+  // nonblocking receiver -> not eligible
+  patterns::point_to_point(arch, s, "out", r, "in", "L",
+                           SendPortKind::SynBlocking, RecvPortKind::Nonblocking,
+                           {ChannelKind::Fifo, 2});
+  ModelGenerator gen;
+  (void)gen.generate(arch, {.optimize_connectors = true});
+  EXPECT_EQ(gen.last_stats().connectors_optimized, 0);
+}
+
+}  // namespace
+}  // namespace pnp

@@ -1,0 +1,126 @@
+// Simulator and MSC renderer tests.
+#include <gtest/gtest.h>
+
+#include "pnp/pnp.h"
+
+namespace pnp {
+namespace {
+
+using namespace model;
+
+/// Two processes, one rendezvous handshake, one buffered hop.
+struct TinySys {
+  SystemSpec sys;
+  std::unique_ptr<kernel::Machine> m;
+
+  TinySys() {
+    const int rv = sys.add_channel("hand", 0, 1);
+    const int buf = sys.add_channel("box", 1, 1);
+    ProcBuilder a(sys, "A");
+    a.finish(seq(send(a.c(Chan{rv}), {a.k(7)}),
+                 send(a.c(Chan{buf}), {a.k(8)})));
+    ProcBuilder b(sys, "B");
+    const LVar v = b.local("v");
+    b.finish(seq(recv(b.c(Chan{rv}), {bind(v)}),
+                 recv(b.c(Chan{buf}), {bind(v)})));
+    sys.spawn("A", 0, {});
+    sys.spawn("B", 1, {});
+    m = std::make_unique<kernel::Machine>(sys);
+  }
+};
+
+TEST(Simulator, RunsToTerminationAndRecordsHistory) {
+  TinySys t;
+  sim::Simulator s(*t.m, 1);
+  const std::size_t steps = s.run_random(100);
+  EXPECT_GE(steps, 3u);  // handshake + send + recv at minimum
+  EXPECT_EQ(s.history().size(), steps);
+  // terminal: no more steps possible
+  EXPECT_FALSE(s.step_random());
+}
+
+TEST(Simulator, SameSeedSameRun) {
+  TinySys t;
+  sim::Simulator s1(*t.m, 99), s2(*t.m, 99);
+  s1.run_random(50);
+  s2.run_random(50);
+  ASSERT_EQ(s1.history().size(), s2.history().size());
+  for (std::size_t i = 0; i < s1.history().size(); ++i) {
+    EXPECT_EQ(s1.history()[i].pid, s2.history()[i].pid);
+    EXPECT_EQ(s1.history()[i].trans, s2.history()[i].trans);
+  }
+}
+
+TEST(Simulator, ResetRestoresInitialState) {
+  TinySys t;
+  sim::Simulator s(*t.m, 1);
+  s.run_random(10);
+  s.reset();
+  EXPECT_TRUE(s.history().empty());
+  EXPECT_EQ(s.state(), t.m->initial());
+}
+
+TEST(Simulator, StepPreferringSteersTheRun) {
+  TinySys t;
+  sim::Simulator s(*t.m, 1);
+  // first step must be the rendezvous (it is the only enabled one anyway)
+  EXPECT_TRUE(s.step_preferring("hand"));
+  EXPECT_EQ(s.history().back().event.kind, kernel::StepEvent::Kind::Handshake);
+}
+
+TEST(Msc, RendersHandshakeArrowsAndChannelColumns) {
+  TinySys t;
+  sim::Simulator s(*t.m, 1);
+  s.run_random(100);
+  trace::MscOptions opt;
+  const std::string msc = trace::render_msc(*t.m, s.history(), opt);
+  // header names both processes and the buffered channel
+  EXPECT_NE(msc.find("A"), std::string::npos);
+  EXPECT_NE(msc.find("B"), std::string::npos);
+  EXPECT_NE(msc.find("[box]"), std::string::npos);
+  // arrows and labels appear
+  EXPECT_NE(msc.find("-->"), std::string::npos);
+  EXPECT_NE(msc.find("hand(7)"), std::string::npos);
+  EXPECT_NE(msc.find("box(8)"), std::string::npos);
+}
+
+TEST(Msc, CustomLabelFormatterIsUsed) {
+  TinySys t;
+  sim::Simulator s(*t.m, 1);
+  s.run_random(100);
+  trace::MscOptions opt;
+  opt.label = [](int, const std::vector<kernel::Value>& msg) {
+    return "payload=" + std::to_string(msg.at(0));
+  };
+  const std::string msc = trace::render_msc(*t.m, s.history(), opt);
+  EXPECT_NE(msc.find("payload=7"), std::string::npos);
+}
+
+TEST(Msc, ParticipantFilterHidesOthers) {
+  TinySys t;
+  sim::Simulator s(*t.m, 1);
+  s.run_random(100);
+  trace::MscOptions opt;
+  opt.pids = {0};  // only A
+  opt.channel_lifelines = true;
+  const std::string msc = trace::render_msc(*t.m, s.history(), opt);
+  // B's column header is absent
+  EXPECT_EQ(msc.find(" B "), std::string::npos);
+}
+
+TEST(Trace, ToStringNumbersSteps) {
+  TinySys t;
+  trace::Trace tr;
+  kernel::Step st;
+  st.pid = 0;
+  tr.steps.push_back({st, "first"});
+  tr.steps.push_back({st, "second"});
+  tr.final_state = "STATE";
+  const std::string s = trace::to_string(tr);
+  EXPECT_NE(s.find("1. first"), std::string::npos);
+  EXPECT_NE(s.find("2. second"), std::string::npos);
+  EXPECT_NE(s.find("STATE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnp

@@ -1,0 +1,160 @@
+// Verifier-facade and generator-detail unit tests: report formatting,
+// violation vocabulary, endpoint stability across plug-and-play edits,
+// event-pool wiring, and the CLI expression parser on generated specs.
+#include <gtest/gtest.h>
+
+#include "pnp/pnp.h"
+#include "support/string_util.h"
+
+namespace pnp {
+namespace {
+
+using namespace model;
+
+ComponentModelFn one_shot_sender() {
+  return [](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    return seq(iface::send_msg(b, ctx.port("out"), b.k(1)), end_label());
+  };
+}
+
+ComponentModelFn one_shot_receiver() {
+  return [](ComponentContext& ctx) {
+    ProcBuilder& b = ctx.builder();
+    const LVar v = b.local("v");
+    return seq(iface::recv_msg(b, ctx.port("in"), v), end_label());
+  };
+}
+
+Architecture tiny() {
+  Architecture arch("tiny");
+  arch.add_global("flag", 0);
+  const int s = arch.add_component("S", one_shot_sender());
+  const int r = arch.add_component("R", one_shot_receiver());
+  patterns::point_to_point(arch, s, "out", r, "in", "L",
+                           SendPortKind::AsynBlocking, RecvPortKind::Blocking,
+                           {ChannelKind::SingleSlot, 1});
+  return arch;
+}
+
+TEST(Verifier, PassReportContainsVerdictAndStats) {
+  Architecture arch = tiny();
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  const SafetyOutcome out = check_safety(m);
+  const std::string rep = out.report();
+  EXPECT_NE(rep.find("[PASS]"), std::string::npos);
+  EXPECT_NE(rep.find("states stored:"), std::string::npos);
+  EXPECT_EQ(rep.find("violation"), std::string::npos);
+}
+
+TEST(Verifier, FailReportContainsTraceAndKind) {
+  Architecture arch = tiny();
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  const SafetyOutcome out =
+      check_invariant(m, gen.gx("flag") == gen.kx(1), "flag always 1");
+  ASSERT_FALSE(out.passed());
+  const std::string rep = out.report();
+  EXPECT_NE(rep.find("[FAIL]"), std::string::npos);
+  EXPECT_NE(rep.find("invariant violation"), std::string::npos);
+  EXPECT_NE(rep.find("counterexample"), std::string::npos);
+  EXPECT_NE(rep.find("final state"), std::string::npos);
+}
+
+TEST(Verifier, ViolationKindNamesAreStable) {
+  EXPECT_STREQ(explore::violation_kind_name(
+                   explore::ViolationKind::AssertFailed),
+               "assertion violation");
+  EXPECT_STREQ(explore::violation_kind_name(explore::ViolationKind::Deadlock),
+               "invalid end state (deadlock)");
+  EXPECT_STREQ(explore::violation_kind_name(
+                   explore::ViolationKind::EndInvariantViolated),
+               "end-state invariant violation");
+  EXPECT_STREQ(explore::violation_kind_name(
+                   explore::ViolationKind::AcceptanceCycle),
+               "acceptance cycle (liveness violation)");
+}
+
+TEST(Verifier, LtlReportNamesFormulaAndBuchiSize) {
+  Architecture arch = tiny();
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  gen.add_prop("never", gen.gx("flag") == gen.kx(99));
+  const LtlOutcome out = check_ltl_formula(m, gen.props(), "G !never");
+  EXPECT_TRUE(out.passed());
+  EXPECT_NE(out.report().find("G(!never)"), std::string::npos);
+  EXPECT_NE(out.report().find("Buchi states"), std::string::npos);
+}
+
+TEST(Generator, EndpointChannelsStableAcrossConnectorEdits) {
+  Architecture arch = tiny();
+  ModelGenerator gen;
+  (void)gen.generate(arch);
+  const auto chan_count_before = gen.spec().channels.size();
+  const auto find_chan = [&](const char* name) {
+    return gen.spec().find_channel(name);
+  };
+  const auto s_sig = find_chan("S.out.sig");
+  ASSERT_TRUE(s_sig.has_value());
+
+  arch.set_send_port(arch.find_component("S"), "out",
+                     SendPortKind::SynBlocking);
+  (void)gen.generate(arch);
+  // the component-side endpoint keeps its channel id
+  EXPECT_EQ(find_chan("S.out.sig"), s_sig);
+  // a pure port swap declares no new channels at all
+  EXPECT_EQ(gen.spec().channels.size(), chan_count_before);
+}
+
+TEST(Generator, EventPoolWiringScalesWithSubscribers) {
+  Architecture arch("pool");
+  const int p = arch.add_component("P", one_shot_sender());
+  std::vector<patterns::SubEnd> subs;
+  std::vector<int> sub_ids;
+  for (int i = 0; i < 3; ++i) {
+    sub_ids.push_back(arch.add_component("Sub" + std::to_string(i),
+                                         one_shot_receiver()));
+    subs.push_back({sub_ids.back(), "in", RecvPortKind::Blocking, {}});
+  }
+  patterns::publish_subscribe(arch, "Bus", 2,
+                              {{p, "out", SendPortKind::AsynBlocking}}, subs);
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  // one pool process + 1 publisher port + 3 subscriber ports + 4 components
+  EXPECT_EQ(m.n_processes(), 9);
+  // three per-subscriber queues exist
+  EXPECT_TRUE(gen.spec().find_channel("Bus.q0").has_value());
+  EXPECT_TRUE(gen.spec().find_channel("Bus.q2").has_value());
+  EXPECT_TRUE(check_safety(m).passed());
+}
+
+TEST(Generator, ParseExprTextSeesArchGlobals) {
+  Architecture arch = tiny();
+  ModelGenerator gen;
+  const kernel::Machine m = gen.generate(arch);
+  const expr::Ex e = gen.parse_expr_text("flag == 0");
+  EXPECT_EQ(m.eval_global(e.ref, m.initial()), 1);
+  EXPECT_THROW(gen.parse_expr_text("no_such_global == 1"), ModelError);
+}
+
+TEST(Generator, SummaryMentionsOptimizedConnectors) {
+  Architecture arch = tiny();
+  ModelGenerator gen;
+  (void)gen.generate(arch, {.optimize_connectors = true});
+  EXPECT_NE(gen.last_stats().summary().find("connectors optimized: 1"),
+            std::string::npos);
+}
+
+TEST(Support, StringHelpers) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(pad_to("ab", 4), "ab  ");
+  EXPECT_EQ(pad_to("abcdef", 3), "abc");
+  EXPECT_EQ(center("ab", 6), "  ab  ");
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+}  // namespace
+}  // namespace pnp

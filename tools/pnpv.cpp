@@ -1,0 +1,240 @@
+// pnpv: command-line verifier for PML models and ADL architectures.
+//
+// Usage:
+//   pnpv MODEL.pml [options]       verify a Promela-subset model
+//   pnpv DESIGN.arch [options]     verify a PnP architecture description
+//     --invariant EXPR      check EXPR (over globals) in every state
+//     --end-invariant EXPR  check EXPR in every terminal state
+//     --prop NAME=EXPR      define an LTL proposition (repeatable)
+//     --ltl FORMULA         check an LTL formula (repeatable; uses --prop)
+//     --fair                enforce weak process fairness for --ltl
+//     --no-deadlock-check   skip invalid-end-state detection
+//     --por                 partial-order reduction
+//     --bfs                 breadth-first (shortest counterexamples)
+//     --max-states N        search bound (default 20000000)
+//     --optimize            (.arch) substitute optimized connector models
+//     --dot                 (.arch) print the Graphviz rendering and exit
+//     --simulate N          print an N-step random simulation instead
+//     --seed N              simulation seed (default 1)
+//     --msc                 render the simulation as a message sequence chart
+//
+// Exit code: 0 if every requested check passed, 1 otherwise, 2 on usage or
+// model errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adl/adl.h"
+#include "explore/explorer.h"
+#include "ltl/product.h"
+#include "pml/parser.h"
+#include "pnp/pnp.h"
+#include "sim/simulator.h"
+#include "support/panic.h"
+#include "trace/msc.h"
+
+namespace {
+
+using namespace pnp;
+
+struct Args {
+  std::string model_path;
+  std::string invariant;
+  std::string end_invariant;
+  std::vector<std::pair<std::string, std::string>> props;
+  std::vector<std::string> ltl;
+  bool fair = false;
+  bool deadlock_check = true;
+  bool por = false;
+  bool bfs = false;
+  bool optimize = false;
+  bool dot = false;
+  std::uint64_t max_states = 20'000'000;
+  int simulate = 0;
+  std::uint64_t seed = 1;
+  bool msc = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "pnpv: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: pnpv MODEL.pml|DESIGN.arch [--invariant E] [--end-invariant E]\n"
+      "            [--prop NAME=E]... [--ltl F]... [--fair]\n"
+      "            [--no-deadlock-check] [--por] [--bfs] [--max-states N]\n"
+      "            [--optimize] [--dot]\n"
+      "            [--simulate N [--seed N] [--msc]]\n");
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--invariant") a.invariant = value();
+    else if (arg == "--end-invariant") a.end_invariant = value();
+    else if (arg == "--prop") {
+      const std::string v = value();
+      const std::size_t eq = v.find('=');
+      if (eq == std::string::npos) usage("--prop needs NAME=EXPR");
+      a.props.emplace_back(v.substr(0, eq), v.substr(eq + 1));
+    } else if (arg == "--ltl") a.ltl.push_back(value());
+    else if (arg == "--fair") a.fair = true;
+    else if (arg == "--no-deadlock-check") a.deadlock_check = false;
+    else if (arg == "--por") a.por = true;
+    else if (arg == "--bfs") a.bfs = true;
+    else if (arg == "--optimize") a.optimize = true;
+    else if (arg == "--dot") a.dot = true;
+    else if (arg == "--max-states") a.max_states = std::stoull(value());
+    else if (arg == "--simulate") a.simulate = std::stoi(value());
+    else if (arg == "--seed") a.seed = std::stoull(value());
+    else if (arg == "--msc") a.msc = true;
+    else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
+    else if (a.model_path.empty()) a.model_path = arg;
+    else usage("more than one model file given");
+  }
+  if (a.model_path.empty()) usage("no model file given");
+  return a;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "pnpv: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void print_stats(const explore::Stats& st) {
+  std::printf("  states stored: %llu, matched: %llu, transitions: %llu, "
+              "%.2f ms%s\n",
+              static_cast<unsigned long long>(st.states_stored),
+              static_cast<unsigned long long>(st.states_matched),
+              static_cast<unsigned long long>(st.transitions),
+              st.seconds * 1e3, st.complete ? "" : "  [search truncated]");
+}
+
+using ExprParser = std::function<expr::Ref(const std::string&)>;
+
+int simulate(const Args& args, const kernel::Machine& m) {
+  sim::Simulator s(m, args.seed);
+  const std::size_t steps =
+      s.run_random(static_cast<std::size_t>(args.simulate));
+  if (args.msc) {
+    std::printf("%s", trace::render_msc(m, s.history()).c_str());
+  } else {
+    for (std::size_t i = 0; i < s.history().size(); ++i)
+      std::printf("%4zu. %s\n", i + 1, m.describe_step(s.history()[i]).c_str());
+  }
+  std::printf("-- %zu steps; final state:\n%s\n", steps,
+              m.format_state(s.state()).c_str());
+  return 0;
+}
+
+int run_checks(const Args& args, const kernel::Machine& m,
+               const ExprParser& parse_expr) {
+  bool all_ok = true;
+
+  {
+    explore::Options opt;
+    opt.max_states = args.max_states;
+    opt.check_deadlock = args.deadlock_check;
+    opt.por = args.por;
+    opt.bfs = args.bfs;
+    if (!args.invariant.empty()) {
+      opt.invariant = parse_expr(args.invariant);
+      opt.invariant_name = args.invariant;
+    }
+    if (!args.end_invariant.empty()) {
+      opt.end_invariant = parse_expr(args.end_invariant);
+      opt.end_invariant_name = args.end_invariant;
+    }
+    const explore::Result r = explore::explore(m, opt);
+    std::printf("[%s] safety (assertions%s%s%s)\n", r.ok() ? "PASS" : "FAIL",
+                args.deadlock_check ? " + deadlock" : "",
+                args.invariant.empty() ? "" : " + invariant",
+                args.end_invariant.empty() ? "" : " + end-invariant");
+    print_stats(r.stats);
+    if (r.violation) {
+      std::printf("  %s: %s\n",
+                  explore::violation_kind_name(r.violation->kind),
+                  r.violation->message.c_str());
+      std::printf("%s", trace::to_string(r.violation->trace).c_str());
+      all_ok = false;
+    }
+  }
+
+  if (!args.ltl.empty()) {
+    ltl::PropertyContext props;
+    for (const auto& [name, text] : args.props)
+      props.add(name, parse_expr(text));
+    for (const std::string& formula : args.ltl) {
+      ltl::CheckOptions copt;
+      copt.max_states = args.max_states;
+      copt.weak_fairness = args.fair;
+      const ltl::LtlResult r = ltl::check_ltl(m, props, formula, copt);
+      std::printf("[%s] LTL %s%s  (Buchi states: %zu)\n",
+                  r.holds ? "PASS" : "FAIL", formula.c_str(),
+                  args.fair ? " [weak fairness]" : "", r.buchi_states);
+      print_stats(r.stats);
+      if (r.violation) {
+        std::printf("%s", trace::to_string(r.violation->trace).c_str());
+        all_ok = false;
+      }
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  const bool is_arch = args.model_path.size() > 5 &&
+                       args.model_path.rfind(".arch") ==
+                           args.model_path.size() - 5;
+  try {
+    if (is_arch) {
+      Architecture arch = adl::parse_architecture(slurp(args.model_path));
+      if (args.dot) {
+        std::printf("%s", arch.to_dot().c_str());
+        return 0;
+      }
+      ModelGenerator gen;
+      const kernel::Machine m =
+          gen.generate(arch, {.optimize_connectors = args.optimize});
+      std::printf("%s", arch.describe().c_str());
+      std::printf("generation: %s\n", gen.last_stats().summary().c_str());
+      if (args.simulate > 0) return simulate(args, m);
+      ModelGenerator* gp = &gen;
+      return run_checks(args, m, [gp](const std::string& text) {
+        return gp->parse_expr_text(text).ref;
+      });
+    }
+
+    model::SystemSpec sys = pml::parse(slurp(args.model_path));
+    kernel::Machine m(sys);
+    std::printf("model: %s  (%zu processes, %zu channels, %zu globals)\n",
+                args.model_path.c_str(), sys.processes.size(),
+                sys.channels.size(), sys.globals.size());
+    if (args.simulate > 0) return simulate(args, m);
+    model::SystemSpec* sp = &sys;
+    return run_checks(args, m, [sp](const std::string& text) {
+      return pml::parse_global_expr(*sp, text);
+    });
+  } catch (const ModelError& e) {
+    std::fprintf(stderr, "pnpv: %s\n", e.what());
+    return 2;
+  }
+}
