@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_library.dir/bench_fig1_library.cpp.o"
+  "CMakeFiles/bench_fig1_library.dir/bench_fig1_library.cpp.o.d"
+  "bench_fig1_library"
+  "bench_fig1_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_interfaces.dir/bench_fig3_interfaces.cpp.o"
+  "CMakeFiles/bench_fig3_interfaces.dir/bench_fig3_interfaces.cpp.o.d"
+  "bench_fig3_interfaces"
+  "bench_fig3_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

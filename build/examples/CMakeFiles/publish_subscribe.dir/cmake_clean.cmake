@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publish_subscribe.dir/publish_subscribe.cpp.o"
+  "CMakeFiles/publish_subscribe.dir/publish_subscribe.cpp.o.d"
+  "publish_subscribe"
+  "publish_subscribe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publish_subscribe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

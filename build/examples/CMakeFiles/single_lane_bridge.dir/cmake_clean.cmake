@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_lane_bridge.dir/single_lane_bridge.cpp.o"
+  "CMakeFiles/single_lane_bridge.dir/single_lane_bridge.cpp.o.d"
+  "single_lane_bridge"
+  "single_lane_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_lane_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adl/adl.cpp" "src/CMakeFiles/pnp.dir/adl/adl.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/adl/adl.cpp.o.d"
+  "/root/repo/src/bridge/bridge.cpp" "src/CMakeFiles/pnp.dir/bridge/bridge.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/bridge/bridge.cpp.o.d"
+  "/root/repo/src/compile/compiler.cpp" "src/CMakeFiles/pnp.dir/compile/compiler.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/compile/compiler.cpp.o.d"
+  "/root/repo/src/explore/explorer.cpp" "src/CMakeFiles/pnp.dir/explore/explorer.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/explore/explorer.cpp.o.d"
+  "/root/repo/src/explore/por.cpp" "src/CMakeFiles/pnp.dir/explore/por.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/explore/por.cpp.o.d"
+  "/root/repo/src/expr/expr.cpp" "src/CMakeFiles/pnp.dir/expr/expr.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/expr/expr.cpp.o.d"
+  "/root/repo/src/kernel/state.cpp" "src/CMakeFiles/pnp.dir/kernel/state.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/kernel/state.cpp.o.d"
+  "/root/repo/src/kernel/successor.cpp" "src/CMakeFiles/pnp.dir/kernel/successor.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/kernel/successor.cpp.o.d"
+  "/root/repo/src/ltl/buchi.cpp" "src/CMakeFiles/pnp.dir/ltl/buchi.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/ltl/buchi.cpp.o.d"
+  "/root/repo/src/ltl/formula.cpp" "src/CMakeFiles/pnp.dir/ltl/formula.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/ltl/formula.cpp.o.d"
+  "/root/repo/src/ltl/lexer.cpp" "src/CMakeFiles/pnp.dir/ltl/lexer.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/ltl/lexer.cpp.o.d"
+  "/root/repo/src/ltl/parser.cpp" "src/CMakeFiles/pnp.dir/ltl/parser.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/ltl/parser.cpp.o.d"
+  "/root/repo/src/ltl/product.cpp" "src/CMakeFiles/pnp.dir/ltl/product.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/ltl/product.cpp.o.d"
+  "/root/repo/src/model/builder.cpp" "src/CMakeFiles/pnp.dir/model/builder.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/model/builder.cpp.o.d"
+  "/root/repo/src/model/system.cpp" "src/CMakeFiles/pnp.dir/model/system.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/model/system.cpp.o.d"
+  "/root/repo/src/pml/lexer.cpp" "src/CMakeFiles/pnp.dir/pml/lexer.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/pml/lexer.cpp.o.d"
+  "/root/repo/src/pml/parser.cpp" "src/CMakeFiles/pnp.dir/pml/parser.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/pml/parser.cpp.o.d"
+  "/root/repo/src/pnp/architecture.cpp" "src/CMakeFiles/pnp.dir/pnp/architecture.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/pnp/architecture.cpp.o.d"
+  "/root/repo/src/pnp/blocks.cpp" "src/CMakeFiles/pnp.dir/pnp/blocks.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/pnp/blocks.cpp.o.d"
+  "/root/repo/src/pnp/generator.cpp" "src/CMakeFiles/pnp.dir/pnp/generator.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/pnp/generator.cpp.o.d"
+  "/root/repo/src/pnp/interfaces.cpp" "src/CMakeFiles/pnp.dir/pnp/interfaces.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/pnp/interfaces.cpp.o.d"
+  "/root/repo/src/pnp/patterns.cpp" "src/CMakeFiles/pnp.dir/pnp/patterns.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/pnp/patterns.cpp.o.d"
+  "/root/repo/src/pnp/textual.cpp" "src/CMakeFiles/pnp.dir/pnp/textual.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/pnp/textual.cpp.o.d"
+  "/root/repo/src/pnp/verifier.cpp" "src/CMakeFiles/pnp.dir/pnp/verifier.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/pnp/verifier.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/pnp.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/support/panic.cpp" "src/CMakeFiles/pnp.dir/support/panic.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/support/panic.cpp.o.d"
+  "/root/repo/src/support/string_util.cpp" "src/CMakeFiles/pnp.dir/support/string_util.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/support/string_util.cpp.o.d"
+  "/root/repo/src/trace/msc.cpp" "src/CMakeFiles/pnp.dir/trace/msc.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/trace/msc.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/pnp.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/pnp.dir/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

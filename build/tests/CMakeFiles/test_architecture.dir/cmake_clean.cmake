@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_architecture.dir/test_architecture.cpp.o"
+  "CMakeFiles/test_architecture.dir/test_architecture.cpp.o.d"
+  "test_architecture"
+  "test_architecture.pdb"
+  "test_architecture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bridge_trace.dir/test_bridge_trace.cpp.o"
+  "CMakeFiles/test_bridge_trace.dir/test_bridge_trace.cpp.o.d"
+  "test_bridge_trace"
+  "test_bridge_trace.pdb"
+  "test_bridge_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bridge_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ltl.dir/test_ltl.cpp.o"
+  "CMakeFiles/test_ltl.dir/test_ltl.cpp.o.d"
+  "test_ltl"
+  "test_ltl.pdb"
+  "test_ltl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ltl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

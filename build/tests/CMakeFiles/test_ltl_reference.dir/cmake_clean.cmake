@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ltl_reference.dir/test_ltl_reference.cpp.o"
+  "CMakeFiles/test_ltl_reference.dir/test_ltl_reference.cpp.o.d"
+  "test_ltl_reference"
+  "test_ltl_reference.pdb"
+  "test_ltl_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ltl_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

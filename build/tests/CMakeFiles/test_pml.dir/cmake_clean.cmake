@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pml.dir/test_pml.cpp.o"
+  "CMakeFiles/test_pml.dir/test_pml.cpp.o.d"
+  "test_pml"
+  "test_pml.pdb"
+  "test_pml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pnp_basic.dir/test_pnp_basic.cpp.o"
+  "CMakeFiles/test_pnp_basic.dir/test_pnp_basic.cpp.o.d"
+  "test_pnp_basic"
+  "test_pnp_basic.pdb"
+  "test_pnp_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pnp_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

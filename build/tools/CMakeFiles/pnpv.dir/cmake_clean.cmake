@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnpv.dir/pnpv.cpp.o"
+  "CMakeFiles/pnpv.dir/pnpv.cpp.o.d"
+  "pnpv"
+  "pnpv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnpv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pnpv.
+# This may be replaced when dependencies are built.
