@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+#   scripts/check.sh               # plain RelWithDebInfo build + ctest
+#   scripts/check.sh --sanitize    # additional ASan+UBSan build + ctest
+#
+# The sanitized pass uses a separate build tree (build-asan) so it never
+# perturbs the primary build/ directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  cmake -B build-asan -S . -DPNP_SANITIZE=ON
+  cmake --build build-asan -j
+  UBSAN_OPTIONS=print_stacktrace=1 ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fi

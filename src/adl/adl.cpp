@@ -175,6 +175,12 @@ ChannelKind channel_kind(Scanner& s, const std::string& w) {
   if (w == "priority" || w == "Priority") return ChannelKind::Priority;
   if (w == "lossy_fifo" || w == "LossyFifo") return ChannelKind::LossyFifo;
   if (w == "event_pool" || w == "EventPool") return ChannelKind::EventPool;
+  if (w == "duplicating_fifo" || w == "DuplicatingFifo")
+    return ChannelKind::DuplicatingFifo;
+  if (w == "reordering_fifo" || w == "ReorderingFifo")
+    return ChannelKind::ReorderingFifo;
+  if (w == "dropping_fifo" || w == "DroppingFifo")
+    return ChannelKind::DroppingFifo;
   raise_model_error(s.err("unknown channel kind '" + w + "'"));
 }
 
@@ -184,6 +190,7 @@ SendPortKind send_kind(Scanner& s, const std::string& w) {
   if (w == "asyn_checking") return SendPortKind::AsynChecking;
   if (w == "syn_blocking") return SendPortKind::SynBlocking;
   if (w == "syn_checking") return SendPortKind::SynChecking;
+  if (w == "timeout_retry") return SendPortKind::TimeoutRetry;
   raise_model_error(s.err("unknown send-port kind '" + w + "'"));
 }
 
@@ -217,11 +224,18 @@ Architecture parse_architecture(const std::string& source) {
       const std::string name = s.ident();
       PNP_CHECK(!components.contains(name),
                 s.err("duplicate component '" + name + "'"));
+      int max_crashes = 0;
+      if (s.accept_word("crashes")) {
+        s.expect_char('(');
+        max_crashes = static_cast<int>(s.number());
+        s.expect_char(')');
+      }
       s.expect_char('{');
       s.expect_word("behavior");
       const std::string body = s.braced_block();
       s.expect_char('}');
       components[name] = arch.add_component(name, pml_component(body));
+      if (max_crashes > 0) arch.set_crash_restart(components[name], max_crashes);
       continue;
     }
     if (s.accept_word("connector")) {
@@ -251,7 +265,13 @@ Architecture parse_architecture(const std::string& source) {
         s.expect_word("via");
         const std::string kind = s.ident();
         if (is_sender) {
-          arch.attach_sender(cit->second, port, conn, send_kind(s, kind));
+          const SendPortKind sk = send_kind(s, kind);
+          arch.attach_sender(cit->second, port, conn, sk);
+          if (sk == SendPortKind::TimeoutRetry && s.accept_char('(')) {
+            const int retries = static_cast<int>(s.number());
+            s.expect_char(')');
+            arch.set_send_port(cit->second, port, sk, retries);
+          }
         } else {
           RecvPortOpts opts;
           while (true) {

@@ -8,16 +8,21 @@
 // Grammar:
 //   architecture NAME {
 //     global NAME [= INT] ;
-//     component NAME { behavior { ...PML statements... } }
+//     component NAME [crashes( N )] { behavior { ...PML statements... } }
 //     connector NAME : CHANNEL_KIND [( CAPACITY )] {
-//       sender   COMPONENT.PORT via SEND_KIND ;
+//       sender   COMPONENT.PORT via SEND_KIND [( RETRIES )] ;
 //       receiver COMPONENT.PORT via RECV_KIND [copy] [selective] ;
 //     }
 //   }
-// Channel kinds: single_slot, fifo, priority, lossy_fifo, event_pool.
+// Channel kinds: single_slot, fifo, priority, lossy_fifo, event_pool, and
+//                the fault-injection variants duplicating_fifo,
+//                reordering_fifo, dropping_fifo.
 // Send kinds:    asyn_nonblocking, asyn_blocking, asyn_checking,
-//                syn_blocking, syn_checking.
+//                syn_blocking, syn_checking, timeout_retry (optionally with
+//                a retry bound: `via timeout_retry(3)`).
 // Recv kinds:    blocking, nonblocking.
+// `component N crashes(K)` lets the component's process crash-restart up to
+// K times (fault injection for resilience checking).
 // Comments: // and /* */.
 #pragma once
 

@@ -96,6 +96,7 @@ class ProcCompiler {
         t.args = s.args;
         t.random = s.random;
         t.copy = s.copy;
+        t.unordered = s.unordered;
         t.label = s.label;
         add_trans(std::move(t));
         break;
@@ -234,6 +235,12 @@ class ProcCompiler {
           t.local_only = !sys_.exprs.reads_shared(t.expr) &&
                          t.lhs.kind == model::LhsKind::Local;
           break;
+        case OpKind::Crash:
+          // Only touches the crashing process's own frame, but treating a
+          // crash as invisible to other processes would let ample sets hide
+          // faults; keep it globally visible.
+          t.local_only = false;
+          break;
       }
     }
   }
@@ -331,8 +338,33 @@ std::string describe(const model::SystemSpec& sys, const CompiledProc& proc,
       if (t.copy) return s + "<" + join(as, ",") + ">";
       return s + join(as, ",");
     }
+    case OpKind::Crash:
+      return "crash-restart";
   }
   return "?";
+}
+
+void inject_crash_restart(CompiledProc& proc, int budget_slot) {
+  PNP_CHECK(budget_slot >= proc.n_params && budget_slot < proc.frame_size,
+            "inject_crash_restart: budget slot must be a mutable local");
+  const std::size_t n_before = proc.trans.size();
+  for (int pc = 0; pc < proc.n_pcs; ++pc) {
+    if (pc == proc.entry) continue;
+    // Orphaned pcs (left behind by branch merging) have no outgoing edges
+    // and are unreachable; a terminated process stays terminated.
+    if (proc.out[static_cast<std::size_t>(pc)].empty()) continue;
+    Transition t;
+    t.src = pc;
+    t.dst = proc.entry;
+    t.op = OpKind::Crash;
+    t.lhs = {model::LhsKind::Local, budget_slot};
+    t.label = "crash-restart";
+    t.local_only = false;
+    proc.trans.push_back(std::move(t));
+  }
+  for (std::size_t i = n_before; i < proc.trans.size(); ++i)
+    proc.out[static_cast<std::size_t>(proc.trans[i].src)].push_back(
+        static_cast<int>(i));
 }
 
 }  // namespace pnp::compile

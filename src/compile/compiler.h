@@ -33,6 +33,7 @@ enum class OpKind : std::uint8_t {
   Send,
   Recv,
   Assert,
+  Crash,   // fault injection: reset frame + pc to entry while budget > 0
 };
 
 struct Transition {
@@ -49,6 +50,7 @@ struct Transition {
   std::vector<model::RecvArg> args;  // Recv pattern
   bool random{false};
   bool copy{false};
+  bool unordered{false};  // one successor per matching message (bag order)
 
   std::string label;
 
@@ -79,6 +81,13 @@ std::vector<CompiledProc> compile(const model::SystemSpec& sys);
 /// Compiles a single proctype (no whole-system validation; used by the
 /// incremental model generator, which validates what it builds).
 CompiledProc compile_proc(const model::SystemSpec& sys, int proctype);
+
+/// Fault injection: adds a Crash transition from every reachable non-entry
+/// pc back to `entry`. A crash is executable while the local at `budget_slot`
+/// is positive; executing it decrements the budget and resets every mutable
+/// local (slots >= n_params) to its declared initial value. Used by the
+/// generator's crash-restart component wrapper.
+void inject_crash_restart(CompiledProc& proc, int budget_slot);
 
 /// Human-readable rendering of a transition (used in traces and debugging).
 std::string describe(const model::SystemSpec& sys, const CompiledProc& proc,

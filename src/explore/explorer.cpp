@@ -23,6 +23,19 @@ const char* violation_kind_name(ViolationKind k) {
   return "?";
 }
 
+const char* truncation_reason_name(TruncationReason r) {
+  switch (r) {
+    case TruncationReason::None: return "none";
+    case TruncationReason::MaxStates: return "max-states limit reached";
+    case TruncationReason::MaxDepth: return "max-depth limit reached";
+    case TruncationReason::Deadline: return "wall-clock deadline exceeded";
+    case TruncationReason::MemoryBudget: return "memory budget exceeded";
+    case TruncationReason::BitstateApprox:
+      return "bitstate hashing (probabilistic coverage)";
+  }
+  return "?";
+}
+
 namespace {
 
 using kernel::Machine;
@@ -40,7 +53,11 @@ class VisitedSet {
 
   /// Returns true if `key` was not present before (and records it).
   bool insert(const std::string& key) {
-    if (!bitstate_) return set_.insert(key).second;
+    if (!bitstate_) {
+      const bool fresh = set_.insert(key).second;
+      if (fresh) key_bytes_ += key.size();
+      return fresh;
+    }
     const std::span<const std::uint8_t> bytes(
         reinterpret_cast<const std::uint8_t*>(key.data()), key.size());
     const std::uint64_t nbits = bits_.size() * 8;
@@ -57,7 +74,19 @@ class VisitedSet {
     return bitstate_ ? approx_count_ : set_.size();
   }
 
+  /// Rough memory footprint: the bit array in bitstate mode; key bytes plus
+  /// an estimated per-entry node/bucket overhead for the exact set.
+  std::uint64_t approx_bytes() const {
+    if (bitstate_) return bits_.size();
+    return key_bytes_ + set_.size() * kEntryOverhead;
+  }
+
  private:
+  // unordered_set node: hash, next pointer, std::string header, bucket
+  // share. 64 bytes is a deliberate slight overestimate so memory-budget
+  // truncation errs on the safe side.
+  static constexpr std::uint64_t kEntryOverhead = 64;
+
   bool get_bit(std::uint64_t i) const {
     return (bits_[i >> 3] >> (i & 7)) & 1;
   }
@@ -67,6 +96,7 @@ class VisitedSet {
   std::vector<std::uint8_t> bits_;
   std::unordered_set<std::string> set_;
   std::uint64_t approx_count_ = 0;
+  std::uint64_t key_bytes_ = 0;
 };
 
 class Run {
@@ -75,16 +105,24 @@ class Run {
       : m_(m), opt_(opt), visited_(opt.bitstate, opt.bitstate_bytes) {}
 
   Result go() {
-    const auto t0 = std::chrono::steady_clock::now();
+    start_ = std::chrono::steady_clock::now();
     Result r = opt_.bfs ? bfs() : dfs();
     r.stats.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
             .count();
     r.stats.states_stored = visited_.size();
     r.stats.states_matched = matched_;
     r.stats.transitions = transitions_;
     r.stats.max_depth_reached = max_depth_seen_;
     r.stats.complete = complete_ && !opt_.bitstate;
+    r.stats.approx_memory_bytes = visited_.approx_bytes() + frontier_bytes_;
+    // A hard truncation (deadline, limit) is the more actionable
+    // explanation; bitstate approximation is only reported when nothing
+    // else cut the search short.
+    r.stats.truncation = truncation_ != TruncationReason::None
+                             ? truncation_
+                             : (opt_.bitstate ? TruncationReason::BitstateApprox
+                                              : TruncationReason::None);
     return r;
   }
 
@@ -104,6 +142,38 @@ class Run {
     bool checked = false;
     int por_choice = -1;  // recorded ample decision (see por_choose)
   };
+
+  void truncate(TruncationReason why) {
+    complete_ = false;
+    if (truncation_ == TruncationReason::None) truncation_ = why;
+  }
+
+  /// Deadline / memory check, amortized: the clock and the footprint sum
+  /// are only consulted every `kBudgetCheckStride` expansions.
+  /// `frontier_bytes` is the caller's estimate of search-structure memory
+  /// beyond the visited set (DFS stack or BFS queue).
+  bool over_budget(std::uint64_t frontier_bytes) {
+    if (opt_.deadline_seconds <= 0.0 && opt_.memory_budget_bytes == 0)
+      return false;
+    if (++budget_tick_ % kBudgetCheckStride != 0) return false;
+    frontier_bytes_ = frontier_bytes;
+    if (opt_.deadline_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count();
+      if (elapsed >= opt_.deadline_seconds) {
+        truncate(TruncationReason::Deadline);
+        return true;
+      }
+    }
+    if (opt_.memory_budget_bytes > 0 &&
+        visited_.approx_bytes() + frontier_bytes >= opt_.memory_budget_bytes) {
+      truncate(TruncationReason::MemoryBudget);
+      return true;
+    }
+    return false;
+  }
 
   /// Per-state checks (invariant, deadlock). Returns a violation or nullopt.
   std::optional<Violation> check_state(const State& s, bool has_succ) {
@@ -173,7 +243,10 @@ class Run {
     std::vector<Succ> succs;          // successors of the top frame only
     std::ptrdiff_t succs_for = -1;    // stack index the scratch belongs to
 
+    const std::uint64_t per_frame_bytes =
+        sizeof(Frame) + 2 * state_bytes();  // state vector + encoded key
     while (!stack.empty()) {
+      if (over_budget(stack.size() * per_frame_bytes)) break;
       const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(stack.size()) - 1;
       Frame& f = stack[static_cast<std::size_t>(idx)];
       if (succs_for != idx) {
@@ -215,9 +288,12 @@ class Run {
         ++matched_;
         continue;
       }
-      if (visited_.size() >= opt_.max_states ||
-          static_cast<int>(stack.size()) > opt_.max_depth) {
-        complete_ = false;
+      if (visited_.size() >= opt_.max_states) {
+        truncate(TruncationReason::MaxStates);
+        continue;
+      }
+      if (static_cast<int>(stack.size()) > opt_.max_depth) {
+        truncate(TruncationReason::MaxDepth);
         continue;
       }
       Frame nf;
@@ -264,9 +340,12 @@ class Run {
       nodes.push_back(std::move(root));
     }
 
+    const std::uint64_t per_node_bytes =
+        sizeof(Node) + 2 * state_bytes() + 64;  // node + key in index map
     std::vector<Succ> succs;
     for (std::int64_t head = 0; head < static_cast<std::int64_t>(nodes.size());
          ++head) {
+      if (over_budget(nodes.size() * per_node_bytes)) break;
       succs.clear();
       if (opt_.por)
         por_successors(m_, nodes[static_cast<std::size_t>(head)].state, succs,
@@ -295,7 +374,7 @@ class Run {
           continue;
         }
         if (visited_.size() >= opt_.max_states) {
-          complete_ = false;
+          truncate(TruncationReason::MaxStates);
           continue;
         }
         index.emplace(std::move(key),
@@ -307,13 +386,24 @@ class Run {
     return r;
   }
 
+  std::uint64_t state_bytes() const {
+    return static_cast<std::uint64_t>(m_.layout().size()) *
+           sizeof(kernel::Value);
+  }
+
+  static constexpr std::uint64_t kBudgetCheckStride = 1024;
+
   const Machine& m_;
   const Options& opt_;
   VisitedSet visited_;
   std::uint64_t matched_ = 0;
   std::uint64_t transitions_ = 0;
+  std::uint64_t budget_tick_ = 0;
+  std::uint64_t frontier_bytes_ = 0;
   int max_depth_seen_ = 0;
   bool complete_ = true;
+  TruncationReason truncation_ = TruncationReason::None;
+  std::chrono::steady_clock::time_point start_{};
 };
 
 }  // namespace

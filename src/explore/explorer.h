@@ -37,7 +37,25 @@ struct Options {
   bool bitstate = false;  // Bloom-filter visited set (approximate)
   std::uint64_t bitstate_bytes = std::uint64_t{1} << 24;
   bool want_trace = true;
+  /// Wall-clock budget for the search; 0 disables. When exceeded, the
+  /// search stops early and returns a partial result with
+  /// `Stats::truncation == TruncationReason::Deadline`.
+  double deadline_seconds = 0.0;
+  /// Approximate cap on search memory (visited set + frontier); 0 disables.
+  std::uint64_t memory_budget_bytes = 0;
 };
+
+/// Why an exploration stopped before covering the full state space.
+enum class TruncationReason : std::uint8_t {
+  None,           // search ran to completion
+  MaxStates,      // Options::max_states reached
+  MaxDepth,       // Options::max_depth reached (DFS only)
+  Deadline,       // Options::deadline_seconds exceeded
+  MemoryBudget,   // Options::memory_budget_bytes exceeded
+  BitstateApprox, // bitstate hashing: coverage is probabilistic
+};
+
+const char* truncation_reason_name(TruncationReason r);
 
 enum class ViolationKind : std::uint8_t {
   AssertFailed,
@@ -59,9 +77,13 @@ struct Stats {
   std::uint64_t transitions = 0;
   int max_depth_reached = 0;
   double seconds = 0.0;
-  /// False when a limit (max_states / max_depth) truncated the search or
-  /// bitstate hashing made it approximate.
+  /// False when a limit (max_states / max_depth / deadline / memory)
+  /// truncated the search or bitstate hashing made it approximate.
   bool complete = true;
+  /// Structured explanation for `complete == false`.
+  TruncationReason truncation = TruncationReason::None;
+  /// Rough bytes held by the visited set and frontier at the end of the run.
+  std::uint64_t approx_memory_bytes = 0;
 };
 
 struct Result {

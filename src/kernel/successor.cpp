@@ -83,6 +83,10 @@ class SuccGen {
     const int pc = lay_.pc(s_, pid);
     const std::vector<int>& cands = cp.out[static_cast<std::size_t>(pc)];
     bool any = false;
+    // Else suppression must ignore injected crash transitions: a crash is a
+    // fault the modeled program cannot observe, so it must not change which
+    // program branches are enabled.
+    bool any_program = false;
     int else_ti = -1;
     for (int ti : cands) {
       const Transition& t = cp.trans[static_cast<std::size_t>(ti)];
@@ -90,9 +94,12 @@ class SuccGen {
         else_ti = ti;
         continue;
       }
-      if (try_exec(pid, ti, t)) any = true;
+      if (try_exec(pid, ti, t)) {
+        any = true;
+        if (t.op != OpKind::Crash) any_program = true;
+      }
     }
-    if (!any && else_ti >= 0) {
+    if (!any_program && else_ti >= 0) {
       emit_local(pid, else_ti, cp.trans[static_cast<std::size_t>(else_ti)]);
       any = true;
     }
@@ -197,10 +204,35 @@ class SuccGen {
         return exec_send(pid, ti, t, e);
       case OpKind::Recv:
         return exec_recv(pid, ti, t, e);
+      case OpKind::Crash:
+        return exec_crash(pid, ti, t);
       case OpKind::Else:
         return false;  // handled by caller
     }
     return false;
+  }
+
+  /// Crash-restart fault: while the budget local is positive, the process
+  /// may lose its control point and volatile locals and resume from entry.
+  /// The budget itself survives the crash (it counts injected faults, it is
+  /// not program state).
+  bool exec_crash(int pid, int ti, const Transition& t) {
+    const CompiledProc& cp = m_.proc_of(pid);
+    const int np = cp.n_params;
+    const Value budget =
+        lay_.locals(s_, pid)[static_cast<std::size_t>(t.lhs.slot - np)];
+    if (budget <= 0) return false;
+    State ns = s_;
+    for (std::size_t i = static_cast<std::size_t>(np); i < cp.frame_init.size();
+         ++i)
+      lay_.set_frame_slot(ns, pid, static_cast<int>(i), cp.frame_init[i]);
+    lay_.set_frame_slot(ns, pid, t.lhs.slot, budget - 1);
+    finish(ns, pid, t);
+    Step step;
+    step.pid = pid;
+    step.trans = ti;
+    out_.emplace_back(std::move(ns), std::move(step));
+    return true;
   }
 
   bool exec_send(int pid, int ti, const Transition& t,
@@ -287,6 +319,8 @@ class SuccGen {
     const int len = lay_.chan_len(s_, chan);
     if (len == 0) return false;
 
+    if (t.unordered) return exec_recv_unordered(pid, ti, t, e, chan, arity, len);
+
     int idx = -1;
     if (t.random) {
       for (int i = 0; i < len; ++i) {
@@ -313,6 +347,36 @@ class SuccGen {
                   std::vector<Value>(fields, fields + arity)};
     out_.emplace_back(std::move(ns), std::move(step));
     return true;
+  }
+
+  /// Bag-semantics receive: one successor per matching buffer index, so the
+  /// dequeue order is nondeterministic (models reordering connectors).
+  bool exec_recv_unordered(int pid, int ti, const Transition& t,
+                           const expr::EvalEnv& e, int chan, int arity,
+                           int len) {
+    bool any = false;
+    for (int i = 0; i < len; ++i) {
+      const Value* msg = lay_.chan_msg(s_, chan, i);
+      if (!match_pattern(t.args, msg, e)) continue;
+      // Removing either of two equal adjacent messages yields the same
+      // queue; skip the duplicate successor.
+      if (i > 0 && std::equal(msg, msg + arity, lay_.chan_msg(s_, chan, i - 1)))
+        continue;
+      Value fields[16];
+      std::copy_n(msg, arity, fields);
+      State ns = s_;
+      bind_pattern(ns, pid, t.args, fields);
+      if (!t.copy) lay_.chan_erase(ns, chan, i);
+      finish(ns, pid, t);
+      Step step;
+      step.pid = pid;
+      step.trans = ti;
+      step.event = {StepEvent::Kind::Recv, chan,
+                    std::vector<Value>(fields, fields + arity)};
+      out_.emplace_back(std::move(ns), std::move(step));
+      any = true;
+    }
+    return any;
   }
 
   const Machine& m_;

@@ -61,6 +61,7 @@ class ProductSearch {
     r.stats.states_stored = visited1_.size();
     r.stats.transitions = transitions_;
     r.stats.complete = complete_;
+    if (!complete_) r.stats.truncation = explore::TruncationReason::MaxStates;
     r.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

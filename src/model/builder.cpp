@@ -141,6 +141,7 @@ StmtPtr recv(expr::Ex chan, std::vector<RecvArg> args, std::string label,
   s->args = std::move(args);
   s->random = opts.random;
   s->copy = opts.copy;
+  s->unordered = opts.unordered;
   s->label = std::move(label);
   return s;
 }

@@ -120,8 +120,9 @@ RecvArg match(expr::Ex e);
 RecvArg any();
 
 struct RecvOpts {
-  bool random{false};  // `??` first matching message anywhere in the buffer
-  bool copy{false};    // peek without removing
+  bool random{false};     // `??` first matching message anywhere in the buffer
+  bool copy{false};       // peek without removing
+  bool unordered{false};  // bag semantics: one successor per matching message
 };
 StmtPtr recv(expr::Ex chan, std::vector<RecvArg> args, std::string label = "",
              RecvOpts opts = {});

@@ -85,6 +85,8 @@ struct Stmt {
   std::vector<RecvArg> args;     // receive pattern
   bool random{false};            // `??` first matching message anywhere
   bool copy{false};              // peek: do not remove the message
+  bool unordered{false};         // one successor per matching message (bag
+                                 // semantics; models reordering connectors)
 
   // If / Do
   std::vector<Branch> branches;

@@ -15,6 +15,7 @@ StmtPtr clone(const Stmt& s) {
   out->args = s.args;
   out->random = s.random;
   out->copy = s.copy;
+  out->unordered = s.unordered;
   out->label = s.label;
   for (const Branch& b : s.branches) {
     Branch nb;

@@ -69,6 +69,24 @@ void Architecture::set_send_port(int component, const std::string& port_name,
   ++version_;
 }
 
+void Architecture::set_send_port(int component, const std::string& port_name,
+                                 SendPortKind kind, int retries) {
+  PNP_CHECK(retries >= 0, "set_send_port: retries must be >= 0");
+  Attachment& a = attachment_at(component, port_name);
+  PNP_CHECK(a.is_sender, "set_send_port on a receiver attachment");
+  a.send_kind = kind;
+  a.send_retries = retries;
+  ++version_;
+}
+
+void Architecture::set_crash_restart(int component, int max_crashes) {
+  PNP_CHECK(component >= 0 && component < static_cast<int>(components_.size()),
+            "set_crash_restart: unknown component");
+  PNP_CHECK(max_crashes >= 0, "set_crash_restart: max_crashes must be >= 0");
+  components_[static_cast<std::size_t>(component)].max_crashes = max_crashes;
+  ++version_;
+}
+
 void Architecture::set_recv_port(int component, const std::string& port_name,
                                  RecvPortKind kind, RecvPortOpts opts) {
   Attachment& a = attachment_at(component, port_name);
@@ -161,7 +179,11 @@ std::string Architecture::describe() const {
   os << "architecture " << name_ << "\n";
   for (const GlobalDecl& g : globals_)
     os << "  global " << g.name << " = " << g.init << "\n";
-  for (const ComponentDecl& c : components_) os << "  component " << c.name << "\n";
+  for (const ComponentDecl& c : components_) {
+    os << "  component " << c.name;
+    if (c.max_crashes > 0) os << " [crashes <= " << c.max_crashes << "]";
+    os << "\n";
+  }
   for (std::size_t i = 0; i < connectors_.size(); ++i) {
     os << "  connector " << connectors_[i].name << " : "
        << to_string(connectors_[i].channel) << "\n";
@@ -169,10 +191,13 @@ std::string Architecture::describe() const {
       os << "    " << (a->is_sender ? "sender  " : "receiver") << " "
          << components_[static_cast<std::size_t>(a->component)].name << "."
          << a->port_name << " via ";
-      if (a->is_sender)
+      if (a->is_sender) {
         os << to_string(a->send_kind);
-      else
+        if (a->send_kind == SendPortKind::TimeoutRetry)
+          os << "(" << a->send_retries << ")";
+      } else {
         os << to_string(a->recv_kind, a->recv_opts);
+      }
       os << "\n";
     }
   }

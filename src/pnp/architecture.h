@@ -32,6 +32,10 @@ struct GlobalDecl {
 struct ComponentDecl {
   std::string name;
   ComponentModelFn fn;
+  /// Fault injection: > 0 lets the component's process nondeterministically
+  /// crash and restart from its initial control point (losing its locals)
+  /// up to this many times. 0 = no crash faults (the default).
+  int max_crashes{0};
 };
 
 struct ConnectorDecl {
@@ -47,6 +51,9 @@ struct Attachment {
   SendPortKind send_kind{SendPortKind::AsynBlocking};
   RecvPortKind recv_kind{RecvPortKind::Blocking};
   RecvPortOpts recv_opts{};
+  /// TimeoutRetry send ports: how many times a rejected message is retried
+  /// before the port reports SEND_FAIL. Ignored by every other kind.
+  int send_retries{2};
 };
 
 class Architecture {
@@ -65,9 +72,15 @@ class Architecture {
   // -- plug-and-play edits (connector side only; components stay intact) ------
   void set_send_port(int component, const std::string& port_name,
                      SendPortKind kind);
+  /// Overload for TimeoutRetry: also sets the retry bound.
+  void set_send_port(int component, const std::string& port_name,
+                     SendPortKind kind, int retries);
   void set_recv_port(int component, const std::string& port_name,
                      RecvPortKind kind, RecvPortOpts opts = {});
   void set_channel(int connector, ChannelSpec spec);
+  /// Fault injection: allow component's process to crash-restart up to
+  /// `max_crashes` times (0 disables).
+  void set_crash_restart(int component, int max_crashes);
   /// Rewires an existing attachment to a different connector.
   void reattach(int component, const std::string& port_name, int connector);
 

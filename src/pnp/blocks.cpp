@@ -11,6 +11,7 @@ const char* to_string(SendPortKind k) {
     case SendPortKind::AsynChecking: return "AsynChkSend";
     case SendPortKind::SynBlocking: return "SynBlSend";
     case SendPortKind::SynChecking: return "SynChkSend";
+    case SendPortKind::TimeoutRetry: return "TimeoutRetrySend";
   }
   return "?";
 }
@@ -30,8 +31,16 @@ const char* to_string(ChannelKind k) {
     case ChannelKind::Priority: return "Priority";
     case ChannelKind::LossyFifo: return "LossyFifo";
     case ChannelKind::EventPool: return "EventPool";
+    case ChannelKind::DuplicatingFifo: return "DuplicatingFifo";
+    case ChannelKind::ReorderingFifo: return "ReorderingFifo";
+    case ChannelKind::DroppingFifo: return "DroppingFifo";
   }
   return "?";
+}
+
+bool is_fault_channel(ChannelKind k) {
+  return k == ChannelKind::DuplicatingFifo ||
+         k == ChannelKind::ReorderingFifo || k == ChannelKind::DroppingFifo;
 }
 
 std::string to_string(const ChannelSpec& c) {
@@ -115,7 +124,12 @@ int build_send_port(SystemSpec& sys, SendPortKind kind,
   const LVar comp_data = b.param("compData");
   const LVar chan_sig = b.param("chanSig");
   const LVar chan_data = b.param("chanData");
+  // The retry bound is a spawn argument so one proctype serves every bound.
+  LVar retry_bound{};
+  if (kind == SendPortKind::TimeoutRetry) retry_bound = b.param("retryBound");
   const MsgVars m = declare_msg(b, "m");
+  LVar tries{};
+  if (kind == SendPortKind::TimeoutRetry) tries = b.local("tries");
 
   auto accept_from_component = [&]() {
     return recv(b.l(comp_data), bind_msg(m), "port: accept message from component");
@@ -187,6 +201,32 @@ int build_send_port(SystemSpec& sys, SendPortKind kind,
                   send_status(b, comp_sig, SEND_SUCC),
                   do_(alt(seq(forward_to_channel(), break_())),
                       drain_any_signal(b, chan_sig)))))));
+    }
+    case SendPortKind::TimeoutRetry: {
+      // Fault-tolerance wrapper: like AsynChecking, but retries a rejected
+      // message up to `retryBound` times before giving up with SEND_FAIL.
+      // Delivery notifications are drained like any asynchronous port.
+      return b.finish(seq(end_label(), do_(
+          drain_recv_ok(b, chan_sig),
+          alt(seq(
+              accept_from_component(),
+              assign(tries, b.k(0)),
+              do_(alt(seq(
+                      forward_to_channel(),
+                      if_(alt(seq(sig_from_chan(b, chan_sig, IN_OK,
+                                                "port: IN_OK"),
+                                  send_status(b, comp_sig, SEND_SUCC),
+                                  break_())),
+                          alt(seq(sig_from_chan(b, chan_sig, IN_FAIL,
+                                                "port: IN_FAIL"),
+                                  if_(alt(seq(guard(b.l(tries) <
+                                                    b.l(retry_bound)),
+                                              assign(tries,
+                                                     b.l(tries) + b.k(1)))),
+                                      alt_else(seq(
+                                          send_status(b, comp_sig, SEND_FAIL),
+                                          break_())))))))),
+                  drain_recv_ok(b, chan_sig)))))));
     }
   }
   raise_model_error("unknown send port kind");
@@ -364,19 +404,47 @@ std::vector<RecvArg> bind_layout(const MsgVars& m, const QueueLayout& lay,
   return out;
 }
 
+/// Whether a delivery sends RECV_OK back to the originating send port.
+enum class NotifyMode {
+  Always,           // buffered channels: every delivery notifies the sender
+  Never,            // event pool: publishers are acked at publish time
+  UnlessDupMarked,  // DuplicatingFifo: injected duplicate copies carry a
+                    // marker in the (otherwise unused) rem field and must
+                    // not produce a second RECV_OK, which would wedge
+                    // synchronous send ports awaiting exactly one
+};
+
 /// The request-handling selection shared by buffered channels and the event
 /// pool: four (selective x remove) combinations, each trying to retrieve a
-/// matching message from `queue` and falling back to OUT_FAIL.
+/// matching message from `queue` and falling back to OUT_FAIL. `unordered`
+/// fetches with bag semantics (any matching message, not the oldest).
 StmtPtr handle_request(ProcBuilder& b, const ReqVars& rq, const MsgVars& m,
                        Ex queue, LVar send_sig, LVar recv_sig, LVar recv_data,
-                       const QueueLayout& lay, bool notify_sender) {
+                       const QueueLayout& lay, NotifyMode notify,
+                       bool unordered = false) {
   auto deliver = [&]() {
+    // Duplicate-marked copies are delivered with rem scrubbed back to 0 so
+    // a duplicate is observably identical to its original.
+    std::vector<Ex> fields = msg_fields(b, m);
+    if (notify == NotifyMode::UnlessDupMarked) fields[4] = b.k(0);
     Seq s = seq(
         send(b.l(recv_sig), {b.k(OUT_OK), b.k(-1)}, "channel: OUT_OK"),
-        send(b.l(recv_data), msg_fields(b, m), "channel: deliver message"));
-    if (notify_sender)
-      s.push_back(send(b.l(send_sig), {b.k(RECV_OK), b.l(m.snd)},
-                       "channel: RECV_OK to send port"));
+        send(b.l(recv_data), std::move(fields), "channel: deliver message"));
+    switch (notify) {
+      case NotifyMode::Always:
+        s.push_back(send(b.l(send_sig), {b.k(RECV_OK), b.l(m.snd)},
+                         "channel: RECV_OK to send port"));
+        break;
+      case NotifyMode::Never:
+        break;
+      case NotifyMode::UnlessDupMarked:
+        s.push_back(if_(
+            alt(seq(guard(b.l(m.rem) == b.k(0)),
+                    send(b.l(send_sig), {b.k(RECV_OK), b.l(m.snd)},
+                         "channel: RECV_OK to send port"))),
+            alt_else(seq(skip()))));
+        break;
+    }
     return s;
   };
   auto out_fail = [&]() {
@@ -390,6 +458,7 @@ StmtPtr handle_request(ProcBuilder& b, const ReqVars& rq, const MsgVars& m,
     RecvOpts ropts;
     ropts.random = selective;  // `??`: first matching anywhere
     ropts.copy = !remove;
+    ropts.unordered = unordered;
     StmtPtr fetch =
         recv(queue, bind_layout(m, lay, selective ? &seld_arg : nullptr),
              "channel: fetch from queue", ropts);
@@ -407,7 +476,8 @@ StmtPtr handle_request(ProcBuilder& b, const ReqVars& rq, const MsgVars& m,
 int build_buffered_channel(SystemSpec& sys, ChannelKind kind,
                            const std::string& name) {
   PNP_CHECK(kind == ChannelKind::Fifo || kind == ChannelKind::Priority ||
-                kind == ChannelKind::LossyFifo,
+                kind == ChannelKind::LossyFifo ||
+                is_fault_channel(kind),
             "build_buffered_channel: wrong kind");
   ProcBuilder b(sys, name);
   const LVar send_sig = b.param("sendSig");
@@ -431,6 +501,35 @@ int build_buffered_channel(SystemSpec& sys, ChannelKind kind,
         std::move(send_side),
         seq(send(b.l(send_sig), {b.k(IN_OK), b.l(m.snd)}, "channel: IN_OK"),
             send(q, to_layout(b, m, lay), "channel: store (may drop)")));
+  } else if (kind == ChannelKind::DroppingFifo) {
+    // Fault injection: accept and acknowledge every message, then
+    // nondeterministically drop it -- ANY message, not just on overflow.
+    // (A full queue can only drop, like LossyFifo.)
+    send_side = model::concat(
+        std::move(send_side),
+        seq(send(b.l(send_sig), {b.k(IN_OK), b.l(m.snd)}, "channel: IN_OK"),
+            if_(alt(seq(guard(!b.full(q)),
+                        send(q, to_layout(b, m, lay), "channel: store"))),
+                alt(seq(skip())))));
+  } else if (kind == ChannelKind::DuplicatingFifo) {
+    // Fault injection: store normally, then nondeterministically store a
+    // second copy tagged in the rem field (components always send rem=0,
+    // so the field is free). The tag suppresses the duplicate's RECV_OK
+    // (see NotifyMode::UnlessDupMarked) and is scrubbed on delivery.
+    std::vector<Ex> dup = to_layout(b, m, lay);
+    dup[static_cast<std::size_t>(lay.rem)] = b.k(1);
+    send_side = model::concat(
+        std::move(send_side),
+        seq(if_(alt(seq(guard(!b.full(q)),
+                        send(b.l(send_sig), {b.k(IN_OK), b.l(m.snd)},
+                             "channel: IN_OK"),
+                        send(q, to_layout(b, m, lay), "channel: store"),
+                        if_(alt(seq(guard(!b.full(q)),
+                                    send(q, std::move(dup),
+                                         "channel: store duplicate"))),
+                            alt(seq(skip()))))),
+                alt_else(seq(send(b.l(send_sig), {b.k(IN_FAIL), b.l(m.snd)},
+                                  "channel: IN_FAIL (queue full)"))))));
   } else {
     SendOpts sopts;
     sopts.sorted = (kind == ChannelKind::Priority);
@@ -444,10 +543,14 @@ int build_buffered_channel(SystemSpec& sys, ChannelKind kind,
                                   "channel: IN_FAIL (queue full)"))))));
   }
 
+  const NotifyMode notify = kind == ChannelKind::DuplicatingFifo
+                                ? NotifyMode::UnlessDupMarked
+                                : NotifyMode::Always;
   return b.finish(seq(end_label(), do_(
       alt(seq(accept_request(b, recv_data, rq),
               handle_request(b, rq, m, q, send_sig, recv_sig, recv_data, lay,
-                             /*notify_sender=*/true))),
+                             notify,
+                             /*unordered=*/kind == ChannelKind::ReorderingFifo))),
       alt(std::move(send_side)))));
 }
 
@@ -557,8 +660,7 @@ int build_event_pool(SystemSpec& sys, int n_subscribers,
     loop->branches.push_back(alt(seq(
         accept_request(b, sub_data[ui], rq),
         handle_request(b, rq, m, b.l(queues[ui]), pub_sig, sub_sig[ui],
-                       sub_data[ui], kFifoLayout,
-                       /*notify_sender=*/false))));
+                       sub_data[ui], kFifoLayout, NotifyMode::Never))));
   }
   return b.finish(seq(end_label(), std::move(loop)));
 }

@@ -29,13 +29,15 @@
 
 namespace pnp {
 
-/// Send-port kinds (paper Fig. 1, left column).
+/// Send-port kinds (paper Fig. 1, left column, plus the fault-injection
+/// TimeoutRetry wrapper).
 enum class SendPortKind : std::uint8_t {
   AsynNonblocking,  // confirm immediately; message may be lost
   AsynBlocking,     // confirm once the channel stored the message
   AsynChecking,     // confirm or report failure based on channel acceptance
   SynBlocking,      // confirm once a receiver got the message (retry on full)
   SynChecking,      // like checking, but confirm only after delivery
+  TimeoutRetry,     // retry on IN_FAIL up to a bound, then report SEND_FAIL
 };
 
 /// Receive-port kinds (paper Fig. 1, middle column).
@@ -52,15 +54,23 @@ struct RecvPortOpts {
   friend bool operator==(const RecvPortOpts&, const RecvPortOpts&) = default;
 };
 
-/// Channel kinds (paper Fig. 1 plus the section 3.3 lossy variant and the
-/// section 2.2/6 publish-subscribe extension).
+/// Channel kinds (paper Fig. 1 plus the section 3.3 lossy variant, the
+/// section 2.2/6 publish-subscribe extension, and fault-injection variants
+/// for resilience checking).
 enum class ChannelKind : std::uint8_t {
-  SingleSlot,  // 1-message buffer, IN_FAIL when occupied
-  Fifo,        // N-slot FIFO queue
-  Priority,    // N-slot priority queue (lower priority value first)
-  LossyFifo,   // N-slot FIFO that silently drops when full (always IN_OK)
-  EventPool,   // pub/sub event pool: fan-out to per-subscriber queues
+  SingleSlot,       // 1-message buffer, IN_FAIL when occupied
+  Fifo,             // N-slot FIFO queue
+  Priority,         // N-slot priority queue (lower priority value first)
+  LossyFifo,        // N-slot FIFO that silently drops when full (always IN_OK)
+  EventPool,        // pub/sub event pool: fan-out to per-subscriber queues
+  // -- fault-injection variants (see DESIGN.md) ------------------------------
+  DuplicatingFifo,  // FIFO that may deliver any message twice
+  ReorderingFifo,   // FIFO with nondeterministic dequeue order
+  DroppingFifo,     // FIFO that may drop ANY message (not just on overflow)
 };
+
+/// True for the fault-injection channel kinds used by resilience checking.
+bool is_fault_channel(ChannelKind k);
 
 struct ChannelSpec {
   ChannelKind kind{ChannelKind::SingleSlot};

@@ -309,8 +309,13 @@ kernel::Machine ModelGenerator::generate(const Architecture& arch,
                                            to_string(a.recv_kind, a.recv_opts));
           });
     }
-    port_spawns.push_back(
-        {att + ".port", pt, {comp_sig, comp_data, chan_sig, chan_data}});
+    std::vector<model::Value> pargs = {comp_sig, comp_data, chan_sig,
+                                       chan_data};
+    // the retry bound is a spawn argument, so one TimeoutRetry proctype
+    // serves every bound used in the architecture
+    if (a.is_sender && a.send_kind == SendPortKind::TimeoutRetry)
+      pargs.push_back(a.send_retries);
+    port_spawns.push_back({att + ".port", pt, std::move(pargs)});
   }
 
   // -- components ---------------------------------------------------------------
@@ -327,6 +332,10 @@ kernel::Machine ModelGenerator::generate(const Architecture& arch,
       std::sort(parts.begin(), parts.end());
       for (const std::string& p : parts) key += p + ";";
     }
+    // a crash-restart wrapper changes the compiled CFG, so crashing and
+    // fault-free variants are distinct cached models
+    if (comp.max_crashes > 0)
+      key += ":crash" + std::to_string(comp.max_crashes);
     int pt;
     auto it = component_cache_.find(key);
     if (it != component_cache_.end()) {
@@ -338,7 +347,18 @@ kernel::Machine ModelGenerator::generate(const Architecture& arch,
       ctx.b_ = &b;
       ctx.gen_ = this;
       ctx.endpoints_ = endpoints[k];
-      pt = b.finish(comp.fn(ctx));
+      model::Seq body = comp.fn(ctx);
+      if (comp.max_crashes > 0) {
+        // The crash budget must be a declared local (frame layout is sized
+        // from the ProcType); the Crash transitions themselves are injected
+        // after compilation.
+        const model::LVar budget =
+            b.local("_crash_budget", comp.max_crashes);
+        pt = b.finish(std::move(body));
+        crash_budget_slots_.emplace(pt, budget.slot);
+      } else {
+        pt = b.finish(std::move(body));
+      }
       component_cache_.emplace(key, pt);
       ++last_.component_models_built;
     }
@@ -353,8 +373,11 @@ kernel::Machine ModelGenerator::generate(const Architecture& arch,
   // -- compile only what is new -------------------------------------------------
   sys_.validate();
   while (compiled_.size() < sys_.proctypes.size()) {
-    compiled_.push_back(
-        compile::compile_proc(sys_, static_cast<int>(compiled_.size())));
+    const int pti = static_cast<int>(compiled_.size());
+    compiled_.push_back(compile::compile_proc(sys_, pti));
+    auto cit = crash_budget_slots_.find(pti);
+    if (cit != crash_budget_slots_.end())
+      compile::inject_crash_restart(compiled_.back(), cit->second);
     ++last_.proctypes_compiled;
   }
 

@@ -117,6 +117,9 @@ class ModelGenerator {
   std::unordered_map<std::string, int> chan_cache_;
   std::unordered_map<std::string, int> proctype_cache_;
   std::unordered_map<std::string, int> component_cache_;
+  /// proctype index -> _crash_budget frame slot, for crash-restart
+  /// components (transitions are injected right after compilation).
+  std::unordered_map<int, int> crash_budget_slots_;
   std::unordered_map<std::string, int> global_cache_;
   ltl::PropertyContext props_;
   GenStats last_;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/panic.h"
+
 namespace pnp {
 
 namespace {
@@ -10,7 +12,41 @@ void append_stats(std::ostringstream& os, const explore::Stats& st) {
   os << "  states stored: " << st.states_stored
      << ", matched: " << st.states_matched
      << ", transitions: " << st.transitions << ", " << st.seconds * 1e3
-     << " ms" << (st.complete ? "" : "  [search truncated]") << "\n";
+     << " ms";
+  if (!st.complete)
+    os << "  [truncated: " << explore::truncation_reason_name(st.truncation)
+       << "]";
+  os << "\n";
+}
+
+explore::Options to_explore_options(const VerifyOptions& opt) {
+  explore::Options eopt;
+  eopt.max_states = opt.max_states;
+  eopt.check_deadlock = opt.check_deadlock;
+  eopt.por = opt.por;
+  eopt.bfs = opt.bfs;
+  eopt.deadline_seconds = opt.deadline_seconds;
+  eopt.memory_budget_bytes = opt.memory_budget_bytes;
+  return eopt;
+}
+
+/// The degradation ladder. Stage 1 is the exact search. When it is
+/// truncated (max_states / deadline / memory budget) without reaching a
+/// verdict, stage 2 reruns with bitstate hashing and a widened filter: the
+/// per-state cost collapses to two Bloom-filter bits, so the same budget
+/// covers orders of magnitude more states. A violation found by either
+/// stage is a real counterexample; only "pass" verdicts lose certainty
+/// going down the ladder, and the recorded stages say exactly what ran.
+void run_ladder(const kernel::Machine& m, explore::Options eopt,
+                const VerifyOptions& opt, SafetyOutcome& out) {
+  out.result = explore::explore(m, eopt);
+  out.stages.push_back({"exact", out.result.stats});
+  if (opt.degrade && !out.result.stats.complete && !out.result.violation) {
+    eopt.bitstate = true;
+    eopt.bitstate_bytes = opt.bitstate_bytes;
+    out.result = explore::explore(m, eopt);
+    out.stages.push_back({"bitstate", out.result.stats});
+  }
 }
 
 }  // namespace
@@ -19,6 +55,18 @@ std::string SafetyOutcome::report() const {
   std::ostringstream os;
   os << "[" << (passed() ? "PASS" : "FAIL") << "] " << property_name << "\n";
   append_stats(os, result.stats);
+  if (degraded()) {
+    os << "  degradation ladder:\n";
+    for (const VerifyStage& st : stages) {
+      os << "    stage " << st.name << ":";
+      os << " stored " << st.stats.states_stored << ", "
+         << st.stats.seconds * 1e3 << " ms";
+      if (!st.stats.complete)
+        os << " [truncated: "
+           << explore::truncation_reason_name(st.stats.truncation) << "]";
+      os << "\n";
+    }
+  }
   if (result.violation) {
     os << "  violation: "
        << explore::violation_kind_name(result.violation->kind) << " -- "
@@ -31,29 +79,20 @@ std::string SafetyOutcome::report() const {
 }
 
 SafetyOutcome check_safety(const kernel::Machine& m, VerifyOptions opt) {
-  explore::Options eopt;
-  eopt.max_states = opt.max_states;
-  eopt.check_deadlock = opt.check_deadlock;
-  eopt.por = opt.por;
-  eopt.bfs = opt.bfs;
   SafetyOutcome out;
   out.property_name = "safety (assertions + no invalid end states)";
-  out.result = explore::explore(m, eopt);
+  run_ladder(m, to_explore_options(opt), opt, out);
   return out;
 }
 
 SafetyOutcome check_invariant(const kernel::Machine& m, expr::Ex invariant,
                               std::string name, VerifyOptions opt) {
-  explore::Options eopt;
-  eopt.max_states = opt.max_states;
-  eopt.check_deadlock = opt.check_deadlock;
-  eopt.por = opt.por;
-  eopt.bfs = opt.bfs;
+  explore::Options eopt = to_explore_options(opt);
   eopt.invariant = invariant.ref;
   eopt.invariant_name = name;
   SafetyOutcome out;
   out.property_name = "invariant: " + name;
-  out.result = explore::explore(m, eopt);
+  run_ladder(m, eopt, opt, out);
   return out;
 }
 
@@ -71,16 +110,12 @@ std::string LtlOutcome::report() const {
 
 SafetyOutcome check_end_invariant(const kernel::Machine& m, expr::Ex inv,
                                   std::string name, VerifyOptions opt) {
-  explore::Options eopt;
-  eopt.max_states = opt.max_states;
-  eopt.check_deadlock = opt.check_deadlock;
-  eopt.por = opt.por;
-  eopt.bfs = opt.bfs;
+  explore::Options eopt = to_explore_options(opt);
   eopt.end_invariant = inv.ref;
   eopt.end_invariant_name = name;
   SafetyOutcome out;
   out.property_name = "end invariant: " + name;
-  out.result = explore::explore(m, eopt);
+  run_ladder(m, eopt, opt, out);
   return out;
 }
 
@@ -91,6 +126,184 @@ LtlOutcome check_ltl_formula(const kernel::Machine& m,
   LtlOutcome out;
   out.result = ltl::check_ltl(m, props, formula, opt);
   return out;
+}
+
+// -- resilience checking -------------------------------------------------------
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::MessageLoss: return "message-loss";
+    case FaultKind::MessageDuplication: return "message-duplication";
+    case FaultKind::MessageReorder: return "message-reorder";
+    case FaultKind::SendTimeout: return "send-timeout";
+    case FaultKind::CrashRestart: return "crash-restart";
+  }
+  return "?";
+}
+
+namespace {
+
+ChannelKind fault_channel_kind(FaultKind k) {
+  switch (k) {
+    case FaultKind::MessageLoss: return ChannelKind::DroppingFifo;
+    case FaultKind::MessageDuplication: return ChannelKind::DuplicatingFifo;
+    case FaultKind::MessageReorder: return ChannelKind::ReorderingFifo;
+    default: raise_model_error("fault_channel_kind: not a channel fault");
+  }
+}
+
+/// Applies one fault as a plug-and-play connector/component edit on a copy
+/// of the design; returns the human-readable description for the report.
+std::string apply_fault(Architecture& arch, const FaultSpec& f) {
+  std::ostringstream os;
+  switch (f.kind) {
+    case FaultKind::MessageLoss:
+    case FaultKind::MessageDuplication:
+    case FaultKind::MessageReorder: {
+      const int c = arch.find_connector(f.target);
+      PNP_CHECK(c >= 0,
+                "check_resilience: unknown connector '" + f.target + "'");
+      ChannelSpec spec = arch.connectors()[static_cast<std::size_t>(c)].channel;
+      PNP_CHECK(spec.kind != ChannelKind::EventPool,
+                "check_resilience: channel faults do not apply to event-pool "
+                "connector '" + f.target + "'");
+      spec.kind = fault_channel_kind(f.kind);
+      if (spec.capacity < 1) spec.capacity = 1;
+      // A capacity-1 duplicating channel never has room for the duplicate;
+      // widen so the fault is actually exercisable.
+      if (f.kind == FaultKind::MessageDuplication && spec.capacity < 2)
+        spec.capacity = 2;
+      arch.set_channel(c, spec);
+      os << to_string(f.kind) << " on connector '" << f.target << "'";
+      break;
+    }
+    case FaultKind::SendTimeout: {
+      const std::size_t dot = f.target.find('.');
+      PNP_CHECK(dot != std::string::npos,
+                "check_resilience: SendTimeout target must be "
+                "'component.port', got '" + f.target + "'");
+      const int comp = arch.find_component(f.target.substr(0, dot));
+      PNP_CHECK(comp >= 0, "check_resilience: unknown component in '" +
+                               f.target + "'");
+      const int retries = f.budget > 0 ? f.budget : 2;
+      arch.set_send_port(comp, f.target.substr(dot + 1),
+                         SendPortKind::TimeoutRetry, retries);
+      os << "send-timeout (" << retries << " retries) on '" << f.target
+         << "'";
+      break;
+    }
+    case FaultKind::CrashRestart: {
+      const int comp = arch.find_component(f.target);
+      PNP_CHECK(comp >= 0,
+                "check_resilience: unknown component '" + f.target + "'");
+      const int crashes = f.budget > 0 ? f.budget : 1;
+      arch.set_crash_restart(comp, crashes);
+      os << "crash-restart (<= " << crashes << ") of component '" << f.target
+         << "'";
+      break;
+    }
+  }
+  return os.str();
+}
+
+SafetyOutcome verify_variant(ModelGenerator& gen, const Architecture& arch,
+                             const ResilienceOptions& opts,
+                             const std::string& label) {
+  kernel::Machine m = gen.generate(arch, opts.gen);
+  SafetyOutcome out;
+  if (!opts.invariant_text.empty()) {
+    expr::Ex inv = gen.parse_expr_text(opts.invariant_text);
+    out = check_invariant(m, inv, opts.invariant_text, opts.verify);
+  } else {
+    out = check_safety(m, opts.verify);
+  }
+  out.property_name += "  [" + label + "]";
+  return out;
+}
+
+}  // namespace
+
+bool ResilienceReport::all_tolerated() const {
+  for (const FaultOutcome& f : faults)
+    if (!f.tolerated()) return false;
+  return true;
+}
+
+std::string ResilienceReport::report() const {
+  std::ostringstream os;
+  os << "resilience report for architecture '" << architecture << "'\n";
+  if (baseline) {
+    os << "  baseline (no faults): " << (baseline->passed() ? "PASS" : "FAIL");
+    if (baseline->degraded()) os << "  (degraded to bitstate)";
+    os << "\n";
+    if (!baseline->passed())
+      os << "  note: fault verdicts below are not meaningful while the "
+            "baseline fails\n";
+  }
+  for (const FaultOutcome& f : faults) {
+    os << "  " << (f.tolerated() ? "tolerated " : "VULNERABLE") << "  "
+       << f.description;
+    if (f.outcome.degraded()) os << "  (degraded to bitstate)";
+    if (!f.tolerated() && f.outcome.result.violation)
+      os << "  -- "
+         << explore::violation_kind_name(f.outcome.result.violation->kind);
+    os << "\n";
+  }
+  os << "  verdict: "
+     << (all_tolerated() ? "all injected faults tolerated"
+                         : "architecture is fault-intolerant")
+     << "\n";
+  os << "  model generation (all variants): " << gen_stats.summary() << "\n";
+  return os.str();
+}
+
+std::vector<FaultSpec> default_fault_suite(const Architecture& arch) {
+  std::vector<FaultSpec> out;
+  for (const ConnectorDecl& c : arch.connectors()) {
+    if (c.channel.kind == ChannelKind::EventPool) continue;
+    out.push_back({FaultKind::MessageLoss, c.name, 0});
+    out.push_back({FaultKind::MessageDuplication, c.name, 0});
+    out.push_back({FaultKind::MessageReorder, c.name, 0});
+  }
+  for (const Attachment& a : arch.attachments()) {
+    if (!a.is_sender) continue;
+    // Event pools only accept asynchronous send ports (validate() enforces
+    // it), so the TimeoutRetry wrapper cannot be injected there.
+    if (arch.connectors()[static_cast<std::size_t>(a.connector)].channel.kind ==
+        ChannelKind::EventPool)
+      continue;
+    out.push_back(
+        {FaultKind::SendTimeout,
+         arch.components()[static_cast<std::size_t>(a.component)].name + "." +
+             a.port_name,
+         2});
+  }
+  for (const ComponentDecl& c : arch.components())
+    out.push_back({FaultKind::CrashRestart, c.name, 1});
+  return out;
+}
+
+ResilienceReport check_resilience(const Architecture& arch,
+                                  const std::vector<FaultSpec>& faults,
+                                  ResilienceOptions opts) {
+  ResilienceReport rep;
+  rep.architecture = arch.name();
+  // One generator across baseline + every fault variant: component models
+  // and unchanged blocks are built once and reused, exactly the paper's
+  // design-iteration loop applied to fault injection.
+  ModelGenerator gen;
+  if (opts.include_baseline)
+    rep.baseline = verify_variant(gen, arch, opts, "baseline: no faults");
+  for (const FaultSpec& f : faults) {
+    Architecture variant = arch;  // the caller's design stays untouched
+    FaultOutcome fo;
+    fo.fault = f;
+    fo.description = apply_fault(variant, f);
+    fo.outcome = verify_variant(gen, variant, opts, fo.description);
+    rep.faults.push_back(std::move(fo));
+  }
+  rep.gen_stats = gen.total_stats();
+  return rep;
 }
 
 }  // namespace pnp

@@ -3,7 +3,9 @@
 // reports for the design-iterate-verify loop of the paper's section 4.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "explore/explorer.h"
 #include "ltl/product.h"
@@ -16,15 +18,38 @@ struct VerifyOptions {
   bool check_deadlock = true;
   bool por = false;
   bool bfs = false;  // shortest counterexamples
+  /// Wall-clock budget per exploration stage; 0 = unlimited.
+  double deadline_seconds = 0.0;
+  /// Approximate memory cap per exploration stage; 0 = unlimited.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Degradation ladder: when the exact search is truncated (by max_states,
+  /// the deadline, or the memory budget) without finding a violation, retry
+  /// with bitstate hashing and a widened filter so the caller still gets
+  /// high-coverage approximate answers instead of a silent partial result.
+  bool degrade = true;
+  /// Bloom-filter size for the bitstate fallback stage.
+  std::uint64_t bitstate_bytes = std::uint64_t{1} << 26;
+};
+
+/// One rung of the verification degradation ladder.
+struct VerifyStage {
+  std::string name;  // "exact" or "bitstate"
+  explore::Stats stats;
 };
 
 struct SafetyOutcome {
   std::string property_name;
+  /// Result of the final stage that ran (the authoritative verdict: a
+  /// violation found by any stage is real; bitstate can only miss states).
   explore::Result result;
+  /// Every stage that ran, in order (one entry unless the ladder fired).
+  std::vector<VerifyStage> stages;
 
   bool passed() const { return result.ok(); }
-  /// Multi-line report: verdict, state counts, and the counterexample trace
-  /// when the property failed.
+  /// True when the exact search was truncated and the bitstate rung ran.
+  bool degraded() const { return stages.size() > 1; }
+  /// Multi-line report: verdict, state counts, degradation stages, and the
+  /// counterexample trace when the property failed.
   std::string report() const;
 };
 
@@ -55,5 +80,77 @@ LtlOutcome check_ltl_formula(const kernel::Machine& m,
                              const ltl::PropertyContext& props,
                              const std::string& formula,
                              ltl::CheckOptions opt = {});
+
+// -- resilience checking -------------------------------------------------------
+// Verifies an architecture under injected connector/component faults (the
+// fault-injection building blocks of blocks.h) and reports which faults the
+// design tolerates. The faults are plug-and-play edits: component models
+// are never touched, exactly like the paper's design-iteration loop.
+
+enum class FaultKind : std::uint8_t {
+  MessageLoss,         // channel may drop any message (DroppingFifo)
+  MessageDuplication,  // channel may deliver a message twice (DuplicatingFifo)
+  MessageReorder,      // channel dequeues in any order (ReorderingFifo)
+  SendTimeout,         // send port gives up after bounded retries (TimeoutRetry)
+  CrashRestart,        // component process may crash and restart from scratch
+};
+
+const char* to_string(FaultKind k);
+
+struct FaultSpec {
+  FaultKind kind{FaultKind::MessageLoss};
+  /// Connector name for the channel faults, component name for
+  /// CrashRestart, "component.port" for SendTimeout.
+  std::string target;
+  /// CrashRestart: max crashes (default 1). SendTimeout: retry bound
+  /// (default 2). Ignored by the channel faults.
+  int budget{0};
+};
+
+struct ResilienceOptions {
+  VerifyOptions verify{};
+  /// Optional state invariant (a PML expression over the architecture's
+  /// globals and channels) checked under every fault model; empty =
+  /// assertions + deadlock only.
+  std::string invariant_text;
+  /// Also verify the fault-free architecture (recommended: a fault outcome
+  /// is only meaningful if the baseline passes).
+  bool include_baseline{true};
+  GenOptions gen{};
+};
+
+struct FaultOutcome {
+  FaultSpec fault;
+  std::string description;  // human-readable, e.g. "message loss on 'Link'"
+  SafetyOutcome outcome;
+
+  bool tolerated() const { return outcome.passed(); }
+};
+
+struct ResilienceReport {
+  std::string architecture;
+  std::optional<SafetyOutcome> baseline;
+  std::vector<FaultOutcome> faults;
+  /// Aggregate generation stats across all fault variants -- shows the
+  /// plug-and-play reuse (component models are generated once).
+  GenStats gen_stats;
+
+  bool baseline_passed() const { return !baseline || baseline->passed(); }
+  bool all_tolerated() const;
+  std::string report() const;
+};
+
+/// The standard fault suite: loss + duplication + reorder per connector,
+/// a SendTimeout per sender attachment, and a single-crash fault per
+/// component. Event-pool connectors are skipped (their per-subscriber
+/// queues are inherently lossy, and the pool never rejects a publish).
+std::vector<FaultSpec> default_fault_suite(const Architecture& arch);
+
+/// Verifies `arch` under each fault model in `faults`, plus the fault-free
+/// baseline. All variants share one ModelGenerator, so unchanged component
+/// and block models are built exactly once across the whole suite.
+ResilienceReport check_resilience(const Architecture& arch,
+                                  const std::vector<FaultSpec>& faults,
+                                  ResilienceOptions opts = {});
 
 }  // namespace pnp

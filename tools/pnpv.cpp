@@ -12,6 +12,17 @@
 //     --por                 partial-order reduction
 //     --bfs                 breadth-first (shortest counterexamples)
 //     --max-states N        search bound (default 20000000)
+//     --deadline S          wall-clock budget in seconds (partial result +
+//                           truncation reason when exceeded)
+//     --memory-mb N         approximate memory budget for the search
+//     --resilience          (.arch) verify under the default fault suite
+//                           (loss/duplication/reorder per connector, send
+//                           timeouts, single crash-restarts); exit 0 iff
+//                           every fault is tolerated
+//     --fault K:TARGET[:N]  (.arch, repeatable) replace the default suite
+//                           with the given faults; K is loss, duplication,
+//                           reorder, timeout (TARGET comp.port), or crash
+//                           (TARGET component); N = retry/crash budget
 //     --optimize            (.arch) substitute optimized connector models
 //     --dot                 (.arch) print the Graphviz rendering and exit
 //     --simulate N          print an N-step random simulation instead
@@ -53,7 +64,11 @@ struct Args {
   bool bfs = false;
   bool optimize = false;
   bool dot = false;
+  bool resilience = false;
+  std::vector<FaultSpec> fault_list;
   std::uint64_t max_states = 20'000'000;
+  double deadline = 0.0;
+  std::uint64_t memory_mb = 0;
   int simulate = 0;
   std::uint64_t seed = 1;
   bool msc = false;
@@ -66,7 +81,8 @@ struct Args {
       "usage: pnpv MODEL.pml|DESIGN.arch [--invariant E] [--end-invariant E]\n"
       "            [--prop NAME=E]... [--ltl F]... [--fair]\n"
       "            [--no-deadlock-check] [--por] [--bfs] [--max-states N]\n"
-      "            [--optimize] [--dot]\n"
+      "            [--deadline S] [--memory-mb N]\n"
+      "            [--optimize] [--dot] [--resilience [--fault K:T[:N]]...]\n"
       "            [--simulate N [--seed N] [--msc]]\n");
   std::exit(2);
 }
@@ -94,6 +110,33 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--optimize") a.optimize = true;
     else if (arg == "--dot") a.dot = true;
     else if (arg == "--max-states") a.max_states = std::stoull(value());
+    else if (arg == "--deadline") a.deadline = std::stod(value());
+    else if (arg == "--memory-mb") a.memory_mb = std::stoull(value());
+    else if (arg == "--resilience") a.resilience = true;
+    else if (arg == "--fault") {
+      const std::string v = value();
+      const std::size_t c1 = v.find(':');
+      if (c1 == std::string::npos) usage("--fault needs KIND:TARGET[:BUDGET]");
+      const std::string kind = v.substr(0, c1);
+      std::string rest = v.substr(c1 + 1);
+      FaultSpec f;
+      const std::size_t c2 = rest.rfind(':');
+      if (c2 != std::string::npos &&
+          rest.find_first_not_of("0123456789", c2 + 1) == std::string::npos &&
+          c2 + 1 < rest.size()) {
+        f.budget = std::stoi(rest.substr(c2 + 1));
+        rest = rest.substr(0, c2);
+      }
+      f.target = rest;
+      if (kind == "loss") f.kind = FaultKind::MessageLoss;
+      else if (kind == "duplication") f.kind = FaultKind::MessageDuplication;
+      else if (kind == "reorder") f.kind = FaultKind::MessageReorder;
+      else if (kind == "timeout") f.kind = FaultKind::SendTimeout;
+      else if (kind == "crash") f.kind = FaultKind::CrashRestart;
+      else usage(("unknown fault kind '" + kind + "'").c_str());
+      a.fault_list.push_back(std::move(f));
+      a.resilience = true;
+    }
     else if (arg == "--simulate") a.simulate = std::stoi(value());
     else if (arg == "--seed") a.seed = std::stoull(value());
     else if (arg == "--msc") a.msc = true;
@@ -117,12 +160,16 @@ std::string slurp(const std::string& path) {
 }
 
 void print_stats(const explore::Stats& st) {
+  const std::string note =
+      st.complete ? std::string()
+                  : std::string("  [truncated: ") +
+                        explore::truncation_reason_name(st.truncation) + "]";
   std::printf("  states stored: %llu, matched: %llu, transitions: %llu, "
               "%.2f ms%s\n",
               static_cast<unsigned long long>(st.states_stored),
               static_cast<unsigned long long>(st.states_matched),
               static_cast<unsigned long long>(st.transitions),
-              st.seconds * 1e3, st.complete ? "" : "  [search truncated]");
+              st.seconds * 1e3, note.c_str());
 }
 
 using ExprParser = std::function<expr::Ref(const std::string&)>;
@@ -152,6 +199,8 @@ int run_checks(const Args& args, const kernel::Machine& m,
     opt.check_deadlock = args.deadlock_check;
     opt.por = args.por;
     opt.bfs = args.bfs;
+    opt.deadline_seconds = args.deadline;
+    opt.memory_budget_bytes = args.memory_mb * (std::uint64_t{1} << 20);
     if (!args.invariant.empty()) {
       opt.invariant = parse_expr(args.invariant);
       opt.invariant_name = args.invariant;
@@ -210,6 +259,25 @@ int main(int argc, char** argv) {
       if (args.dot) {
         std::printf("%s", arch.to_dot().c_str());
         return 0;
+      }
+      if (args.resilience) {
+        ResilienceOptions ropt;
+        ropt.verify.max_states = args.max_states;
+        ropt.verify.check_deadlock = args.deadlock_check;
+        ropt.verify.por = args.por;
+        ropt.verify.bfs = args.bfs;
+        ropt.verify.deadline_seconds = args.deadline;
+        ropt.verify.memory_budget_bytes =
+            args.memory_mb * (std::uint64_t{1} << 20);
+        ropt.invariant_text = args.invariant;
+        ropt.gen.optimize_connectors = args.optimize;
+        const ResilienceReport rep = check_resilience(
+            arch,
+            args.fault_list.empty() ? default_fault_suite(arch)
+                                    : args.fault_list,
+            ropt);
+        std::printf("%s", rep.report().c_str());
+        return rep.baseline_passed() && rep.all_tolerated() ? 0 : 1;
       }
       ModelGenerator gen;
       const kernel::Machine m =
