@@ -1,0 +1,128 @@
+// Parallel-exploration throughput: states/second of the sharded exact
+// engine across a thread sweep, plus the seeded bitstate swarm, on the
+// optimized v1 bridge. Doubles as an end-to-end determinism check: every
+// complete exact run must store exactly the same number of states.
+//
+//   bench_parallel [--quick] [--json]
+//
+// --quick shrinks the instance for CI smoke runs; --json emits the rows as
+// a JSON array ({bench, threads, states, states_per_sec, wall_seconds})
+// consumed by scripts/bench.sh and uploaded as the CI bench artifact.
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bridge/bridge.h"
+#include "common.h"
+#include "explore/explorer.h"
+
+using namespace pnp;
+using namespace pnp::benchutil;
+using namespace pnp::bridge;
+
+namespace {
+
+struct Row {
+  std::string bench;
+  int threads{1};
+  std::uint64_t states{0};
+  double wall{0.0};
+
+  double states_per_sec() const {
+    return static_cast<double>(states) / std::max(wall, 1e-9);
+  }
+};
+
+explore::Result run(const kernel::Machine& m, expr::Ref inv, int threads,
+                    bool bitstate) {
+  explore::Options opt;
+  opt.want_trace = false;
+  opt.invariant = inv;
+  opt.invariant_name = "safety";
+  opt.threads = threads;
+  opt.bitstate = bitstate;
+  if (bitstate) opt.bitstate_bytes = std::uint64_t{1} << 24;
+  return explore::explore(m, opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else {
+      std::fprintf(stderr, "usage: bench_parallel [--quick] [--json]\n");
+      return 2;
+    }
+  }
+
+  BridgeConfig cfg;
+  cfg.cars_per_side = quick ? 1 : 2;
+  cfg.batch_n = 1;
+  ModelGenerator gen;
+  Architecture arch = make_v1(cfg);
+  const kernel::Machine m =
+      gen.generate(arch, {.optimize_connectors = true});
+  const expr::Ref inv = safety_invariant(gen).ref;
+
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> sweep{1};
+  if (hw >= 2) sweep.push_back(2);
+  if (hw > 2) sweep.push_back(hw);
+
+  std::vector<Row> rows;
+  bool ok = true;
+  std::uint64_t seq_states = 0;
+  for (const int t : sweep) {
+    const explore::Result r = run(m, inv, t, false);
+    ok = ok && r.ok() && r.stats.complete;
+    if (t == 1) seq_states = r.stats.states_stored;
+    else ok = ok && r.stats.states_stored == seq_states;
+    rows.push_back({"bridge_exact", t, r.stats.states_stored,
+                    r.stats.seconds});
+  }
+  {
+    const int t = quick ? 2 : std::min(hw, 4);
+    const explore::Result r = run(m, inv, t, true);
+    ok = ok && r.ok();
+    rows.push_back({"bridge_swarm", t, r.stats.states_stored,
+                    r.stats.seconds});
+  }
+
+  if (json) {
+    std::printf("[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::printf("  {\"bench\": \"%s\", \"threads\": %d, \"states\": %llu, "
+                  "\"states_per_sec\": %.1f, \"wall_seconds\": %.6f}%s\n",
+                  r.bench.c_str(), r.threads,
+                  static_cast<unsigned long long>(r.states),
+                  r.states_per_sec(), r.wall, i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("]\n");
+  } else {
+    std::printf("parallel exploration throughput (v1 bridge, %d car(s)/side, "
+                "optimized blocks)\n\n",
+                cfg.cars_per_side);
+    print_header({"bench", "threads", "states", "states/sec", "time"},
+                 {14, 9, 12, 14, 12});
+    for (const Row& r : rows) {
+      print_cell(r.bench, 14);
+      print_cell(std::to_string(r.threads), 9);
+      print_cell(std::to_string(r.states), 12);
+      print_cell(std::to_string(static_cast<long long>(r.states_per_sec())),
+                 14);
+      print_cell(fmt_ms(r.wall) + " ms", 12);
+      std::printf("\n");
+    }
+    std::printf("\nexact runs stored identical state counts at every thread "
+                "count: %s\n",
+                verdict(ok).c_str());
+  }
+  return ok ? 0 : 1;
+}

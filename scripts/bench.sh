@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Benchmark runner: builds the Release tree and runs the parallel-exploration
+# throughput bench, writing machine-readable results as JSON.
+#
+#   scripts/bench.sh                 # full run, results in BENCH.json
+#   scripts/bench.sh --smoke         # quick CI-sized run -> BENCH_ci.json
+#   scripts/bench.sh --out FILE.json # choose the output path
+#
+# Rows: {"bench", "threads", "states", "states_per_sec", "wall_seconds"}.
+# The bench exits non-zero if any run fails verification or the exact runs
+# disagree on state counts across thread counts, so this doubles as a
+# determinism gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+smoke=0
+out=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke=1 ;;
+    --out) out="$2"; shift ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE.json]" >&2; exit 2 ;;
+  esac
+  shift
+done
+if [[ -z "$out" ]]; then
+  out=$([[ $smoke -eq 1 ]] && echo BENCH_ci.json || echo BENCH.json)
+fi
+
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench -j --target bench_parallel
+
+args=(--json)
+[[ $smoke -eq 1 ]] && args+=(--quick)
+./build-bench/bench/bench_parallel "${args[@]}" | tee "$out"
+echo "wrote $out" >&2

@@ -3,9 +3,11 @@
 #
 #   scripts/check.sh               # plain RelWithDebInfo build + ctest
 #   scripts/check.sh --sanitize    # additional ASan+UBSan build + ctest
+#   scripts/check.sh --tsan        # additional TSan build running the
+#                                  # multi-threaded exploration tests
 #
-# The sanitized pass uses a separate build tree (build-asan) so it never
-# perturbs the primary build/ directory.
+# Each sanitized pass uses its own build tree (build-asan / build-tsan) so
+# it never perturbs the primary build/ directory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,4 +20,15 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   cmake --build build-asan -j
   UBSAN_OPTIONS=print_stacktrace=1 ASAN_OPTIONS=detect_leaks=1 \
     ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  # Race detection focused on the code that actually runs threads: the
+  # parallel explorer suite, the explorer regression suite, and the
+  # threaded pnpv smoke runs.
+  cmake -B build-tsan -S . -DPNP_SANITIZE=thread
+  cmake --build build-tsan -j --target test_parallel test_explore pnpv
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+      -R 'Parallel|Swarm|Explore|pnpv\.threads'
 fi

@@ -1,11 +1,14 @@
 #include "explore/explorer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "explore/por.h"
+#include "explore/visited.h"
 #include "support/hash.h"
 #include "support/panic.h"
 
@@ -43,66 +46,35 @@ using kernel::State;
 using kernel::Step;
 using kernel::Succ;
 
-/// Visited-state store: exact hash set, or double-bit Bloom filter in
-/// bitstate (supertrace) mode.
-class VisitedSet {
- public:
-  VisitedSet(bool bitstate, std::uint64_t bytes) : bitstate_(bitstate) {
-    if (bitstate_) bits_.assign(bytes, 0);
+/// Deterministic per-state successor shuffle for swarm workers: seeded by
+/// (worker seed, state key hash) so regenerating a DFS frame's successor
+/// list reproduces the exact same order.
+void permute_succs(std::vector<Succ>& succs, std::uint64_t perm_seed,
+                   const std::string& key) {
+  if (succs.size() < 2) return;
+  std::uint64_t x = avalanche64(
+      perm_seed ^ hash_bytes({reinterpret_cast<const std::uint8_t*>(key.data()),
+                              key.size()}));
+  for (std::size_t i = succs.size() - 1; i > 0; --i) {
+    // xorshift64* step, then reduce; bias is irrelevant here
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    const std::size_t j =
+        static_cast<std::size_t>((x * 0x2545f4914f6cdd1dull) % (i + 1));
+    std::swap(succs[i], succs[j]);
   }
-
-  /// Returns true if `key` was not present before (and records it).
-  bool insert(const std::string& key) {
-    if (!bitstate_) {
-      const bool fresh = set_.insert(key).second;
-      if (fresh) key_bytes_ += key.size();
-      return fresh;
-    }
-    const std::span<const std::uint8_t> bytes(
-        reinterpret_cast<const std::uint8_t*>(key.data()), key.size());
-    const std::uint64_t nbits = bits_.size() * 8;
-    const std::uint64_t b1 = hash_bytes(bytes) % nbits;
-    const std::uint64_t b2 = hash_bytes2(bytes) % nbits;
-    const bool seen = get_bit(b1) && get_bit(b2);
-    set_bit(b1);
-    set_bit(b2);
-    if (!seen) ++approx_count_;
-    return !seen;
-  }
-
-  std::uint64_t size() const {
-    return bitstate_ ? approx_count_ : set_.size();
-  }
-
-  /// Rough memory footprint: the bit array in bitstate mode; key bytes plus
-  /// an estimated per-entry node/bucket overhead for the exact set.
-  std::uint64_t approx_bytes() const {
-    if (bitstate_) return bits_.size();
-    return key_bytes_ + set_.size() * kEntryOverhead;
-  }
-
- private:
-  // unordered_set node: hash, next pointer, std::string header, bucket
-  // share. 64 bytes is a deliberate slight overestimate so memory-budget
-  // truncation errs on the safe side.
-  static constexpr std::uint64_t kEntryOverhead = 64;
-
-  bool get_bit(std::uint64_t i) const {
-    return (bits_[i >> 3] >> (i & 7)) & 1;
-  }
-  void set_bit(std::uint64_t i) { bits_[i >> 3] |= std::uint8_t(1u << (i & 7)); }
-
-  bool bitstate_;
-  std::vector<std::uint8_t> bits_;
-  std::unordered_set<std::string> set_;
-  std::uint64_t approx_count_ = 0;
-  std::uint64_t key_bytes_ = 0;
-};
+}
 
 class Run {
  public:
-  Run(const Machine& m, const Options& opt)
-      : m_(m), opt_(opt), visited_(opt.bitstate, opt.bitstate_bytes) {}
+  Run(const Machine& m, const Options& opt, std::uint64_t perm_seed = 0,
+      std::uint64_t bitstate_seed = 0, const std::atomic<bool>* stop = nullptr)
+      : m_(m),
+        opt_(opt),
+        visited_(opt.bitstate, opt.bitstate_bytes, bitstate_seed),
+        perm_seed_(perm_seed),
+        stop_(stop) {}
 
   Result go() {
     start_ = std::chrono::steady_clock::now();
@@ -246,6 +218,10 @@ class Run {
     const std::uint64_t per_frame_bytes =
         sizeof(Frame) + 2 * state_bytes();  // state vector + encoded key
     while (!stack.empty()) {
+      if (stopped()) {
+        complete_ = false;
+        break;
+      }
       if (over_budget(stack.size() * per_frame_bytes)) break;
       const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(stack.size()) - 1;
       Frame& f = stack[static_cast<std::size_t>(idx)];
@@ -256,6 +232,7 @@ class Run {
           por_expand(m_, f.state, f.por_choice, succs);
         else
           m_.successors(f.state, succs);
+        if (perm_seed_ != 0) permute_succs(succs, perm_seed_, f.key);
         succs_for = idx;
         if (!f.checked) {
           f.checked = true;
@@ -345,6 +322,10 @@ class Run {
     std::vector<Succ> succs;
     for (std::int64_t head = 0; head < static_cast<std::int64_t>(nodes.size());
          ++head) {
+      if (stopped()) {
+        complete_ = false;
+        break;
+      }
       if (over_budget(nodes.size() * per_node_bytes)) break;
       succs.clear();
       if (opt_.por)
@@ -352,6 +333,10 @@ class Run {
                        nullptr);
       else
         m_.successors(nodes[static_cast<std::size_t>(head)].state, succs);
+      if (perm_seed_ != 0)
+        permute_succs(
+            succs, perm_seed_,
+            kernel::encode_key(nodes[static_cast<std::size_t>(head)].state));
       transitions_ += succs.size();
       if (auto v = check_state(nodes[static_cast<std::size_t>(head)].state,
                                !succs.empty())) {
@@ -393,9 +378,15 @@ class Run {
 
   static constexpr std::uint64_t kBudgetCheckStride = 1024;
 
+  bool stopped() const {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+  }
+
   const Machine& m_;
   const Options& opt_;
   VisitedSet visited_;
+  std::uint64_t perm_seed_ = 0;
+  const std::atomic<bool>* stop_ = nullptr;
   std::uint64_t matched_ = 0;
   std::uint64_t transitions_ = 0;
   std::uint64_t budget_tick_ = 0;
@@ -408,9 +399,31 @@ class Run {
 
 }  // namespace
 
-Result explore(const kernel::Machine& m, const Options& opt) {
-  Run run(m, opt);
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace detail {
+
+Result run_single(const kernel::Machine& m, const Options& opt,
+                  std::uint64_t perm_seed, std::uint64_t bitstate_seed,
+                  const std::atomic<bool>* stop) {
+  Run run(m, opt, perm_seed, bitstate_seed, stop);
   return run.go();
+}
+
+}  // namespace detail
+
+Result explore(const kernel::Machine& m, const Options& opt) {
+  const int threads = resolve_threads(opt.threads);
+  if (threads <= 1) {
+    Run run(m, opt);
+    return run.go();
+  }
+  return opt.bitstate ? detail::run_swarm(m, opt, threads)
+                      : detail::run_parallel(m, opt, threads);
 }
 
 }  // namespace pnp::explore

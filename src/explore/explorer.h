@@ -12,9 +12,11 @@
 // and double-bit bitstate hashing for very large spaces.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "kernel/machine.h"
 #include "trace/trace.h"
@@ -43,6 +45,15 @@ struct Options {
   double deadline_seconds = 0.0;
   /// Approximate cap on search memory (visited set + frontier); 0 disables.
   std::uint64_t memory_budget_bytes = 0;
+  /// Worker threads for the search. 1 (the default) runs the sequential
+  /// engine, bit-for-bit identical to prior behavior; 0 means hardware
+  /// concurrency. With more than one thread, exact mode uses a sharded
+  /// (lock-striped) visited set with a work-stealing frontier -- verdicts
+  /// and, for complete runs, reached-state counts are independent of the
+  /// thread count (counterexample trails may differ). Bitstate mode becomes
+  /// swarm search: N independently seeded bitstate searches run concurrently
+  /// and their verdicts are merged.
+  int threads = 1;
 };
 
 /// Why an exploration stopped before covering the full state space.
@@ -71,6 +82,15 @@ struct Violation {
   trace::Trace trace;
 };
 
+/// One worker's slice of the merged totals in `Stats` (parallel/swarm runs).
+struct WorkerStats {
+  std::uint64_t states_stored = 0;  // fresh states this worker inserted
+  std::uint64_t states_matched = 0;
+  std::uint64_t transitions = 0;
+  int max_depth_reached = 0;
+  double seconds = 0.0;
+};
+
 struct Stats {
   std::uint64_t states_stored = 0;
   std::uint64_t states_matched = 0;
@@ -84,6 +104,12 @@ struct Stats {
   TruncationReason truncation = TruncationReason::None;
   /// Rough bytes held by the visited set and frontier at the end of the run.
   std::uint64_t approx_memory_bytes = 0;
+  /// Worker threads the search actually used.
+  int threads = 1;
+  /// Per-worker breakdown; empty for single-threaded runs. The totals above
+  /// are the merged view (states_stored is the deduplicated global count in
+  /// exact mode and the per-filter sum in swarm mode).
+  std::vector<WorkerStats> workers;
 };
 
 struct Result {
@@ -96,5 +122,30 @@ struct Result {
 const char* violation_kind_name(ViolationKind k);
 
 Result explore(const kernel::Machine& m, const Options& opt = {});
+
+/// Resolves an `Options::threads`-style request: 0 = hardware concurrency,
+/// anything else clamped to >= 1.
+int resolve_threads(int requested);
+
+namespace detail {
+
+/// Single-threaded engine with swarm hooks: `perm_seed != 0` permutes every
+/// state's successor order with a deterministic per-state shuffle,
+/// `bitstate_seed` perturbs the Bloom hash functions, and a set `stop` flag
+/// aborts the search cooperatively. explore() uses (0, 0, nullptr), which is
+/// exactly the historical sequential search.
+Result run_single(const kernel::Machine& m, const Options& opt,
+                  std::uint64_t perm_seed, std::uint64_t bitstate_seed,
+                  const std::atomic<bool>* stop);
+
+/// Exact parallel reachability: sharded visited set + work-stealing frontier.
+Result run_parallel(const kernel::Machine& m, const Options& opt, int threads);
+
+/// Swarm mode: N independently seeded bitstate searches run concurrently;
+/// a violation found by any worker stops the swarm, otherwise every filter
+/// runs to completion and coverage is the union.
+Result run_swarm(const kernel::Machine& m, const Options& opt, int threads);
+
+}  // namespace detail
 
 }  // namespace pnp::explore

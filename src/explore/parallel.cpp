@@ -1,0 +1,446 @@
+// Multi-core exploration engines.
+//
+// Exact mode (run_parallel): every worker owns a deque of pending states
+// and steals from its peers when it runs dry; the visited set is the
+// lock-striped ShardedVisitedSet, so the reached-state set -- and therefore
+// the verdict and the stored-state count of a complete run -- is identical
+// at every thread count. Counterexamples are reconstructed from per-worker
+// parent-edge arenas after the winning worker flags a violation, so trails
+// stay exact (their shape may differ run to run; the verdict may not).
+//
+// Atomic regions and rendezvous handshakes never interleave across workers
+// by construction: Machine::successors() expands a whole state at a time --
+// an atomic region is carried IN the state (atomic_pid) and a handshake is
+// a single composite step -- so one worker always computes the complete
+// successor bundle of the state it popped.
+//
+// Swarm mode (run_swarm): N fully independent bitstate searches, each with
+// its own Bloom filter seed and a deterministic per-state successor
+// shuffle. A violation found by any worker stops the swarm; otherwise every
+// filter runs to completion and coverage is the union of the filters.
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "explore/explorer.h"
+#include "explore/por.h"
+#include "explore/visited.h"
+#include "support/hash.h"
+
+namespace pnp::explore {
+namespace detail {
+
+namespace {
+
+using kernel::Machine;
+using kernel::State;
+using kernel::Step;
+using kernel::Succ;
+
+constexpr std::uint64_t kNoGid = ~std::uint64_t{0};
+
+class ParallelRun {
+ public:
+  ParallelRun(const Machine& m, const Options& opt, int threads)
+      : m_(m), opt_(opt), n_(threads), workers_(static_cast<std::size_t>(threads)) {}
+
+  Result go() {
+    start_ = std::chrono::steady_clock::now();
+    seed_root();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n_));
+    for (int w = 0; w < n_; ++w)
+      threads.emplace_back([this, w] { work(w); });
+    for (std::thread& t : threads) t.join();
+    return finish();
+  }
+
+ private:
+  /// A pending state. `gid` indexes the parent-edge arena entry recorded for
+  /// it (kNoGid for the root, or always when traces are off); `depth` is the
+  /// BFS/DFS depth for max_depth accounting.
+  struct Item {
+    State state;
+    std::uint64_t gid = kNoGid;
+    std::uint32_t depth = 0;
+  };
+
+  /// Parent edge for counterexample reconstruction. Owner-written during the
+  /// search, read only after all workers joined.
+  struct Node {
+    std::uint64_t parent = kNoGid;
+    Step in_step;
+  };
+
+  struct alignas(64) Worker {
+    std::mutex mu;
+    std::deque<Item> queue;
+    std::deque<Node> nodes;  // stable addresses; grows only
+    WorkerStats stats;
+    std::uint64_t budget_tick = 0;
+    std::vector<Succ> succs;  // scratch
+  };
+
+  /// First violation wins; everything needed to rebuild the trail after the
+  /// workers joined.
+  struct Win {
+    Violation violation;
+    std::uint64_t gid = kNoGid;    // node of the state being expanded
+    std::optional<Succ> extra;     // assert step beyond that state, if any
+    State final_state;
+  };
+
+  static std::uint64_t make_gid(int w, std::uint64_t index) {
+    return (static_cast<std::uint64_t>(w) << 40) | index;
+  }
+
+  void seed_root() {
+    Item root;
+    root.state = m_.initial();
+    const std::string key = kernel::encode_key(root.state);
+    visited_.insert(key, ShardedVisitedSet::hash_key(key));
+    inflight_.store(1, std::memory_order_relaxed);
+    workers_[0].queue.push_back(std::move(root));
+  }
+
+  bool pop_own(Worker& me, Item& out) {
+    std::lock_guard<std::mutex> lock(me.mu);
+    if (me.queue.empty()) return false;
+    if (opt_.bfs) {
+      out = std::move(me.queue.front());
+      me.queue.pop_front();
+    } else {
+      out = std::move(me.queue.back());
+      me.queue.pop_back();
+    }
+    return true;
+  }
+
+  bool steal(int w, Item& out) {
+    for (int i = 1; i < n_; ++i) {
+      Worker& victim = workers_[static_cast<std::size_t>((w + i) % n_)];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (victim.queue.empty()) continue;
+      // steal the oldest item: closest to the root, largest subtree
+      out = std::move(victim.queue.front());
+      victim.queue.pop_front();
+      return true;
+    }
+    return false;
+  }
+
+  void push(Worker& me, Item item) {
+    inflight_.fetch_add(1, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(me.mu);
+    me.queue.push_back(std::move(item));
+  }
+
+  void work(int w) {
+    Worker& me = workers_[static_cast<std::size_t>(w)];
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!stop_.load(std::memory_order_relaxed)) {
+      Item item;
+      if (!pop_own(me, item) && !steal(w, item)) {
+        if (inflight_.load(std::memory_order_acquire) == 0) break;
+        std::this_thread::yield();
+        continue;
+      }
+      expand(w, me, item);
+      inflight_.fetch_sub(1, std::memory_order_release);
+    }
+    me.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
+  /// Deadline / memory check, amortized per worker.
+  bool over_budget(Worker& me) {
+    if (opt_.deadline_seconds <= 0.0 && opt_.memory_budget_bytes == 0)
+      return false;
+    if (++me.budget_tick % kBudgetCheckStride != 0) return false;
+    if (opt_.deadline_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count();
+      if (elapsed >= opt_.deadline_seconds) {
+        truncate(TruncationReason::Deadline);
+        return true;
+      }
+    }
+    if (opt_.memory_budget_bytes > 0 &&
+        approx_memory() >= opt_.memory_budget_bytes) {
+      truncate(TruncationReason::MemoryBudget);
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t approx_memory() const {
+    // Frontier + arenas, estimated from atomic counters only (per-worker
+    // containers are not safely readable cross-thread): every in-flight item
+    // carries a state, and every stored state has at most one arena node.
+    const std::uint64_t state_bytes =
+        static_cast<std::uint64_t>(m_.layout().size()) * sizeof(kernel::Value);
+    const auto inflight =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, inflight_.load(std::memory_order_relaxed)));
+    std::uint64_t bytes = visited_.approx_bytes() +
+                          inflight * (sizeof(Item) + state_bytes);
+    if (opt_.want_trace) bytes += visited_.size() * sizeof(Node);
+    return bytes;
+  }
+
+  void truncate(TruncationReason why) {
+    std::lock_guard<std::mutex> lock(trunc_mu_);
+    complete_ = false;
+    if (truncation_ == TruncationReason::None) truncation_ = why;
+    if (why == TruncationReason::Deadline ||
+        why == TruncationReason::MemoryBudget)
+      stop_.store(true, std::memory_order_relaxed);  // hard budget: stop all
+  }
+
+  /// Per-state checks, identical to the sequential engine's.
+  std::optional<Violation> check_state(const State& s, bool has_succ) const {
+    if (opt_.invariant != expr::kNoExpr &&
+        m_.eval_global(opt_.invariant, s) == 0) {
+      Violation v;
+      v.kind = ViolationKind::InvariantViolated;
+      v.message = "invariant violated" +
+                  (opt_.invariant_name.empty() ? std::string()
+                                               : ": " + opt_.invariant_name);
+      return v;
+    }
+    if (opt_.check_deadlock && !has_succ && !m_.is_valid_end(s)) {
+      Violation v;
+      v.kind = ViolationKind::Deadlock;
+      v.message = "no executable transition and not all processes at a "
+                  "valid end state";
+      return v;
+    }
+    if (opt_.end_invariant != expr::kNoExpr && !has_succ &&
+        m_.eval_global(opt_.end_invariant, s) == 0) {
+      Violation v;
+      v.kind = ViolationKind::EndInvariantViolated;
+      v.message =
+          "terminal state violates end invariant" +
+          (opt_.end_invariant_name.empty()
+               ? std::string()
+               : ": " + opt_.end_invariant_name);
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  void record_violation(Violation v, std::uint64_t gid,
+                        const Succ* extra, const State& final_state) {
+    {
+      std::lock_guard<std::mutex> lock(win_mu_);
+      if (winner_) return;  // first worker wins; verdict is the same either way
+      Win win;
+      win.violation = std::move(v);
+      win.gid = gid;
+      if (extra) win.extra = *extra;
+      win.final_state = final_state;
+      winner_ = std::move(win);
+    }
+    stop_.store(true, std::memory_order_release);
+  }
+
+  void expand(int w, Worker& me, Item& item) {
+    if (over_budget(me)) return;
+    me.succs.clear();
+    if (opt_.por) {
+      // BFS-style ample choice (no cycle proviso): a pure function of the
+      // state, so the reduced graph -- and the reached-state count -- does
+      // not depend on thread count or interleaving.
+      const int choice = por_choose(m_, item.state, nullptr);
+      por_expand(m_, item.state, choice, me.succs);
+    } else {
+      m_.successors(item.state, me.succs);
+    }
+    me.stats.transitions += me.succs.size();
+    me.stats.max_depth_reached =
+        std::max(me.stats.max_depth_reached, static_cast<int>(item.depth));
+    if (auto v = check_state(item.state, !me.succs.empty())) {
+      record_violation(std::move(*v), item.gid, nullptr, item.state);
+      return;
+    }
+    for (Succ& succ : me.succs) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      if (succ.second.assert_failed) {
+        Violation v;
+        v.kind = ViolationKind::AssertFailed;
+        v.message = "assertion failed: " + m_.describe_step(succ.second);
+        record_violation(std::move(v), item.gid, &succ, succ.first);
+        return;
+      }
+      const std::string key = kernel::encode_key(succ.first);
+      const std::uint64_t h = ShardedVisitedSet::hash_key(key);
+      if (!visited_.insert(key, h)) {
+        ++me.stats.states_matched;
+        continue;
+      }
+      ++me.stats.states_stored;
+      if (visited_.size() >= opt_.max_states) {
+        truncate(TruncationReason::MaxStates);
+        continue;  // stored, but not expanded: same as the sequential engine
+      }
+      if (item.depth + 1 > static_cast<std::uint32_t>(opt_.max_depth)) {
+        truncate(TruncationReason::MaxDepth);
+        continue;
+      }
+      Item next;
+      next.state = std::move(succ.first);
+      next.depth = item.depth + 1;
+      if (opt_.want_trace) {
+        next.gid = make_gid(w, me.nodes.size());
+        me.nodes.push_back({item.gid, succ.second});
+      }
+      push(me, std::move(next));
+    }
+  }
+
+  trace::Trace rebuild_trace(const Win& win) const {
+    trace::Trace t;
+    if (!opt_.want_trace) return t;
+    std::vector<const Step*> rev;
+    for (std::uint64_t gid = win.gid; gid != kNoGid;) {
+      const Worker& owner = workers_[static_cast<std::size_t>(gid >> 40)];
+      const Node& node =
+          owner.nodes[static_cast<std::size_t>(gid & ((std::uint64_t{1} << 40) - 1))];
+      rev.push_back(&node.in_step);
+      gid = node.parent;
+    }
+    for (auto it = rev.rbegin(); it != rev.rend(); ++it)
+      t.steps.push_back({**it, m_.describe_step(**it)});
+    if (win.extra)
+      t.steps.push_back({win.extra->second, m_.describe_step(win.extra->second)});
+    t.final_state = m_.format_state(win.final_state);
+    return t;
+  }
+
+  Result finish() {
+    Result r;
+    Stats& st = r.stats;
+    st.threads = n_;
+    st.states_stored = visited_.size();
+    std::uint64_t nodes_total = 0;
+    std::uint64_t queued = 0;
+    for (Worker& w : workers_) {
+      st.states_matched += w.stats.states_matched;
+      st.transitions += w.stats.transitions;
+      st.max_depth_reached =
+          std::max(st.max_depth_reached, w.stats.max_depth_reached);
+      st.workers.push_back(w.stats);
+      nodes_total += w.nodes.size();
+      queued += w.queue.size();
+    }
+    const std::uint64_t state_bytes =
+        static_cast<std::uint64_t>(m_.layout().size()) * sizeof(kernel::Value);
+    st.approx_memory_bytes = visited_.approx_bytes() +
+                             nodes_total * sizeof(Node) +
+                             queued * (sizeof(Item) + state_bytes);
+    st.complete = complete_;
+    st.truncation = truncation_;
+    if (winner_) {
+      r.violation = std::move(winner_->violation);
+      r.violation->trace = rebuild_trace(*winner_);
+    }
+    st.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    return r;
+  }
+
+  static constexpr std::uint64_t kBudgetCheckStride = 1024;
+
+  const Machine& m_;
+  const Options& opt_;
+  const int n_;
+  std::deque<Worker> workers_;
+
+  ShardedVisitedSet visited_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> inflight_{0};
+
+  std::mutex trunc_mu_;
+  bool complete_ = true;
+  TruncationReason truncation_ = TruncationReason::None;
+
+  std::mutex win_mu_;
+  std::optional<Win> winner_;
+
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace
+
+Result run_parallel(const kernel::Machine& m, const Options& opt,
+                    int threads) {
+  ParallelRun run(m, opt, threads);
+  return run.go();
+}
+
+Result run_swarm(const kernel::Machine& m, const Options& opt, int threads) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<bool> stop{false};
+  std::vector<Result> results(static_cast<std::size_t>(threads));
+  {
+    std::vector<std::thread> ts;
+    ts.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      ts.emplace_back([&, w] {
+        Options o = opt;
+        o.threads = 1;
+        // Worker 0 keeps the canonical order and hash functions, so the
+        // sequential bitstate verdict is always among the merged ones.
+        const std::uint64_t seed =
+            w == 0 ? 0 : avalanche64(0x5eed5eed5eedull + static_cast<std::uint64_t>(w));
+        Result r = run_single(m, o, seed, seed, &stop);
+        if (r.violation) stop.store(true, std::memory_order_release);
+        results[static_cast<std::size_t>(w)] = std::move(r);
+      });
+    }
+    for (std::thread& t : ts) t.join();
+  }
+
+  // Merge: a violation found by any worker is a real counterexample (the
+  // first one encountered wins); otherwise the verdict is the union of N
+  // probabilistic passes.
+  Result merged;
+  Stats& st = merged.stats;
+  st.threads = threads;
+  for (Result& r : results) {
+    if (r.violation && !merged.violation)
+      merged.violation = std::move(r.violation);
+    st.states_stored += r.stats.states_stored;
+    st.states_matched += r.stats.states_matched;
+    st.transitions += r.stats.transitions;
+    st.max_depth_reached =
+        std::max(st.max_depth_reached, r.stats.max_depth_reached);
+    st.approx_memory_bytes += r.stats.approx_memory_bytes;
+    st.workers.push_back({r.stats.states_stored, r.stats.states_matched,
+                          r.stats.transitions, r.stats.max_depth_reached,
+                          r.stats.seconds});
+    // A hard truncation in any worker outranks the ambient bitstate
+    // approximation, mirroring the sequential precedence.
+    if (r.stats.truncation != TruncationReason::None &&
+        r.stats.truncation != TruncationReason::BitstateApprox &&
+        st.truncation == TruncationReason::None)
+      st.truncation = r.stats.truncation;
+  }
+  st.complete = false;
+  if (st.truncation == TruncationReason::None)
+    st.truncation = TruncationReason::BitstateApprox;
+  st.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return merged;
+}
+
+}  // namespace detail
+}  // namespace pnp::explore

@@ -1,0 +1,151 @@
+// Visited-state stores for the exploration engines.
+//
+// Two families:
+//   * VisitedSet        -- the single-threaded store (exact hash set or
+//                          double-bit Bloom filter in bitstate mode), with an
+//                          optional hash seed so swarm workers can run
+//                          independently seeded bitstate searches;
+//   * ShardedVisitedSet -- the concurrent exact store used by the parallel
+//                          engine: lock-striped over the 64-bit state hash so
+//                          workers contend only when they land on the same
+//                          shard. Insertion is linearizable per key, and the
+//                          global count is an atomic, so max-states checks
+//                          stay cheap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "support/hash.h"
+
+namespace pnp::explore {
+
+/// Single-threaded visited-state store: exact hash set, or double-bit Bloom
+/// filter in bitstate (supertrace) mode. `seed` perturbs the bitstate hash
+/// functions; seed 0 reproduces the historical single-search behavior.
+class VisitedSet {
+ public:
+  VisitedSet(bool bitstate, std::uint64_t bytes, std::uint64_t seed = 0)
+      : bitstate_(bitstate), seed_(seed) {
+    if (bitstate_) bits_.assign(bytes, 0);
+  }
+
+  /// Returns true if `key` was not present before (and records it).
+  bool insert(const std::string& key) {
+    if (!bitstate_) {
+      const bool fresh = set_.insert(key).second;
+      if (fresh) key_bytes_ += key.size();
+      return fresh;
+    }
+    const std::span<const std::uint8_t> bytes(
+        reinterpret_cast<const std::uint8_t*>(key.data()), key.size());
+    const std::uint64_t nbits = bits_.size() * 8;
+    const std::uint64_t b1 =
+        (hash_bytes(bytes) ^ avalanche64(seed_)) % nbits;
+    const std::uint64_t b2 =
+        (hash_bytes2(bytes) + seed_ * kFnvPrime) % nbits;
+    const bool seen = get_bit(b1) && get_bit(b2);
+    set_bit(b1);
+    set_bit(b2);
+    if (!seen) ++approx_count_;
+    return !seen;
+  }
+
+  std::uint64_t size() const {
+    return bitstate_ ? approx_count_ : set_.size();
+  }
+
+  /// Rough memory footprint: the bit array in bitstate mode; key bytes plus
+  /// an estimated per-entry node/bucket overhead for the exact set.
+  std::uint64_t approx_bytes() const {
+    if (bitstate_) return bits_.size();
+    return key_bytes_ + set_.size() * kEntryOverhead;
+  }
+
+ private:
+  // unordered_set node: hash, next pointer, std::string header, bucket
+  // share. 64 bytes is a deliberate slight overestimate so memory-budget
+  // truncation errs on the safe side.
+  static constexpr std::uint64_t kEntryOverhead = 64;
+
+  bool get_bit(std::uint64_t i) const {
+    return (bits_[i >> 3] >> (i & 7)) & 1;
+  }
+  void set_bit(std::uint64_t i) { bits_[i >> 3] |= std::uint8_t(1u << (i & 7)); }
+
+  bool bitstate_;
+  std::uint64_t seed_;
+  std::vector<std::uint8_t> bits_;
+  std::unordered_set<std::string> set_;
+  std::uint64_t approx_count_ = 0;
+  std::uint64_t key_bytes_ = 0;
+};
+
+/// Concurrent exact visited set, lock-striped into 64 shards selected by the
+/// top bits of the state-key hash (the bottom bits feed the shard-local
+/// unordered_set, so the two uses stay independent).
+class ShardedVisitedSet {
+ public:
+  ShardedVisitedSet() : shards_(kShards) {}
+
+  static std::uint64_t hash_key(const std::string& key) {
+    return hash_bytes(
+        {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()});
+  }
+
+  /// Returns true if `key` was not present (and records it). `h` must be
+  /// hash_key(key); callers always have it already for sharding.
+  bool insert(const std::string& key, std::uint64_t h) {
+    Shard& sh = shards_[shard_of(h)];
+    bool fresh;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      fresh = sh.set.insert(key).second;
+    }
+    if (fresh) {
+      // Atomic (not under the shard lock) so approx_bytes() can read the
+      // counters without taking every lock.
+      sh.key_bytes.fetch_add(key.size(), std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fresh;
+  }
+
+  std::uint64_t size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Rough footprint across all shards. Taken without locks: the per-shard
+  /// byte counters are only ever increased, so a racy read can only
+  /// under-estimate by the entries being inserted right now.
+  std::uint64_t approx_bytes() const {
+    std::uint64_t bytes = 0;
+    for (const Shard& sh : shards_)
+      bytes += sh.key_bytes.load(std::memory_order_relaxed);
+    return bytes + size() * kEntryOverhead;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  static constexpr std::uint64_t kEntryOverhead = 64;
+
+  static std::size_t shard_of(std::uint64_t h) {
+    return static_cast<std::size_t>(h >> 58);  // top 6 bits
+  }
+
+  // Cache-line aligned so neighboring shard locks don't false-share.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::unordered_set<std::string> set;
+    std::atomic<std::uint64_t> key_bytes{0};
+  };
+
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace pnp::explore

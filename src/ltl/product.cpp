@@ -1,9 +1,14 @@
 #include "ltl/product.h"
 
+#include <atomic>
 #include <chrono>
+#include <optional>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "support/hash.h"
 #include "support/panic.h"
 
 namespace pnp::ltl {
@@ -22,6 +27,22 @@ struct ProdSucc {
   bool stutter{false};
 };
 
+/// Deterministic Fisher-Yates driven by xorshift64*: racing workers diversify
+/// their DFS order without giving up reproducibility (the same (state, seed)
+/// always yields the same order, so regenerating a frame's successor list on
+/// stack resume sees identical indices).
+void shuffle_succs(std::vector<ProdSucc>& v, std::uint64_t seed) {
+  std::uint64_t x = seed ? seed : 0x9e3779b97f4a7c15ull;
+  auto next = [&x]() {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    return x * 0x2545F4914F6CDD1Dull;
+  };
+  for (std::size_t i = v.size(); i > 1; --i)
+    std::swap(v[i - 1], v[next() % i]);
+}
+
 // The product automaton of system x Buchi automaton, optionally unfolded
 // into #processes + 2 copies for weak fairness (Choueka construction,
 // as in SPIN's -f):
@@ -35,13 +56,20 @@ struct ProdSucc {
 class ProductSearch {
  public:
   ProductSearch(const Machine& m, const PropertyContext& ctx,
-                const BuchiAutomaton& ba, const CheckOptions& opt)
-      : m_(m), ctx_(ctx), ba_(ba), opt_(opt) {
+                const BuchiAutomaton& ba, const CheckOptions& opt,
+                std::uint64_t perm_seed = 0,
+                const std::atomic<bool>* stop = nullptr)
+      : m_(m), ctx_(ctx), ba_(ba), opt_(opt), perm_seed_(perm_seed),
+        stop_(stop) {
     PNP_CHECK(ctx.size() <= 64, "at most 64 propositions supported");
     PNP_CHECK(!opt.weak_fairness || m.n_processes() <= 62,
               "weak fairness supports at most 62 processes");
     n_copies_ = opt.weak_fairness ? m.n_processes() + 2 : 1;
   }
+
+  /// True when the run was cancelled by the shared stop flag (a sibling
+  /// worker finished first); the result is then meaningless.
+  bool aborted() const { return aborted_; }
 
   LtlResult run() {
     const auto t0 = std::chrono::steady_clock::now();
@@ -138,6 +166,7 @@ class ProductSearch {
       for (int q2 : bq.out)
         if (label_sat(ba_.states[static_cast<std::size_t>(q2)], mask))
           out.push_back({s, q2, c2, Step{}, true});
+      permute(s, q, copy, out);
       return;
     }
     for (const kernel::Succ& succ : sys_succs_) {
@@ -148,6 +177,27 @@ class ProductSearch {
         if (label_sat(ba_.states[static_cast<std::size_t>(q2)], mask))
           out.push_back({succ.first, q2, c2, succ.second, false});
     }
+    permute(s, q, copy, out);
+  }
+
+  /// Per-state permutation for racing workers: seeded by the worker seed
+  /// mixed with the product state's own hash, so the order is a pure
+  /// function of (state, seed) and survives frame regeneration.
+  void permute(const State& s, int q, int copy, std::vector<ProdSucc>& out) {
+    if (perm_seed_ == 0 || out.size() < 2) return;
+    const std::string key = prod_key(s, q, copy);
+    const std::uint64_t h = hash_bytes(
+        {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()});
+    shuffle_succs(out, avalanche64(perm_seed_ ^ h));
+  }
+
+  bool stop_requested() {
+    if (stop_ && stop_->load(std::memory_order_relaxed)) {
+      aborted_ = true;
+      complete_ = false;
+      return true;
+    }
+    return false;
   }
 
   // As in the safety explorer, frames do not own successor lists: only the
@@ -180,6 +230,7 @@ class ProductSearch {
     std::ptrdiff_t succs_for = -1;
 
     while (!stack.empty()) {
+      if (stop_requested()) return false;
       const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(stack.size()) - 1;
       Frame& f = stack[static_cast<std::size_t>(idx)];
       if (succs_for != idx) {
@@ -246,6 +297,7 @@ class ProductSearch {
     std::ptrdiff_t succs_for = -1;
 
     while (!stack.empty()) {
+      if (stop_requested()) return false;
       const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(stack.size()) - 1;
       F2& f = stack[static_cast<std::size_t>(idx)];
       if (succs_for != idx) {
@@ -311,6 +363,8 @@ class ProductSearch {
   const PropertyContext& ctx_;
   const BuchiAutomaton& ba_;
   const CheckOptions& opt_;
+  std::uint64_t perm_seed_{0};
+  const std::atomic<bool>* stop_{nullptr};
   int n_copies_{1};
 
   std::unordered_set<std::string> visited1_;
@@ -318,6 +372,7 @@ class ProductSearch {
   std::vector<kernel::Succ> sys_succs_;
   std::uint64_t transitions_ = 0;
   bool complete_ = true;
+  bool aborted_ = false;
 };
 
 }  // namespace
@@ -327,8 +382,44 @@ LtlResult check_ltl(const kernel::Machine& m, FormulaPool& pool,
                     const CheckOptions& opt) {
   const FRef neg = pool.negate(phi);
   const BuchiAutomaton ba = build_buchi(pool, neg, &ctx);
-  ProductSearch search(m, ctx, ba, opt);
-  LtlResult r = search.run();
+  const int threads = explore::resolve_threads(opt.threads);
+  LtlResult r;
+  if (threads <= 1) {
+    ProductSearch search(m, ctx, ba, opt);
+    r = search.run();
+  } else {
+    // Racing workers over the shared read-only (machine, automaton): worker
+    // 0 runs the canonical order, the rest follow independently permuted
+    // DFS orders. The first to finish posts its result and cancels the
+    // rest -- sound because every worker's search is exact.
+    std::atomic<bool> stop{false};
+    std::atomic<int> winner{-1};
+    std::vector<std::optional<LtlResult>> results(
+        static_cast<std::size_t>(threads));
+    std::vector<std::thread> crew;
+    crew.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      crew.emplace_back([&, w] {
+        const std::uint64_t seed =
+            w == 0 ? 0
+                   : avalanche64(0x17e1'0ba5'e11eull +
+                                 static_cast<std::uint64_t>(w));
+        ProductSearch search(m, ctx, ba, opt, seed, &stop);
+        LtlResult wr = search.run();
+        if (search.aborted()) return;
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, w)) {
+          results[static_cast<std::size_t>(w)] = std::move(wr);
+          stop.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : crew) t.join();
+    const int w = winner.load();
+    PNP_CHECK(w >= 0, "check_ltl: no racing worker finished");
+    r = std::move(*results[static_cast<std::size_t>(w)]);
+    r.stats.threads = threads;
+  }
   r.formula_text = pool.to_string(phi, &ctx);
   return r;
 }

@@ -14,6 +14,13 @@ namespace pnp::ltl {
 struct CheckOptions {
   std::uint64_t max_states = 20'000'000;
   bool want_trace = true;
+  /// Racing nested-DFS workers: each explores the same product with an
+  /// independently permuted successor order and an exact private visited
+  /// set, so any worker that finishes is authoritative (a violation is a
+  /// real lasso; a complete violation-free search proves the property).
+  /// The first worker to finish wins and cancels the rest. 1 = the
+  /// historical sequential search, 0 = hardware concurrency.
+  int threads = 1;
   /// Enforce weak process fairness (SPIN's -f): only consider executions
   /// where every continuously-enabled process eventually moves. Implemented
   /// with the Choueka copy construction, multiplying the product by

@@ -195,4 +195,23 @@ void SystemSpec::validate() const {
   }
 }
 
+SystemSpec SystemSpec::snapshot() const {
+  SystemSpec out;
+  out.exprs = exprs;
+  out.globals = globals;
+  out.channels = channels;
+  out.proctypes.reserve(proctypes.size());
+  for (const ProcType& pt : proctypes) {
+    ProcType c;
+    c.name = pt.name;
+    c.params = pt.params;
+    c.locals = pt.locals;
+    c.body = clone(pt.body);
+    out.proctypes.push_back(std::move(c));
+  }
+  out.processes = processes;
+  out.mtypes = mtypes;
+  return out;
+}
+
 }  // namespace pnp::model

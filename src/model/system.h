@@ -70,6 +70,11 @@ class SystemSpec {
   /// Validates arities, slot ranges, and spawn argument counts; raises
   /// ModelError on the first problem found.
   void validate() const;
+
+  /// Deep copy. Proctype bodies are move-only statement trees, so the
+  /// implicit copy constructor is deleted; this clones them explicitly.
+  /// Expression Refs are pool indices and stay valid in the copy.
+  SystemSpec snapshot() const;
 };
 
 }  // namespace pnp::model

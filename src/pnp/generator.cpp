@@ -396,4 +396,18 @@ kernel::Machine ModelGenerator::generate(const Architecture& arch,
   return kernel::Machine(sys_, compiled_);
 }
 
+ModelGenerator::OwnedModel ModelGenerator::generate_owned(
+    const Architecture& arch, const std::string& invariant_text,
+    GenOptions opts) {
+  generate(arch, opts);  // build/reuse into sys_; discard the borrowed view
+  OwnedModel out;
+  // Parse before snapshotting so the invariant's pool indices exist in the
+  // copy (expr::Ref is an index, preserved verbatim by the SystemSpec copy).
+  if (!invariant_text.empty())
+    out.invariant = parse_expr_text(invariant_text).ref;
+  out.sys = std::make_unique<model::SystemSpec>(sys_.snapshot());
+  out.machine = std::make_unique<kernel::Machine>(*out.sys, compiled_);
+  return out;
+}
+
 }  // namespace pnp

@@ -14,6 +14,7 @@
 // GenStats exposes the build-vs-reuse counts that experiment E8 reports.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -85,6 +86,26 @@ class ModelGenerator {
   /// (Re)generates the model for `arch`. The returned Machine borrows this
   /// generator's SystemSpec: it is invalidated by the next generate() call.
   kernel::Machine generate(const Architecture& arch, GenOptions opts = {});
+
+  /// Self-contained model snapshot: the Machine references the bundled
+  /// SystemSpec copy instead of the generator's live one, so it survives
+  /// later generate() calls and can be verified on another thread.
+  struct OwnedModel {
+    std::unique_ptr<model::SystemSpec> sys;
+    std::unique_ptr<kernel::Machine> machine;
+    /// Parsed `invariant_text`, interned in `sys->exprs` (kNoExpr if the
+    /// text was empty).
+    expr::Ref invariant{expr::kNoExpr};
+  };
+
+  /// Like generate(), but returns an owned snapshot. Generation still goes
+  /// through this generator's caches (so block/component reuse works across
+  /// snapshots); only the cheap final copy is per-snapshot. Not itself
+  /// thread-safe -- generate sequentially, then verify the snapshots
+  /// concurrently.
+  OwnedModel generate_owned(const Architecture& arch,
+                            const std::string& invariant_text = {},
+                            GenOptions opts = {});
 
   const model::SystemSpec& spec() const { return sys_; }
   const GenStats& last_stats() const { return last_; }

@@ -1,6 +1,9 @@
 #include "pnp/verifier.h"
 
+#include <algorithm>
+#include <atomic>
 #include <sstream>
+#include <thread>
 
 #include "support/panic.h"
 
@@ -27,6 +30,7 @@ explore::Options to_explore_options(const VerifyOptions& opt) {
   eopt.bfs = opt.bfs;
   eopt.deadline_seconds = opt.deadline_seconds;
   eopt.memory_budget_bytes = opt.memory_budget_bytes;
+  eopt.threads = opt.threads;
   return eopt;
 }
 
@@ -39,13 +43,16 @@ explore::Options to_explore_options(const VerifyOptions& opt) {
 /// going down the ladder, and the recorded stages say exactly what ran.
 void run_ladder(const kernel::Machine& m, explore::Options eopt,
                 const VerifyOptions& opt, SafetyOutcome& out) {
+  const bool parallel = explore::resolve_threads(opt.threads) > 1;
   out.result = explore::explore(m, eopt);
-  out.stages.push_back({"exact", out.result.stats});
+  out.stages.push_back({parallel ? "exact-parallel" : "exact",
+                        out.result.stats});
   if (opt.degrade && !out.result.stats.complete && !out.result.violation) {
     eopt.bitstate = true;
     eopt.bitstate_bytes = opt.bitstate_bytes;
     out.result = explore::explore(m, eopt);
-    out.stages.push_back({"bitstate", out.result.stats});
+    out.stages.push_back({parallel ? "swarm-bitstate" : "bitstate",
+                          out.result.stats});
   }
 }
 
@@ -221,6 +228,24 @@ SafetyOutcome verify_variant(ModelGenerator& gen, const Architecture& arch,
   return out;
 }
 
+/// verify_variant on an owned snapshot (parallel resilience path): the
+/// invariant was parsed at snapshot time, so no generator access happens
+/// here and the call is safe on a worker thread.
+SafetyOutcome verify_owned(ModelGenerator::OwnedModel& model,
+                           const ResilienceOptions& opts,
+                           const std::string& label) {
+  SafetyOutcome out;
+  if (model.invariant != expr::kNoExpr) {
+    out = check_invariant(*model.machine,
+                          expr::wrap(model.sys->exprs, model.invariant),
+                          opts.invariant_text, opts.verify);
+  } else {
+    out = check_safety(*model.machine, opts.verify);
+  }
+  out.property_name += "  [" + label + "]";
+  return out;
+}
+
 }  // namespace
 
 bool ResilienceReport::all_tolerated() const {
@@ -292,17 +317,75 @@ ResilienceReport check_resilience(const Architecture& arch,
   // and unchanged blocks are built once and reused, exactly the paper's
   // design-iteration loop applied to fault injection.
   ModelGenerator gen;
+  const int jobs = explore::resolve_threads(opts.jobs);
+  if (jobs <= 1) {
+    if (opts.include_baseline)
+      rep.baseline = verify_variant(gen, arch, opts, "baseline: no faults");
+    for (const FaultSpec& f : faults) {
+      Architecture variant = arch;  // the caller's design stays untouched
+      FaultOutcome fo;
+      fo.fault = f;
+      fo.description = apply_fault(variant, f);
+      fo.outcome = verify_variant(gen, variant, opts, fo.description);
+      rep.faults.push_back(std::move(fo));
+    }
+    rep.gen_stats = gen.total_stats();
+    return rep;
+  }
+
+  // Parallel path. Phase 1, sequential: generate every variant through the
+  // shared generator (keeping the build-once/reuse accounting exact) and
+  // snapshot each into an owned model. Phase 2, concurrent: verify the
+  // snapshots -- the expensive part -- on `jobs` workers. Per-variant
+  // verdicts are independent, so the report is bit-identical to the
+  // sequential one regardless of scheduling.
+  struct Variant {
+    std::string label;
+    ModelGenerator::OwnedModel model;
+    SafetyOutcome outcome;
+  };
+  std::vector<Variant> variants;
+  variants.reserve(faults.size() + 1);
   if (opts.include_baseline)
-    rep.baseline = verify_variant(gen, arch, opts, "baseline: no faults");
+    variants.push_back({"baseline: no faults",
+                        gen.generate_owned(arch, opts.invariant_text, opts.gen),
+                        {}});
   for (const FaultSpec& f : faults) {
-    Architecture variant = arch;  // the caller's design stays untouched
-    FaultOutcome fo;
-    fo.fault = f;
-    fo.description = apply_fault(variant, f);
-    fo.outcome = verify_variant(gen, variant, opts, fo.description);
-    rep.faults.push_back(std::move(fo));
+    Architecture variant = arch;
+    std::string desc = apply_fault(variant, f);
+    variants.push_back(
+        {std::move(desc),
+         gen.generate_owned(variant, opts.invariant_text, opts.gen), {}});
   }
   rep.gen_stats = gen.total_stats();
+
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= variants.size()) return;
+      variants[i].outcome = verify_owned(variants[i].model, opts,
+                                         variants[i].label);
+    }
+  };
+  std::vector<std::thread> crew;
+  const std::size_t n_workers =
+      std::min(static_cast<std::size_t>(jobs), variants.size());
+  crew.reserve(n_workers);
+  for (std::size_t t = 0; t < n_workers; ++t) crew.emplace_back(drain);
+  for (std::thread& t : crew) t.join();
+
+  std::size_t idx = 0;
+  if (opts.include_baseline)
+    rep.baseline = std::move(variants[idx++].outcome);
+  for (const FaultSpec& f : faults) {
+    FaultOutcome fo;
+    fo.fault = f;
+    fo.description = std::move(variants[idx].label);
+    fo.outcome = std::move(variants[idx].outcome);
+    rep.faults.push_back(std::move(fo));
+    ++idx;
+  }
   return rep;
 }
 

@@ -29,11 +29,17 @@ struct VerifyOptions {
   bool degrade = true;
   /// Bloom-filter size for the bitstate fallback stage.
   std::uint64_t bitstate_bytes = std::uint64_t{1} << 26;
+  /// Exploration threads per stage: 1 = the historical sequential search,
+  /// 0 = hardware concurrency. With threads > 1 the exact rung uses the
+  /// sharded-visited-set parallel engine and the bitstate rung becomes a
+  /// swarm of independently seeded searches (stage names change to
+  /// "exact-parallel" / "swarm-bitstate" accordingly).
+  int threads = 1;
 };
 
 /// One rung of the verification degradation ladder.
 struct VerifyStage {
-  std::string name;  // "exact" or "bitstate"
+  std::string name;  // "exact"/"exact-parallel" or "bitstate"/"swarm-bitstate"
   explore::Stats stats;
 };
 
@@ -117,6 +123,12 @@ struct ResilienceOptions {
   /// is only meaningful if the baseline passes).
   bool include_baseline{true};
   GenOptions gen{};
+  /// Fault variants verified concurrently: 1 = sequential, 0 = hardware
+  /// concurrency. Generation stays sequential on the shared ModelGenerator
+  /// (preserving the build-once/reuse accounting); each variant is then
+  /// verified on its own snapshot, so verdicts are identical to a
+  /// sequential run at any job count.
+  int jobs{1};
 };
 
 struct FaultOutcome {

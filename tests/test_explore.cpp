@@ -82,8 +82,9 @@ TEST_P(PorEquivalence, PorPreservesVerdictAndNeverGrowsStateSpace) {
 
   EXPECT_EQ(r_full.violation.has_value(), sc.expect_violation);
   EXPECT_EQ(r_full.violation.has_value(), r_por.violation.has_value());
-  if (r_full.violation && r_por.violation)
+  if (r_full.violation && r_por.violation) {
     EXPECT_EQ(r_full.violation->kind, r_por.violation->kind);
+  }
   EXPECT_LE(r_por.stats.states_stored, r_full.stats.states_stored);
 }
 
@@ -133,8 +134,9 @@ TEST(Explore, BfsAndDfsAgreeOnVerdict) {
       EXPECT_LE(r_bfs.violation->trace.size(), r_dfs.violation->trace.size());
     }
     // both enumerate the same reachable set when no violation interrupts
-    if (!r_dfs.violation)
+    if (!r_dfs.violation) {
       EXPECT_EQ(r_dfs.stats.states_stored, r_bfs.stats.states_stored);
+    }
   }
 }
 

@@ -11,6 +11,13 @@
 //     --no-deadlock-check   skip invalid-end-state detection
 //     --por                 partial-order reduction
 //     --bfs                 breadth-first (shortest counterexamples)
+//     --threads N           exploration threads (default 1 = sequential;
+//                           0 = hardware concurrency). Exact searches use
+//                           the sharded parallel engine, bitstate becomes a
+//                           seeded swarm, LTL races permuted nested-DFS
+//                           workers, and --resilience verifies fault
+//                           variants concurrently. Verdicts and exact state
+//                           counts are thread-count independent.
 //     --max-states N        search bound (default 20000000)
 //     --deadline S          wall-clock budget in seconds (partial result +
 //                           truncation reason when exceeded)
@@ -67,6 +74,7 @@ struct Args {
   bool resilience = false;
   std::vector<FaultSpec> fault_list;
   std::uint64_t max_states = 20'000'000;
+  int threads = 1;
   double deadline = 0.0;
   std::uint64_t memory_mb = 0;
   int simulate = 0;
@@ -80,7 +88,8 @@ struct Args {
       stderr,
       "usage: pnpv MODEL.pml|DESIGN.arch [--invariant E] [--end-invariant E]\n"
       "            [--prop NAME=E]... [--ltl F]... [--fair]\n"
-      "            [--no-deadlock-check] [--por] [--bfs] [--max-states N]\n"
+      "            [--no-deadlock-check] [--por] [--bfs] [--threads N]\n"
+      "            [--max-states N]\n"
       "            [--deadline S] [--memory-mb N]\n"
       "            [--optimize] [--dot] [--resilience [--fault K:T[:N]]...]\n"
       "            [--simulate N [--seed N] [--msc]]\n");
@@ -110,6 +119,10 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--optimize") a.optimize = true;
     else if (arg == "--dot") a.dot = true;
     else if (arg == "--max-states") a.max_states = std::stoull(value());
+    else if (arg == "--threads") {
+      a.threads = std::stoi(value());
+      if (a.threads < 0) usage("--threads must be >= 0");
+    }
     else if (arg == "--deadline") a.deadline = std::stod(value());
     else if (arg == "--memory-mb") a.memory_mb = std::stoull(value());
     else if (arg == "--resilience") a.resilience = true;
@@ -164,12 +177,14 @@ void print_stats(const explore::Stats& st) {
       st.complete ? std::string()
                   : std::string("  [truncated: ") +
                         explore::truncation_reason_name(st.truncation) + "]";
+  const std::string threads_note =
+      st.threads > 1 ? " (" + std::to_string(st.threads) + " threads)" : "";
   std::printf("  states stored: %llu, matched: %llu, transitions: %llu, "
-              "%.2f ms%s\n",
+              "%.2f ms%s%s\n",
               static_cast<unsigned long long>(st.states_stored),
               static_cast<unsigned long long>(st.states_matched),
               static_cast<unsigned long long>(st.transitions),
-              st.seconds * 1e3, note.c_str());
+              st.seconds * 1e3, threads_note.c_str(), note.c_str());
 }
 
 using ExprParser = std::function<expr::Ref(const std::string&)>;
@@ -201,6 +216,7 @@ int run_checks(const Args& args, const kernel::Machine& m,
     opt.bfs = args.bfs;
     opt.deadline_seconds = args.deadline;
     opt.memory_budget_bytes = args.memory_mb * (std::uint64_t{1} << 20);
+    opt.threads = args.threads;
     if (!args.invariant.empty()) {
       opt.invariant = parse_expr(args.invariant);
       opt.invariant_name = args.invariant;
@@ -232,6 +248,7 @@ int run_checks(const Args& args, const kernel::Machine& m,
       ltl::CheckOptions copt;
       copt.max_states = args.max_states;
       copt.weak_fairness = args.fair;
+      copt.threads = args.threads;
       const ltl::LtlResult r = ltl::check_ltl(m, props, formula, copt);
       std::printf("[%s] LTL %s%s  (Buchi states: %zu)\n",
                   r.holds ? "PASS" : "FAIL", formula.c_str(),
@@ -269,6 +286,10 @@ int main(int argc, char** argv) {
         ropt.verify.deadline_seconds = args.deadline;
         ropt.verify.memory_budget_bytes =
             args.memory_mb * (std::uint64_t{1} << 20);
+        // --threads on a resilience run fans out across fault variants
+        // (each variant's own search stays sequential): the variants are
+        // many and small, so variant-level parallelism is the useful axis.
+        ropt.jobs = args.threads;
         ropt.invariant_text = args.invariant;
         ropt.gen.optimize_connectors = args.optimize;
         const ResilienceReport rep = check_resilience(
