@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Benchmark runner: builds the Release tree and runs the parallel-exploration
-# throughput bench, writing machine-readable results as JSON.
+# throughput bench plus the reduction/cache bench, merging both row sets into
+# one machine-readable JSON artifact.
 #
 #   scripts/bench.sh                 # full run, results in BENCH.json
 #   scripts/bench.sh --smoke         # quick CI-sized run -> BENCH_ci.json
 #   scripts/bench.sh --out FILE.json # choose the output path
 #
-# Rows: {"bench", "threads", "states", "states_per_sec", "wall_seconds"}.
-# The bench exits non-zero if any run fails verification or the exact runs
-# disagree on state counts across thread counts, so this doubles as a
-# determinism gate.
+# Rows: {"bench", "threads", "states", "states_per_sec", "wall_seconds"} from
+# bench_parallel, plus {"bench", "mode", "states", "ratio", ...} reduction-
+# ratio rows and {"bench", "mode", "obligations", "cache_hits", "hit_rate",
+# ...} cache rows from bench_reduce. Both benches exit non-zero when a run
+# fails verification, minimized verdicts diverge, or state counts disagree
+# across thread counts, so this doubles as a determinism/soundness gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,9 +31,15 @@ if [[ -z "$out" ]]; then
 fi
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-bench -j --target bench_parallel
+cmake --build build-bench -j --target bench_parallel --target bench_reduce
 
 args=(--json)
 [[ $smoke -eq 1 ]] && args+=(--quick)
-./build-bench/bench/bench_parallel "${args[@]}" | tee "$out"
+tmp_parallel=$(mktemp) tmp_reduce=$(mktemp)
+trap 'rm -f "$tmp_parallel" "$tmp_reduce"' EXIT
+./build-bench/bench/bench_parallel "${args[@]}" > "$tmp_parallel"
+./build-bench/bench/bench_reduce "${args[@]}" > "$tmp_reduce"
+# Merge the two JSON arrays: drop bench_parallel's closing bracket and
+# bench_reduce's opening one, joined by a bare comma row separator.
+{ sed '$d' "$tmp_parallel"; echo '  ,'; sed '1d' "$tmp_reduce"; } | tee "$out"
 echo "wrote $out" >&2

@@ -1,9 +1,11 @@
 #include "adl/adl.h"
 
 #include <cctype>
+#include <cstdio>
 #include <unordered_map>
 
 #include "pnp/textual.h"
+#include "support/hash.h"
 #include "support/panic.h"
 
 namespace pnp::adl {
@@ -235,6 +237,14 @@ Architecture parse_architecture(const std::string& source) {
       const std::string body = s.braced_block();
       s.expect_char('}');
       components[name] = arch.add_component(name, pml_component(body));
+      // Fingerprint the behaviour source so the verification cache can tell
+      // a behaviour edit from a pure connector edit.
+      {
+        char fp[17];
+        std::snprintf(fp, sizeof fp, "%016llx",
+                      static_cast<unsigned long long>(stable_hash64(body)));
+        arch.set_behavior_fingerprint(components[name], fp);
+      }
       if (max_crashes > 0) arch.set_crash_restart(components[name], max_crashes);
       continue;
     }

@@ -43,6 +43,16 @@ class Machine {
   Machine(const model::SystemSpec& sys,
           std::vector<compile::CompiledProc> precompiled);
 
+  /// Drop-in proctype substitution: a machine over the same spec (and the
+  /// same processes, channels, and globals) whose control flow comes from
+  /// `procs` instead of this machine's CFGs. Validates the substitution
+  /// contract -- identical frame layout and parameter count per proctype,
+  /// entry/transition pcs in range, adjacency consistent -- so a malformed
+  /// replacement (e.g. a buggy minimizer) fails loudly here instead of
+  /// corrupting the search. Used by reduce::ReducedMachine to re-inject
+  /// bisimulation-quotient automata.
+  Machine substitute(std::vector<compile::CompiledProc> procs) const;
+
   const model::SystemSpec& spec() const { return *sys_; }
   const Layout& layout() const { return layout_; }
   const std::vector<compile::CompiledProc>& compiled() const { return procs_; }

@@ -40,6 +40,40 @@ Machine::Machine(const model::SystemSpec& sys,
             "precompiled proctype count mismatch");
 }
 
+Machine Machine::substitute(std::vector<compile::CompiledProc> procs) const {
+  PNP_CHECK(procs.size() == procs_.size(),
+            "substitute: proctype count mismatch");
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const CompiledProc& orig = procs_[i];
+    const CompiledProc& sub = procs[i];
+    // The state layout is sized from the ORIGINAL compilation: a
+    // substitute may only reshape control flow, never the frame.
+    PNP_CHECK(sub.n_params == orig.n_params &&
+                  sub.frame_size == orig.frame_size &&
+                  sub.frame_init == orig.frame_init,
+              "substitute: frame layout changed for proctype " + orig.name);
+    PNP_CHECK(sub.entry >= 0 && sub.entry < sub.n_pcs,
+              "substitute: entry pc out of range for proctype " + orig.name);
+    const std::size_t n_pcs = static_cast<std::size_t>(sub.n_pcs);
+    PNP_CHECK(sub.atomic_at.size() == n_pcs && sub.valid_end.size() == n_pcs &&
+                  sub.out.size() == n_pcs,
+              "substitute: per-pc tables mis-sized for proctype " + orig.name);
+    for (const compile::Transition& t : sub.trans)
+      PNP_CHECK(t.src >= 0 && t.src < sub.n_pcs && t.dst >= 0 &&
+                    t.dst < sub.n_pcs,
+                "substitute: transition pc out of range for proctype " +
+                    orig.name);
+    for (std::size_t pc = 0; pc < n_pcs; ++pc)
+      for (int ti : sub.out[pc])
+        PNP_CHECK(ti >= 0 && ti < static_cast<int>(sub.trans.size()) &&
+                      sub.trans[static_cast<std::size_t>(ti)].src ==
+                          static_cast<int>(pc),
+                  "substitute: adjacency inconsistent for proctype " +
+                      orig.name);
+  }
+  return Machine(*sys_, std::move(procs));
+}
+
 const CompiledProc& Machine::proc_of(int pid) const {
   const model::ProcessInst& inst =
       sys_->processes[static_cast<std::size_t>(pid)];

@@ -87,6 +87,16 @@ void Architecture::set_crash_restart(int component, int max_crashes) {
   ++version_;
 }
 
+void Architecture::set_behavior_fingerprint(int component,
+                                            std::string fingerprint) {
+  PNP_CHECK(component >= 0 && component < static_cast<int>(components_.size()),
+            "set_behavior_fingerprint: unknown component");
+  components_[static_cast<std::size_t>(component)].behavior_fingerprint =
+      std::move(fingerprint);
+  // no version bump: the fingerprint describes the behaviour, it does not
+  // change the generated model
+}
+
 void Architecture::set_recv_port(int component, const std::string& port_name,
                                  RecvPortKind kind, RecvPortOpts opts) {
   Attachment& a = attachment_at(component, port_name);

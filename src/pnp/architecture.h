@@ -36,6 +36,11 @@ struct ComponentDecl {
   /// crash and restart from its initial control point (losing its locals)
   /// up to this many times. 0 = no crash faults (the default).
   int max_crashes{0};
+  /// Stable digest of the component's behaviour source, when one exists
+  /// (the ADL front end fingerprints the embedded PML text). Used by the
+  /// content-addressed verification cache; empty means the cache trusts
+  /// the component NAME as the behaviour identity (C++-defined models).
+  std::string behavior_fingerprint;
 };
 
 struct ConnectorDecl {
@@ -81,6 +86,11 @@ class Architecture {
   /// Fault injection: allow component's process to crash-restart up to
   /// `max_crashes` times (0 disables).
   void set_crash_restart(int component, int max_crashes);
+  /// Records a stable digest of the component's behaviour source (see
+  /// ComponentDecl::behavior_fingerprint). The ADL front end calls this;
+  /// hand-built C++ architectures may too if their behaviour has a textual
+  /// source of truth.
+  void set_behavior_fingerprint(int component, std::string fingerprint);
   /// Rewires an existing attachment to a different connector.
   void reattach(int component, const std::string& port_name, int connector);
 

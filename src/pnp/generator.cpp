@@ -396,6 +396,53 @@ kernel::Machine ModelGenerator::generate(const Architecture& arch,
   return kernel::Machine(sys_, compiled_);
 }
 
+std::string connector_slice_text(const Architecture& arch, int connector) {
+  PNP_CHECK(connector >= 0 &&
+                connector < static_cast<int>(arch.connectors().size()),
+            "connector_slice_text: unknown connector");
+  const ConnectorDecl& conn =
+      arch.connectors()[static_cast<std::size_t>(connector)];
+  std::ostringstream os;
+  os << "connector " << conn.name << " kind=" << to_string(conn.channel.kind)
+     << " cap=" << conn.channel.capacity << "\n";
+  // attachments_of is senders-first in attachment declaration order -- the
+  // same order the generator wires subscribers, so it is part of the slice
+  for (const Attachment* a : arch.attachments_of(connector)) {
+    const std::string& comp =
+        arch.components()[static_cast<std::size_t>(a->component)].name;
+    if (a->is_sender) {
+      os << "  send " << comp << "." << a->port_name
+         << " kind=" << to_string(a->send_kind);
+      if (a->send_kind == SendPortKind::TimeoutRetry)
+        os << " retries=" << a->send_retries;
+    } else {
+      os << "  recv " << comp << "." << a->port_name
+         << " kind=" << to_string(a->recv_kind, a->recv_opts);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string architecture_slice_text(const Architecture& arch) {
+  std::ostringstream os;
+  os << "architecture " << arch.name() << "\n";
+  for (const GlobalDecl& g : arch.globals())
+    os << "global " << g.name << "=" << g.init << "\n";
+  for (const ComponentDecl& c : arch.components()) {
+    os << "component " << c.name << " crashes=" << c.max_crashes;
+    // Behaviour identity: the source fingerprint when one exists (ADL
+    // designs), else the component name -- C++-defined behaviours have no
+    // hashable source, so their cache entries trust the name.
+    os << " behavior="
+       << (c.behavior_fingerprint.empty() ? c.name : c.behavior_fingerprint)
+       << "\n";
+  }
+  for (int ci = 0; ci < static_cast<int>(arch.connectors().size()); ++ci)
+    os << connector_slice_text(arch, ci);
+  return os.str();
+}
+
 ModelGenerator::OwnedModel ModelGenerator::generate_owned(
     const Architecture& arch, const std::string& invariant_text,
     GenOptions opts) {

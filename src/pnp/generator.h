@@ -147,4 +147,21 @@ class ModelGenerator {
   GenStats total_;
 };
 
+// -- canonical slice texts (content-addressed verification cache) -------------
+// Both renderings are pure functions of the design (no pointers, no pool
+// indices, no map iteration order), so their stable_hash64 digests identify
+// an architecture slice across processes and machines.
+
+/// The slice of `arch` that a local connector obligation depends on: the
+/// connector's channel spec plus the ordered port configuration of every
+/// attachment wired to it (senders first). Unaffected by edits elsewhere in
+/// the design -- that independence is what lets a plug-and-play swap leave
+/// other connectors' cached verdicts clean.
+std::string connector_slice_text(const Architecture& arch, int connector);
+
+/// The whole design, canonically: globals, components (crash budget +
+/// behaviour fingerprint), and every connector slice. Global obligations
+/// (deadlock, invariants, LTL) hash this.
+std::string architecture_slice_text(const Architecture& arch);
+
 }  // namespace pnp

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "support/hash.h"
 #include "support/panic.h"
 
 namespace pnp {
@@ -44,24 +45,48 @@ explore::Options to_explore_options(const VerifyOptions& opt) {
 void run_ladder(const kernel::Machine& m, explore::Options eopt,
                 const VerifyOptions& opt, SafetyOutcome& out) {
   const bool parallel = explore::resolve_threads(opt.threads) > 1;
-  out.result = explore::explore(m, eopt);
-  out.stages.push_back({parallel ? "exact-parallel" : "exact",
+  // Minimized rungs: quotient every proctype, then explore the product of
+  // the quotients. The reduced machine shares m's SystemSpec, so invariant
+  // expression refs and trace rendering carry over unchanged.
+  const kernel::Machine* target = &m;
+  std::optional<reduce::ReducedMachine> reduced;
+  std::string prefix;
+  if (opt.minimize != MinimizeMode::Off) {
+    reduced.emplace(m, opt.minimize == MinimizeMode::Weak
+                           ? reduce::Equivalence::Weak
+                           : reduce::Equivalence::Strong);
+    out.reduction = reduced->stats();
+    target = &reduced->machine();
+    prefix = "minimized-";
+  }
+  out.result = explore::explore(*target, eopt);
+  out.stages.push_back({prefix + (parallel ? "exact-parallel" : "exact"),
                         out.result.stats});
   if (opt.degrade && !out.result.stats.complete && !out.result.violation) {
     eopt.bitstate = true;
     eopt.bitstate_bytes = opt.bitstate_bytes;
-    out.result = explore::explore(m, eopt);
-    out.stages.push_back({parallel ? "swarm-bitstate" : "bitstate",
+    out.result = explore::explore(*target, eopt);
+    out.stages.push_back({prefix + (parallel ? "swarm-bitstate" : "bitstate"),
                           out.result.stats});
   }
 }
 
 }  // namespace
 
+const char* to_string(MinimizeMode m) {
+  switch (m) {
+    case MinimizeMode::Off: return "off";
+    case MinimizeMode::Strong: return "strong";
+    case MinimizeMode::Weak: return "weak";
+  }
+  return "?";
+}
+
 std::string SafetyOutcome::report() const {
   std::ostringstream os;
   os << "[" << (passed() ? "PASS" : "FAIL") << "] " << property_name << "\n";
   append_stats(os, result.stats);
+  if (reduction) os << "  " << reduction->summary() << "\n";
   if (degraded()) {
     os << "  degradation ladder:\n";
     for (const VerifyStage& st : stages) {
@@ -133,6 +158,301 @@ LtlOutcome check_ltl_formula(const kernel::Machine& m,
   LtlOutcome out;
   out.result = ltl::check_ltl(m, props, formula, opt);
   return out;
+}
+
+// -- cached obligation-suite verification --------------------------------------
+
+namespace {
+
+/// Canonical text of every option that can change an obligation's verdict
+/// or its confidence. `threads` is deliberately excluded: the parallel
+/// engines are verdict-equivalent to the sequential ones by construction,
+/// so a cache written with -j1 stays valid with -j8 (and vice versa).
+std::string options_text(const VerifyOptions& v, const GenOptions& g) {
+  std::ostringstream os;
+  os << "max_states=" << v.max_states << ";deadlock=" << v.check_deadlock
+     << ";por=" << v.por << ";bfs=" << v.bfs
+     << ";deadline=" << v.deadline_seconds << ";mem=" << v.memory_budget_bytes
+     << ";degrade=" << v.degrade << ";bitstate=" << v.bitstate_bytes
+     << ";minimize=" << to_string(v.minimize)
+     << ";optimize=" << g.optimize_connectors;
+  return os.str();
+}
+
+/// Sender driver for the port-protocol harness: pumps `n` tagged messages
+/// and terminates at a valid end state. Tolerant of SEND_FAIL (the status
+/// is consumed with a wildcard), so it composes with every send-port kind.
+ComponentModelFn protocol_sender(int n) {
+  return [n](ComponentContext& ctx) {
+    using namespace model;
+    ProcBuilder& b = ctx.builder();
+    const PortEndpoint out = ctx.port("out");
+    const LVar i = b.local("i", 1);
+    iface::SendMeta meta;
+    meta.tag = 1;  // satisfies selective receivers on the same connector
+    return seq(do_(alt(seq(guard(b.l(i) <= b.k(n)),
+                           iface::send_msg(b, out, b.l(i), meta),
+                           assign(i, b.l(i) + b.k(1)))),
+                   alt(seq(guard(b.l(i) > b.k(n)), break_()))),
+               end_label());
+  };
+}
+
+/// Receiver driver: consumes forever from a valid-end loop head. RECV_FAIL
+/// stubs from nonblocking ports are simply absorbed by the next iteration.
+ComponentModelFn protocol_receiver(bool selective) {
+  return [selective](ComponentContext& ctx) {
+    using namespace model;
+    ProcBuilder& b = ctx.builder();
+    const PortEndpoint in = ctx.port("in");
+    const LVar v = b.local("v");
+    iface::RecvMeta meta;
+    if (selective) meta.tag = 1;
+    return seq(do_(alt(seq(end_label(), iface::recv_msg(b, in, v, meta)))));
+  };
+}
+
+/// The isolation harness for one connector: the connector verbatim, with
+/// every real attachment replaced by a canonical driver in the same port
+/// configuration. Its state space depends only on the connector slice, so
+/// the verdict can be cached under the slice digest alone.
+Architecture make_protocol_harness(const Architecture& arch, int ci) {
+  const ConnectorDecl& conn =
+      arch.connectors()[static_cast<std::size_t>(ci)];
+  Architecture h("protocol:" + conn.name);
+  const int hc = h.add_connector(conn.name, conn.channel);
+  for (const Attachment* a : arch.attachments_of(ci)) {
+    // driver names mirror the real attachment so reports read naturally
+    const std::string dname =
+        arch.components()[static_cast<std::size_t>(a->component)].name + "." +
+        a->port_name;
+    if (a->is_sender) {
+      const int d = h.add_component(dname, protocol_sender(2));
+      h.attach_sender(d, "out", hc, a->send_kind);
+      if (a->send_kind == SendPortKind::TimeoutRetry)
+        h.set_send_port(d, "out", a->send_kind, a->send_retries);
+    } else {
+      const int d =
+          h.add_component(dname, protocol_receiver(a->recv_opts.selective));
+      h.attach_receiver(d, "in", hc, a->recv_kind, a->recv_opts);
+    }
+  }
+  return h;
+}
+
+ObligationResult from_cache_hit(const reduce::ObligationKey& key,
+                                const reduce::CacheEntry& e) {
+  ObligationResult r;
+  r.kind = key.kind;
+  r.label = key.label;
+  r.digest = key.digest();
+  r.passed = e.passed;
+  r.from_cache = true;
+  r.stage = e.stage;
+  r.states_stored = e.states_stored;
+  r.seconds = e.seconds;
+  return r;
+}
+
+ObligationResult from_safety(const reduce::ObligationKey& key,
+                             const SafetyOutcome& so,
+                             reduce::VerificationCache& cache) {
+  ObligationResult r;
+  r.kind = key.kind;
+  r.label = key.label;
+  r.digest = key.digest();
+  r.passed = so.passed();
+  r.stage = so.stages.empty() ? "exact" : so.stages.back().name;
+  r.states_stored = so.result.stats.states_stored;
+  r.seconds = so.result.stats.seconds;
+  r.detail = so.report();
+  cache.record(key, {"", key.kind, key.label, r.passed, r.stage,
+                     r.states_stored, r.seconds});
+  return r;
+}
+
+}  // namespace
+
+int SuiteReport::cache_hits() const {
+  int n = 0;
+  for (const ObligationResult& o : obligations) n += o.from_cache ? 1 : 0;
+  return n;
+}
+
+int SuiteReport::recomputed() const {
+  return static_cast<int>(obligations.size()) - cache_hits();
+}
+
+bool SuiteReport::all_passed() const {
+  for (const ObligationResult& o : obligations)
+    if (!o.passed) return false;
+  return true;
+}
+
+std::string SuiteReport::report() const {
+  std::ostringstream os;
+  os << "obligation suite for architecture '" << architecture << "'\n";
+  for (const ObligationResult& o : obligations) {
+    os << "  [" << (o.passed ? "PASS" : "FAIL") << "] " << o.kind << " '"
+       << o.label << "'";
+    if (o.from_cache)
+      os << "  (cached: " << o.stage << ", " << o.states_stored
+         << " states, " << o.seconds * 1e3 << " ms when verified)";
+    else
+      os << "  (" << o.stage << ", " << o.states_stored << " states, "
+         << o.seconds * 1e3 << " ms)";
+    os << "\n";
+  }
+  os << "  obligations: " << obligations.size() << " total, " << cache_hits()
+     << " from cache, " << recomputed() << " verified this run\n";
+  if (reduction) os << "  " << reduction->summary() << "\n";
+  os << "  verdict: " << (all_passed() ? "all obligations hold"
+                                       : "OBLIGATIONS FAILED")
+     << "\n";
+  os << "  model generation: " << gen_stats.summary() << "\n";
+  return os.str();
+}
+
+SuiteReport verify_obligations(const Architecture& arch,
+                               const SuiteOptions& opts) {
+  arch.validate();
+  SuiteReport rep;
+  rep.architecture = arch.name();
+  reduce::VerificationCache cache =
+      opts.cache_dir.empty() ? reduce::VerificationCache()
+                             : reduce::VerificationCache(opts.cache_dir);
+  ModelGenerator gen;
+
+  // Local obligations first: every harness generate() invalidates the
+  // previous borrowed Machine, so the main model must be generated last.
+  if (opts.connector_protocols) {
+    VerifyOptions popt = opts.verify;
+    popt.check_deadlock = true;  // the obligation IS deadlock freedom
+    const std::uint64_t popt_hash =
+        stable_hash64(options_text(popt, GenOptions{}));
+    for (int ci = 0; ci < static_cast<int>(arch.connectors().size()); ++ci) {
+      reduce::ObligationKey key;
+      key.kind = "connector-protocol";
+      key.label = arch.connectors()[static_cast<std::size_t>(ci)].name;
+      key.slice_hash = stable_hash64(connector_slice_text(arch, ci));
+      key.property_hash = stable_hash64("port-protocol deadlock freedom v1");
+      key.options_hash = popt_hash;
+      if (auto hit = cache.lookup(key)) {
+        rep.obligations.push_back(from_cache_hit(key, *hit));
+        continue;
+      }
+      // Faithful building blocks on purpose: the optimized (section 6)
+      // receive ports block on empty queues, which would quiesce the
+      // harness mid-protocol and read as a spurious deadlock.
+      kernel::Machine hm = gen.generate(make_protocol_harness(arch, ci));
+      rep.obligations.push_back(
+          from_safety(key, check_safety(hm, popt), cache));
+    }
+  }
+
+  // Global obligations, all keyed by the whole-design slice.
+  kernel::Machine m = gen.generate(arch, opts.gen);
+  const std::uint64_t slice = stable_hash64(architecture_slice_text(arch));
+  const std::uint64_t ohash =
+      stable_hash64(options_text(opts.verify, opts.gen));
+  auto global_key = [&](const std::string& kind, const std::string& label,
+                        const std::string& property) {
+    reduce::ObligationKey key;
+    key.kind = kind;
+    key.label = label;
+    key.slice_hash = slice;
+    key.property_hash = stable_hash64(property);
+    key.options_hash = ohash;
+    return key;
+  };
+
+  {
+    const reduce::ObligationKey key = global_key(
+        "safety", "assertions + deadlock", "assertions+invalid-end v1");
+    if (auto hit = cache.lookup(key)) {
+      rep.obligations.push_back(from_cache_hit(key, *hit));
+    } else {
+      SafetyOutcome so = check_safety(m, opts.verify);
+      if (so.reduction) rep.reduction = so.reduction;
+      rep.obligations.push_back(from_safety(key, so, cache));
+    }
+  }
+  if (!opts.invariant_text.empty()) {
+    const reduce::ObligationKey key = global_key(
+        "invariant", opts.invariant_text, "invariant:" + opts.invariant_text);
+    if (auto hit = cache.lookup(key)) {
+      rep.obligations.push_back(from_cache_hit(key, *hit));
+    } else {
+      SafetyOutcome so =
+          check_invariant(m, gen.parse_expr_text(opts.invariant_text),
+                          opts.invariant_text, opts.verify);
+      rep.obligations.push_back(from_safety(key, so, cache));
+    }
+  }
+  if (!opts.end_invariant_text.empty()) {
+    const reduce::ObligationKey key =
+        global_key("end-invariant", opts.end_invariant_text,
+                   "end-invariant:" + opts.end_invariant_text);
+    if (auto hit = cache.lookup(key)) {
+      rep.obligations.push_back(from_cache_hit(key, *hit));
+    } else {
+      SafetyOutcome so = check_end_invariant(
+          m, gen.parse_expr_text(opts.end_invariant_text),
+          opts.end_invariant_text, opts.verify);
+      rep.obligations.push_back(from_safety(key, so, cache));
+    }
+  }
+
+  if (!opts.ltl.empty()) {
+    // The proposition definitions are part of every formula's property
+    // text: renaming or re-pointing a prop must miss the cache.
+    std::string prop_defs;
+    for (const auto& [name, text] : opts.props) {
+      gen.add_prop(name, gen.parse_expr_text(text));
+      prop_defs += name + "=" + text + ";";
+    }
+    // Weak tau-contraction is stutter-unsound; LTL always quotients by
+    // strong bisimulation when minimization is requested.
+    std::optional<reduce::ReducedMachine> strong;
+    const kernel::Machine* lm = &m;
+    std::string stage = "ltl-nested-dfs";
+    if (opts.verify.minimize != MinimizeMode::Off) {
+      strong.emplace(m, reduce::Equivalence::Strong);
+      lm = &strong->machine();
+      stage = "minimized-ltl-nested-dfs";
+    }
+    ltl::CheckOptions copt;
+    copt.max_states = opts.verify.max_states;
+    copt.threads = opts.verify.threads;
+    copt.weak_fairness = opts.ltl_weak_fairness;
+    for (const std::string& formula : opts.ltl) {
+      const reduce::ObligationKey key = global_key(
+          "ltl", formula,
+          "ltl:" + formula + "|props:" + prop_defs +
+              "|fair=" + (opts.ltl_weak_fairness ? "1" : "0"));
+      if (auto hit = cache.lookup(key)) {
+        rep.obligations.push_back(from_cache_hit(key, *hit));
+        continue;
+      }
+      LtlOutcome lo = check_ltl_formula(*lm, gen.props(), formula, copt);
+      ObligationResult r;
+      r.kind = key.kind;
+      r.label = key.label;
+      r.digest = key.digest();
+      r.passed = lo.passed();
+      r.stage = stage;
+      r.states_stored = lo.result.stats.states_stored;
+      r.seconds = lo.result.stats.seconds;
+      r.detail = lo.report();
+      cache.record(key, {"", key.kind, key.label, r.passed, r.stage,
+                         r.states_stored, r.seconds});
+      rep.obligations.push_back(std::move(r));
+    }
+  }
+
+  cache.flush();
+  rep.gen_stats = gen.total_stats();
+  return rep;
 }
 
 // -- resilience checking -------------------------------------------------------

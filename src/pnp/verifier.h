@@ -10,8 +10,21 @@
 #include "explore/explorer.h"
 #include "ltl/product.h"
 #include "pnp/generator.h"
+#include "reduce/cache.h"
+#include "reduce/reduce.h"
 
 namespace pnp {
+
+/// Per-process minimization applied before exploration (src/reduce). Off =
+/// the historical search. Strong = strong-bisimulation quotient, sound for
+/// every obligation including LTL. Weak = strong quotient plus contraction
+/// of deterministic internal skip steps -- a coarser (or equal) quotient
+/// that preserves assertions, deadlock, state/end invariants and crash
+/// reachability, but NOT stutter-sensitive LTL; LTL checks therefore always
+/// use Strong, whichever mode was requested (see DESIGN.md section 10).
+enum class MinimizeMode : std::uint8_t { Off, Strong, Weak };
+
+const char* to_string(MinimizeMode m);
 
 struct VerifyOptions {
   std::uint64_t max_states = 20'000'000;
@@ -35,6 +48,11 @@ struct VerifyOptions {
   /// swarm of independently seeded searches (stage names change to
   /// "exact-parallel" / "swarm-bitstate" accordingly).
   int threads = 1;
+  /// Minimize every proctype (ladder stage names gain a "minimized-"
+  /// prefix, e.g. "minimized-exact"). The composed machine then explores
+  /// the product of the quotient automata; verdicts are unchanged (see
+  /// MinimizeMode for the soundness fine print).
+  MinimizeMode minimize = MinimizeMode::Off;
 };
 
 /// One rung of the verification degradation ladder.
@@ -50,6 +68,8 @@ struct SafetyOutcome {
   explore::Result result;
   /// Every stage that ran, in order (one entry unless the ladder fired).
   std::vector<VerifyStage> stages;
+  /// Per-process reduction statistics when a minimized rung ran.
+  std::optional<reduce::ReductionStats> reduction;
 
   bool passed() const { return result.ok(); }
   /// True when the exact search was truncated and the bitstate rung ran.
@@ -86,6 +106,69 @@ LtlOutcome check_ltl_formula(const kernel::Machine& m,
                              const ltl::PropertyContext& props,
                              const std::string& formula,
                              ltl::CheckOptions opt = {});
+
+// -- cached obligation-suite verification --------------------------------------
+// Decomposes "verify this design" into content-addressed obligations (see
+// reduce/cache.h): one local port-protocol obligation per connector, whose
+// cache key covers only that connector's slice of the design, plus the
+// global obligations (safety, invariants, LTL), keyed by the whole design.
+// With a cache directory set, a re-run of an unchanged design answers every
+// obligation from the cache, and a plug-and-play connector swap re-verifies
+// only the swapped connector's protocol obligation and the globals.
+
+struct SuiteOptions {
+  VerifyOptions verify{};
+  GenOptions gen{};
+  /// State invariant over the architecture's globals/channels (PML
+  /// expression text); empty = skip.
+  std::string invariant_text;
+  /// Invariant required only of terminal states; empty = skip.
+  std::string end_invariant_text;
+  /// Named propositions (name, PML expression) for the LTL formulas.
+  std::vector<std::pair<std::string, std::string>> props;
+  /// LTL formulas over `props`. Checked with Strong minimization whenever
+  /// `verify.minimize` is not Off (Weak is unsound for LTL).
+  std::vector<std::string> ltl;
+  bool ltl_weak_fairness{false};
+  /// Verify each connector's port protocol in isolation on a small driver
+  /// harness (these are the obligations that survive unrelated edits).
+  bool connector_protocols{true};
+  /// Verdict cache directory; empty = verify everything, cache nothing.
+  std::string cache_dir;
+};
+
+struct ObligationResult {
+  std::string kind;    // "connector-protocol"|"safety"|"invariant"|...
+  std::string label;   // connector name / property text
+  std::string digest;  // content address (reduce::ObligationKey::digest)
+  bool passed{false};
+  bool from_cache{false};
+  std::string stage;  // ladder stage that produced the verdict
+  std::uint64_t states_stored{0};
+  double seconds{0.0};  // original verification cost (even on a hit)
+  /// Full per-obligation report; only populated when verified this run
+  /// (the cache stores verdicts, not counterexamples).
+  std::string detail;
+};
+
+struct SuiteReport {
+  std::string architecture;
+  std::vector<ObligationResult> obligations;
+  GenStats gen_stats;
+  /// Reduction achieved on the global safety obligation, when a minimized
+  /// rung actually ran this invocation.
+  std::optional<reduce::ReductionStats> reduction;
+
+  int cache_hits() const;
+  int recomputed() const;
+  bool all_passed() const;
+  std::string report() const;
+};
+
+/// Verifies every obligation of `arch`, consulting/filling the verdict
+/// cache when `opts.cache_dir` is set.
+SuiteReport verify_obligations(const Architecture& arch,
+                               const SuiteOptions& opts = {});
 
 // -- resilience checking -------------------------------------------------------
 // Verifies an architecture under injected connector/component faults (the

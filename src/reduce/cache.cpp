@@ -1,0 +1,222 @@
+#include "reduce/cache.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/panic.h"
+
+namespace pnp::reduce {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Minimal parser for the subset this module writes: an object holding a
+/// version and an array of flat objects with string/number/bool values.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    PNP_CHECK(eat(c), "verification cache: malformed JSON (expected '" +
+                          std::string(1, c) + "')");
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      char c = s_[i_++];
+      if (c == '\\' && i_ < s_.size()) {
+        const char e = s_[i_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            PNP_CHECK(i_ + 4 <= s_.size(),
+                      "verification cache: malformed \\u escape");
+            out += static_cast<char>(
+                std::stoi(s_.substr(i_ + 2, 2), nullptr, 16));
+            i_ += 4;
+            break;
+          }
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+  /// Number / true / false as a raw token.
+  std::string scalar() {
+    skip_ws();
+    std::size_t start = i_;
+    while (i_ < s_.size() && (std::isalnum(static_cast<unsigned char>(s_[i_])) ||
+                              s_[i_] == '.' || s_[i_] == '-' || s_[i_] == '+' ||
+                              s_[i_] == 'e' || s_[i_] == 'E'))
+      ++i_;
+    PNP_CHECK(i_ > start, "verification cache: malformed JSON scalar");
+    return s_.substr(start, i_ - start);
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i_ < s_.size() && s_[i_] == c;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t i_{0};
+};
+
+}  // namespace
+
+std::string ObligationKey::digest() const {
+  return kind + ":" + hex16(slice_hash) + "-" + hex16(property_hash) + "-" +
+         hex16(options_hash);
+}
+
+VerificationCache::VerificationCache(const std::string& dir) {
+  PNP_CHECK(!dir.empty(), "VerificationCache: empty cache directory");
+  std::filesystem::create_directories(dir);
+  file_ = (std::filesystem::path(dir) / "obligations.json").string();
+  std::ifstream in(file_);
+  if (!in) return;  // fresh cache
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  if (text.empty()) return;
+
+  JsonReader r(text);
+  r.expect('{');
+  int version = -1;
+  for (;;) {
+    const std::string key = r.string();
+    r.expect(':');
+    if (key == "version") {
+      version = std::stoi(r.scalar());
+      if (version != kCacheFormatVersion) return;  // stale format: ignore
+    } else if (key == "obligations") {
+      r.expect('[');
+      if (!r.eat(']')) {
+        do {
+          r.expect('{');
+          CacheEntry e;
+          do {
+            const std::string field = r.string();
+            r.expect(':');
+            if (field == "id") e.digest = r.string();
+            else if (field == "kind") e.kind = r.string();
+            else if (field == "label") e.label = r.string();
+            else if (field == "passed") e.passed = r.scalar() == "true";
+            else if (field == "stage") e.stage = r.string();
+            else if (field == "states") e.states_stored = std::stoull(r.scalar());
+            else if (field == "seconds") e.seconds = std::stod(r.scalar());
+            else if (r.peek('"')) r.string();  // unknown field: skip value
+            else r.scalar();
+          } while (r.eat(','));
+          r.expect('}');
+          if (!e.digest.empty()) entries_[e.digest] = std::move(e);
+        } while (r.eat(','));
+        r.expect(']');
+      }
+    } else if (r.peek('"')) {
+      r.string();
+    } else {
+      r.scalar();
+    }
+    if (!r.eat(',')) break;
+  }
+  r.expect('}');
+}
+
+std::optional<CacheEntry> VerificationCache::lookup(const ObligationKey& key) {
+  if (!enabled()) return std::nullopt;
+  auto it = entries_.find(key.digest());
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void VerificationCache::record(const ObligationKey& key, CacheEntry entry) {
+  if (!enabled()) return;
+  entry.digest = key.digest();
+  if (entry.kind.empty()) entry.kind = key.kind;
+  if (entry.label.empty()) entry.label = key.label;
+  entries_[entry.digest] = std::move(entry);
+}
+
+void VerificationCache::flush() const {
+  if (!enabled()) return;
+  std::ostringstream os;
+  os << "{\"version\": " << kCacheFormatVersion << ",\n\"obligations\": [";
+  bool first = true;
+  for (const auto& [digest, e] : entries_) {
+    os << (first ? "\n" : ",\n") << "{\"id\": ";
+    write_json_string(os, digest);
+    os << ", \"kind\": ";
+    write_json_string(os, e.kind);
+    os << ", \"label\": ";
+    write_json_string(os, e.label);
+    os << ", \"passed\": " << (e.passed ? "true" : "false");
+    os << ", \"stage\": ";
+    write_json_string(os, e.stage);
+    os << ", \"states\": " << e.states_stored;
+    os << ", \"seconds\": " << e.seconds << "}";
+    first = false;
+  }
+  os << "\n]}\n";
+  std::ofstream out(file_, std::ios::trunc);
+  PNP_CHECK(static_cast<bool>(out),
+            "VerificationCache: cannot write " + file_);
+  out << os.str();
+}
+
+}  // namespace pnp::reduce

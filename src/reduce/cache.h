@@ -1,0 +1,89 @@
+// Content-addressed verification cache.
+//
+// Every verification obligation is keyed by three stable 64-bit digests:
+//   slice_hash    -- the canonical text of the architecture slice the
+//                    verdict depends on (the whole design for global
+//                    obligations; one connector's configuration for local
+//                    port-protocol obligations),
+//   property_hash -- the obligation kind + property text,
+//   options_hash  -- every option that can change the verdict or its
+//                    confidence (search bounds, minimization mode, ...).
+// Verdicts are persisted as JSON under --cache-dir, so a re-run of an
+// unchanged design answers every obligation from the cache, and a
+// plug-and-play connector swap re-verifies only the obligations whose
+// slice digest changed (the paper's section 4 iterate loop, applied to
+// verification results instead of component models).
+//
+// Digests come from support/hash.h stable_hash64 exclusively: byte-at-a-
+// time FNV-1a with pinned constants, so caches are valid across machines,
+// compilers, and endiannesses (digests are pinned by tests/test_reduce).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace pnp::reduce {
+
+/// Bump when the key scheme or entry layout changes; persisted files with
+/// another version are ignored (re-verified, then overwritten).
+inline constexpr int kCacheFormatVersion = 1;
+
+struct ObligationKey {
+  std::string kind;   // "safety" | "invariant" | "end-invariant" | "ltl" |
+                      // "connector-protocol"
+  std::string label;  // human-readable (property text / connector name)
+  std::uint64_t slice_hash{0};
+  std::uint64_t property_hash{0};
+  std::uint64_t options_hash{0};
+
+  /// Content address: kind + the three digests, hex. Stable across
+  /// machines (see header comment).
+  std::string digest() const;
+};
+
+struct CacheEntry {
+  std::string digest;
+  std::string kind;
+  std::string label;
+  bool passed{false};
+  std::string stage;  // verification stage that produced the verdict
+  std::uint64_t states_stored{0};
+  double seconds{0.0};  // what the original verification cost
+};
+
+/// JSON-backed obligation store. A default-constructed cache is disabled:
+/// lookups miss, records are dropped, flush is a no-op -- callers need no
+/// special casing when no --cache-dir was given.
+class VerificationCache {
+ public:
+  VerificationCache() = default;
+  /// Opens (creating the directory if needed) `dir`/obligations.json and
+  /// loads any existing entries. Raises ModelError if the file exists but
+  /// cannot be parsed.
+  explicit VerificationCache(const std::string& dir);
+
+  bool enabled() const { return !file_.empty(); }
+  const std::string& path() const { return file_; }
+
+  /// Returns the stored verdict for `key`, if any, and counts a hit or a
+  /// miss (the hit-rate statistics the bench and reports surface).
+  std::optional<CacheEntry> lookup(const ObligationKey& key);
+  /// Stores (or overwrites) the verdict for `key`.
+  void record(const ObligationKey& key, CacheEntry entry);
+  /// Persists all entries; no-op when disabled.
+  void flush() const;
+
+  int hits() const { return hits_; }
+  int misses() const { return misses_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::string file_;
+  std::unordered_map<std::string, CacheEntry> entries_;
+  int hits_{0};
+  int misses_{0};
+};
+
+}  // namespace pnp::reduce

@@ -1,0 +1,148 @@
+#include "reduce/lts.h"
+
+#include <unordered_map>
+
+#include "support/panic.h"
+
+namespace pnp::reduce {
+
+namespace {
+
+using compile::OpKind;
+using compile::Transition;
+
+void append_int(std::string& out, long long v) { out += std::to_string(v); }
+
+}  // namespace
+
+int Lts::n_visible_actions() const {
+  int n = 0;
+  for (bool v : action_visible)
+    if (v) ++n;
+  return n;
+}
+
+std::string canonical_expr(const expr::Pool& pool, expr::Ref r) {
+  if (r == expr::kNoExpr) return "~";
+  const expr::Node& n = pool.at(r);
+  std::string out;
+  out += '(';
+  append_int(out, static_cast<int>(n.op));
+  out += ' ';
+  append_int(out, n.imm);
+  for (expr::Ref child : {n.a, n.b, n.c}) {
+    if (child == expr::kNoExpr) continue;
+    out += ' ';
+    out += canonical_expr(pool, child);
+  }
+  out += ')';
+  return out;
+}
+
+std::string canonical_action(const model::SystemSpec& sys,
+                             const Transition& t) {
+  const expr::Pool& pool = sys.exprs;
+  std::string out;
+  append_int(out, static_cast<int>(t.op));
+  out += '|';
+  out += canonical_expr(pool, t.expr);
+  out += '|';
+  append_int(out, static_cast<int>(t.lhs.kind));
+  out += ':';
+  append_int(out, t.lhs.slot);
+  out += '|';
+  out += canonical_expr(pool, t.chan);
+  out += '|';
+  for (expr::Ref f : t.fields) {
+    out += canonical_expr(pool, f);
+    out += ',';
+  }
+  out += '|';
+  for (const model::RecvArg& a : t.args) {
+    append_int(out, static_cast<int>(a.kind));
+    out += ':';
+    append_int(out, static_cast<int>(a.lhs.kind));
+    out += ':';
+    append_int(out, a.lhs.slot);
+    out += ':';
+    out += canonical_expr(pool, a.match);
+    out += ',';
+  }
+  out += '|';
+  out += t.sorted ? '1' : '0';
+  out += t.random ? '1' : '0';
+  out += t.copy ? '1' : '0';
+  out += t.unordered ? '1' : '0';
+  out += '|';
+  out += t.label;  // keep trace labels distinct so reports stay readable
+  return out;
+}
+
+bool is_internal(const Transition& t) {
+  // `local_only` already means "no shared reads or writes" (the POR
+  // classification); on top of that, asserts are observable verdicts and
+  // crash events must stay visible to fault analyses.
+  return t.local_only && t.op != OpKind::Assert && t.op != OpKind::Crash;
+}
+
+Lts extract_lts(const model::SystemSpec& sys,
+                const compile::CompiledProc& proc) {
+  // Reachable control locations (DFS over the CFG).
+  std::vector<int> order;
+  std::vector<int> state_of(static_cast<std::size_t>(proc.n_pcs), -1);
+  std::vector<int> stack{proc.entry};
+  state_of[static_cast<std::size_t>(proc.entry)] = 0;
+  order.push_back(proc.entry);
+  while (!stack.empty()) {
+    const int pc = stack.back();
+    stack.pop_back();
+    for (int ti : proc.out[static_cast<std::size_t>(pc)]) {
+      const int dst = proc.trans[static_cast<std::size_t>(ti)].dst;
+      if (state_of[static_cast<std::size_t>(dst)] >= 0) continue;
+      state_of[static_cast<std::size_t>(dst)] =
+          static_cast<int>(order.size());
+      order.push_back(dst);
+      stack.push_back(dst);
+    }
+  }
+
+  Lts lts;
+  lts.name = proc.name;
+  lts.proctype = proc.proctype;
+  lts.init = 0;
+  lts.n_states = static_cast<int>(order.size());
+  lts.flags.resize(order.size(), 0);
+  lts.out.resize(order.size());
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    const std::size_t pc = static_cast<std::size_t>(order[s]);
+    if (proc.atomic_at[pc]) lts.flags[s] |= kFlagAtomic;
+    if (proc.valid_end[pc]) lts.flags[s] |= kFlagValidEnd;
+  }
+
+  std::unordered_map<std::string, int> action_ids;
+  for (std::size_t ti = 0; ti < proc.trans.size(); ++ti) {
+    const Transition& t = proc.trans[ti];
+    const int src = state_of[static_cast<std::size_t>(t.src)];
+    if (src < 0) continue;  // unreachable
+    std::string text = canonical_action(sys, t);
+    auto [it, fresh] =
+        action_ids.emplace(std::move(text), static_cast<int>(lts.actions.size()));
+    if (fresh) {
+      lts.actions.push_back(it->first);
+      lts.action_visible.push_back(!is_internal(t));
+      lts.action_skip.push_back(t.op == OpKind::Noop);
+    }
+    LtsTransition lt;
+    lt.src = src;
+    lt.dst = state_of[static_cast<std::size_t>(t.dst)];
+    lt.action = it->second;
+    lt.cfg_trans = static_cast<int>(ti);
+    PNP_CHECK(lt.dst >= 0, "extract_lts: edge into unreachable pc");
+    lts.out[static_cast<std::size_t>(src)].push_back(
+        static_cast<int>(lts.trans.size()));
+    lts.trans.push_back(lt);
+  }
+  return lts;
+}
+
+}  // namespace pnp::reduce

@@ -1,0 +1,79 @@
+// Per-process labeled transition systems extracted from compiled proctypes.
+//
+// The compiler's CFG is already an LTS in disguise: control locations are
+// states and guarded operations are actions. This module makes that view
+// explicit and classifies every action as *port-visible* (it reads or
+// writes state another process can observe: channels, globals, asserts,
+// crash events) or *internal* (a tau step over the process's own frame).
+// The classification is what makes per-process reduction sound: internal
+// steps can be collapsed without changing anything the composition sees
+// (arXiv:1010.5565, arXiv:1908.11345 develop the compositional argument
+// for exactly this interaction structure).
+//
+// Action identity is canonical: two CFG transitions carry the same action
+// id iff they have the same operation, the same expression trees, the same
+// channel/field/pattern structure, and the same trace label. Expressions
+// are serialized by tree walk (not by pool Ref), so identity is stable
+// across pools and across platforms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "model/system.h"
+
+namespace pnp::reduce {
+
+/// State attribute bits that any sound reduction must respect.
+enum StateFlag : std::uint8_t {
+  kFlagAtomic = 1,    // control point inside an atomic region
+  kFlagValidEnd = 2,  // valid end state (no deadlock when paused here)
+};
+
+struct LtsTransition {
+  int src{-1};
+  int dst{-1};
+  int action{-1};     // index into Lts::actions
+  int cfg_trans{-1};  // index into the source CompiledProc::trans
+};
+
+struct Lts {
+  std::string name;   // proctype name
+  int proctype{-1};
+  int init{0};
+  int n_states{0};    // reachable control locations only
+  std::vector<LtsTransition> trans;
+  std::vector<std::vector<int>> out;  // state -> indices into trans
+  std::vector<std::uint8_t> flags;    // state -> StateFlag bits
+
+  /// Canonical action texts; index = action id.
+  std::vector<std::string> actions;
+  /// Per-action: does the composition observe it? (channel/global access,
+  /// assert, crash). Internal actions are the tau steps of weak reduction.
+  std::vector<bool> action_visible;
+  /// Per-action: a pure no-effect always-executable step (OpKind::Noop) --
+  /// the only actions the weak mode may contract away.
+  std::vector<bool> action_skip;
+
+  int n_visible_actions() const;
+};
+
+/// Canonical, platform-stable serialization of an expression tree.
+std::string canonical_expr(const expr::Pool& pool, expr::Ref r);
+
+/// Canonical serialization of a CFG transition as an LTS action label.
+std::string canonical_action(const model::SystemSpec& sys,
+                             const compile::Transition& t);
+
+/// True if the composition cannot observe `t` (no shared reads/writes, not
+/// an assert, not a crash event).
+bool is_internal(const compile::Transition& t);
+
+/// Extracts the LTS of `proc`, restricted to control locations reachable
+/// from the entry point (branch merging leaves orphaned pcs behind; they
+/// never occur in any run and must not pollute the partition).
+Lts extract_lts(const model::SystemSpec& sys,
+                const compile::CompiledProc& proc);
+
+}  // namespace pnp::reduce

@@ -1,0 +1,177 @@
+#include "reduce/minimize.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/panic.h"
+
+namespace pnp::reduce {
+
+const char* to_string(Equivalence eq) {
+  switch (eq) {
+    case Equivalence::Strong: return "strong";
+    case Equivalence::Weak: return "weak";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A state is tau-contractible when its only move is a no-effect,
+/// always-executable skip to a different state with identical flags:
+/// pausing there is indistinguishable (to the composition and to the
+/// deadlock/end-state rules) from having already moved on.
+bool contractible(const Lts& lts, int s) {
+  const auto& edges = lts.out[static_cast<std::size_t>(s)];
+  if (edges.size() != 1) return false;
+  const LtsTransition& t = lts.trans[static_cast<std::size_t>(edges[0])];
+  if (!lts.action_skip[static_cast<std::size_t>(t.action)]) return false;
+  if (t.dst == s) return false;
+  return lts.flags[static_cast<std::size_t>(t.dst)] ==
+         lts.flags[static_cast<std::size_t>(s)];
+}
+
+/// Resolves tau chains to their representatives. A pure skip cycle keeps
+/// its states (contracting a divergence would fabricate a deadlock).
+std::vector<int> tau_representatives(const Lts& lts) {
+  enum : std::uint8_t { kUnseen, kOnPath, kDone };
+  std::vector<std::uint8_t> mark(static_cast<std::size_t>(lts.n_states),
+                                 kUnseen);
+  std::vector<int> rep(static_cast<std::size_t>(lts.n_states), -1);
+  for (int s0 = 0; s0 < lts.n_states; ++s0) {
+    if (mark[static_cast<std::size_t>(s0)] == kDone) continue;
+    std::vector<int> path;
+    int s = s0;
+    // Walk the chain of deterministic skips until it stops or loops.
+    while (mark[static_cast<std::size_t>(s)] == kUnseen &&
+           contractible(lts, s)) {
+      mark[static_cast<std::size_t>(s)] = kOnPath;
+      path.push_back(s);
+      s = lts.trans[static_cast<std::size_t>(
+                        lts.out[static_cast<std::size_t>(s)][0])]
+              .dst;
+    }
+    int target;
+    if (mark[static_cast<std::size_t>(s)] == kOnPath) {
+      // Skip cycle: every state on the cycle keeps itself.
+      target = -1;
+    } else {
+      target = mark[static_cast<std::size_t>(s)] == kDone
+                   ? rep[static_cast<std::size_t>(s)]
+                   : s;
+      if (mark[static_cast<std::size_t>(s)] == kUnseen) {
+        rep[static_cast<std::size_t>(s)] = s;
+        mark[static_cast<std::size_t>(s)] = kDone;
+      }
+    }
+    while (!path.empty()) {
+      const int p = path.back();
+      path.pop_back();
+      rep[static_cast<std::size_t>(p)] = target < 0 ? p : target;
+      mark[static_cast<std::size_t>(p)] = kDone;
+      // States on the detected cycle keep themselves; once we pop past the
+      // cycle entry the suffix resolves normally to the entry's rep.
+      if (target < 0 && p == s) target = rep[static_cast<std::size_t>(p)];
+    }
+  }
+  for (int s = 0; s < lts.n_states; ++s)
+    if (rep[static_cast<std::size_t>(s)] < 0)
+      rep[static_cast<std::size_t>(s)] = s;
+  return rep;
+}
+
+/// Signature-based strong-bisimulation refinement over a state subset
+/// selected by `alive` (dead states are tau-contracted ones; their edges
+/// are viewed through `redirect`).
+Partition refine(const Lts& lts, const std::vector<int>& rep) {
+  const std::size_t n = static_cast<std::size_t>(lts.n_states);
+  std::vector<int> block(n, -1);
+
+  // Initial partition: state flags (respecting atomic/valid-end is what
+  // keeps the quotient a drop-in proctype).
+  {
+    std::map<std::uint8_t, int> by_flags;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (rep[s] != static_cast<int>(s)) continue;
+      auto [it, fresh] =
+          by_flags.emplace(lts.flags[s], static_cast<int>(by_flags.size()));
+      block[s] = it->second;
+      (void)fresh;
+    }
+  }
+
+  using Sig = std::pair<int, std::vector<std::pair<int, int>>>;
+  int n_blocks = 0;
+  for (std::size_t s = 0; s < n; ++s)
+    if (rep[s] == static_cast<int>(s)) n_blocks = std::max(n_blocks, block[s] + 1);
+
+  for (int round = 0; round < lts.n_states + 1; ++round) {
+    std::map<Sig, int> sig_ids;
+    std::vector<int> next(n, -1);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (rep[s] != static_cast<int>(s)) continue;
+      Sig sig;
+      sig.first = block[s];
+      for (int ti : lts.out[s]) {
+        const LtsTransition& t = lts.trans[static_cast<std::size_t>(ti)];
+        // A contracted state never keeps outgoing edges (its single skip is
+        // the one being removed), so src == rep here by construction.
+        const int dst_rep = rep[static_cast<std::size_t>(t.dst)];
+        sig.second.emplace_back(t.action,
+                                block[static_cast<std::size_t>(dst_rep)]);
+      }
+      std::sort(sig.second.begin(), sig.second.end());
+      sig.second.erase(std::unique(sig.second.begin(), sig.second.end()),
+                       sig.second.end());
+      auto [it, fresh] =
+          sig_ids.emplace(std::move(sig), static_cast<int>(sig_ids.size()));
+      (void)fresh;
+      next[s] = it->second;
+    }
+    const int n_next = static_cast<int>(sig_ids.size());
+    // The old block id is part of the signature, so each round refines the
+    // previous partition; an unchanged count means a fixed point.
+    const bool stable = n_next == n_blocks;
+    block.swap(next);
+    n_blocks = n_next;
+    if (stable) break;
+  }
+
+  Partition p;
+  p.block_of.assign(n, -1);
+  // Renumber blocks densely in order of first occurrence (deterministic),
+  // then project contracted states onto their representative's block. The
+  // first representative seen in each block becomes its leader.
+  std::vector<int> renumber(static_cast<std::size_t>(n_blocks), -1);
+  int next_id = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (rep[s] != static_cast<int>(s)) continue;
+    int& r = renumber[static_cast<std::size_t>(block[s])];
+    if (r < 0) {
+      r = next_id++;
+      p.leader_of.push_back(static_cast<int>(s));
+    }
+    p.block_of[s] = r;
+  }
+  for (std::size_t s = 0; s < n; ++s)
+    if (rep[s] != static_cast<int>(s))
+      p.block_of[s] = p.block_of[static_cast<std::size_t>(rep[s])];
+  p.n_blocks = next_id;
+  return p;
+}
+
+}  // namespace
+
+Partition minimize(const Lts& lts, Equivalence eq) {
+  PNP_CHECK(lts.n_states > 0, "minimize: empty LTS");
+  std::vector<int> rep(static_cast<std::size_t>(lts.n_states));
+  if (eq == Equivalence::Weak) {
+    rep = tau_representatives(lts);
+  } else {
+    for (int s = 0; s < lts.n_states; ++s)
+      rep[static_cast<std::size_t>(s)] = s;
+  }
+  return refine(lts, rep);
+}
+
+}  // namespace pnp::reduce

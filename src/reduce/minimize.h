@@ -1,0 +1,56 @@
+// Partition-refinement minimization of per-process LTSs.
+//
+// Strong mode computes the coarsest strong bisimulation respecting action
+// labels and state flags (atomic / valid-end): two control locations are
+// merged only when every action one can take, the other can take with an
+// equivalent target. The quotient is therefore a drop-in replacement for
+// any obligation class -- deadlock, invariants, assertions, and LTL --
+// because the composition cannot tell merged locations apart even
+// step-for-step.
+//
+// Weak mode first contracts *deterministic tau steps* (a location whose
+// only move is a no-effect, always-executable Noop collapses into its
+// successor when both share flags) and then applies the strong refinement.
+// The contraction only removes stutter steps of the composed system, so it
+// preserves deadlock, state invariants, end invariants, and assertions
+// exactly; step-counting (LTL with implicit next-step granularity) may
+// observe the missing stutter, so LTL obligations use strong mode.
+//
+// The refinement itself is signature-based partition refinement (Blom &
+// Orzan style): each round re-buckets every state by its (flags, current
+// block, sorted set of (action, successor block)) signature until a fixed
+// point. That computes the same coarsest partition as Paige-Tarjan's
+// splitter algorithm; at CFG sizes (tens to a few hundred locations per
+// proctype) the simpler round-based form is preferable to the
+// O(m log n) machinery.
+#pragma once
+
+#include <vector>
+
+#include "reduce/lts.h"
+
+namespace pnp::reduce {
+
+enum class Equivalence : std::uint8_t {
+  Strong,  // coarsest strong bisimulation (safe for every obligation)
+  Weak,    // deterministic-tau contraction + strong (safe for deadlock,
+           // invariant, end-invariant, and assertion obligations)
+};
+
+const char* to_string(Equivalence eq);
+
+struct Partition {
+  int n_blocks{0};
+  std::vector<int> block_of;  // LTS state -> block id (0-based, dense)
+  /// One state per block whose outgoing edges define the quotient's
+  /// transitions. Never a tau-contracted state (a contracted state's only
+  /// edge is the skip being removed; emitting from it would erase the
+  /// block's real behaviour).
+  std::vector<int> leader_of;
+};
+
+/// Computes the quotient partition of `lts` under `eq`. Deterministic:
+/// block ids are assigned in order of first state occurrence.
+Partition minimize(const Lts& lts, Equivalence eq);
+
+}  // namespace pnp::reduce

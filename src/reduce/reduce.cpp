@@ -1,0 +1,125 @@
+#include "reduce/reduce.h"
+
+#include <map>
+#include <sstream>
+
+#include "support/panic.h"
+
+namespace pnp::reduce {
+
+int ReductionStats::total_states_before() const {
+  int n = 0;
+  for (const ProcReduction& p : procs) n += p.states_before;
+  return n;
+}
+
+int ReductionStats::total_states_after() const {
+  int n = 0;
+  for (const ProcReduction& p : procs) n += p.states_after;
+  return n;
+}
+
+double ReductionStats::product_bound(const model::SystemSpec& sys) const {
+  double bound = 1.0;
+  for (const model::ProcessInst& inst : sys.processes) {
+    const ProcReduction& p =
+        procs[static_cast<std::size_t>(inst.proctype)];
+    bound *= p.ratio();
+  }
+  return bound;
+}
+
+std::string ReductionStats::summary() const {
+  std::ostringstream os;
+  os << to_string(eq) << " minimization: control locations "
+     << total_states_before() << " -> " << total_states_after() << " (";
+  bool first = true;
+  for (const ProcReduction& p : procs) {
+    if (p.states_before == p.states_after) continue;
+    if (!first) os << ", ";
+    os << p.name << " " << p.states_before << "->" << p.states_after;
+    first = false;
+  }
+  if (first) os << "no proctype shrank";
+  os << ")";
+  return os.str();
+}
+
+compile::CompiledProc reduce_proc(const model::SystemSpec& sys,
+                                  const compile::CompiledProc& proc,
+                                  Equivalence eq, ProcReduction* stats) {
+  const Lts lts = extract_lts(sys, proc);
+  const Partition part = minimize(lts, eq);
+
+  compile::CompiledProc q;
+  q.name = proc.name;
+  q.proctype = proc.proctype;
+  q.n_params = proc.n_params;
+  q.frame_size = proc.frame_size;
+  q.frame_init = proc.frame_init;
+  q.entry = part.block_of[static_cast<std::size_t>(lts.init)];
+  q.n_pcs = part.n_blocks;
+  q.atomic_at.assign(static_cast<std::size_t>(part.n_blocks), false);
+  q.valid_end.assign(static_cast<std::size_t>(part.n_blocks), false);
+
+  // The block leader supplies flags and transitions. Every non-contracted
+  // member of a block has the same flags and the same (action,
+  // target-block) signature, so the choice among them does not matter;
+  // tau-contracted states are never leaders (their only edge is the skip
+  // being removed).
+  for (int b = 0; b < part.n_blocks; ++b) {
+    const int s = part.leader_of[static_cast<std::size_t>(b)];
+    PNP_CHECK(s >= 0, "reduce_proc: empty block");
+    const std::uint8_t flags = lts.flags[static_cast<std::size_t>(s)];
+    q.atomic_at[static_cast<std::size_t>(b)] = (flags & kFlagAtomic) != 0;
+    q.valid_end[static_cast<std::size_t>(b)] = (flags & kFlagValidEnd) != 0;
+
+    // Emit the leader's edges, deduplicating identical actions to the same
+    // target block (identical guard + identical effect: a nondeterministic
+    // choice between copies is one choice).
+    std::map<std::pair<int, int>, bool> emitted;
+    for (int ti : lts.out[static_cast<std::size_t>(s)]) {
+      const LtsTransition& lt = lts.trans[static_cast<std::size_t>(ti)];
+      const int dst_block =
+          part.block_of[static_cast<std::size_t>(lt.dst)];
+      if (!emitted.emplace(std::make_pair(lt.action, dst_block), true)
+               .second)
+        continue;
+      compile::Transition t =
+          proc.trans[static_cast<std::size_t>(lt.cfg_trans)];
+      t.src = b;
+      t.dst = dst_block;
+      q.trans.push_back(std::move(t));
+    }
+  }
+
+  q.out.assign(static_cast<std::size_t>(q.n_pcs), {});
+  for (std::size_t i = 0; i < q.trans.size(); ++i)
+    q.out[static_cast<std::size_t>(q.trans[i].src)].push_back(
+        static_cast<int>(i));
+
+  if (stats) {
+    stats->name = proc.name;
+    stats->states_before = lts.n_states;
+    stats->states_after = part.n_blocks;
+    stats->trans_before = static_cast<int>(lts.trans.size());
+    stats->trans_after = static_cast<int>(q.trans.size());
+  }
+  return q;
+}
+
+ReducedMachine::ReducedMachine(const kernel::Machine& m, Equivalence eq)
+    : machine_([&] {
+        stats_.eq = eq;
+        stats_.procs.resize(m.compiled().size());
+        std::vector<compile::CompiledProc> procs;
+        procs.reserve(m.compiled().size());
+        for (std::size_t i = 0; i < m.compiled().size(); ++i)
+          procs.push_back(reduce_proc(m.spec(), m.compiled()[i], eq,
+                                      &stats_.procs[i]));
+        // substitute() validates the quotients against the original frame
+        // layout before the search ever runs on them
+        return m.substitute(std::move(procs));
+      }()) {}
+
+}  // namespace pnp::reduce

@@ -1,0 +1,74 @@
+// Compositional reduction: minimize every proctype's LTS and re-inject the
+// quotients as drop-in compiled proctypes, so the composed machine explores
+// the reduced product instead of the full-detail one.
+//
+// Soundness contract (see DESIGN.md section 10):
+//   * Equivalence::Strong preserves every obligation class this repo
+//     checks: assertions, deadlock, state invariants, end invariants, LTL.
+//   * Equivalence::Weak additionally contracts deterministic tau steps and
+//     preserves assertions, deadlock, state invariants, and end invariants
+//     exactly; LTL callers must use Strong.
+// Counterexample traces found on a reduced machine are genuine traces of
+// the reduced product; under Weak they may omit stutter steps of the
+// original.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/machine.h"
+#include "reduce/minimize.h"
+
+namespace pnp::reduce {
+
+/// Per-proctype reduction accounting.
+struct ProcReduction {
+  std::string name;
+  int states_before{0};  // reachable control locations
+  int states_after{0};
+  int trans_before{0};
+  int trans_after{0};
+
+  double ratio() const {
+    return states_after > 0
+               ? static_cast<double>(states_before) / states_after
+               : 1.0;
+  }
+};
+
+struct ReductionStats {
+  Equivalence eq{Equivalence::Strong};
+  std::vector<ProcReduction> procs;
+
+  int total_states_before() const;
+  int total_states_after() const;
+  /// Upper bound on the product-space shrink factor: the product of the
+  /// per-proctype location ratios, each raised to the number of running
+  /// instances. The measured global ratio (explored states full vs
+  /// reduced) is reported by callers that run both searches.
+  double product_bound(const model::SystemSpec& sys) const;
+  std::string summary() const;
+};
+
+/// Minimizes one compiled proctype: extract LTS -> partition -> quotient.
+/// The result is a drop-in CompiledProc over the same frame layout.
+compile::CompiledProc reduce_proc(const model::SystemSpec& sys,
+                                  const compile::CompiledProc& proc,
+                                  Equivalence eq, ProcReduction* stats);
+
+/// A machine over the same SystemSpec whose proctypes have been replaced
+/// by their minimized quotients. The spec referenced by `m` must outlive
+/// this object (same lifetime rule as kernel::Machine itself).
+class ReducedMachine {
+ public:
+  ReducedMachine(const kernel::Machine& m, Equivalence eq);
+
+  const kernel::Machine& machine() const { return machine_; }
+  const ReductionStats& stats() const { return stats_; }
+
+ private:
+  ReductionStats stats_;
+  kernel::Machine machine_;
+};
+
+}  // namespace pnp::reduce

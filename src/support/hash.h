@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 
 namespace pnp {
 
@@ -36,6 +37,19 @@ inline std::uint64_t hash_bytes(std::span<const std::uint8_t> bytes,
 /// Independent second hash for Bloom-style bitstate storage.
 inline std::uint64_t hash_bytes2(std::span<const std::uint8_t> bytes) {
   return hash_bytes(bytes, 0x9e3779b97f4a7c15ull);
+}
+
+/// Platform- and endian-stable 64-bit digest of a text. This is the ONLY
+/// hash the content-addressed verification cache may use for persisted
+/// keys: FNV-1a consumes bytes one at a time (no word-width or byte-order
+/// dependence) and every constant is pinned above, so the same canonical
+/// text digests identically on every machine -- a cache written on one
+/// host is valid on another. tests/test_reduce.cpp pins known digests;
+/// changing this function invalidates persisted caches and must bump
+/// reduce::kCacheFormatVersion.
+inline std::uint64_t stable_hash64(std::string_view text) {
+  return hash_bytes(
+      {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
 }
 
 }  // namespace pnp

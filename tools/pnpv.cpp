@@ -31,6 +31,17 @@
 //                           reorder, timeout (TARGET comp.port), or crash
 //                           (TARGET component); N = retry/crash budget
 //     --optimize            (.arch) substitute optimized connector models
+//     --minimize [weak|strong]
+//                           quotient every proctype by bisimulation before
+//                           exploring (default weak = also contracts
+//                           internal skip steps; LTL checks always use the
+//                           strong quotient). Verdicts are unchanged; state
+//                           counts shrink.
+//     --cache-dir DIR       (.arch) verify as a suite of content-addressed
+//                           obligations with verdicts persisted under DIR:
+//                           re-runs of an unchanged design answer from the
+//                           cache, a connector swap re-verifies only the
+//                           dirtied slice
 //     --dot                 (.arch) print the Graphviz rendering and exit
 //     --simulate N          print an N-step random simulation instead
 //     --seed N              simulation seed (default 1)
@@ -42,6 +53,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -70,6 +82,8 @@ struct Args {
   bool por = false;
   bool bfs = false;
   bool optimize = false;
+  MinimizeMode minimize = MinimizeMode::Off;
+  std::string cache_dir;
   bool dot = false;
   bool resilience = false;
   std::vector<FaultSpec> fault_list;
@@ -91,6 +105,7 @@ struct Args {
       "            [--no-deadlock-check] [--por] [--bfs] [--threads N]\n"
       "            [--max-states N]\n"
       "            [--deadline S] [--memory-mb N]\n"
+      "            [--minimize [weak|strong]] [--cache-dir DIR]\n"
       "            [--optimize] [--dot] [--resilience [--fault K:T[:N]]...]\n"
       "            [--simulate N [--seed N] [--msc]]\n");
   std::exit(2);
@@ -117,6 +132,16 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--por") a.por = true;
     else if (arg == "--bfs") a.bfs = true;
     else if (arg == "--optimize") a.optimize = true;
+    else if (arg == "--minimize") {
+      a.minimize = MinimizeMode::Weak;
+      // the equivalence is an optional value: "--minimize strong"
+      if (i + 1 < argc && (std::strcmp(argv[i + 1], "weak") == 0 ||
+                           std::strcmp(argv[i + 1], "strong") == 0))
+        a.minimize = std::strcmp(argv[++i], "strong") == 0
+                         ? MinimizeMode::Strong
+                         : MinimizeMode::Weak;
+    }
+    else if (arg == "--cache-dir") a.cache_dir = value();
     else if (arg == "--dot") a.dot = true;
     else if (arg == "--max-states") a.max_states = std::stoull(value());
     else if (arg == "--threads") {
@@ -208,6 +233,20 @@ int run_checks(const Args& args, const kernel::Machine& m,
                const ExprParser& parse_expr) {
   bool all_ok = true;
 
+  // --minimize: explore the product of per-process bisimulation quotients
+  // instead of the raw machine. The weak quotient is used for the safety
+  // search; LTL always gets the strong one (weak tau-contraction is not
+  // stutter-sound).
+  std::optional<reduce::ReducedMachine> safety_red, ltl_red;
+  const kernel::Machine* safety_m = &m;
+  if (args.minimize != MinimizeMode::Off) {
+    safety_red.emplace(m, args.minimize == MinimizeMode::Weak
+                              ? reduce::Equivalence::Weak
+                              : reduce::Equivalence::Strong);
+    safety_m = &safety_red->machine();
+    std::printf("%s\n", safety_red->stats().summary().c_str());
+  }
+
   {
     explore::Options opt;
     opt.max_states = args.max_states;
@@ -225,7 +264,7 @@ int run_checks(const Args& args, const kernel::Machine& m,
       opt.end_invariant = parse_expr(args.end_invariant);
       opt.end_invariant_name = args.end_invariant;
     }
-    const explore::Result r = explore::explore(m, opt);
+    const explore::Result r = explore::explore(*safety_m, opt);
     std::printf("[%s] safety (assertions%s%s%s)\n", r.ok() ? "PASS" : "FAIL",
                 args.deadlock_check ? " + deadlock" : "",
                 args.invariant.empty() ? "" : " + invariant",
@@ -241,6 +280,15 @@ int run_checks(const Args& args, const kernel::Machine& m,
   }
 
   if (!args.ltl.empty()) {
+    const kernel::Machine* ltl_m = &m;
+    if (args.minimize == MinimizeMode::Strong) {
+      ltl_m = &safety_red->machine();
+    } else if (args.minimize == MinimizeMode::Weak) {
+      ltl_red.emplace(m, reduce::Equivalence::Strong);
+      ltl_m = &ltl_red->machine();
+      std::printf("LTL uses the strong quotient: %s\n",
+                  ltl_red->stats().summary().c_str());
+    }
     ltl::PropertyContext props;
     for (const auto& [name, text] : args.props)
       props.add(name, parse_expr(text));
@@ -249,7 +297,7 @@ int run_checks(const Args& args, const kernel::Machine& m,
       copt.max_states = args.max_states;
       copt.weak_fairness = args.fair;
       copt.threads = args.threads;
-      const ltl::LtlResult r = ltl::check_ltl(m, props, formula, copt);
+      const ltl::LtlResult r = ltl::check_ltl(*ltl_m, props, formula, copt);
       std::printf("[%s] LTL %s%s  (Buchi states: %zu)\n",
                   r.holds ? "PASS" : "FAIL", formula.c_str(),
                   args.fair ? " [weak fairness]" : "", r.buchi_states);
@@ -300,6 +348,30 @@ int main(int argc, char** argv) {
         std::printf("%s", rep.report().c_str());
         return rep.baseline_passed() && rep.all_tolerated() ? 0 : 1;
       }
+      if (!args.cache_dir.empty()) {
+        // cached obligation-suite path: local per-connector protocol
+        // obligations + global properties, verdicts persisted under DIR
+        SuiteOptions sopt;
+        sopt.verify.max_states = args.max_states;
+        sopt.verify.check_deadlock = args.deadlock_check;
+        sopt.verify.por = args.por;
+        sopt.verify.bfs = args.bfs;
+        sopt.verify.deadline_seconds = args.deadline;
+        sopt.verify.memory_budget_bytes =
+            args.memory_mb * (std::uint64_t{1} << 20);
+        sopt.verify.threads = args.threads;
+        sopt.verify.minimize = args.minimize;
+        sopt.gen.optimize_connectors = args.optimize;
+        sopt.invariant_text = args.invariant;
+        sopt.end_invariant_text = args.end_invariant;
+        sopt.props = args.props;
+        sopt.ltl = args.ltl;
+        sopt.ltl_weak_fairness = args.fair;
+        sopt.cache_dir = args.cache_dir;
+        const SuiteReport rep = verify_obligations(arch, sopt);
+        std::printf("%s", rep.report().c_str());
+        return rep.all_passed() ? 0 : 1;
+      }
       ModelGenerator gen;
       const kernel::Machine m =
           gen.generate(arch, {.optimize_connectors = args.optimize});
@@ -312,6 +384,8 @@ int main(int argc, char** argv) {
       });
     }
 
+    if (!args.cache_dir.empty())
+      usage("--cache-dir applies to .arch designs only");
     model::SystemSpec sys = pml::parse(slurp(args.model_path));
     kernel::Machine m(sys);
     std::printf("model: %s  (%zu processes, %zu channels, %zu globals)\n",
