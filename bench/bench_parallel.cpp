@@ -1,13 +1,16 @@
-// Parallel-exploration throughput: states/second of the sharded exact
-// engine across a thread sweep, plus the seeded bitstate swarm, on the
-// optimized v1 bridge. Doubles as an end-to-end determinism check: every
-// complete exact run must store exactly the same number of states.
+// Parallel-exploration throughput: states/second and visited-store
+// bytes/state of the exact engines across a thread sweep, plus the seeded
+// bitstate swarm, on the optimized v1 bridge, and a bounded sweep on the
+// polling-heavy v2 bridge (paper Fig. 14). Doubles as an end-to-end
+// determinism check: every complete exact run must store exactly the same
+// number of states.
 //
 //   bench_parallel [--quick] [--json]
 //
 // --quick shrinks the instance for CI smoke runs; --json emits the rows as
-// a JSON array ({bench, threads, states, states_per_sec, wall_seconds})
-// consumed by scripts/bench.sh and uploaded as the CI bench artifact.
+// a JSON array ({bench, threads, states, states_per_sec, bytes_per_state,
+// wall_seconds}) consumed by scripts/bench.sh (which gates bytes_per_state
+// against the committed baseline) and uploaded as the CI bench artifact.
 #include <algorithm>
 #include <cstring>
 #include <string>
@@ -28,21 +31,28 @@ struct Row {
   std::string bench;
   int threads{1};
   std::uint64_t states{0};
+  std::uint64_t store_bytes{0};
   double wall{0.0};
 
   double states_per_sec() const {
     return static_cast<double>(states) / std::max(wall, 1e-9);
   }
+  double bytes_per_state() const {
+    return states > 0 ? static_cast<double>(store_bytes) /
+                            static_cast<double>(states)
+                      : 0.0;
+  }
 };
 
 explore::Result run(const kernel::Machine& m, expr::Ref inv, int threads,
-                    bool bitstate) {
+                    bool bitstate, std::uint64_t max_states = 0) {
   explore::Options opt;
   opt.want_trace = false;
   opt.invariant = inv;
   opt.invariant_name = "safety";
   opt.threads = threads;
   opt.bitstate = bitstate;
+  if (max_states > 0) opt.max_states = max_states;
   if (bitstate) opt.bitstate_bytes = std::uint64_t{1} << 24;
   return explore::explore(m, opt);
 }
@@ -84,14 +94,37 @@ int main(int argc, char** argv) {
     if (t == 1) seq_states = r.stats.states_stored;
     else ok = ok && r.stats.states_stored == seq_states;
     rows.push_back({"bridge_exact", t, r.stats.states_stored,
-                    r.stats.seconds});
+                    r.stats.store_bytes, r.stats.seconds});
   }
   {
     const int t = quick ? 2 : std::min(hw, 4);
     const explore::Result r = run(m, inv, t, true);
     ok = ok && r.ok();
     rows.push_back({"bridge_swarm", t, r.stats.states_stored,
-                    r.stats.seconds});
+                    r.stats.store_bytes, r.stats.seconds});
+  }
+
+  // The polling-heavy v2 bridge (paper Fig. 14): its interleaving space is
+  // too large to exhaust, so these are BOUNDED rows -- "no violation within
+  // N states" -- and truncated runs explore thread-dependent subsets, so no
+  // cross-thread state-count assertion here (the full-space guarantee is
+  // covered by the v1 rows and the store-equivalence tests).
+  {
+    BridgeConfig v2cfg;
+    v2cfg.cars_per_side = 1;
+    v2cfg.batch_n = 1;
+    v2cfg.enter_queue_capacity = 1;
+    Architecture v2arch = make_v2(v2cfg);
+    ModelGenerator v2gen;
+    const kernel::Machine m2 = v2gen.generate(v2arch);
+    const expr::Ref inv2 = safety_invariant(v2gen).ref;
+    const std::uint64_t bound = quick ? 150'000 : 2'000'000;
+    for (const int t : sweep) {
+      const explore::Result r = run(m2, inv2, t, false, bound);
+      ok = ok && r.ok();
+      rows.push_back({"bridge_v2_exact", t, r.stats.states_stored,
+                      r.stats.store_bytes, r.stats.seconds});
+    }
   }
 
   if (json) {
@@ -99,24 +132,29 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::printf("  {\"bench\": \"%s\", \"threads\": %d, \"states\": %llu, "
-                  "\"states_per_sec\": %.1f, \"wall_seconds\": %.6f}%s\n",
+                  "\"states_per_sec\": %.1f, \"bytes_per_state\": %.1f, "
+                  "\"wall_seconds\": %.6f}%s\n",
                   r.bench.c_str(), r.threads,
                   static_cast<unsigned long long>(r.states),
-                  r.states_per_sec(), r.wall, i + 1 < rows.size() ? "," : "");
+                  r.states_per_sec(), r.bytes_per_state(), r.wall,
+                  i + 1 < rows.size() ? "," : "");
     }
     std::printf("]\n");
   } else {
     std::printf("parallel exploration throughput (v1 bridge, %d car(s)/side, "
                 "optimized blocks)\n\n",
                 cfg.cars_per_side);
-    print_header({"bench", "threads", "states", "states/sec", "time"},
-                 {14, 9, 12, 14, 12});
+    print_header({"bench", "threads", "states", "states/sec", "B/state",
+                  "time"},
+                 {16, 9, 12, 14, 10, 12});
     for (const Row& r : rows) {
-      print_cell(r.bench, 14);
+      print_cell(r.bench, 16);
       print_cell(std::to_string(r.threads), 9);
       print_cell(std::to_string(r.states), 12);
       print_cell(std::to_string(static_cast<long long>(r.states_per_sec())),
                  14);
+      print_cell(std::to_string(static_cast<long long>(r.bytes_per_state())),
+                 10);
       print_cell(fmt_ms(r.wall) + " ms", 12);
       std::printf("\n");
     }

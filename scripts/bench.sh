@@ -7,6 +7,12 @@
 #   scripts/bench.sh --smoke         # quick CI-sized run -> BENCH_ci.json
 #   scripts/bench.sh --out FILE.json # choose the output path
 #
+# Smoke runs also gate memory efficiency: when the output path already holds
+# a committed baseline, any row whose bytes_per_state grew by more than 10%
+# against the matching (bench, threads) baseline row fails the run.
+# states_per_sec is deliberately NOT gated -- CI machines are too noisy for
+# wall-clock assertions, but bytes/state is deterministic.
+#
 # Rows: {"bench", "threads", "states", "states_per_sec", "wall_seconds"} from
 # bench_parallel, plus {"bench", "mode", "states", "ratio", ...} reduction-
 # ratio rows and {"bench", "mode", "obligations", "cache_hits", "hit_rate",
@@ -30,16 +36,52 @@ if [[ -z "$out" ]]; then
   out=$([[ $smoke -eq 1 ]] && echo BENCH_ci.json || echo BENCH.json)
 fi
 
+# Preserve the committed baseline (if any) before it is overwritten, for the
+# bytes/state regression gate below.
+baseline=""
+if [[ $smoke -eq 1 && -f "$out" ]]; then
+  baseline=$(mktemp)
+  cp "$out" "$baseline"
+fi
+
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench -j --target bench_parallel --target bench_reduce
 
 args=(--json)
 [[ $smoke -eq 1 ]] && args+=(--quick)
 tmp_parallel=$(mktemp) tmp_reduce=$(mktemp)
-trap 'rm -f "$tmp_parallel" "$tmp_reduce"' EXIT
+trap 'rm -f "$tmp_parallel" "$tmp_reduce" ${baseline:+"$baseline"}' EXIT
 ./build-bench/bench/bench_parallel "${args[@]}" > "$tmp_parallel"
 ./build-bench/bench/bench_reduce "${args[@]}" > "$tmp_reduce"
 # Merge the two JSON arrays: drop bench_parallel's closing bracket and
 # bench_reduce's opening one, joined by a bare comma row separator.
 { sed '$d' "$tmp_parallel"; echo '  ,'; sed '1d' "$tmp_reduce"; } | tee "$out"
 echo "wrote $out" >&2
+
+if [[ -n "$baseline" ]]; then
+  awk '
+    /"bytes_per_state"/ {
+      bench = ""; threads = ""; bps = ""
+      if (match($0, /"bench": "[^"]+"/))
+        bench = substr($0, RSTART + 10, RLENGTH - 11)
+      if (match($0, /"threads": [0-9]+/))
+        threads = substr($0, RSTART + 11, RLENGTH - 11)
+      if (match($0, /"bytes_per_state": [0-9.]+/))
+        bps = substr($0, RSTART + 19, RLENGTH - 19)
+      key = bench "/" threads
+      if (FILENAME == ARGV[1]) old[key] = bps + 0
+      else cur[key] = bps + 0
+    }
+    END {
+      bad = 0
+      for (k in cur) {
+        if (k in old && old[k] > 0 && cur[k] > old[k] * 1.10) {
+          printf "FAIL bytes/state regression in %s: %.1f -> %.1f (>10%%)\n",
+                 k, old[k], cur[k] > "/dev/stderr"
+          bad = 1
+        }
+      }
+      exit bad
+    }' "$baseline" "$out" || { echo "bytes/state gate FAILED" >&2; exit 1; }
+  echo "bytes/state gate passed (baseline: committed $out)" >&2
+fi

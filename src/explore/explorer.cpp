@@ -4,11 +4,11 @@
 #include <chrono>
 #include <deque>
 #include <thread>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "explore/por.h"
 #include "explore/visited.h"
+#include "kernel/compress.h"
 #include "support/hash.h"
 #include "support/panic.h"
 
@@ -46,15 +46,61 @@ using kernel::State;
 using kernel::Step;
 using kernel::Succ;
 
+constexpr std::uint64_t kBudgetCheckStride = 1024;
+
+/// Visited-table pre-size hint: honor a caller-set max_states bound exactly,
+/// but cap the speculative up-front allocation -- the flat tables double
+/// cheaply past the cap.
+std::uint64_t expected_states(const Options& opt) {
+  return std::min<std::uint64_t>(opt.max_states, std::uint64_t{1} << 16);
+}
+
+std::optional<Violation> invariant_violation(const Machine& m,
+                                             const Options& opt,
+                                             const State& s) {
+  if (opt.invariant != expr::kNoExpr && m.eval_global(opt.invariant, s) == 0) {
+    Violation v;
+    v.kind = ViolationKind::InvariantViolated;
+    v.message = "invariant violated" +
+                (opt.invariant_name.empty() ? std::string()
+                                            : ": " + opt.invariant_name);
+    return v;
+  }
+  return std::nullopt;
+}
+
+/// Checks that apply only to states with no successors (deadlock and the
+/// end-state invariant), in the historical precedence order.
+std::optional<Violation> terminal_violation(const Machine& m,
+                                            const Options& opt,
+                                            const State& s) {
+  if (opt.check_deadlock && !m.is_valid_end(s)) {
+    Violation v;
+    v.kind = ViolationKind::Deadlock;
+    v.message = "no executable transition and not all processes at a "
+                "valid end state";
+    return v;
+  }
+  if (opt.end_invariant != expr::kNoExpr &&
+      m.eval_global(opt.end_invariant, s) == 0) {
+    Violation v;
+    v.kind = ViolationKind::EndInvariantViolated;
+    v.message =
+        "terminal state violates end invariant" +
+        (opt.end_invariant_name.empty() ? std::string()
+                                        : ": " + opt.end_invariant_name);
+    return v;
+  }
+  return std::nullopt;
+}
+
 /// Deterministic per-state successor shuffle for swarm workers: seeded by
 /// (worker seed, state key hash) so regenerating a DFS frame's successor
 /// list reproduces the exact same order.
 void permute_succs(std::vector<Succ>& succs, std::uint64_t perm_seed,
                    const std::string& key) {
   if (succs.size() < 2) return;
-  std::uint64_t x = avalanche64(
-      perm_seed ^ hash_bytes({reinterpret_cast<const std::uint8_t*>(key.data()),
-                              key.size()}));
+  std::uint64_t x = avalanche64(perm_seed ^ hash_bytes(byte_span(key)));
   for (std::size_t i = succs.size() - 1; i > 0; --i) {
     // xorshift64* step, then reduce; bias is irrelevant here
     x ^= x >> 12;
@@ -66,10 +112,465 @@ void permute_succs(std::vector<Succ>& succs, std::uint64_t perm_seed,
   }
 }
 
-class Run {
+/// The streaming sequential engine: COLLAPSE component compression, flat
+/// visited store, and mutate-and-revert successor generation. Runs every
+/// non-permuted single-threaded search (exact and bitstate). Discovery
+/// order -- and therefore verdicts, stored-state counts, counterexample
+/// trails, and the exact bit pattern of the bitstate filter -- is identical
+/// to the historical copy-based engine (DESIGN.md section 11 has the
+/// step-by-step argument).
+class FlatRun {
  public:
-  Run(const Machine& m, const Options& opt, std::uint64_t perm_seed = 0,
-      std::uint64_t bitstate_seed = 0, const std::atomic<bool>* stop = nullptr)
+  FlatRun(const Machine& m, const Options& opt, const std::atomic<bool>* stop)
+      : m_(m),
+        opt_(opt),
+        visited_(opt.bitstate, opt.bitstate_bytes, /*seed=*/0,
+                 opt.bitstate ? 0 : expected_states(opt)),
+        compressor_(m.layout(), /*stripes=*/1),
+        stop_(stop) {
+    if (!opt.bitstate) {
+      const std::size_t n = static_cast<std::size_t>(compressor_.n_regions());
+      ids_tmp_.resize(n);
+      dirty_.resize(n);
+    }
+  }
+
+  Result go() {
+    start_ = std::chrono::steady_clock::now();
+    Result r = opt_.bfs ? bfs() : dfs();
+    r.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    r.stats.states_stored = visited_.size();
+    r.stats.states_matched = matched_;
+    r.stats.transitions = transitions_;
+    r.stats.max_depth_reached = max_depth_seen_;
+    r.stats.complete = complete_ && !opt_.bitstate;
+    r.stats.store_bytes = store_bytes();
+    r.stats.approx_memory_bytes = r.stats.store_bytes + frontier_bytes_;
+    r.stats.truncation = truncation_ != TruncationReason::None
+                             ? truncation_
+                             : (opt_.bitstate ? TruncationReason::BitstateApprox
+                                              : TruncationReason::None);
+    return r;
+  }
+
+ private:
+  // DFS frames do NOT own their successor lists: candidates are streamed
+  // from the generator and a pass stops at the first fresh child, so the
+  // stack holds O(depth) states with no materialized successor vectors at
+  // all. Returning to a frame re-streams its candidates; `next` skips the
+  // ones already handled and `counted` keeps the transitions stat exact
+  // across passes.
+  struct Frame {
+    State state;
+    std::string raw_key;  // canonical encoding; filled only under POR (C3)
+    // this state's per-region component ids (exact mode): successors reuse
+    // them for every region their undo log left untouched
+    std::vector<std::uint32_t> ids;
+    Step in_step;  // step that produced this state (invalid at root)
+    std::uint32_t next = 0;
+    std::uint32_t counted = 0;
+    bool checked = false;
+    int por_choice = -1;  // recorded ample decision (see por_choose)
+  };
+
+  enum class Outcome : std::uint8_t { Exhausted, Child, Violation };
+
+  /// One generation pass over the top frame: skips candidates handled by
+  /// earlier passes, maintains the transitions high-water mark, and stops
+  /// the pass at the first fresh child or violation.
+  class DfsSink final : public kernel::SuccSink {
+   public:
+    DfsSink(FlatRun& run, Frame& f) : run_(run), f_(f) {}
+
+    bool on_successor(const State& ns, const Step& step) override {
+      const std::uint32_t i = idx_++;
+      if (i >= f_.counted) {
+        f_.counted = i + 1;
+        ++run_.transitions_;
+      }
+      if (i < f_.next) return true;  // handled in an earlier pass
+      ++f_.next;
+      return run_.dfs_candidate(ns, step, f_, *this);
+    }
+
+    Outcome outcome = Outcome::Exhausted;
+    std::uint32_t idx_ = 0;
+    State child;      // fresh child (Outcome::Child) or final state (Violation)
+    Step child_step;  // its in-step / the violating extra step
+    Violation violation;
+
+   private:
+    FlatRun& run_;
+    Frame& f_;
+  };
+
+  /// Handles one not-yet-processed candidate; returns false to stop the
+  /// generation pass (fresh child to push, or violation).
+  bool dfs_candidate(const State& ns, const Step& step, Frame& f,
+                     DfsSink& sink) {
+    if (step.assert_failed) {
+      sink.violation.kind = ViolationKind::AssertFailed;
+      sink.violation.message = "assertion failed: " + m_.describe_step(step);
+      sink.child = ns;
+      sink.child_step = step;
+      sink.outcome = Outcome::Violation;
+      return false;
+    }
+    if (!visited_.insert(succ_key(ns, f.ids))) {
+      ++matched_;
+      return true;
+    }
+    if (visited_.size() >= opt_.max_states) {
+      truncate(TruncationReason::MaxStates);
+      return true;  // stored, but not expanded
+    }
+    if (static_cast<int>(stack_.size()) > opt_.max_depth) {
+      truncate(TruncationReason::MaxDepth);
+      return true;
+    }
+    sink.child = ns;  // the one copy a genuinely fresh state costs
+    sink.child_step = step;
+    sink.outcome = Outcome::Child;
+    return false;
+  }
+
+  Result dfs() {
+    Result r;
+    const OnStackFn on_stack_fn = [this](const State& st) {
+      kernel::encode_key_into(st, probe_buf_);
+      return on_stack_.contains(probe_buf_);
+    };
+    const OnStackFn* proviso = opt_.por ? &on_stack_fn : nullptr;
+
+    {
+      Frame root;
+      root.state = m_.initial();
+      visited_.insert(root_key(root.state));
+      if (!opt_.bitstate) root.ids = ids_tmp_;
+      if (opt_.por) {
+        kernel::encode_key_into(root.state, root.raw_key);
+        on_stack_.insert(root.raw_key);
+      }
+      stack_.push_back(std::move(root));
+    }
+
+    const std::uint64_t per_frame_bytes =
+        sizeof(Frame) + 2 * state_bytes();  // state vector + raw key
+    while (!stack_.empty()) {
+      if (stopped()) {
+        complete_ = false;
+        break;
+      }
+      if (over_budget(stack_.size() * per_frame_bytes)) break;
+      Frame& f = stack_.back();
+      const bool first = !f.checked;
+      if (first) {
+        f.checked = true;
+        if (opt_.por) f.por_choice = por_choose(m_, f.state, proviso, scratch_);
+        max_depth_seen_ = std::max(max_depth_seen_,
+                                   static_cast<int>(stack_.size()) - 1);
+        // The invariant check moved ahead of successor generation
+        // (generation has no side effects and the check reads only the
+        // state), so the verdict and trace are unchanged.
+        if (auto v = invariant_violation(m_, opt_, f.state)) {
+          v->trace = stack_trace(nullptr, nullptr);
+          r.violation = std::move(*v);
+          return r;
+        }
+      }
+      DfsSink sink(*this, f);
+      if (opt_.por)
+        por_visit(m_, f.state, f.por_choice, scratch_, sink);
+      else
+        m_.visit_successors(f.state, scratch_, sink);
+      switch (sink.outcome) {
+        case Outcome::Violation:
+          sink.violation.trace = stack_trace(&sink.child_step, &sink.child);
+          r.violation = std::move(sink.violation);
+          return r;
+        case Outcome::Child: {
+          Frame nf;
+          nf.state = std::move(sink.child);
+          // ids_tmp_ still holds the child's ids: the pass stopped at it
+          if (!opt_.bitstate) nf.ids = ids_tmp_;
+          nf.in_step = sink.child_step;
+          if (opt_.por) {
+            kernel::encode_key_into(nf.state, nf.raw_key);
+            on_stack_.insert(nf.raw_key);
+          }
+          stack_.push_back(std::move(nf));
+          break;
+        }
+        case Outcome::Exhausted:
+          // A first pass that saw zero candidates means a terminal state.
+          if (first && sink.idx_ == 0) {
+            if (auto v = terminal_violation(m_, opt_, f.state)) {
+              v->trace = stack_trace(nullptr, nullptr);
+              r.violation = std::move(*v);
+              return r;
+            }
+          }
+          if (opt_.por) on_stack_.erase(stack_.back().raw_key);
+          stack_.pop_back();
+          break;
+      }
+    }
+    return r;
+  }
+
+  struct BfsNode {
+    State state;
+    std::vector<std::uint32_t> ids;  // per-region component ids (exact mode)
+    std::int64_t parent;
+    Step in_step;
+  };
+
+  class BfsSink final : public kernel::SuccSink {
+   public:
+    BfsSink(FlatRun& run, std::int64_t head) : run_(run), head_(head) {}
+
+    bool on_successor(const State& ns, const Step& step) override {
+      ++count;
+      return run_.bfs_candidate(ns, step, head_, *this);
+    }
+
+    std::uint32_t count = 0;
+    bool violated = false;
+    Violation violation;
+    State vstate;
+    Step vstep;
+
+   private:
+    FlatRun& run_;
+    std::int64_t head_;
+  };
+
+  bool bfs_candidate(const State& ns, const Step& step, std::int64_t head,
+                     BfsSink& sink) {
+    ++transitions_;
+    if (step.assert_failed) {
+      sink.violation.kind = ViolationKind::AssertFailed;
+      sink.violation.message = "assertion failed: " + m_.describe_step(step);
+      sink.vstate = ns;
+      sink.vstep = step;
+      sink.violated = true;
+      return false;
+    }
+    if (!visited_.insert(
+            succ_key(ns, nodes_[static_cast<std::size_t>(head)].ids))) {
+      ++matched_;
+      return true;
+    }
+    if (visited_.size() >= opt_.max_states) {
+      truncate(TruncationReason::MaxStates);
+      return true;
+    }
+    nodes_.push_back({State(ns),
+                      opt_.bitstate ? std::vector<std::uint32_t>() : ids_tmp_,
+                      head, step});
+    return true;
+  }
+
+  Result bfs() {
+    Result r;
+    auto build_trace = [&](std::int64_t i, const Step* extra_step,
+                           const State* extra_state) {
+      trace::Trace t;
+      if (!opt_.want_trace) return t;
+      std::vector<trace::TraceStep> rev;
+      for (std::int64_t j = i; j > 0;
+           j = nodes_[static_cast<std::size_t>(j)].parent)
+        rev.push_back({nodes_[static_cast<std::size_t>(j)].in_step,
+                       m_.describe_step(
+                           nodes_[static_cast<std::size_t>(j)].in_step)});
+      t.steps.assign(rev.rbegin(), rev.rend());
+      if (extra_step)
+        t.steps.push_back({*extra_step, m_.describe_step(*extra_step)});
+      t.final_state = m_.format_state(
+          extra_state ? *extra_state
+                      : nodes_[static_cast<std::size_t>(i)].state);
+      return t;
+    };
+
+    {
+      BfsNode root{m_.initial(), {}, -1, {}};
+      visited_.insert(root_key(root.state));
+      if (!opt_.bitstate) root.ids = ids_tmp_;
+      nodes_.push_back(std::move(root));
+    }
+
+    const std::uint64_t per_node_bytes = sizeof(BfsNode) + state_bytes();
+    for (std::int64_t head = 0;
+         head < static_cast<std::int64_t>(nodes_.size()); ++head) {
+      if (stopped()) {
+        complete_ = false;
+        break;
+      }
+      if (over_budget(nodes_.size() * per_node_bytes)) break;
+      if (auto v = invariant_violation(
+              m_, opt_, nodes_[static_cast<std::size_t>(head)].state)) {
+        v->trace = build_trace(head, nullptr, nullptr);
+        r.violation = std::move(*v);
+        return r;
+      }
+      // Deque references survive push_back, so streaming new nodes into
+      // nodes_ while expanding the head is safe.
+      const State& hs = nodes_[static_cast<std::size_t>(head)].state;
+      BfsSink sink(*this, head);
+      if (opt_.por)
+        por_visit(m_, hs, por_choose(m_, hs, nullptr, scratch_), scratch_,
+                  sink);
+      else
+        m_.visit_successors(hs, scratch_, sink);
+      if (sink.violated) {
+        sink.violation.trace = build_trace(head, &sink.vstep, &sink.vstate);
+        r.violation = std::move(sink.violation);
+        return r;
+      }
+      if (sink.count == 0) {
+        if (auto v = terminal_violation(
+                m_, opt_, nodes_[static_cast<std::size_t>(head)].state)) {
+          v->trace = build_trace(head, nullptr, nullptr);
+          r.violation = std::move(*v);
+          return r;
+        }
+      }
+    }
+    max_depth_seen_ = 0;  // depth tracking is a DFS notion
+    return r;
+  }
+
+  /// Key of the root state (no parent to delta against). Exact mode uses
+  /// the compressed component-id encoding (injective, so set membership is
+  /// unchanged); bitstate mode keeps hashing the raw canonical encoding --
+  /// the Bloom filter's verdict depends on the exact bytes its hash
+  /// functions see. Exact mode leaves the state's per-region ids in
+  /// ids_tmp_ for the caller to adopt.
+  std::span<const std::uint8_t> root_key(const State& s) {
+    if (opt_.bitstate) {
+      kernel::encode_key_into(s, probe_buf_);
+      return byte_span(probe_buf_);
+    }
+    compressor_.compress_full(s, key_buf_, ids_tmp_.data());
+    return key_buf_;
+  }
+
+  /// Key of a successor just produced by the streaming generator, while its
+  /// undo log still describes the mutation: exact mode re-interns only the
+  /// touched regions and reuses `parent_ids` everywhere else (the COLLAPSE
+  /// delta win -- most steps dirty one or two regions out of many).
+  std::span<const std::uint8_t> succ_key(
+      const State& s, const std::vector<std::uint32_t>& parent_ids) {
+    if (opt_.bitstate) {
+      kernel::encode_key_into(s, probe_buf_);
+      return byte_span(probe_buf_);
+    }
+    std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+    const std::vector<int>& reg = compressor_.region_of_slot();
+    for (const auto& [slot, old] : scratch_.undo)
+      dirty_[static_cast<std::size_t>(
+          reg[static_cast<std::size_t>(slot)])] = 1;
+    compressor_.compress_delta(s, parent_ids.data(), dirty_.data(), key_buf_,
+                               ids_tmp_.data());
+    return key_buf_;
+  }
+
+  std::uint64_t store_bytes() const {
+    return visited_.approx_bytes() +
+           (opt_.bitstate ? 0 : compressor_.approx_bytes());
+  }
+
+  trace::Trace stack_trace(const Step* extra_step,
+                           const State* extra_state) const {
+    trace::Trace t;
+    if (!opt_.want_trace) return t;
+    // Descriptions are rendered only here, on the cold path: the DFS push
+    // path must not pay for string construction.
+    for (std::size_t i = 1; i < stack_.size(); ++i)
+      t.steps.push_back(
+          {stack_[i].in_step, m_.describe_step(stack_[i].in_step)});
+    if (extra_step)
+      t.steps.push_back({*extra_step, m_.describe_step(*extra_step)});
+    t.final_state =
+        m_.format_state(extra_state ? *extra_state : stack_.back().state);
+    return t;
+  }
+
+  void truncate(TruncationReason why) {
+    complete_ = false;
+    if (truncation_ == TruncationReason::None) truncation_ = why;
+  }
+
+  /// Deadline / memory check, amortized: the clock and the footprint sum
+  /// are only consulted every `kBudgetCheckStride` expansion passes.
+  bool over_budget(std::uint64_t frontier_bytes) {
+    if (opt_.deadline_seconds <= 0.0 && opt_.memory_budget_bytes == 0)
+      return false;
+    if (++budget_tick_ % kBudgetCheckStride != 0) return false;
+    frontier_bytes_ = frontier_bytes;
+    if (opt_.deadline_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count();
+      if (elapsed >= opt_.deadline_seconds) {
+        truncate(TruncationReason::Deadline);
+        return true;
+      }
+    }
+    if (opt_.memory_budget_bytes > 0 &&
+        store_bytes() + frontier_bytes >= opt_.memory_budget_bytes) {
+      truncate(TruncationReason::MemoryBudget);
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t state_bytes() const {
+    return static_cast<std::uint64_t>(m_.layout().size()) *
+           sizeof(kernel::Value);
+  }
+
+  bool stopped() const {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+  }
+
+  const Machine& m_;
+  const Options& opt_;
+  VisitedSet visited_;
+  kernel::StateCompressor compressor_;
+  const std::atomic<bool>* stop_ = nullptr;
+
+  kernel::SuccScratch scratch_;
+  std::vector<Frame> stack_;
+  std::deque<BfsNode> nodes_;
+  std::unordered_set<std::string> on_stack_;
+  std::vector<std::uint8_t> key_buf_;
+  std::vector<std::uint32_t> ids_tmp_;  // last-compressed state's region ids
+  std::vector<std::uint8_t> dirty_;     // per-region dirty flags (reused)
+  std::string probe_buf_;
+
+  std::uint64_t matched_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t budget_tick_ = 0;
+  std::uint64_t frontier_bytes_ = 0;
+  int max_depth_seen_ = 0;
+  bool complete_ = true;
+  TruncationReason truncation_ = TruncationReason::None;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// The legacy copy-based engine, retained exclusively for swarm workers
+/// with a nonzero permutation seed: shuffling a state's successor order
+/// requires the whole list materialized, so these searches keep building
+/// successor vectors and raw keys. Worker 0 of a swarm (seed 0) runs the
+/// streaming engine above instead.
+class PermutedRun {
+ public:
+  PermutedRun(const Machine& m, const Options& opt, std::uint64_t perm_seed,
+              std::uint64_t bitstate_seed, const std::atomic<bool>* stop)
       : m_(m),
         opt_(opt),
         visited_(opt.bitstate, opt.bitstate_bytes, bitstate_seed),
@@ -87,6 +588,7 @@ class Run {
     r.stats.transitions = transitions_;
     r.stats.max_depth_reached = max_depth_seen_;
     r.stats.complete = complete_ && !opt_.bitstate;
+    r.stats.store_bytes = visited_.approx_bytes();
     r.stats.approx_memory_bytes = visited_.approx_bytes() + frontier_bytes_;
     // A hard truncation (deadline, limit) is the more actionable
     // explanation; bitstate approximation is only reported when nothing
@@ -101,11 +603,7 @@ class Run {
  private:
   // DFS frames do NOT own their successor lists: only the top-of-stack
   // frame's successors are materialized (in a shared scratch vector) and
-  // they are regenerated when the search returns to a frame. This trades
-  // roughly branching-factor extra successor-generation work for a stack
-  // whose memory is O(depth * state size) instead of
-  // O(depth * branching * state size) -- the difference between fitting in
-  // RAM and not on deep searches.
+  // they are regenerated when the search returns to a frame.
   struct Frame {
     State state;
     std::string key;
@@ -120,10 +618,6 @@ class Run {
     if (truncation_ == TruncationReason::None) truncation_ = why;
   }
 
-  /// Deadline / memory check, amortized: the clock and the footprint sum
-  /// are only consulted every `kBudgetCheckStride` expansions.
-  /// `frontier_bytes` is the caller's estimate of search-structure memory
-  /// beyond the visited set (DFS stack or BFS queue).
   bool over_budget(std::uint64_t frontier_bytes) {
     if (opt_.deadline_seconds <= 0.0 && opt_.memory_budget_bytes == 0)
       return false;
@@ -149,33 +643,8 @@ class Run {
 
   /// Per-state checks (invariant, deadlock). Returns a violation or nullopt.
   std::optional<Violation> check_state(const State& s, bool has_succ) {
-    if (opt_.invariant != expr::kNoExpr &&
-        m_.eval_global(opt_.invariant, s) == 0) {
-      Violation v;
-      v.kind = ViolationKind::InvariantViolated;
-      v.message = "invariant violated" +
-                  (opt_.invariant_name.empty() ? std::string()
-                                               : ": " + opt_.invariant_name);
-      return v;
-    }
-    if (opt_.check_deadlock && !has_succ && !m_.is_valid_end(s)) {
-      Violation v;
-      v.kind = ViolationKind::Deadlock;
-      v.message = "no executable transition and not all processes at a "
-                  "valid end state";
-      return v;
-    }
-    if (opt_.end_invariant != expr::kNoExpr && !has_succ &&
-        m_.eval_global(opt_.end_invariant, s) == 0) {
-      Violation v;
-      v.kind = ViolationKind::EndInvariantViolated;
-      v.message =
-          "terminal state violates end invariant" +
-          (opt_.end_invariant_name.empty()
-               ? std::string()
-               : ": " + opt_.end_invariant_name);
-      return v;
-    }
+    if (auto v = invariant_violation(m_, opt_, s)) return v;
+    if (!has_succ) return terminal_violation(m_, opt_, s);
     return std::nullopt;
   }
 
@@ -183,8 +652,6 @@ class Run {
                            const Succ* extra) const {
     trace::Trace t;
     if (!opt_.want_trace) return t;
-    // Descriptions are rendered only here, on the cold path: the DFS push
-    // path must not pay for string construction.
     for (std::size_t i = 1; i < stack.size(); ++i)
       t.steps.push_back(
           {stack[i].in_step, m_.describe_step(stack[i].in_step)});
@@ -208,7 +675,7 @@ class Run {
     Frame root;
     root.state = m_.initial();
     root.key = kernel::encode_key(root.state);
-    visited_.insert(root.key);
+    visited_.insert(byte_span(root.key));
     stack.push_back(std::move(root));
     if (opt_.por) on_stack.insert(stack.back().key);
 
@@ -261,7 +728,7 @@ class Run {
         return r;
       }
       std::string key = kernel::encode_key(succ.first);
-      if (!visited_.insert(key)) {
+      if (!visited_.insert(byte_span(key))) {
         ++matched_;
         continue;
       }
@@ -292,7 +759,6 @@ class Run {
       Step in_step;
     };
     std::deque<Node> nodes;
-    std::unordered_map<std::string, std::int64_t> index;
 
     auto build_trace = [&](std::int64_t i, const Succ* extra) {
       trace::Trace t;
@@ -312,13 +778,11 @@ class Run {
     {
       Node root{m_.initial(), -1, {}};
       const std::string key = kernel::encode_key(root.state);
-      visited_.insert(key);
-      index.emplace(key, 0);
+      visited_.insert(byte_span(key));
       nodes.push_back(std::move(root));
     }
 
-    const std::uint64_t per_node_bytes =
-        sizeof(Node) + 2 * state_bytes() + 64;  // node + key in index map
+    const std::uint64_t per_node_bytes = sizeof(Node) + 2 * state_bytes();
     std::vector<Succ> succs;
     for (std::int64_t head = 0; head < static_cast<std::int64_t>(nodes.size());
          ++head) {
@@ -354,7 +818,7 @@ class Run {
           return r;
         }
         std::string key = kernel::encode_key(succ.first);
-        if (!visited_.insert(key)) {
+        if (!visited_.insert(byte_span(key))) {
           ++matched_;
           continue;
         }
@@ -362,8 +826,6 @@ class Run {
           truncate(TruncationReason::MaxStates);
           continue;
         }
-        index.emplace(std::move(key),
-                      static_cast<std::int64_t>(nodes.size()));
         nodes.push_back({std::move(succ.first), head, succ.second});
       }
     }
@@ -375,8 +837,6 @@ class Run {
     return static_cast<std::uint64_t>(m_.layout().size()) *
            sizeof(kernel::Value);
   }
-
-  static constexpr std::uint64_t kBudgetCheckStride = 1024;
 
   bool stopped() const {
     return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
@@ -410,7 +870,11 @@ namespace detail {
 Result run_single(const kernel::Machine& m, const Options& opt,
                   std::uint64_t perm_seed, std::uint64_t bitstate_seed,
                   const std::atomic<bool>* stop) {
-  Run run(m, opt, perm_seed, bitstate_seed, stop);
+  if (perm_seed == 0) {
+    FlatRun run(m, opt, stop);
+    return run.go();
+  }
+  PermutedRun run(m, opt, perm_seed, bitstate_seed, stop);
   return run.go();
 }
 
@@ -419,7 +883,7 @@ Result run_single(const kernel::Machine& m, const Options& opt,
 Result explore(const kernel::Machine& m, const Options& opt) {
   const int threads = resolve_threads(opt.threads);
   if (threads <= 1) {
-    Run run(m, opt);
+    FlatRun run(m, opt, nullptr);
     return run.go();
   }
   return opt.bitstate ? detail::run_swarm(m, opt, threads)

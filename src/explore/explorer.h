@@ -104,12 +104,30 @@ struct Stats {
   TruncationReason truncation = TruncationReason::None;
   /// Rough bytes held by the visited set and frontier at the end of the run.
   std::uint64_t approx_memory_bytes = 0;
+  /// Peak bytes held by the visited store alone: probe tables + key arenas +
+  /// component intern tables in exact mode, the Bloom filter in bitstate
+  /// mode. This is the denominator-quality number for bytes/state; the
+  /// store only grows, so its final size is its peak.
+  std::uint64_t store_bytes = 0;
   /// Worker threads the search actually used.
   int threads = 1;
   /// Per-worker breakdown; empty for single-threaded runs. The totals above
   /// are the merged view (states_stored is the deduplicated global count in
   /// exact mode and the per-filter sum in swarm mode).
   std::vector<WorkerStats> workers;
+
+  /// Stored states per wall-clock second (0 when the run was too fast to
+  /// time meaningfully).
+  double states_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(states_stored) / seconds : 0.0;
+  }
+  /// Visited-store bytes per stored state.
+  double store_bytes_per_state() const {
+    return states_stored > 0
+               ? static_cast<double>(store_bytes) /
+                     static_cast<double>(states_stored)
+               : 0.0;
+  }
 };
 
 struct Result {

@@ -1,0 +1,144 @@
+// Flat visited-key storage: an open-addressing fingerprint table plus an
+// append-only slab arena for the key bytes.
+//
+// The previous stores kept one heap-allocated std::string per state inside
+// a node-based std::unordered_set -- three pointer chases and ~64 bytes of
+// overhead per state. Here a state costs one slot in two parallel flat
+// arrays (8-byte fingerprint + 4-byte arena offset) plus its key bytes
+// (length-prefixed) in a slab arena that never moves or frees, so inserts
+// are a single probe sequence and a bump-pointer append.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "support/panic.h"
+
+namespace pnp::explore {
+
+/// Append-only arena for length-prefixed key records. Records never span a
+/// slab boundary and slabs never move, so a returned offset stays valid for
+/// the arena's lifetime.
+class KeyArena {
+ public:
+  /// Appends `key` (2-byte length prefix + bytes) and returns its offset.
+  std::uint32_t append(std::span<const std::uint8_t> key) {
+    const std::size_t need = key.size() + 2;
+    PNP_CHECK(key.size() <= 0xffff, "visited key exceeds 64 KiB");
+    if (kSlabBytes - used_ < need) {
+      PNP_CHECK(slabs_.size() < kMaxSlabs,
+                "visited-key arena exceeds 4 GiB (raise the memory budget "
+                "or switch to bitstate mode)");
+      slabs_.push_back(std::make_unique<std::uint8_t[]>(kSlabBytes));
+      used_ = 0;
+    }
+    const std::uint32_t off = static_cast<std::uint32_t>(
+        (slabs_.size() - 1) * kSlabBytes + used_);
+    std::uint8_t* dst = slabs_.back().get() + used_;
+    dst[0] = static_cast<std::uint8_t>(key.size() & 0xff);
+    dst[1] = static_cast<std::uint8_t>(key.size() >> 8);
+    std::memcpy(dst + 2, key.data(), key.size());
+    used_ += need;
+    return off;
+  }
+
+  std::span<const std::uint8_t> at(std::uint32_t off) const {
+    const std::uint8_t* p =
+        slabs_[off / kSlabBytes].get() + off % kSlabBytes;
+    const std::size_t len =
+        static_cast<std::size_t>(p[0]) | (static_cast<std::size_t>(p[1]) << 8);
+    return {p + 2, len};
+  }
+
+  bool equals(std::uint32_t off, std::span<const std::uint8_t> key) const {
+    const std::span<const std::uint8_t> rec = at(off);
+    return rec.size() == key.size() &&
+           std::memcmp(rec.data(), key.data(), key.size()) == 0;
+  }
+
+  std::uint64_t bytes() const { return slabs_.size() * kSlabBytes; }
+
+ private:
+  static constexpr std::size_t kSlabBytes = std::size_t{1} << 18;  // 256 KiB
+  static constexpr std::size_t kMaxSlabs = (std::uint64_t{1} << 32) / kSlabBytes;
+
+  std::vector<std::unique_ptr<std::uint8_t[]>> slabs_;
+  std::size_t used_ = kSlabBytes;  // forces the first slab on first append
+};
+
+/// Open-addressing set of byte keys, probed by a caller-supplied 64-bit
+/// hash. Key bytes live in the arena; the table itself is two flat arrays.
+class FlatKeySet {
+ public:
+  explicit FlatKeySet(std::uint64_t expected = 0) {
+    rehash(cap_for(expected));
+  }
+
+  /// Returns true if `key` was not present before (and records it). `h`
+  /// must be the same hash function for every insert into this set.
+  bool insert(std::span<const std::uint8_t> key, std::uint64_t h) {
+    if ((size_ + 1) * 10 >= fps_.size() * 7) grow();
+    std::size_t i = static_cast<std::size_t>(h) & mask_;
+    while (offs_[i] != kEmpty) {
+      if (fps_[i] == h && arena_.equals(offs_[i], key)) return false;
+      i = (i + 1) & mask_;
+    }
+    fps_[i] = h;
+    offs_[i] = arena_.append(key);
+    ++size_;
+    return true;
+  }
+
+  std::uint64_t size() const { return size_; }
+
+  /// Pre-sizes the table for `n` keys (never shrinks).
+  void reserve(std::uint64_t n) {
+    const std::size_t cap = cap_for(n);
+    if (cap > fps_.size()) rehash(cap);
+  }
+
+  /// Real footprint: probe arrays + arena slabs.
+  std::uint64_t approx_bytes() const {
+    return fps_.capacity() * sizeof(std::uint64_t) +
+           offs_.capacity() * sizeof(std::uint32_t) + arena_.bytes();
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  static std::size_t cap_for(std::uint64_t expected) {
+    // smallest power of two holding `expected` at <= 0.7 load
+    std::size_t cap = 64;
+    while (cap * 7 < (expected + 1) * 10) cap <<= 1;
+    return cap;
+  }
+
+  void rehash(std::size_t cap) {
+    std::vector<std::uint64_t> fps(cap, 0);
+    std::vector<std::uint32_t> offs(cap, kEmpty);
+    const std::size_t mask = cap - 1;
+    for (std::size_t i = 0; i < fps_.size(); ++i) {
+      if (offs_[i] == kEmpty) continue;
+      std::size_t j = static_cast<std::size_t>(fps_[i]) & mask;
+      while (offs[j] != kEmpty) j = (j + 1) & mask;
+      fps[j] = fps_[i];
+      offs[j] = offs_[i];
+    }
+    fps_ = std::move(fps);
+    offs_ = std::move(offs);
+    mask_ = mask;
+  }
+
+  void grow() { rehash(fps_.size() * 2); }
+
+  std::vector<std::uint64_t> fps_;
+  std::vector<std::uint32_t> offs_;
+  KeyArena arena_;
+  std::uint64_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace pnp::explore

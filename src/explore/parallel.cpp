@@ -2,17 +2,21 @@
 //
 // Exact mode (run_parallel): every worker owns a deque of pending states
 // and steals from its peers when it runs dry; the visited set is the
-// lock-striped ShardedVisitedSet, so the reached-state set -- and therefore
-// the verdict and the stored-state count of a complete run -- is identical
-// at every thread count. Counterexamples are reconstructed from per-worker
-// parent-edge arenas after the winning worker flags a violation, so trails
-// stay exact (their shape may differ run to run; the verdict may not).
+// lock-striped ShardedVisitedSet over flat probe tables, keyed by the
+// COLLAPSE-compressed state encoding (a shared lock-striped
+// StateCompressor interns the components), so the reached-state set -- and
+// therefore the verdict and the stored-state count of a complete run -- is
+// identical at every thread count. Successors are streamed from per-worker
+// mutate-and-revert scratch; only genuinely fresh states are copied.
+// Counterexamples are reconstructed from per-worker parent-edge arenas
+// after the winning worker flags a violation, so trails stay exact (their
+// shape may differ run to run; the verdict may not).
 //
 // Atomic regions and rendezvous handshakes never interleave across workers
-// by construction: Machine::successors() expands a whole state at a time --
-// an atomic region is carried IN the state (atomic_pid) and a handshake is
-// a single composite step -- so one worker always computes the complete
-// successor bundle of the state it popped.
+// by construction: Machine::visit_successors() expands a whole state at a
+// time -- an atomic region is carried IN the state (atomic_pid) and a
+// handshake is a single composite step -- so one worker always computes the
+// complete successor bundle of the state it popped.
 //
 // Swarm mode (run_swarm): N fully independent bitstate searches, each with
 // its own Bloom filter seed and a deterministic per-state successor
@@ -27,6 +31,7 @@
 #include "explore/explorer.h"
 #include "explore/por.h"
 #include "explore/visited.h"
+#include "kernel/compress.h"
 #include "support/hash.h"
 
 namespace pnp::explore {
@@ -37,14 +42,23 @@ namespace {
 using kernel::Machine;
 using kernel::State;
 using kernel::Step;
-using kernel::Succ;
 
 constexpr std::uint64_t kNoGid = ~std::uint64_t{0};
+
+/// Mirrors the sequential engine's visited-table pre-size policy.
+std::uint64_t expected_states(const Options& opt) {
+  return std::min<std::uint64_t>(opt.max_states, std::uint64_t{1} << 16);
+}
 
 class ParallelRun {
  public:
   ParallelRun(const Machine& m, const Options& opt, int threads)
-      : m_(m), opt_(opt), n_(threads), workers_(static_cast<std::size_t>(threads)) {}
+      : m_(m),
+        opt_(opt),
+        n_(threads),
+        workers_(static_cast<std::size_t>(threads)),
+        visited_(expected_states(opt)),
+        compressor_(m.layout(), /*stripes=*/16) {}
 
   Result go() {
     start_ = std::chrono::steady_clock::now();
@@ -80,15 +94,16 @@ class ParallelRun {
     std::deque<Node> nodes;  // stable addresses; grows only
     WorkerStats stats;
     std::uint64_t budget_tick = 0;
-    std::vector<Succ> succs;  // scratch
+    kernel::SuccScratch scratch;         // mutate-and-revert workspace
+    std::vector<std::uint8_t> key_buf;   // compressed-key scratch
   };
 
   /// First violation wins; everything needed to rebuild the trail after the
   /// workers joined.
   struct Win {
     Violation violation;
-    std::uint64_t gid = kNoGid;    // node of the state being expanded
-    std::optional<Succ> extra;     // assert step beyond that state, if any
+    std::uint64_t gid = kNoGid;      // node of the state being expanded
+    std::optional<Step> extra_step;  // assert step beyond that state, if any
     State final_state;
   };
 
@@ -99,10 +114,11 @@ class ParallelRun {
   void seed_root() {
     Item root;
     root.state = m_.initial();
-    const std::string key = kernel::encode_key(root.state);
-    visited_.insert(key, ShardedVisitedSet::hash_key(key));
+    Worker& w0 = workers_[0];
+    compressor_.compress(root.state, w0.key_buf);
+    visited_.insert(w0.key_buf, ShardedVisitedSet::hash_key(w0.key_buf));
     inflight_.store(1, std::memory_order_relaxed);
-    workers_[0].queue.push_back(std::move(root));
+    w0.queue.push_back(std::move(root));
   }
 
   bool pop_own(Worker& me, Item& out) {
@@ -178,16 +194,21 @@ class ParallelRun {
     return false;
   }
 
+  std::uint64_t store_bytes() const {
+    return visited_.approx_bytes() + compressor_.approx_bytes();
+  }
+
   std::uint64_t approx_memory() const {
-    // Frontier + arenas, estimated from atomic counters only (per-worker
-    // containers are not safely readable cross-thread): every in-flight item
-    // carries a state, and every stored state has at most one arena node.
+    // Store + frontier + arenas, estimated from atomic counters only
+    // (per-worker containers are not safely readable cross-thread): every
+    // in-flight item carries a state, and every stored state has at most one
+    // arena node.
     const std::uint64_t state_bytes =
         static_cast<std::uint64_t>(m_.layout().size()) * sizeof(kernel::Value);
     const auto inflight =
         static_cast<std::uint64_t>(std::max<std::int64_t>(
             0, inflight_.load(std::memory_order_relaxed)));
-    std::uint64_t bytes = visited_.approx_bytes() +
+    std::uint64_t bytes = store_bytes() +
                           inflight * (sizeof(Item) + state_bytes);
     if (opt_.want_trace) bytes += visited_.size() * sizeof(Node);
     return bytes;
@@ -202,8 +223,7 @@ class ParallelRun {
       stop_.store(true, std::memory_order_relaxed);  // hard budget: stop all
   }
 
-  /// Per-state checks, identical to the sequential engine's.
-  std::optional<Violation> check_state(const State& s, bool has_succ) const {
+  std::optional<Violation> invariant_violation(const State& s) const {
     if (opt_.invariant != expr::kNoExpr &&
         m_.eval_global(opt_.invariant, s) == 0) {
       Violation v;
@@ -213,14 +233,18 @@ class ParallelRun {
                                                : ": " + opt_.invariant_name);
       return v;
     }
-    if (opt_.check_deadlock && !has_succ && !m_.is_valid_end(s)) {
+    return std::nullopt;
+  }
+
+  std::optional<Violation> terminal_violation(const State& s) const {
+    if (opt_.check_deadlock && !m_.is_valid_end(s)) {
       Violation v;
       v.kind = ViolationKind::Deadlock;
       v.message = "no executable transition and not all processes at a "
                   "valid end state";
       return v;
     }
-    if (opt_.end_invariant != expr::kNoExpr && !has_succ &&
+    if (opt_.end_invariant != expr::kNoExpr &&
         m_.eval_global(opt_.end_invariant, s) == 0) {
       Violation v;
       v.kind = ViolationKind::EndInvariantViolated;
@@ -235,71 +259,109 @@ class ParallelRun {
   }
 
   void record_violation(Violation v, std::uint64_t gid,
-                        const Succ* extra, const State& final_state) {
+                        const Step* extra_step, const State& final_state) {
     {
       std::lock_guard<std::mutex> lock(win_mu_);
       if (winner_) return;  // first worker wins; verdict is the same either way
       Win win;
       win.violation = std::move(v);
       win.gid = gid;
-      if (extra) win.extra = *extra;
+      if (extra_step) win.extra_step = *extra_step;
       win.final_state = final_state;
       winner_ = std::move(win);
     }
     stop_.store(true, std::memory_order_release);
   }
 
+  /// Streams one popped item's successors: dedup against the shared store,
+  /// push fresh states, flag violations. Aborts the pass on a violation or
+  /// when the swarm-wide stop flag goes up.
+  class ParSink final : public kernel::SuccSink {
+   public:
+    ParSink(ParallelRun& run, int w, Worker& me, const Item& item)
+        : run_(run), w_(w), me_(me), item_(item) {}
+
+    bool on_successor(const State& ns, const Step& step) override {
+      if (run_.stop_.load(std::memory_order_relaxed)) {
+        aborted = true;
+        return false;
+      }
+      ++produced;
+      ++me_.stats.transitions;
+      return run_.par_candidate(ns, step, w_, me_, item_, *this);
+    }
+
+    std::uint32_t produced = 0;
+    bool aborted = false;  // stopped early; successor count is partial
+
+   private:
+    ParallelRun& run_;
+    const int w_;
+    Worker& me_;
+    const Item& item_;
+  };
+
+  bool par_candidate(const State& ns, const Step& step, int w, Worker& me,
+                     const Item& item, ParSink& sink) {
+    if (step.assert_failed) {
+      Violation v;
+      v.kind = ViolationKind::AssertFailed;
+      v.message = "assertion failed: " + m_.describe_step(step);
+      record_violation(std::move(v), item.gid, &step, ns);
+      sink.aborted = true;
+      return false;
+    }
+    compressor_.compress(ns, me.key_buf);
+    if (!visited_.insert(me.key_buf,
+                         ShardedVisitedSet::hash_key(me.key_buf))) {
+      ++me.stats.states_matched;
+      return true;
+    }
+    ++me.stats.states_stored;
+    if (visited_.size() >= opt_.max_states) {
+      truncate(TruncationReason::MaxStates);
+      return true;  // stored, but not expanded: same as the sequential engine
+    }
+    if (item.depth + 1 > static_cast<std::uint32_t>(opt_.max_depth)) {
+      truncate(TruncationReason::MaxDepth);
+      return true;
+    }
+    Item next;
+    next.state = ns;  // the one copy a genuinely fresh state costs
+    next.depth = item.depth + 1;
+    if (opt_.want_trace) {
+      next.gid = make_gid(w, me.nodes.size());
+      me.nodes.push_back({item.gid, step});
+    }
+    push(me, std::move(next));
+    return true;
+  }
+
   void expand(int w, Worker& me, Item& item) {
     if (over_budget(me)) return;
-    me.succs.clear();
+    me.stats.max_depth_reached =
+        std::max(me.stats.max_depth_reached, static_cast<int>(item.depth));
+    // Invariant first: generation has no side effects and the check reads
+    // only the state, so the verdict matches the materializing engine's.
+    if (auto v = invariant_violation(item.state)) {
+      record_violation(std::move(*v), item.gid, nullptr, item.state);
+      return;
+    }
+    ParSink sink(*this, w, me, item);
     if (opt_.por) {
       // BFS-style ample choice (no cycle proviso): a pure function of the
       // state, so the reduced graph -- and the reached-state count -- does
       // not depend on thread count or interleaving.
-      const int choice = por_choose(m_, item.state, nullptr);
-      por_expand(m_, item.state, choice, me.succs);
+      const int choice = por_choose(m_, item.state, nullptr, me.scratch);
+      por_visit(m_, item.state, choice, me.scratch, sink);
     } else {
-      m_.successors(item.state, me.succs);
+      m_.visit_successors(item.state, me.scratch, sink);
     }
-    me.stats.transitions += me.succs.size();
-    me.stats.max_depth_reached =
-        std::max(me.stats.max_depth_reached, static_cast<int>(item.depth));
-    if (auto v = check_state(item.state, !me.succs.empty())) {
-      record_violation(std::move(*v), item.gid, nullptr, item.state);
-      return;
-    }
-    for (Succ& succ : me.succs) {
-      if (stop_.load(std::memory_order_relaxed)) return;
-      if (succ.second.assert_failed) {
-        Violation v;
-        v.kind = ViolationKind::AssertFailed;
-        v.message = "assertion failed: " + m_.describe_step(succ.second);
-        record_violation(std::move(v), item.gid, &succ, succ.first);
-        return;
-      }
-      const std::string key = kernel::encode_key(succ.first);
-      const std::uint64_t h = ShardedVisitedSet::hash_key(key);
-      if (!visited_.insert(key, h)) {
-        ++me.stats.states_matched;
-        continue;
-      }
-      ++me.stats.states_stored;
-      if (visited_.size() >= opt_.max_states) {
-        truncate(TruncationReason::MaxStates);
-        continue;  // stored, but not expanded: same as the sequential engine
-      }
-      if (item.depth + 1 > static_cast<std::uint32_t>(opt_.max_depth)) {
-        truncate(TruncationReason::MaxDepth);
-        continue;
-      }
-      Item next;
-      next.state = std::move(succ.first);
-      next.depth = item.depth + 1;
-      if (opt_.want_trace) {
-        next.gid = make_gid(w, me.nodes.size());
-        me.nodes.push_back({item.gid, succ.second});
-      }
-      push(me, std::move(next));
+    // Zero successors means a terminal state -- unless the pass was cut
+    // short by a stop flag, in which case the count is not trustworthy.
+    if (sink.produced == 0 && !sink.aborted) {
+      if (auto v = terminal_violation(item.state))
+        record_violation(std::move(*v), item.gid, nullptr, item.state);
     }
   }
 
@@ -316,8 +378,8 @@ class ParallelRun {
     }
     for (auto it = rev.rbegin(); it != rev.rend(); ++it)
       t.steps.push_back({**it, m_.describe_step(**it)});
-    if (win.extra)
-      t.steps.push_back({win.extra->second, m_.describe_step(win.extra->second)});
+    if (win.extra_step)
+      t.steps.push_back({*win.extra_step, m_.describe_step(*win.extra_step)});
     t.final_state = m_.format_state(win.final_state);
     return t;
   }
@@ -340,7 +402,8 @@ class ParallelRun {
     }
     const std::uint64_t state_bytes =
         static_cast<std::uint64_t>(m_.layout().size()) * sizeof(kernel::Value);
-    st.approx_memory_bytes = visited_.approx_bytes() +
+    st.store_bytes = store_bytes();
+    st.approx_memory_bytes = st.store_bytes +
                              nodes_total * sizeof(Node) +
                              queued * (sizeof(Item) + state_bytes);
     st.complete = complete_;
@@ -364,6 +427,7 @@ class ParallelRun {
   std::deque<Worker> workers_;
 
   ShardedVisitedSet visited_;
+  kernel::StateCompressor compressor_;
   std::atomic<bool> stop_{false};
   std::atomic<std::int64_t> inflight_{0};
 
@@ -423,6 +487,7 @@ Result run_swarm(const kernel::Machine& m, const Options& opt, int threads) {
     st.max_depth_reached =
         std::max(st.max_depth_reached, r.stats.max_depth_reached);
     st.approx_memory_bytes += r.stats.approx_memory_bytes;
+    st.store_bytes += r.stats.store_bytes;
     st.workers.push_back({r.stats.states_stored, r.stats.states_matched,
                           r.stats.transitions, r.stats.max_depth_reached,
                           r.stats.seconds});

@@ -4,41 +4,58 @@ namespace pnp::explore {
 
 namespace {
 
-bool all_local(const kernel::Machine& m, int pid,
-               const std::vector<kernel::Succ>& succs) {
-  const compile::CompiledProc& cp = m.proc_of(pid);
-  for (const kernel::Succ& s : succs) {
-    const kernel::Step& step = s.second;
-    if (step.partner_pid >= 0) return false;
-    if (!cp.trans[static_cast<std::size_t>(step.trans)].local_only) return false;
+/// Streams one process's successors and decides whether it qualifies as an
+/// ample candidate: every successor must be a purely-local step, and (when
+/// the C3 proviso applies) none may land back on the DFS stack. Aborts the
+/// generation pass at the first disqualifying successor -- the decision is
+/// a conjunction over all successors, so early exit cannot change it.
+class AmpleProbe final : public kernel::SuccSink {
+ public:
+  AmpleProbe(const kernel::Machine& m, int pid, const OnStackFn* on_stack)
+      : cp_(m.proc_of(pid)), on_stack_(on_stack) {}
+
+  bool on_successor(const kernel::State& ns,
+                    const kernel::Step& step) override {
+    produced_ = true;
+    if (step.partner_pid >= 0 ||
+        !cp_.trans[static_cast<std::size_t>(step.trans)].local_only) {
+      ok_ = false;
+      return false;
+    }
+    if (on_stack_ && (*on_stack_)(ns)) {
+      ok_ = false;  // C3: would close a cycle on the stack
+      return false;
+    }
+    return true;
   }
-  return true;
-}
+
+  bool candidate() const { return produced_ && ok_; }
+
+ private:
+  const compile::CompiledProc& cp_;
+  const OnStackFn* on_stack_;
+  bool produced_ = false;
+  bool ok_ = true;
+};
 
 }  // namespace
 
 int por_choose(const kernel::Machine& m, const kernel::State& s,
-               const OnStackFn* on_stack) {
+               const OnStackFn* on_stack, kernel::SuccScratch& scratch) {
   // Atomic regions already restrict interleaving; let the machine handle them.
   if (s.atomic_pid >= 0) return -1;
-  std::vector<kernel::Succ> tmp;
   for (int pid = 0; pid < m.n_processes(); ++pid) {
-    tmp.clear();
-    if (!m.successors_of(s, pid, tmp)) continue;
-    if (!all_local(m, pid, tmp)) continue;
-    if (on_stack) {
-      bool cycles_back = false;
-      for (const kernel::Succ& succ : tmp) {
-        if ((*on_stack)(succ.first)) {
-          cycles_back = true;
-          break;
-        }
-      }
-      if (cycles_back) continue;  // C3: would close a cycle on the stack
-    }
-    return pid;
+    AmpleProbe probe(m, pid, on_stack);
+    m.visit_successors_of(s, pid, scratch, probe);
+    if (probe.candidate()) return pid;
   }
   return -1;
+}
+
+int por_choose(const kernel::Machine& m, const kernel::State& s,
+               const OnStackFn* on_stack) {
+  kernel::SuccScratch scratch;
+  return por_choose(m, s, on_stack, scratch);
 }
 
 void por_expand(const kernel::Machine& m, const kernel::State& s, int choice,
@@ -48,6 +65,15 @@ void por_expand(const kernel::Machine& m, const kernel::State& s, int choice,
     return;
   }
   m.successors_of(s, choice, out);
+}
+
+void por_visit(const kernel::Machine& m, const kernel::State& s, int choice,
+               kernel::SuccScratch& scratch, kernel::SuccSink& sink) {
+  if (choice < 0) {
+    m.visit_successors(s, scratch, sink);
+    return;
+  }
+  m.visit_successors_of(s, choice, scratch, sink);
 }
 
 void por_successors(const kernel::Machine& m, const kernel::State& s,

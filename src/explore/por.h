@@ -21,7 +21,11 @@ using OnStackFn = std::function<bool(const kernel::State&)>;
 /// nullptr to skip it (BFS, where C3 is not needed for safety-only checking
 /// of our invisible-transition ample sets). The decision is a function of
 /// (state, stack) and must be recorded by the caller so that regenerating a
-/// frame's successors reproduces the exact same list.
+/// frame's successors reproduces the exact same list. The overload taking a
+/// SuccScratch probes candidates by mutate-and-revert (no state copies);
+/// the two-argument form allocates its own scratch.
+int por_choose(const kernel::Machine& m, const kernel::State& s,
+               const OnStackFn* on_stack, kernel::SuccScratch& scratch);
 int por_choose(const kernel::Machine& m, const kernel::State& s,
                const OnStackFn* on_stack);
 
@@ -29,6 +33,11 @@ int por_choose(const kernel::Machine& m, const kernel::State& s,
 /// otherwise only that pid's).
 void por_expand(const kernel::Machine& m, const kernel::State& s, int choice,
                 std::vector<kernel::Succ>& out);
+
+/// Streaming por_expand: successors per the recorded choice are handed to
+/// `sink` one at a time (see Machine::visit_successors).
+void por_visit(const kernel::Machine& m, const kernel::State& s, int choice,
+               kernel::SuccScratch& scratch, kernel::SuccSink& sink);
 
 /// choose + expand in one call (used by BFS, which never revisits a frame).
 void por_successors(const kernel::Machine& m, const kernel::State& s,

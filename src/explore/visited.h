@@ -1,7 +1,7 @@
 // Visited-state stores for the exploration engines.
 //
 // Two families:
-//   * VisitedSet        -- the single-threaded store (exact hash set or
+//   * VisitedSet        -- the single-threaded store (exact flat key set or
 //                          double-bit Bloom filter in bitstate mode), with an
 //                          optional hash seed so swarm workers can run
 //                          independently seeded bitstate searches;
@@ -11,43 +11,41 @@
 //                          shard. Insertion is linearizable per key, and the
 //                          global count is an atomic, so max-states checks
 //                          stay cheap.
+//
+// Exact storage is the flat open-addressing table + slab arena from
+// flat_store.h (no per-key heap nodes); approx_bytes() reports the real
+// table + arena footprint, which is what the memory-budget ladder consumes.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
-#include <string>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
+#include "explore/flat_store.h"
 #include "support/hash.h"
 
 namespace pnp::explore {
 
-/// Single-threaded visited-state store: exact hash set, or double-bit Bloom
-/// filter in bitstate (supertrace) mode. `seed` perturbs the bitstate hash
-/// functions; seed 0 reproduces the historical single-search behavior.
+/// Single-threaded visited-state store: exact flat key set, or double-bit
+/// Bloom filter in bitstate (supertrace) mode. `seed` perturbs the bitstate
+/// hash functions; seed 0 reproduces the historical single-search behavior.
+/// `expected` pre-sizes the exact table (ignored in bitstate mode).
 class VisitedSet {
  public:
-  VisitedSet(bool bitstate, std::uint64_t bytes, std::uint64_t seed = 0)
-      : bitstate_(bitstate), seed_(seed) {
+  VisitedSet(bool bitstate, std::uint64_t bytes, std::uint64_t seed = 0,
+             std::uint64_t expected = 0)
+      : bitstate_(bitstate), seed_(seed), set_(bitstate ? 0 : expected) {
     if (bitstate_) bits_.assign(bytes, 0);
   }
 
   /// Returns true if `key` was not present before (and records it).
-  bool insert(const std::string& key) {
-    if (!bitstate_) {
-      const bool fresh = set_.insert(key).second;
-      if (fresh) key_bytes_ += key.size();
-      return fresh;
-    }
-    const std::span<const std::uint8_t> bytes(
-        reinterpret_cast<const std::uint8_t*>(key.data()), key.size());
+  bool insert(std::span<const std::uint8_t> key) {
+    if (!bitstate_) return set_.insert(key, hash_bytes(key));
     const std::uint64_t nbits = bits_.size() * 8;
-    const std::uint64_t b1 =
-        (hash_bytes(bytes) ^ avalanche64(seed_)) % nbits;
-    const std::uint64_t b2 =
-        (hash_bytes2(bytes) + seed_ * kFnvPrime) % nbits;
+    const std::uint64_t b1 = (hash_bytes(key) ^ avalanche64(seed_)) % nbits;
+    const std::uint64_t b2 = (hash_bytes2(key) + seed_ * kFnvPrime) % nbits;
     const bool seen = get_bit(b1) && get_bit(b2);
     set_bit(b1);
     set_bit(b2);
@@ -59,19 +57,14 @@ class VisitedSet {
     return bitstate_ ? approx_count_ : set_.size();
   }
 
-  /// Rough memory footprint: the bit array in bitstate mode; key bytes plus
-  /// an estimated per-entry node/bucket overhead for the exact set.
+  /// Memory footprint: the bit array in bitstate mode; probe arrays plus
+  /// key-arena slabs for the exact set.
   std::uint64_t approx_bytes() const {
     if (bitstate_) return bits_.size();
-    return key_bytes_ + set_.size() * kEntryOverhead;
+    return set_.approx_bytes();
   }
 
  private:
-  // unordered_set node: hash, next pointer, std::string header, bucket
-  // share. 64 bytes is a deliberate slight overestimate so memory-budget
-  // truncation errs on the safe side.
-  static constexpr std::uint64_t kEntryOverhead = 64;
-
   bool get_bit(std::uint64_t i) const {
     return (bits_[i >> 3] >> (i & 7)) & 1;
   }
@@ -80,38 +73,40 @@ class VisitedSet {
   bool bitstate_;
   std::uint64_t seed_;
   std::vector<std::uint8_t> bits_;
-  std::unordered_set<std::string> set_;
+  FlatKeySet set_;
   std::uint64_t approx_count_ = 0;
-  std::uint64_t key_bytes_ = 0;
 };
 
 /// Concurrent exact visited set, lock-striped into 64 shards selected by the
-/// top bits of the state-key hash (the bottom bits feed the shard-local
-/// unordered_set, so the two uses stay independent).
+/// top bits of the state-key hash (the bottom bits probe the shard-local
+/// flat table, so the two uses stay independent). `expected` pre-sizes every
+/// shard for expected/64 keys.
 class ShardedVisitedSet {
  public:
-  ShardedVisitedSet() : shards_(kShards) {}
+  explicit ShardedVisitedSet(std::uint64_t expected = 0) : shards_(kShards) {
+    if (expected > 0)
+      for (Shard& sh : shards_) sh.set.reserve(expected / kShards + 1);
+    refresh_bytes();
+  }
 
-  static std::uint64_t hash_key(const std::string& key) {
-    return hash_bytes(
-        {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()});
+  static std::uint64_t hash_key(std::span<const std::uint8_t> key) {
+    return hash_bytes(key);
   }
 
   /// Returns true if `key` was not present (and records it). `h` must be
   /// hash_key(key); callers always have it already for sharding.
-  bool insert(const std::string& key, std::uint64_t h) {
+  bool insert(std::span<const std::uint8_t> key, std::uint64_t h) {
     Shard& sh = shards_[shard_of(h)];
     bool fresh;
     {
       std::lock_guard<std::mutex> lock(sh.mu);
-      fresh = sh.set.insert(key).second;
+      fresh = sh.set.insert(key, h);
+      if (fresh)
+        // Published under the shard lock but read without it: approx_bytes()
+        // may see a slightly stale footprint, never a torn one.
+        sh.bytes.store(sh.set.approx_bytes(), std::memory_order_relaxed);
     }
-    if (fresh) {
-      // Atomic (not under the shard lock) so approx_bytes() can read the
-      // counters without taking every lock.
-      sh.key_bytes.fetch_add(key.size(), std::memory_order_relaxed);
-      count_.fetch_add(1, std::memory_order_relaxed);
-    }
+    if (fresh) count_.fetch_add(1, std::memory_order_relaxed);
     return fresh;
   }
 
@@ -119,29 +114,31 @@ class ShardedVisitedSet {
     return count_.load(std::memory_order_relaxed);
   }
 
-  /// Rough footprint across all shards. Taken without locks: the per-shard
-  /// byte counters are only ever increased, so a racy read can only
-  /// under-estimate by the entries being inserted right now.
+  /// Footprint across all shards, readable without taking any shard lock.
   std::uint64_t approx_bytes() const {
     std::uint64_t bytes = 0;
     for (const Shard& sh : shards_)
-      bytes += sh.key_bytes.load(std::memory_order_relaxed);
-    return bytes + size() * kEntryOverhead;
+      bytes += sh.bytes.load(std::memory_order_relaxed);
+    return bytes;
   }
 
  private:
   static constexpr std::size_t kShards = 64;
-  static constexpr std::uint64_t kEntryOverhead = 64;
 
   static std::size_t shard_of(std::uint64_t h) {
     return static_cast<std::size_t>(h >> 58);  // top 6 bits
   }
 
+  void refresh_bytes() {
+    for (Shard& sh : shards_)
+      sh.bytes.store(sh.set.approx_bytes(), std::memory_order_relaxed);
+  }
+
   // Cache-line aligned so neighboring shard locks don't false-share.
   struct alignas(64) Shard {
     std::mutex mu;
-    std::unordered_set<std::string> set;
-    std::atomic<std::uint64_t> key_bytes{0};
+    FlatKeySet set;
+    std::atomic<std::uint64_t> bytes{0};
   };
 
   std::vector<Shard> shards_;

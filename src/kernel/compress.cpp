@@ -1,0 +1,205 @@
+#include "kernel/compress.h"
+
+#include <cstring>
+
+#include "support/hash.h"
+#include "support/panic.h"
+
+namespace pnp::kernel {
+
+namespace {
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t c = 64;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t read_varint(std::span<const std::uint8_t> key, std::size_t& at) {
+  std::uint32_t v = 0;
+  int shift = 0;
+  for (;;) {
+    PNP_CHECK(at < key.size(), "truncated compressed state key");
+    const std::uint8_t b = key[at++];
+    v |= static_cast<std::uint32_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    PNP_CHECK(shift < 32, "overlong varint in compressed state key");
+  }
+}
+
+}  // namespace
+
+StateCompressor::StateCompressor(const Layout& lay, int stripes,
+                                 std::size_t expected_components)
+    : n_stripes_(stripes < 1 ? 1 : stripes),
+      concurrent_(stripes > 1),
+      state_size_(lay.size()) {
+  const auto regions = lay.regions();
+  regions_.reserve(regions.size());
+  const std::size_t per_stripe = pow2_at_least(
+      (expected_components / static_cast<std::size_t>(n_stripes_) + 1) * 2);
+  for (const auto& [begin, width] : regions) {
+    Region r;
+    r.begin = begin;
+    r.width = width;
+    r.stripes = std::make_unique<Stripe[]>(static_cast<std::size_t>(n_stripes_));
+    for (int i = 0; i < n_stripes_; ++i) {
+      Stripe& st = r.stripes[static_cast<std::size_t>(i)];
+      st.fps.assign(per_stripe, 0);
+      st.ids.assign(per_stripe, kEmptySlot);
+      st.store.reserve(per_stripe * static_cast<std::size_t>(width) / 2);
+      st.bytes.store(
+          st.fps.capacity() * sizeof(std::uint64_t) +
+              st.ids.capacity() * sizeof(std::uint32_t) +
+              st.store.capacity() * sizeof(Value),
+          std::memory_order_relaxed);
+    }
+    regions_.push_back(std::move(r));
+  }
+  region_of_slot_.assign(static_cast<std::size_t>(state_size_), -1);
+  for (std::size_t k = 0; k < regions_.size(); ++k)
+    for (int i = 0; i < regions_[k].width; ++i)
+      region_of_slot_[static_cast<std::size_t>(regions_[k].begin + i)] =
+          static_cast<int>(k);
+}
+
+void StateCompressor::grow(Stripe& st) {
+  const std::size_t cap = st.fps.size() * 2;
+  std::vector<std::uint64_t> fps(cap, 0);
+  std::vector<std::uint32_t> ids(cap, kEmptySlot);
+  const std::size_t mask = cap - 1;
+  for (std::size_t i = 0; i < st.fps.size(); ++i) {
+    if (st.ids[i] == kEmptySlot) continue;
+    std::size_t j = static_cast<std::size_t>(st.fps[i]) & mask;
+    while (ids[j] != kEmptySlot) j = (j + 1) & mask;
+    fps[j] = st.fps[i];
+    ids[j] = st.ids[i];
+  }
+  st.fps = std::move(fps);
+  st.ids = std::move(ids);
+}
+
+std::uint32_t StateCompressor::intern(Region& r, const Value* vals) {
+  const std::size_t width = static_cast<std::size_t>(r.width);
+  const std::uint64_t fp = hash_bytes(
+      {reinterpret_cast<const std::uint8_t*>(vals), width * sizeof(Value)});
+  // High bits pick the stripe, low bits probe the stripe-local table, so the
+  // two uses stay independent.
+  const int si = static_cast<int>((fp >> 48) % static_cast<std::uint64_t>(n_stripes_));
+  Stripe& st = r.stripes[static_cast<std::size_t>(si)];
+  std::unique_lock<std::mutex> lock(st.mu, std::defer_lock);
+  if (concurrent_) lock.lock();
+
+  const std::size_t mask = st.fps.size() - 1;
+  std::size_t i = static_cast<std::size_t>(fp) & mask;
+  while (st.ids[i] != kEmptySlot) {
+    if (st.fps[i] == fp &&
+        std::memcmp(st.store.data() + st.ids[i] * width, vals,
+                    width * sizeof(Value)) == 0)
+      return st.ids[i] * static_cast<std::uint32_t>(n_stripes_) +
+             static_cast<std::uint32_t>(si);
+    i = (i + 1) & mask;
+  }
+  // fresh component: append values, claim the probe slot
+  const std::uint32_t local = st.count++;
+  st.store.insert(st.store.end(), vals, vals + width);
+  st.fps[i] = fp;
+  st.ids[i] = local;
+  if ((static_cast<std::size_t>(st.count) + 1) * 10 >= st.fps.size() * 7)
+    grow(st);
+  st.bytes.store(st.fps.capacity() * sizeof(std::uint64_t) +
+                     st.ids.capacity() * sizeof(std::uint32_t) +
+                     st.store.capacity() * sizeof(Value),
+                 std::memory_order_relaxed);
+  return local * static_cast<std::uint32_t>(n_stripes_) +
+         static_cast<std::uint32_t>(si);
+}
+
+void StateCompressor::compress(const State& s, std::vector<std::uint8_t>& out) {
+  PNP_CHECK(static_cast<int>(s.mem.size()) == state_size_,
+            "compress: state size does not match layout");
+  out.clear();
+  for (Region& r : regions_)
+    append_varint(out, intern(r, s.mem.data() + r.begin));
+  PNP_CHECK(s.atomic_pid < 255, "compress: atomic pid out of byte range");
+  out.push_back(static_cast<std::uint8_t>(s.atomic_pid & 0xff));
+}
+
+void StateCompressor::compress_full(const State& s,
+                                    std::vector<std::uint8_t>& out,
+                                    std::uint32_t* ids) {
+  PNP_CHECK(static_cast<int>(s.mem.size()) == state_size_,
+            "compress: state size does not match layout");
+  out.clear();
+  for (std::size_t k = 0; k < regions_.size(); ++k) {
+    ids[k] = intern(regions_[k], s.mem.data() + regions_[k].begin);
+    append_varint(out, ids[k]);
+  }
+  PNP_CHECK(s.atomic_pid < 255, "compress: atomic pid out of byte range");
+  out.push_back(static_cast<std::uint8_t>(s.atomic_pid & 0xff));
+}
+
+void StateCompressor::compress_delta(const State& s,
+                                     const std::uint32_t* prev_ids,
+                                     const std::uint8_t* dirty,
+                                     std::vector<std::uint8_t>& out,
+                                     std::uint32_t* ids) {
+  PNP_CHECK(static_cast<int>(s.mem.size()) == state_size_,
+            "compress: state size does not match layout");
+  out.clear();
+  for (std::size_t k = 0; k < regions_.size(); ++k) {
+    ids[k] = dirty[k] ? intern(regions_[k], s.mem.data() + regions_[k].begin)
+                      : prev_ids[k];
+    append_varint(out, ids[k]);
+  }
+  PNP_CHECK(s.atomic_pid < 255, "compress: atomic pid out of byte range");
+  out.push_back(static_cast<std::uint8_t>(s.atomic_pid & 0xff));
+}
+
+State StateCompressor::decompress(std::span<const std::uint8_t> key) const {
+  State s;
+  s.mem.assign(static_cast<std::size_t>(state_size_), 0);
+  std::size_t at = 0;
+  for (const Region& r : regions_) {
+    const std::uint32_t id = read_varint(key, at);
+    const std::uint32_t local = id / static_cast<std::uint32_t>(n_stripes_);
+    const std::uint32_t si = id % static_cast<std::uint32_t>(n_stripes_);
+    const Stripe& st = r.stripes[si];
+    PNP_CHECK(local < st.count, "decompress: component id out of range");
+    const std::size_t width = static_cast<std::size_t>(r.width);
+    std::memcpy(s.mem.data() + r.begin, st.store.data() + local * width,
+                width * sizeof(Value));
+  }
+  PNP_CHECK(at + 1 == key.size(), "decompress: trailing bytes in key");
+  const std::uint8_t pid = key[at];
+  s.atomic_pid = pid == 0xff ? -1 : static_cast<int>(pid);
+  return s;
+}
+
+std::uint64_t StateCompressor::components() const {
+  std::uint64_t n = 0;
+  for (const Region& r : regions_)
+    for (int i = 0; i < n_stripes_; ++i)
+      n += r.stripes[static_cast<std::size_t>(i)].count;
+  return n;
+}
+
+std::uint64_t StateCompressor::approx_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const Region& r : regions_)
+    for (int i = 0; i < n_stripes_; ++i)
+      bytes += r.stripes[static_cast<std::size_t>(i)].bytes.load(
+          std::memory_order_relaxed);
+  return bytes;
+}
+
+}  // namespace pnp::kernel

@@ -1,0 +1,106 @@
+// COLLAPSE-style state compression (after SPIN's COLLAPSE mode, Holzmann).
+//
+// The state vector is split along Layout::regions() boundaries -- globals,
+// one region per process frame, one region per buffered channel -- and each
+// region's slot values are interned once in a per-region component table.
+// A compressed state is then just one varint component id per region plus
+// the atomic-holder pid: a successor that only moved one process re-encodes
+// as a handful of bytes instead of the whole vector, and the full slot data
+// for each distinct component is stored exactly once, in the table.
+//
+// Ids are dense and injective per region, so equal compressed keys imply
+// equal states (the property the visited set relies on), and decompress()
+// is exact -- the tables retain every component ever interned.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "kernel/state.h"
+
+namespace pnp::kernel {
+
+class StateCompressor {
+ public:
+  /// `stripes` > 1 lock-stripes every component table so compress() may be
+  /// called concurrently from that many (or more) workers; 1 elides all
+  /// locking for single-threaded searches. `expected_components` pre-sizes
+  /// each region's table (components are shared across states, so even
+  /// million-state runs typically intern a few thousand per region).
+  explicit StateCompressor(const Layout& lay, int stripes = 1,
+                           std::size_t expected_components = 1024);
+
+  StateCompressor(const StateCompressor&) = delete;
+  StateCompressor& operator=(const StateCompressor&) = delete;
+
+  /// Replaces `out` with the compressed encoding of `s` (reusing capacity):
+  /// LEB128 varint component ids in region order, then `atomic_pid & 0xff`.
+  void compress(const State& s, std::vector<std::uint8_t>& out);
+
+  /// compress() that also reports each region's component id into `ids`
+  /// (n_regions() entries), enabling compress_delta() on successors.
+  void compress_full(const State& s, std::vector<std::uint8_t>& out,
+                     std::uint32_t* ids);
+
+  /// Delta compression -- the core COLLAPSE win. `s` differs from a
+  /// previously compressed state only in the regions flagged in `dirty`
+  /// (n_regions() entries): clean regions reuse `prev_ids` without touching
+  /// their slots, dirty ones are re-interned. Produces exactly the bytes
+  /// compress() would; `ids` receives s's per-region ids. Callers derive
+  /// `dirty` from the successor generator's undo log via region_of_slot().
+  void compress_delta(const State& s, const std::uint32_t* prev_ids,
+                      const std::uint8_t* dirty,
+                      std::vector<std::uint8_t>& out, std::uint32_t* ids);
+
+  /// Region index covering each state slot (regions partition the slots).
+  const std::vector<int>& region_of_slot() const { return region_of_slot_; }
+
+  /// Exact inverse of compress() for keys produced by this compressor.
+  State decompress(std::span<const std::uint8_t> key) const;
+
+  int n_regions() const { return static_cast<int>(regions_.size()); }
+
+  /// Total distinct components interned across all regions.
+  std::uint64_t components() const;
+
+  /// Real footprint of the intern tables: open-addressing slot arrays plus
+  /// the component value arenas. Feeds memory-budget accounting.
+  std::uint64_t approx_bytes() const;
+
+ private:
+  // One lock stripe of a region's intern table: open addressing over the
+  // component fingerprint (parallel fps/ids arrays), with the component
+  // values appended to a width-strided arena. A component's global id is
+  // local_index * n_stripes + stripe, which keeps ids dense and injective
+  // without cross-stripe coordination.
+  struct Stripe {
+    std::mutex mu;
+    std::vector<std::uint64_t> fps;
+    std::vector<std::uint32_t> ids;  // local indices; kEmptySlot = free
+    std::vector<Value> store;
+    std::uint32_t count = 0;
+    std::atomic<std::uint64_t> bytes{0};
+  };
+  struct Region {
+    int begin = 0;
+    int width = 0;
+    std::unique_ptr<Stripe[]> stripes;
+  };
+
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+  std::uint32_t intern(Region& r, const Value* vals);
+  static void grow(Stripe& st);
+
+  std::vector<Region> regions_;
+  std::vector<int> region_of_slot_;
+  int n_stripes_;
+  bool concurrent_;
+  int state_size_;
+};
+
+}  // namespace pnp::kernel

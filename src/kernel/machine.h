@@ -33,6 +33,29 @@ struct Step {
 
 using Succ = std::pair<State, Step>;
 
+/// Receives successors one at a time during streaming generation. `ns` and
+/// `step` live in the caller's SuccScratch and are valid only for the
+/// duration of the call -- copy them to keep them. Return false to abort
+/// generation early (remaining candidates are skipped).
+class SuccSink {
+ public:
+  virtual bool on_successor(const State& ns, const Step& step) = 0;
+
+ protected:
+  ~SuccSink() = default;
+};
+
+/// Per-caller scratch for mutate-and-revert successor generation: one State
+/// buffer plus an undo log, so producing a successor costs only the slots
+/// the step touches instead of a full state-vector copy. Reuse one instance
+/// across visit_successors() calls to keep buffer capacity warm. The fields
+/// are internal to the kernel successor generator.
+struct SuccScratch {
+  State state;
+  std::vector<std::pair<int, Value>> undo;  // (slot, previous value)
+  Step step;  // reused so event.msg keeps its capacity
+};
+
 class Machine {
  public:
   /// Compiles `sys`; the spec must outlive the machine.
@@ -70,6 +93,18 @@ class Machine {
   /// Successors produced by process `pid` only (used by POR and the atomic
   /// rule). Returns true if at least one was produced.
   bool successors_of(const State& s, int pid, std::vector<Succ>& out) const;
+
+  /// Streaming variants: each successor is materialized in `scratch` by
+  /// mutate-and-revert and handed to `sink` in exactly the order the
+  /// vector-building overloads would append it. The sink may abort early by
+  /// returning false. `s` must not alias `scratch.state`.
+  void visit_successors(const State& s, SuccScratch& scratch,
+                        SuccSink& sink) const;
+
+  /// Streaming successors_of(); returns true if at least one successor was
+  /// produced (even if the sink then aborted).
+  bool visit_successors_of(const State& s, int pid, SuccScratch& scratch,
+                           SuccSink& sink) const;
 
   /// True if every process sits at a valid end-state pc (and, per Promela's
   /// strict -q interpretation, which we adopt, all buffered channels are

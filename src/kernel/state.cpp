@@ -35,13 +35,25 @@ Layout::Layout(const model::SystemSpec& sys) {
   total_ = at;
 }
 
+std::vector<std::pair<int, int>> Layout::regions() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(1 + procs_.size() + chans_.size());
+  if (n_globals_ > 0) out.emplace_back(0, n_globals_);
+  for (const ProcSlot& p : procs_) out.emplace_back(p.base, 1 + p.n_locals);
+  for (const ChanSlot& c : chans_)
+    if (c.base >= 0) out.emplace_back(c.base, 1 + c.capacity * c.arity);
+  return out;
+}
+
 void Layout::chan_push(State& s, int c, const Value* fields) const {
   const ChanSlot& ch = chans_[static_cast<std::size_t>(c)];
   PNP_CHECK(ch.base >= 0, "push on rendezvous channel");
   Value& len = s.mem[static_cast<std::size_t>(ch.base)];
   PNP_CHECK(len < ch.capacity, "push on full channel");
-  Value* dst = s.mem.data() + ch.base + 1 + len * ch.arity;
-  std::memcpy(dst, fields, sizeof(Value) * static_cast<std::size_t>(ch.arity));
+  const std::size_t arity = static_cast<std::size_t>(ch.arity);
+  Value* dst = s.mem.data() + static_cast<std::size_t>(ch.base) + 1 +
+               static_cast<std::size_t>(len) * arity;
+  std::memcpy(dst, fields, sizeof(Value) * arity);
   ++len;
 }
 
@@ -50,13 +62,16 @@ void Layout::chan_push_sorted(State& s, int c, const Value* fields) const {
   PNP_CHECK(ch.base >= 0, "push on rendezvous channel");
   Value& len = s.mem[static_cast<std::size_t>(ch.base)];
   PNP_CHECK(len < ch.capacity, "push on full channel");
-  Value* base = s.mem.data() + ch.base + 1;
-  // find first message lexicographically greater than `fields`
-  int pos = 0;
-  while (pos < len) {
-    const Value* m = base + pos * ch.arity;
+  const std::size_t arity = static_cast<std::size_t>(ch.arity);
+  Value* base = s.mem.data() + static_cast<std::size_t>(ch.base) + 1;
+  // find first message lexicographically greater than `fields`; all index
+  // math in std::size_t so `pos * arity` can never wrap through int
+  std::size_t pos = 0;
+  const std::size_t n = static_cast<std::size_t>(len);
+  while (pos < n) {
+    const Value* m = base + pos * arity;
     bool greater = false;
-    for (int f = 0; f < ch.arity; ++f) {
+    for (std::size_t f = 0; f < arity; ++f) {
       if (m[f] != fields[f]) {
         greater = m[f] > fields[f];
         break;
@@ -66,24 +81,25 @@ void Layout::chan_push_sorted(State& s, int c, const Value* fields) const {
     ++pos;
   }
   // shift tail back one slot
-  std::memmove(base + (pos + 1) * ch.arity, base + pos * ch.arity,
-               sizeof(Value) * static_cast<std::size_t>((len - pos) * ch.arity));
-  std::memcpy(base + pos * ch.arity, fields,
-              sizeof(Value) * static_cast<std::size_t>(ch.arity));
+  std::memmove(base + (pos + 1) * arity, base + pos * arity,
+               sizeof(Value) * ((n - pos) * arity));
+  std::memcpy(base + pos * arity, fields, sizeof(Value) * arity);
   ++len;
 }
 
 void Layout::chan_erase(State& s, int c, int i) const {
   const ChanSlot& ch = chans_[static_cast<std::size_t>(c)];
+  PNP_CHECK(ch.base >= 0, "erase on rendezvous channel");
   Value& len = s.mem[static_cast<std::size_t>(ch.base)];
   PNP_CHECK(i >= 0 && i < len, "erase out of range");
-  Value* base = s.mem.data() + ch.base + 1;
-  std::memmove(base + i * ch.arity, base + (i + 1) * ch.arity,
-               sizeof(Value) *
-                   static_cast<std::size_t>((len - i - 1) * ch.arity));
+  const std::size_t arity = static_cast<std::size_t>(ch.arity);
+  const std::size_t at = static_cast<std::size_t>(i);
+  const std::size_t n = static_cast<std::size_t>(len);
+  Value* base = s.mem.data() + static_cast<std::size_t>(ch.base) + 1;
+  std::memmove(base + at * arity, base + (at + 1) * arity,
+               sizeof(Value) * ((n - at - 1) * arity));
   // zero the freed slot so equal queue contents encode identically
-  std::memset(base + (len - 1) * ch.arity, 0,
-              sizeof(Value) * static_cast<std::size_t>(ch.arity));
+  std::memset(base + (n - 1) * arity, 0, sizeof(Value) * arity);
   --len;
 }
 
@@ -98,11 +114,17 @@ State Layout::initial(const model::SystemSpec& sys,
 }
 
 std::string encode_key(const State& s) {
+  std::string key;
+  encode_key_into(s, key);
+  return key;
+}
+
+void encode_key_into(const State& s, std::string& key) {
   // Byte-compressed canonical encoding: almost every slot holds a tiny
   // value (pc, signal, pid, counter), so values in [-126, 127] take one
   // byte; 0xFE escapes to a full 4-byte little-endian word. The mapping is
   // injective per position, so equal keys imply equal states.
-  std::string key;
+  key.clear();
   key.reserve(s.mem.size() + 8);
   for (Value v : s.mem) {
     if (v >= -126 && v <= 127) {
@@ -117,7 +139,6 @@ std::string encode_key(const State& s) {
     }
   }
   key.push_back(static_cast<char>(s.atomic_pid & 0xff));
-  return key;
 }
 
 }  // namespace pnp::kernel

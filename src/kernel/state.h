@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "expr/expr.h"
@@ -40,6 +41,12 @@ class Layout {
   int size() const { return total_; }
   int n_globals() const { return n_globals_; }
 
+  /// COLLAPSE compression regions: {begin, count} slot ranges covering every
+  /// state slot exactly once, split along the natural component boundaries
+  /// (globals | one range per process frame | one range per buffered
+  /// channel). Empty ranges (no globals, rendezvous channels) are omitted.
+  std::vector<std::pair<int, int>> regions() const;
+
   // -- accessors ---------------------------------------------------------------
   Value global(const State& s, int slot) const {
     return s.mem[static_cast<std::size_t>(slot)];
@@ -65,12 +72,30 @@ class Layout {
   /// `slot` is a frame slot (params + locals); writing a parameter slot is
   /// a model error (parameters are immutable).
   void set_frame_slot(State& s, int pid, int slot, Value v) const {
-    const ProcSlot& p = procs_[static_cast<std::size_t>(pid)];
-    PNP_CHECK(slot >= p.n_params, "write to immutable parameter slot");
-    s.mem[static_cast<std::size_t>(p.base + 1 + slot - p.n_params)] = v;
+    s.mem[static_cast<std::size_t>(frame_slot(pid, slot))] = v;
   }
   std::span<const Value> globals(const State& s) const {
     return {s.mem.data(), static_cast<std::size_t>(n_globals_)};
+  }
+
+  // -- raw slot indices (undo-log successor generation) ------------------------
+  /// Slot index of process `pid`'s program counter.
+  int pc_slot(int pid) const {
+    return procs_[static_cast<std::size_t>(pid)].base;
+  }
+  /// Slot index of frame slot `slot` (params + locals); writing a parameter
+  /// slot is a model error (parameters are immutable).
+  int frame_slot(int pid, int slot) const {
+    const ProcSlot& p = procs_[static_cast<std::size_t>(pid)];
+    PNP_CHECK(slot >= p.n_params, "write to immutable parameter slot");
+    return p.base + 1 + slot - p.n_params;
+  }
+  /// {begin, count} of channel `c`'s slots (len + message buffer);
+  /// {-1, 0} for rendezvous channels, which have no storage.
+  std::pair<int, int> chan_region(int c) const {
+    const ChanSlot& ch = chans_[static_cast<std::size_t>(c)];
+    if (ch.base < 0) return {-1, 0};
+    return {ch.base, 1 + ch.capacity * ch.arity};
   }
 
   // -- channels ----------------------------------------------------------------
@@ -123,5 +148,9 @@ class Layout {
 
 /// Canonical byte string of `s` for hash containers.
 std::string encode_key(const State& s);
+
+/// Allocation-free variant for hot paths: replaces `out` with the canonical
+/// encoding, reusing its capacity.
+void encode_key_into(const State& s, std::string& out);
 
 }  // namespace pnp::kernel

@@ -101,15 +101,31 @@ State Machine::initial() const {
 namespace {
 
 /// One successor-generation pass over a single state.
+///
+/// Successors are produced by mutate-and-revert: every candidate step is
+/// applied to the shared scratch state while an undo log records each
+/// (slot, previous value) pair it touches; after the sink has seen the
+/// successor the log is replayed in reverse. A step touches a handful of
+/// slots, so this replaces the historical full state-vector copy per
+/// candidate with work proportional to the step itself. All guard and
+/// field evaluation reads the ORIGINAL state `s_` (never the scratch), so
+/// the emitted successors are byte-identical to the copy-based ones, in
+/// the same order.
 class SuccGen {
  public:
-  SuccGen(const Machine& m, const State& s, std::vector<Succ>& out)
+  SuccGen(const Machine& m, const State& s, SuccScratch& scratch,
+          SuccSink& sink)
       : m_(m),
         sys_(m.spec()),
         lay_(m.layout()),
         s_(s),
         view_(lay_, s),
-        out_(out) {}
+        scratch_(scratch),
+        sink_(sink) {
+    scratch_.state.mem.assign(s.mem.begin(), s.mem.end());
+    scratch_.state.atomic_pid = s.atomic_pid;
+    scratch_.undo.clear();
+  }
 
   /// Expands one process; returns true if it produced any successor.
   bool expand(int pid) {
@@ -123,6 +139,7 @@ class SuccGen {
     bool any_program = false;
     int else_ti = -1;
     for (int ti : cands) {
+      if (stopped_) return any;
       const Transition& t = cp.trans[static_cast<std::size_t>(ti)];
       if (t.op == OpKind::Else) {
         else_ti = ti;
@@ -133,12 +150,15 @@ class SuccGen {
         if (t.op != OpKind::Crash) any_program = true;
       }
     }
-    if (!any_program && else_ti >= 0) {
+    if (!stopped_ && !any_program && else_ti >= 0) {
       emit_local(pid, else_ti, cp.trans[static_cast<std::size_t>(else_ti)]);
       any = true;
     }
     return any;
   }
+
+  /// True once the sink aborted; remaining candidates are skipped.
+  bool stopped() const { return stopped_; }
 
  private:
   expr::EvalEnv env(int pid) const {
@@ -159,28 +179,82 @@ class SuccGen {
     return -1;
   }
 
-  void finish(State& ns, int pid, const Transition& t) {
-    lay_.set_pc(ns, pid, t.dst);
-    ns.atomic_pid = next_atomic(pid, t.dst);
+  // -- scratch mutation with undo logging ------------------------------------
+  State& ns() { return scratch_.state; }
+
+  void save(int idx) {
+    scratch_.undo.emplace_back(idx, ns().mem[static_cast<std::size_t>(idx)]);
+  }
+  void mut_slot(int idx, Value v) {
+    save(idx);
+    ns().mem[static_cast<std::size_t>(idx)] = v;
+  }
+  void mut_pc(int pid, int pc) { mut_slot(lay_.pc_slot(pid), pc); }
+  void mut_frame(int pid, int slot, Value v) {
+    mut_slot(lay_.frame_slot(pid, slot), v);
+  }
+  void mut_global(int slot, Value v) { mut_slot(slot, v); }
+  /// Snapshots channel `c`'s whole region before a push/erase mutates it;
+  /// capacities are small, so this stays cheap and covers every shift
+  /// pattern (sorted insert, erase compaction) without per-case analysis.
+  void save_chan(int c) {
+    const auto [begin, count] = lay_.chan_region(c);
+    for (int i = 0; i < count; ++i) save(begin + i);
   }
 
-  void emit_local(int pid, int ti, const Transition& t,
+  void finish_mut(int pid, const Transition& t) {
+    mut_pc(pid, t.dst);
+    ns().atomic_pid = next_atomic(pid, t.dst);
+  }
+
+  void revert() {
+    for (std::size_t i = scratch_.undo.size(); i-- > 0;)
+      ns().mem[static_cast<std::size_t>(scratch_.undo[i].first)] =
+          scratch_.undo[i].second;
+    scratch_.undo.clear();
+    ns().atomic_pid = s_.atomic_pid;
+#ifndef NDEBUG
+    // A missed undo entry would silently corrupt every later successor of
+    // this state; the whole test suite runs with this net in place.
+    PNP_CHECK(ns().mem == s_.mem, "successor scratch revert mismatch");
+#endif
+  }
+
+  /// Hands the mutated scratch to the sink as one successor, then reverts.
+  /// Returns false when the sink aborted generation.
+  bool emit(int pid, int ti, bool assert_failed = false,
+            StepEvent::Kind kind = StepEvent::Kind::Local, int chan = -1,
+            const Value* fields = nullptr, int arity = 0, int partner_pid = -1,
+            int partner_trans = -1) {
+    Step& st = scratch_.step;
+    st.pid = pid;
+    st.trans = ti;
+    st.partner_pid = partner_pid;
+    st.partner_trans = partner_trans;
+    st.assert_failed = assert_failed;
+    st.event.kind = kind;
+    st.event.chan = chan;
+    if (fields)
+      st.event.msg.assign(fields, fields + arity);
+    else
+      st.event.msg.clear();
+    const bool keep_going = sink_.on_successor(ns(), st);
+    revert();
+    if (!keep_going) stopped_ = true;
+    return keep_going;
+  }
+
+  bool emit_local(int pid, int ti, const Transition& t,
                   const model::Lhs* assign_to = nullptr, Value assign_val = 0,
-                  StepEvent event = {}, bool assert_failed = false) {
-    State ns = s_;
+                  bool assert_failed = false) {
     if (assign_to) {
       if (assign_to->kind == model::LhsKind::Local)
-        lay_.set_frame_slot(ns, pid, assign_to->slot, assign_val);
+        mut_frame(pid, assign_to->slot, assign_val);
       else
-        lay_.set_global(ns, assign_to->slot, assign_val);
+        mut_global(assign_to->slot, assign_val);
     }
-    finish(ns, pid, t);
-    Step step;
-    step.pid = pid;
-    step.trans = ti;
-    step.event = std::move(event);
-    step.assert_failed = assert_failed;
-    out_.emplace_back(std::move(ns), std::move(step));
+    finish_mut(pid, t);
+    return emit(pid, ti, assert_failed);
   }
 
   bool match_pattern(const std::vector<RecvArg>& args, const Value* fields,
@@ -194,15 +268,15 @@ class SuccGen {
     return true;
   }
 
-  void bind_pattern(State& ns, int pid, const std::vector<RecvArg>& args,
-                    const Value* fields) const {
+  void bind_pattern(int pid, const std::vector<RecvArg>& args,
+                    const Value* fields) {
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (args[i].kind != RecvArgKind::Bind) continue;
       const model::Lhs& lhs = args[i].lhs;
       if (lhs.kind == model::LhsKind::Local)
-        lay_.set_frame_slot(ns, pid, lhs.slot, fields[i]);
+        mut_frame(pid, lhs.slot, fields[i]);
       else
-        lay_.set_global(ns, lhs.slot, fields[i]);
+        mut_global(lhs.slot, fields[i]);
     }
   }
 
@@ -231,7 +305,7 @@ class SuccGen {
       }
       case OpKind::Assert: {
         const bool ok = sys_.exprs.eval(t.expr, e) != 0;
-        emit_local(pid, ti, t, nullptr, 0, {}, /*assert_failed=*/!ok);
+        emit_local(pid, ti, t, nullptr, 0, /*assert_failed=*/!ok);
         return true;
       }
       case OpKind::Send:
@@ -256,16 +330,12 @@ class SuccGen {
     const Value budget =
         lay_.locals(s_, pid)[static_cast<std::size_t>(t.lhs.slot - np)];
     if (budget <= 0) return false;
-    State ns = s_;
     for (std::size_t i = static_cast<std::size_t>(np); i < cp.frame_init.size();
          ++i)
-      lay_.set_frame_slot(ns, pid, static_cast<int>(i), cp.frame_init[i]);
-    lay_.set_frame_slot(ns, pid, t.lhs.slot, budget - 1);
-    finish(ns, pid, t);
-    Step step;
-    step.pid = pid;
-    step.trans = ti;
-    out_.emplace_back(std::move(ns), std::move(step));
+      mut_frame(pid, static_cast<int>(i), cp.frame_init[i]);
+    mut_frame(pid, t.lhs.slot, budget - 1);
+    finish_mut(pid, t);
+    emit(pid, ti);
     return true;
   }
 
@@ -288,21 +358,16 @@ class SuccGen {
     const bool full = lay_.chan_len(s_, chan) >= lay_.chan_capacity(chan);
     if (full && !lay_.chan_lossy(chan)) return false;
 
-    State ns = s_;
     if (!full) {
+      save_chan(chan);
       if (t.sorted)
-        lay_.chan_push_sorted(ns, chan, fields);
+        lay_.chan_push_sorted(ns(), chan, fields);
       else
-        lay_.chan_push(ns, chan, fields);
+        lay_.chan_push(ns(), chan, fields);
     }
     // else: lossy channel drops the message silently.
-    finish(ns, pid, t);
-    Step step;
-    step.pid = pid;
-    step.trans = ti;
-    step.event = {StepEvent::Kind::Send, chan,
-                  std::vector<Value>(fields, fields + arity)};
-    out_.emplace_back(std::move(ns), std::move(step));
+    finish_mut(pid, t);
+    emit(pid, ti, false, StepEvent::Kind::Send, chan, fields, arity);
     return true;
   }
 
@@ -322,20 +387,14 @@ class SuccGen {
                   "rendezvous pattern arity mismatch");
         if (!match_pattern(t2.args, fields, e2)) continue;
 
-        State ns = s_;
-        bind_pattern(ns, pid2, t2.args, fields);
-        lay_.set_pc(ns, pid, t.dst);
-        lay_.set_pc(ns, pid2, t2.dst);
-        ns.atomic_pid = next_atomic(pid, t.dst, pid2, t2.dst);
-        Step step;
-        step.pid = pid;
-        step.trans = ti;
-        step.partner_pid = pid2;
-        step.partner_trans = ti2;
-        step.event = {StepEvent::Kind::Handshake, chan,
-                      std::vector<Value>(fields, fields + arity)};
-        out_.emplace_back(std::move(ns), std::move(step));
+        bind_pattern(pid2, t2.args, fields);
+        mut_pc(pid, t.dst);
+        mut_pc(pid2, t2.dst);
+        ns().atomic_pid = next_atomic(pid, t.dst, pid2, t2.dst);
         any = true;
+        if (!emit(pid, ti, false, StepEvent::Kind::Handshake, chan, fields,
+                  arity, pid2, ti2))
+          return any;
       }
     }
     return any;
@@ -370,16 +429,13 @@ class SuccGen {
 
     Value fields[16];
     std::copy_n(lay_.chan_msg(s_, chan, idx), arity, fields);
-    State ns = s_;
-    bind_pattern(ns, pid, t.args, fields);
-    if (!t.copy) lay_.chan_erase(ns, chan, idx);
-    finish(ns, pid, t);
-    Step step;
-    step.pid = pid;
-    step.trans = ti;
-    step.event = {StepEvent::Kind::Recv, chan,
-                  std::vector<Value>(fields, fields + arity)};
-    out_.emplace_back(std::move(ns), std::move(step));
+    bind_pattern(pid, t.args, fields);
+    if (!t.copy) {
+      save_chan(chan);
+      lay_.chan_erase(ns(), chan, idx);
+    }
+    finish_mut(pid, t);
+    emit(pid, ti, false, StepEvent::Kind::Recv, chan, fields, arity);
     return true;
   }
 
@@ -398,17 +454,15 @@ class SuccGen {
         continue;
       Value fields[16];
       std::copy_n(msg, arity, fields);
-      State ns = s_;
-      bind_pattern(ns, pid, t.args, fields);
-      if (!t.copy) lay_.chan_erase(ns, chan, i);
-      finish(ns, pid, t);
-      Step step;
-      step.pid = pid;
-      step.trans = ti;
-      step.event = {StepEvent::Kind::Recv, chan,
-                    std::vector<Value>(fields, fields + arity)};
-      out_.emplace_back(std::move(ns), std::move(step));
+      bind_pattern(pid, t.args, fields);
+      if (!t.copy) {
+        save_chan(chan);
+        lay_.chan_erase(ns(), chan, i);
+      }
+      finish_mut(pid, t);
       any = true;
+      if (!emit(pid, ti, false, StepEvent::Kind::Recv, chan, fields, arity))
+        return any;
     }
     return any;
   }
@@ -418,25 +472,58 @@ class SuccGen {
   const Layout& lay_;
   const State& s_;
   ChanView view_;
+  SuccScratch& scratch_;
+  SuccSink& sink_;
+  bool stopped_ = false;
+};
+
+/// Adapter implementing the vector-building API on the streaming one.
+class CollectSink final : public SuccSink {
+ public:
+  explicit CollectSink(std::vector<Succ>& out) : out_(out) {}
+  bool on_successor(const State& ns, const Step& step) override {
+    out_.emplace_back(ns, step);
+    return true;
+  }
+
+ private:
   std::vector<Succ>& out_;
 };
 
 }  // namespace
 
-bool Machine::successors_of(const State& s, int pid,
-                            std::vector<Succ>& out) const {
-  SuccGen gen(*this, s, out);
+bool Machine::visit_successors_of(const State& s, int pid,
+                                  SuccScratch& scratch, SuccSink& sink) const {
+  SuccGen gen(*this, s, scratch, sink);
   return gen.expand(pid);
 }
 
-void Machine::successors(const State& s, std::vector<Succ>& out) const {
+void Machine::visit_successors(const State& s, SuccScratch& scratch,
+                               SuccSink& sink) const {
   if (s.atomic_pid >= 0) {
     // The atomic holder keeps exclusive control while it can move;
     // atomicity is lost (full interleaving resumes) when it blocks.
-    if (successors_of(s, s.atomic_pid, out)) return;
+    SuccGen gen(*this, s, scratch, sink);
+    if (gen.expand(s.atomic_pid)) return;
   }
-  SuccGen gen(*this, s, out);
-  for (int pid = 0; pid < n_processes(); ++pid) gen.expand(pid);
+  SuccGen gen(*this, s, scratch, sink);
+  for (int pid = 0; pid < n_processes(); ++pid) {
+    gen.expand(pid);
+    if (gen.stopped()) return;
+  }
+}
+
+bool Machine::successors_of(const State& s, int pid,
+                            std::vector<Succ>& out) const {
+  CollectSink sink(out);
+  SuccScratch scratch;
+  return visit_successors_of(s, pid, scratch, sink);
+}
+
+void Machine::successors(const State& s, std::vector<Succ>& out) const {
+  CollectSink sink(out);
+  SuccScratch scratch;
+  visit_successors(s, scratch, sink);
 }
 
 bool Machine::is_valid_end(const State& s) const {

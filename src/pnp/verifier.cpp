@@ -21,6 +21,12 @@ void append_stats(std::ostringstream& os, const explore::Stats& st) {
     os << "  [truncated: " << explore::truncation_reason_name(st.truncation)
        << "]";
   os << "\n";
+  if (st.states_per_second() > 0.0 || st.store_bytes > 0) {
+    os << "  throughput: "
+       << static_cast<std::uint64_t>(st.states_per_second()) << " states/s, "
+       << st.store_bytes_per_state() << " B/state ("
+       << st.store_bytes / 1024.0 / 1024.0 << " MiB store)\n";
+  }
 }
 
 explore::Options to_explore_options(const VerifyOptions& opt) {
@@ -305,6 +311,19 @@ std::string SuiteReport::report() const {
   }
   os << "  obligations: " << obligations.size() << " total, " << cache_hits()
      << " from cache, " << recomputed() << " verified this run\n";
+  {
+    std::uint64_t states = 0;
+    double secs = 0.0;
+    for (const ObligationResult& o : obligations)
+      if (!o.from_cache) {
+        states += o.states_stored;
+        secs += o.seconds;
+      }
+    if (secs > 0.0)
+      os << "  throughput: "
+         << static_cast<std::uint64_t>(static_cast<double>(states) / secs)
+         << " states/s over " << states << " states verified this run\n";
+  }
   if (reduction) os << "  " << reduction->summary() << "\n";
   os << "  verdict: " << (all_passed() ? "all obligations hold"
                                        : "OBLIGATIONS FAILED")

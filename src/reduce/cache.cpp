@@ -143,6 +143,7 @@ VerificationCache::VerificationCache(const std::string& dir) {
     } else if (key == "obligations") {
       r.expect('[');
       if (!r.eat(']')) {
+        entries_.reserve(64);  // typical suite: a few dozen obligations
         do {
           r.expect('{');
           CacheEntry e;

@@ -120,6 +120,7 @@ Lts extract_lts(const model::SystemSpec& sys,
   }
 
   std::unordered_map<std::string, int> action_ids;
+  action_ids.reserve(proc.trans.size());  // at most one action per transition
   for (std::size_t ti = 0; ti < proc.trans.size(); ++ti) {
     const Transition& t = proc.trans[ti];
     const int src = state_of[static_cast<std::size_t>(t.src)];

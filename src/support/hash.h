@@ -24,6 +24,12 @@ inline std::uint64_t avalanche64(std::uint64_t x) {
   return x;
 }
 
+/// Views character data (state keys are built in std::string buffers) as the
+/// byte span the hashing and visited-store APIs consume.
+inline std::span<const std::uint8_t> byte_span(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
 inline std::uint64_t hash_bytes(std::span<const std::uint8_t> bytes,
                                 std::uint64_t seed = kFnvOffset) {
   std::uint64_t h = seed;

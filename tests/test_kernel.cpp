@@ -502,5 +502,55 @@ TEST(KernelState, ErasedSlotsAreZeroedForCanonicalEncoding) {
   EXPECT_EQ(m.layout().chan_msg(after, ch, 0)[0], 0);  // zeroed slot
 }
 
+TEST(Kernel, SortedPushMultiFieldBoundaryInsertion) {
+  // Regression for the sorted-send index math: with arity > 1 the insert
+  // position and the tail shift are scaled by the arity, and messages with
+  // equal leading fields must order by the later ones. Exercises insertion
+  // at the front, into the middle of equal-prefix neighbors, and at the
+  // very end of a queue that becomes full (zero-length tail shift).
+  SystemSpec sys;
+  const int ch = sys.add_channel("pq", 3, 2);
+  const kernel::Layout lay(sys);
+  kernel::State s;
+  s.mem.assign(static_cast<std::size_t>(lay.size()), 0);
+
+  auto msg_is = [&](int i, kernel::Value a, kernel::Value b) {
+    EXPECT_EQ(lay.chan_msg(s, ch, i)[0], a) << "msg " << i;
+    EXPECT_EQ(lay.chan_msg(s, ch, i)[1], b) << "msg " << i;
+  };
+
+  const kernel::Value m19[] = {1, 9};
+  const kernel::Value m15[] = {1, 5};
+  const kernel::Value m17[] = {1, 7};
+  lay.chan_push_sorted(s, ch, m19);
+  lay.chan_push_sorted(s, ch, m15);  // equal prefix: must land before (1,9)
+  lay.chan_push_sorted(s, ch, m17);  // middle insert; queue is now full
+  ASSERT_EQ(lay.chan_len(s, ch), 3);
+  msg_is(0, 1, 5);
+  msg_is(1, 1, 7);
+  msg_is(2, 1, 9);
+
+  // erase the middle message, then insert an equal-prefix message that
+  // sorts before everything (negative second field)
+  lay.chan_erase(s, ch, 1);
+  ASSERT_EQ(lay.chan_len(s, ch), 2);
+  const kernel::Value mneg[] = {1, -2};
+  lay.chan_push_sorted(s, ch, mneg);
+  ASSERT_EQ(lay.chan_len(s, ch), 3);
+  msg_is(0, 1, -2);
+  msg_is(1, 1, 5);
+  msg_is(2, 1, 9);
+
+  // end-of-queue insertion into the last free slot: pos == len, so the
+  // tail shift is empty
+  lay.chan_erase(s, ch, 0);
+  const kernel::Value mbig[] = {2, 0};
+  lay.chan_push_sorted(s, ch, mbig);
+  ASSERT_EQ(lay.chan_len(s, ch), 3);
+  msg_is(0, 1, 5);
+  msg_is(1, 1, 9);
+  msg_is(2, 2, 0);
+}
+
 }  // namespace
 }  // namespace pnp

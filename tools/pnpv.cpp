@@ -210,6 +210,11 @@ void print_stats(const explore::Stats& st) {
               static_cast<unsigned long long>(st.states_matched),
               static_cast<unsigned long long>(st.transitions),
               st.seconds * 1e3, threads_note.c_str(), note.c_str());
+  if (st.states_per_second() > 0.0 || st.store_bytes > 0)
+    std::printf("  throughput: %llu states/s, %.1f B/state (%.2f MiB store)\n",
+                static_cast<unsigned long long>(st.states_per_second()),
+                st.store_bytes_per_state(),
+                static_cast<double>(st.store_bytes) / (1024.0 * 1024.0));
 }
 
 using ExprParser = std::function<expr::Ref(const std::string&)>;
