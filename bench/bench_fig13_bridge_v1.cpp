@@ -44,7 +44,7 @@ int main() {
         // interleaving before reaching the violation depth.
         const SafetyOutcome out = check_invariant(
             m, safety_invariant(gen), "one direction at a time",
-            {.max_states = 3'000'000});
+            bounded(3'000'000));
         print_cell(std::to_string(cars), 11);
         print_cell(std::to_string(n), 4);
         print_cell("buggy", 10);
@@ -69,7 +69,7 @@ int main() {
         const kernel::Machine m = gen.generate(arch, kOpt);
         const SafetyOutcome out = check_invariant(
             m, safety_invariant(gen) && batch_bound_invariant(gen, n),
-            "safety + batch bound", {.max_states = 3'000'000});
+            "safety + batch bound", bounded(3'000'000));
         print_cell(std::to_string(cars), 11);
         print_cell(std::to_string(n), 4);
         print_cell("fixed", 10);

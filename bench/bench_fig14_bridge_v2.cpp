@@ -51,19 +51,19 @@ int main() {
     {
       const SafetyOutcome out = check_invariant(
           m, safety_invariant(gen), "one direction at a time",
-          {.max_states = kBound});
+          bounded(kBound));
       row("invariant: safety", out.passed(), out.result.stats.states_stored,
           out.result.stats.seconds);
     }
     {
       register_props(gen);
       const LtlOutcome out = check_ltl_formula(m, gen.props(), "G !both_on",
-                                               {.max_states = kBound});
+                                               ltl::bounded(kBound));
       row("LTL: G !both_on", out.passed(), out.result.stats.states_stored,
           out.result.stats.seconds);
     }
     {
-      const SafetyOutcome out = check_safety(m, {.max_states = kBound});
+      const SafetyOutcome out = check_safety(m, bounded(kBound));
       row("no invalid end states", out.passed(),
           out.result.stats.states_stored, out.result.stats.seconds);
     }

@@ -15,7 +15,7 @@ void row(const std::string& block, const std::string& role,
          const Architecture& arch) {
   ModelGenerator gen;
   const kernel::Machine m = gen.generate(arch);
-  const SafetyOutcome out = check_safety(m, {.max_states = 5'000'000});
+  const SafetyOutcome out = check_safety(m, bounded(5'000'000));
   print_cell(block, 34);
   print_cell(role, 14);
   print_cell(verdict(out.passed()), 8);

@@ -34,7 +34,7 @@ int main() {
       for (const ChannelSpec& c : chans) {
         Architecture arch = p2p(2, s, r, c);
         const kernel::Machine m = gen.generate(arch);
-        const SafetyOutcome out = check_safety(m, {.max_states = 5'000'000});
+        const SafetyOutcome out = check_safety(m, bounded(5'000'000));
         print_cell(to_string(s), 16);
         print_cell(to_string(r), 12);
         print_cell(to_string(c), 16);

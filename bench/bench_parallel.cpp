@@ -20,6 +20,7 @@
 #include "bridge/bridge.h"
 #include "common.h"
 #include "explore/explorer.h"
+#include "obs/obs.h"
 
 using namespace pnp;
 using namespace pnp::benchutil;
@@ -127,6 +128,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Observability overhead on the fig13 full space: best-of-N wall time
+  // with no observer vs with a Recorder attached (no sinks -- the hot-path
+  // cost is the counter publishing, events are cold-path). The acceptance
+  // bar is <= 3% (see obs.h); scripts/bench.sh gates this row.
+  double obs_base_s = 0.0, obs_instr_s = 0.0, obs_overhead_pct = 0.0;
+  std::uint64_t obs_states = 0;
+  {
+    const int reps = quick ? 5 : 3;
+    auto best = [&](obs::Observer* ob) {
+      double best_s = 1e99;
+      std::uint64_t states = 0;
+      for (int i = 0; i < reps; ++i) {
+        explore::Options opt;
+        opt.want_trace = false;
+        opt.invariant = inv;
+        opt.invariant_name = "safety";
+        opt.obs = ob;
+        const explore::Result r = explore::explore(m, opt);
+        ok = ok && r.ok() && r.stats.complete;
+        best_s = std::min(best_s, r.stats.seconds);
+        states = r.stats.states_stored;
+      }
+      return std::make_pair(best_s, states);
+    };
+    const auto [base_s, base_states] = best(nullptr);
+    obs::Observer ob;
+    const auto [instr_s, instr_states] = best(&ob);
+    ok = ok && base_states == instr_states;
+    // each run publishes absolute tallies into a fresh block, so the merged
+    // total must be exactly reps x the per-run count
+    ok = ok && ob.recorder().total(obs::Counter::StatesStored) ==
+                   static_cast<std::uint64_t>(reps) * instr_states;
+    obs_base_s = base_s;
+    obs_instr_s = instr_s;
+    obs_states = instr_states;
+    obs_overhead_pct = std::max(0.0, (instr_s / std::max(base_s, 1e-9) - 1.0) *
+                                         100.0);
+  }
+
   if (json) {
     std::printf("[\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -139,6 +179,11 @@ int main(int argc, char** argv) {
                   r.states_per_sec(), r.bytes_per_state(), r.wall,
                   i + 1 < rows.size() ? "," : "");
     }
+    std::printf("  ,{\"bench\": \"obs_overhead\", \"threads\": 1, "
+                "\"states\": %llu, \"base_seconds\": %.6f, "
+                "\"obs_seconds\": %.6f, \"overhead_pct\": %.2f}\n",
+                static_cast<unsigned long long>(obs_states), obs_base_s,
+                obs_instr_s, obs_overhead_pct);
     std::printf("]\n");
   } else {
     std::printf("parallel exploration throughput (v1 bridge, %d car(s)/side, "
@@ -158,7 +203,10 @@ int main(int argc, char** argv) {
       print_cell(fmt_ms(r.wall) + " ms", 12);
       std::printf("\n");
     }
-    std::printf("\nexact runs stored identical state counts at every thread "
+    std::printf("\nobservability overhead (recorder attached, best of N): "
+                "%.3fs -> %.3fs = %.2f%%\n",
+                obs_base_s, obs_instr_s, obs_overhead_pct);
+    std::printf("exact runs stored identical state counts at every thread "
                 "count: %s\n",
                 verdict(ok).c_str());
   }

@@ -105,12 +105,12 @@ int main() {
       m,
       gen.gx("logged") <= gen.kx(2 * kEvents) &&
           gen.gx("alarms") <= gen.kx(kEvents),
-      "delivery counters bounded", {.max_states = 2'000'000});
+      "delivery counters bounded", bounded(2'000'000));
   std::printf("%s\n", out.report().c_str());
 
   // And the system terminates with everything delivered: no deadlock means
   // the alarm's two selective receives were satisfiable in every run.
-  const SafetyOutcome dl = check_safety(m, {.max_states = 2'000'000});
+  const SafetyOutcome dl = check_safety(m, bounded(2'000'000));
   std::printf("%s\n", dl.report().c_str());
 
   // Strongest form: every terminal state has full delivery.
@@ -118,7 +118,7 @@ int main() {
       m,
       gen.gx("logged") == gen.kx(2 * kEvents) &&
           gen.gx("alarms") == gen.kx(kEvents),
-      "all events delivered at quiescence", {.max_states = 2'000'000});
+      "all events delivered at quiescence", bounded(2'000'000));
   std::printf("%s\n", endinv.report().c_str());
   return 0;
 }

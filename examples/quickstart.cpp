@@ -46,11 +46,13 @@ ComponentModelFn consumer() {
   };
 }
 
-void verify(const char* what, ModelGenerator& gen, const Architecture& arch) {
-  const kernel::Machine m = gen.generate(arch);
-  const SafetyOutcome out = check_safety(m);
-  std::printf("---- %s ----\n%s", what, out.report().c_str());
-  std::printf("model generation: %s\n\n", gen.last_stats().summary().c_str());
+void verify(const char* what, Session& session, const Architecture& arch) {
+  // One Session call per design iteration: the suite (connector protocol +
+  // safety obligations), the session-owned generator reusing component
+  // models across the plug-and-play edits, and the per-run generation cost
+  // all come out in one RunReport.
+  const RunReport rep = session.verify(arch);
+  std::printf("---- %s ----\n%s\n", what, rep.report().c_str());
 }
 
 }  // namespace
@@ -64,20 +66,20 @@ int main() {
                            {ChannelKind::SingleSlot, 1});
   std::printf("%s\n", arch.describe().c_str());
 
-  ModelGenerator gen;
-  verify("initial design: AsynBlSend + SingleSlot + BlRecv", gen, arch);
+  Session session;
+  verify("initial design: AsynBlSend + SingleSlot + BlRecv", session, arch);
 
   // Plug-and-play edit #1: make the send synchronous. Only the connector
   // changes; the generator reuses both component models.
   arch.set_send_port(p, "out", SendPortKind::SynBlocking);
-  verify("after swapping send port to SynBlSend", gen, arch);
+  verify("after swapping send port to SynBlSend", session, arch);
 
   // Plug-and-play edit #2: give the connector a FIFO queue of 4.
   arch.set_channel(arch.find_connector("Link"), {ChannelKind::Fifo, 4});
-  verify("after swapping channel to Fifo(4)", gen, arch);
+  verify("after swapping channel to Fifo(4)", session, arch);
 
   // Bonus: watch one run of the final design as a message sequence chart.
-  const kernel::Machine m = gen.generate(arch);
+  const kernel::Machine m = session.generator().generate(arch);
   sim::Simulator simu(m, /*seed=*/42);
   simu.run_random(400);
   trace::MscOptions msc;

@@ -107,7 +107,7 @@ int main() {
               unfair.report().c_str());
   const kernel::Machine mo = gen.generate(arch, {.optimize_connectors = true});
   const LtlOutcome fair = check_ltl_formula(mo, gen.props(), "F c0_done",
-                                            {.weak_fairness = true});
+                                            ltl::fair());
   std::printf("optimized connectors + weak fairness (expected PASS):\n%s\n",
               fair.report().c_str());
   return 0;

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     const kernel::Machine m = gen2.generate(v2, kOpt);
     const SafetyOutcome out = check_invariant(
         m, safety_invariant(gen2), "no opposite traffic on the bridge",
-        {.max_states = 2'000'000});
+        bounded(2'000'000));
     std::printf("%s\n", out.report().c_str());
   }
   return 0;

@@ -64,14 +64,9 @@ Architecture two_lanes() {
   return arch;
 }
 
-SuiteReport run(const Architecture& arch, const std::string& cache_dir,
-                const char* banner) {
-  SuiteOptions opts;
-  opts.verify.minimize = MinimizeMode::Weak;
-  opts.invariant_text = "got_a <= 2 && got_b <= 2";
-  opts.end_invariant_text = "got_a == 2 && got_b == 2";
-  opts.cache_dir = cache_dir;
-  const SuiteReport rep = verify_obligations(arch, opts);
+RunReport run(Session& session, const Architecture& arch,
+              const char* banner) {
+  const RunReport rep = session.verify(arch);
   std::printf("== %s ==\n%s", banner, rep.report().c_str());
   std::printf("   -> %d reused from cache, %d recomputed\n\n",
               rep.cache_hits(), rep.recomputed());
@@ -89,17 +84,27 @@ int main() {
   Architecture arch = two_lanes();
   std::printf("%s\n", arch.describe().c_str());
 
+  // One Session for the whole loop: the config is stated once, the verdict
+  // cache persists across its runs, and the session-owned generator reuses
+  // component models between iterations.
+  RunConfig cfg;
+  cfg.minimize = MinimizeMode::Weak;
+  cfg.invariant_text = "got_a <= 2 && got_b <= 2";
+  cfg.end_invariant_text = "got_a == 2 && got_b == 2";
+  cfg.cache_dir = cache_dir;
+  Session session(cfg);
+
   // Iteration 1: a cold cache -- every obligation is verified and stored.
-  run(arch, cache_dir, "iteration 1: initial design, cold cache");
+  run(session, arch, "iteration 1: initial design, cold cache");
 
   // Iteration 2: the plug-and-play edit. Swap LaneB's channel for a
   // single-slot buffer; component models and LaneA are untouched.
   arch.set_channel(arch.find_connector("LaneB"), {ChannelKind::SingleSlot, 1});
   std::printf("edit: LaneB fifo(2) -> single-slot\n\n");
-  run(arch, cache_dir,
+  run(session, arch,
       "iteration 2: LaneB swapped (LaneA protocol reused from cache)");
 
   // Iteration 3: no edit -- the whole suite is answered from the cache.
-  run(arch, cache_dir, "iteration 3: unchanged design, 100% cache hits");
+  run(session, arch, "iteration 3: unchanged design, 100% cache hits");
   return 0;
 }

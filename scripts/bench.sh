@@ -58,6 +58,38 @@ trap 'rm -f "$tmp_parallel" "$tmp_reduce" ${baseline:+"$baseline"}' EXIT
 { sed '$d' "$tmp_parallel"; echo '  ,'; sed '1d' "$tmp_reduce"; } | tee "$out"
 echo "wrote $out" >&2
 
+# Observability gate: the recorder's measured overhead on the fig13
+# full-space row must stay within the <=3% acceptance bar (see obs.h).
+# Unlike the bytes/state gate this needs no baseline -- the bound is
+# absolute -- so it runs in full and smoke modes alike.
+awk '
+  /"bench": "obs_overhead"/ {
+    seen = 1
+    if (match($0, /"overhead_pct": [0-9.]+/)) {
+      pct = substr($0, RSTART + 16, RLENGTH - 16) + 0
+      if (pct > 3.0) {
+        printf "FAIL observability overhead %.2f%% exceeds 3%% bar\n",
+               pct > "/dev/stderr"
+        exit 1
+      }
+      printf "observability overhead gate passed (%.2f%% <= 3%%)\n",
+             pct > "/dev/stderr"
+    }
+  }
+  END { if (!seen) { print "FAIL no obs_overhead row" > "/dev/stderr"; exit 1 } }
+' "$out" || { echo "observability overhead gate FAILED" >&2; exit 1; }
+
+# Smoke runs also emit a sample run ledger (BENCH_ledger/ledger.jsonl) so CI
+# archives a machine-readable record of a real verification run alongside
+# the throughput rows.
+if [[ $smoke -eq 1 ]]; then
+  cmake --build build-bench -j --target pnpv
+  rm -rf BENCH_ledger
+  ./build-bench/tools/pnpv examples/models/demo.arch \
+    --end-invariant "delivered == 3" --ledger BENCH_ledger
+  echo "wrote BENCH_ledger/ledger.jsonl" >&2
+fi
+
 if [[ -n "$baseline" ]]; then
   awk '
     /"bytes_per_state"/ {

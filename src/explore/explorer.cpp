@@ -133,6 +133,7 @@ class FlatRun {
       ids_tmp_.resize(n);
       dirty_.resize(n);
     }
+    if (opt.obs != nullptr) blk_ = opt.obs->recorder().open_block();
   }
 
   Result go() {
@@ -152,6 +153,20 @@ class FlatRun {
                              ? truncation_
                              : (opt_.bitstate ? TruncationReason::BitstateApprox
                                               : TruncationReason::None);
+    if (blk_ != nullptr) {
+      publish_counters();
+      obs::Recorder& rec = opt_.obs->recorder();
+      rec.max_gauge(obs::Gauge::StoreBytes, r.stats.store_bytes);
+      rec.max_gauge(obs::Gauge::FrontierBytes, frontier_bytes_);
+      rec.max_gauge(obs::Gauge::MaxDepthReached,
+                    static_cast<std::uint64_t>(max_depth_seen_));
+      if (!opt_.bitstate) {
+        rec.max_gauge(obs::Gauge::InternedComponents,
+                      compressor_.components());
+        rec.max_gauge(obs::Gauge::CompressorBytes, compressor_.approx_bytes());
+      }
+      r.stats.approx_memory_bytes += opt_.obs->approx_bytes();
+    }
     return r;
   }
 
@@ -264,11 +279,15 @@ class FlatRun {
         break;
       }
       if (over_budget(stack_.size() * per_frame_bytes)) break;
+      observe(stack_.size() * per_frame_bytes);
       Frame& f = stack_.back();
       const bool first = !f.checked;
       if (first) {
         f.checked = true;
-        if (opt_.por) f.por_choice = por_choose(m_, f.state, proviso, scratch_);
+        if (opt_.por) {
+          f.por_choice = por_choose(m_, f.state, proviso, scratch_);
+          if (f.por_choice >= 0) ++por_ample_;
+        }
         max_depth_seen_ = std::max(max_depth_seen_,
                                    static_cast<int>(stack_.size()) - 1);
         // The invariant check moved ahead of successor generation
@@ -409,6 +428,7 @@ class FlatRun {
         break;
       }
       if (over_budget(nodes_.size() * per_node_bytes)) break;
+      observe(nodes_.size() * per_node_bytes);
       if (auto v = invariant_violation(
               m_, opt_, nodes_[static_cast<std::size_t>(head)].state)) {
         v->trace = build_trace(head, nullptr, nullptr);
@@ -419,10 +439,11 @@ class FlatRun {
       // nodes_ while expanding the head is safe.
       const State& hs = nodes_[static_cast<std::size_t>(head)].state;
       BfsSink sink(*this, head);
-      if (opt_.por)
-        por_visit(m_, hs, por_choose(m_, hs, nullptr, scratch_), scratch_,
-                  sink);
-      else
+      if (opt_.por) {
+        const int choice = por_choose(m_, hs, nullptr, scratch_);
+        if (choice >= 0) ++por_ample_;
+        por_visit(m_, hs, choice, scratch_, sink);
+      } else
         m_.visit_successors(hs, scratch_, sink);
       if (sink.violated) {
         sink.violation.trace = build_trace(head, &sink.vstep, &sink.vstate);
@@ -454,6 +475,7 @@ class FlatRun {
       return byte_span(probe_buf_);
     }
     compressor_.compress_full(s, key_buf_, ids_tmp_.data());
+    ++compress_full_;
     return key_buf_;
   }
 
@@ -474,6 +496,7 @@ class FlatRun {
           reg[static_cast<std::size_t>(slot)])] = 1;
     compressor_.compress_delta(s, parent_ids.data(), dirty_.data(), key_buf_,
                                ids_tmp_.data());
+    ++compress_delta_;
     return key_buf_;
   }
 
@@ -521,11 +544,50 @@ class FlatRun {
       }
     }
     if (opt_.memory_budget_bytes > 0 &&
-        store_bytes() + frontier_bytes >= opt_.memory_budget_bytes) {
+        store_bytes() + frontier_bytes + observer_bytes() >=
+            opt_.memory_budget_bytes) {
       truncate(TruncationReason::MemoryBudget);
       return true;
     }
     return false;
+  }
+
+  std::uint64_t observer_bytes() const {
+    return opt_.obs != nullptr ? opt_.obs->approx_bytes() : 0;
+  }
+
+  /// Telemetry tick, amortized like over_budget(): every kBudgetCheckStride
+  /// expansion passes, publish the local tallies into this run's counter
+  /// block (absolute relaxed stores), offer a rate-limited heartbeat, and
+  /// emit the one-shot 80% budget warnings.
+  void observe(std::uint64_t frontier_bytes) {
+    if (blk_ == nullptr) return;
+    if (++obs_tick_ % kBudgetCheckStride != 0) return;
+    publish_counters();
+    const std::uint64_t stored = visited_.size();
+    opt_.obs->progress(stored, opt_.max_states);
+    if (!warned_states_ && opt_.max_states > 0 &&
+        stored >= opt_.max_states - opt_.max_states / 5) {
+      warned_states_ = true;
+      opt_.obs->budget_warning("max-states", stored, opt_.max_states);
+    }
+    if (!warned_memory_ && opt_.memory_budget_bytes > 0) {
+      const std::uint64_t used =
+          store_bytes() + frontier_bytes + observer_bytes();
+      if (used >= opt_.memory_budget_bytes - opt_.memory_budget_bytes / 5) {
+        warned_memory_ = true;
+        opt_.obs->budget_warning("memory", used, opt_.memory_budget_bytes);
+      }
+    }
+  }
+
+  void publish_counters() {
+    blk_->set(obs::Counter::StatesStored, visited_.size());
+    blk_->set(obs::Counter::StatesMatched, matched_);
+    blk_->set(obs::Counter::Transitions, transitions_);
+    blk_->set(obs::Counter::PorAmpleSets, por_ample_);
+    blk_->set(obs::Counter::CompressFull, compress_full_);
+    blk_->set(obs::Counter::CompressDelta, compress_delta_);
   }
 
   std::uint64_t state_bytes() const {
@@ -560,6 +622,14 @@ class FlatRun {
   bool complete_ = true;
   TruncationReason truncation_ = TruncationReason::None;
   std::chrono::steady_clock::time_point start_{};
+
+  obs::CounterBlock* blk_ = nullptr;  // this run's telemetry slice
+  std::uint64_t obs_tick_ = 0;
+  std::uint64_t por_ample_ = 0;
+  std::uint64_t compress_full_ = 0;
+  std::uint64_t compress_delta_ = 0;
+  bool warned_states_ = false;
+  bool warned_memory_ = false;
 };
 
 /// The legacy copy-based engine, retained exclusively for swarm workers
@@ -575,7 +645,9 @@ class PermutedRun {
         opt_(opt),
         visited_(opt.bitstate, opt.bitstate_bytes, bitstate_seed),
         perm_seed_(perm_seed),
-        stop_(stop) {}
+        stop_(stop) {
+    if (opt.obs != nullptr) blk_ = opt.obs->recorder().open_block();
+  }
 
   Result go() {
     start_ = std::chrono::steady_clock::now();
@@ -597,6 +669,13 @@ class PermutedRun {
                              ? truncation_
                              : (opt_.bitstate ? TruncationReason::BitstateApprox
                                               : TruncationReason::None);
+    if (blk_ != nullptr) {
+      publish_counters();
+      opt_.obs->recorder().max_gauge(
+          obs::Gauge::MaxDepthReached,
+          static_cast<std::uint64_t>(max_depth_seen_));
+      r.stats.approx_memory_bytes += opt_.obs->approx_bytes();
+    }
     return r;
   }
 
@@ -634,11 +713,30 @@ class PermutedRun {
       }
     }
     if (opt_.memory_budget_bytes > 0 &&
-        visited_.approx_bytes() + frontier_bytes >= opt_.memory_budget_bytes) {
+        visited_.approx_bytes() + frontier_bytes +
+                (opt_.obs != nullptr ? opt_.obs->approx_bytes() : 0) >=
+            opt_.memory_budget_bytes) {
       truncate(TruncationReason::MemoryBudget);
       return true;
     }
     return false;
+  }
+
+  /// Swarm workers publish their tallies every kBudgetCheckStride
+  /// expansions; the seeded searches overlap, so their counters are a
+  /// coverage-effort measure, not a deduplicated state count.
+  void observe() {
+    if (blk_ == nullptr) return;
+    if (++obs_tick_ % kBudgetCheckStride != 0) return;
+    publish_counters();
+    opt_.obs->progress(visited_.size(), opt_.max_states);
+  }
+
+  void publish_counters() {
+    blk_->set(obs::Counter::StatesStored, visited_.size());
+    blk_->set(obs::Counter::StatesMatched, matched_);
+    blk_->set(obs::Counter::Transitions, transitions_);
+    blk_->set(obs::Counter::PorAmpleSets, por_ample_);
   }
 
   /// Per-state checks (invariant, deadlock). Returns a violation or nullopt.
@@ -690,11 +788,15 @@ class PermutedRun {
         break;
       }
       if (over_budget(stack.size() * per_frame_bytes)) break;
+      observe();
       const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(stack.size()) - 1;
       Frame& f = stack[static_cast<std::size_t>(idx)];
       if (succs_for != idx) {
         succs.clear();
-        if (!f.checked && opt_.por) f.por_choice = por_choose(m_, f.state, proviso);
+        if (!f.checked && opt_.por) {
+          f.por_choice = por_choose(m_, f.state, proviso);
+          if (f.por_choice >= 0) ++por_ample_;
+        }
         if (opt_.por)
           por_expand(m_, f.state, f.por_choice, succs);
         else
@@ -791,6 +893,7 @@ class PermutedRun {
         break;
       }
       if (over_budget(nodes.size() * per_node_bytes)) break;
+      observe();
       succs.clear();
       if (opt_.por)
         por_successors(m_, nodes[static_cast<std::size_t>(head)].state, succs,
@@ -855,6 +958,10 @@ class PermutedRun {
   bool complete_ = true;
   TruncationReason truncation_ = TruncationReason::None;
   std::chrono::steady_clock::time_point start_{};
+
+  obs::CounterBlock* blk_ = nullptr;
+  std::uint64_t obs_tick_ = 0;
+  std::uint64_t por_ample_ = 0;
 };
 
 }  // namespace

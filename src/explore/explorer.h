@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "kernel/machine.h"
+#include "obs/obs.h"
 #include "trace/trace.h"
 
 namespace pnp::explore {
@@ -54,6 +55,13 @@ struct Options {
   /// swarm search: N independently seeded bitstate searches run concurrently
   /// and their verdicts are merged.
   int threads = 1;
+  /// Observability context: engines publish counters into per-run blocks
+  /// (opened on obs->recorder()), emit rate-limited Progress heartbeats,
+  /// an 80% BudgetWarning per budget, and set store/frontier gauges. Null
+  /// (the default) disables all of it at the cost of one branch per
+  /// budget-check stride. The recorder's own footprint is charged against
+  /// memory_budget_bytes, keeping the budget honest.
+  obs::Observer* obs = nullptr;
 };
 
 /// Why an exploration stopped before covering the full state space.
@@ -116,10 +124,12 @@ struct Stats {
   /// exact mode and the per-filter sum in swarm mode).
   std::vector<WorkerStats> workers;
 
-  /// Stored states per wall-clock second (0 when the run was too fast to
-  /// time meaningfully).
+  /// Stored states per wall-clock second. Runs under 1ms report 0: the
+  /// steady-clock quantum makes such quotients garbage (a 40-state toy
+  /// "exploring" at 10^8 st/s), and 0 is an honest "too fast to time".
   double states_per_second() const {
-    return seconds > 0.0 ? static_cast<double>(states_stored) / seconds : 0.0;
+    return seconds >= 1e-3 ? static_cast<double>(states_stored) / seconds
+                           : 0.0;
   }
   /// Visited-store bytes per stored state.
   double store_bytes_per_state() const {

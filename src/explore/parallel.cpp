@@ -58,7 +58,10 @@ class ParallelRun {
         n_(threads),
         workers_(static_cast<std::size_t>(threads)),
         visited_(expected_states(opt)),
-        compressor_(m.layout(), /*stripes=*/16) {}
+        compressor_(m.layout(), /*stripes=*/16) {
+    if (opt.obs != nullptr)
+      for (Worker& w : workers_) w.blk = opt.obs->recorder().open_block();
+  }
 
   Result go() {
     start_ = std::chrono::steady_clock::now();
@@ -96,6 +99,9 @@ class ParallelRun {
     std::uint64_t budget_tick = 0;
     kernel::SuccScratch scratch;         // mutate-and-revert workspace
     std::vector<std::uint8_t> key_buf;   // compressed-key scratch
+    obs::CounterBlock* blk = nullptr;    // this worker's telemetry slice
+    std::uint64_t obs_tick = 0;
+    std::uint64_t por_ample = 0;
   };
 
   /// First violation wins; everything needed to rebuild the trail after the
@@ -117,6 +123,10 @@ class ParallelRun {
     Worker& w0 = workers_[0];
     compressor_.compress(root.state, w0.key_buf);
     visited_.insert(w0.key_buf, ShardedVisitedSet::hash_key(w0.key_buf));
+    // The root insert is nobody's WorkerStats; charge it to the recorder's
+    // base block so the merged StatesStored total matches visited_.size().
+    if (opt_.obs != nullptr)
+      opt_.obs->recorder().add(obs::Counter::StatesStored, 1);
     inflight_.store(1, std::memory_order_relaxed);
     w0.queue.push_back(std::move(root));
   }
@@ -165,6 +175,7 @@ class ParallelRun {
       }
       expand(w, me, item);
       inflight_.fetch_sub(1, std::memory_order_release);
+      observe(me);
     }
     me.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -194,6 +205,35 @@ class ParallelRun {
     return false;
   }
 
+  /// Per-worker telemetry tick (amortized like over_budget): publish this
+  /// worker's tallies into its own counter block, offer the shared
+  /// rate-limited heartbeat, and raise the one-shot 80% budget warnings.
+  void observe(Worker& me) {
+    if (me.blk == nullptr) return;
+    if (++me.obs_tick % kBudgetCheckStride != 0) return;
+    publish_worker(me);
+    const std::uint64_t stored = visited_.size();
+    opt_.obs->progress(stored, opt_.max_states);
+    if (opt_.max_states > 0 &&
+        stored >= opt_.max_states - opt_.max_states / 5 &&
+        !warned_states_.exchange(true, std::memory_order_relaxed))
+      opt_.obs->budget_warning("max-states", stored, opt_.max_states);
+    if (opt_.memory_budget_bytes > 0) {
+      const std::uint64_t used = approx_memory();
+      if (used >=
+              opt_.memory_budget_bytes - opt_.memory_budget_bytes / 5 &&
+          !warned_memory_.exchange(true, std::memory_order_relaxed))
+        opt_.obs->budget_warning("memory", used, opt_.memory_budget_bytes);
+    }
+  }
+
+  void publish_worker(Worker& me) {
+    me.blk->set(obs::Counter::StatesStored, me.stats.states_stored);
+    me.blk->set(obs::Counter::StatesMatched, me.stats.states_matched);
+    me.blk->set(obs::Counter::Transitions, me.stats.transitions);
+    me.blk->set(obs::Counter::PorAmpleSets, me.por_ample);
+  }
+
   std::uint64_t store_bytes() const {
     return visited_.approx_bytes() + compressor_.approx_bytes();
   }
@@ -211,6 +251,7 @@ class ParallelRun {
     std::uint64_t bytes = store_bytes() +
                           inflight * (sizeof(Item) + state_bytes);
     if (opt_.want_trace) bytes += visited_.size() * sizeof(Node);
+    if (opt_.obs != nullptr) bytes += opt_.obs->approx_bytes();
     return bytes;
   }
 
@@ -353,6 +394,7 @@ class ParallelRun {
       // state, so the reduced graph -- and the reached-state count -- does
       // not depend on thread count or interleaving.
       const int choice = por_choose(m_, item.state, nullptr, me.scratch);
+      if (choice >= 0) ++me.por_ample;
       por_visit(m_, item.state, choice, me.scratch, sink);
     } else {
       m_.visit_successors(item.state, me.scratch, sink);
@@ -408,6 +450,19 @@ class ParallelRun {
                              queued * (sizeof(Item) + state_bytes);
     st.complete = complete_;
     st.truncation = truncation_;
+    if (opt_.obs != nullptr) {
+      for (Worker& w : workers_)
+        if (w.blk != nullptr) publish_worker(w);
+      obs::Recorder& rec = opt_.obs->recorder();
+      rec.max_gauge(obs::Gauge::StoreBytes, st.store_bytes);
+      rec.max_gauge(obs::Gauge::FrontierBytes,
+                    queued * (sizeof(Item) + state_bytes));
+      rec.max_gauge(obs::Gauge::InternedComponents, compressor_.components());
+      rec.max_gauge(obs::Gauge::CompressorBytes, compressor_.approx_bytes());
+      rec.max_gauge(obs::Gauge::MaxDepthReached,
+                    static_cast<std::uint64_t>(st.max_depth_reached));
+      st.approx_memory_bytes += opt_.obs->approx_bytes();
+    }
     if (winner_) {
       r.violation = std::move(winner_->violation);
       r.violation->trace = rebuild_trace(*winner_);
@@ -434,6 +489,9 @@ class ParallelRun {
   std::mutex trunc_mu_;
   bool complete_ = true;
   TruncationReason truncation_ = TruncationReason::None;
+
+  std::atomic<bool> warned_states_{false};
+  std::atomic<bool> warned_memory_{false};
 
   std::mutex win_mu_;
   std::optional<Win> winner_;

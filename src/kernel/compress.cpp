@@ -193,6 +193,18 @@ std::uint64_t StateCompressor::components() const {
   return n;
 }
 
+std::vector<std::uint64_t> StateCompressor::region_component_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(regions_.size());
+  for (const Region& r : regions_) {
+    std::uint64_t n = 0;
+    for (int i = 0; i < n_stripes_; ++i)
+      n += r.stripes[static_cast<std::size_t>(i)].count;
+    out.push_back(n);
+  }
+  return out;
+}
+
 std::uint64_t StateCompressor::approx_bytes() const {
   std::uint64_t bytes = 0;
   for (const Region& r : regions_)

@@ -67,6 +67,11 @@ class StateCompressor {
   /// Total distinct components interned across all regions.
   std::uint64_t components() const;
 
+  /// Distinct components per region, in region order -- the intern-table
+  /// size profile surfaced by the observability layer (a region whose count
+  /// approaches the visited-set size is not compressing).
+  std::vector<std::uint64_t> region_component_counts() const;
+
   /// Real footprint of the intern tables: open-addressing slot arrays plus
   /// the component value arenas. Feeds memory-budget accounting.
   std::uint64_t approx_bytes() const;

@@ -65,6 +65,7 @@ class ProductSearch {
     PNP_CHECK(!opt.weak_fairness || m.n_processes() <= 62,
               "weak fairness supports at most 62 processes");
     n_copies_ = opt.weak_fairness ? m.n_processes() + 2 : 1;
+    if (opt.obs != nullptr) blk_ = opt.obs->recorder().open_block();
   }
 
   /// True when the run was cancelled by the shared stop flag (a sibling
@@ -94,6 +95,15 @@ class ProductSearch {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     return r;
+  }
+
+  /// Publishes this search's tallies into its counter block. Called by
+  /// check_ltl for the authoritative search only, so racing losers never
+  /// inflate the merged totals.
+  void publish_counters() {
+    if (blk_ == nullptr) return;
+    blk_->set(obs::Counter::StatesStored, visited1_.size() + visited2_.size());
+    blk_->set(obs::Counter::Transitions, transitions_);
   }
 
  private:
@@ -231,6 +241,7 @@ class ProductSearch {
 
     while (!stack.empty()) {
       if (stop_requested()) return false;
+      observe();
       const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(stack.size()) - 1;
       Frame& f = stack[static_cast<std::size_t>(idx)];
       if (succs_for != idx) {
@@ -367,12 +378,28 @@ class ProductSearch {
   const std::atomic<bool>* stop_{nullptr};
   int n_copies_{1};
 
+  /// Amortized telemetry every kObsStride outer-DFS iterations: a
+  /// rate-limited heartbeat always; counter publication only when this is
+  /// the lone search (racing workers overlap, so their intermediate tallies
+  /// would inflate the merged totals -- the winner publishes once at the
+  /// end instead, via check_ltl).
+  void observe() {
+    if (blk_ == nullptr) return;
+    if (++obs_tick_ % kObsStride != 0) return;
+    if (stop_ == nullptr) publish_counters();
+    opt_.obs->progress(visited1_.size() + visited2_.size(), opt_.max_states);
+  }
+
+  static constexpr std::uint64_t kObsStride = 1024;
+
   std::unordered_set<std::string> visited1_;
   std::unordered_set<std::string> visited2_;
   std::vector<kernel::Succ> sys_succs_;
   std::uint64_t transitions_ = 0;
   bool complete_ = true;
   bool aborted_ = false;
+  obs::CounterBlock* blk_ = nullptr;
+  std::uint64_t obs_tick_ = 0;
 };
 
 }  // namespace
@@ -383,10 +410,15 @@ LtlResult check_ltl(const kernel::Machine& m, FormulaPool& pool,
   const FRef neg = pool.negate(phi);
   const BuchiAutomaton ba = build_buchi(pool, neg, &ctx);
   const int threads = explore::resolve_threads(opt.threads);
+  std::size_t phase = 0;
+  if (opt.obs != nullptr)
+    phase = opt.obs->begin_phase(
+        threads <= 1 ? "ltl-product" : "ltl-product-racing", opt.max_states);
   LtlResult r;
   if (threads <= 1) {
     ProductSearch search(m, ctx, ba, opt);
     r = search.run();
+    search.publish_counters();
   } else {
     // Racing workers over the shared read-only (machine, automaton): worker
     // 0 runs the canonical order, the rest follow independently permuted
@@ -409,6 +441,7 @@ LtlResult check_ltl(const kernel::Machine& m, FormulaPool& pool,
         if (search.aborted()) return;
         int expected = -1;
         if (winner.compare_exchange_strong(expected, w)) {
+          search.publish_counters();  // only the authoritative search counts
           results[static_cast<std::size_t>(w)] = std::move(wr);
           stop.store(true, std::memory_order_relaxed);
         }
@@ -421,6 +454,14 @@ LtlResult check_ltl(const kernel::Machine& m, FormulaPool& pool,
     r.stats.threads = threads;
   }
   r.formula_text = pool.to_string(phi, &ctx);
+  if (opt.obs != nullptr) {
+    opt.obs->end_phase(phase, r.stats.states_stored, r.stats.seconds,
+                       r.stats.complete ? std::string()
+                                        : explore::truncation_reason_name(
+                                              r.stats.truncation));
+    if (!r.holds && r.violation)
+      opt.obs->counterexample(r.formula_text, "acceptance cycle");
+  }
   return r;
 }
 

@@ -8,25 +8,44 @@
 #include "explore/explorer.h"
 #include "kernel/machine.h"
 #include "ltl/buchi.h"
+#include "obs/obs.h"
+#include "pnp/exec_budget.h"
 
 namespace pnp::ltl {
 
-struct CheckOptions {
-  std::uint64_t max_states = 20'000'000;
+/// Budgets (max_states, deadline_seconds, memory_budget_bytes, threads)
+/// come from the shared pnp::ExecBudget base; the old field spellings
+/// remain valid as the inherited members. threads enables racing nested-DFS
+/// workers: each explores the same product with an independently permuted
+/// successor order and an exact private visited set, so any worker that
+/// finishes is authoritative (a violation is a real lasso; a complete
+/// violation-free search proves the property). The first worker to finish
+/// wins and cancels the rest. 1 = the historical sequential search, 0 =
+/// hardware concurrency.
+struct CheckOptions : ExecBudget {
   bool want_trace = true;
-  /// Racing nested-DFS workers: each explores the same product with an
-  /// independently permuted successor order and an exact private visited
-  /// set, so any worker that finishes is authoritative (a violation is a
-  /// real lasso; a complete violation-free search proves the property).
-  /// The first worker to finish wins and cancels the rest. 1 = the
-  /// historical sequential search, 0 = hardware concurrency.
-  int threads = 1;
   /// Enforce weak process fairness (SPIN's -f): only consider executions
   /// where every continuously-enabled process eventually moves. Implemented
   /// with the Choueka copy construction, multiplying the product by
   /// (#processes + 2) -- use on small systems or be patient.
   bool weak_fairness = false;
+  /// Observability context; null = no telemetry.
+  obs::Observer* obs = nullptr;
 };
+
+/// Designated initializers cannot reach into the ExecBudget base, so these
+/// replace the historical `{.weak_fairness = true}` / `{.max_states = N}`
+/// spellings at call sites.
+inline CheckOptions fair() {
+  CheckOptions c;
+  c.weak_fairness = true;
+  return c;
+}
+inline CheckOptions bounded(std::uint64_t max_states) {
+  CheckOptions c;
+  c.max_states = max_states;
+  return c;
+}
 
 struct LtlResult {
   bool holds{false};  // true = property verified on all executions

@@ -1,0 +1,873 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "support/panic.h"
+
+#if defined(_WIN32)
+#include <io.h>
+#define PNP_ISATTY _isatty
+#define PNP_FILENO _fileno
+#else
+#include <unistd.h>
+#define PNP_ISATTY isatty
+#define PNP_FILENO fileno
+#endif
+
+namespace pnp::obs {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::StatesStored: return "states_stored";
+    case Counter::StatesMatched: return "states_matched";
+    case Counter::Transitions: return "transitions";
+    case Counter::PorAmpleSets: return "por_ample_sets";
+    case Counter::CompressFull: return "compress_full";
+    case Counter::CompressDelta: return "compress_delta";
+    case Counter::CacheHits: return "cache_hits";
+    case Counter::CacheMisses: return "cache_misses";
+    case Counter::ObligationsVerified: return "obligations_verified";
+    case Counter::ObligationsFromCache: return "obligations_from_cache";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+const char* gauge_name(Gauge g) {
+  switch (g) {
+    case Gauge::StoreBytes: return "store_bytes";
+    case Gauge::FrontierBytes: return "frontier_bytes";
+    case Gauge::InternedComponents: return "interned_components";
+    case Gauge::CompressorBytes: return "compressor_bytes";
+    case Gauge::MaxDepthReached: return "max_depth";
+    case Gauge::MinimizeStatesBefore: return "minimize_states_before";
+    case Gauge::MinimizeStatesAfter: return "minimize_states_after";
+    case Gauge::kCount: break;
+  }
+  return "?";
+}
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::RunStarted: return "run_started";
+    case EventKind::PhaseStarted: return "phase_started";
+    case EventKind::Progress: return "progress";
+    case EventKind::BudgetWarning: return "budget_warning";
+    case EventKind::Truncated: return "truncated";
+    case EventKind::CounterexampleFound: return "counterexample_found";
+    case EventKind::ObligationFinished: return "obligation_finished";
+    case EventKind::PhaseFinished: return "phase_finished";
+    case EventKind::RunFinished: return "run_finished";
+  }
+  return "?";
+}
+
+// -- Recorder -----------------------------------------------------------------
+
+CounterBlock* Recorder::open_block() {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_.push_back(std::make_unique<CounterBlock>());
+  return blocks_.back().get();
+}
+
+std::uint64_t Recorder::total(Counter c) const {
+  std::uint64_t sum = base_.get(c);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : blocks_) sum += b->get(c);
+  return sum;
+}
+
+void Recorder::max_gauge(Gauge g, std::uint64_t v) {
+  auto& cell = gauges_[static_cast<std::size_t>(g)];
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t Recorder::phase_begin(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseRec rec;
+  rec.timing.name = name;
+  rec.start = std::chrono::steady_clock::now();
+  phases_.push_back(std::move(rec));
+  return phases_.size() - 1;
+}
+
+void Recorder::phase_end(std::size_t token, std::uint64_t states,
+                         const std::string& truncation) {
+  auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (token >= phases_.size() || !phases_[token].open) return;
+  PhaseRec& rec = phases_[token];
+  rec.open = false;
+  rec.timing.seconds =
+      std::chrono::duration<double>(now - rec.start).count();
+  rec.timing.states = states;
+  rec.timing.truncation = truncation;
+}
+
+std::vector<Recorder::PhaseTiming> Recorder::phases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PhaseTiming> out;
+  out.reserve(phases_.size());
+  for (const auto& rec : phases_) out.push_back(rec.timing);
+  return out;
+}
+
+std::uint64_t Recorder::approx_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t bytes = sizeof(Recorder);
+  bytes += blocks_.size() * (sizeof(CounterBlock) + sizeof(void*));
+  bytes += phases_.capacity() * sizeof(PhaseRec);
+  for (const auto& rec : phases_) bytes += rec.timing.name.capacity();
+  return bytes;
+}
+
+// -- Observer -----------------------------------------------------------------
+
+void Observer::add_sink(std::shared_ptr<EventSink> sink) {
+  if (!sink) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Observer::emit(const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : sinks_) s->on_event(e);
+}
+
+void Observer::set_heartbeat_interval(double seconds) {
+  if (seconds <= 0.0) seconds = 1.0;
+  interval_ns_.store(static_cast<std::int64_t>(seconds * 1e9),
+                     std::memory_order_relaxed);
+}
+
+std::size_t Observer::begin_phase(const std::string& name,
+                                  std::uint64_t target) {
+  std::size_t token = rec_.phase_begin(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_phase_ = name;
+    phase_start_ = std::chrono::steady_clock::now();
+  }
+  Event e;
+  e.kind = EventKind::PhaseStarted;
+  e.label = name;
+  e.target = target;
+  emit(e);
+  return token;
+}
+
+void Observer::end_phase(std::size_t token, std::uint64_t states,
+                         double seconds, const std::string& truncation) {
+  rec_.phase_end(token, states, truncation);
+  Event e;
+  e.kind = EventKind::PhaseFinished;
+  e.states = states;
+  e.seconds = seconds;
+  e.detail = truncation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    e.label = current_phase_;
+  }
+  // Prefer the recorder's own measured wall time when the caller has none.
+  if (e.seconds <= 0.0) {
+    for (const auto& p : rec_.phases())
+      if (p.name == e.label) e.seconds = p.seconds;
+  }
+  emit(e);
+}
+
+void Observer::progress(std::uint64_t states, std::uint64_t target) {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  std::int64_t next = next_progress_ns_.load(std::memory_order_relaxed);
+  if (now_ns < next) return;
+  // One winner per interval; losers (and stale racers) return immediately.
+  if (!next_progress_ns_.compare_exchange_strong(
+          next, now_ns + interval_ns_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed))
+    return;
+  Event e;
+  e.kind = EventKind::Progress;
+  e.states = states;
+  e.target = target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    e.label = current_phase_;
+    e.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      phase_start_)
+            .count();
+  }
+  if (e.seconds > 1e-3) e.rate = static_cast<double>(states) / e.seconds;
+  emit(e);
+}
+
+void Observer::budget_warning(const std::string& which, std::uint64_t used,
+                              std::uint64_t cap) {
+  Event e;
+  e.kind = EventKind::BudgetWarning;
+  e.detail = which;
+  e.states = used;
+  e.target = cap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    e.label = current_phase_;
+  }
+  emit(e);
+}
+
+void Observer::truncated(const std::string& reason) {
+  Event e;
+  e.kind = EventKind::Truncated;
+  e.detail = reason;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    e.label = current_phase_;
+  }
+  emit(e);
+}
+
+void Observer::counterexample(const std::string& property,
+                              const std::string& kind) {
+  Event e;
+  e.kind = EventKind::CounterexampleFound;
+  e.label = property;
+  e.detail = kind;
+  e.passed = false;
+  emit(e);
+}
+
+void Observer::run_started(
+    const std::string& subject, const std::string& digest,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  run_start_ = std::chrono::steady_clock::now();
+  Event e;
+  e.kind = EventKind::RunStarted;
+  e.label = subject;
+  e.detail = digest;
+  e.attrs = std::move(attrs);
+  emit(e);
+}
+
+void Observer::run_finished(
+    bool passed, double seconds,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  Event e;
+  e.kind = EventKind::RunFinished;
+  e.passed = passed;
+  e.seconds = seconds;
+  if (e.seconds <= 0.0)
+    e.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - run_start_)
+                    .count();
+  e.states = rec_.total(Counter::StatesStored);
+  e.attrs = std::move(attrs);
+  char buf[32];
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    auto c = static_cast<Counter>(i);
+    std::uint64_t v = rec_.total(c);
+    if (v == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    e.attrs.emplace_back(std::string("counter.") + counter_name(c), buf);
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    auto g = static_cast<Gauge>(i);
+    std::uint64_t v = rec_.gauge(g);
+    if (v == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    e.attrs.emplace_back(std::string("gauge.") + gauge_name(g), buf);
+  }
+  emit(e);
+}
+
+std::uint64_t Observer::approx_bytes() const {
+  return rec_.approx_bytes() + sizeof(Observer);
+}
+
+// -- HeartbeatSink ------------------------------------------------------------
+
+HeartbeatSink::HeartbeatSink(std::FILE* out, bool force)
+    : out_(out),
+      active_(force || (out && PNP_ISATTY(PNP_FILENO(out)) != 0)) {}
+
+void HeartbeatSink::clear_line() {
+  if (line_pending_) {
+    std::fputs("\r\033[K", out_);
+    line_pending_ = false;
+  }
+}
+
+void HeartbeatSink::on_event(const Event& e) {
+  if (!active_) return;
+  switch (e.kind) {
+    case EventKind::Progress: {
+      char line[256];
+      int n = std::snprintf(line, sizeof(line), "\r[%s] %" PRIu64 " states",
+                            e.label.empty() ? "run" : e.label.c_str(),
+                            e.states);
+      if (e.rate > 0.0 && n > 0 && n < static_cast<int>(sizeof(line)))
+        n += std::snprintf(line + n, sizeof(line) - n, "  %.0f st/s", e.rate);
+      if (e.target > 0 && e.rate > 0.0 && e.states < e.target && n > 0 &&
+          n < static_cast<int>(sizeof(line))) {
+        double pct = 100.0 * static_cast<double>(e.states) /
+                     static_cast<double>(e.target);
+        double eta = static_cast<double>(e.target - e.states) / e.rate;
+        n += std::snprintf(line + n, sizeof(line) - n,
+                           "  %.1f%% of bound  eta %.0fs", pct, eta);
+      }
+      if (n > 0) {
+        std::fputs(line, out_);
+        std::fputs("\033[K", out_);
+        std::fflush(out_);
+        line_pending_ = true;
+      }
+      break;
+    }
+    case EventKind::PhaseStarted:
+      clear_line();
+      break;
+    case EventKind::BudgetWarning:
+      clear_line();
+      std::fprintf(out_,
+                   "[obs] %s budget at %.0f%% (%" PRIu64 " of %" PRIu64 ")\n",
+                   e.detail.c_str(),
+                   e.target > 0 ? 100.0 * static_cast<double>(e.states) /
+                                      static_cast<double>(e.target)
+                                : 0.0,
+                   e.states, e.target);
+      break;
+    case EventKind::Truncated:
+      clear_line();
+      std::fprintf(out_, "[obs] truncated: %s\n", e.detail.c_str());
+      break;
+    case EventKind::CounterexampleFound:
+      clear_line();
+      std::fprintf(out_, "[obs] counterexample: %s (%s)\n", e.label.c_str(),
+                   e.detail.c_str());
+      break;
+    case EventKind::PhaseFinished:
+      clear_line();
+      break;
+    case EventKind::RunFinished:
+      clear_line();
+      std::fflush(out_);
+      break;
+    default:
+      break;
+  }
+}
+
+// -- LedgerSink ---------------------------------------------------------------
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_double(std::string& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_json_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+const std::string* find_attr(const Event& e, const char* key) {
+  for (const auto& kv : e.attrs)
+    if (kv.first == key) return &kv.second;
+  return nullptr;
+}
+
+}  // namespace
+
+LedgerSink::LedgerSink(const std::string& dir) : dir_(dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    raise_model_error("--ledger: cannot create directory '" + dir_ +
+                      "': " + ec.message());
+  path_ = (std::filesystem::path(dir_) / "ledger.jsonl").string();
+}
+
+void LedgerSink::on_event(const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (e.kind) {
+    case EventKind::RunStarted:
+      subject_ = e.label;
+      config_ = e.detail;
+      phases_.clear();
+      obligations_.clear();
+      incidents_.clear();
+      break;
+    case EventKind::PhaseFinished:
+      phases_.push_back(e);
+      break;
+    case EventKind::ObligationFinished:
+      obligations_.push_back(e);
+      break;
+    case EventKind::BudgetWarning:
+    case EventKind::Truncated:
+    case EventKind::CounterexampleFound:
+      incidents_.push_back(e);
+      break;
+    case EventKind::RunFinished:
+      write_record(e);
+      break;
+    default:
+      break;
+  }
+}
+
+void LedgerSink::write_record(const Event& finish) {
+  std::string rec;
+  rec.reserve(1024);
+  rec += "{\"schema\":\"";
+  rec += kSchema;
+  rec += "\",\"subject\":";
+  append_json_string(rec, subject_);
+  rec += ",\"config\":";
+  append_json_string(rec, config_);
+  rec += ",\"verdict\":";
+  rec += finish.passed ? "\"pass\"" : "\"fail\"";
+  rec += ",\"seconds\":";
+  append_json_double(rec, finish.seconds);
+  rec += ",\"states\":";
+  append_json_u64(rec, finish.states);
+
+  rec += ",\"phases\":[";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const Event& p = phases_[i];
+    if (i) rec += ',';
+    rec += "{\"name\":";
+    append_json_string(rec, p.label);
+    rec += ",\"seconds\":";
+    append_json_double(rec, p.seconds);
+    rec += ",\"states\":";
+    append_json_u64(rec, p.states);
+    if (!p.detail.empty()) {
+      rec += ",\"truncated\":";
+      append_json_string(rec, p.detail);
+    }
+    rec += '}';
+  }
+  rec += ']';
+
+  rec += ",\"checks\":[";
+  for (std::size_t i = 0; i < obligations_.size(); ++i) {
+    const Event& o = obligations_[i];
+    if (i) rec += ',';
+    rec += "{\"kind\":";
+    const std::string* kind = find_attr(o, "kind");
+    append_json_string(rec, kind ? *kind : "obligation");
+    rec += ",\"label\":";
+    append_json_string(rec, o.label);
+    rec += ",\"passed\":";
+    rec += o.passed ? "true" : "false";
+    rec += ",\"seconds\":";
+    append_json_double(rec, o.seconds);
+    if (const std::string* stage = find_attr(o, "stage")) {
+      rec += ",\"stage\":";
+      append_json_string(rec, *stage);
+    }
+    if (const std::string* cache = find_attr(o, "cache")) {
+      rec += ",\"cache\":";
+      append_json_string(rec, *cache);
+    }
+    rec += '}';
+  }
+  rec += ']';
+
+  rec += ",\"incidents\":[";
+  for (std::size_t i = 0; i < incidents_.size(); ++i) {
+    const Event& inc = incidents_[i];
+    if (i) rec += ',';
+    rec += "{\"kind\":";
+    append_json_string(rec, event_kind_name(inc.kind));
+    rec += ",\"detail\":";
+    append_json_string(rec, inc.detail.empty() ? inc.label : inc.detail);
+    rec += '}';
+  }
+  rec += ']';
+
+  rec += ",\"counters\":{";
+  bool first = true;
+  for (const auto& kv : finish.attrs) {
+    if (kv.first.rfind("counter.", 0) != 0) continue;
+    if (!first) rec += ',';
+    first = false;
+    append_json_string(rec, kv.first.substr(8));
+    rec += ':';
+    rec += kv.second;  // decimal digits by construction (run_finished)
+  }
+  rec += '}';
+
+  rec += ",\"gauges\":{";
+  first = true;
+  for (const auto& kv : finish.attrs) {
+    if (kv.first.rfind("gauge.", 0) != 0) continue;
+    if (!first) rec += ',';
+    first = false;
+    append_json_string(rec, kv.first.substr(6));
+    rec += ':';
+    rec += kv.second;
+  }
+  rec += '}';
+
+  if (const std::string* mode = find_attr(finish, "mode")) {
+    rec += ",\"mode\":";
+    append_json_string(rec, *mode);
+  }
+  if (const std::string* trail = find_attr(finish, "trail")) {
+    rec += ",\"trail\":";
+    append_json_string(rec, *trail);
+  }
+  rec += "}\n";
+
+  std::ofstream out(path_, std::ios::app | std::ios::binary);
+  if (!out) raise_model_error("--ledger: cannot open '" + path_ + "'");
+  out << rec;
+}
+
+// -- schema validator ----------------------------------------------------------
+//
+// A deliberately small recursive-descent JSON reader: just enough to parse
+// one ledger line into a generic value tree and check the pnp.run.v1 shape.
+// Kept here (not in tests) so external tooling gets the same contract.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object } type =
+      Type::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& kv : obj)
+      if (kv.first == key) return &kv.second;
+    return nullptr;
+  }
+};
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  void skip_ws() {
+    while (p != end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what;
+    return false;
+  }
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (p == end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.type = JsonValue::Type::String;
+        return parse_string(out.str);
+      case 't':
+        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+          p += 4;
+          out.type = JsonValue::Type::Bool;
+          out.b = true;
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+          p += 5;
+          out.type = JsonValue::Type::Bool;
+          out.b = false;
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
+          p += 4;
+          out.type = JsonValue::Type::Null;
+          return true;
+        }
+        return fail("bad literal");
+      default: return parse_number(out);
+    }
+  }
+  bool parse_string(std::string& out) {
+    ++p;  // opening quote
+    out.clear();
+    while (p != end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p == end) return fail("unterminated escape");
+        char esc = *p++;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (end - p < 4) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = *p++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad \\u escape");
+            }
+            // The writer only escapes control chars; a byte is enough.
+            out += static_cast<char>(code & 0xff);
+            break;
+          }
+          default: return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (p == end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+  bool parse_number(JsonValue& out) {
+    const char* start = p;
+    if (p != end && (*p == '-' || *p == '+')) ++p;
+    while (p != end &&
+           (std::isdigit(static_cast<unsigned char>(*p)) || *p == '.' ||
+            *p == 'e' || *p == 'E' || *p == '-' || *p == '+'))
+      ++p;
+    if (p == start) return fail("bad number");
+    out.type = JsonValue::Type::Number;
+    out.num = std::strtod(std::string(start, p).c_str(), nullptr);
+    return true;
+  }
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::Array;
+    ++p;  // '['
+    skip_ws();
+    if (p != end && *p == ']') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (p == end) return fail("unterminated array");
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == ']') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::Object;
+    ++p;  // '{'
+    skip_ws();
+    if (p != end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (p == end || *p != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (p == end || *p != ':') return fail("expected ':'");
+      ++p;
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (p == end) return fail("unterminated object");
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == '}') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+bool require(bool cond, const std::string& what, std::string* err) {
+  if (!cond && err && err->empty()) *err = what;
+  return cond;
+}
+
+}  // namespace
+
+bool validate_ledger_record(const std::string& line, std::string* err) {
+  std::string scratch;
+  if (!err) err = &scratch;
+  err->clear();
+
+  JsonParser parser{line.data(), line.data() + line.size(), {}};
+  JsonValue root;
+  if (!parser.parse_value(root)) {
+    *err = "parse error: " + parser.err;
+    return false;
+  }
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    *err = "trailing bytes after record";
+    return false;
+  }
+  using T = JsonValue::Type;
+  if (!require(root.type == T::Object, "record is not an object", err))
+    return false;
+
+  auto str_field = [&](const char* key) -> const JsonValue* {
+    const JsonValue* v = root.get(key);
+    if (!require(v != nullptr, std::string("missing '") + key + "'", err))
+      return nullptr;
+    if (!require(v->type == T::String, std::string("'") + key +
+                                           "' is not a string", err))
+      return nullptr;
+    return v;
+  };
+  const JsonValue* schema = str_field("schema");
+  if (!schema) return false;
+  if (!require(schema->str == LedgerSink::kSchema,
+               "unknown schema '" + schema->str + "'", err))
+    return false;
+  if (!str_field("subject")) return false;
+  if (!str_field("config")) return false;
+  const JsonValue* verdict = str_field("verdict");
+  if (!verdict) return false;
+  if (!require(verdict->str == "pass" || verdict->str == "fail",
+               "verdict must be 'pass' or 'fail'", err))
+    return false;
+
+  auto num_field = [&](const JsonValue& o, const char* key,
+                       const char* where) {
+    const JsonValue* v = o.get(key);
+    return require(v && v->type == T::Number,
+                   std::string(where) + " missing number '" + key + "'", err);
+  };
+  if (!num_field(root, "seconds", "record")) return false;
+  if (!num_field(root, "states", "record")) return false;
+
+  const JsonValue* phases = root.get("phases");
+  if (!require(phases && phases->type == T::Array,
+               "missing 'phases' array", err))
+    return false;
+  for (const JsonValue& p : phases->arr) {
+    if (!require(p.type == T::Object, "phase is not an object", err))
+      return false;
+    const JsonValue* name = p.get("name");
+    if (!require(name && name->type == T::String,
+                 "phase missing string 'name'", err))
+      return false;
+    if (!num_field(p, "seconds", "phase")) return false;
+    if (!num_field(p, "states", "phase")) return false;
+  }
+
+  const JsonValue* checks = root.get("checks");
+  if (!require(checks && checks->type == T::Array,
+               "missing 'checks' array", err))
+    return false;
+  for (const JsonValue& c : checks->arr) {
+    if (!require(c.type == T::Object, "check is not an object", err))
+      return false;
+    const JsonValue* kind = c.get("kind");
+    if (!require(kind && kind->type == T::String,
+                 "check missing string 'kind'", err))
+      return false;
+    const JsonValue* label = c.get("label");
+    if (!require(label && label->type == T::String,
+                 "check missing string 'label'", err))
+      return false;
+    const JsonValue* passed = c.get("passed");
+    if (!require(passed && passed->type == T::Bool,
+                 "check missing bool 'passed'", err))
+      return false;
+  }
+
+  const JsonValue* counters = root.get("counters");
+  if (!require(counters && counters->type == T::Object,
+               "missing 'counters' object", err))
+    return false;
+  for (const auto& kv : counters->obj)
+    if (!require(kv.second.type == T::Number,
+                 "counter '" + kv.first + "' is not a number", err))
+      return false;
+
+  const JsonValue* gauges = root.get("gauges");
+  if (gauges) {
+    if (!require(gauges->type == T::Object, "'gauges' is not an object", err))
+      return false;
+    for (const auto& kv : gauges->obj)
+      if (!require(kv.second.type == T::Number,
+                   "gauge '" + kv.first + "' is not a number", err))
+        return false;
+  }
+  const JsonValue* trail = root.get("trail");
+  if (trail &&
+      !require(trail->type == T::String, "'trail' is not a string", err))
+    return false;
+  return true;
+}
+
+}  // namespace pnp::obs

@@ -1,0 +1,25 @@
+// The one definition of execution budgets. VerifyOptions, SuiteOptions (via
+// its embedded VerifyOptions), ResilienceOptions, ltl::CheckOptions and
+// Session's RunConfig all consume these fields from here instead of each
+// re-declaring threads/max_states/deadline/memory; the option structs
+// inherit ExecBudget, so the historical field names (`opt.threads`,
+// `opt.max_states`, ...) keep working unchanged -- they are now the
+// deprecated spellings of `opt` *as* an ExecBudget.
+#pragma once
+
+#include <cstdint>
+
+namespace pnp {
+
+struct ExecBudget {
+  /// Stored-state cap per exploration stage.
+  std::uint64_t max_states = 20'000'000;
+  /// Wall-clock budget per exploration stage; 0 = unlimited.
+  double deadline_seconds = 0.0;
+  /// Approximate memory cap per exploration stage; 0 = unlimited.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Worker threads: 1 = sequential, 0 = hardware concurrency.
+  int threads = 1;
+};
+
+}  // namespace pnp

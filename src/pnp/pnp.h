@@ -15,6 +15,7 @@
 #include "pnp/generator.h"
 #include "pnp/interfaces.h"
 #include "pnp/patterns.h"
+#include "pnp/session.h"
 #include "pnp/verifier.h"
 #include "sim/simulator.h"
 #include "trace/msc.h"

@@ -1,0 +1,178 @@
+// pnp::Session -- the unified run facade over the verification stack.
+//
+// Historically every entry point grew its own option struct (VerifyOptions,
+// SuiteOptions, ResilienceOptions, ltl::CheckOptions) and its own report
+// type, and every frontend (pnpv, the examples) re-plumbed budgets,
+// generator reuse and property texts by hand. A Session owns the three
+// things a design-iterate-verify loop actually shares across runs:
+//
+//   * one RunConfig  -- the single source of truth for budgets, search
+//     shape, properties and observability destinations. The old option
+//     structs remain the engine-facing ABI but are now derived views
+//     (RunConfig::verify_options() etc.), so a flag lands in exactly one
+//     place.
+//   * one ModelGenerator -- component/block models survive plug-and-play
+//     edits between runs, exactly as the paper's iteration loop assumes.
+//   * one obs::Observer -- counters, phase timers, the TTY heartbeat and
+//     the JSONL run ledger (see obs/obs.h) are attached once and every
+//     run on the session is recorded through them.
+//
+// Each verify* call returns a RunReport: a flat list of RunChecks that
+// subsumes the SafetyOutcome / SuiteReport / ResilienceReport stats
+// duplication -- one shape to render, whatever kind of run produced it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+#include "pnp/exec_budget.h"
+#include "pnp/generator.h"
+#include "pnp/verifier.h"
+
+namespace pnp {
+
+/// Everything one verification run needs, in one struct. Budget fields
+/// (max_states, deadline_seconds, memory_budget_bytes, threads) are
+/// inherited from ExecBudget -- the same definition VerifyOptions and
+/// ltl::CheckOptions consume.
+struct RunConfig : ExecBudget {
+  // -- search shape (see VerifyOptions for the fine print) --
+  bool check_deadlock = true;
+  bool por = false;
+  bool bfs = false;
+  bool degrade = true;
+  std::uint64_t bitstate_bytes = std::uint64_t{1} << 26;
+  MinimizeMode minimize = MinimizeMode::Off;
+  GenOptions gen{};
+
+  // -- properties (texts; each frontend resolves them in its own scope) --
+  std::string invariant_text;
+  std::string end_invariant_text;
+  std::vector<std::pair<std::string, std::string>> props;
+  std::vector<std::string> ltl;
+  bool ltl_weak_fairness = false;
+  bool connector_protocols = true;
+
+  // -- persistence + observability --
+  std::string cache_dir;   // verdict cache; empty = recompute everything
+  std::string ledger_dir;  // JSONL run ledger + trail files; empty = off
+  bool heartbeat = true;   // TTY progress ticker (auto-suppressed when
+                           // stderr is not a terminal)
+  bool heartbeat_force = false;  // emit the ticker even when not a TTY
+  double heartbeat_seconds = 1.0;
+
+  /// Thin engine-facing views. The returned structs carry no Observer --
+  /// Session fills that in; standalone callers may too.
+  VerifyOptions verify_options() const;
+  SuiteOptions suite_options() const;
+  /// Resilience fans threads out across fault variants (jobs = threads,
+  /// each variant's own search sequential): the variants are many and
+  /// small, so variant-level parallelism is the useful axis.
+  ResilienceOptions resilience_options() const;
+  ltl::CheckOptions ltl_options() const;
+
+  /// Stable hex digest of every field that can change a verdict or its
+  /// confidence (budgets, search shape, property texts; NOT threads or the
+  /// observability destinations). This is the "config" field of the run
+  /// ledger, so runs can be grouped/diffed by effective configuration.
+  std::string digest() const;
+};
+
+/// One check inside a run: a connector-protocol obligation, a global
+/// safety/invariant/LTL property, a fault variant, or the fault-free
+/// baseline. The flat shape every former report type maps onto.
+struct RunCheck {
+  std::string kind;   // "connector-protocol"|"safety"|"invariant"|
+                      // "end-invariant"|"ltl"|"baseline"|"fault"
+  std::string label;  // connector / property text / fault description
+  bool passed = false;
+  bool from_cache = false;
+  std::string stage;  // ladder stage that produced the verdict
+  std::uint64_t states_stored = 0;
+  double seconds = 0.0;
+  /// Full sub-report (stats, degradation stages, counterexample trace).
+  /// Empty for cache hits -- the cache stores verdicts, not traces.
+  std::string detail;
+};
+
+struct RunReport {
+  std::string subject;        // architecture or model name
+  std::string mode;           // "suite" | "resilience" | "machine"
+  std::string config_digest;  // RunConfig::digest() at run time
+  bool passed = true;
+  double seconds = 0.0;  // wall time of the whole run
+  std::vector<RunCheck> checks;
+  GenStats gen_stats;  // generation cost attributable to this run
+  std::optional<reduce::ReductionStats> reduction;
+  std::string ledger_path;  // set when the session writes a ledger
+  std::string trail_path;   // first counterexample trail file written
+
+  int cache_hits() const;
+  int recomputed() const;
+  /// Human-readable rendering: one verdict line per check, failure details
+  /// inline, generation + cache summary at the bottom.
+  std::string report() const;
+};
+
+class Session {
+ public:
+  /// Sinks (heartbeat, ledger) are attached lazily on the first run, from
+  /// the config as it stands then; budgets and properties may be edited
+  /// between runs via config().
+  explicit Session(RunConfig cfg = {});
+
+  RunConfig& config() { return cfg_; }
+  const RunConfig& config() const { return cfg_; }
+
+  /// The session-owned generator: share it to keep component/block model
+  /// reuse across plug-and-play edits (every verify* call on this session
+  /// already does).
+  ModelGenerator& generator() { return gen_; }
+  obs::Observer& observer() { return obs_; }
+
+  /// Path of the JSONL ledger, once a run has been recorded to one.
+  const std::string& ledger_path() const { return ledger_path_; }
+
+  /// Verify `arch` as an obligation suite: per-connector protocol
+  /// obligations plus the global properties from the config, consulting
+  /// the verdict cache when cache_dir is set.
+  RunReport verify(const Architecture& arch);
+
+  /// Verify `arch` under injected faults (empty = default_fault_suite),
+  /// plus the fault-free baseline.
+  RunReport verify_resilience(const Architecture& arch,
+                              std::vector<FaultSpec> faults = {});
+
+  /// Resolves invariant/proposition texts from the config into expression
+  /// refs in the subject machine's scope (pml::parse_global_expr for .pml
+  /// models, ModelGenerator::parse_expr_text for generated ones).
+  using ExprParser = std::function<expr::Ref(const std::string&)>;
+
+  /// Verify a raw machine (the .pml frontend): one combined safety ladder
+  /// (assertions, deadlock, invariant, end-invariant in a single pass)
+  /// plus each LTL formula from the config.
+  RunReport verify_machine(const kernel::Machine& m, std::string subject,
+                           const ExprParser& parse_expr);
+
+ private:
+  void ensure_sinks();
+  RunReport begin_run(const std::string& subject, const char* mode);
+  /// Seals the report (verdict, wall time), writes trail files for failed
+  /// checks, and emits RunFinished (which flushes the ledger record).
+  void finish_run(RunReport& rep,
+                  std::chrono::steady_clock::time_point started);
+
+  RunConfig cfg_;
+  ModelGenerator gen_;
+  obs::Observer obs_;
+  bool sinks_ready_ = false;
+  std::string ledger_path_;
+  int runs_ = 0;  // per-session run ordinal, names trail files
+};
+
+}  // namespace pnp

@@ -38,6 +38,7 @@ explore::Options to_explore_options(const VerifyOptions& opt) {
   eopt.deadline_seconds = opt.deadline_seconds;
   eopt.memory_budget_bytes = opt.memory_budget_bytes;
   eopt.threads = opt.threads;
+  eopt.obs = opt.obs;
   return eopt;
 }
 
@@ -51,6 +52,7 @@ explore::Options to_explore_options(const VerifyOptions& opt) {
 void run_ladder(const kernel::Machine& m, explore::Options eopt,
                 const VerifyOptions& opt, SafetyOutcome& out) {
   const bool parallel = explore::resolve_threads(opt.threads) > 1;
+  obs::Observer* ob = opt.obs;
   // Minimized rungs: quotient every proctype, then explore the product of
   // the quotients. The reduced machine shares m's SystemSpec, so invariant
   // expression refs and trace rendering carry over unchanged.
@@ -58,22 +60,51 @@ void run_ladder(const kernel::Machine& m, explore::Options eopt,
   std::optional<reduce::ReducedMachine> reduced;
   std::string prefix;
   if (opt.minimize != MinimizeMode::Off) {
+    std::size_t ph = 0;
+    if (ob != nullptr) ph = ob->begin_phase("minimize", 0);
     reduced.emplace(m, opt.minimize == MinimizeMode::Weak
                            ? reduce::Equivalence::Weak
                            : reduce::Equivalence::Strong);
     out.reduction = reduced->stats();
     target = &reduced->machine();
     prefix = "minimized-";
+    if (ob != nullptr) {
+      obs::Recorder& rec = ob->recorder();
+      rec.max_gauge(obs::Gauge::MinimizeStatesBefore,
+                    static_cast<std::uint64_t>(
+                        out.reduction->total_states_before()));
+      rec.max_gauge(obs::Gauge::MinimizeStatesAfter,
+                    static_cast<std::uint64_t>(
+                        out.reduction->total_states_after()));
+      ob->end_phase(ph, 0, 0.0);
+    }
   }
-  out.result = explore::explore(*target, eopt);
-  out.stages.push_back({prefix + (parallel ? "exact-parallel" : "exact"),
-                        out.result.stats});
+  /// One ladder rung with its phase bracket and incident events.
+  auto run_rung = [&](const std::string& name) {
+    std::size_t ph = 0;
+    if (ob != nullptr) ph = ob->begin_phase(name, eopt.max_states);
+    out.result = explore::explore(*target, eopt);
+    const explore::Stats& st = out.result.stats;
+    out.stages.push_back({name, st});
+    if (ob == nullptr) return;
+    const std::string trunc =
+        st.complete ? std::string()
+                    : explore::truncation_reason_name(st.truncation);
+    ob->end_phase(ph, st.states_stored, st.seconds, trunc);
+    if (!st.complete && st.truncation != explore::TruncationReason::None &&
+        st.truncation != explore::TruncationReason::BitstateApprox &&
+        !out.result.violation)
+      ob->truncated(trunc);
+    if (out.result.violation)
+      ob->counterexample(out.property_name,
+                         explore::violation_kind_name(
+                             out.result.violation->kind));
+  };
+  run_rung(prefix + (parallel ? "exact-parallel" : "exact"));
   if (opt.degrade && !out.result.stats.complete && !out.result.violation) {
     eopt.bitstate = true;
     eopt.bitstate_bytes = opt.bitstate_bytes;
-    out.result = explore::explore(*target, eopt);
-    out.stages.push_back({prefix + (parallel ? "swarm-bitstate" : "bitstate"),
-                          out.result.stats});
+    run_rung(prefix + (parallel ? "swarm-bitstate" : "bitstate"));
   }
 }
 
@@ -153,6 +184,27 @@ SafetyOutcome check_end_invariant(const kernel::Machine& m, expr::Ex inv,
   eopt.end_invariant_name = name;
   SafetyOutcome out;
   out.property_name = "end invariant: " + name;
+  run_ladder(m, eopt, opt, out);
+  return out;
+}
+
+SafetyOutcome check_machine(const kernel::Machine& m, const SafetyProps& props,
+                            VerifyOptions opt) {
+  explore::Options eopt = to_explore_options(opt);
+  std::string name = "safety (assertions + no invalid end states";
+  if (props.invariant != expr::kNoExpr) {
+    eopt.invariant = props.invariant;
+    eopt.invariant_name = props.invariant_name;
+    name += " + invariant: " + props.invariant_name;
+  }
+  if (props.end_invariant != expr::kNoExpr) {
+    eopt.end_invariant = props.end_invariant;
+    eopt.end_invariant_name = props.end_invariant_name;
+    name += " + end invariant: " + props.end_invariant_name;
+  }
+  name += ")";
+  SafetyOutcome out;
+  out.property_name = std::move(name);
   run_ladder(m, eopt, opt, out);
   return out;
 }
@@ -332,15 +384,61 @@ std::string SuiteReport::report() const {
   return os.str();
 }
 
+namespace {
+
+/// Per-invocation generation stats when the ModelGenerator is shared across
+/// suites (pnp::Session): the generator's totals are cumulative, so one
+/// suite's share is the difference against the entry snapshot.
+GenStats stats_since(const GenStats& total, const GenStats& before) {
+  GenStats d = total;
+  d.component_models_built -= before.component_models_built;
+  d.component_models_reused -= before.component_models_reused;
+  d.block_models_built -= before.block_models_built;
+  d.block_models_reused -= before.block_models_reused;
+  d.channels_declared -= before.channels_declared;
+  d.channels_reused -= before.channels_reused;
+  d.proctypes_compiled -= before.proctypes_compiled;
+  d.connectors_optimized -= before.connectors_optimized;
+  d.seconds -= before.seconds;
+  return d;
+}
+
+/// Cold-path telemetry for one settled obligation: the per-obligation
+/// counters plus an ObligationFinished event with kind/stage/cache attrs.
+void note_obligation(obs::Observer* ob, const ObligationResult& r) {
+  if (ob == nullptr) return;
+  obs::Recorder& rec = ob->recorder();
+  rec.add(r.from_cache ? obs::Counter::ObligationsFromCache
+                       : obs::Counter::ObligationsVerified,
+          1);
+  rec.add(r.from_cache ? obs::Counter::CacheHits : obs::Counter::CacheMisses,
+          1);
+  obs::Event e;
+  e.kind = obs::EventKind::ObligationFinished;
+  e.label = r.label;
+  e.passed = r.passed;
+  e.states = r.states_stored;
+  e.seconds = r.seconds;
+  e.attrs.emplace_back("kind", r.kind);
+  e.attrs.emplace_back("stage", r.stage);
+  e.attrs.emplace_back("cache", r.from_cache ? "hit" : "miss");
+  ob->emit(e);
+}
+
+}  // namespace
+
 SuiteReport verify_obligations(const Architecture& arch,
-                               const SuiteOptions& opts) {
+                               const SuiteOptions& opts, ModelGenerator* gen_in) {
   arch.validate();
   SuiteReport rep;
   rep.architecture = arch.name();
+  obs::Observer* ob = opts.verify.obs;
   reduce::VerificationCache cache =
       opts.cache_dir.empty() ? reduce::VerificationCache()
                              : reduce::VerificationCache(opts.cache_dir);
-  ModelGenerator gen;
+  ModelGenerator own_gen;
+  ModelGenerator& gen = gen_in != nullptr ? *gen_in : own_gen;
+  const GenStats gen_before = gen.total_stats();
 
   // Local obligations first: every harness generate() invalidates the
   // previous borrowed Machine, so the main model must be generated last.
@@ -441,9 +539,9 @@ SuiteReport verify_obligations(const Architecture& arch,
       stage = "minimized-ltl-nested-dfs";
     }
     ltl::CheckOptions copt;
-    copt.max_states = opts.verify.max_states;
-    copt.threads = opts.verify.threads;
+    static_cast<ExecBudget&>(copt) = static_cast<const ExecBudget&>(opts.verify);
     copt.weak_fairness = opts.ltl_weak_fairness;
+    copt.obs = ob;
     for (const std::string& formula : opts.ltl) {
       const reduce::ObligationKey key = global_key(
           "ltl", formula,
@@ -470,7 +568,9 @@ SuiteReport verify_obligations(const Architecture& arch,
   }
 
   cache.flush();
-  rep.gen_stats = gen.total_stats();
+  rep.gen_stats = stats_since(gen.total_stats(), gen_before);
+  if (ob != nullptr)
+    for (const ObligationResult& o : rep.obligations) note_obligation(ob, o);
   return rep;
 }
 
@@ -649,13 +749,17 @@ std::vector<FaultSpec> default_fault_suite(const Architecture& arch) {
 
 ResilienceReport check_resilience(const Architecture& arch,
                                   const std::vector<FaultSpec>& faults,
-                                  ResilienceOptions opts) {
+                                  ResilienceOptions opts,
+                                  ModelGenerator* gen_in) {
   ResilienceReport rep;
   rep.architecture = arch.name();
   // One generator across baseline + every fault variant: component models
   // and unchanged blocks are built once and reused, exactly the paper's
-  // design-iteration loop applied to fault injection.
-  ModelGenerator gen;
+  // design-iteration loop applied to fault injection. A caller-owned
+  // generator (pnp::Session) extends that reuse across whole suites.
+  ModelGenerator own_gen;
+  ModelGenerator& gen = gen_in != nullptr ? *gen_in : own_gen;
+  const GenStats gen_before = gen.total_stats();
   const int jobs = explore::resolve_threads(opts.jobs);
   if (jobs <= 1) {
     if (opts.include_baseline)
@@ -668,7 +772,7 @@ ResilienceReport check_resilience(const Architecture& arch,
       fo.outcome = verify_variant(gen, variant, opts, fo.description);
       rep.faults.push_back(std::move(fo));
     }
-    rep.gen_stats = gen.total_stats();
+    rep.gen_stats = stats_since(gen.total_stats(), gen_before);
     return rep;
   }
 
@@ -696,7 +800,7 @@ ResilienceReport check_resilience(const Architecture& arch,
         {std::move(desc),
          gen.generate_owned(variant, opts.invariant_text, opts.gen), {}});
   }
-  rep.gen_stats = gen.total_stats();
+  rep.gen_stats = stats_since(gen.total_stats(), gen_before);
 
   std::atomic<std::size_t> next{0};
   auto drain = [&] {

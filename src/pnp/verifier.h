@@ -9,6 +9,8 @@
 
 #include "explore/explorer.h"
 #include "ltl/product.h"
+#include "obs/obs.h"
+#include "pnp/exec_budget.h"
 #include "pnp/generator.h"
 #include "reduce/cache.h"
 #include "reduce/reduce.h"
@@ -26,15 +28,18 @@ enum class MinimizeMode : std::uint8_t { Off, Strong, Weak };
 
 const char* to_string(MinimizeMode m);
 
-struct VerifyOptions {
-  std::uint64_t max_states = 20'000'000;
+/// Budget fields (max_states, deadline_seconds, memory_budget_bytes,
+/// threads) are inherited from ExecBudget -- the single definition shared
+/// with ltl::CheckOptions and Session's RunConfig. The historical spellings
+/// (`opt.max_states`, `opt.threads`, ...) still work; they are now the
+/// deprecated aliases for the inherited members. With threads > 1 the exact
+/// rung uses the sharded-visited-set parallel engine and the bitstate rung
+/// becomes a swarm of independently seeded searches (stage names change to
+/// "exact-parallel" / "swarm-bitstate" accordingly).
+struct VerifyOptions : ExecBudget {
   bool check_deadlock = true;
   bool por = false;
   bool bfs = false;  // shortest counterexamples
-  /// Wall-clock budget per exploration stage; 0 = unlimited.
-  double deadline_seconds = 0.0;
-  /// Approximate memory cap per exploration stage; 0 = unlimited.
-  std::uint64_t memory_budget_bytes = 0;
   /// Degradation ladder: when the exact search is truncated (by max_states,
   /// the deadline, or the memory budget) without finding a violation, retry
   /// with bitstate hashing and a widened filter so the caller still gets
@@ -42,18 +47,26 @@ struct VerifyOptions {
   bool degrade = true;
   /// Bloom-filter size for the bitstate fallback stage.
   std::uint64_t bitstate_bytes = std::uint64_t{1} << 26;
-  /// Exploration threads per stage: 1 = the historical sequential search,
-  /// 0 = hardware concurrency. With threads > 1 the exact rung uses the
-  /// sharded-visited-set parallel engine and the bitstate rung becomes a
-  /// swarm of independently seeded searches (stage names change to
-  /// "exact-parallel" / "swarm-bitstate" accordingly).
-  int threads = 1;
   /// Minimize every proctype (ladder stage names gain a "minimized-"
   /// prefix, e.g. "minimized-exact"). The composed machine then explores
   /// the product of the quotient automata; verdicts are unchanged (see
   /// MinimizeMode for the soundness fine print).
   MinimizeMode minimize = MinimizeMode::Off;
+  /// Observability context (counters, phase events, heartbeat/ledger
+  /// sinks); null = no telemetry, zero overhead. Not part of the verdict
+  /// cache key (see ObligationKey): telemetry cannot change a verdict.
+  obs::Observer* obs = nullptr;
 };
+
+/// Convenience for the common "just bound the search" call sites:
+/// designated initializers cannot reach into the ExecBudget base, so
+/// `check_safety(m, bounded(5'000'000))` replaces the historical
+/// `{.max_states = 5'000'000}` spelling.
+inline VerifyOptions bounded(std::uint64_t max_states) {
+  VerifyOptions v;
+  v.max_states = max_states;
+  return v;
+}
 
 /// One rung of the verification degradation ladder.
 struct VerifyStage {
@@ -91,6 +104,23 @@ SafetyOutcome check_invariant(const kernel::Machine& m, expr::Ex invariant,
 /// progress claims.
 SafetyOutcome check_end_invariant(const kernel::Machine& m, expr::Ex inv,
                                   std::string name, VerifyOptions opt = {});
+
+/// Optional invariants for check_machine(); kNoExpr skips either one.
+struct SafetyProps {
+  expr::Ref invariant = expr::kNoExpr;  // over globals/channels
+  std::string invariant_name;
+  expr::Ref end_invariant = expr::kNoExpr;  // over terminal states only
+  std::string end_invariant_name;
+};
+
+/// Combined single-pass check used by pnp::Session and pnpv for raw
+/// machines: assertions, invalid-end-state detection (per
+/// opt.check_deadlock), and the optional invariants of `props`, all in ONE
+/// ladder run -- one exploration instead of three. With no invariants this
+/// is exactly check_safety().
+SafetyOutcome check_machine(const kernel::Machine& m,
+                            const SafetyProps& props = {},
+                            VerifyOptions opt = {});
 
 struct LtlOutcome {
   ltl::LtlResult result;
@@ -166,9 +196,12 @@ struct SuiteReport {
 };
 
 /// Verifies every obligation of `arch`, consulting/filling the verdict
-/// cache when `opts.cache_dir` is set.
+/// cache when `opts.cache_dir` is set. Pass `gen` to reuse a caller-owned
+/// ModelGenerator across suites (pnp::Session does; component and block
+/// models survive plug-and-play swaps); null uses a private one.
 SuiteReport verify_obligations(const Architecture& arch,
-                               const SuiteOptions& opts = {});
+                               const SuiteOptions& opts = {},
+                               ModelGenerator* gen = nullptr);
 
 // -- resilience checking -------------------------------------------------------
 // Verifies an architecture under injected connector/component faults (the
@@ -243,9 +276,12 @@ std::vector<FaultSpec> default_fault_suite(const Architecture& arch);
 
 /// Verifies `arch` under each fault model in `faults`, plus the fault-free
 /// baseline. All variants share one ModelGenerator, so unchanged component
-/// and block models are built exactly once across the whole suite.
+/// and block models are built exactly once across the whole suite. Pass
+/// `gen` to share a caller-owned generator (pnp::Session); null uses a
+/// private one.
 ResilienceReport check_resilience(const Architecture& arch,
                                   const std::vector<FaultSpec>& faults,
-                                  ResilienceOptions opts = {});
+                                  ResilienceOptions opts = {},
+                                  ModelGenerator* gen = nullptr);
 
 }  // namespace pnp

@@ -88,7 +88,7 @@ TEST_P(BlockMatrix, ComposesAndVerifiesWithStandardInterfaces) {
                            {c.chan, c.capacity}, c.recv_opts);
   ModelGenerator gen;
   const kernel::Machine m = gen.generate(arch);
-  const SafetyOutcome out = check_safety(m, {.max_states = 5'000'000});
+  const SafetyOutcome out = check_safety(m, bounded(5'000'000));
 
   // Message loss (lossy channels, checking/nonblocking sends against a full
   // buffer) shows up as livelock -- the blocking receive port keeps retrying

@@ -94,9 +94,11 @@ TEST(Bridge, FixedV1TwoCarsTwoPerTurnSafeWithinBound) {
   ModelGenerator gen;
   const kernel::Machine m = gen.generate(arch, kOpt);
   // bounded: no violation within 4M states (bench_e10_scaling pushes this)
+  VerifyOptions vopt;
+  vopt.max_states = 4'000'000;
   const SafetyOutcome out = check_invariant(
       m, safety_invariant(gen) && batch_bound_invariant(gen, cfg.batch_n),
-      "safety + batch bound", {.max_states = 4'000'000});
+      "safety + batch bound", vopt);
   EXPECT_TRUE(out.passed()) << out.report();
 }
 
@@ -110,9 +112,10 @@ TEST(Bridge, V2SafeWithinBound) {
   Architecture arch = make_v2(cfg);
   ModelGenerator gen;
   const kernel::Machine m = gen.generate(arch, kOpt);
-  const SafetyOutcome out =
-      check_invariant(m, safety_invariant(gen), "one direction at a time",
-                      {.max_states = 2'000'000});
+  VerifyOptions vopt;
+  vopt.max_states = 2'000'000;
+  const SafetyOutcome out = check_invariant(
+      m, safety_invariant(gen), "one direction at a time", vopt);
   EXPECT_TRUE(out.passed()) << out.report();
 }
 

@@ -49,7 +49,7 @@ TEST(Patterns, RpcRoundTripVerifies) {
   // sits at its loop head, so the port is disabled infinitely often and
   // escapes the weak-fairness obligation (strong fairness would be needed).
   EXPECT_FALSE(check_ltl_formula(m, gen.props(), "F done",
-                                 {.weak_fairness = true})
+                                 ltl::fair())
                   .passed());
 
   // The optimized connector substitution removes the channel process;
@@ -58,10 +58,10 @@ TEST(Patterns, RpcRoundTripVerifies) {
   const kernel::Machine mo = gen.generate(arch, {.optimize_connectors = true});
   EXPECT_GT(gen.last_stats().connectors_optimized, 0);
   EXPECT_TRUE(check_ltl_formula(mo, gen.props(), "F done",
-                                {.weak_fairness = true})
+                                ltl::fair())
                   .passed());
   EXPECT_TRUE(check_ltl_formula(mo, gen.props(), "F G done",
-                                {.weak_fairness = true})
+                                ltl::fair())
                   .passed());
 }
 
@@ -99,7 +99,7 @@ TEST(Patterns, PubSubDeliversToEverySubscriberEventually) {
   // rendezvous with the event-pool process blinks (see RpcRoundTripVerifies),
   // so a weakly-fair starvation run exists and is correctly reported.
   EXPECT_FALSE(check_ltl_formula(m, gen.props(), "F both",
-                                 {.weak_fairness = true})
+                                 ltl::fair())
                   .passed());
 }
 

@@ -1,186 +1,291 @@
 // pnpv: command-line verifier for PML models and ADL architectures.
 //
-// Usage:
 //   pnpv MODEL.pml [options]       verify a Promela-subset model
 //   pnpv DESIGN.arch [options]     verify a PnP architecture description
-//     --invariant EXPR      check EXPR (over globals) in every state
-//     --end-invariant EXPR  check EXPR in every terminal state
-//     --prop NAME=EXPR      define an LTL proposition (repeatable)
-//     --ltl FORMULA         check an LTL formula (repeatable; uses --prop)
-//     --fair                enforce weak process fairness for --ltl
-//     --no-deadlock-check   skip invalid-end-state detection
-//     --por                 partial-order reduction
-//     --bfs                 breadth-first (shortest counterexamples)
-//     --threads N           exploration threads (default 1 = sequential;
-//                           0 = hardware concurrency). Exact searches use
-//                           the sharded parallel engine, bitstate becomes a
-//                           seeded swarm, LTL races permuted nested-DFS
-//                           workers, and --resilience verifies fault
-//                           variants concurrently. Verdicts and exact state
-//                           counts are thread-count independent.
-//     --max-states N        search bound (default 20000000)
-//     --deadline S          wall-clock budget in seconds (partial result +
-//                           truncation reason when exceeded)
-//     --memory-mb N         approximate memory budget for the search
-//     --resilience          (.arch) verify under the default fault suite
-//                           (loss/duplication/reorder per connector, send
-//                           timeouts, single crash-restarts); exit 0 iff
-//                           every fault is tolerated
-//     --fault K:TARGET[:N]  (.arch, repeatable) replace the default suite
-//                           with the given faults; K is loss, duplication,
-//                           reorder, timeout (TARGET comp.port), or crash
-//                           (TARGET component); N = retry/crash budget
-//     --optimize            (.arch) substitute optimized connector models
-//     --minimize [weak|strong]
-//                           quotient every proctype by bisimulation before
-//                           exploring (default weak = also contracts
-//                           internal skip steps; LTL checks always use the
-//                           strong quotient). Verdicts are unchanged; state
-//                           counts shrink.
-//     --cache-dir DIR       (.arch) verify as a suite of content-addressed
-//                           obligations with verdicts persisted under DIR:
-//                           re-runs of an unchanged design answer from the
-//                           cache, a connector swap re-verifies only the
-//                           dirtied slice
-//     --dot                 (.arch) print the Graphviz rendering and exit
-//     --simulate N          print an N-step random simulation instead
-//     --seed N              simulation seed (default 1)
-//     --msc                 render the simulation as a message sequence chart
+//
+// Run `pnpv --help` for the full option list -- it is generated from the
+// same flag registry that parses the command line and the PNPV_* environment
+// variables, so the three can never drift apart. Every verification option
+// lands in one pnp::RunConfig field and both file kinds are driven through
+// one pnp::Session, which also provides the TTY heartbeat (--heartbeat /
+// --no-heartbeat) and the JSONL run ledger (--ledger DIR).
 //
 // Exit code: 0 if every requested check passed, 1 otherwise, 2 on usage or
 // model errors.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <functional>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "adl/adl.h"
-#include "explore/explorer.h"
-#include "ltl/product.h"
 #include "pml/parser.h"
 #include "pnp/pnp.h"
-#include "sim/simulator.h"
 #include "support/panic.h"
-#include "trace/msc.h"
 
 namespace {
 
 using namespace pnp;
 
 struct Args {
+  RunConfig cfg;
   std::string model_path;
-  std::string invariant;
-  std::string end_invariant;
-  std::vector<std::pair<std::string, std::string>> props;
-  std::vector<std::string> ltl;
-  bool fair = false;
-  bool deadlock_check = true;
-  bool por = false;
-  bool bfs = false;
-  bool optimize = false;
-  MinimizeMode minimize = MinimizeMode::Off;
-  std::string cache_dir;
   bool dot = false;
   bool resilience = false;
   std::vector<FaultSpec> fault_list;
-  std::uint64_t max_states = 20'000'000;
-  int threads = 1;
-  double deadline = 0.0;
-  std::uint64_t memory_mb = 0;
   int simulate = 0;
   std::uint64_t seed = 1;
   bool msc = false;
 };
 
-[[noreturn]] void usage(const char* msg = nullptr) {
-  if (msg) std::fprintf(stderr, "pnpv: %s\n", msg);
-  std::fprintf(
-      stderr,
-      "usage: pnpv MODEL.pml|DESIGN.arch [--invariant E] [--end-invariant E]\n"
-      "            [--prop NAME=E]... [--ltl F]... [--fair]\n"
-      "            [--no-deadlock-check] [--por] [--bfs] [--threads N]\n"
-      "            [--max-states N]\n"
-      "            [--deadline S] [--memory-mb N]\n"
-      "            [--minimize [weak|strong]] [--cache-dir DIR]\n"
-      "            [--optimize] [--dot] [--resilience [--fault K:T[:N]]...]\n"
-      "            [--simulate N [--seed N] [--msc]]\n");
+[[noreturn]] void usage(const std::string& msg);
+
+std::uint64_t parse_u64(const std::string& v, const char* flag) {
+  try {
+    return std::stoull(v);
+  } catch (...) {
+    usage(std::string(flag) + " needs a non-negative integer, got '" + v + "'");
+  }
+}
+
+/// Byte sizes with optional K/M/G suffix (binary units): "512M", "2G", "64".
+std::uint64_t parse_bytes(const std::string& v, const char* flag) {
+  std::size_t end = 0;
+  std::uint64_t n = 0;
+  try {
+    n = std::stoull(v, &end);
+  } catch (...) {
+    usage(std::string(flag) + " needs SIZE[K|M|G], got '" + v + "'");
+  }
+  std::uint64_t mult = 1;
+  if (end < v.size()) {
+    const std::string suffix = v.substr(end);
+    if (suffix == "K" || suffix == "k") mult = std::uint64_t{1} << 10;
+    else if (suffix == "M" || suffix == "m") mult = std::uint64_t{1} << 20;
+    else if (suffix == "G" || suffix == "g") mult = std::uint64_t{1} << 30;
+    else usage(std::string(flag) + ": unknown size suffix '" + suffix + "'");
+  }
+  return n * mult;
+}
+
+FaultSpec parse_fault(const std::string& v) {
+  const std::size_t c1 = v.find(':');
+  if (c1 == std::string::npos) usage("--fault needs KIND:TARGET[:BUDGET]");
+  const std::string kind = v.substr(0, c1);
+  std::string rest = v.substr(c1 + 1);
+  FaultSpec f;
+  const std::size_t c2 = rest.rfind(':');
+  if (c2 != std::string::npos &&
+      rest.find_first_not_of("0123456789", c2 + 1) == std::string::npos &&
+      c2 + 1 < rest.size()) {
+    f.budget = std::stoi(rest.substr(c2 + 1));
+    rest = rest.substr(0, c2);
+  }
+  f.target = rest;
+  if (kind == "loss") f.kind = FaultKind::MessageLoss;
+  else if (kind == "duplication") f.kind = FaultKind::MessageDuplication;
+  else if (kind == "reorder") f.kind = FaultKind::MessageReorder;
+  else if (kind == "timeout") f.kind = FaultKind::SendTimeout;
+  else if (kind == "crash") f.kind = FaultKind::CrashRestart;
+  else usage("unknown fault kind '" + kind + "'");
+  return f;
+}
+
+// -- the flag registry --------------------------------------------------------
+// One row per option: long name, PNPV_* environment variable (applied before
+// the command line, so flags override the environment), value placeholder
+// (nullptr = boolean), optional-value whitelist, help text, and the single
+// RunConfig/Args field it sets. --help is generated from this table.
+
+struct FlagDef {
+  const char* name;    // long option, without the leading "--"
+  const char* env;     // environment variable; nullptr = CLI only
+  const char* arg;     // value placeholder; nullptr = boolean flag
+  const char* accepts; // optional trailing value: space-separated whitelist
+  const char* help;
+  void (*apply)(Args&, const std::string&);  // booleans receive ""
+};
+
+const FlagDef kFlags[] = {
+    {"invariant", "PNPV_INVARIANT", "EXPR", nullptr,
+     "check EXPR (over globals) in every state",
+     [](Args& a, const std::string& v) { a.cfg.invariant_text = v; }},
+    {"end-invariant", "PNPV_END_INVARIANT", "EXPR", nullptr,
+     "check EXPR in every terminal state",
+     [](Args& a, const std::string& v) { a.cfg.end_invariant_text = v; }},
+    {"prop", nullptr, "NAME=EXPR", nullptr,
+     "define an LTL proposition (repeatable)",
+     [](Args& a, const std::string& v) {
+       const std::size_t eq = v.find('=');
+       if (eq == std::string::npos) usage("--prop needs NAME=EXPR");
+       a.cfg.props.emplace_back(v.substr(0, eq), v.substr(eq + 1));
+     }},
+    {"ltl", nullptr, "FORMULA", nullptr,
+     "check an LTL formula (repeatable; uses --prop)",
+     [](Args& a, const std::string& v) { a.cfg.ltl.push_back(v); }},
+    {"fair", "PNPV_FAIR", nullptr, nullptr,
+     "enforce weak process fairness for --ltl",
+     [](Args& a, const std::string&) { a.cfg.ltl_weak_fairness = true; }},
+    {"no-deadlock-check", nullptr, nullptr, nullptr,
+     "skip invalid-end-state detection",
+     [](Args& a, const std::string&) { a.cfg.check_deadlock = false; }},
+    {"por", "PNPV_POR", nullptr, nullptr, "partial-order reduction",
+     [](Args& a, const std::string&) { a.cfg.por = true; }},
+    {"bfs", "PNPV_BFS", nullptr, nullptr,
+     "breadth-first (shortest counterexamples)",
+     [](Args& a, const std::string&) { a.cfg.bfs = true; }},
+    {"threads", "PNPV_THREADS", "N", nullptr,
+     "exploration threads (1 = sequential, 0 = hardware concurrency); "
+     "verdicts are thread-count independent",
+     [](Args& a, const std::string& v) {
+       a.cfg.threads = std::atoi(v.c_str());
+       if (a.cfg.threads < 0) usage("--threads must be >= 0");
+     }},
+    {"max-states", "PNPV_MAX_STATES", "N", nullptr,
+     "search bound (default 20000000)",
+     [](Args& a, const std::string& v) {
+       a.cfg.max_states = parse_u64(v, "--max-states");
+     }},
+    {"deadline", "PNPV_DEADLINE", "S", nullptr,
+     "wall-clock budget in seconds (partial result + truncation reason when "
+     "exceeded)",
+     [](Args& a, const std::string& v) {
+       a.cfg.deadline_seconds = std::atof(v.c_str());
+     }},
+    {"memory", "PNPV_MEMORY", "SIZE[K|M|G]", nullptr,
+     "approximate memory budget for the search, in bytes",
+     [](Args& a, const std::string& v) {
+       a.cfg.memory_budget_bytes = parse_bytes(v, "--memory");
+     }},
+    {"memory-mb", nullptr, "N", nullptr,
+     "deprecated alias for --memory NM (mebibytes, converted once here)",
+     [](Args& a, const std::string& v) {
+       a.cfg.memory_budget_bytes =
+           parse_u64(v, "--memory-mb") * (std::uint64_t{1} << 20);
+     }},
+    {"optimize", "PNPV_OPTIMIZE", nullptr, nullptr,
+     "(.arch) substitute optimized connector models",
+     [](Args& a, const std::string&) { a.cfg.gen.optimize_connectors = true; }},
+    {"minimize", "PNPV_MINIMIZE", nullptr, "weak strong",
+     "quotient every proctype by bisimulation before exploring (default "
+     "weak; LTL always uses the strong quotient)",
+     [](Args& a, const std::string& v) {
+       a.cfg.minimize =
+           v == "strong" ? MinimizeMode::Strong : MinimizeMode::Weak;
+     }},
+    {"no-protocols", nullptr, nullptr, nullptr,
+     "(.arch) skip the per-connector port-protocol obligations",
+     [](Args& a, const std::string&) { a.cfg.connector_protocols = false; }},
+    {"cache-dir", "PNPV_CACHE_DIR", "DIR", nullptr,
+     "(.arch) persist obligation verdicts under DIR: re-runs of an "
+     "unchanged design answer from the cache, a connector swap re-verifies "
+     "only the dirtied slice",
+     [](Args& a, const std::string& v) { a.cfg.cache_dir = v; }},
+    {"ledger", "PNPV_LEDGER", "DIR", nullptr,
+     "append one JSONL record per run to DIR/ledger.jsonl (schema "
+     "pnp.run.v1: config digest, per-phase metrics, verdict, trail pointer)",
+     [](Args& a, const std::string& v) { a.cfg.ledger_dir = v; }},
+    {"heartbeat", "PNPV_HEARTBEAT", nullptr, nullptr,
+     "progress ticker on stderr even when it is not a terminal",
+     [](Args& a, const std::string&) { a.cfg.heartbeat_force = true; }},
+    {"no-heartbeat", nullptr, nullptr, nullptr,
+     "disable the progress ticker entirely",
+     [](Args& a, const std::string&) { a.cfg.heartbeat = false; }},
+    {"resilience", nullptr, nullptr, nullptr,
+     "(.arch) verify under the default fault suite (loss/duplication/"
+     "reorder per connector, send timeouts, single crash-restarts); exit 0 "
+     "iff every fault is tolerated",
+     [](Args& a, const std::string&) { a.resilience = true; }},
+    {"fault", nullptr, "K:TARGET[:N]", nullptr,
+     "(.arch, repeatable) replace the default fault suite; K is loss, "
+     "duplication, reorder, timeout (TARGET comp.port) or crash (TARGET "
+     "component); N = retry/crash budget",
+     [](Args& a, const std::string& v) {
+       a.fault_list.push_back(parse_fault(v));
+       a.resilience = true;
+     }},
+    {"dot", nullptr, nullptr, nullptr,
+     "(.arch) print the Graphviz rendering and exit",
+     [](Args& a, const std::string&) { a.dot = true; }},
+    {"simulate", nullptr, "N", nullptr,
+     "print an N-step random simulation instead of verifying",
+     [](Args& a, const std::string& v) { a.simulate = std::atoi(v.c_str()); }},
+    {"seed", nullptr, "N", nullptr, "simulation seed (default 1)",
+     [](Args& a, const std::string& v) { a.seed = parse_u64(v, "--seed"); }},
+    {"msc", nullptr, nullptr, nullptr,
+     "render the simulation as a message sequence chart",
+     [](Args& a, const std::string&) { a.msc = true; }},
+};
+
+void print_help(std::FILE* out) {
+  std::fprintf(out,
+               "usage: pnpv MODEL.pml|DESIGN.arch [options]\n\n"
+               "Every option can also be set through the environment "
+               "variable listed\nwith it (flags override the environment).\n"
+               "\noptions:\n");
+  for (const FlagDef& f : kFlags) {
+    std::string left = std::string("  --") + f.name;
+    if (f.arg != nullptr) left += std::string(" ") + f.arg;
+    if (f.accepts != nullptr) left += std::string(" [") + f.accepts + "]";
+    if (f.env != nullptr) left += std::string("  (") + f.env + ")";
+    std::fprintf(out, "%-34s %s\n", left.c_str(), f.help);
+  }
+  std::fprintf(out, "  --help%28s print this help and exit\n", "");
+}
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "pnpv: %s\n", msg.c_str());
+  print_help(stderr);
   std::exit(2);
+}
+
+const FlagDef* find_flag(const std::string& name) {
+  for (const FlagDef& f : kFlags)
+    if (name == f.name) return &f;
+  return nullptr;
 }
 
 Args parse_args(int argc, char** argv) {
   Args a;
+  // environment first, so explicit flags win
+  for (const FlagDef& f : kFlags) {
+    if (f.env == nullptr) continue;
+    const char* v = std::getenv(f.env);
+    if (v == nullptr || *v == '\0') continue;
+    f.apply(a, f.arg != nullptr || f.accepts != nullptr ? v : "");
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
-      return argv[++i];
-    };
-    if (arg == "--invariant") a.invariant = value();
-    else if (arg == "--end-invariant") a.end_invariant = value();
-    else if (arg == "--prop") {
-      const std::string v = value();
-      const std::size_t eq = v.find('=');
-      if (eq == std::string::npos) usage("--prop needs NAME=EXPR");
-      a.props.emplace_back(v.substr(0, eq), v.substr(eq + 1));
-    } else if (arg == "--ltl") a.ltl.push_back(value());
-    else if (arg == "--fair") a.fair = true;
-    else if (arg == "--no-deadlock-check") a.deadlock_check = false;
-    else if (arg == "--por") a.por = true;
-    else if (arg == "--bfs") a.bfs = true;
-    else if (arg == "--optimize") a.optimize = true;
-    else if (arg == "--minimize") {
-      a.minimize = MinimizeMode::Weak;
-      // the equivalence is an optional value: "--minimize strong"
-      if (i + 1 < argc && (std::strcmp(argv[i + 1], "weak") == 0 ||
-                           std::strcmp(argv[i + 1], "strong") == 0))
-        a.minimize = std::strcmp(argv[++i], "strong") == 0
-                         ? MinimizeMode::Strong
-                         : MinimizeMode::Weak;
+    if (arg == "--help" || arg == "-h") {
+      print_help(stdout);
+      std::exit(0);
     }
-    else if (arg == "--cache-dir") a.cache_dir = value();
-    else if (arg == "--dot") a.dot = true;
-    else if (arg == "--max-states") a.max_states = std::stoull(value());
-    else if (arg == "--threads") {
-      a.threads = std::stoi(value());
-      if (a.threads < 0) usage("--threads must be >= 0");
-    }
-    else if (arg == "--deadline") a.deadline = std::stod(value());
-    else if (arg == "--memory-mb") a.memory_mb = std::stoull(value());
-    else if (arg == "--resilience") a.resilience = true;
-    else if (arg == "--fault") {
-      const std::string v = value();
-      const std::size_t c1 = v.find(':');
-      if (c1 == std::string::npos) usage("--fault needs KIND:TARGET[:BUDGET]");
-      const std::string kind = v.substr(0, c1);
-      std::string rest = v.substr(c1 + 1);
-      FaultSpec f;
-      const std::size_t c2 = rest.rfind(':');
-      if (c2 != std::string::npos &&
-          rest.find_first_not_of("0123456789", c2 + 1) == std::string::npos &&
-          c2 + 1 < rest.size()) {
-        f.budget = std::stoi(rest.substr(c2 + 1));
-        rest = rest.substr(0, c2);
+    if (arg.rfind("--", 0) == 0) {
+      const FlagDef* f = find_flag(arg.substr(2));
+      if (f == nullptr) usage("unknown option " + arg);
+      std::string value;
+      if (f->arg != nullptr) {
+        if (i + 1 >= argc) usage("missing value for " + arg);
+        value = argv[++i];
+      } else if (f->accepts != nullptr && i + 1 < argc) {
+        // optional trailing value, consumed only when whitelisted
+        const std::string next = argv[i + 1];
+        std::istringstream ws(f->accepts);
+        std::string w;
+        while (ws >> w)
+          if (w == next) {
+            value = argv[++i];
+            break;
+          }
       }
-      f.target = rest;
-      if (kind == "loss") f.kind = FaultKind::MessageLoss;
-      else if (kind == "duplication") f.kind = FaultKind::MessageDuplication;
-      else if (kind == "reorder") f.kind = FaultKind::MessageReorder;
-      else if (kind == "timeout") f.kind = FaultKind::SendTimeout;
-      else if (kind == "crash") f.kind = FaultKind::CrashRestart;
-      else usage(("unknown fault kind '" + kind + "'").c_str());
-      a.fault_list.push_back(std::move(f));
-      a.resilience = true;
+      f->apply(a, value);
+    } else if (a.model_path.empty()) {
+      a.model_path = arg;
+    } else {
+      usage("more than one model file given");
     }
-    else if (arg == "--simulate") a.simulate = std::stoi(value());
-    else if (arg == "--seed") a.seed = std::stoull(value());
-    else if (arg == "--msc") a.msc = true;
-    else if (arg.rfind("--", 0) == 0) usage(("unknown option " + arg).c_str());
-    else if (a.model_path.empty()) a.model_path = arg;
-    else usage("more than one model file given");
   }
   if (a.model_path.empty()) usage("no model file given");
   return a;
@@ -197,28 +302,6 @@ std::string slurp(const std::string& path) {
   return ss.str();
 }
 
-void print_stats(const explore::Stats& st) {
-  const std::string note =
-      st.complete ? std::string()
-                  : std::string("  [truncated: ") +
-                        explore::truncation_reason_name(st.truncation) + "]";
-  const std::string threads_note =
-      st.threads > 1 ? " (" + std::to_string(st.threads) + " threads)" : "";
-  std::printf("  states stored: %llu, matched: %llu, transitions: %llu, "
-              "%.2f ms%s%s\n",
-              static_cast<unsigned long long>(st.states_stored),
-              static_cast<unsigned long long>(st.states_matched),
-              static_cast<unsigned long long>(st.transitions),
-              st.seconds * 1e3, threads_note.c_str(), note.c_str());
-  if (st.states_per_second() > 0.0 || st.store_bytes > 0)
-    std::printf("  throughput: %llu states/s, %.1f B/state (%.2f MiB store)\n",
-                static_cast<unsigned long long>(st.states_per_second()),
-                st.store_bytes_per_state(),
-                static_cast<double>(st.store_bytes) / (1024.0 * 1024.0));
-}
-
-using ExprParser = std::function<expr::Ref(const std::string&)>;
-
 int simulate(const Args& args, const kernel::Machine& m) {
   sim::Simulator s(m, args.seed);
   const std::size_t steps =
@@ -234,88 +317,6 @@ int simulate(const Args& args, const kernel::Machine& m) {
   return 0;
 }
 
-int run_checks(const Args& args, const kernel::Machine& m,
-               const ExprParser& parse_expr) {
-  bool all_ok = true;
-
-  // --minimize: explore the product of per-process bisimulation quotients
-  // instead of the raw machine. The weak quotient is used for the safety
-  // search; LTL always gets the strong one (weak tau-contraction is not
-  // stutter-sound).
-  std::optional<reduce::ReducedMachine> safety_red, ltl_red;
-  const kernel::Machine* safety_m = &m;
-  if (args.minimize != MinimizeMode::Off) {
-    safety_red.emplace(m, args.minimize == MinimizeMode::Weak
-                              ? reduce::Equivalence::Weak
-                              : reduce::Equivalence::Strong);
-    safety_m = &safety_red->machine();
-    std::printf("%s\n", safety_red->stats().summary().c_str());
-  }
-
-  {
-    explore::Options opt;
-    opt.max_states = args.max_states;
-    opt.check_deadlock = args.deadlock_check;
-    opt.por = args.por;
-    opt.bfs = args.bfs;
-    opt.deadline_seconds = args.deadline;
-    opt.memory_budget_bytes = args.memory_mb * (std::uint64_t{1} << 20);
-    opt.threads = args.threads;
-    if (!args.invariant.empty()) {
-      opt.invariant = parse_expr(args.invariant);
-      opt.invariant_name = args.invariant;
-    }
-    if (!args.end_invariant.empty()) {
-      opt.end_invariant = parse_expr(args.end_invariant);
-      opt.end_invariant_name = args.end_invariant;
-    }
-    const explore::Result r = explore::explore(*safety_m, opt);
-    std::printf("[%s] safety (assertions%s%s%s)\n", r.ok() ? "PASS" : "FAIL",
-                args.deadlock_check ? " + deadlock" : "",
-                args.invariant.empty() ? "" : " + invariant",
-                args.end_invariant.empty() ? "" : " + end-invariant");
-    print_stats(r.stats);
-    if (r.violation) {
-      std::printf("  %s: %s\n",
-                  explore::violation_kind_name(r.violation->kind),
-                  r.violation->message.c_str());
-      std::printf("%s", trace::to_string(r.violation->trace).c_str());
-      all_ok = false;
-    }
-  }
-
-  if (!args.ltl.empty()) {
-    const kernel::Machine* ltl_m = &m;
-    if (args.minimize == MinimizeMode::Strong) {
-      ltl_m = &safety_red->machine();
-    } else if (args.minimize == MinimizeMode::Weak) {
-      ltl_red.emplace(m, reduce::Equivalence::Strong);
-      ltl_m = &ltl_red->machine();
-      std::printf("LTL uses the strong quotient: %s\n",
-                  ltl_red->stats().summary().c_str());
-    }
-    ltl::PropertyContext props;
-    for (const auto& [name, text] : args.props)
-      props.add(name, parse_expr(text));
-    for (const std::string& formula : args.ltl) {
-      ltl::CheckOptions copt;
-      copt.max_states = args.max_states;
-      copt.weak_fairness = args.fair;
-      copt.threads = args.threads;
-      const ltl::LtlResult r = ltl::check_ltl(*ltl_m, props, formula, copt);
-      std::printf("[%s] LTL %s%s  (Buchi states: %zu)\n",
-                  r.holds ? "PASS" : "FAIL", formula.c_str(),
-                  args.fair ? " [weak fairness]" : "", r.buchi_states);
-      print_stats(r.stats);
-      if (r.violation) {
-        std::printf("%s", trace::to_string(r.violation->trace).c_str());
-        all_ok = false;
-      }
-    }
-  }
-  return all_ok ? 0 : 1;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,73 +325,32 @@ int main(int argc, char** argv) {
                        args.model_path.rfind(".arch") ==
                            args.model_path.size() - 5;
   try {
+    Session session(args.cfg);
+
     if (is_arch) {
       Architecture arch = adl::parse_architecture(slurp(args.model_path));
       if (args.dot) {
         std::printf("%s", arch.to_dot().c_str());
         return 0;
       }
-      if (args.resilience) {
-        ResilienceOptions ropt;
-        ropt.verify.max_states = args.max_states;
-        ropt.verify.check_deadlock = args.deadlock_check;
-        ropt.verify.por = args.por;
-        ropt.verify.bfs = args.bfs;
-        ropt.verify.deadline_seconds = args.deadline;
-        ropt.verify.memory_budget_bytes =
-            args.memory_mb * (std::uint64_t{1} << 20);
-        // --threads on a resilience run fans out across fault variants
-        // (each variant's own search stays sequential): the variants are
-        // many and small, so variant-level parallelism is the useful axis.
-        ropt.jobs = args.threads;
-        ropt.invariant_text = args.invariant;
-        ropt.gen.optimize_connectors = args.optimize;
-        const ResilienceReport rep = check_resilience(
-            arch,
-            args.fault_list.empty() ? default_fault_suite(arch)
-                                    : args.fault_list,
-            ropt);
-        std::printf("%s", rep.report().c_str());
-        return rep.baseline_passed() && rep.all_tolerated() ? 0 : 1;
+      if (args.simulate > 0) {
+        const kernel::Machine m =
+            session.generator().generate(arch, args.cfg.gen);
+        std::printf("%s", arch.describe().c_str());
+        return simulate(args, m);
       }
-      if (!args.cache_dir.empty()) {
-        // cached obligation-suite path: local per-connector protocol
-        // obligations + global properties, verdicts persisted under DIR
-        SuiteOptions sopt;
-        sopt.verify.max_states = args.max_states;
-        sopt.verify.check_deadlock = args.deadlock_check;
-        sopt.verify.por = args.por;
-        sopt.verify.bfs = args.bfs;
-        sopt.verify.deadline_seconds = args.deadline;
-        sopt.verify.memory_budget_bytes =
-            args.memory_mb * (std::uint64_t{1} << 20);
-        sopt.verify.threads = args.threads;
-        sopt.verify.minimize = args.minimize;
-        sopt.gen.optimize_connectors = args.optimize;
-        sopt.invariant_text = args.invariant;
-        sopt.end_invariant_text = args.end_invariant;
-        sopt.props = args.props;
-        sopt.ltl = args.ltl;
-        sopt.ltl_weak_fairness = args.fair;
-        sopt.cache_dir = args.cache_dir;
-        const SuiteReport rep = verify_obligations(arch, sopt);
-        std::printf("%s", rep.report().c_str());
-        return rep.all_passed() ? 0 : 1;
-      }
-      ModelGenerator gen;
-      const kernel::Machine m =
-          gen.generate(arch, {.optimize_connectors = args.optimize});
       std::printf("%s", arch.describe().c_str());
-      std::printf("generation: %s\n", gen.last_stats().summary().c_str());
-      if (args.simulate > 0) return simulate(args, m);
-      ModelGenerator* gp = &gen;
-      return run_checks(args, m, [gp](const std::string& text) {
-        return gp->parse_expr_text(text).ref;
-      });
+      const RunReport rep =
+          args.resilience
+              ? session.verify_resilience(arch, args.fault_list)
+              : session.verify(arch);
+      std::printf("%s", rep.report().c_str());
+      return rep.passed ? 0 : 1;
     }
 
-    if (!args.cache_dir.empty())
+    if (!args.cfg.cache_dir.empty())
       usage("--cache-dir applies to .arch designs only");
+    if (args.resilience) usage("--resilience applies to .arch designs only");
     model::SystemSpec sys = pml::parse(slurp(args.model_path));
     kernel::Machine m(sys);
     std::printf("model: %s  (%zu processes, %zu channels, %zu globals)\n",
@@ -398,9 +358,12 @@ int main(int argc, char** argv) {
                 sys.channels.size(), sys.globals.size());
     if (args.simulate > 0) return simulate(args, m);
     model::SystemSpec* sp = &sys;
-    return run_checks(args, m, [sp](const std::string& text) {
-      return pml::parse_global_expr(*sp, text);
-    });
+    const RunReport rep = session.verify_machine(
+        m, args.model_path, [sp](const std::string& text) {
+          return pml::parse_global_expr(*sp, text);
+        });
+    std::printf("%s", rep.report().c_str());
+    return rep.passed ? 0 : 1;
   } catch (const ModelError& e) {
     std::fprintf(stderr, "pnpv: %s\n", e.what());
     return 2;
