@@ -13,6 +13,7 @@
 // against the committed baseline) and uploaded as the CI bench artifact.
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -167,6 +168,50 @@ int main(int argc, char** argv) {
                                          100.0);
   }
 
+  // Spill overhead on the fig13 full space: best-of-N wall time of the
+  // in-RAM exact run vs the same search forced through the mmap spill path
+  // (memory budget far below the footprint, so the visited-key arena and
+  // intern pools go disk-backed early). State counts must be identical --
+  // spill is an exact mode, not an approximation. The acceptance bar is
+  // <= 15% (scripts/bench.sh gates this row).
+  double spill_base_s = 0.0, spill_s = 0.0, spill_overhead_pct = 0.0;
+  std::uint64_t spill_states = 0;
+  {
+    const int reps = 3;
+    const std::string spill_dir =
+        (std::filesystem::temp_directory_path() / "pnp_bench_spill").string();
+    auto best = [&](bool spill) {
+      double best_s = 1e99;
+      std::uint64_t states = 0;
+      for (int i = 0; i < reps; ++i) {
+        explore::Options opt;
+        opt.want_trace = false;
+        opt.invariant = inv;
+        opt.invariant_name = "safety";
+        if (spill) {
+          opt.spill_dir = spill_dir;
+          opt.memory_budget_bytes = std::uint64_t{1} << 18;
+        }
+        const explore::Result r = explore::explore(m, opt);
+        ok = ok && r.ok() && r.stats.complete;
+        if (spill) ok = ok && r.stats.spilled;
+        best_s = std::min(best_s, r.stats.seconds);
+        states = r.stats.states_stored;
+      }
+      return std::make_pair(best_s, states);
+    };
+    const auto [base_s, base_states] = best(false);
+    const auto [disk_s, disk_states] = best(true);
+    ok = ok && base_states == disk_states;
+    spill_base_s = base_s;
+    spill_s = disk_s;
+    spill_states = disk_states;
+    spill_overhead_pct =
+        std::max(0.0, (disk_s / std::max(base_s, 1e-9) - 1.0) * 100.0);
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir, ec);
+  }
+
   if (json) {
     std::printf("[\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -184,6 +229,11 @@ int main(int argc, char** argv) {
                 "\"obs_seconds\": %.6f, \"overhead_pct\": %.2f}\n",
                 static_cast<unsigned long long>(obs_states), obs_base_s,
                 obs_instr_s, obs_overhead_pct);
+    std::printf("  ,{\"bench\": \"spill_overhead\", \"threads\": 1, "
+                "\"states\": %llu, \"base_seconds\": %.6f, "
+                "\"spill_seconds\": %.6f, \"overhead_pct\": %.2f}\n",
+                static_cast<unsigned long long>(spill_states), spill_base_s,
+                spill_s, spill_overhead_pct);
     std::printf("]\n");
   } else {
     std::printf("parallel exploration throughput (v1 bridge, %d car(s)/side, "
@@ -206,6 +256,9 @@ int main(int argc, char** argv) {
     std::printf("\nobservability overhead (recorder attached, best of N): "
                 "%.3fs -> %.3fs = %.2f%%\n",
                 obs_base_s, obs_instr_s, obs_overhead_pct);
+    std::printf("spill overhead (mmap disk-backed stores, best of N): "
+                "%.3fs -> %.3fs = %.2f%%\n",
+                spill_base_s, spill_s, spill_overhead_pct);
     std::printf("exact runs stored identical state counts at every thread "
                 "count: %s\n",
                 verdict(ok).c_str());

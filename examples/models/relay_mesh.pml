@@ -1,0 +1,61 @@
+/* Two independent relay pipelines racing into a shared tally -- a model
+ * sized for durability soaks (a few hundred thousand states), not for
+ * quick smoke runs. The interleaving space is the product of the two
+ * pipelines' schedules, so it is large while every run stays exact.
+ *
+ *   pnpv relay_mesh.pml --invariant "tally <= 10"
+ *   scripts/soak_resume.sh          # SIGKILL/resume equivalence soak
+ */
+chan a1 = [3] of { byte };
+chan a2 = [3] of { byte };
+chan b1 = [3] of { byte };
+chan b2 = [3] of { byte };
+byte tally;
+
+active proctype SourceA() {
+  byte i = 0;
+  do
+  :: i < 5 -> a1!i; i++
+  :: i >= 5 -> break
+  od
+}
+
+active proctype RelayA() {
+  byte v;
+  end: do
+  :: a1?v -> a2!v
+  od
+}
+
+active proctype SinkA() {
+  byte v;
+  byte expect = 0;
+  do
+  :: expect < 5 -> a2?v; assert(v == expect); expect++; tally++
+  :: expect >= 5 -> break
+  od
+}
+
+active proctype SourceB() {
+  byte i = 0;
+  do
+  :: i < 5 -> b1!i; i++
+  :: i >= 5 -> break
+  od
+}
+
+active proctype RelayB() {
+  byte v;
+  end: do
+  :: b1?v -> b2!v
+  od
+}
+
+active proctype SinkB() {
+  byte v;
+  byte expect = 0;
+  do
+  :: expect < 5 -> b2?v; assert(v == expect); expect++; tally++
+  :: expect >= 5 -> break
+  od
+}

@@ -79,6 +79,27 @@ awk '
   END { if (!seen) { print "FAIL no obs_overhead row" > "/dev/stderr"; exit 1 } }
 ' "$out" || { echo "observability overhead gate FAILED" >&2; exit 1; }
 
+# Durability gate: spilling the visited stores to mmap'd disk files must
+# cost <= 15% wall time against the in-RAM run on the fig13 full space
+# (same states either way -- spill is exact). Absolute bound, so it runs
+# in full and smoke modes alike.
+awk '
+  /"bench": "spill_overhead"/ {
+    seen = 1
+    if (match($0, /"overhead_pct": [0-9.]+/)) {
+      pct = substr($0, RSTART + 16, RLENGTH - 16) + 0
+      if (pct > 15.0) {
+        printf "FAIL spill overhead %.2f%% exceeds 15%% bar\n",
+               pct > "/dev/stderr"
+        exit 1
+      }
+      printf "spill overhead gate passed (%.2f%% <= 15%%)\n",
+             pct > "/dev/stderr"
+    }
+  }
+  END { if (!seen) { print "FAIL no spill_overhead row" > "/dev/stderr"; exit 1 } }
+' "$out" || { echo "spill overhead gate FAILED" >&2; exit 1; }
+
 # Smoke runs also emit a sample run ledger (BENCH_ledger/ledger.jsonl) so CI
 # archives a machine-readable record of a real verification run alongside
 # the throughput rows.

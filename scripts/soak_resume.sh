@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Crash/resume soak: SIGKILLs a checkpointing pnpv run mid-search several
+# times, resuming from the committed pnp.ckpt.v1 snapshot after each kill,
+# and asserts the final verdict AND stored-state count are identical to an
+# uninterrupted reference run. This is the end-to-end durability guarantee:
+# a run chain cut by crashes converges on exactly the uninterrupted result.
+#
+#   scripts/soak_resume.sh [KILLS] [BUILD_DIR]
+#
+#   KILLS      number of SIGKILL/resume cycles (default 6)
+#   BUILD_DIR  CMake build tree holding tools/pnpv (default build)
+#
+# Kill delays sweep a deterministic grid across the run's wall time, so the
+# cuts land at different exploration depths; a cycle whose process finishes
+# before the kill fires simply completes (and later cycles resume from its
+# final, empty-frontier checkpoint -- also a valid resume path).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+kills=${1:-6}
+build=${2:-build}
+pnpv=$build/tools/pnpv
+model=examples/models/relay_mesh.pml
+inv="tally <= 10"
+stride=150000
+
+[[ -x "$pnpv" ]] || { echo "soak: $pnpv not built" >&2; exit 2; }
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+parse_states() { grep -oE '[0-9]+ states' "$1" | head -1 | cut -d' ' -f1; }
+parse_verdict() { grep -oE '^verdict: (PASS|FAIL)' "$1" | cut -d' ' -f2; }
+
+echo "soak: reference run (uninterrupted)..." >&2
+"$pnpv" "$model" --invariant "$inv" > "$work/ref.out"
+ref_verdict=$(parse_verdict "$work/ref.out")
+ref_states=$(parse_states "$work/ref.out")
+echo "soak: reference verdict=$ref_verdict states=$ref_states" >&2
+[[ -n "$ref_states" && "$ref_states" -gt 0 ]] || {
+  echo "soak: could not parse reference state count" >&2; exit 2; }
+
+args=("$model" --invariant "$inv"
+      --checkpoint-dir "$work/ckpt" --checkpoint-every "$stride" --resume)
+
+for i in $(seq 1 "$kills"); do
+  # deterministic delay grid over ~[0.2, 1.2]s: cuts at assorted depths
+  delay=$(awk -v i="$i" -v n="$kills" 'BEGIN { printf "%.2f", 0.2 + i / n }')
+  "$pnpv" "${args[@]}" > "$work/cycle$i.out" 2>&1 &
+  pid=$!
+  sleep "$delay"
+  if kill -9 "$pid" 2>/dev/null; then
+    echo "soak: cycle $i: SIGKILL after ${delay}s" >&2
+  else
+    echo "soak: cycle $i: run finished before the ${delay}s kill" >&2
+  fi
+  wait "$pid" 2>/dev/null || true
+done
+
+echo "soak: final resume to completion..." >&2
+"$pnpv" "${args[@]}" > "$work/final.out"
+fin_verdict=$(parse_verdict "$work/final.out")
+fin_states=$(parse_states "$work/final.out")
+echo "soak: final verdict=$fin_verdict states=$fin_states" >&2
+
+fail=0
+[[ "$fin_verdict" == "$ref_verdict" ]] || {
+  echo "FAIL verdict diverged after $kills kill/resume cycles:" \
+       "$ref_verdict -> $fin_verdict" >&2; fail=1; }
+[[ "$fin_states" == "$ref_states" ]] || {
+  echo "FAIL state count diverged after $kills kill/resume cycles:" \
+       "$ref_states -> $fin_states" >&2; fail=1; }
+if [[ $fail -ne 0 ]]; then
+  cat "$work/final.out" >&2
+  exit 1
+fi
+echo "soak: PASS -- $kills SIGKILL/resume cycles converged on the" \
+     "uninterrupted verdict ($ref_verdict, $ref_states states)" >&2

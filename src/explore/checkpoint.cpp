@@ -1,0 +1,297 @@
+#include "explore/checkpoint.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "support/hash.h"
+#include "support/panic.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace pnp::explore {
+
+namespace {
+
+constexpr char kMagic[] = "pnp.ckpt.v1\n";
+constexpr std::size_t kMagicLen = 12;
+
+constexpr std::uint8_t kSecVisited = 1;
+constexpr std::uint8_t kSecFrontier = 2;
+constexpr std::uint8_t kSecCounters = 3;
+constexpr std::uint8_t kSecEnd = 0;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t payload_hash(const std::string& payload) {
+  return hash_bytes({reinterpret_cast<const std::uint8_t*>(payload.data()),
+                     payload.size()});
+}
+
+/// Serializes one state record: state_size i32 slot values + i32 atomic_pid.
+void put_state(std::string& out, const kernel::State& s) {
+  for (const kernel::Value v : s.mem) put_i32(out, v);
+  put_i32(out, s.atomic_pid);
+}
+
+void append_section(std::string& out, std::uint8_t id,
+                    const std::string& payload) {
+  out.push_back(static_cast<char>(id));
+  put_u64(out, payload.size());
+  put_u64(out, payload_hash(payload));
+  out += payload;
+}
+
+/// Bounds-checked little-endian reader over the checkpoint bytes.
+class ByteReader {
+ public:
+  ByteReader(const std::string& bytes, const std::string& path)
+      : s_(bytes), path_(path) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(s_[at_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(s_[at_ + i]))
+           << (8 * i);
+    at_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(s_[at_ + i]))
+           << (8 * i);
+    at_ += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::string bytes(std::size_t n) {
+    need(n);
+    std::string out = s_.substr(at_, n);
+    at_ += n;
+    return out;
+  }
+  bool done() const { return at_ == s_.size(); }
+  void need(std::size_t n) const {
+    PNP_CHECK(at_ + n <= s_.size(),
+              "checkpoint " + path_ + " is truncated or corrupt");
+  }
+
+ private:
+  const std::string& s_;
+  std::string path_;
+  std::size_t at_ = 0;
+};
+
+kernel::State read_state(ByteReader& r, std::uint32_t state_size) {
+  kernel::State s;
+  s.mem.resize(state_size);
+  for (std::uint32_t i = 0; i < state_size; ++i) s.mem[i] = r.i32();
+  s.atomic_pid = r.i32();
+  return s;
+}
+
+/// Writes `data` to `path` with an fsync before returning (POSIX); plain
+/// buffered write elsewhere. Raises ModelError on any failure.
+void write_file_synced(const std::string& path, const std::string& data) {
+#if !defined(_WIN32)
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  PNP_CHECK(fd >= 0, "checkpoint: cannot create " + path);
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(path.c_str());
+      raise_model_error("checkpoint: write failed for " + path +
+                        " (disk full?)");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    raise_model_error("checkpoint: fsync failed for " + path);
+  }
+  ::close(fd);
+#else
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PNP_CHECK(static_cast<bool>(out), "checkpoint: cannot create " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.close();
+  PNP_CHECK(static_cast<bool>(out), "checkpoint: write failed for " + path);
+#endif
+}
+
+void fsync_parent_dir(const std::string& path) {
+#if !defined(_WIN32)
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+void write_checkpoint(const std::string& path, const CheckpointMeta& meta,
+                      const std::function<void(const StateSink&)>& emit_visited,
+                      const std::function<void(const StateSink&)>& emit_frontier) {
+  std::string out;
+  out.append(kMagic, kMagicLen);
+  put_u32(out, meta.state_size);
+  put_u32(out, static_cast<std::uint32_t>(meta.config_digest.size()));
+  out += meta.config_digest;
+
+  // VISITED: u64 count, then raw state records.
+  {
+    std::string payload;
+    std::uint64_t count = 0;
+    put_u64(payload, 0);  // patched below
+    emit_visited([&](const kernel::State& s, std::uint32_t) {
+      put_state(payload, s);
+      ++count;
+    });
+    std::string fixed;
+    put_u64(fixed, count);
+    payload.replace(0, 8, fixed);
+    append_section(out, kSecVisited, payload);
+  }
+
+  // FRONTIER: u64 count, then (u32 depth, state) records.
+  {
+    std::string payload;
+    std::uint64_t count = 0;
+    put_u64(payload, 0);
+    emit_frontier([&](const kernel::State& s, std::uint32_t depth) {
+      put_u32(payload, depth);
+      put_state(payload, s);
+      ++count;
+    });
+    std::string fixed;
+    put_u64(fixed, count);
+    payload.replace(0, 8, fixed);
+    append_section(out, kSecFrontier, payload);
+  }
+
+  // COUNTERS: stat baselines + obs counter totals.
+  {
+    std::string payload;
+    put_u64(payload, meta.states_matched);
+    put_u64(payload, meta.transitions);
+    put_u64(payload, meta.seq);
+    put_u64(payload, meta.counters.size());
+    for (const std::uint64_t c : meta.counters) put_u64(payload, c);
+    append_section(out, kSecCounters, payload);
+  }
+
+  append_section(out, kSecEnd, std::string());
+
+  const std::string tmp = path + ".tmp";
+  write_file_synced(tmp, out);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    raise_model_error("checkpoint: cannot commit " + path + ": " +
+                      ec.message());
+  }
+  fsync_parent_dir(path);
+}
+
+Checkpoint read_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PNP_CHECK(static_cast<bool>(in), "checkpoint: cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  PNP_CHECK(bytes.size() >= kMagicLen &&
+                std::memcmp(bytes.data(), kMagic, kMagicLen) == 0,
+            "checkpoint " + path +
+                " is not a pnp.ckpt.v1 file (bad magic/version)");
+
+  ByteReader r(bytes, path);
+  r.bytes(kMagicLen);  // skip magic
+  Checkpoint c;
+  c.meta.state_size = r.u32();
+  const std::uint32_t digest_len = r.u32();
+  PNP_CHECK(digest_len <= 4096, "checkpoint " + path + ": absurd digest length");
+  c.meta.config_digest = r.bytes(digest_len);
+
+  bool saw_end = false;
+  while (!saw_end) {
+    const std::uint8_t id = r.u8();
+    const std::uint64_t len = r.u64();
+    const std::uint64_t sum = r.u64();
+    const std::string payload = r.bytes(static_cast<std::size_t>(len));
+    PNP_CHECK(payload_hash(payload) == sum,
+              "checkpoint " + path + ": section checksum mismatch (corrupt)");
+    ByteReader pr(payload, path);
+    switch (id) {
+      case kSecVisited: {
+        const std::uint64_t count = pr.u64();
+        c.visited.reserve(static_cast<std::size_t>(count));
+        for (std::uint64_t i = 0; i < count; ++i)
+          c.visited.push_back(read_state(pr, c.meta.state_size));
+        PNP_CHECK(pr.done(), "checkpoint " + path + ": trailing visited bytes");
+        break;
+      }
+      case kSecFrontier: {
+        const std::uint64_t count = pr.u64();
+        c.frontier.reserve(static_cast<std::size_t>(count));
+        for (std::uint64_t i = 0; i < count; ++i) {
+          Checkpoint::Pending p;
+          p.depth = pr.u32();
+          p.state = read_state(pr, c.meta.state_size);
+          c.frontier.push_back(std::move(p));
+        }
+        PNP_CHECK(pr.done(), "checkpoint " + path + ": trailing frontier bytes");
+        break;
+      }
+      case kSecCounters: {
+        c.meta.states_matched = pr.u64();
+        c.meta.transitions = pr.u64();
+        c.meta.seq = pr.u64();
+        const std::uint64_t n = pr.u64();
+        PNP_CHECK(n <= 4096, "checkpoint " + path + ": absurd counter count");
+        c.meta.counters.resize(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+          c.meta.counters[static_cast<std::size_t>(i)] = pr.u64();
+        PNP_CHECK(pr.done(), "checkpoint " + path + ": trailing counter bytes");
+        break;
+      }
+      case kSecEnd:
+        saw_end = true;
+        break;
+      default:
+        raise_model_error("checkpoint " + path + ": unknown section id " +
+                          std::to_string(static_cast<int>(id)));
+    }
+  }
+  PNP_CHECK(r.done(), "checkpoint " + path + ": trailing bytes after END");
+  return c;
+}
+
+}  // namespace pnp::explore

@@ -1,0 +1,86 @@
+// pnp.ckpt.v1: atomically-committed exploration checkpoints.
+//
+// A checkpoint is a consistent cut of an exact search: every state inserted
+// into the visited set so far, plus the frontier -- the subset of visited
+// states that may not have been fully expanded yet (DFS stack frames, the
+// BFS queue tail, or the parallel workers' queues at a quiesce barrier).
+// Re-seeding the visited set and re-expanding the frontier reaches exactly
+// the states the uninterrupted run would have reached: re-expansion of a
+// partially-expanded state is idempotent (its explored successors dedup
+// against the visited set) and violations are detected at expansion time.
+//
+// States are serialized in raw value-array form (Layout slot values +
+// atomic_pid), NOT in compressed-key form: the snapshot is therefore
+// independent of the compressor's intern tables, the stripe count, the
+// engine (DFS/BFS/parallel), and the thread count -- the tables and arenas
+// are rebuilt deterministically when the states are re-inserted on resume.
+//
+// File layout (all integers little-endian):
+//   "pnp.ckpt.v1\n"                       12-byte magic + version
+//   u32 state_size                        Layout::size() of the machine
+//   u32 digest_len, digest bytes          RunConfig digest (validated on
+//                                         resume: a checkpoint never
+//                                         continues under another config)
+//   sections, each:
+//     u8  id (1=VISITED 2=FRONTIER 3=COUNTERS 0=END)
+//     u64 payload_len
+//     u64 checksum  (support/hash.h hash_bytes over the payload)
+//     payload bytes
+//   END section (id 0, len 0, checksum 0) terminates the file.
+//
+// Commit protocol: write to <path>.tmp, fsync, rename over <path>, fsync
+// the directory -- a crash mid-write leaves either the old checkpoint or
+// none, never a torn one; a torn .tmp is ignored by readers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/state.h"
+
+namespace pnp::explore {
+
+/// Header + counter baselines carried alongside the state sections.
+struct CheckpointMeta {
+  std::string config_digest;
+  std::uint32_t state_size = 0;
+  /// Stat baselines so a resumed run's totals continue from the snapshot.
+  std::uint64_t states_matched = 0;
+  std::uint64_t transitions = 0;
+  /// How many checkpoints this run chain has committed (sequence number).
+  std::uint64_t seq = 0;
+  /// obs::Counter totals at snapshot time (forensics; kCount entries).
+  std::vector<std::uint64_t> counters;
+};
+
+struct Checkpoint {
+  CheckpointMeta meta;
+  /// Every state inserted into the visited set, raw value-array form.
+  std::vector<kernel::State> visited;
+  struct Pending {
+    kernel::State state;
+    std::uint32_t depth = 0;
+  };
+  /// The not-fully-expanded subset of `visited`, with search depths.
+  std::vector<Pending> frontier;
+};
+
+/// Record sink passed to the streaming emitters of write_checkpoint().
+using StateSink = std::function<void(const kernel::State&, std::uint32_t)>;
+
+/// Atomically commits a checkpoint. `emit_visited` / `emit_frontier` are
+/// called once each and must invoke the sink per record (the depth argument
+/// is ignored for visited records). Raises ModelError on any I/O failure;
+/// the previous checkpoint at `path`, if any, survives a failed commit.
+void write_checkpoint(const std::string& path, const CheckpointMeta& meta,
+                      const std::function<void(const StateSink&)>& emit_visited,
+                      const std::function<void(const StateSink&)>& emit_frontier);
+
+/// Reads and fully validates a checkpoint: magic/version, section
+/// checksums, record framing. Raises ModelError on corruption or
+/// truncation -- a damaged checkpoint is rejected, never partially applied.
+Checkpoint read_checkpoint(const std::string& path);
+
+}  // namespace pnp::explore

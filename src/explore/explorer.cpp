@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <thread>
 #include <unordered_set>
+#include <utility>
 
+#include "explore/checkpoint.h"
 #include "explore/por.h"
 #include "explore/visited.h"
 #include "kernel/compress.h"
 #include "support/hash.h"
 #include "support/panic.h"
+#include "support/spill.h"
 
 namespace pnp::explore {
 
@@ -35,6 +39,10 @@ const char* truncation_reason_name(TruncationReason r) {
     case TruncationReason::MemoryBudget: return "memory budget exceeded";
     case TruncationReason::BitstateApprox:
       return "bitstate hashing (probabilistic coverage)";
+    case TruncationReason::MemorySpilled:
+      return "memory budget exceeded (stores spilled to disk)";
+    case TruncationReason::Interrupted:
+      return "interrupted (final checkpoint written)";
   }
   return "?";
 }
@@ -134,11 +142,29 @@ class FlatRun {
       dirty_.resize(n);
     }
     if (opt.obs != nullptr) blk_ = opt.obs->recorder().open_block();
+    if (!opt.checkpoint_path.empty() || opt.resume_from != nullptr) {
+      PNP_CHECK(!opt.bitstate,
+                "checkpointing requires exact mode (bitstate stores hashes, "
+                "not states)");
+      PNP_CHECK(!opt.por || opt.bfs,
+                "checkpointing with partial-order reduction requires BFS or "
+                "threads > 1 (the sequential-DFS ample proviso depends on "
+                "the search stack, which a resumed run cannot reconstruct)");
+    }
+    if (opt.resume_from != nullptr) {
+      PNP_CHECK(opt.resume_from->meta.state_size == m.layout().size(),
+                "checkpoint state size does not match this machine");
+    }
   }
 
   Result go() {
     start_ = std::chrono::steady_clock::now();
     Result r = opt_.bfs ? bfs() : dfs();
+    // Final checkpoint: persist the cut whenever the search ended without a
+    // verdict -- on truncation/interrupt it is the resume point, and for a
+    // complete pass it is an empty-frontier snapshot a resume returns from
+    // immediately.
+    if (ckpt_enabled() && !r.violation.has_value()) commit_checkpoint();
     r.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
             .count();
@@ -153,6 +179,12 @@ class FlatRun {
                              ? truncation_
                              : (opt_.bitstate ? TruncationReason::BitstateApprox
                                               : TruncationReason::None);
+    r.stats.spilled = spilled_;
+    if (spilled_)
+      r.stats.spill_bytes =
+          visited_.spill_bytes() + compressor_.spill_bytes();
+    r.stats.checkpoints_written = ckpt_written_;
+    r.stats.resumed = opt_.resume_from != nullptr;
     if (blk_ != nullptr) {
       publish_counters();
       obs::Recorder& rec = opt_.obs->recorder();
@@ -239,10 +271,18 @@ class FlatRun {
     }
     if (visited_.size() >= opt_.max_states) {
       truncate(TruncationReason::MaxStates);
-      return true;  // stored, but not expanded
+      // stored, but not expanded: remember it for the final checkpoint so a
+      // resume with a higher limit picks up exactly where this run stopped
+      if (ckpt_enabled())
+        overflow_.push_back(
+            {State(ns), static_cast<std::uint32_t>(stack_.size())});
+      return true;
     }
     if (static_cast<int>(stack_.size()) > opt_.max_depth) {
       truncate(TruncationReason::MaxDepth);
+      if (ckpt_enabled())
+        overflow_.push_back(
+            {State(ns), static_cast<std::uint32_t>(stack_.size())});
       return true;
     }
     sink.child = ns;  // the one copy a genuinely fresh state costs
@@ -259,7 +299,13 @@ class FlatRun {
     };
     const OnStackFn* proviso = opt_.por ? &on_stack_fn : nullptr;
 
-    {
+    if (opt_.resume_from != nullptr) {
+      // Resumed search: the visited set is re-seeded from the snapshot and
+      // the frontier states wait in seeds_; each becomes a stack root when
+      // the previous one's subtree is exhausted. POR is rejected here (see
+      // the constructor), so on_stack_ stays empty.
+      seed_resume();
+    } else {
       Frame root;
       root.state = m_.initial();
       visited_.insert(root_key(root.state));
@@ -273,13 +319,19 @@ class FlatRun {
 
     const std::uint64_t per_frame_bytes =
         sizeof(Frame) + 2 * state_bytes();  // state vector + raw key
-    while (!stack_.empty()) {
+    while (true) {
+      if (stack_.empty() && !next_seed()) break;
       if (stopped()) {
         complete_ = false;
         break;
       }
+      if (interrupt_requested()) {
+        truncate(TruncationReason::Interrupted);
+        break;
+      }
       if (over_budget(stack_.size() * per_frame_bytes)) break;
       observe(stack_.size() * per_frame_bytes);
+      maybe_checkpoint();
       Frame& f = stack_.back();
       const bool first = !f.checked;
       if (first) {
@@ -384,6 +436,7 @@ class FlatRun {
     }
     if (visited_.size() >= opt_.max_states) {
       truncate(TruncationReason::MaxStates);
+      if (ckpt_enabled()) overflow_.push_back({State(ns), 0});
       return true;
     }
     nodes_.push_back({State(ns),
@@ -413,7 +466,20 @@ class FlatRun {
       return t;
     };
 
-    {
+    if (opt_.resume_from != nullptr) {
+      // Resumed search: frontier states re-enter the queue as parentless
+      // roots, so a counterexample trail found after resume starts at a
+      // checkpointed frontier state rather than the initial state.
+      seed_resume();
+      for (Checkpoint::Pending& p : seeds_) {
+        BfsNode n{std::move(p.state), {}, -1, {}};
+        compressor_.compress_full(n.state, key_buf_, ids_tmp_.data());
+        ++compress_full_;
+        n.ids = ids_tmp_;
+        nodes_.push_back(std::move(n));
+      }
+      seeds_.clear();
+    } else {
       BfsNode root{m_.initial(), {}, -1, {}};
       visited_.insert(root_key(root.state));
       if (!opt_.bitstate) root.ids = ids_tmp_;
@@ -421,14 +487,22 @@ class FlatRun {
     }
 
     const std::uint64_t per_node_bytes = sizeof(BfsNode) + state_bytes();
-    for (std::int64_t head = 0;
-         head < static_cast<std::int64_t>(nodes_.size()); ++head) {
+    // bfs_head_ is a member so a checkpoint cut knows where the unexpanded
+    // tail begins; on a clean exit it equals nodes_.size() (empty frontier).
+    for (bfs_head_ = 0;
+         bfs_head_ < static_cast<std::int64_t>(nodes_.size()); ++bfs_head_) {
+      const std::int64_t head = bfs_head_;
       if (stopped()) {
         complete_ = false;
         break;
       }
+      if (interrupt_requested()) {
+        truncate(TruncationReason::Interrupted);
+        break;
+      }
       if (over_budget(nodes_.size() * per_node_bytes)) break;
       observe(nodes_.size() * per_node_bytes);
+      maybe_checkpoint();
       if (auto v = invariant_violation(
               m_, opt_, nodes_[static_cast<std::size_t>(head)].state)) {
         v->trace = build_trace(head, nullptr, nullptr);
@@ -543,13 +617,135 @@ class FlatRun {
         return true;
       }
     }
-    if (opt_.memory_budget_bytes > 0 &&
-        store_bytes() + frontier_bytes + observer_bytes() >=
-            opt_.memory_budget_bytes) {
-      truncate(TruncationReason::MemoryBudget);
-      return true;
+    if (opt_.memory_budget_bytes > 0 && !spilled_) {
+      const std::uint64_t used =
+          store_bytes() + frontier_bytes + observer_bytes();
+      // Spill ahead of exhaustion (at 80% of the budget) so the resident
+      // probe arrays and pre-spill slabs stay under it; once spilled the
+      // budget governs residency, not growth, and never truncates.
+      if (!opt_.spill_dir.empty() && !opt_.bitstate &&
+          used >= opt_.memory_budget_bytes - opt_.memory_budget_bytes / 5) {
+        begin_spill(used);
+        if (spilled_) return false;
+      }
+      if (used >= opt_.memory_budget_bytes) {
+        truncate(TruncationReason::MemoryBudget);
+        return true;
+      }
     }
     return false;
+  }
+
+  /// Switches the visited-key arena and compressor intern pools to
+  /// disk-backed storage. Failure (unusable spill dir, disk full) falls
+  /// back to the in-RAM truncation path instead of aborting the search.
+  void begin_spill(std::uint64_t used) {
+    try {
+      spill_ = std::make_unique<support::SpillPool>(opt_.spill_dir);
+      visited_.attach_spill(spill_.get());
+      compressor_.attach_spill(spill_.get());
+      spilled_ = true;
+      if (opt_.obs != nullptr)
+        opt_.obs->budget_warning("memory-spill", used,
+                                 opt_.memory_budget_bytes);
+    } catch (const ModelError&) {
+      spill_.reset();
+    }
+  }
+
+  bool interrupt_requested() const {
+    return opt_.interrupt != nullptr &&
+           opt_.interrupt->load(std::memory_order_relaxed);
+  }
+
+  bool ckpt_enabled() const {
+    return !opt_.checkpoint_path.empty() && !opt_.bitstate && !ckpt_failed_;
+  }
+
+  void maybe_checkpoint() {
+    if (!ckpt_enabled() || opt_.checkpoint_every == 0) return;
+    if (visited_.size() < last_ckpt_states_ + opt_.checkpoint_every) return;
+    commit_checkpoint();
+  }
+
+  /// Commits a consistent cut: every visited state (decompressed back to
+  /// value-array form) plus the unexpanded frontier -- the DFS stack / BFS
+  /// queue tail, unconsumed resume seeds, and truncation overflow. I/O
+  /// failure disables further checkpoints and keeps searching: losing
+  /// durability beats aborting a verification mid-flight.
+  void commit_checkpoint() {
+    CheckpointMeta meta;
+    meta.config_digest = opt_.config_digest;
+    meta.state_size = static_cast<std::uint32_t>(m_.layout().size());
+    meta.states_matched = matched_;
+    meta.transitions = transitions_;
+    meta.seq = ckpt_seq_ + 1;
+    try {
+      write_checkpoint(
+          opt_.checkpoint_path, meta,
+          [&](const StateSink& sink) {
+            visited_.for_each_key([&](std::span<const std::uint8_t> key) {
+              sink(compressor_.decompress(key), 0);
+            });
+          },
+          [&](const StateSink& sink) {
+            if (opt_.bfs) {
+              for (std::int64_t j = bfs_head_;
+                   j < static_cast<std::int64_t>(nodes_.size()); ++j)
+                sink(nodes_[static_cast<std::size_t>(j)].state, 0);
+            } else {
+              for (std::size_t i = 0; i < stack_.size(); ++i)
+                sink(stack_[i].state, static_cast<std::uint32_t>(i));
+            }
+            for (const Checkpoint::Pending& p : seeds_) sink(p.state, p.depth);
+            for (const Checkpoint::Pending& p : overflow_)
+              sink(p.state, p.depth);
+          });
+    } catch (const ModelError&) {
+      ckpt_failed_ = true;
+      if (opt_.obs != nullptr)
+        opt_.obs->budget_warning("checkpoint-io", ckpt_seq_ + 1, 0);
+      return;
+    }
+    ++ckpt_seq_;
+    ++ckpt_written_;
+    last_ckpt_states_ = visited_.size();
+    if (opt_.obs != nullptr)
+      opt_.obs->checkpointed(opt_.checkpoint_path, visited_.size(), ckpt_seq_);
+  }
+
+  /// Re-seeds the visited set and counters from opt_.resume_from. The
+  /// compressor re-interns every state, rebuilding its tables and arenas
+  /// deterministically; the frontier lands in seeds_.
+  void seed_resume() {
+    const Checkpoint& c = *opt_.resume_from;
+    for (const State& s : c.visited) {
+      compressor_.compress_full(s, key_buf_, ids_tmp_.data());
+      ++compress_full_;
+      visited_.insert(key_buf_);
+    }
+    matched_ = c.meta.states_matched;
+    transitions_ = c.meta.transitions;
+    ckpt_seq_ = c.meta.seq;
+    last_ckpt_states_ = visited_.size();
+    seeds_.assign(c.frontier.begin(), c.frontier.end());
+    if (opt_.obs != nullptr)
+      opt_.obs->resumed(opt_.checkpoint_path, visited_.size());
+  }
+
+  /// Pops the next resume seed onto the empty DFS stack. Seed frames sit at
+  /// index 0 like the root, so stack_trace() naturally reports the trail
+  /// from the checkpointed frontier state onward.
+  bool next_seed() {
+    if (seeds_.empty()) return false;
+    Frame f;
+    f.state = std::move(seeds_.back().state);
+    seeds_.pop_back();
+    compressor_.compress_full(f.state, key_buf_, ids_tmp_.data());
+    ++compress_full_;
+    f.ids = ids_tmp_;
+    stack_.push_back(std::move(f));
+    return true;
   }
 
   std::uint64_t observer_bytes() const {
@@ -630,6 +826,17 @@ class FlatRun {
   std::uint64_t compress_delta_ = 0;
   bool warned_states_ = false;
   bool warned_memory_ = false;
+
+  // -- durability state ------------------------------------------------------
+  std::unique_ptr<support::SpillPool> spill_;
+  bool spilled_ = false;
+  bool ckpt_failed_ = false;
+  std::uint64_t ckpt_seq_ = 0;        // last committed sequence number
+  std::uint64_t ckpt_written_ = 0;    // checkpoints committed by THIS run
+  std::uint64_t last_ckpt_states_ = 0;
+  std::int64_t bfs_head_ = 0;         // first unexpanded BFS node
+  std::vector<Checkpoint::Pending> seeds_;     // resume frontier, unconsumed
+  std::vector<Checkpoint::Pending> overflow_;  // stored-not-expanded on limit
 };
 
 /// The legacy copy-based engine, retained exclusively for swarm workers

@@ -62,6 +62,32 @@ struct Options {
   /// budget-check stride. The recorder's own footprint is charged against
   /// memory_budget_bytes, keeping the budget honest.
   obs::Observer* obs = nullptr;
+
+  // -- durability (see DESIGN.md section 13) -------------------------------
+
+  /// Directory for mmap'd spill files. When set, an exact engine that
+  /// reaches the memory budget attaches disk-backed storage to its
+  /// visited-key arena and compressor intern pools and keeps exploring
+  /// (complete, exact) instead of truncating with MemoryBudget. The budget
+  /// then governs the resident set; spilled pages are clean-evictable.
+  std::string spill_dir;
+  /// pnp.ckpt.v1 snapshot file. When set, exact engines write an
+  /// atomically-committed checkpoint every `checkpoint_every` stored states
+  /// and a final one on interrupt/deadline/truncation. Requires exact mode
+  /// (not bitstate) and, for DFS, no partial-order reduction (the sequential
+  /// ample-set proviso depends on the search stack, which a resumed run
+  /// cannot reconstruct; BFS and parallel POR are stack-free and fine).
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+  /// Stamped into checkpoint headers and validated on resume, so a
+  /// checkpoint can never silently continue under a different config.
+  std::string config_digest;
+  /// Seed the search from a previously read checkpoint instead of the
+  /// machine's initial state. Not owned; must outlive the call.
+  const struct Checkpoint* resume_from = nullptr;
+  /// Cooperative interrupt (SIGINT/SIGTERM): engines write a final
+  /// checkpoint (if configured) and stop with TruncationReason::Interrupted.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 /// Why an exploration stopped before covering the full state space.
@@ -72,6 +98,8 @@ enum class TruncationReason : std::uint8_t {
   Deadline,       // Options::deadline_seconds exceeded
   MemoryBudget,   // Options::memory_budget_bytes exceeded
   BitstateApprox, // bitstate hashing: coverage is probabilistic
+  MemorySpilled,  // informational: budget hit, stores spilled, search went on
+  Interrupted,    // SIGINT/SIGTERM: stopped after a final checkpoint
 };
 
 const char* truncation_reason_name(TruncationReason r);
@@ -119,6 +147,18 @@ struct Stats {
   std::uint64_t store_bytes = 0;
   /// Worker threads the search actually used.
   int threads = 1;
+  /// True when the memory budget was reached and the stores switched to
+  /// disk-backed (mmap) storage instead of truncating. A spilled run can
+  /// still be complete -- that is the point.
+  bool spilled = false;
+  /// Disk-backed store bytes at the end of a spilled run (excluded from
+  /// store_bytes, which reports the resident footprint).
+  std::uint64_t spill_bytes = 0;
+  /// Checkpoints committed during this run (periodic + final).
+  std::uint64_t checkpoints_written = 0;
+  /// True when the search was seeded from a checkpoint. states_stored then
+  /// includes the states restored from it.
+  bool resumed = false;
   /// Per-worker breakdown; empty for single-threaded runs. The totals above
   /// are the merged view (states_stored is the deduplicated global count in
   /// exact mode and the per-filter sum in swarm mode).

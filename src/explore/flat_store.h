@@ -7,6 +7,13 @@
 // arrays (8-byte fingerprint + 4-byte arena offset) plus its key bytes
 // (length-prefixed) in a slab arena that never moves or frees, so inserts
 // are a single probe sequence and a bump-pointer append.
+//
+// Durability: a SpillPool (support/spill.h) can be attached at any point;
+// slabs allocated after that are mmap'd file-backed blocks whose pages are
+// clean-evictable, so the arena keeps growing past the memory budget while
+// only the pre-spill slabs and the probe arrays stay unconditionally
+// resident. Offsets, spans, and equals() work identically on both kinds of
+// slab -- callers cannot tell where a record landed.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "support/panic.h"
+#include "support/spill.h"
 
 namespace pnp::explore {
 
@@ -28,16 +36,10 @@ class KeyArena {
   std::uint32_t append(std::span<const std::uint8_t> key) {
     const std::size_t need = key.size() + 2;
     PNP_CHECK(key.size() <= 0xffff, "visited key exceeds 64 KiB");
-    if (kSlabBytes - used_ < need) {
-      PNP_CHECK(slabs_.size() < kMaxSlabs,
-                "visited-key arena exceeds 4 GiB (raise the memory budget "
-                "or switch to bitstate mode)");
-      slabs_.push_back(std::make_unique<std::uint8_t[]>(kSlabBytes));
-      used_ = 0;
-    }
+    if (kSlabBytes - used_ < need) new_slab();
     const std::uint32_t off = static_cast<std::uint32_t>(
         (slabs_.size() - 1) * kSlabBytes + used_);
-    std::uint8_t* dst = slabs_.back().get() + used_;
+    std::uint8_t* dst = slabs_.back() + used_;
     dst[0] = static_cast<std::uint8_t>(key.size() & 0xff);
     dst[1] = static_cast<std::uint8_t>(key.size() >> 8);
     std::memcpy(dst + 2, key.data(), key.size());
@@ -46,8 +48,7 @@ class KeyArena {
   }
 
   std::span<const std::uint8_t> at(std::uint32_t off) const {
-    const std::uint8_t* p =
-        slabs_[off / kSlabBytes].get() + off % kSlabBytes;
+    const std::uint8_t* p = slabs_[off / kSlabBytes] + off % kSlabBytes;
     const std::size_t len =
         static_cast<std::size_t>(p[0]) | (static_cast<std::size_t>(p[1]) << 8);
     return {p + 2, len};
@@ -59,13 +60,41 @@ class KeyArena {
            std::memcmp(rec.data(), key.data(), key.size()) == 0;
   }
 
+  /// Slabs allocated from now on come from `pool` (disk-backed) instead of
+  /// the heap. Existing slabs are untouched. Pass nullptr to detach. The
+  /// pool must outlive the arena's last access.
+  void attach_spill(support::SpillPool* pool) { spill_ = pool; }
+  bool spilling() const { return spill_ != nullptr; }
+
+  /// Total arena footprint, resident or not.
   std::uint64_t bytes() const { return slabs_.size() * kSlabBytes; }
+  /// Heap (unconditionally resident) share of bytes().
+  std::uint64_t resident_bytes() const { return heap_.size() * kSlabBytes; }
+  /// Disk-backed (page-cache evictable) share of bytes().
+  std::uint64_t spill_bytes() const {
+    return (slabs_.size() - heap_.size()) * kSlabBytes;
+  }
 
  private:
   static constexpr std::size_t kSlabBytes = std::size_t{1} << 18;  // 256 KiB
   static constexpr std::size_t kMaxSlabs = (std::uint64_t{1} << 32) / kSlabBytes;
 
-  std::vector<std::unique_ptr<std::uint8_t[]>> slabs_;
+  void new_slab() {
+    PNP_CHECK(slabs_.size() < kMaxSlabs,
+              "visited-key arena exceeds 4 GiB (raise the memory budget "
+              "or switch to bitstate mode)");
+    if (spill_) {
+      slabs_.push_back(static_cast<std::uint8_t*>(spill_->alloc(kSlabBytes)));
+    } else {
+      heap_.push_back(std::make_unique<std::uint8_t[]>(kSlabBytes));
+      slabs_.push_back(heap_.back().get());
+    }
+    used_ = 0;
+  }
+
+  std::vector<std::uint8_t*> slabs_;  // heap- and spill-backed alike
+  std::vector<std::unique_ptr<std::uint8_t[]>> heap_;  // owns the heap slabs
+  support::SpillPool* spill_ = nullptr;  // not owned; frees on destruction
   std::size_t used_ = kSlabBytes;  // forces the first slab on first append
 };
 
@@ -100,11 +129,29 @@ class FlatKeySet {
     if (cap > fps_.size()) rehash(cap);
   }
 
-  /// Real footprint: probe arrays + arena slabs.
+  /// Calls `f(std::span<const std::uint8_t>)` once per stored key, in
+  /// table order. Used by checkpointing to enumerate the visited set.
+  template <class F>
+  void for_each_key(F&& f) const {
+    for (std::size_t i = 0; i < offs_.size(); ++i) {
+      if (offs_[i] != kEmpty) f(arena_.at(offs_[i]));
+    }
+  }
+
+  /// New arena slabs spill to `pool` from now on (see KeyArena).
+  void attach_spill(support::SpillPool* pool) { arena_.attach_spill(pool); }
+  bool spilling() const { return arena_.spilling(); }
+
+  /// Resident footprint: probe arrays + heap arena slabs. Spilled slabs are
+  /// deliberately excluded -- their pages are clean-evictable, which is the
+  /// whole point of spilling.
   std::uint64_t approx_bytes() const {
     return fps_.capacity() * sizeof(std::uint64_t) +
-           offs_.capacity() * sizeof(std::uint32_t) + arena_.bytes();
+           offs_.capacity() * sizeof(std::uint32_t) + arena_.resident_bytes();
   }
+
+  /// Disk-backed share of the arena.
+  std::uint64_t spill_bytes() const { return arena_.spill_bytes(); }
 
  private:
   static constexpr std::uint32_t kEmpty = 0xffffffffu;

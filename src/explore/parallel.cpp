@@ -24,15 +24,20 @@
 // filter runs to completion and coverage is the union of the filters.
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "explore/checkpoint.h"
 #include "explore/explorer.h"
 #include "explore/por.h"
 #include "explore/visited.h"
 #include "kernel/compress.h"
 #include "support/hash.h"
+#include "support/panic.h"
+#include "support/spill.h"
 
 namespace pnp::explore {
 namespace detail {
@@ -61,11 +66,19 @@ class ParallelRun {
         compressor_(m.layout(), /*stripes=*/16) {
     if (opt.obs != nullptr)
       for (Worker& w : workers_) w.blk = opt.obs->recorder().open_block();
+    if (opt.resume_from != nullptr) {
+      PNP_CHECK(opt.resume_from->meta.state_size == m.layout().size(),
+                "checkpoint state size does not match this machine");
+    }
   }
 
   Result go() {
     start_ = std::chrono::steady_clock::now();
-    seed_root();
+    active_ = n_;
+    if (opt_.resume_from != nullptr)
+      seed_resume();
+    else
+      seed_root();
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(n_));
     for (int w = 0; w < n_; ++w)
@@ -102,6 +115,9 @@ class ParallelRun {
     obs::CounterBlock* blk = nullptr;    // this worker's telemetry slice
     std::uint64_t obs_tick = 0;
     std::uint64_t por_ample = 0;
+    // Stored-but-never-queued states (max_states/max_depth), kept so a
+    // final checkpoint's frontier is exactly where this run stopped.
+    std::vector<Checkpoint::Pending> overflow;
   };
 
   /// First violation wins; everything needed to rebuild the trail after the
@@ -129,6 +145,83 @@ class ParallelRun {
       opt_.obs->recorder().add(obs::Counter::StatesStored, 1);
     inflight_.store(1, std::memory_order_relaxed);
     w0.queue.push_back(std::move(root));
+  }
+
+  /// Re-seeds the shared store from a checkpoint and deals the frontier
+  /// round-robin across the workers' queues. Frontier items are parentless
+  /// (gid == kNoGid): a trail found after resume starts at a checkpointed
+  /// frontier state.
+  void seed_resume() {
+    const Checkpoint& c = *opt_.resume_from;
+    Worker& w0 = workers_[0];
+    for (const State& s : c.visited) {
+      compressor_.compress(s, w0.key_buf);
+      visited_.insert(w0.key_buf, ShardedVisitedSet::hash_key(w0.key_buf));
+    }
+    base_matched_ = c.meta.states_matched;
+    base_transitions_ = c.meta.transitions;
+    ckpt_seq_ = c.meta.seq;
+    last_ckpt_states_.store(visited_.size(), std::memory_order_relaxed);
+    std::int64_t inflight = 0;
+    for (std::size_t i = 0; i < c.frontier.size(); ++i) {
+      Item it;
+      it.state = c.frontier[i].state;
+      it.depth = c.frontier[i].depth;
+      workers_[i % static_cast<std::size_t>(n_)].queue.push_back(
+          std::move(it));
+      ++inflight;
+    }
+    inflight_.store(inflight, std::memory_order_relaxed);
+    if (opt_.obs != nullptr) {
+      // Restored states are nobody's WorkerStats; charge them to the base
+      // block so the merged StatesStored total matches visited_.size().
+      opt_.obs->recorder().add(obs::Counter::StatesStored, visited_.size());
+      opt_.obs->resumed(opt_.checkpoint_path, visited_.size());
+    }
+  }
+
+  /// Commits a consistent cut. Callers must have quiesced the workers (the
+  /// barrier during the run, or joined threads afterwards). I/O failure
+  /// disables further checkpoints rather than aborting the verification.
+  void commit_checkpoint() {
+    CheckpointMeta meta;
+    meta.config_digest = opt_.config_digest;
+    meta.state_size = static_cast<std::uint32_t>(m_.layout().size());
+    meta.states_matched = base_matched_;
+    meta.transitions = base_transitions_;
+    for (Worker& w : workers_) {
+      meta.states_matched += w.stats.states_matched;
+      meta.transitions += w.stats.transitions;
+    }
+    meta.seq = ckpt_seq_ + 1;
+    try {
+      write_checkpoint(
+          opt_.checkpoint_path, meta,
+          [&](const StateSink& sink) {
+            visited_.for_each_key([&](std::span<const std::uint8_t> key) {
+              sink(compressor_.decompress(key), 0);
+            });
+          },
+          [&](const StateSink& sink) {
+            for (Worker& w : workers_) {
+              std::lock_guard<std::mutex> lock(w.mu);
+              for (const Item& it : w.queue) sink(it.state, it.depth);
+              for (const Checkpoint::Pending& p : w.overflow)
+                sink(p.state, p.depth);
+            }
+          });
+    } catch (const ModelError&) {
+      ckpt_failed_ = true;
+      if (opt_.obs != nullptr)
+        opt_.obs->budget_warning("checkpoint-io", ckpt_seq_ + 1, 0);
+      return;
+    }
+    ++ckpt_seq_;
+    ++ckpt_written_;
+    last_ckpt_states_.store(visited_.size(), std::memory_order_relaxed);
+    if (opt_.obs != nullptr)
+      opt_.obs->checkpointed(opt_.checkpoint_path, visited_.size(),
+                             ckpt_seq_);
   }
 
   bool pop_own(Worker& me, Item& out) {
@@ -167,6 +260,7 @@ class ParallelRun {
     Worker& me = workers_[static_cast<std::size_t>(w)];
     const auto t0 = std::chrono::steady_clock::now();
     while (!stop_.load(std::memory_order_relaxed)) {
+      ckpt_point(me);
       Item item;
       if (!pop_own(me, item) && !steal(w, item)) {
         if (inflight_.load(std::memory_order_acquire) == 0) break;
@@ -177,9 +271,81 @@ class ParallelRun {
       inflight_.fetch_sub(1, std::memory_order_release);
       observe(me);
     }
+    // Retire from the checkpoint barrier so a coordinator never waits for a
+    // worker that already exited.
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      --active_;
+    }
+    park_cv_.notify_all();
     me.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+  }
+
+  // -- checkpoint barrier ----------------------------------------------------
+  //
+  // Periodic checkpoints need a consistent cut of a mutating shared store.
+  // The worker that notices the stride elapsed elects itself coordinator
+  // (CAS on ckpt_request_); everyone else parks at the top of their work
+  // loop. When parked_ == active_ the world is quiesced -- no in-flight
+  // expansions, every queued item unexpanded -- and the coordinator commits
+  // the snapshot single-threadedly, then releases the barrier. Interrupts
+  // skip the barrier entirely: they stop the run and the final checkpoint is
+  // written after the workers joined.
+
+  bool interrupt_requested() const {
+    return opt_.interrupt != nullptr &&
+           opt_.interrupt->load(std::memory_order_relaxed);
+  }
+
+  bool ckpt_enabled() const {
+    return !opt_.checkpoint_path.empty() && !ckpt_failed_;
+  }
+
+  void ckpt_point(Worker& me) {
+    if (interrupt_requested()) {
+      truncate(TruncationReason::Interrupted);  // stops every worker
+      return;
+    }
+    if (ckpt_request_.load(std::memory_order_acquire)) {
+      park(me);
+      return;
+    }
+    if (!ckpt_enabled() || opt_.checkpoint_every == 0) return;
+    if (visited_.size() <
+        last_ckpt_states_.load(std::memory_order_relaxed) +
+            opt_.checkpoint_every)
+      return;
+    bool expected = false;
+    if (!ckpt_request_.compare_exchange_strong(expected, true))
+      return;  // lost the election; next loop iteration parks
+    coordinate();
+  }
+
+  void park(Worker&) {
+    std::unique_lock<std::mutex> lock(park_mu_);
+    ++parked_;
+    park_cv_.notify_all();
+    park_cv_.wait(lock, [&] {
+      return !ckpt_request_.load(std::memory_order_acquire) ||
+             stop_.load(std::memory_order_relaxed);
+    });
+    --parked_;
+  }
+
+  void coordinate() {
+    {
+      std::unique_lock<std::mutex> lock(park_mu_);
+      ++parked_;  // count self
+      park_cv_.wait(lock, [&] {
+        return parked_ == active_ || stop_.load(std::memory_order_relaxed);
+      });
+      if (!stop_.load(std::memory_order_relaxed)) commit_checkpoint();
+      --parked_;
+      ckpt_request_.store(false, std::memory_order_release);
+    }
+    park_cv_.notify_all();
   }
 
   /// Deadline / memory check, amortized per worker.
@@ -198,11 +364,42 @@ class ParallelRun {
       }
     }
     if (opt_.memory_budget_bytes > 0 &&
-        approx_memory() >= opt_.memory_budget_bytes) {
-      truncate(TruncationReason::MemoryBudget);
-      return true;
+        !spilled_.load(std::memory_order_relaxed)) {
+      const std::uint64_t used = approx_memory();
+      // Spill ahead of exhaustion (80%) so the resident probe arrays and
+      // pre-spill slabs stay under the budget; once spilled the budget
+      // governs residency, not growth, and never truncates.
+      if (!opt_.spill_dir.empty() &&
+          used >= opt_.memory_budget_bytes - opt_.memory_budget_bytes / 5) {
+        begin_spill(used);
+        if (spilled_.load(std::memory_order_relaxed)) return false;
+      }
+      if (used >= opt_.memory_budget_bytes) {
+        truncate(TruncationReason::MemoryBudget);
+        return true;
+      }
     }
     return false;
+  }
+
+  /// Switches the sharded visited set and compressor to disk-backed slab
+  /// allocation; both attach under their own locks, so racing workers keep
+  /// inserting throughout. Failure falls back to in-RAM truncation.
+  void begin_spill(std::uint64_t used) {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    if (spilled_.load(std::memory_order_relaxed) || spill_failed_) return;
+    try {
+      spill_pool_ = std::make_unique<support::SpillPool>(opt_.spill_dir);
+      visited_.attach_spill(spill_pool_.get());
+      compressor_.attach_spill(spill_pool_.get());
+      spilled_.store(true, std::memory_order_release);
+      if (opt_.obs != nullptr)
+        opt_.obs->budget_warning("memory-spill", used,
+                                 opt_.memory_budget_bytes);
+    } catch (const ModelError&) {
+      spill_pool_.reset();
+      spill_failed_ = true;
+    }
   }
 
   /// Per-worker telemetry tick (amortized like over_budget): publish this
@@ -256,12 +453,19 @@ class ParallelRun {
   }
 
   void truncate(TruncationReason why) {
-    std::lock_guard<std::mutex> lock(trunc_mu_);
-    complete_ = false;
-    if (truncation_ == TruncationReason::None) truncation_ = why;
-    if (why == TruncationReason::Deadline ||
-        why == TruncationReason::MemoryBudget)
-      stop_.store(true, std::memory_order_relaxed);  // hard budget: stop all
+    {
+      std::lock_guard<std::mutex> lock(trunc_mu_);
+      complete_ = false;
+      if (truncation_ == TruncationReason::None) truncation_ = why;
+      if (why == TruncationReason::Deadline ||
+          why == TruncationReason::MemoryBudget ||
+          why == TruncationReason::Interrupted)
+        stop_.store(true, std::memory_order_relaxed);  // hard stop: all workers
+    }
+    // Wake anyone parked at the checkpoint barrier. Taking park_mu_ first
+    // closes the pred-check/sleep race against the lock-free stop_ store.
+    { std::lock_guard<std::mutex> lock(park_mu_); }
+    park_cv_.notify_all();
   }
 
   std::optional<Violation> invariant_violation(const State& s) const {
@@ -361,10 +565,14 @@ class ParallelRun {
     ++me.stats.states_stored;
     if (visited_.size() >= opt_.max_states) {
       truncate(TruncationReason::MaxStates);
-      return true;  // stored, but not expanded: same as the sequential engine
+      // stored, but not expanded: same as the sequential engine; remembered
+      // so the final checkpoint's frontier is exactly where this run stopped
+      if (ckpt_enabled()) me.overflow.push_back({State(ns), item.depth + 1});
+      return true;
     }
     if (item.depth + 1 > static_cast<std::uint32_t>(opt_.max_depth)) {
       truncate(TruncationReason::MaxDepth);
+      if (ckpt_enabled()) me.overflow.push_back({State(ns), item.depth + 1});
       return true;
     }
     Item next;
@@ -379,7 +587,12 @@ class ParallelRun {
   }
 
   void expand(int w, Worker& me, Item& item) {
-    if (over_budget(me)) return;
+    if (over_budget(me)) {
+      // The item was popped but not expanded; requeue it so a final
+      // checkpoint's frontier still covers its subtree.
+      if (ckpt_enabled()) push(me, std::move(item));
+      return;
+    }
     me.stats.max_depth_reached =
         std::max(me.stats.max_depth_reached, static_cast<int>(item.depth));
     // Invariant first: generation has no side effects and the check reads
@@ -405,6 +618,10 @@ class ParallelRun {
       if (auto v = terminal_violation(item.state))
         record_violation(std::move(*v), item.gid, nullptr, item.state);
     }
+    // An aborted pass left successors ungenerated: requeue the item so the
+    // final checkpoint re-expands it on resume (idempotent -- its explored
+    // successors dedup against the visited set).
+    if (sink.aborted && ckpt_enabled()) push(me, std::move(item));
   }
 
   trace::Trace rebuild_trace(const Win& win) const {
@@ -427,10 +644,15 @@ class ParallelRun {
   }
 
   Result finish() {
+    // Final checkpoint: all workers joined, so the queues + overflow lists
+    // are the exact unexpanded frontier of wherever the run stopped.
+    if (ckpt_enabled() && !winner_) commit_checkpoint();
     Result r;
     Stats& st = r.stats;
     st.threads = n_;
     st.states_stored = visited_.size();
+    st.states_matched = base_matched_;
+    st.transitions = base_transitions_;
     std::uint64_t nodes_total = 0;
     std::uint64_t queued = 0;
     for (Worker& w : workers_) {
@@ -450,6 +672,11 @@ class ParallelRun {
                              queued * (sizeof(Item) + state_bytes);
     st.complete = complete_;
     st.truncation = truncation_;
+    st.spilled = spilled_.load(std::memory_order_relaxed);
+    if (st.spilled)
+      st.spill_bytes = visited_.spill_bytes() + compressor_.spill_bytes();
+    st.checkpoints_written = ckpt_written_;
+    st.resumed = opt_.resume_from != nullptr;
     if (opt_.obs != nullptr) {
       for (Worker& w : workers_)
         if (w.blk != nullptr) publish_worker(w);
@@ -495,6 +722,24 @@ class ParallelRun {
 
   std::mutex win_mu_;
   std::optional<Win> winner_;
+
+  // -- durability state ------------------------------------------------------
+  std::mutex spill_mu_;
+  std::unique_ptr<support::SpillPool> spill_pool_;
+  std::atomic<bool> spilled_{false};
+  bool spill_failed_ = false;  // guarded by spill_mu_
+
+  std::atomic<bool> ckpt_request_{false};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  int parked_ = 0;   // guarded by park_mu_
+  int active_ = 0;   // guarded by park_mu_; workers retire on exit
+  bool ckpt_failed_ = false;             // coordinator/finish only
+  std::uint64_t ckpt_seq_ = 0;           // coordinator/finish only
+  std::uint64_t ckpt_written_ = 0;       // coordinator/finish only
+  std::atomic<std::uint64_t> last_ckpt_states_{0};
+  std::uint64_t base_matched_ = 0;       // resume baselines
+  std::uint64_t base_transitions_ = 0;
 
   std::chrono::steady_clock::time_point start_{};
 };

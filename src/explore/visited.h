@@ -58,10 +58,28 @@ class VisitedSet {
   }
 
   /// Memory footprint: the bit array in bitstate mode; probe arrays plus
-  /// key-arena slabs for the exact set.
+  /// resident key-arena slabs for the exact set.
   std::uint64_t approx_bytes() const {
     if (bitstate_) return bits_.size();
     return set_.approx_bytes();
+  }
+
+  /// New key-arena slabs spill to `pool`; no-op in bitstate mode (the bit
+  /// array is fixed-size, there is nothing to spill).
+  void attach_spill(support::SpillPool* pool) {
+    if (!bitstate_) set_.attach_spill(pool);
+  }
+
+  std::uint64_t spill_bytes() const {
+    return bitstate_ ? 0 : set_.spill_bytes();
+  }
+
+  /// Enumerates every stored key; exact mode only (bitstate stores hashes,
+  /// not keys, which is why bitstate runs cannot be checkpointed).
+  template <class F>
+  void for_each_key(F&& f) const {
+    PNP_CHECK(!bitstate_, "bitstate visited set cannot enumerate keys");
+    set_.for_each_key(f);
   }
 
  private:
@@ -122,6 +140,37 @@ class ShardedVisitedSet {
     return bytes;
   }
 
+  /// New key-arena slabs in every shard spill to `pool`. Safe to call while
+  /// workers are inserting: the switch is taken under each shard lock and
+  /// only affects future slab allocations.
+  void attach_spill(support::SpillPool* pool) {
+    for (Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.set.attach_spill(pool);
+      sh.bytes.store(sh.set.approx_bytes(), std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t spill_bytes() const {
+    std::uint64_t bytes = 0;
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      bytes += sh.set.spill_bytes();
+    }
+    return bytes;
+  }
+
+  /// Enumerates every stored key across all shards, taking each shard lock
+  /// in turn. Callers needing a consistent snapshot must quiesce inserts
+  /// first (the parallel engine's checkpoint barrier does).
+  template <class F>
+  void for_each_key(F&& f) const {
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.set.for_each_key(f);
+    }
+  }
+
  private:
   static constexpr std::size_t kShards = 64;
 
@@ -136,7 +185,7 @@ class ShardedVisitedSet {
 
   // Cache-line aligned so neighboring shard locks don't false-share.
   struct alignas(64) Shard {
-    std::mutex mu;
+    mutable std::mutex mu;
     FlatKeySet set;
     std::atomic<std::uint64_t> bytes{0};
   };

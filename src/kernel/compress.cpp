@@ -56,12 +56,11 @@ StateCompressor::StateCompressor(const Layout& lay, int stripes,
       Stripe& st = r.stripes[static_cast<std::size_t>(i)];
       st.fps.assign(per_stripe, 0);
       st.ids.assign(per_stripe, kEmptySlot);
-      st.store.reserve(per_stripe * static_cast<std::size_t>(width) / 2);
-      st.bytes.store(
-          st.fps.capacity() * sizeof(std::uint64_t) +
-              st.ids.capacity() * sizeof(std::uint32_t) +
-              st.store.capacity() * sizeof(Value),
-          std::memory_order_relaxed);
+      st.store.init(width);
+      st.bytes.store(st.fps.capacity() * sizeof(std::uint64_t) +
+                         st.ids.capacity() * sizeof(std::uint32_t) +
+                         st.store.resident_bytes(),
+                     std::memory_order_relaxed);
     }
     regions_.push_back(std::move(r));
   }
@@ -103,23 +102,23 @@ std::uint32_t StateCompressor::intern(Region& r, const Value* vals) {
   std::size_t i = static_cast<std::size_t>(fp) & mask;
   while (st.ids[i] != kEmptySlot) {
     if (st.fps[i] == fp &&
-        std::memcmp(st.store.data() + st.ids[i] * width, vals,
-                    width * sizeof(Value)) == 0)
+        std::memcmp(st.store.at(st.ids[i]), vals, width * sizeof(Value)) == 0)
       return st.ids[i] * static_cast<std::uint32_t>(n_stripes_) +
              static_cast<std::uint32_t>(si);
     i = (i + 1) & mask;
   }
   // fresh component: append values, claim the probe slot
   const std::uint32_t local = st.count++;
-  st.store.insert(st.store.end(), vals, vals + width);
+  st.store.append(vals);
   st.fps[i] = fp;
   st.ids[i] = local;
   if ((static_cast<std::size_t>(st.count) + 1) * 10 >= st.fps.size() * 7)
     grow(st);
   st.bytes.store(st.fps.capacity() * sizeof(std::uint64_t) +
                      st.ids.capacity() * sizeof(std::uint32_t) +
-                     st.store.capacity() * sizeof(Value),
+                     st.store.resident_bytes(),
                  std::memory_order_relaxed);
+  st.spill_bytes.store(st.store.spill_bytes(), std::memory_order_relaxed);
   return local * static_cast<std::uint32_t>(n_stripes_) +
          static_cast<std::uint32_t>(si);
 }
@@ -176,7 +175,7 @@ State StateCompressor::decompress(std::span<const std::uint8_t> key) const {
     const Stripe& st = r.stripes[si];
     PNP_CHECK(local < st.count, "decompress: component id out of range");
     const std::size_t width = static_cast<std::size_t>(r.width);
-    std::memcpy(s.mem.data() + r.begin, st.store.data() + local * width,
+    std::memcpy(s.mem.data() + r.begin, st.store.at(local),
                 width * sizeof(Value));
   }
   PNP_CHECK(at + 1 == key.size(), "decompress: trailing bytes in key");
@@ -210,6 +209,26 @@ std::uint64_t StateCompressor::approx_bytes() const {
   for (const Region& r : regions_)
     for (int i = 0; i < n_stripes_; ++i)
       bytes += r.stripes[static_cast<std::size_t>(i)].bytes.load(
+          std::memory_order_relaxed);
+  return bytes;
+}
+
+void StateCompressor::attach_spill(support::SpillPool* pool) {
+  for (Region& r : regions_) {
+    for (int i = 0; i < n_stripes_; ++i) {
+      Stripe& st = r.stripes[static_cast<std::size_t>(i)];
+      std::unique_lock<std::mutex> lock(st.mu, std::defer_lock);
+      if (concurrent_) lock.lock();
+      st.store.attach_spill(pool);
+    }
+  }
+}
+
+std::uint64_t StateCompressor::spill_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const Region& r : regions_)
+    for (int i = 0; i < n_stripes_; ++i)
+      bytes += r.stripes[static_cast<std::size_t>(i)].spill_bytes.load(
           std::memory_order_relaxed);
   return bytes;
 }

@@ -15,14 +15,83 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
 #include "kernel/state.h"
+#include "support/spill.h"
 
 namespace pnp::kernel {
+
+/// Chunked append-only arena of fixed-width component value records -- the
+/// intern pool behind each compressor stripe. Chunks never move (so value
+/// pointers stay stable across appends) and, once a SpillPool is attached,
+/// new chunks are disk-backed: the pool's pages are clean-evictable, which
+/// lets the intern tables grow past the memory budget. Record `local` lives
+/// at chunk local/per_chunk_, slot local%per_chunk_ -- O(1) either way.
+class ValueArena {
+ public:
+  void init(int width) {
+    width_ = width < 0 ? 0 : static_cast<std::size_t>(width);
+    per_chunk_ = kChunkValues / (width_ == 0 ? 1 : width_);
+    if (per_chunk_ == 0) per_chunk_ = 1;
+    used_ = per_chunk_;  // forces a chunk on first append
+  }
+
+  const Value* at(std::uint32_t local) const {
+    // A width-0 region has one empty component; hand back a stable dummy
+    // so memcmp(at(..), vals, 0) sees a valid pointer.
+    if (width_ == 0) return &kZeroWidth;
+    return chunks_[local / per_chunk_] + (local % per_chunk_) * width_;
+  }
+
+  /// Appends one record (width values); records are addressed by append
+  /// order, matching the caller's dense local ids.
+  void append(const Value* vals) {
+    if (width_ == 0) return;
+    if (used_ == per_chunk_) new_chunk();
+    std::memcpy(chunks_.back() + used_ * width_, vals, width_ * sizeof(Value));
+    ++used_;
+  }
+
+  void attach_spill(support::SpillPool* pool) { spill_ = pool; }
+
+  std::uint64_t resident_bytes() const {
+    return heap_.size() * chunk_bytes();
+  }
+  std::uint64_t spill_bytes() const {
+    return (chunks_.size() - heap_.size()) * chunk_bytes();
+  }
+
+ private:
+  static constexpr std::size_t kChunkValues = 1024;  // ~4 KiB per chunk
+
+  std::size_t chunk_bytes() const {
+    return per_chunk_ * width_ * sizeof(Value);
+  }
+
+  void new_chunk() {
+    if (spill_) {
+      chunks_.push_back(static_cast<Value*>(spill_->alloc(chunk_bytes())));
+    } else {
+      heap_.push_back(std::make_unique<Value[]>(per_chunk_ * width_));
+      chunks_.push_back(heap_.back().get());
+    }
+    used_ = 0;
+  }
+
+  static constexpr Value kZeroWidth{};
+
+  std::size_t width_ = 1;
+  std::size_t per_chunk_ = kChunkValues;
+  std::size_t used_ = kChunkValues;  // forces a chunk on first append
+  std::vector<Value*> chunks_;
+  std::vector<std::unique_ptr<Value[]>> heap_;  // owns the heap chunks
+  support::SpillPool* spill_ = nullptr;         // not owned
+};
 
 class StateCompressor {
  public:
@@ -72,9 +141,18 @@ class StateCompressor {
   /// approaches the visited-set size is not compressing).
   std::vector<std::uint64_t> region_component_counts() const;
 
-  /// Real footprint of the intern tables: open-addressing slot arrays plus
-  /// the component value arenas. Feeds memory-budget accounting.
+  /// Resident footprint of the intern tables: open-addressing slot arrays
+  /// plus the heap-resident component value chunks. Feeds memory-budget
+  /// accounting; spilled chunks are excluded (see attach_spill).
   std::uint64_t approx_bytes() const;
+
+  /// New component-value chunks in every stripe spill to `pool` from now
+  /// on. Safe to call while workers are interning (the switch is taken
+  /// under each stripe lock in concurrent mode).
+  void attach_spill(support::SpillPool* pool);
+
+  /// Disk-backed share of the intern pools.
+  std::uint64_t spill_bytes() const;
 
  private:
   // One lock stripe of a region's intern table: open addressing over the
@@ -86,9 +164,10 @@ class StateCompressor {
     std::mutex mu;
     std::vector<std::uint64_t> fps;
     std::vector<std::uint32_t> ids;  // local indices; kEmptySlot = free
-    std::vector<Value> store;
+    ValueArena store;
     std::uint32_t count = 0;
-    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> bytes{0};        // resident footprint
+    std::atomic<std::uint64_t> spill_bytes{0};  // disk-backed footprint
   };
   struct Region {
     int begin = 0;

@@ -15,6 +15,7 @@
 #define PNP_ISATTY _isatty
 #define PNP_FILENO _fileno
 #else
+#include <fcntl.h>
 #include <unistd.h>
 #define PNP_ISATTY isatty
 #define PNP_FILENO fileno
@@ -64,6 +65,8 @@ const char* event_kind_name(EventKind k) {
     case EventKind::ObligationFinished: return "obligation_finished";
     case EventKind::PhaseFinished: return "phase_finished";
     case EventKind::RunFinished: return "run_finished";
+    case EventKind::Checkpointed: return "checkpointed";
+    case EventKind::Resumed: return "resumed";
   }
   return "?";
 }
@@ -234,6 +237,24 @@ void Observer::truncated(const std::string& reason) {
     std::lock_guard<std::mutex> lock(mu_);
     e.label = current_phase_;
   }
+  emit(e);
+}
+
+void Observer::checkpointed(const std::string& path, std::uint64_t states,
+                            std::uint64_t seq) {
+  Event e;
+  e.kind = EventKind::Checkpointed;
+  e.label = path;
+  e.states = states;
+  e.target = seq;
+  emit(e);
+}
+
+void Observer::resumed(const std::string& path, std::uint64_t states) {
+  Event e;
+  e.kind = EventKind::Resumed;
+  e.label = path;
+  e.states = states;
   emit(e);
 }
 
@@ -413,6 +434,35 @@ const std::string* find_attr(const Event& e, const char* key) {
   return nullptr;
 }
 
+/// Appends one record to the ledger in a single write() call (O_APPEND, so
+/// concurrent writers interleave at record granularity, not byte
+/// granularity) and fsyncs when the record carries incident evidence --
+/// losing a routine pass record to a crash is acceptable, losing the record
+/// that explains a failure is not.
+void append_record_durably(const std::string& path, const std::string& rec,
+                           bool sync) {
+#if !defined(_WIN32)
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) raise_model_error("--ledger: cannot open '" + path + "'");
+  std::size_t done = 0;
+  while (done < rec.size()) {
+    const ssize_t n = ::write(fd, rec.data() + done, rec.size() - done);
+    if (n < 0) {
+      ::close(fd);
+      raise_model_error("--ledger: write failed for '" + path + "'");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (sync) ::fsync(fd);
+  ::close(fd);
+#else
+  std::ofstream out(path, std::ios::app | std::ios::binary);
+  if (!out) raise_model_error("--ledger: cannot open '" + path + "'");
+  out << rec;
+  (void)sync;
+#endif
+}
+
 }  // namespace
 
 LedgerSink::LedgerSink(const std::string& dir) : dir_(dir) {
@@ -422,6 +472,27 @@ LedgerSink::LedgerSink(const std::string& dir) : dir_(dir) {
     raise_model_error("--ledger: cannot create directory '" + dir_ +
                       "': " + ec.message());
   path_ = (std::filesystem::path(dir_) / "ledger.jsonl").string();
+  recover_torn_tail();
+}
+
+/// Crash recovery on reopen: a process killed mid-append can leave a torn
+/// final line (no trailing newline). Truncate the file back to its last
+/// complete record so every surviving line stays valid JSONL, and flag the
+/// repair for front-ends via recovered_torn_line().
+void LedgerSink::recover_torn_tail() {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (ec || size == 0) return;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  if (bytes.empty() || bytes.back() == '\n') return;
+  const std::size_t last_nl = bytes.find_last_of('\n');
+  const std::uintmax_t keep = last_nl == std::string::npos ? 0 : last_nl + 1;
+  std::filesystem::resize_file(path_, keep, ec);
+  if (!ec) recovered_torn_ = true;
 }
 
 void LedgerSink::on_event(const Event& e) {
@@ -443,6 +514,8 @@ void LedgerSink::on_event(const Event& e) {
     case EventKind::BudgetWarning:
     case EventKind::Truncated:
     case EventKind::CounterexampleFound:
+    case EventKind::Checkpointed:
+    case EventKind::Resumed:
       incidents_.push_back(e);
       break;
     case EventKind::RunFinished:
@@ -552,15 +625,19 @@ void LedgerSink::write_record(const Event& finish) {
     rec += ",\"mode\":";
     append_json_string(rec, *mode);
   }
+  // Cooperative-stop stamp: lets ledger consumers tell "stopped on
+  // purpose, partial verdict" from a run that ran to its natural end.
+  if (find_attr(finish, "interrupted") != nullptr)
+    rec += ",\"interrupted\":true";
   if (const std::string* trail = find_attr(finish, "trail")) {
     rec += ",\"trail\":";
     append_json_string(rec, *trail);
   }
   rec += "}\n";
 
-  std::ofstream out(path_, std::ios::app | std::ios::binary);
-  if (!out) raise_model_error("--ledger: cannot open '" + path_ + "'");
-  out << rec;
+  // Incident-bearing or failing records are fsynced: they are exactly the
+  // lines a post-crash investigation needs to still be on disk.
+  append_record_durably(path_, rec, !incidents_.empty() || !finish.passed);
 }
 
 // -- schema validator ----------------------------------------------------------

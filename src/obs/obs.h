@@ -181,6 +181,8 @@ enum class EventKind : std::uint8_t {
   ObligationFinished,   // label=obligation, passed, attrs[kind/stage/cache]
   PhaseFinished,        // label=phase name, states, seconds, detail=truncation
   RunFinished,          // passed=verdict, attrs carry counters/gauges/trail
+  Checkpointed,         // label=checkpoint path, states, target=sequence no.
+  Resumed,              // label=checkpoint path, states restored from it
 };
 
 const char* event_kind_name(EventKind k);
@@ -241,6 +243,11 @@ class Observer {
   void budget_warning(const std::string& which, std::uint64_t used,
                       std::uint64_t cap);
   void truncated(const std::string& reason);
+  /// Checkpoint `seq` committed at `path` with `states` stored states.
+  void checkpointed(const std::string& path, std::uint64_t states,
+                    std::uint64_t seq);
+  /// Search seeded from the checkpoint at `path` (`states` restored).
+  void resumed(const std::string& path, std::uint64_t states);
   void counterexample(const std::string& property, const std::string& kind);
   void run_started(const std::string& subject, const std::string& digest,
                    std::vector<std::pair<std::string, std::string>> attrs = {});
@@ -285,6 +292,10 @@ class HeartbeatSink : public EventSink {
 };
 
 /// JSONL run ledger: one record per run appended to <dir>/ledger.jsonl.
+/// Crash-safe: each record is appended in a single O_APPEND write and
+/// fsynced when it carries incidents or a failing verdict; on reopen a torn
+/// final line (crash mid-append) is truncated back to the last complete
+/// record and flagged via recovered_torn_line().
 class LedgerSink : public EventSink {
  public:
   static constexpr const char* kSchema = "pnp.run.v1";
@@ -295,11 +306,17 @@ class LedgerSink : public EventSink {
   const std::string& path() const { return path_; }
   const std::string& dir() const { return dir_; }
 
+  /// True when the constructor found and repaired a torn final line left by
+  /// a crash mid-append (the damaged partial record was truncated away).
+  bool recovered_torn_line() const { return recovered_torn_; }
+
   void on_event(const Event& e) override;
 
  private:
   void write_record(const Event& finish);
+  void recover_torn_tail();
 
+  bool recovered_torn_ = false;
   std::string dir_;
   std::string path_;
   std::mutex mu_;

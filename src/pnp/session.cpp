@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "support/hash.h"
+#include "support/panic.h"
 
 namespace pnp {
 
@@ -61,6 +62,9 @@ VerifyOptions RunConfig::verify_options() const {
   v.degrade = degrade;
   v.bitstate_bytes = bitstate_bytes;
   v.minimize = minimize;
+  // Checkpoints written through a Session are addressed by the RunConfig
+  // digest, so resume() can reject a snapshot from an edited config.
+  v.config_digest = digest();
   return v;
 }
 
@@ -167,6 +171,7 @@ void Session::ensure_sinks() {
   if (!cfg_.ledger_dir.empty()) {
     auto ledger = std::make_shared<obs::LedgerSink>(cfg_.ledger_dir);
     ledger_path_ = ledger->path();
+    ledger_sink_ = ledger;
     obs_.add_sink(std::move(ledger));
   }
 }
@@ -207,6 +212,11 @@ void Session::finish_run(RunReport& rep, Clock::time_point started) {
   std::vector<std::pair<std::string, std::string>> attrs;
   attrs.emplace_back("mode", rep.mode);
   if (!rep.trail_path.empty()) attrs.emplace_back("trail", rep.trail_path);
+  // A SIGINT/SIGTERM stop still lands a clean RunFinished record, marked
+  // so ledger consumers can tell "stopped on purpose" from "verdict".
+  if (cfg_.interrupt != nullptr &&
+      cfg_.interrupt->load(std::memory_order_relaxed))
+    attrs.emplace_back("interrupted", "true");
   obs_.run_finished(rep.passed, rep.seconds, std::move(attrs));
 }
 
@@ -244,6 +254,26 @@ RunReport Session::verify_resilience(const Architecture& arch,
     rep.checks.push_back(to_check("fault", f.description, f.outcome));
   for (const RunCheck& c : rep.checks) note_check(obs_, c);
   finish_run(rep, t0);
+  return rep;
+}
+
+RunReport Session::resume(const Architecture& arch) {
+  PNP_CHECK(!cfg_.checkpoint_dir.empty(),
+            "Session::resume: config().checkpoint_dir is not set");
+  cfg_.resume = true;
+  RunReport rep = verify(arch);
+  cfg_.resume = false;
+  return rep;
+}
+
+RunReport Session::resume_machine(const kernel::Machine& m,
+                                  std::string subject,
+                                  const ExprParser& parse_expr) {
+  PNP_CHECK(!cfg_.checkpoint_dir.empty(),
+            "Session::resume_machine: config().checkpoint_dir is not set");
+  cfg_.resume = true;
+  RunReport rep = verify_machine(m, std::move(subject), parse_expr);
+  cfg_.resume = false;
   return rep;
 }
 

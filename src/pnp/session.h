@@ -138,6 +138,13 @@ class Session {
   /// Path of the JSONL ledger, once a run has been recorded to one.
   const std::string& ledger_path() const { return ledger_path_; }
 
+  /// True when opening the ledger truncated a torn (crash-partial) final
+  /// line left by a process that died mid-append -- surfaced so frontends
+  /// can tell the user the previous run's record was lost.
+  bool ledger_recovered_torn() const {
+    return ledger_sink_ != nullptr && ledger_sink_->recovered_torn_line();
+  }
+
   /// Verify `arch` as an obligation suite: per-connector protocol
   /// obligations plus the global properties from the config, consulting
   /// the verdict cache when cache_dir is set.
@@ -159,6 +166,17 @@ class Session {
   RunReport verify_machine(const kernel::Machine& m, std::string subject,
                            const ExprParser& parse_expr);
 
+  /// verify() / verify_machine(), but re-entering an interrupted run: each
+  /// exact search loads its pnp.ckpt.v1 snapshot from cfg_.checkpoint_dir
+  /// (per-section checksums and the RunConfig digest are validated; a
+  /// corrupted snapshot or an edited config is a ModelError, never a
+  /// silent fresh start) and continues from the saved frontier. When no
+  /// snapshot exists yet this is exactly a fresh verify, so supervisors
+  /// can call resume() unconditionally. Requires cfg_.checkpoint_dir.
+  RunReport resume(const Architecture& arch);
+  RunReport resume_machine(const kernel::Machine& m, std::string subject,
+                           const ExprParser& parse_expr);
+
  private:
   void ensure_sinks();
   RunReport begin_run(const std::string& subject, const char* mode);
@@ -172,6 +190,7 @@ class Session {
   obs::Observer obs_;
   bool sinks_ready_ = false;
   std::string ledger_path_;
+  std::shared_ptr<obs::LedgerSink> ledger_sink_;
   int runs_ = 0;  // per-session run ordinal, names trail files
 };
 

@@ -2,15 +2,26 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
 #include <sstream>
 #include <thread>
 
+#include "explore/checkpoint.h"
 #include "support/hash.h"
 #include "support/panic.h"
 
 namespace pnp {
 
 namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
 
 void append_stats(std::ostringstream& os, const explore::Stats& st) {
   os << "  states stored: " << st.states_stored
@@ -39,6 +50,8 @@ explore::Options to_explore_options(const VerifyOptions& opt) {
   eopt.memory_budget_bytes = opt.memory_budget_bytes;
   eopt.threads = opt.threads;
   eopt.obs = opt.obs;
+  eopt.spill_dir = opt.spill_dir;
+  eopt.interrupt = opt.interrupt;
   return eopt;
 }
 
@@ -79,13 +92,50 @@ void run_ladder(const kernel::Machine& m, explore::Options eopt,
       ob->end_phase(ph, 0, 0.0);
     }
   }
+  // Durable-run identity: one checkpoint file per property, addressed by
+  // the property name; the configuration digest travels INSIDE the file
+  // (pnp.ckpt.v1 header), so resuming under an edited configuration finds
+  // the same path but a mismatched digest and is rejected -- never a
+  // silent splice of incompatible state spaces.
+  std::optional<explore::Checkpoint> resume_ckpt;
+  if (!opt.checkpoint_dir.empty()) {
+    std::string cfg = opt.config_digest;
+    if (cfg.empty()) {
+      std::ostringstream ds;
+      ds << "max_states=" << opt.max_states << ";deadlock="
+         << opt.check_deadlock << ";por=" << opt.por << ";bfs=" << opt.bfs
+         << ";deadline=" << opt.deadline_seconds
+         << ";mem=" << opt.memory_budget_bytes
+         << ";minimize=" << to_string(opt.minimize);
+      cfg = hex64(stable_hash64(ds.str()));
+    }
+    eopt.config_digest = cfg + ":" + hex64(stable_hash64(out.property_name));
+    eopt.checkpoint_every = opt.checkpoint_every;
+    std::error_code ec;
+    std::filesystem::create_directories(opt.checkpoint_dir, ec);
+    eopt.checkpoint_path =
+        (std::filesystem::path(opt.checkpoint_dir) /
+         ("ckpt-" + hex64(stable_hash64(out.property_name)) + ".pnp.ckpt"))
+            .string();
+    if (opt.resume && std::filesystem::exists(eopt.checkpoint_path, ec)) {
+      resume_ckpt = explore::read_checkpoint(eopt.checkpoint_path);
+      PNP_CHECK(resume_ckpt->meta.config_digest == eopt.config_digest,
+                "checkpoint " + eopt.checkpoint_path +
+                    " was written under a different configuration "
+                    "(digest mismatch); refusing to resume");
+      eopt.resume_from = &*resume_ckpt;
+    }
+  }
   /// One ladder rung with its phase bracket and incident events.
   auto run_rung = [&](const std::string& name) {
     std::size_t ph = 0;
     if (ob != nullptr) ph = ob->begin_phase(name, eopt.max_states);
     out.result = explore::explore(*target, eopt);
     const explore::Stats& st = out.result.stats;
-    out.stages.push_back({name, st});
+    // A rung that outgrew its memory budget but finished exactly on
+    // disk-backed stores is its own ladder stage: still an exact verdict,
+    // but the stage name records that durability did the saving.
+    out.stages.push_back({st.spilled ? name + "-spill" : name, st});
     if (ob == nullptr) return;
     const std::string trunc =
         st.complete ? std::string()
@@ -101,7 +151,15 @@ void run_ladder(const kernel::Machine& m, explore::Options eopt,
                              out.result.violation->kind));
   };
   run_rung(prefix + (parallel ? "exact-parallel" : "exact"));
-  if (opt.degrade && !out.result.stats.complete && !out.result.violation) {
+  if (opt.degrade && !out.result.stats.complete && !out.result.violation &&
+      out.result.stats.truncation != explore::TruncationReason::Interrupted) {
+    // The bitstate rung stores hashes, not states: nothing to checkpoint,
+    // and the exact rung's snapshot must not leak into it. (An interrupted
+    // exact rung skips the ladder entirely -- the user asked to stop, and
+    // the final checkpoint is the artifact they want.)
+    eopt.checkpoint_path.clear();
+    eopt.config_digest.clear();
+    eopt.resume_from = nullptr;
     eopt.bitstate = true;
     eopt.bitstate_bytes = opt.bitstate_bytes;
     run_rung(prefix + (parallel ? "swarm-bitstate" : "bitstate"));
@@ -225,7 +283,10 @@ namespace {
 /// Canonical text of every option that can change an obligation's verdict
 /// or its confidence. `threads` is deliberately excluded: the parallel
 /// engines are verdict-equivalent to the sequential ones by construction,
-/// so a cache written with -j1 stays valid with -j8 (and vice versa).
+/// so a cache written with -j1 stays valid with -j8 (and vice versa). The
+/// durability fields (spill/checkpoint/resume, see ExecBudget) are
+/// excluded for the same reason: a spilled or resumed run reaches the
+/// verdict the uninterrupted in-RAM run would have.
 std::string options_text(const VerifyOptions& v, const GenOptions& g) {
   std::ostringstream os;
   os << "max_states=" << v.max_states << ";deadlock=" << v.check_deadlock
@@ -445,6 +506,11 @@ SuiteReport verify_obligations(const Architecture& arch,
   if (opts.connector_protocols) {
     VerifyOptions popt = opts.verify;
     popt.check_deadlock = true;  // the obligation IS deadlock freedom
+    // No durability for the harnesses: every protocol obligation shares
+    // one property name, so a single checkpoint identity would alias
+    // across connectors -- and the driver state spaces are tiny anyway.
+    popt.checkpoint_dir.clear();
+    popt.resume = false;
     const std::uint64_t popt_hash =
         stable_hash64(options_text(popt, GenOptions{}));
     for (int ci = 0; ci < static_cast<int>(arch.connectors().size()); ++ci) {
@@ -567,7 +633,11 @@ SuiteReport verify_obligations(const Architecture& arch,
     }
   }
 
-  cache.flush();
+  if (!cache.flush() && ob != nullptr)
+    // Degraded to uncached (disk full / short write, retries exhausted):
+    // this run's verdicts stand but will be recomputed next time. The
+    // warning lands in the ledger's incident list.
+    ob->budget_warning("verdict-cache-io", cache.size(), 0);
   rep.gen_stats = stats_since(gen.total_stats(), gen_before);
   if (ob != nullptr)
     for (const ObligationResult& o : rep.obligations) note_obligation(ob, o);
@@ -753,6 +823,11 @@ ResilienceReport check_resilience(const Architecture& arch,
                                   ModelGenerator* gen_in) {
   ResilienceReport rep;
   rep.architecture = arch.name();
+  // Fault variants share property names, so one checkpoint identity would
+  // alias across variants (and concurrently, on the parallel path).
+  // Durability is for long single searches, not fault sweeps.
+  opts.verify.checkpoint_dir.clear();
+  opts.verify.resume = false;
   // One generator across baseline + every fault variant: component models
   // and unchanged blocks are built once and reused, exactly the paper's
   // design-iteration loop applied to fault injection. A caller-owned

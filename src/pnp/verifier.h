@@ -56,6 +56,11 @@ struct VerifyOptions : ExecBudget {
   /// sinks); null = no telemetry, zero overhead. Not part of the verdict
   /// cache key (see ObligationKey): telemetry cannot change a verdict.
   obs::Observer* obs = nullptr;
+  /// Precomputed configuration digest used to address checkpoints
+  /// (pnp::Session passes RunConfig::digest()); empty = the ladder derives
+  /// one from the verdict-relevant budget fields. Either way the property
+  /// name is folded in, so two obligations never share a checkpoint.
+  std::string config_digest;
 };
 
 /// Convenience for the common "just bound the search" call sites:

@@ -194,8 +194,9 @@ void VerificationCache::record(const ObligationKey& key, CacheEntry entry) {
   entries_[entry.digest] = std::move(entry);
 }
 
-void VerificationCache::flush() const {
-  if (!enabled()) return;
+bool VerificationCache::flush() const {
+  if (!enabled()) return true;
+  if (persist_failed_) return false;  // already degraded to uncached
   std::ostringstream os;
   os << "{\"version\": " << kCacheFormatVersion << ",\n\"obligations\": [";
   bool first = true;
@@ -214,10 +215,28 @@ void VerificationCache::flush() const {
     first = false;
   }
   os << "\n]}\n";
-  std::ofstream out(file_, std::ios::trunc);
-  PNP_CHECK(static_cast<bool>(out),
-            "VerificationCache: cannot write " + file_);
-  out << os.str();
+  const std::string text = os.str();
+  // Atomic commit with bounded retries: truncating the live file and then
+  // failing the write (disk full) would destroy verdicts that were valid a
+  // moment ago, so the file is only ever replaced whole via rename.
+  const std::string tmp = file_ + ".tmp";
+  constexpr int kFlushAttempts = 3;
+  for (int attempt = 0; attempt < kFlushAttempts; ++attempt) {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (out) {
+      out.write(text.data(), static_cast<std::streamsize>(text.size()));
+      out.close();
+      if (out) {
+        std::error_code ec;
+        std::filesystem::rename(tmp, file_, ec);
+        if (!ec) return true;
+      }
+    }
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+  }
+  persist_failed_ = true;
+  return false;
 }
 
 }  // namespace pnp::reduce

@@ -72,8 +72,16 @@ class VerificationCache {
   std::optional<CacheEntry> lookup(const ObligationKey& key);
   /// Stores (or overwrites) the verdict for `key`.
   void record(const ObligationKey& key, CacheEntry entry);
-  /// Persists all entries; no-op when disabled.
-  void flush() const;
+  /// Persists all entries atomically (write-to-temp + rename), so a crash
+  /// mid-flush leaves the previous cache file intact. A short write or
+  /// rename failure (disk full, permissions) is retried a bounded number
+  /// of times, then the cache degrades to uncached for the rest of the
+  /// process: in-memory entries keep serving lookups, later flushes are
+  /// skipped, and false is returned so the caller can surface an incident.
+  /// No-op (true) when disabled.
+  bool flush() const;
+  /// True once a flush has permanently failed (see flush()).
+  bool persist_failed() const { return persist_failed_; }
 
   int hits() const { return hits_; }
   int misses() const { return misses_; }
@@ -84,6 +92,9 @@ class VerificationCache {
   std::unordered_map<std::string, CacheEntry> entries_;
   int hits_{0};
   int misses_{0};
+  /// Set by flush() on unrecoverable I/O failure; mutable because losing
+  /// persistence does not change the cache's logical (const) contents.
+  mutable bool persist_failed_{false};
 };
 
 }  // namespace pnp::reduce

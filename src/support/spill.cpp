@@ -1,0 +1,97 @@
+#include "support/spill.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "support/panic.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pnp::support {
+
+SpillPool::SpillPool(const std::string& dir) : dir_(dir) {
+  PNP_CHECK(!dir.empty(), "SpillPool: empty spill directory");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  PNP_CHECK(!ec, "SpillPool: cannot create spill directory " + dir_ + ": " +
+                     ec.message());
+}
+
+SpillPool::~SpillPool() {
+  for (const Block& b : blocks_) {
+    if (!b.p) continue;
+#if !defined(_WIN32)
+    ::munmap(b.p, b.bytes);
+#else
+    ::operator delete(b.p);
+#endif
+  }
+}
+
+void* SpillPool::alloc(std::size_t bytes) {
+  PNP_CHECK(bytes > 0, "SpillPool: zero-byte allocation");
+  std::lock_guard<std::mutex> lock(mu_);
+#if !defined(_WIN32)
+  char name[64];
+  std::snprintf(name, sizeof name, "spill-%d-%llu.bin",
+                static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(seq_++));
+  const std::string path =
+      (std::filesystem::path(dir_) / name).string();
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  PNP_CHECK(fd >= 0, "SpillPool: cannot create spill file " + path);
+  // Unlink right away: the mapping keeps the storage alive, and a crashed
+  // or SIGKILLed run leaves no stale files in the spill directory.
+  ::unlink(path.c_str());
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    raise_model_error("SpillPool: cannot size spill file " + path +
+                      " (disk full?)");
+  }
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  PNP_CHECK(p != MAP_FAILED, "SpillPool: mmap failed for " + path);
+#else
+  void* p = ::operator new(bytes);
+  std::memset(p, 0, bytes);
+#endif
+  blocks_.push_back({p, bytes});
+  disk_bytes_ += bytes;
+  return p;
+}
+
+void SpillPool::free(void* p) {
+  if (!p) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Block& b : blocks_) {
+    if (b.p != p) continue;
+#if !defined(_WIN32)
+    ::munmap(b.p, b.bytes);
+#else
+    ::operator delete(b.p);
+#endif
+    disk_bytes_ -= b.bytes;
+    b = blocks_.back();
+    blocks_.pop_back();
+    return;
+  }
+  raise_model_error("SpillPool: free of unknown block");
+}
+
+std::uint64_t SpillPool::disk_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_bytes_;
+}
+
+std::size_t SpillPool::blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+}  // namespace pnp::support

@@ -1,0 +1,61 @@
+// Disk-backed allocation for stores that outgrow the memory budget.
+//
+// A SpillPool hands out mmap'd file-backed blocks under a caller-chosen
+// spill directory. Each block is its own file, unlinked immediately after
+// mapping, so a crash or SIGKILL leaves no litter behind -- the kernel
+// reclaims the disk space when the mapping (or the process) dies. Pages of
+// a spilled block are clean-evictable through the page cache, which is
+// exactly the property the memory ExecBudget wants: the resident set stays
+// bounded while the total store grows with the disk.
+//
+// On platforms without mmap (the _WIN32 fallback) blocks degrade to plain
+// heap allocations; callers still work, they just lose the eviction
+// behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pnp::support {
+
+/// Thread-safe allocator of file-backed memory blocks. Blocks live until
+/// free() or pool destruction; they never move.
+class SpillPool {
+ public:
+  /// `dir` is created if missing. Raises ModelError when it cannot be
+  /// created or a probe file cannot be written there.
+  explicit SpillPool(const std::string& dir);
+  ~SpillPool();
+
+  SpillPool(const SpillPool&) = delete;
+  SpillPool& operator=(const SpillPool&) = delete;
+
+  /// Returns a zero-filled block of at least `bytes`. Raises ModelError
+  /// when the file cannot be created, sized, or mapped (e.g. disk full).
+  void* alloc(std::size_t bytes);
+  /// Releases a block returned by alloc(). `p` may be null (no-op).
+  void free(void* p);
+
+  const std::string& dir() const { return dir_; }
+  /// Total bytes currently spilled to disk-backed blocks.
+  std::uint64_t disk_bytes() const;
+  /// Number of live blocks (diagnostics / tests).
+  std::size_t blocks() const;
+
+ private:
+  struct Block {
+    void* p = nullptr;
+    std::size_t bytes = 0;
+  };
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::vector<Block> blocks_;
+  std::uint64_t disk_bytes_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace pnp::support

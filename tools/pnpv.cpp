@@ -12,6 +12,8 @@
 //
 // Exit code: 0 if every requested check passed, 1 otherwise, 2 on usage or
 // model errors.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +30,15 @@
 namespace {
 
 using namespace pnp;
+
+/// SIGINT/SIGTERM request a graceful stop: the engines park, write a final
+/// checkpoint (when --checkpoint-dir is set) and the run ledger still gets
+/// its clean RunFinished record. A second signal force-exits.
+std::atomic<bool> g_interrupt{false};
+
+extern "C" void on_interrupt(int) {
+  if (g_interrupt.exchange(true)) std::_Exit(130);  // second signal: give up
+}
 
 struct Args {
   RunConfig cfg;
@@ -183,6 +194,25 @@ const FlagDef kFlags[] = {
      "unchanged design answer from the cache, a connector swap re-verifies "
      "only the dirtied slice",
      [](Args& a, const std::string& v) { a.cfg.cache_dir = v; }},
+    {"spill-dir", "PNPV_SPILL_DIR", "DIR", nullptr,
+     "back the visited/intern stores with mmap'd files under DIR when the "
+     "--memory budget is hit: the search stays exact (stage 'exact-spill') "
+     "instead of truncating and degrading to bitstate",
+     [](Args& a, const std::string& v) { a.cfg.spill_dir = v; }},
+    {"checkpoint-dir", "PNPV_CHECKPOINT_DIR", "DIR", nullptr,
+     "write atomically-committed pnp.ckpt.v1 snapshots under DIR: a final "
+     "one on SIGINT/SIGTERM or when the search ends, periodic ones with "
+     "--checkpoint-every; continue later with --resume",
+     [](Args& a, const std::string& v) { a.cfg.checkpoint_dir = v; }},
+    {"checkpoint-every", "PNPV_CHECKPOINT_EVERY", "N", nullptr,
+     "also checkpoint every N newly stored states (0 = final snapshot only)",
+     [](Args& a, const std::string& v) {
+       a.cfg.checkpoint_every = parse_u64(v, "--checkpoint-every");
+     }},
+    {"resume", "PNPV_RESUME", nullptr, nullptr,
+     "resume from the matching snapshot in --checkpoint-dir (checksums and "
+     "config digest validated); fresh start when none exists yet",
+     [](Args& a, const std::string&) { a.cfg.resume = true; }},
     {"ledger", "PNPV_LEDGER", "DIR", nullptr,
      "append one JSONL record per run to DIR/ledger.jsonl (schema "
      "pnp.run.v1: config digest, per-phase metrics, verdict, trail pointer)",
@@ -320,12 +350,35 @@ int simulate(const Args& args, const kernel::Machine& m) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
+  Args args = parse_args(argc, argv);
+  if (args.cfg.resume && args.cfg.checkpoint_dir.empty())
+    usage("--resume needs --checkpoint-dir");
+  if (args.cfg.checkpoint_every > 0 && args.cfg.checkpoint_dir.empty())
+    usage("--checkpoint-every needs --checkpoint-dir");
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGTERM, on_interrupt);
+  args.cfg.interrupt = &g_interrupt;
   const bool is_arch = args.model_path.size() > 5 &&
                        args.model_path.rfind(".arch") ==
                            args.model_path.size() - 5;
   try {
     Session session(args.cfg);
+    /// Shared epilogue: report, torn-ledger warning, interrupt exit code.
+    auto finish = [&session](const RunReport& rep) {
+      std::printf("%s", rep.report().c_str());
+      if (session.ledger_recovered_torn())
+        std::fprintf(stderr,
+                     "pnpv: note: recovered a torn final record in %s "
+                     "(a previous process died mid-append)\n",
+                     session.ledger_path().c_str());
+      if (g_interrupt.load()) {
+        std::fprintf(stderr,
+                     "pnpv: interrupted -- partial verdict above; rerun "
+                     "with --resume to continue the search\n");
+        return 130;
+      }
+      return rep.passed ? 0 : 1;
+    };
 
     if (is_arch) {
       Architecture arch = adl::parse_architecture(slurp(args.model_path));
@@ -344,8 +397,7 @@ int main(int argc, char** argv) {
           args.resilience
               ? session.verify_resilience(arch, args.fault_list)
               : session.verify(arch);
-      std::printf("%s", rep.report().c_str());
-      return rep.passed ? 0 : 1;
+      return finish(rep);
     }
 
     if (!args.cfg.cache_dir.empty())
@@ -362,8 +414,7 @@ int main(int argc, char** argv) {
         m, args.model_path, [sp](const std::string& text) {
           return pml::parse_global_expr(*sp, text);
         });
-    std::printf("%s", rep.report().c_str());
-    return rep.passed ? 0 : 1;
+    return finish(rep);
   } catch (const ModelError& e) {
     std::fprintf(stderr, "pnpv: %s\n", e.what());
     return 2;
