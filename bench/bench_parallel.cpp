@@ -11,7 +11,10 @@
 // a JSON array ({bench, threads, states, states_per_sec, bytes_per_state,
 // wall_seconds}) consumed by scripts/bench.sh (which gates bytes_per_state
 // against the committed baseline) and uploaded as the CI bench artifact.
+// The serve_rtt row measures the warm-cache round-trip latency of an
+// in-process pnpd (scripts/bench.sh gates its warm_hit_rate).
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -22,6 +25,8 @@
 #include "common.h"
 #include "explore/explorer.h"
 #include "obs/obs.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 using namespace pnp;
 using namespace pnp::benchutil;
@@ -45,6 +50,40 @@ struct Row {
                       : 0.0;
   }
 };
+
+// The shipped demo design, inlined so the bench binary runs from any cwd:
+// two components, one fifo connector, three checks with the end-invariant
+// (connector protocol + global safety + end-invariant).
+constexpr const char* kServeArch = R"(
+architecture demo {
+  global delivered = 0;
+  component Producer {
+    behavior {
+      byte i = 1;
+      do
+      :: i <= 3 -> out_data!i,0,0,0,0,0; out_sig?SEND_SUCC,_; i++
+      :: i > 3 -> break
+      od
+    }
+  }
+  component Consumer {
+    behavior {
+      byte j = 1;
+      byte v;
+      do
+      :: j <= 3 ->
+         in_data!0,0,0,0,0,0; in_sig?RECV_SUCC,_; in_data?v,_,_,_,_,_;
+         assert(v == j); delivered++; j++
+      :: j > 3 -> break
+      od
+    }
+  }
+  connector Link : fifo(2) {
+    sender Producer.out via asyn_blocking;
+    receiver Consumer.in via blocking;
+  }
+}
+)";
 
 explore::Result run(const kernel::Machine& m, expr::Ref inv, int threads,
                     bool bitstate, std::uint64_t max_states = 0) {
@@ -90,9 +129,20 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   bool ok = true;
   std::uint64_t seq_states = 0;
+  // Quick (CI) runs take the best of 3 for the exact rows: scripts/bench.sh
+  // gates their states_per_sec against the committed baseline, and best-of
+  // is robust against load spikes on shared runners the way a single sample
+  // is not. Full runs are minutes long and not wall-clock gated, so one
+  // sample suffices there.
+  const int timing_reps = quick ? 3 : 1;
   for (const int t : sweep) {
-    const explore::Result r = run(m, inv, t, false);
-    ok = ok && r.ok() && r.stats.complete;
+    explore::Result r;
+    for (int rep = 0; rep < timing_reps; ++rep) {
+      explore::Result attempt = run(m, inv, t, false);
+      ok = ok && attempt.ok() && attempt.stats.complete;
+      if (rep == 0 || attempt.stats.seconds < r.stats.seconds)
+        r = std::move(attempt);
+    }
     if (t == 1) seq_states = r.stats.states_stored;
     else ok = ok && r.stats.states_stored == seq_states;
     rows.push_back({"bridge_exact", t, r.stats.states_stored,
@@ -122,8 +172,13 @@ int main(int argc, char** argv) {
     const expr::Ref inv2 = safety_invariant(v2gen).ref;
     const std::uint64_t bound = quick ? 150'000 : 2'000'000;
     for (const int t : sweep) {
-      const explore::Result r = run(m2, inv2, t, false, bound);
-      ok = ok && r.ok();
+      explore::Result r;
+      for (int rep = 0; rep < timing_reps; ++rep) {
+        explore::Result attempt = run(m2, inv2, t, false, bound);
+        ok = ok && attempt.ok();
+        if (rep == 0 || attempt.stats.seconds < r.stats.seconds)
+          r = std::move(attempt);
+      }
       rows.push_back({"bridge_v2_exact", t, r.stats.states_stored,
                       r.stats.store_bytes, r.stats.seconds});
     }
@@ -212,6 +267,87 @@ int main(int argc, char** argv) {
     std::filesystem::remove_all(spill_dir, ec);
   }
 
+  // Service round-trip latency: an in-process pnpd on a temp Unix socket,
+  // one cold submit of the demo architecture to fill the shared verdict
+  // cache, then N warm submits (fresh connection each, like distinct
+  // clients) timing the full protocol round-trip: submit -> accepted ->
+  // events -> report. Every warm check must come out of the cache --
+  // warm_hit_rate is deterministic and scripts/bench.sh gates it > 0;
+  // rtt_ms is wall-clock and therefore informational only.
+  double serve_cold_ms = 0.0, serve_rtt_ms = 0.0, serve_warm_hit_rate = 0.0;
+  const int serve_jobs = quick ? 8 : 32;
+  {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "pnp_bench_serve";
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir, ec);
+
+    serve::ServerOptions sopts;
+    sopts.socket_path = (dir / "pnpd.sock").string();
+    sopts.workers = 2;
+    sopts.state_dir = (dir / "state").string();
+    serve::Server server(sopts);
+    std::string err;
+    if (!server.start(&err)) {
+      std::fprintf(stderr, "serve_rtt: server start failed: %s\n",
+                   err.c_str());
+      ok = false;
+    } else {
+      std::thread srv([&server] { server.run(); });
+      auto submit = [&](const std::string& id, double* rtt_ms,
+                        serve::Client::Outcome* out) {
+        serve::JobRequest req;
+        req.id = id;
+        req.model_text = kServeArch;
+        req.kind = Session::SourceKind::Arch;
+        req.config.end_invariant_text = "delivered == 3";
+        serve::Client c;
+        std::string cerr;
+        const auto t0 = std::chrono::steady_clock::now();
+        const bool good = c.connect_unix(sopts.socket_path, &cerr) &&
+                          c.submit_and_wait(req, out, &cerr);
+        const auto t1 = std::chrono::steady_clock::now();
+        *rtt_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (!good || !out->accepted || !out->passed) {
+          std::fprintf(stderr, "serve_rtt: job %s failed: %s%s\n", id.c_str(),
+                       cerr.c_str(), out->reject_reason.c_str());
+          return false;
+        }
+        return true;
+      };
+
+      serve::Client::Outcome cold;
+      ok = ok && submit("cold", &serve_cold_ms, &cold);
+      ok = ok && cold.recomputed > 0;
+
+      std::vector<double> rtts;
+      std::uint64_t hits = 0, recomputed = 0;
+      for (int i = 0; i < serve_jobs; ++i) {
+        serve::Client::Outcome warm;
+        double ms = 0.0;
+        ok = ok && submit("warm-" + std::to_string(i), &ms, &warm);
+        rtts.push_back(ms);
+        hits += static_cast<std::uint64_t>(warm.cache_hits);
+        recomputed += static_cast<std::uint64_t>(warm.recomputed);
+      }
+      std::sort(rtts.begin(), rtts.end());
+      serve_rtt_ms = rtts[rtts.size() / 2];
+      serve_warm_hit_rate =
+          hits + recomputed > 0
+              ? static_cast<double>(hits) /
+                    static_cast<double>(hits + recomputed)
+              : 0.0;
+      // warm jobs resubmit the identical model and config, so anything
+      // short of a full cache hit is a determinism bug, not noise
+      ok = ok && hits > 0 && recomputed == 0;
+
+      server.request_stop();
+      srv.join();
+    }
+    fs::remove_all(dir, ec);
+  }
+
   if (json) {
     std::printf("[\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -234,6 +370,10 @@ int main(int argc, char** argv) {
                 "\"spill_seconds\": %.6f, \"overhead_pct\": %.2f}\n",
                 static_cast<unsigned long long>(spill_states), spill_base_s,
                 spill_s, spill_overhead_pct);
+    std::printf("  ,{\"bench\": \"serve_rtt\", \"threads\": 2, "
+                "\"jobs\": %d, \"cold_ms\": %.3f, \"rtt_ms\": %.3f, "
+                "\"warm_hit_rate\": %.4f}\n",
+                serve_jobs, serve_cold_ms, serve_rtt_ms, serve_warm_hit_rate);
     std::printf("]\n");
   } else {
     std::printf("parallel exploration throughput (v1 bridge, %d car(s)/side, "
@@ -259,6 +399,10 @@ int main(int argc, char** argv) {
     std::printf("spill overhead (mmap disk-backed stores, best of N): "
                 "%.3fs -> %.3fs = %.2f%%\n",
                 spill_base_s, spill_s, spill_overhead_pct);
+    std::printf("pnpd round-trip (%d warm jobs): cold %.1f ms, warm median "
+                "%.1f ms, warm hit rate %.0f%%\n",
+                serve_jobs, serve_cold_ms, serve_rtt_ms,
+                serve_warm_hit_rate * 100.0);
     std::printf("exact runs stored identical state counts at every thread "
                 "count: %s\n",
                 verdict(ok).c_str());

@@ -7,11 +7,22 @@
 #   scripts/bench.sh --smoke         # quick CI-sized run -> BENCH_ci.json
 #   scripts/bench.sh --out FILE.json # choose the output path
 #
-# Smoke runs also gate memory efficiency: when the output path already holds
-# a committed baseline, any row whose bytes_per_state grew by more than 10%
-# against the matching (bench, threads) baseline row fails the run.
-# states_per_sec is deliberately NOT gated -- CI machines are too noisy for
-# wall-clock assertions, but bytes/state is deterministic.
+# Smoke runs also gate against the committed baseline (when the output path
+# already holds one): any row whose bytes_per_state grew by more than 10%
+# against the matching (bench, threads) baseline row fails the run, and so
+# does any row whose states_per_sec fell more than 10% after normalizing by
+# the run-wide geometric-mean speed ratio -- the normalization cancels the
+# absolute speed difference between the baseline machine and this one, so
+# the gate catches one bench regressing relative to the others rather than
+# punishing slower hardware.
+#
+# The wall-clock gates (observability overhead, spill overhead, normalized
+# throughput) get ONE retry: a failure reruns both benches and only a second
+# consecutive failure fails the script. Shared CI runners see transient
+# load spikes that a single sample cannot distinguish from a regression;
+# two independent runs agreeing is a real signal. The deterministic gates
+# (bytes/state, pnpd warm-cache hit rate) fail immediately -- they cannot
+# be noise.
 #
 # Rows: {"bench", "threads", "states", "states_per_sec", "wall_seconds"} from
 # bench_parallel, plus {"bench", "mode", "states", "ratio", ...} reduction-
@@ -37,7 +48,7 @@ if [[ -z "$out" ]]; then
 fi
 
 # Preserve the committed baseline (if any) before it is overwritten, for the
-# bytes/state regression gate below.
+# regression gates below.
 baseline=""
 if [[ $smoke -eq 1 && -f "$out" ]]; then
   baseline=$(mktemp)
@@ -51,67 +62,87 @@ args=(--json)
 [[ $smoke -eq 1 ]] && args+=(--quick)
 tmp_parallel=$(mktemp) tmp_reduce=$(mktemp)
 trap 'rm -f "$tmp_parallel" "$tmp_reduce" ${baseline:+"$baseline"}' EXIT
-./build-bench/bench/bench_parallel "${args[@]}" > "$tmp_parallel"
-./build-bench/bench/bench_reduce "${args[@]}" > "$tmp_reduce"
-# Merge the two JSON arrays: drop bench_parallel's closing bracket and
-# bench_reduce's opening one, joined by a bare comma row separator.
-{ sed '$d' "$tmp_parallel"; echo '  ,'; sed '1d' "$tmp_reduce"; } | tee "$out"
-echo "wrote $out" >&2
+
+run_benches() {
+  ./build-bench/bench/bench_parallel "${args[@]}" > "$tmp_parallel"
+  ./build-bench/bench/bench_reduce "${args[@]}" > "$tmp_reduce"
+  # Merge the two JSON arrays: drop bench_parallel's closing bracket and
+  # bench_reduce's opening one, joined by a bare comma row separator.
+  { sed '$d' "$tmp_parallel"; echo '  ,'; sed '1d' "$tmp_reduce"; } | tee "$out"
+  echo "wrote $out" >&2
+}
 
 # Observability gate: the recorder's measured overhead on the fig13
 # full-space row must stay within the <=3% acceptance bar (see obs.h).
-# Unlike the bytes/state gate this needs no baseline -- the bound is
-# absolute -- so it runs in full and smoke modes alike.
-awk '
-  /"bench": "obs_overhead"/ {
-    seen = 1
-    if (match($0, /"overhead_pct": [0-9.]+/)) {
-      pct = substr($0, RSTART + 16, RLENGTH - 16) + 0
-      if (pct > 3.0) {
-        printf "FAIL observability overhead %.2f%% exceeds 3%% bar\n",
+# Needs no baseline -- the bound is absolute -- so it runs in full and
+# smoke modes alike.
+gate_obs() {
+  awk '
+    /"bench": "obs_overhead"/ {
+      seen = 1
+      if (match($0, /"overhead_pct": [0-9.]+/)) {
+        pct = substr($0, RSTART + 16, RLENGTH - 16) + 0
+        if (pct > 3.0) {
+          printf "FAIL observability overhead %.2f%% exceeds 3%% bar\n",
+                 pct > "/dev/stderr"
+          exit 1
+        }
+        printf "observability overhead gate passed (%.2f%% <= 3%%)\n",
                pct > "/dev/stderr"
-        exit 1
       }
-      printf "observability overhead gate passed (%.2f%% <= 3%%)\n",
-             pct > "/dev/stderr"
     }
-  }
-  END { if (!seen) { print "FAIL no obs_overhead row" > "/dev/stderr"; exit 1 } }
-' "$out" || { echo "observability overhead gate FAILED" >&2; exit 1; }
+    END { if (!seen) { print "FAIL no obs_overhead row" > "/dev/stderr"; exit 1 } }
+  ' "$out"
+}
 
 # Durability gate: spilling the visited stores to mmap'd disk files must
 # cost <= 15% wall time against the in-RAM run on the fig13 full space
-# (same states either way -- spill is exact). Absolute bound, so it runs
-# in full and smoke modes alike.
-awk '
-  /"bench": "spill_overhead"/ {
-    seen = 1
-    if (match($0, /"overhead_pct": [0-9.]+/)) {
-      pct = substr($0, RSTART + 16, RLENGTH - 16) + 0
-      if (pct > 15.0) {
-        printf "FAIL spill overhead %.2f%% exceeds 15%% bar\n",
+# (same states either way -- spill is exact). Absolute bound.
+gate_spill() {
+  awk '
+    /"bench": "spill_overhead"/ {
+      seen = 1
+      if (match($0, /"overhead_pct": [0-9.]+/)) {
+        pct = substr($0, RSTART + 16, RLENGTH - 16) + 0
+        if (pct > 15.0) {
+          printf "FAIL spill overhead %.2f%% exceeds 15%% bar\n",
+                 pct > "/dev/stderr"
+          exit 1
+        }
+        printf "spill overhead gate passed (%.2f%% <= 15%%)\n",
                pct > "/dev/stderr"
-        exit 1
       }
-      printf "spill overhead gate passed (%.2f%% <= 15%%)\n",
-             pct > "/dev/stderr"
     }
-  }
-  END { if (!seen) { print "FAIL no spill_overhead row" > "/dev/stderr"; exit 1 } }
-' "$out" || { echo "spill overhead gate FAILED" >&2; exit 1; }
+    END { if (!seen) { print "FAIL no spill_overhead row" > "/dev/stderr"; exit 1 } }
+  ' "$out"
+}
 
-# Smoke runs also emit a sample run ledger (BENCH_ledger/ledger.jsonl) so CI
-# archives a machine-readable record of a real verification run alongside
-# the throughput rows.
-if [[ $smoke -eq 1 ]]; then
-  cmake --build build-bench -j --target pnpv
-  rm -rf BENCH_ledger
-  ./build-bench/tools/pnpv examples/models/demo.arch \
-    --end-invariant "delivered == 3" --ledger BENCH_ledger
-  echo "wrote BENCH_ledger/ledger.jsonl" >&2
-fi
+# Service gate: the serve_rtt row's warm submissions resubmit an identical
+# model to a live pnpd, so every check must come out of the shared verdict
+# cache -- warm_hit_rate is deterministic and must be > 0 (in practice 1.0).
+# rtt_ms is wall-clock and deliberately NOT gated.
+gate_serve() {
+  awk '
+    /"bench": "serve_rtt"/ {
+      seen = 1
+      if (match($0, /"warm_hit_rate": [0-9.]+/)) {
+        rate = substr($0, RSTART + 17, RLENGTH - 17) + 0
+        if (rate <= 0) {
+          printf "FAIL pnpd warm-cache hit rate %.4f is not > 0\n",
+                 rate > "/dev/stderr"
+          exit 1
+        }
+        printf "pnpd warm-cache gate passed (hit rate %.2f)\n",
+               rate > "/dev/stderr"
+      }
+    }
+    END { if (!seen) { print "FAIL no serve_rtt row" > "/dev/stderr"; exit 1 } }
+  ' "$out"
+}
 
-if [[ -n "$baseline" ]]; then
+# Memory gate against the committed baseline: bytes/state is deterministic
+# for the exact engines, so any >10% growth is a real regression.
+gate_bytes() {
   awk '
     /"bytes_per_state"/ {
       bench = ""; threads = ""; bps = ""
@@ -134,7 +165,80 @@ if [[ -n "$baseline" ]]; then
           bad = 1
         }
       }
+      if (!bad)
+        print "bytes/state gate passed (baseline: committed)" > "/dev/stderr"
       exit bad
-    }' "$baseline" "$out" || { echo "bytes/state gate FAILED" >&2; exit 1; }
-  echo "bytes/state gate passed (baseline: committed $out)" >&2
+    }' "$baseline" "$out"
+}
+
+# Throughput gate, machine-normalized: scale every current states_per_sec
+# by the geometric-mean speed ratio across all (bench, threads) rows both
+# files share, then fail any row more than 10% below its baseline. A
+# uniformly slower machine scales out; one bench falling behind the rest
+# does not. The seeded bitstate swarm is excluded -- its workers sample
+# randomized search orders, so its throughput is not a stable quantity.
+gate_throughput() {
+  awk '
+    /"states_per_sec"/ && !/"bench": "bridge_swarm"/ {
+      bench = ""; threads = ""; sps = ""
+      if (match($0, /"bench": "[^"]+"/))
+        bench = substr($0, RSTART + 10, RLENGTH - 11)
+      if (match($0, /"threads": [0-9]+/))
+        threads = substr($0, RSTART + 11, RLENGTH - 11)
+      if (match($0, /"states_per_sec": [0-9.]+/))
+        sps = substr($0, RSTART + 18, RLENGTH - 18)
+      key = bench "/" threads
+      if (FILENAME == ARGV[1]) old[key] = sps + 0
+      else cur[key] = sps + 0
+    }
+    END {
+      n = 0; logsum = 0
+      for (k in cur) if (k in old && old[k] > 0 && cur[k] > 0) {
+        logsum += log(cur[k] / old[k]); n++
+      }
+      if (n == 0) exit 0
+      scale = exp(logsum / n)
+      bad = 0
+      for (k in cur) if (k in old && old[k] > 0 && cur[k] > 0) {
+        norm = cur[k] / scale
+        if (norm < old[k] * 0.90) {
+          printf "FAIL throughput regression in %s: %.0f -> %.0f " \
+                 "normalized states/s (>10%% below baseline, machine " \
+                 "scale %.2fx)\n", k, old[k], norm, scale > "/dev/stderr"
+          bad = 1
+        }
+      }
+      if (!bad)
+        printf "throughput gate passed (%d rows, machine scale %.2fx)\n",
+               n, scale > "/dev/stderr"
+      exit bad
+    }' "$baseline" "$out"
+}
+
+wall_ok=0
+for attempt in 1 2; do
+  run_benches
+  gate_serve || { echo "pnpd warm-cache gate FAILED" >&2; exit 1; }
+  if [[ -n "$baseline" ]]; then
+    gate_bytes || { echo "bytes/state gate FAILED" >&2; exit 1; }
+  fi
+  if gate_obs && gate_spill && { [[ -z "$baseline" ]] || gate_throughput; }; then
+    wall_ok=1
+    break
+  fi
+  if [[ $attempt -eq 1 ]]; then
+    echo "bench: wall-clock gate failed; rerunning once to rule out runner noise" >&2
+  fi
+done
+[[ $wall_ok -eq 1 ]] || { echo "wall-clock gates FAILED twice" >&2; exit 1; }
+
+# Smoke runs also emit a sample run ledger (BENCH_ledger/ledger.jsonl) so CI
+# archives a machine-readable record of a real verification run alongside
+# the throughput rows.
+if [[ $smoke -eq 1 ]]; then
+  cmake --build build-bench -j --target pnpv
+  rm -rf BENCH_ledger
+  ./build-bench/tools/pnpv examples/models/demo.arch \
+    --end-invariant "delivered == 3" --ledger BENCH_ledger
+  echo "wrote BENCH_ledger/ledger.jsonl" >&2
 fi

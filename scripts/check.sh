@@ -24,11 +24,12 @@ fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
   # Race detection focused on the code that actually runs threads: the
-  # parallel explorer suite, the explorer regression suite, and the
-  # threaded pnpv smoke runs.
+  # parallel explorer suite, the explorer regression suite, the threaded
+  # pnpv smoke runs, and the pnpd server (reader threads + worker pool +
+  # shared cache/ledger -- see src/serve/).
   cmake -B build-tsan -S . -DPNP_SANITIZE=thread
-  cmake --build build-tsan -j --target test_parallel test_explore pnpv
+  cmake --build build-tsan -j --target test_parallel test_explore test_serve pnpv
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-      -R 'Parallel|Swarm|Explore|pnpv\.threads'
+      -R 'Parallel|Swarm|Explore|Serve|pnpv\.threads'
 fi

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# pnpd soak: one daemon, a burst of concurrent --submit clients, and the
+# three service-level guarantees the server makes:
+#
+#   1. verdict parity -- every job's exit code matches a single-shot pnpv
+#      run of the same model and properties (pass, fail, nothing flaky);
+#   2. shared cache -- repeated submissions of identical models hit the
+#      daemon-wide verdict cache (aggregate cache_hits > 0);
+#   3. graceful drain -- SIGTERM after the burst exits 0, every job is
+#      accounted for, and the shared ledger holds one pnp.run.v1 record
+#      per completed job.
+#
+#   scripts/soak_server.sh [JOBS] [BUILD_DIR]     # default: 200 build
+#
+# The ledger is copied to SOAK_ledger/ledger.jsonl for CI artifact upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-200}"
+build="${2:-build}"
+pnpv="$build/tools/pnpv"
+models=examples/models
+[[ -x "$pnpv" ]] || { echo "soak: $pnpv not built" >&2; exit 2; }
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# -- single-shot reference verdicts (no daemon involved) ----------------------
+# Model 0 and 1 must pass, model 2 is the flawed mutex and must fail: the
+# soak asserts every daemon job reproduces exactly these exit codes.
+ref_rc() { "$@" > /dev/null 2>&1 && echo 0 || echo $?; }
+expect0=$(ref_rc "$pnpv" "$models/demo.arch" --end-invariant "delivered == 3")
+expect1=$(ref_rc "$pnpv" "$models/producer_consumer.pml" --invariant "received <= 3")
+expect2=$(ref_rc "$pnpv" "$models/mutex_flawed.pml" --invariant "critical <= 1")
+[[ "$expect0" == 0 && "$expect1" == 0 && "$expect2" == 1 ]] || {
+  echo "soak: unexpected reference verdicts: $expect0/$expect1/$expect2" >&2
+  exit 2
+}
+
+# -- daemon -------------------------------------------------------------------
+# Small per-job charge so 200 queued jobs fit the default admission budget:
+# the soak exercises fairness and the shared cache, not rejections (the
+# budget-rejection path is covered by tests/test_serve.cpp).
+sock="$work/pnpd.sock"
+"$pnpv" --serve --socket "$sock" --workers "$(nproc)" --job-memory 16M \
+  --ledger "$work/state" 2> "$work/server.log" &
+server_pid=$!
+for _ in $(seq 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+[[ -S "$sock" ]] || { echo "soak: daemon never bound $sock" >&2; exit 2; }
+
+# -- concurrent burst ---------------------------------------------------------
+echo "soak: firing $jobs concurrent jobs at $sock" >&2
+declare -a pids=()
+for ((i = 0; i < jobs; ++i)); do
+  (
+    set +e  # a failed verdict exits 1; record it instead of dying on -e
+    case $((i % 3)) in
+      0) "$pnpv" "$models/demo.arch" --end-invariant "delivered == 3" \
+           --submit --socket "$sock" > "$work/out.$i" 2>&1 ;;
+      1) "$pnpv" "$models/producer_consumer.pml" --invariant "received <= 3" \
+           --submit --socket "$sock" > "$work/out.$i" 2>&1 ;;
+      2) "$pnpv" "$models/mutex_flawed.pml" --invariant "critical <= 1" \
+           --submit --socket "$sock" > "$work/out.$i" 2>&1 ;;
+    esac
+    echo $? > "$work/rc.$i"
+  ) &
+  pids+=($!)
+done
+for p in "${pids[@]}"; do wait "$p" || true; done
+
+# -- 1. verdict parity --------------------------------------------------------
+bad=0
+for ((i = 0; i < jobs; ++i)); do
+  want=$([[ $((i % 3)) == 2 ]] && echo "$expect2" || echo 0)
+  got=$(cat "$work/rc.$i" 2>/dev/null || echo missing)
+  if [[ "$got" != "$want" ]]; then
+    echo "FAIL job $i: exit $got, single-shot reference $want" >&2
+    sed 's/^/  | /' "$work/out.$i" >&2 || true
+    bad=1
+  fi
+done
+[[ $bad == 0 ]] || { echo "soak: verdict parity FAILED" >&2; exit 1; }
+echo "soak: verdict parity passed ($jobs jobs match single-shot pnpv)" >&2
+
+# -- 2. shared warm cache -----------------------------------------------------
+# Each report line ends "... cache_hits=N recomputed=M seconds=S"; with
+# $jobs submissions of 3 distinct models, everything after the first wave
+# must be served from the daemon-wide cache.
+hits=$(sed -n 's/.*cache_hits=\([0-9]*\).*/\1/p' "$work"/out.* |
+       awk '{ s += $1 } END { print s + 0 }')
+[[ "$hits" -gt 0 ]] || { echo "FAIL no warm-cache hits across $jobs jobs" >&2; exit 1; }
+echo "soak: warm-cache gate passed ($hits aggregate cache hits)" >&2
+
+# -- 3. graceful SIGTERM drain ------------------------------------------------
+kill -TERM "$server_pid"
+rc=0; wait "$server_pid" || rc=$?
+server_pid=""
+[[ $rc == 0 ]] || {
+  echo "FAIL daemon exited $rc on SIGTERM" >&2
+  sed 's/^/  | /' "$work/server.log" >&2
+  exit 1
+}
+grep -q "pnpd: drained" "$work/server.log" || {
+  echo "FAIL no drain summary in server log" >&2
+  sed 's/^/  | /' "$work/server.log" >&2
+  exit 1
+}
+
+ledger="$work/state/ledger.jsonl"
+records=$(wc -l < "$ledger" 2>/dev/null || echo 0)
+[[ "$records" -eq "$jobs" ]] || {
+  echo "FAIL ledger holds $records records, expected $jobs" >&2
+  exit 1
+}
+echo "soak: clean drain, ledger holds $records pnp.run.v1 records" >&2
+
+rm -rf SOAK_ledger && mkdir -p SOAK_ledger
+cp "$ledger" SOAK_ledger/ledger.jsonl
+echo "soak: OK ($jobs jobs; ledger copied to SOAK_ledger/ledger.jsonl)" >&2

@@ -8,7 +8,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "support/json.h"
 #include "support/panic.h"
+#include "support/string_util.h"
 
 #if defined(_WIN32)
 #include <io.h>
@@ -392,41 +394,9 @@ void HeartbeatSink::on_event(const Event& e) {
 
 namespace {
 
-void append_json_string(std::string& out, const std::string& s) {
-  out += '"';
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  out += '"';
-}
-
-void append_json_double(std::string& out, double v) {
-  if (!std::isfinite(v)) v = 0.0;
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  out += buf;
-}
-
-void append_json_u64(std::string& out, std::uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-  out += buf;
-}
+// Record serialization goes through the shared JSON writers (support/json.h)
+// so ledger lines and the pnpd event stream stay byte-compatible.
+using json::append_string;
 
 const std::string* find_attr(const Event& e, const char* key) {
   for (const auto& kv : e.attrs)
@@ -465,14 +435,15 @@ void append_record_durably(const std::string& path, const std::string& rec,
 
 }  // namespace
 
-LedgerSink::LedgerSink(const std::string& dir) : dir_(dir) {
+LedgerSink::LedgerSink(const std::string& dir, bool recover_torn)
+    : dir_(dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec)
     raise_model_error("--ledger: cannot create directory '" + dir_ +
                       "': " + ec.message());
   path_ = (std::filesystem::path(dir_) / "ledger.jsonl").string();
-  recover_torn_tail();
+  if (recover_torn) recover_torn_tail();
 }
 
 /// Crash recovery on reopen: a process killed mid-append can leave a torn
@@ -532,29 +503,29 @@ void LedgerSink::write_record(const Event& finish) {
   rec += "{\"schema\":\"";
   rec += kSchema;
   rec += "\",\"subject\":";
-  append_json_string(rec, subject_);
+  append_string(rec, subject_);
   rec += ",\"config\":";
-  append_json_string(rec, config_);
+  append_string(rec, config_);
   rec += ",\"verdict\":";
   rec += finish.passed ? "\"pass\"" : "\"fail\"";
   rec += ",\"seconds\":";
-  append_json_double(rec, finish.seconds);
+  json::append_double(rec, finish.seconds);
   rec += ",\"states\":";
-  append_json_u64(rec, finish.states);
+  json::append_u64(rec, finish.states);
 
   rec += ",\"phases\":[";
   for (std::size_t i = 0; i < phases_.size(); ++i) {
     const Event& p = phases_[i];
     if (i) rec += ',';
     rec += "{\"name\":";
-    append_json_string(rec, p.label);
+    append_string(rec, p.label);
     rec += ",\"seconds\":";
-    append_json_double(rec, p.seconds);
+    json::append_double(rec, p.seconds);
     rec += ",\"states\":";
-    append_json_u64(rec, p.states);
+    json::append_u64(rec, p.states);
     if (!p.detail.empty()) {
       rec += ",\"truncated\":";
-      append_json_string(rec, p.detail);
+      append_string(rec, p.detail);
     }
     rec += '}';
   }
@@ -566,20 +537,20 @@ void LedgerSink::write_record(const Event& finish) {
     if (i) rec += ',';
     rec += "{\"kind\":";
     const std::string* kind = find_attr(o, "kind");
-    append_json_string(rec, kind ? *kind : "obligation");
+    append_string(rec, kind ? *kind : "obligation");
     rec += ",\"label\":";
-    append_json_string(rec, o.label);
+    append_string(rec, o.label);
     rec += ",\"passed\":";
     rec += o.passed ? "true" : "false";
     rec += ",\"seconds\":";
-    append_json_double(rec, o.seconds);
+    json::append_double(rec, o.seconds);
     if (const std::string* stage = find_attr(o, "stage")) {
       rec += ",\"stage\":";
-      append_json_string(rec, *stage);
+      append_string(rec, *stage);
     }
     if (const std::string* cache = find_attr(o, "cache")) {
       rec += ",\"cache\":";
-      append_json_string(rec, *cache);
+      append_string(rec, *cache);
     }
     rec += '}';
   }
@@ -590,9 +561,9 @@ void LedgerSink::write_record(const Event& finish) {
     const Event& inc = incidents_[i];
     if (i) rec += ',';
     rec += "{\"kind\":";
-    append_json_string(rec, event_kind_name(inc.kind));
+    append_string(rec, event_kind_name(inc.kind));
     rec += ",\"detail\":";
-    append_json_string(rec, inc.detail.empty() ? inc.label : inc.detail);
+    append_string(rec, inc.detail.empty() ? inc.label : inc.detail);
     rec += '}';
   }
   rec += ']';
@@ -603,7 +574,7 @@ void LedgerSink::write_record(const Event& finish) {
     if (kv.first.rfind("counter.", 0) != 0) continue;
     if (!first) rec += ',';
     first = false;
-    append_json_string(rec, kv.first.substr(8));
+    append_string(rec, kv.first.substr(8));
     rec += ':';
     rec += kv.second;  // decimal digits by construction (run_finished)
   }
@@ -615,7 +586,7 @@ void LedgerSink::write_record(const Event& finish) {
     if (kv.first.rfind("gauge.", 0) != 0) continue;
     if (!first) rec += ',';
     first = false;
-    append_json_string(rec, kv.first.substr(6));
+    append_string(rec, kv.first.substr(6));
     rec += ':';
     rec += kv.second;
   }
@@ -623,7 +594,7 @@ void LedgerSink::write_record(const Event& finish) {
 
   if (const std::string* mode = find_attr(finish, "mode")) {
     rec += ",\"mode\":";
-    append_json_string(rec, *mode);
+    append_string(rec, *mode);
   }
   // Cooperative-stop stamp: lets ledger consumers tell "stopped on
   // purpose, partial verdict" from a run that ran to its natural end.
@@ -631,7 +602,7 @@ void LedgerSink::write_record(const Event& finish) {
     rec += ",\"interrupted\":true";
   if (const std::string* trail = find_attr(finish, "trail")) {
     rec += ",\"trail\":";
-    append_json_string(rec, *trail);
+    append_string(rec, *trail);
   }
   rec += "}\n";
 
@@ -640,193 +611,70 @@ void LedgerSink::write_record(const Event& finish) {
   append_record_durably(path_, rec, !incidents_.empty() || !finish.passed);
 }
 
+// -- JsonlStreamSink ----------------------------------------------------------
+
+std::string JsonlStreamSink::render(const Event& e) {
+  std::string line;
+  line.reserve(160);
+  line += "{\"kind\":\"";
+  line += event_kind_name(e.kind);
+  line += '"';
+  if (!e.label.empty()) {
+    line += ",\"label\":";
+    append_string(line, e.label);
+  }
+  if (!e.detail.empty()) {
+    line += ",\"detail\":";
+    append_string(line, e.detail);
+  }
+  if (e.states != 0) {
+    line += ",\"states\":";
+    json::append_u64(line, e.states);
+  }
+  if (e.target != 0) {
+    line += ",\"target\":";
+    json::append_u64(line, e.target);
+  }
+  if (e.seconds != 0.0) {
+    line += ",\"seconds\":";
+    json::append_double(line, e.seconds);
+  }
+  if (e.rate != 0.0) {
+    line += ",\"rate\":";
+    json::append_double(line, e.rate);
+  }
+  // `passed` only means anything on the events that carry a verdict.
+  if (e.kind == EventKind::ObligationFinished ||
+      e.kind == EventKind::RunFinished)
+    line += e.passed ? ",\"passed\":true" : ",\"passed\":false";
+  // Structured extras verbatim, except the counter/gauge dump RunFinished
+  // carries -- that firehose belongs in the ledger record, not on the wire.
+  bool attrs_open = false;
+  for (const auto& kv : e.attrs) {
+    if (starts_with(kv.first, "counter.") || starts_with(kv.first, "gauge."))
+      continue;
+    line += attrs_open ? "," : ",\"attrs\":{";
+    attrs_open = true;
+    append_string(line, kv.first);
+    line += ':';
+    append_string(line, kv.second);
+  }
+  if (attrs_open) line += '}';
+  line += '}';
+  return line;
+}
+
+void JsonlStreamSink::on_event(const Event& e) {
+  if (emit_) emit_(render(e));
+}
+
 // -- schema validator ----------------------------------------------------------
 //
-// A deliberately small recursive-descent JSON reader: just enough to parse
-// one ledger line into a generic value tree and check the pnp.run.v1 shape.
-// Kept here (not in tests) so external tooling gets the same contract.
+// Parses one ledger line with the shared JSON reader (support/json.h) and
+// checks the pnp.run.v1 shape. Kept here (not in tests) so external tooling
+// gets the same contract.
 
 namespace {
-
-struct JsonValue {
-  enum class Type { Null, Bool, Number, String, Array, Object } type =
-      Type::Null;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;
-
-  const JsonValue* get(const std::string& key) const {
-    for (const auto& kv : obj)
-      if (kv.first == key) return &kv.second;
-    return nullptr;
-  }
-};
-
-struct JsonParser {
-  const char* p;
-  const char* end;
-  std::string err;
-
-  void skip_ws() {
-    while (p != end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
-      ++p;
-  }
-  bool fail(const std::string& what) {
-    if (err.empty()) err = what;
-    return false;
-  }
-  bool parse_value(JsonValue& out) {
-    skip_ws();
-    if (p == end) return fail("unexpected end of input");
-    switch (*p) {
-      case '{': return parse_object(out);
-      case '[': return parse_array(out);
-      case '"':
-        out.type = JsonValue::Type::String;
-        return parse_string(out.str);
-      case 't':
-        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
-          p += 4;
-          out.type = JsonValue::Type::Bool;
-          out.b = true;
-          return true;
-        }
-        return fail("bad literal");
-      case 'f':
-        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
-          p += 5;
-          out.type = JsonValue::Type::Bool;
-          out.b = false;
-          return true;
-        }
-        return fail("bad literal");
-      case 'n':
-        if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
-          p += 4;
-          out.type = JsonValue::Type::Null;
-          return true;
-        }
-        return fail("bad literal");
-      default: return parse_number(out);
-    }
-  }
-  bool parse_string(std::string& out) {
-    ++p;  // opening quote
-    out.clear();
-    while (p != end && *p != '"') {
-      char c = *p++;
-      if (c == '\\') {
-        if (p == end) return fail("unterminated escape");
-        char esc = *p++;
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (end - p < 4) return fail("bad \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = *p++;
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f')
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F')
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              else
-                return fail("bad \\u escape");
-            }
-            // The writer only escapes control chars; a byte is enough.
-            out += static_cast<char>(code & 0xff);
-            break;
-          }
-          default: return fail("bad escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    if (p == end) return fail("unterminated string");
-    ++p;  // closing quote
-    return true;
-  }
-  bool parse_number(JsonValue& out) {
-    const char* start = p;
-    if (p != end && (*p == '-' || *p == '+')) ++p;
-    while (p != end &&
-           (std::isdigit(static_cast<unsigned char>(*p)) || *p == '.' ||
-            *p == 'e' || *p == 'E' || *p == '-' || *p == '+'))
-      ++p;
-    if (p == start) return fail("bad number");
-    out.type = JsonValue::Type::Number;
-    out.num = std::strtod(std::string(start, p).c_str(), nullptr);
-    return true;
-  }
-  bool parse_array(JsonValue& out) {
-    out.type = JsonValue::Type::Array;
-    ++p;  // '['
-    skip_ws();
-    if (p != end && *p == ']') {
-      ++p;
-      return true;
-    }
-    while (true) {
-      JsonValue v;
-      if (!parse_value(v)) return false;
-      out.arr.push_back(std::move(v));
-      skip_ws();
-      if (p == end) return fail("unterminated array");
-      if (*p == ',') {
-        ++p;
-        continue;
-      }
-      if (*p == ']') {
-        ++p;
-        return true;
-      }
-      return fail("expected ',' or ']'");
-    }
-  }
-  bool parse_object(JsonValue& out) {
-    out.type = JsonValue::Type::Object;
-    ++p;  // '{'
-    skip_ws();
-    if (p != end && *p == '}') {
-      ++p;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      if (p == end || *p != '"') return fail("expected object key");
-      std::string key;
-      if (!parse_string(key)) return false;
-      skip_ws();
-      if (p == end || *p != ':') return fail("expected ':'");
-      ++p;
-      JsonValue v;
-      if (!parse_value(v)) return false;
-      out.obj.emplace_back(std::move(key), std::move(v));
-      skip_ws();
-      if (p == end) return fail("unterminated object");
-      if (*p == ',') {
-        ++p;
-        continue;
-      }
-      if (*p == '}') {
-        ++p;
-        return true;
-      }
-      return fail("expected ',' or '}'");
-    }
-  }
-};
 
 bool require(bool cond, const std::string& what, std::string* err) {
   if (!cond && err && err->empty()) *err = what;
@@ -840,23 +688,14 @@ bool validate_ledger_record(const std::string& line, std::string* err) {
   if (!err) err = &scratch;
   err->clear();
 
-  JsonParser parser{line.data(), line.data() + line.size(), {}};
-  JsonValue root;
-  if (!parser.parse_value(root)) {
-    *err = "parse error: " + parser.err;
-    return false;
-  }
-  parser.skip_ws();
-  if (parser.p != parser.end) {
-    *err = "trailing bytes after record";
-    return false;
-  }
-  using T = JsonValue::Type;
+  json::Value root;
+  if (!json::parse(line, root, err)) return false;
+  using T = json::Value::Type;
   if (!require(root.type == T::Object, "record is not an object", err))
     return false;
 
-  auto str_field = [&](const char* key) -> const JsonValue* {
-    const JsonValue* v = root.get(key);
+  auto str_field = [&](const char* key) -> const json::Value* {
+    const json::Value* v = root.get(key);
     if (!require(v != nullptr, std::string("missing '") + key + "'", err))
       return nullptr;
     if (!require(v->type == T::String, std::string("'") + key +
@@ -864,36 +703,36 @@ bool validate_ledger_record(const std::string& line, std::string* err) {
       return nullptr;
     return v;
   };
-  const JsonValue* schema = str_field("schema");
+  const json::Value* schema = str_field("schema");
   if (!schema) return false;
   if (!require(schema->str == LedgerSink::kSchema,
                "unknown schema '" + schema->str + "'", err))
     return false;
   if (!str_field("subject")) return false;
   if (!str_field("config")) return false;
-  const JsonValue* verdict = str_field("verdict");
+  const json::Value* verdict = str_field("verdict");
   if (!verdict) return false;
   if (!require(verdict->str == "pass" || verdict->str == "fail",
                "verdict must be 'pass' or 'fail'", err))
     return false;
 
-  auto num_field = [&](const JsonValue& o, const char* key,
+  auto num_field = [&](const json::Value& o, const char* key,
                        const char* where) {
-    const JsonValue* v = o.get(key);
+    const json::Value* v = o.get(key);
     return require(v && v->type == T::Number,
                    std::string(where) + " missing number '" + key + "'", err);
   };
   if (!num_field(root, "seconds", "record")) return false;
   if (!num_field(root, "states", "record")) return false;
 
-  const JsonValue* phases = root.get("phases");
+  const json::Value* phases = root.get("phases");
   if (!require(phases && phases->type == T::Array,
                "missing 'phases' array", err))
     return false;
-  for (const JsonValue& p : phases->arr) {
+  for (const json::Value& p : phases->arr) {
     if (!require(p.type == T::Object, "phase is not an object", err))
       return false;
-    const JsonValue* name = p.get("name");
+    const json::Value* name = p.get("name");
     if (!require(name && name->type == T::String,
                  "phase missing string 'name'", err))
       return false;
@@ -901,28 +740,28 @@ bool validate_ledger_record(const std::string& line, std::string* err) {
     if (!num_field(p, "states", "phase")) return false;
   }
 
-  const JsonValue* checks = root.get("checks");
+  const json::Value* checks = root.get("checks");
   if (!require(checks && checks->type == T::Array,
                "missing 'checks' array", err))
     return false;
-  for (const JsonValue& c : checks->arr) {
+  for (const json::Value& c : checks->arr) {
     if (!require(c.type == T::Object, "check is not an object", err))
       return false;
-    const JsonValue* kind = c.get("kind");
+    const json::Value* kind = c.get("kind");
     if (!require(kind && kind->type == T::String,
                  "check missing string 'kind'", err))
       return false;
-    const JsonValue* label = c.get("label");
+    const json::Value* label = c.get("label");
     if (!require(label && label->type == T::String,
                  "check missing string 'label'", err))
       return false;
-    const JsonValue* passed = c.get("passed");
+    const json::Value* passed = c.get("passed");
     if (!require(passed && passed->type == T::Bool,
                  "check missing bool 'passed'", err))
       return false;
   }
 
-  const JsonValue* counters = root.get("counters");
+  const json::Value* counters = root.get("counters");
   if (!require(counters && counters->type == T::Object,
                "missing 'counters' object", err))
     return false;
@@ -931,7 +770,7 @@ bool validate_ledger_record(const std::string& line, std::string* err) {
                  "counter '" + kv.first + "' is not a number", err))
       return false;
 
-  const JsonValue* gauges = root.get("gauges");
+  const json::Value* gauges = root.get("gauges");
   if (gauges) {
     if (!require(gauges->type == T::Object, "'gauges' is not an object", err))
       return false;
@@ -940,7 +779,7 @@ bool validate_ledger_record(const std::string& line, std::string* err) {
                    "gauge '" + kv.first + "' is not a number", err))
         return false;
   }
-  const JsonValue* trail = root.get("trail");
+  const json::Value* trail = root.get("trail");
   if (trail &&
       !require(trail->type == T::String, "'trail' is not a string", err))
     return false;

@@ -41,6 +41,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -301,7 +302,12 @@ class LedgerSink : public EventSink {
   static constexpr const char* kSchema = "pnp.run.v1";
 
   /// Creates `dir` if needed; raises ModelError when it cannot be created.
-  explicit LedgerSink(const std::string& dir);
+  /// `recover_torn` runs the torn-tail repair described above; pass false
+  /// for secondary sinks sharing a ledger file that other writers are
+  /// appending to concurrently (pnpd workers: the daemon repairs the file
+  /// once at startup, before any worker opens it, so a later truncation
+  /// could only ever race a live in-flight append).
+  explicit LedgerSink(const std::string& dir, bool recover_torn = true);
 
   const std::string& path() const { return path_; }
   const std::string& dir() const { return dir_; }
@@ -326,6 +332,32 @@ class LedgerSink : public EventSink {
   std::vector<Event> phases_;       // PhaseFinished events, in order
   std::vector<Event> obligations_;  // ObligationFinished events, in order
   std::vector<Event> incidents_;    // warnings / truncations / counterexamples
+};
+
+/// Serializes every event as one single-line JSON object and hands it to
+/// `emit` (no trailing newline -- the consumer owns framing). This is the
+/// wire format pnpd streams back to clients while a job runs: Progress
+/// heartbeats, budget warnings, phase/obligation lifecycle, truncations and
+/// checkpoints, each as {"kind":"progress","states":...,...}. The sink
+/// itself is transport-agnostic, so tests can capture lines in a vector and
+/// the server can prefix a job id and write to a socket.
+///
+/// `emit` is called under the Observer's fan-out lock, from whichever
+/// thread produced the event -- keep it cheap and thread-safe.
+class JsonlStreamSink : public EventSink {
+ public:
+  using EmitFn = std::function<void(const std::string& line)>;
+
+  explicit JsonlStreamSink(EmitFn emit) : emit_(std::move(emit)) {}
+
+  void on_event(const Event& e) override;
+
+  /// The single-line JSON rendering on_event() emits, exposed for reuse by
+  /// protocol code that needs to wrap it (pnpd adds job framing fields).
+  static std::string render(const Event& e);
+
+ private:
+  EmitFn emit_;
 };
 
 /// Validates one ledger line against the documented "pnp.run.v1" schema:

@@ -3,10 +3,13 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "adl/adl.h"
+#include "pml/parser.h"
 #include "support/hash.h"
 #include "support/panic.h"
 
@@ -79,6 +82,7 @@ SuiteOptions RunConfig::suite_options() const {
   s.ltl_weak_fairness = ltl_weak_fairness;
   s.connector_protocols = connector_protocols;
   s.cache_dir = cache_dir;
+  s.cache = shared_cache;
   return s;
 }
 
@@ -168,12 +172,24 @@ void Session::ensure_sinks() {
   if (cfg_.heartbeat || cfg_.heartbeat_force)
     obs_.add_sink(
         std::make_shared<obs::HeartbeatSink>(stderr, cfg_.heartbeat_force));
-  if (!cfg_.ledger_dir.empty()) {
+  if (!cfg_.ledger_dir.empty() && ledger_sink_ == nullptr) {
     auto ledger = std::make_shared<obs::LedgerSink>(cfg_.ledger_dir);
     ledger_path_ = ledger->path();
     ledger_sink_ = ledger;
     obs_.add_sink(std::move(ledger));
   }
+}
+
+void Session::attach_ledger(std::shared_ptr<obs::LedgerSink> sink) {
+  PNP_CHECK(sink != nullptr, "Session::attach_ledger: null sink");
+  PNP_CHECK(ledger_sink_ == nullptr,
+            "Session::attach_ledger: a ledger sink is already attached");
+  ledger_path_ = sink->path();
+  ledger_sink_ = sink;
+  // Trail files for failed checks land next to the ledger (finish_run
+  // consults cfg_.ledger_dir), wherever the sink was pointed.
+  cfg_.ledger_dir = sink->dir();
+  obs_.add_sink(std::move(sink));
 }
 
 RunReport Session::begin_run(const std::string& subject, const char* mode) {
@@ -255,6 +271,45 @@ RunReport Session::verify_resilience(const Architecture& arch,
   for (const RunCheck& c : rep.checks) note_check(obs_, c);
   finish_run(rep, t0);
   return rep;
+}
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+RunReport Session::verify_source(std::string subject, const std::string& text,
+                                 SourceKind kind, bool resilience) {
+  if (kind == SourceKind::Auto) {
+    if (ends_with(subject, ".arch")) {
+      kind = SourceKind::Arch;
+    } else if (ends_with(subject, ".pml")) {
+      kind = SourceKind::Pml;
+    } else {
+      // First keyword wins: ADL sources open with "architecture NAME {",
+      // PML sources declare proctypes. Ambiguous text parses as PML.
+      const std::size_t a = text.find("architecture");
+      const std::size_t p = text.find("proctype");
+      kind = a != std::string::npos && (p == std::string::npos || a < p)
+                 ? SourceKind::Arch
+                 : SourceKind::Pml;
+    }
+  }
+  if (kind == SourceKind::Arch) {
+    const Architecture arch = adl::parse_architecture(text);
+    return resilience ? verify_resilience(arch) : verify(arch);
+  }
+  PNP_CHECK(!resilience, "verify_source: resilience applies to ADL "
+                         "architectures only (subject '" + subject + "')");
+  model::SystemSpec sys = pml::parse(text);
+  const kernel::Machine m(sys);
+  return verify_machine(m, std::move(subject), [&sys](const std::string& t) {
+    return pml::parse_global_expr(sys, t);
+  });
 }
 
 RunReport Session::resume(const Architecture& arch) {

@@ -60,6 +60,11 @@ struct RunConfig : ExecBudget {
 
   // -- persistence + observability --
   std::string cache_dir;   // verdict cache; empty = recompute everything
+  /// Caller-owned verdict cache taking precedence over cache_dir (see
+  /// SuiteOptions::cache): pnpd points every worker's session here so the
+  /// whole pool shares one store. Not owned; excluded from digest() like
+  /// cache_dir -- where a verdict is remembered cannot change it.
+  reduce::VerificationCache* shared_cache = nullptr;
   std::string ledger_dir;  // JSONL run ledger + trail files; empty = off
   bool heartbeat = true;   // TTY progress ticker (auto-suppressed when
                            // stderr is not a terminal)
@@ -138,6 +143,21 @@ class Session {
   /// Path of the JSONL ledger, once a run has been recorded to one.
   const std::string& ledger_path() const { return ledger_path_; }
 
+  /// Record runs through a caller-constructed ledger sink instead of
+  /// opening one from config().ledger_dir. pnpd uses this to point every
+  /// worker session at the daemon's shared ledger file (each worker gets
+  /// its own sink instance -- record assembly is per-run state -- opened
+  /// with torn-tail recovery disabled; the daemon repairs the file once at
+  /// startup). Must be called before the first verify* call.
+  void attach_ledger(std::shared_ptr<obs::LedgerSink> sink);
+
+  /// Cancellation hook: `flag` (not owned, may be null) is polled by the
+  /// engines; when it becomes true the current run parks exactly like a
+  /// pnpv SIGINT -- final checkpoint if configured, clean ledger record
+  /// stamped "interrupted", partial RunReport returned. pnpd points this at
+  /// the per-job cancel flag so a client disconnect aborts the job.
+  void set_interrupt(const std::atomic<bool>* flag) { cfg_.interrupt = flag; }
+
   /// True when opening the ledger truncated a torn (crash-partial) final
   /// line left by a process that died mid-append -- surfaced so frontends
   /// can tell the user the previous run's record was lost.
@@ -149,6 +169,21 @@ class Session {
   /// obligations plus the global properties from the config, consulting
   /// the verdict cache when cache_dir is set.
   RunReport verify(const Architecture& arch);
+
+  /// What a source text is: an ADL architecture or a PML model. Auto sniffs
+  /// from the subject's file suffix (.arch/.pml), falling back to the first
+  /// keyword in the text ("architecture" before "proctype" reads as ADL).
+  enum class SourceKind : std::uint8_t { Auto, Arch, Pml };
+
+  /// Job-granular entry point: parse `text` (ADL or PML per `kind`) and
+  /// verify it under this session's config -- one call from source to
+  /// RunReport, the unit of work a pnpd job maps onto. ADL sources run the
+  /// obligation suite (or the resilience suite when `resilience` is set);
+  /// PML sources run the combined machine check, resolving the config's
+  /// property texts in the model's scope. Parse errors raise ModelError.
+  RunReport verify_source(std::string subject, const std::string& text,
+                          SourceKind kind = SourceKind::Auto,
+                          bool resilience = false);
 
   /// Verify `arch` under injected faults (empty = default_fault_suite),
   /// plus the fault-free baseline.

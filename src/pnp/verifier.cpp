@@ -494,9 +494,12 @@ SuiteReport verify_obligations(const Architecture& arch,
   SuiteReport rep;
   rep.architecture = arch.name();
   obs::Observer* ob = opts.verify.obs;
-  reduce::VerificationCache cache =
-      opts.cache_dir.empty() ? reduce::VerificationCache()
-                             : reduce::VerificationCache(opts.cache_dir);
+  reduce::VerificationCache local_cache =
+      opts.cache == nullptr && !opts.cache_dir.empty()
+          ? reduce::VerificationCache(opts.cache_dir)
+          : reduce::VerificationCache();
+  reduce::VerificationCache& cache =
+      opts.cache != nullptr ? *opts.cache : local_cache;
   ModelGenerator own_gen;
   ModelGenerator& gen = gen_in != nullptr ? *gen_in : own_gen;
   const GenStats gen_before = gen.total_stats();

@@ -170,6 +170,12 @@ struct SuiteOptions {
   bool connector_protocols{true};
   /// Verdict cache directory; empty = verify everything, cache nothing.
   std::string cache_dir;
+  /// Caller-owned cache instance, taking precedence over cache_dir. This is
+  /// how pnpd shares ONE persistent VerificationCache across its whole
+  /// worker pool (the instance is thread-safe, see reduce/cache.h): every
+  /// job's suite consults and fills the same store, so two clients
+  /// submitting the same design pay for its obligations once. Not owned.
+  reduce::VerificationCache* cache = nullptr;
 };
 
 struct ObligationResult {

@@ -177,6 +177,7 @@ VerificationCache::VerificationCache(const std::string& dir) {
 
 std::optional<CacheEntry> VerificationCache::lookup(const ObligationKey& key) {
   if (!enabled()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key.digest());
   if (it == entries_.end()) {
     ++misses_;
@@ -191,11 +192,13 @@ void VerificationCache::record(const ObligationKey& key, CacheEntry entry) {
   entry.digest = key.digest();
   if (entry.kind.empty()) entry.kind = key.kind;
   if (entry.label.empty()) entry.label = key.label;
+  std::lock_guard<std::mutex> lock(mu_);
   entries_[entry.digest] = std::move(entry);
 }
 
 bool VerificationCache::flush() const {
   if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
   if (persist_failed_) return false;  // already degraded to uncached
   std::ostringstream os;
   os << "{\"version\": " << kCacheFormatVersion << ",\n\"obligations\": [";

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -56,6 +57,12 @@ struct CacheEntry {
 /// JSON-backed obligation store. A default-constructed cache is disabled:
 /// lookups miss, records are dropped, flush is a no-op -- callers need no
 /// special casing when no --cache-dir was given.
+///
+/// Thread-safe: lookup/record/flush and the statistics accessors serialize
+/// on an internal mutex, so one instance can back every worker of a pnpd
+/// daemon (SuiteOptions::cache) -- the whole point of the shared cache is
+/// that a connector swap submitted by any client re-verifies only the
+/// dirtied slices, whichever worker got the job.
 class VerificationCache {
  public:
   VerificationCache() = default;
@@ -81,13 +88,28 @@ class VerificationCache {
   /// No-op (true) when disabled.
   bool flush() const;
   /// True once a flush has permanently failed (see flush()).
-  bool persist_failed() const { return persist_failed_; }
+  bool persist_failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return persist_failed_;
+  }
 
-  int hits() const { return hits_; }
-  int misses() const { return misses_; }
-  std::size_t size() const { return entries_.size(); }
+  int hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  int misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
+  /// Guards entries_ and the statistics; file_ is immutable after
+  /// construction. Mutable so flush() and the accessors stay const.
+  mutable std::mutex mu_;
   std::string file_;
   std::unordered_map<std::string, CacheEntry> entries_;
   int hits_{0};

@@ -1,0 +1,159 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pnp::serve {
+
+namespace {
+
+bool fail(std::string* err, const std::string& why) {
+  if (err != nullptr) *err = why;
+  return false;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+bool Client::connect_unix(const std::string& path, std::string* err) {
+  close();
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path))
+    return fail(err, "socket path too long: " + path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return fail(err, std::string("socket: ") + std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string why = "connect " + path + ": " + std::strerror(errno);
+    close();
+    return fail(err, why);
+  }
+  return true;
+}
+
+bool Client::connect_tcp(int port, std::string* err) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return fail(err, std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string why =
+        "connect 127.0.0.1:" + std::to_string(port) + ": " +
+        std::strerror(errno);
+    close();
+    return fail(err, why);
+  }
+  return true;
+}
+
+bool Client::send_line(const std::string& frame, std::string* err) {
+  if (fd_ < 0) return fail(err, "not connected");
+  std::string wire = frame;
+  wire += '\n';
+  const char* p = wire.data();
+  std::size_t left = wire.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return fail(err, std::string("send: ") + std::strerror(errno));
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::recv_line(std::string* frame, std::string* err) {
+  if (fd_ < 0) return fail(err, "not connected");
+  for (;;) {
+    const std::size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      *frame = rbuf_.substr(0, nl);
+      rbuf_.erase(0, nl + 1);
+      if (!frame->empty() && frame->back() == '\r') frame->pop_back();
+      return true;
+    }
+    char chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) return fail(err, "connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(err, std::string("recv: ") + std::strerror(errno));
+    }
+    rbuf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::submit_and_wait(
+    const JobRequest& req, Outcome* out, std::string* err,
+    const std::function<void(const json::Value& event)>& on_event) {
+  *out = Outcome{};
+  if (!send_line(render_submit(req), err)) return false;
+  for (;;) {
+    std::string frame;
+    if (!recv_line(&frame, err)) return false;
+    json::Value msg;
+    if (!json::parse(frame, msg, err)) return false;
+    const std::string verb = msg.str_or(kSchema);
+    const std::string id = msg.str_or("id");
+    if (id != req.id && verb != "error") continue;  // another job's frame
+    if (verb == "accepted") {
+      out->accepted = true;
+    } else if (verb == "rejected") {
+      out->reject_reason = msg.str_or("reason", "(no reason)");
+      return true;
+    } else if (verb == "error") {
+      out->error = msg.str_or("reason", "(no reason)");
+      return true;
+    } else if (verb == "event") {
+      ++out->events;
+      if (on_event) {
+        if (const json::Value* ev = msg.get("event")) on_event(*ev);
+      }
+    } else if (verb == "report") {
+      out->passed = msg.bool_or("passed");
+      out->interrupted = msg.bool_or("interrupted");
+      out->seconds = msg.num_or("seconds");
+      out->cache_hits = static_cast<int>(msg.num_or("cache_hits"));
+      out->recomputed = static_cast<int>(msg.num_or("recomputed"));
+      out->report = std::move(msg);
+      return true;
+    } else if (verb.empty()) {
+      return fail(err, "frame without a verb: " + frame);
+    }
+    // unknown verbs are skipped: newer servers may stream more kinds
+  }
+}
+
+bool Client::ping(std::string* err) {
+  if (!send_line(render_ping(), err)) return false;
+  for (;;) {
+    std::string frame;
+    if (!recv_line(&frame, err)) return false;
+    json::Value msg;
+    if (!json::parse(frame, msg, err)) return false;
+    if (msg.str_or(kSchema) == "pong") return true;
+  }
+}
+
+}  // namespace pnp::serve

@@ -1,0 +1,80 @@
+// Blocking pnp.job.v1 client: what `pnpv --submit`, the serve tests and
+// the serve_rtt benchmark speak to a running pnpd. One connection, frames
+// written and read synchronously; submit_and_wait() is the whole
+// round-trip (submit -> accepted/rejected -> events -> report) in one
+// call, demuxing on the echoed job id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/proto.h"
+#include "support/json.h"
+
+namespace pnp::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), rbuf_(std::move(other.rbuf_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      rbuf_ = std::move(other.rbuf_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool connect_unix(const std::string& path, std::string* err);
+  bool connect_tcp(int port, std::string* err);  // 127.0.0.1 only
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one frame (newline appended). False + reason on a broken pipe.
+  bool send_line(const std::string& frame, std::string* err);
+  /// Blocks for the next newline-terminated frame (newline stripped).
+  /// False on EOF or error; EOF sets `*err` to "connection closed".
+  bool recv_line(std::string* frame, std::string* err);
+
+  /// Everything one job round-trip produced.
+  struct Outcome {
+    bool accepted = false;
+    bool passed = false;
+    bool interrupted = false;
+    std::string reject_reason;  // set when the submit was rejected
+    std::string error;          // set when the server sent an error frame
+    double seconds = 0.0;
+    int cache_hits = 0;
+    int recomputed = 0;
+    std::size_t events = 0;  // streamed event frames seen for this job
+    json::Value report;      // the raw final report object (when accepted)
+  };
+
+  /// Submits `req` and reads frames until this job's terminal frame
+  /// (report, rejected, or error), invoking `on_event` for each streamed
+  /// event. Returns false only on transport or protocol failure -- a
+  /// rejected submit or a failed verdict is a successful round-trip with
+  /// the outcome recorded in `out`.
+  bool submit_and_wait(
+      const JobRequest& req, Outcome* out, std::string* err,
+      const std::function<void(const json::Value& event)>& on_event = {});
+
+  /// Liveness probe: ping, wait for the pong.
+  bool ping(std::string* err);
+
+ private:
+  int fd_ = -1;
+  std::string rbuf_;  // bytes received past the last returned frame
+};
+
+}  // namespace pnp::serve

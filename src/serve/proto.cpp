@@ -1,0 +1,321 @@
+#include "serve/proto.h"
+
+#include <cstdint>
+#include <utility>
+
+namespace pnp::serve {
+
+namespace {
+
+using json::append_string;
+
+void append_key(std::string& out, const char* key) {
+  append_string(out, key);
+  out += ':';
+}
+
+std::string frame_head(const char* verb, const std::string& id) {
+  std::string out = "{";
+  append_key(out, kSchema);
+  append_string(out, verb);
+  if (!id.empty()) {
+    out += ',';
+    append_key(out, "id");
+    append_string(out, id);
+  }
+  return out;
+}
+
+bool fail(std::string* err, const std::string& why) {
+  if (err != nullptr) *err = why;
+  return false;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, JobRequest& out, std::string* err) {
+  json::Value root;
+  if (!json::parse(line, root, err)) return false;
+  if (!root.is_object()) return fail(err, "frame is not a JSON object");
+
+  const std::string verb = root.str_or(kSchema);
+  if (verb.empty())
+    return fail(err, std::string("missing \"") + kSchema + "\" verb");
+
+  out = JobRequest{};
+  out.id = root.str_or("id");
+  if (verb == "ping") {
+    out.verb = Verb::Ping;
+    return true;
+  }
+  if (verb == "cancel") {
+    out.verb = Verb::Cancel;
+    if (out.id.empty()) return fail(err, "cancel requires an id");
+    return true;
+  }
+  if (verb != "submit") return fail(err, "unknown verb \"" + verb + "\"");
+
+  out.verb = Verb::Submit;
+  if (out.id.empty()) return fail(err, "submit requires an id");
+  out.model_text = root.str_or("model");
+  out.model_path = root.str_or("path");
+  if (out.model_text.empty() && out.model_path.empty())
+    return fail(err, "submit requires \"model\" text or a \"path\"");
+
+  const std::string kind = root.str_or("kind", "auto");
+  if (kind == "auto") {
+    out.kind = Session::SourceKind::Auto;
+  } else if (kind == "arch") {
+    out.kind = Session::SourceKind::Arch;
+  } else if (kind == "pml") {
+    out.kind = Session::SourceKind::Pml;
+  } else {
+    return fail(err, "unknown kind \"" + kind + "\"");
+  }
+  out.resilience = root.bool_or("resilience");
+  out.checkpoint = root.bool_or("checkpoint");
+
+  RunConfig& cfg = out.config;
+  if (const json::Value* v = root.get("max_states"); v && v->is_number())
+    cfg.max_states = static_cast<std::uint64_t>(v->num);
+  if (const json::Value* v = root.get("deadline_seconds"); v && v->is_number())
+    cfg.deadline_seconds = v->num;
+  if (const json::Value* v = root.get("memory_budget_bytes");
+      v && v->is_number()) {
+    cfg.memory_budget_bytes = static_cast<std::uint64_t>(v->num);
+    out.explicit_memory = true;
+  }
+  if (const json::Value* v = root.get("threads"); v && v->is_number())
+    cfg.threads = static_cast<int>(v->num);
+  cfg.check_deadlock = root.bool_or("check_deadlock", cfg.check_deadlock);
+  cfg.por = root.bool_or("por", cfg.por);
+  cfg.bfs = root.bool_or("bfs", cfg.bfs);
+  cfg.degrade = root.bool_or("degrade", cfg.degrade);
+  cfg.connector_protocols =
+      root.bool_or("connector_protocols", cfg.connector_protocols);
+  cfg.ltl_weak_fairness =
+      root.bool_or("ltl_weak_fairness", cfg.ltl_weak_fairness);
+  cfg.invariant_text = root.str_or("invariant");
+  cfg.end_invariant_text = root.str_or("end_invariant");
+  if (const json::Value* v = root.get("ltl")) {
+    if (!v->is_array()) return fail(err, "\"ltl\" must be an array of strings");
+    for (const json::Value& f : v->arr) {
+      if (!f.is_string()) return fail(err, "\"ltl\" entries must be strings");
+      cfg.ltl.push_back(f.str);
+    }
+  }
+  if (const json::Value* v = root.get("props")) {
+    if (!v->is_array())
+      return fail(err, "\"props\" must be an array of [name, text] pairs");
+    for (const json::Value& p : v->arr) {
+      if (!p.is_array() || p.arr.size() != 2 || !p.arr[0].is_string() ||
+          !p.arr[1].is_string())
+        return fail(err, "\"props\" entries must be [name, text] pairs");
+      cfg.props.emplace_back(p.arr[0].str, p.arr[1].str);
+    }
+  }
+  return true;
+}
+
+std::string render_submit(const JobRequest& req) {
+  std::string out = frame_head("submit", req.id);
+  if (!req.model_text.empty()) {
+    out += ',';
+    append_key(out, "model");
+    append_string(out, req.model_text);
+  } else if (!req.model_path.empty()) {
+    out += ',';
+    append_key(out, "path");
+    append_string(out, req.model_path);
+  }
+  if (req.kind != Session::SourceKind::Auto) {
+    out += ',';
+    append_key(out, "kind");
+    append_string(out, req.kind == Session::SourceKind::Arch ? "arch" : "pml");
+  }
+  if (req.resilience) out += ",\"resilience\":true";
+  if (req.checkpoint) out += ",\"checkpoint\":true";
+
+  const RunConfig def{};
+  const RunConfig& cfg = req.config;
+  if (cfg.max_states != def.max_states) {
+    out += ',';
+    append_key(out, "max_states");
+    json::append_u64(out, cfg.max_states);
+  }
+  if (cfg.deadline_seconds != def.deadline_seconds) {
+    out += ',';
+    append_key(out, "deadline_seconds");
+    json::append_double(out, cfg.deadline_seconds);
+  }
+  if (req.explicit_memory) {
+    out += ',';
+    append_key(out, "memory_budget_bytes");
+    json::append_u64(out, cfg.memory_budget_bytes);
+  }
+  if (cfg.threads != def.threads) {
+    out += ',';
+    append_key(out, "threads");
+    json::append_u64(out, static_cast<std::uint64_t>(cfg.threads));
+  }
+  if (cfg.check_deadlock != def.check_deadlock)
+    out += ",\"check_deadlock\":false";
+  if (cfg.por != def.por) out += ",\"por\":true";
+  if (cfg.bfs != def.bfs) out += ",\"bfs\":true";
+  if (cfg.degrade != def.degrade) out += ",\"degrade\":false";
+  if (cfg.connector_protocols != def.connector_protocols)
+    out += ",\"connector_protocols\":false";
+  if (cfg.ltl_weak_fairness) out += ",\"ltl_weak_fairness\":true";
+  if (!cfg.invariant_text.empty()) {
+    out += ',';
+    append_key(out, "invariant");
+    append_string(out, cfg.invariant_text);
+  }
+  if (!cfg.end_invariant_text.empty()) {
+    out += ',';
+    append_key(out, "end_invariant");
+    append_string(out, cfg.end_invariant_text);
+  }
+  if (!cfg.ltl.empty()) {
+    out += ',';
+    append_key(out, "ltl");
+    out += '[';
+    for (std::size_t i = 0; i < cfg.ltl.size(); ++i) {
+      if (i != 0) out += ',';
+      append_string(out, cfg.ltl[i]);
+    }
+    out += ']';
+  }
+  if (!cfg.props.empty()) {
+    out += ',';
+    append_key(out, "props");
+    out += '[';
+    for (std::size_t i = 0; i < cfg.props.size(); ++i) {
+      if (i != 0) out += ',';
+      out += '[';
+      append_string(out, cfg.props[i].first);
+      out += ',';
+      append_string(out, cfg.props[i].second);
+      out += ']';
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+std::string render_cancel(const std::string& id) {
+  return frame_head("cancel", id) + "}";
+}
+
+std::string render_ping() { return frame_head("ping", {}) + "}"; }
+
+std::string render_pong() { return frame_head("pong", {}) + "}"; }
+
+std::string render_accepted(const std::string& id, std::size_t queue_depth) {
+  std::string out = frame_head("accepted", id);
+  out += ',';
+  append_key(out, "queue_depth");
+  json::append_u64(out, queue_depth);
+  out += '}';
+  return out;
+}
+
+std::string render_rejected(const std::string& id, const std::string& reason) {
+  std::string out = frame_head("rejected", id);
+  out += ',';
+  append_key(out, "reason");
+  append_string(out, reason);
+  out += '}';
+  return out;
+}
+
+std::string render_error(const std::string& id, const std::string& reason) {
+  std::string out = frame_head("error", id);
+  out += ',';
+  append_key(out, "reason");
+  append_string(out, reason);
+  out += '}';
+  return out;
+}
+
+std::string render_event(const std::string& id,
+                         const std::string& event_json) {
+  std::string out = frame_head("event", id);
+  out += ',';
+  append_key(out, "event");
+  out += event_json;  // already a complete single-line JSON object
+  out += '}';
+  return out;
+}
+
+std::string render_report(const std::string& id, const RunReport& rep,
+                          bool interrupted) {
+  std::string out = frame_head("report", id);
+  out += ',';
+  append_key(out, "subject");
+  append_string(out, rep.subject);
+  out += ',';
+  append_key(out, "mode");
+  append_string(out, rep.mode);
+  out += ',';
+  append_key(out, "config");
+  append_string(out, rep.config_digest);
+  out += rep.passed ? ",\"passed\":true" : ",\"passed\":false";
+  if (interrupted) out += ",\"interrupted\":true";
+  out += ',';
+  append_key(out, "seconds");
+  json::append_double(out, rep.seconds);
+  out += ',';
+  append_key(out, "cache_hits");
+  json::append_u64(out, static_cast<std::uint64_t>(rep.cache_hits()));
+  out += ',';
+  append_key(out, "recomputed");
+  json::append_u64(out, static_cast<std::uint64_t>(rep.recomputed()));
+  if (!rep.ledger_path.empty()) {
+    out += ',';
+    append_key(out, "ledger");
+    append_string(out, rep.ledger_path);
+  }
+  if (!rep.trail_path.empty()) {
+    out += ',';
+    append_key(out, "trail");
+    append_string(out, rep.trail_path);
+  }
+  out += ',';
+  append_key(out, "checks");
+  out += '[';
+  for (std::size_t i = 0; i < rep.checks.size(); ++i) {
+    const RunCheck& c = rep.checks[i];
+    if (i != 0) out += ',';
+    out += '{';
+    append_key(out, "kind");
+    append_string(out, c.kind);
+    out += ',';
+    append_key(out, "label");
+    append_string(out, c.label);
+    out += c.passed ? ",\"passed\":true" : ",\"passed\":false";
+    if (c.from_cache) out += ",\"from_cache\":true";
+    if (!c.stage.empty()) {
+      out += ',';
+      append_key(out, "stage");
+      append_string(out, c.stage);
+    }
+    if (c.states_stored != 0) {
+      out += ',';
+      append_key(out, "states");
+      json::append_u64(out, c.states_stored);
+    }
+    if (c.seconds > 0.0) {
+      out += ',';
+      append_key(out, "seconds");
+      json::append_double(out, c.seconds);
+    }
+    out += '}';
+  }
+  out += ']';
+  out += '}';
+  return out;
+}
+
+}  // namespace pnp::serve

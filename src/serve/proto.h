@@ -1,0 +1,85 @@
+// The pnpd job protocol: "pnp.job.v1", one JSON object per line in both
+// directions (JSONL framing, exactly like the run ledger).
+//
+// A client submits a verification job as a single frame carrying the model
+// (inline text or a server-side path) plus the RunConfig fields that can
+// change a verdict. The server answers with an `accepted` or `rejected`
+// frame, streams `event` frames while the job runs (Progress heartbeats,
+// budget warnings, phase/obligation lifecycle -- the JsonlStreamSink
+// rendering wrapped with the job id), and finishes with exactly one
+// `report` frame carrying the flattened RunReport. Protocol violations get
+// an `error` frame.
+//
+// Every response frame echoes the client-chosen job id, so one connection
+// can keep several jobs in flight and demux by id. The schema tag doubles
+// as the verb key: {"pnp.job.v1": "submit", ...}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pnp/session.h"
+#include "support/json.h"
+
+namespace pnp::serve {
+
+inline constexpr const char* kSchema = "pnp.job.v1";
+
+/// Longest frame the server will buffer while looking for the newline;
+/// generous enough for large inline models, small enough that a stream of
+/// garbage cannot balloon a connection. Exceeding it is a protocol error
+/// and closes the connection (the framing cannot be trusted afterwards).
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{8} << 20;
+
+enum class Verb : std::uint8_t {
+  Submit,  // run a verification job
+  Cancel,  // cancel a previously submitted job by id
+  Ping,    // liveness probe; answered with a pong frame
+};
+
+/// One parsed client frame. For Submit, `config` carries the budget and
+/// property fields lifted from the frame; everything the frame leaves out
+/// keeps the RunConfig default, exactly like an unset pnpv flag.
+struct JobRequest {
+  Verb verb = Verb::Submit;
+  std::string id;          // client-chosen, echoed on every response frame
+  std::string model_text;  // inline source; takes precedence over path
+  std::string model_path;  // server-side file to load instead
+  Session::SourceKind kind = Session::SourceKind::Auto;
+  bool resilience = false;
+  /// Checkpoint instead of discarding when the server drains this job
+  /// (SIGTERM): the worker assigns a per-job checkpoint directory under the
+  /// server state dir, so a resubmit after restart resumes the search.
+  bool checkpoint = false;
+  /// True when the frame carried an explicit memory_budget_bytes; jobs
+  /// without one are charged (and capped at) the server's default per-job
+  /// memory, so the admission charge always matches the enforced budget.
+  bool explicit_memory = false;
+  RunConfig config;
+};
+
+/// Parses one request line. Returns false and fills `*err` (when non-null)
+/// on malformed JSON, a missing/unknown verb, or a submit without a model.
+bool parse_request(const std::string& line, JobRequest& out, std::string* err);
+
+/// The client-side serialization parse_request() round-trips.
+std::string render_submit(const JobRequest& req);
+std::string render_cancel(const std::string& id);
+std::string render_ping();
+
+// -- server response frames (no trailing newline; the writer owns framing) ---
+
+std::string render_accepted(const std::string& id, std::size_t queue_depth);
+std::string render_rejected(const std::string& id, const std::string& reason);
+std::string render_error(const std::string& id, const std::string& reason);
+std::string render_pong();
+/// Wraps one JsonlStreamSink-rendered event (a complete JSON object) with
+/// the job framing: {"pnp.job.v1":"event","id":...,"event":{...}}.
+std::string render_event(const std::string& id, const std::string& event_json);
+/// The final frame of a job: verdict, wall time, per-check breakdown and
+/// cache totals. `interrupted` marks a drain/cancel partial result.
+std::string render_report(const std::string& id, const RunReport& rep,
+                          bool interrupted);
+
+}  // namespace pnp::serve

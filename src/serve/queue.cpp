@@ -1,0 +1,185 @@
+#include "serve/queue.h"
+
+#include "support/panic.h"
+
+namespace pnp::serve {
+
+JobQueue::JobQueue(std::uint64_t memory_budget, std::uint64_t default_charge,
+                   double aging_seconds)
+    : memory_budget_(memory_budget),
+      default_charge_(default_charge),
+      aging_(std::chrono::nanoseconds(
+          static_cast<std::int64_t>(aging_seconds * 1e9))) {
+  PNP_CHECK(default_charge_ > 0, "default job charge must be positive");
+}
+
+bool JobQueue::submit(Job job, std::string* reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    if (reason != nullptr) *reason = "server is draining";
+    return false;
+  }
+  job.charge = job.req.explicit_memory && job.req.config.memory_budget_bytes > 0
+                   ? job.req.config.memory_budget_bytes
+                   : default_charge_;
+  const bool idle = charged_ == 0;
+  if (!idle && memory_budget_ > 0 &&
+      charged_ + job.charge > memory_budget_) {
+    if (reason != nullptr) {
+      *reason = "memory budget exceeded: job charge ";
+      json::append_u64(*reason, job.charge);
+      *reason += " over ";
+      json::append_u64(*reason,
+                       charged_ >= memory_budget_ ? 0
+                                                  : memory_budget_ - charged_);
+      *reason += " available of ";
+      json::append_u64(*reason, memory_budget_);
+      *reason += " total";
+    }
+    return false;
+  }
+  job.seq = next_seq_++;
+  job.enqueued = std::chrono::steady_clock::now();
+  if (job.cancel == nullptr)
+    job.cancel = std::make_shared<std::atomic<bool>>(false);
+  charged_ += job.charge;
+  fifos_[job.client].push_back(std::move(job));
+  ++queued_;
+  cv_.notify_one();
+  return true;
+}
+
+Job JobQueue::take_locked() {
+  // Aging first: the globally oldest queued job (smallest seq, which is
+  // also the earliest enqueue) jumps the round-robin when it has waited
+  // past the threshold.
+  auto* oldest_fifo = static_cast<std::deque<Job>*>(nullptr);
+  for (auto& [client, fifo] : fifos_) {
+    if (fifo.empty()) continue;
+    if (oldest_fifo == nullptr || fifo.front().seq < oldest_fifo->front().seq)
+      oldest_fifo = &fifo;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  std::deque<Job>* pick = nullptr;
+  if (oldest_fifo != nullptr && now - oldest_fifo->front().enqueued >= aging_) {
+    pick = oldest_fifo;
+  } else {
+    // Round-robin: the first non-empty FIFO strictly after the cursor,
+    // wrapping to the beginning.
+    auto it = fifos_.upper_bound(last_client_);
+    for (std::size_t step = 0; step <= fifos_.size(); ++step, ++it) {
+      if (it == fifos_.end()) it = fifos_.begin();
+      if (!it->second.empty()) {
+        pick = &it->second;
+        last_client_ = it->first;
+        break;
+      }
+    }
+  }
+  PNP_CHECK(pick != nullptr && !pick->empty(), "pop on an empty queue");
+  Job job = std::move(pick->front());
+  pick->pop_front();
+  --queued_;
+  running_[job.seq] =
+      Running{job.client, job.charge, job.req.id, job.cancel};
+  return job;
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return queued_ > 0 || closed_; });
+  if (queued_ == 0) return std::nullopt;
+  return take_locked();
+}
+
+std::size_t JobQueue::cancel_client(std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  auto it = fifos_.find(client);
+  if (it != fifos_.end()) {
+    for (Job& job : it->second) {
+      job.cancel->store(true, std::memory_order_relaxed);
+      charged_ -= job.charge;
+      --queued_;
+      ++dropped;
+    }
+    fifos_.erase(it);
+  }
+  for (auto& [seq, run] : running_) {
+    if (run.client == client)
+      run.cancel->store(true, std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
+bool JobQueue::cancel_job(std::uint64_t client, const std::string& id,
+                          Job* dropped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fifos_.find(client);
+  if (it != fifos_.end()) {
+    for (auto jit = it->second.begin(); jit != it->second.end(); ++jit) {
+      if (jit->req.id != id) continue;
+      jit->cancel->store(true, std::memory_order_relaxed);
+      charged_ -= jit->charge;
+      --queued_;
+      if (dropped != nullptr) *dropped = std::move(*jit);
+      it->second.erase(jit);
+      return true;
+    }
+  }
+  for (auto& [seq, run] : running_) {
+    if (run.client == client && run.id == id) {
+      run.cancel->store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t JobQueue::interrupt_running() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [seq, run] : running_)
+    run.cancel->store(true, std::memory_order_relaxed);
+  return running_.size();
+}
+
+void JobQueue::release(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = running_.find(seq);
+  PNP_CHECK(it != running_.end(), "release of a job that is not running");
+  charged_ -= it->second.charge;
+  running_.erase(it);
+}
+
+std::vector<Job> JobQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  std::vector<Job> pending;
+  for (auto& [client, fifo] : fifos_) {
+    for (Job& job : fifo) {
+      charged_ -= job.charge;
+      --queued_;
+      pending.push_back(std::move(job));
+    }
+  }
+  fifos_.clear();
+  cv_.notify_all();
+  return pending;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+std::size_t JobQueue::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_.size();
+}
+
+std::uint64_t JobQueue::charged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charged_;
+}
+
+}  // namespace pnp::serve

@@ -1,0 +1,118 @@
+// The pnpd job queue: memory admission control at the door, FIFO-with-aging
+// fair scheduling inside.
+//
+// Admission: every job is charged a memory amount -- its explicit
+// memory_budget_bytes when the frame carried one, otherwise the server's
+// per-job default (which the worker also installs as the job's enforced
+// engine budget, so the charge is never fiction). A submit is rejected with
+// a reason when the aggregate charge of queued + running jobs would exceed
+// the server budget; the one exception is an idle server, which always
+// admits a single job even when that job alone is over budget, so a big job
+// can still run alone instead of being unschedulable forever.
+//
+// Scheduling: one FIFO per client connection, served round-robin, so a
+// client that dumps 200 jobs cannot starve a client that submits one.
+// Aging bounds the other direction: when the oldest queued job anywhere has
+// waited longer than the aging threshold it is picked next regardless of
+// whose turn it is, so round-robin unfairness is capped at the threshold.
+//
+// Cancellation rides on the per-job cancel flag (a shared_ptr the engines
+// poll through ExecBudget::interrupt): cancel_client() flags and drops a
+// disconnected client's queued jobs and flags its running ones;
+// interrupt_running() flags every running job for SIGTERM drain.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/proto.h"
+
+namespace pnp::serve {
+
+struct Job {
+  std::uint64_t seq = 0;     // global arrival order (aging, release handle)
+  std::uint64_t client = 0;  // connection id (fairness + cancellation)
+  JobRequest req;
+  std::uint64_t charge = 0;  // admission charge, released on completion
+  std::chrono::steady_clock::time_point enqueued{};
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+class JobQueue {
+ public:
+  JobQueue(std::uint64_t memory_budget, std::uint64_t default_charge,
+           double aging_seconds = 5.0);
+
+  /// Admits or rejects `job` (see file comment). On admission the job's
+  /// seq/charge/enqueued fields are filled in and a cancel flag is attached
+  /// when the caller did not provide one. Rejects after close().
+  bool submit(Job job, std::string* reason);
+
+  /// Blocks until a job is schedulable or the queue is closed; nullopt only
+  /// after close() with nothing left. The popped job counts as running
+  /// until the caller release()s its seq.
+  std::optional<Job> pop();
+
+  /// Client disconnected: drop its queued jobs (charges released, flags
+  /// set) and flag its running jobs cancelled. Returns how many were
+  /// dropped from the queue.
+  std::size_t cancel_client(std::uint64_t client);
+
+  /// Cancel one job by client-chosen id. Queued: dropped, with the job
+  /// moved into `*dropped` (when non-null) so the server can tell the
+  /// owner. Running: flagged. False when no such job exists.
+  bool cancel_job(std::uint64_t client, const std::string& id, Job* dropped);
+
+  /// SIGTERM drain: flag every running job's cancel flag so the engines
+  /// park (checkpoint if configured) at their next poll. Returns how many
+  /// were flagged.
+  std::size_t interrupt_running();
+
+  /// Job `seq` finished (or was abandoned): return its charge to the pool.
+  void release(std::uint64_t seq);
+
+  /// Stop accepting and wake every pop()er; returns the still-queued jobs
+  /// so the server can send each owner a rejection frame.
+  std::vector<Job> close();
+
+  std::size_t depth() const;
+  std::size_t running() const;
+  std::uint64_t charged() const;
+
+ private:
+  struct Running {
+    std::uint64_t client = 0;
+    std::uint64_t charge = 0;
+    std::string id;
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+
+  /// Picks the next job under mu_: the globally oldest one when it has aged
+  /// past the threshold, otherwise round-robin across client FIFOs.
+  Job take_locked();
+
+  const std::uint64_t memory_budget_;
+  const std::uint64_t default_charge_;
+  const std::chrono::nanoseconds aging_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t charged_ = 0;  // queued + running admission charges
+  std::size_t queued_ = 0;
+  std::uint64_t last_client_ = 0;  // round-robin cursor
+  std::map<std::uint64_t, std::deque<Job>> fifos_;  // per-client, by id
+  std::map<std::uint64_t, Running> running_;        // by seq
+};
+
+}  // namespace pnp::serve

@@ -1,0 +1,251 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pnp::json {
+
+const Value* Value::get(const std::string& key) const {
+  for (const auto& kv : obj)
+    if (kv.first == key) return &kv.second;
+  return nullptr;
+}
+
+std::string Value::str_or(const std::string& key, std::string def) const {
+  const Value* v = get(key);
+  return v != nullptr && v->is_string() ? v->str : std::move(def);
+}
+
+double Value::num_or(const std::string& key, double def) const {
+  const Value* v = get(key);
+  return v != nullptr && v->is_number() ? v->num : def;
+}
+
+bool Value::bool_or(const std::string& key, bool def) const {
+  const Value* v = get(key);
+  return v != nullptr && v->is_bool() ? v->b : def;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  void skip_ws() {
+    while (p != end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what;
+    return false;
+  }
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (p == end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.type = Value::Type::String;
+        return parse_string(out.str);
+      case 't':
+        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+          p += 4;
+          out.type = Value::Type::Bool;
+          out.b = true;
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+          p += 5;
+          out.type = Value::Type::Bool;
+          out.b = false;
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
+          p += 4;
+          out.type = Value::Type::Null;
+          return true;
+        }
+        return fail("bad literal");
+      default: return parse_number(out);
+    }
+  }
+  bool parse_string(std::string& out) {
+    ++p;  // opening quote
+    out.clear();
+    while (p != end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p == end) return fail("unterminated escape");
+        char esc = *p++;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (end - p < 4) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = *p++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad \\u escape");
+            }
+            // Our writers only escape control chars; a byte is enough.
+            out += static_cast<char>(code & 0xff);
+            break;
+          }
+          default: return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (p == end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+  bool parse_number(Value& out) {
+    const char* start = p;
+    if (p != end && (*p == '-' || *p == '+')) ++p;
+    while (p != end &&
+           (std::isdigit(static_cast<unsigned char>(*p)) || *p == '.' ||
+            *p == 'e' || *p == 'E' || *p == '-' || *p == '+'))
+      ++p;
+    if (p == start) return fail("bad number");
+    out.type = Value::Type::Number;
+    out.num = std::strtod(std::string(start, p).c_str(), nullptr);
+    return true;
+  }
+  bool parse_array(Value& out) {
+    out.type = Value::Type::Array;
+    ++p;  // '['
+    skip_ws();
+    if (p != end && *p == ']') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      Value v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (p == end) return fail("unterminated array");
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == ']') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+  bool parse_object(Value& out) {
+    out.type = Value::Type::Object;
+    ++p;  // '{'
+    skip_ws();
+    if (p != end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (p == end || *p != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (p == end || *p != ':') return fail("expected ':'");
+      ++p;
+      Value v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (p == end) return fail("unterminated object");
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == '}') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value& out, std::string* err) {
+  Parser parser{text.data(), text.data() + text.size(), {}};
+  if (!parser.parse_value(out)) {
+    if (err != nullptr) *err = "parse error: " + parser.err;
+    return false;
+  }
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    if (err != nullptr) *err = "trailing bytes after value";
+    return false;
+  }
+  return true;
+}
+
+void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace pnp::json

@@ -1,0 +1,70 @@
+// Minimal JSON reading and writing, shared by the observability ledger
+// (pnp.run.v1 records, see obs/obs.h) and the pnpd job protocol
+// (pnp.job.v1, see serve/proto.h).
+//
+// The reader is a small recursive-descent parser producing a generic value
+// tree -- just enough JSON for single-line records whose writers we also
+// own. It accepts the standard scalar/array/object grammar, keeps object
+// keys in insertion order, and decodes the escape sequences our writers
+// emit (\uXXXX escapes below 0x100 decode to the raw byte; the writers only
+// escape control characters, so nothing larger is ever produced).
+//
+// The writer helpers append canonical single-line fragments: strings with
+// control characters escaped, numbers via %.6g, integers in full precision.
+// Everything the repo persists as JSON/JSONL goes through these, so records
+// stay byte-stable across call sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pnp::json {
+
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_bool() const { return type == Type::Bool; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_object() const { return type == Type::Object; }
+
+  /// First value stored under `key` (objects keep duplicates as written);
+  /// null when absent or when this value is not an object.
+  const Value* get(const std::string& key) const;
+
+  /// Typed lookups for flat record shapes: the value under `key` when it
+  /// has the requested type, otherwise the supplied default.
+  std::string str_or(const std::string& key, std::string def = {}) const;
+  double num_or(const std::string& key, double def = 0.0) const;
+  bool bool_or(const std::string& key, bool def = false) const;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (surrounding
+/// whitespace allowed; trailing bytes are an error). Returns false and
+/// fills `*err` (when non-null) with a one-line reason on malformed input.
+bool parse(std::string_view text, Value& out, std::string* err);
+
+// -- single-line writer helpers ----------------------------------------------
+
+/// Appends `s` as a quoted JSON string, escaping quotes, backslashes and
+/// control characters (so the result never contains a raw newline -- the
+/// invariant JSONL framing depends on).
+void append_string(std::string& out, const std::string& s);
+
+/// Appends `v` with %.6g formatting; non-finite values are written as 0.
+void append_double(std::string& out, double v);
+
+void append_u64(std::string& out, std::uint64_t v);
+
+}  // namespace pnp::json

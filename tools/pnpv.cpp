@@ -25,6 +25,8 @@
 #include "adl/adl.h"
 #include "pml/parser.h"
 #include "pnp/pnp.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "support/panic.h"
 
 namespace {
@@ -40,6 +42,16 @@ extern "C" void on_interrupt(int) {
   if (g_interrupt.exchange(true)) std::_Exit(130);  // second signal: give up
 }
 
+/// In --serve mode SIGINT/SIGTERM initiate the graceful drain instead
+/// (request_stop() is async-signal-safe); a second signal force-exits.
+std::atomic<serve::Server*> g_server{nullptr};
+
+extern "C" void on_serve_signal(int) {
+  serve::Server* s = g_server.exchange(nullptr);
+  if (s == nullptr) std::_Exit(130);  // second signal: give up
+  s->request_stop();
+}
+
 struct Args {
   RunConfig cfg;
   std::string model_path;
@@ -49,6 +61,14 @@ struct Args {
   int simulate = 0;
   std::uint64_t seed = 1;
   bool msc = false;
+  // -- daemon / client mode (see serve/server.h) --
+  bool serve = false;
+  bool submit = false;
+  std::string socket_path;
+  int port = -1;
+  int workers = 2;
+  std::uint64_t server_memory = std::uint64_t{4} << 30;
+  std::uint64_t job_memory = std::uint64_t{256} << 20;
 };
 
 [[noreturn]] void usage(const std::string& msg);
@@ -247,6 +267,39 @@ const FlagDef kFlags[] = {
     {"msc", nullptr, nullptr, nullptr,
      "render the simulation as a message sequence chart",
      [](Args& a, const std::string&) { a.msc = true; }},
+    {"serve", nullptr, nullptr, nullptr,
+     "run as a verification daemon (pnpd): accept pnp.job.v1 jobs on "
+     "--socket, share one verdict cache and run ledger across all workers",
+     [](Args& a, const std::string&) { a.serve = true; }},
+    {"submit", nullptr, nullptr, nullptr,
+     "send the model to a running daemon (--socket or --port) instead of "
+     "verifying locally; exit code matches a local run",
+     [](Args& a, const std::string&) { a.submit = true; }},
+    {"socket", "PNPV_SOCKET", "PATH", nullptr,
+     "Unix domain socket the daemon listens on / the client connects to",
+     [](Args& a, const std::string& v) { a.socket_path = v; }},
+    {"port", "PNPV_PORT", "N", nullptr,
+     "(--serve) also listen on 127.0.0.1:N (0 = pick an ephemeral port); "
+     "(--submit) connect over TCP instead of the socket",
+     [](Args& a, const std::string& v) { a.port = std::atoi(v.c_str()); }},
+    {"workers", "PNPV_WORKERS", "N", nullptr,
+     "(--serve) verification worker threads (default 2)",
+     [](Args& a, const std::string& v) {
+       a.workers = std::atoi(v.c_str());
+       if (a.workers < 1) usage("--workers must be >= 1");
+     }},
+    {"server-memory", nullptr, "SIZE[K|M|G]", nullptr,
+     "(--serve) aggregate admission budget across queued + running jobs "
+     "(default 4G; jobs over it are rejected with a reason)",
+     [](Args& a, const std::string& v) {
+       a.server_memory = parse_bytes(v, "--server-memory");
+     }},
+    {"job-memory", nullptr, "SIZE[K|M|G]", nullptr,
+     "(--serve) memory charge and enforced budget for jobs that do not "
+     "bring their own --memory (default 256M)",
+     [](Args& a, const std::string& v) {
+       a.job_memory = parse_bytes(v, "--job-memory");
+     }},
 };
 
 void print_help(std::FILE* out) {
@@ -317,7 +370,7 @@ Args parse_args(int argc, char** argv) {
       usage("more than one model file given");
     }
   }
-  if (a.model_path.empty()) usage("no model file given");
+  if (a.model_path.empty() && !a.serve) usage("no model file given");
   return a;
 }
 
@@ -347,10 +400,113 @@ int simulate(const Args& args, const kernel::Machine& m) {
   return 0;
 }
 
+int run_serve(const Args& args) {
+  if (args.socket_path.empty()) usage("--serve needs --socket PATH");
+  serve::ServerOptions o;
+  o.socket_path = args.socket_path;
+  o.tcp_port = args.port;
+  o.workers = args.workers;
+  o.memory_budget = args.server_memory;
+  o.default_job_memory = args.job_memory;
+  // --ledger doubles as the daemon state directory: the shared run ledger,
+  // the verdict cache and drain checkpoints all live under it.
+  o.state_dir = args.cfg.ledger_dir.empty() ? "pnpd-state" : args.cfg.ledger_dir;
+
+  serve::Server server(o);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "pnpd: %s\n", err.c_str());
+    return 2;
+  }
+  g_server.store(&server);
+  std::signal(SIGINT, on_serve_signal);
+  std::signal(SIGTERM, on_serve_signal);
+  std::fprintf(stderr, "pnpd: listening on %s", args.socket_path.c_str());
+  if (server.tcp_port() >= 0)
+    std::fprintf(stderr, " and 127.0.0.1:%d", server.tcp_port());
+  std::fprintf(stderr, " (%d workers, state in %s)\n", args.workers,
+               o.state_dir.c_str());
+  if (server.ledger_recovered_torn())
+    std::fprintf(stderr,
+                 "pnpd: note: recovered a torn final record in %s "
+                 "(a previous process died mid-append)\n",
+                 server.ledger_path().c_str());
+  server.run();
+  g_server.store(nullptr);
+  const serve::ServerStats st = server.stats();
+  std::fprintf(stderr,
+               "pnpd: drained -- %llu connections, %llu accepted, %llu "
+               "completed, %llu interrupted, %llu rejected, %llu protocol "
+               "errors\n",
+               static_cast<unsigned long long>(st.connections),
+               static_cast<unsigned long long>(st.accepted),
+               static_cast<unsigned long long>(st.completed),
+               static_cast<unsigned long long>(st.interrupted),
+               static_cast<unsigned long long>(st.rejected),
+               static_cast<unsigned long long>(st.protocol_errors));
+  return 0;
+}
+
+int run_submit(const Args& args) {
+  if (args.socket_path.empty() && args.port < 0)
+    usage("--submit needs --socket PATH or --port N");
+  serve::Client client;
+  std::string err;
+  const bool connected =
+      !args.socket_path.empty() ? client.connect_unix(args.socket_path, &err)
+                                : client.connect_tcp(args.port, &err);
+  if (!connected) {
+    std::fprintf(stderr, "pnpv: %s\n", err.c_str());
+    return 2;
+  }
+
+  serve::JobRequest req;
+  req.id = args.model_path;  // suffix keeps SourceKind::Auto sniffing honest
+  req.model_text = slurp(args.model_path);
+  req.resilience = args.resilience;
+  req.checkpoint = args.cfg.resume;
+  req.explicit_memory = args.cfg.memory_budget_bytes != 0;
+  req.config = args.cfg;
+  req.config.interrupt = nullptr;  // local-only; never crosses the wire
+
+  serve::Client::Outcome out;
+  const bool ok = client.submit_and_wait(
+      req, &out, &err, [](const json::Value& ev) {
+        std::fprintf(stderr, "pnpd: %s %s\n", ev.str_or("kind").c_str(),
+                     ev.str_or("label", ev.str_or("detail")).c_str());
+      });
+  if (!ok) {
+    std::fprintf(stderr, "pnpv: %s\n", err.c_str());
+    return 2;
+  }
+  if (!out.error.empty()) {
+    std::fprintf(stderr, "pnpv: server error: %s\n", out.error.c_str());
+    return 2;
+  }
+  if (!out.accepted || !out.reject_reason.empty()) {
+    std::fprintf(stderr, "pnpv: job rejected: %s\n",
+                 out.reject_reason.c_str());
+    return 3;
+  }
+  std::size_t checks = 0;
+  if (const json::Value* cs = out.report.get("checks"); cs != nullptr)
+    checks = cs->arr.size();
+  std::printf(
+      "pnpd-report id=%s passed=%s interrupted=%s checks=%zu "
+      "cache_hits=%d recomputed=%d seconds=%.3f\n",
+      req.id.c_str(), out.passed ? "true" : "false",
+      out.interrupted ? "true" : "false", checks, out.cache_hits,
+      out.recomputed, out.seconds);
+  if (out.interrupted) return 130;
+  return out.passed ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
+  if (args.serve) return run_serve(args);
+  if (args.submit) return run_submit(args);
   if (args.cfg.resume && args.cfg.checkpoint_dir.empty())
     usage("--resume needs --checkpoint-dir");
   if (args.cfg.checkpoint_every > 0 && args.cfg.checkpoint_dir.empty())
