@@ -73,6 +73,26 @@ for ((i = 0; i < jobs; ++i)); do
 done
 for p in "${pids[@]}"; do wait "$p" || true; done
 
+# -- warm aot job -------------------------------------------------------------
+# Two identical --engine aot submissions: the first compiles the model's
+# specialized module into the daemon's shared artifact cache (or falls back
+# to bytecode on a toolchain-less host -- the verdict contract is the same
+# either way), the second reuses whatever the first built. Both must agree
+# with the single-shot reference verdict.
+set +e
+"$pnpv" "$models/demo.arch" --end-invariant "delivered == 3" \
+  --engine aot --submit --socket "$sock" > "$work/aot.cold" 2>&1
+rc_cold=$?
+"$pnpv" "$models/demo.arch" --end-invariant "delivered == 3" \
+  --engine aot --submit --socket "$sock" > "$work/aot.warm" 2>&1
+rc_warm=$?
+set -e
+[[ "$rc_cold" == 0 && "$rc_warm" == 0 ]] || {
+  echo "soak: warm aot jobs returned $rc_cold/$rc_warm (want 0/0)" >&2
+  exit 1
+}
+echo "soak: warm aot job ok" >&2
+
 # -- 1. verdict parity --------------------------------------------------------
 bad=0
 for ((i = 0; i < jobs; ++i)); do

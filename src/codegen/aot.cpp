@@ -1,0 +1,328 @@
+// AOT driver: content-addressed artifact cache + host-toolchain compile +
+// dlopen + the Engine adapter bridging the C ABI back to SuccScratch/SuccSink.
+#include "codegen/aot.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "codegen/aot_abi.h"
+#include "obs/obs.h"
+#include "support/hash.h"
+#include "support/panic.h"
+
+namespace pnp::codegen {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Bump whenever the generated code's SHAPE changes (new helpers, different
+// specialization decisions) even if the ABI is unchanged: the emitter
+// version is part of the cache key, so old artifacts simply stop matching.
+constexpr int kEmitterVersion = 3;
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string pick_cxx(const EngineOptions& opt) {
+  if (!opt.cxx.empty()) return opt.cxx;
+  if (const char* env = std::getenv("PNP_AOT_CXX"); env && *env) return env;
+#ifdef PNP_AOT_HOST_CXX
+  return PNP_AOT_HOST_CXX;  // the compiler this library was built with
+#else
+  return "c++";
+#endif
+}
+
+fs::path pick_cache_dir(const EngineOptions& opt, std::string* why) {
+  std::error_code ec;
+  fs::path dir = opt.cache_dir.empty()
+                     ? fs::temp_directory_path(ec) / "pnp-aot-cache"
+                     : fs::path(opt.cache_dir);
+  if (ec) {
+    *why = "no usable temp directory for the aot artifact cache";
+    return {};
+  }
+  fs::create_directories(dir, ec);
+  if (ec) {
+    *why = "cannot create aot cache directory " + dir.string();
+    return {};
+  }
+  return dir;
+}
+
+struct HostCtx {
+  kernel::SuccScratch* scratch;
+  kernel::SuccSink* sink;
+};
+
+struct UndoBufs {
+  std::vector<std::int32_t> slot;
+  std::vector<std::int32_t> val;
+};
+
+UndoBufs& undo_bufs() {
+  thread_local UndoBufs bufs;
+  return bufs;
+}
+
+}  // namespace
+
+extern "C" {
+
+static std::int32_t pnp_aot_emit_cb(pnp_aot_ctx* c, const pnp_aot_step* st) {
+  auto* host = static_cast<HostCtx*>(c->host);
+  kernel::SuccScratch& scr = *host->scratch;
+  scr.undo.clear();
+  for (std::int32_t i = 0; i < c->undo_len; ++i)
+    scr.undo.emplace_back(c->undo_slot[i], c->undo_val[i]);
+  scr.state.atomic_pid = c->atomic_pid;
+  kernel::Step& s = scr.step;
+  s.pid = st->pid;
+  s.trans = st->trans;
+  s.partner_pid = st->partner_pid;
+  s.partner_trans = st->partner_trans;
+  s.assert_failed = st->assert_failed != 0;
+  s.event.kind = static_cast<kernel::StepEvent::Kind>(st->kind);
+  s.event.chan = st->chan;
+  if (st->msg)
+    s.event.msg.assign(st->msg, st->msg + st->msg_len);
+  else
+    s.event.msg.clear();
+  return host->sink->on_successor(scr.state, s) ? 1 : 0;
+}
+
+static void pnp_aot_trap_cb(pnp_aot_ctx*, const char* msg) {
+  // Unwinds through the generated frames (plain data, nothing to destroy) --
+  // the same ModelError the interpreter's PNP_CHECK would raise here.
+  raise_model_error(msg);
+}
+
+}  // extern "C"
+
+namespace {
+
+class AotEngine final : public Engine {
+ public:
+  AotEngine(const kernel::Machine& m, void* handle,
+            const pnp_aot_module_v1* mod)
+      : Engine(m), handle_(handle), mod_(mod) {}
+
+  ~AotEngine() override {
+    if (handle_) dlclose(handle_);
+  }
+
+  EngineKind kind() const override { return EngineKind::Aot; }
+
+  void visit_successors(const kernel::State& s, kernel::SuccScratch& scratch,
+                        kernel::SuccSink& sink, std::uint32_t skip,
+                        std::uint64_t* resume) const override {
+    HostCtx host{&scratch, &sink};
+    pnp_aot_ctx ctx;
+    prepare(s, scratch, host, ctx, skip);
+    if (resume != nullptr) {
+      // Fast-forward to the previous visit's stop process: everything
+      // before it contributed exactly `base` candidates, all covered by
+      // `skip`. Atomic states keep the plain path (single-process sweep).
+      const int tp = resume_pid(*resume);
+      const std::uint32_t base = resume_base(*resume);
+      if (tp >= 0 && tp < m_->n_processes() && base <= skip &&
+          s.atomic_pid < 0) {
+        ctx.start_pid = tp;
+        ctx.cand = static_cast<std::int32_t>(base);
+        ctx.skip = static_cast<std::int32_t>(skip - base);
+      }
+      *resume = 0;
+    }
+    mod_->visit_all(&ctx);
+    if (resume != nullptr && ctx.stop_pid >= 0)
+      *resume = encode_resume(ctx.stop_pid,
+                              static_cast<std::uint32_t>(ctx.pid_base));
+    finish(s, scratch);
+  }
+
+  bool visit_successors_of(const kernel::State& s, int pid,
+                           kernel::SuccScratch& scratch,
+                           kernel::SuccSink& sink) const override {
+    HostCtx host{&scratch, &sink};
+    pnp_aot_ctx ctx;
+    prepare(s, scratch, host, ctx, 0);
+    const std::uint32_t r = mod_->visit_of(&ctx, pid);
+    finish(s, scratch);
+    return (r & 1u) != 0;
+  }
+
+ private:
+  void prepare(const kernel::State& s, kernel::SuccScratch& scratch,
+               HostCtx& host, pnp_aot_ctx& ctx, std::uint32_t skip) const {
+    scratch.state.mem.assign(s.mem.begin(), s.mem.end());
+    scratch.state.atomic_pid = s.atomic_pid;
+    scratch.undo.clear();
+    UndoBufs& bufs = undo_bufs();
+    // one step's undo log: at most one channel region + a frame's resets +
+    // binds + two pcs, comfortably under size + 32
+    const std::size_t need = s.mem.size() + 32;
+    if (bufs.slot.size() < need) {
+      bufs.slot.resize(need);
+      bufs.val.resize(need);
+    }
+    ctx.mem = scratch.state.mem.data();
+    ctx.undo_slot = bufs.slot.data();
+    ctx.undo_val = bufs.val.data();
+    ctx.undo_len = 0;
+    ctx.atomic_pid = s.atomic_pid;
+    ctx.src_atomic = s.atomic_pid;
+    ctx.skip = static_cast<std::int32_t>(skip);
+    ctx.start_pid = -1;
+    ctx.stop_pid = -1;
+    ctx.cand = 0;
+    ctx.pid_base = 0;
+    ctx.host = &host;
+    ctx.emit = &pnp_aot_emit_cb;
+    ctx.trap = &pnp_aot_trap_cb;
+  }
+
+  /// Leave the scratch in the interpreter's post-generation shape: state
+  /// reverted to the source, undo log empty.
+  void finish(const kernel::State& s, kernel::SuccScratch& scratch) const {
+    scratch.state.atomic_pid = s.atomic_pid;
+    scratch.undo.clear();
+  }
+
+  void* handle_;
+  const pnp_aot_module_v1* mod_;
+};
+
+bool write_file_atomic(const fs::path& final_path, const std::string& body,
+                       std::string* why) {
+  const fs::path tmp =
+      final_path.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      *why = "cannot write " + tmp.string();
+      return false;
+    }
+    out << body;
+    if (!out.flush()) {
+      *why = "short write to " + tmp.string();
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    *why = "cannot move artifact into cache at " + final_path.string();
+    return false;
+  }
+  return true;
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (char ch : s) {
+    if (ch == '\'')
+      out += "'\\''";
+    else
+      out += ch;
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Engine> make_aot_engine(const kernel::Machine& m,
+                                        const EngineOptions& opt,
+                                        std::string* why) {
+  const std::string key_src = machine_digest(m) + "|abi" +
+                              std::to_string(kAotAbiVersion) + "|emit" +
+                              std::to_string(kEmitterVersion);
+  const std::string key =
+      hex64(stable_hash64(key_src)) + hex64(stable_hash64(key_src + "#2"));
+
+  const fs::path dir = pick_cache_dir(opt, why);
+  if (dir.empty()) return nullptr;
+  const fs::path so = dir / ("pnp-aot-" + key + ".so");
+  const fs::path cpp = dir / ("pnp-aot-" + key + ".cpp");
+
+  std::error_code ec;
+  const bool cached = fs::exists(so, ec);
+  if (!cached) {
+    std::string src = emit_aot_source(m, key, why);
+    if (src.empty()) return nullptr;  // unsupported construct; *why set
+    if (!write_file_atomic(cpp, src, why)) return nullptr;
+
+    const std::string cxx = pick_cxx(opt);
+    const fs::path so_tmp =
+        so.string() + ".tmp." + std::to_string(::getpid());
+    const fs::path log = dir / ("pnp-aot-" + key + ".log");
+    const std::string cmd = shell_quote(cxx) +
+                            " -std=c++20 -O2 -fPIC -shared -o " +
+                            shell_quote(so_tmp.string()) + " " +
+                            shell_quote(cpp.string()) + " > " +
+                            shell_quote(log.string()) + " 2>&1";
+
+    std::size_t phase = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (opt.obs) phase = opt.obs->begin_phase("codegen.compile", 0);
+    const int rc = std::system(cmd.c_str());
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (opt.obs) opt.obs->end_phase(phase, 0, secs, rc == 0 ? "" : "failed");
+    if (rc != 0) {
+      fs::remove(so_tmp, ec);
+      *why = "aot compile failed with " + cxx + " (log: " + log.string() + ")";
+      return nullptr;
+    }
+    fs::rename(so_tmp, so, ec);
+    if (ec && !fs::exists(so)) {  // a concurrent build may have won the race
+      *why = "cannot move compiled module into cache at " + so.string();
+      return nullptr;
+    }
+    if (opt.obs) opt.obs->recorder().add(obs::Counter::CodegenCompiles, 1);
+  } else if (opt.obs) {
+    opt.obs->recorder().add(obs::Counter::CodegenCacheHits, 1);
+  }
+
+  void* handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) {
+    const char* err = dlerror();
+    *why = "dlopen failed: " + std::string(err ? err : "unknown error");
+    return nullptr;
+  }
+  using EntryFn = pnp_aot_module_v1* (*)();
+  auto entry =
+      reinterpret_cast<EntryFn>(dlsym(handle, kAotEntrySymbol));
+  if (!entry) {
+    dlclose(handle);
+    *why = "cached module exports no " + std::string(kAotEntrySymbol);
+    return nullptr;
+  }
+  const pnp_aot_module_v1* mod = entry();
+  if (mod == nullptr || mod->abi_version != kAotAbiVersion ||
+      mod->state_size != m.layout().size() ||
+      key != (mod->source_digest ? mod->source_digest : "")) {
+    dlclose(handle);
+    *why = "cached module at " + so.string() +
+           " does not match this machine (stale or foreign artifact)";
+    return nullptr;
+  }
+  return std::make_unique<AotEngine>(m, handle, mod);
+}
+
+}  // namespace pnp::codegen

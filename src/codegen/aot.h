@@ -1,0 +1,30 @@
+// The AOT backend: emits a C++ translation unit specializing successor
+// generation for ONE machine, compiles it with the host toolchain, dlopens
+// the result, and adapts it to the Engine interface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codegen/engine.h"
+
+namespace pnp::codegen {
+
+/// Generates the specialized C++ source for `m`, embedding `digest` as the
+/// module's source_digest. Returns an empty string when the machine uses a
+/// construct the emitter does not specialize (currently: channel-id
+/// expressions that do not fold to constants), with the reason in `*why`.
+/// Exposed for tests; production callers go through make_aot_engine.
+std::string emit_aot_source(const kernel::Machine& m, const std::string& digest,
+                            std::string* why);
+
+/// Builds the AOT engine: emit + compile (content-addressed cache under
+/// opt.cache_dir) + dlopen + validate. Returns nullptr with a one-line
+/// reason in `*why` when anything along that path is unavailable or fails;
+/// the caller (make_engine) decides whether that means fallback or error.
+/// Bumps CodegenCompiles / CodegenCacheHits on opt.obs.
+std::unique_ptr<Engine> make_aot_engine(const kernel::Machine& m,
+                                        const EngineOptions& opt,
+                                        std::string* why);
+
+}  // namespace pnp::codegen

@@ -1,0 +1,17 @@
+// The always-available codegen backend: per-pid transition tables with
+// expressions compiled to flat stack-bytecode programs run by a threaded
+// (computed-goto) interpreter. No toolchain, no I/O -- construction cannot
+// fail, which is what makes it the floor of the aot -> bytecode -> interp
+// fallback ladder.
+#pragma once
+
+#include <memory>
+
+#include "codegen/engine.h"
+
+namespace pnp::codegen {
+
+/// Compiles `m` (which must outlive the engine) to bytecode tables.
+std::unique_ptr<Engine> make_bytecode_engine(const kernel::Machine& m);
+
+}  // namespace pnp::codegen

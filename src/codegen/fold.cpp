@@ -1,0 +1,94 @@
+#include "codegen/fold.h"
+
+namespace pnp::codegen {
+
+using expr::Op;
+using expr::Value;
+
+std::optional<Value> fold_const(const expr::Pool& pool, expr::Ref r,
+                                std::span<const Value> params,
+                                Value self_pid) {
+  if (r == expr::kNoExpr) return std::nullopt;
+  const expr::Node& n = pool.at(r);
+  auto rec = [&](expr::Ref x) { return fold_const(pool, x, params, self_pid); };
+  switch (n.op) {
+    case Op::Const:
+      return n.imm;
+    case Op::Global:
+      return std::nullopt;
+    case Op::Local: {
+      const auto slot = static_cast<std::size_t>(n.imm);
+      if (slot < params.size()) return params[slot];
+      return std::nullopt;  // mutable local: state-dependent
+    }
+    case Op::SelfPid:
+      return self_pid;
+    case Op::Neg: {
+      const auto a = rec(n.a);
+      return a ? std::optional<Value>(-*a) : std::nullopt;
+    }
+    case Op::Not: {
+      const auto a = rec(n.a);
+      return a ? std::optional<Value>(*a == 0 ? 1 : 0) : std::nullopt;
+    }
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Eq:
+    case Op::Ne:
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge: {
+      const auto a = rec(n.a);
+      if (!a) return std::nullopt;
+      const auto b = rec(n.b);
+      if (!b) return std::nullopt;
+      switch (n.op) {
+        case Op::Add: return *a + *b;
+        case Op::Sub: return *a - *b;
+        case Op::Mul: return *a * *b;
+        case Op::Eq: return *a == *b ? 1 : 0;
+        case Op::Ne: return *a != *b ? 1 : 0;
+        case Op::Lt: return *a < *b ? 1 : 0;
+        case Op::Le: return *a <= *b ? 1 : 0;
+        case Op::Gt: return *a > *b ? 1 : 0;
+        default: return *a >= *b ? 1 : 0;
+      }
+    }
+    case Op::Div:
+    case Op::Mod: {
+      const auto d = rec(n.b);
+      if (!d || *d == 0) return std::nullopt;  // zero keeps its runtime trap
+      const auto a = rec(n.a);
+      if (!a) return std::nullopt;
+      return n.op == Op::Div ? *a / *d : *a % *d;
+    }
+    case Op::And: {
+      const auto a = rec(n.a);
+      if (!a) return std::nullopt;
+      if (*a == 0) return 0;  // short-circuit: b never evaluated
+      const auto b = rec(n.b);
+      return b ? std::optional<Value>(*b != 0 ? 1 : 0) : std::nullopt;
+    }
+    case Op::Or: {
+      const auto a = rec(n.a);
+      if (!a) return std::nullopt;
+      if (*a != 0) return 1;
+      const auto b = rec(n.b);
+      return b ? std::optional<Value>(*b != 0 ? 1 : 0) : std::nullopt;
+    }
+    case Op::ChanLen:
+    case Op::ChanFull:
+    case Op::ChanEmpty:
+      return std::nullopt;
+    case Op::Cond: {
+      const auto a = rec(n.a);
+      if (!a) return std::nullopt;
+      return rec(*a != 0 ? n.b : n.c);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pnp::codegen

@@ -1,0 +1,27 @@
+// Constant folding over interned expressions with per-process bindings.
+//
+// A process instance's spawn arguments are immutable and live outside the
+// state vector, and its pid is fixed -- so once an engine is specialized
+// per pid, every expression over params/SelfPid alone is a compile-time
+// constant. This is the lever that makes channel-id expressions (ports are
+// wired by passing channel ids as parameters) fold to constants, which in
+// turn makes channel base/capacity/arity/lossy static for the backends.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "expr/expr.h"
+
+namespace pnp::codegen {
+
+/// Evaluates `r` to a constant when it depends only on constants, `params`,
+/// and `self_pid`. Mirrors Pool::eval exactly: And/Or short-circuit, Cond
+/// folds through the taken branch only, and Div/Mod fold only when the
+/// divisor folds to a nonzero constant (a zero divisor must keep its
+/// runtime ModelError). Channel queries never fold (state-dependent).
+std::optional<expr::Value> fold_const(const expr::Pool& pool, expr::Ref r,
+                                      std::span<const expr::Value> params,
+                                      expr::Value self_pid);
+
+}  // namespace pnp::codegen

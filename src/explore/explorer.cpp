@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "codegen/engine.h"
 #include "explore/checkpoint.h"
 #include "explore/por.h"
 #include "explore/visited.h"
@@ -218,6 +219,9 @@ class FlatRun {
     Step in_step;  // step that produced this state (invalid at root)
     std::uint32_t next = 0;
     std::uint32_t counted = 0;
+    // Engine resume token: where the previous pass's sweep stopped, letting
+    // the next pass skip earlier processes' guard sweeps entirely.
+    std::uint64_t resume = 0;
     bool checked = false;
     int por_choice = -1;  // recorded ample decision (see por_choose)
   };
@@ -238,11 +242,13 @@ class FlatRun {
         ++run_.transitions_;
       }
       if (i < f_.next) return true;  // handled in an earlier pass
+      if (defer_) return run_.dfs_deferred(ns, step, f_, *this);
       ++f_.next;
       return run_.dfs_candidate(ns, step, f_, *this);
     }
 
     Outcome outcome = Outcome::Exhausted;
+    bool defer_ = false;  // engine path: pipeline the visited probes
     std::uint32_t idx_ = 0;
     State child;      // fresh child (Outcome::Child) or final state (Violation)
     Step child_step;  // its in-step / the violating extra step
@@ -289,6 +295,161 @@ class FlatRun {
     sink.child_step = step;
     sink.outcome = Outcome::Child;
     return false;
+  }
+
+  // A successor whose visited probe is in flight. The engine-path sink
+  // defers each candidate's dup check across the next two emits: the probe
+  // slot is prefetched when the candidate is compressed, the cluster walk
+  // runs one emit later (slot line in cache, arena record of a fingerprint
+  // match prefetched), and the arena confirm one emit after that. An exact
+  // dup check is two DEPENDENT DRAM misses -- probe slot, then key bytes --
+  // that dominate the compiled engines' wall time; pipelining overlays each
+  // with the engine's revert/guard/mutate work for the following candidates
+  // instead of stalling on them. The pending state is not copied: it is
+  // reconstructed on demand from the frame's source state plus the step's
+  // (slot, new value) writes.
+  struct Pending {
+    Step step;
+    std::vector<std::uint8_t> key;   // compressed visited key
+    std::vector<std::uint32_t> ids;  // successor's per-region component ids
+    std::vector<std::pair<std::int32_t, std::int32_t>> writes;
+    std::uint64_t hash = 0;
+    std::uint32_t off = 0;   // fingerprint match to confirm (stage 2)
+    int atomic_pid = -1;
+    std::uint8_t stage = 0;  // 0 empty, 1 slot prefetched, 2 record prefetched
+  };
+
+  /// Engine-path candidate handling: stages this candidate's visited probe
+  /// and advances the two in-flight ones. Candidates still resolve in
+  /// stream order, so outcomes, `next` bookkeeping, and verdicts are
+  /// identical to the immediate path -- the one observable difference is
+  /// that a pass surfaces (and counts) up to two extra candidates before
+  /// stopping, which the `counted` high-water mark already de-duplicates
+  /// across passes.
+  bool dfs_deferred(const State& ns, const Step& step, Frame& f,
+                    DfsSink& sink) {
+    if (step.assert_failed) {
+      // Stream order: if an in-flight candidate is fresh it stops the pass
+      // first, and this candidate re-surfaces (and fires) on a later pass.
+      if (drain_pending(f, sink)) return false;
+      ++f.next;
+      sink.violation.kind = ViolationKind::AssertFailed;
+      sink.violation.message = "assertion failed: " + m_.describe_step(step);
+      sink.child = ns;
+      sink.child_step = step;
+      sink.outcome = Outcome::Violation;
+      return false;
+    }
+    // Compress and hash now -- the undo log is only valid during this
+    // callback -- but keep the result out of the store until later emits.
+    const auto key = succ_key(ns, f.ids);
+    const std::uint64_t h = visited_.stage(key);
+    if (pend_[0].stage == 2 && confirm_front(f, sink)) return false;
+    if (pend_[0].stage == 1 && walk_front(f, sink, /*defer=*/true))
+      return false;
+    // after confirm + walk the front is settled or awaiting its confirm, so
+    // one of the two buffers is always free for this candidate
+    Pending& p = pend_[pend_[0].stage == 0 ? 0 : 1];
+    p.step = step;
+    p.key.assign(key.begin(), key.end());
+    p.ids.assign(ids_tmp_.begin(), ids_tmp_.end());
+    p.writes.clear();
+    for (const auto& [slot, old] : scratch_.undo)
+      p.writes.emplace_back(slot, ns.mem[static_cast<std::size_t>(slot)]);
+    p.hash = h;
+    p.atomic_pid = ns.atomic_pid;
+    p.stage = 1;
+    return true;
+  }
+
+  /// Walks the front candidate's (prefetched) probe cluster. A definitely-
+  /// fresh candidate inserts and resolves here; a fingerprint match defers
+  /// the arena confirm one more emit (defer) or settles it immediately.
+  /// Returns true when the pass must stop.
+  bool walk_front(Frame& f, DfsSink& sink, bool defer) {
+    Pending& p = pend_[0];
+    const auto st = visited_.probe_staged(p.key, p.hash);
+    if (st.fresh) return fresh_front(f, sink);
+    p.off = st.off;
+    p.stage = 2;
+    if (defer) return false;
+    return confirm_front(f, sink);
+  }
+
+  /// Settles the front candidate's prefetched arena confirm. Returns true
+  /// when the pass must stop (fresh via fingerprint collision).
+  bool confirm_front(Frame& f, DfsSink& sink) {
+    Pending& p = pend_[0];
+    if (!visited_.confirm_staged(p.key, p.hash, p.off)) {
+      ++matched_;
+      ++f.next;
+      pop_front();
+      return false;
+    }
+    return fresh_front(f, sink);
+  }
+
+  /// The front candidate proved fresh (already in the store). Truncation
+  /// keeps the pass streaming; otherwise the pass stops with the child.
+  bool fresh_front(Frame& f, DfsSink& sink) {
+    Pending& p = pend_[0];
+    ++f.next;
+    if (visited_.size() >= opt_.max_states) {
+      truncate(TruncationReason::MaxStates);
+      if (ckpt_enabled())
+        overflow_.push_back(
+            {pending_state(f, p), static_cast<std::uint32_t>(stack_.size())});
+      pop_front();
+      return false;
+    }
+    if (static_cast<int>(stack_.size()) > opt_.max_depth) {
+      truncate(TruncationReason::MaxDepth);
+      if (ckpt_enabled())
+        overflow_.push_back(
+            {pending_state(f, p), static_cast<std::uint32_t>(stack_.size())});
+      pop_front();
+      return false;
+    }
+    sink.child = pending_state(f, p);
+    sink.child_step = p.step;
+    // the frame push reads the child's region ids out of ids_tmp_, which a
+    // later candidate's compression has since overwritten
+    ids_tmp_.assign(p.ids.begin(), p.ids.end());
+    sink.outcome = Outcome::Child;
+    // a younger in-flight candidate sits exactly at the new f.next, so it
+    // re-surfaces on the next pass; drop it
+    pend_[0].stage = 0;
+    pend_[1].stage = 0;
+    return true;
+  }
+
+  void pop_front() {
+    std::swap(pend_[0], pend_[1]);  // recycles the settled buffers
+    pend_[1].stage = 0;
+  }
+
+  /// Fully resolves every in-flight candidate in stream order (pass end, or
+  /// a violation they outrank). Returns true when one was fresh.
+  bool drain_pending(Frame& f, DfsSink& sink) {
+    while (pend_[0].stage != 0) {
+      if (pend_[0].stage == 1) {
+        if (walk_front(f, sink, /*defer=*/false)) return true;
+      } else if (confirm_front(f, sink)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// An in-flight candidate's state: the frame's source state with the
+  /// step's writes applied (write order is irrelevant -- every recorded
+  /// value is the slot's final one).
+  State pending_state(const Frame& f, const Pending& p) const {
+    State s(f.state);
+    for (const auto& [slot, val] : p.writes)
+      s.mem[static_cast<std::size_t>(slot)] = val;
+    s.atomic_pid = p.atomic_pid;
+    return s;
   }
 
   Result dfs() {
@@ -354,7 +515,16 @@ class FlatRun {
       DfsSink sink(*this, f);
       if (opt_.por)
         por_visit(m_, f.state, f.por_choice, scratch_, sink);
-      else
+      else if (opt_.engine) {
+        // Compiled engines suppress the already-handled candidates natively
+        // (guard bookkeeping intact, no mutate/emit/revert): start the sink's
+        // index where the engine resumes so candidate numbering is unchanged.
+        sink.idx_ = f.next;
+        sink.defer_ = !opt_.bitstate;
+        opt_.engine->visit_successors(f.state, scratch_, sink, f.next,
+                                      &f.resume);
+        drain_pending(f, sink);  // in-flight candidates' probes, in order
+      } else
         m_.visit_successors(f.state, scratch_, sink);
       switch (sink.outcome) {
         case Outcome::Violation:
@@ -517,7 +687,9 @@ class FlatRun {
         const int choice = por_choose(m_, hs, nullptr, scratch_);
         if (choice >= 0) ++por_ample_;
         por_visit(m_, hs, choice, scratch_, sink);
-      } else
+      } else if (opt_.engine)
+        opt_.engine->visit_successors(hs, scratch_, sink);
+      else
         m_.visit_successors(hs, scratch_, sink);
       if (sink.violated) {
         sink.violation.trace = build_trace(head, &sink.vstep, &sink.vstate);
@@ -807,6 +979,7 @@ class FlatRun {
   std::unordered_set<std::string> on_stack_;
   std::vector<std::uint8_t> key_buf_;
   std::vector<std::uint32_t> ids_tmp_;  // last-compressed state's region ids
+  Pending pend_[2];  // engine-path probe pipeline, oldest first (DFS only)
   std::vector<std::uint8_t> dirty_;     // per-region dirty flags (reused)
   std::string probe_buf_;
 
@@ -1006,6 +1179,8 @@ class PermutedRun {
         }
         if (opt_.por)
           por_expand(m_, f.state, f.por_choice, succs);
+        else if (opt_.engine)
+          opt_.engine->successors(f.state, succs);
         else
           m_.successors(f.state, succs);
         if (perm_seed_ != 0) permute_succs(succs, perm_seed_, f.key);
@@ -1105,6 +1280,9 @@ class PermutedRun {
       if (opt_.por)
         por_successors(m_, nodes[static_cast<std::size_t>(head)].state, succs,
                        nullptr);
+      else if (opt_.engine)
+        opt_.engine->successors(nodes[static_cast<std::size_t>(head)].state,
+                                succs);
       else
         m_.successors(nodes[static_cast<std::size_t>(head)].state, succs);
       if (perm_seed_ != 0)

@@ -22,6 +22,10 @@
 #include "obs/obs.h"
 #include "trace/trace.h"
 
+namespace pnp::codegen {
+class Engine;
+}
+
 namespace pnp::explore {
 
 struct Options {
@@ -62,6 +66,13 @@ struct Options {
   /// budget-check stride. The recorder's own footprint is charged against
   /// memory_budget_bytes, keeping the budget honest.
   obs::Observer* obs = nullptr;
+
+  /// Compiled successor engine (codegen::make_engine). Null runs the
+  /// interpreted Machine::visit_successors -- the historical path. Engines
+  /// are drop-in equivalent (same successors, same order, same verdicts);
+  /// POR ample-set probing and LTL product search always use the
+  /// interpreter regardless. Not owned; must outlive the exploration.
+  const codegen::Engine* engine = nullptr;
 
   // -- durability (see DESIGN.md section 13) -------------------------------
 

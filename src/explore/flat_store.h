@@ -3,10 +3,10 @@
 //
 // The previous stores kept one heap-allocated std::string per state inside
 // a node-based std::unordered_set -- three pointer chases and ~64 bytes of
-// overhead per state. Here a state costs one slot in two parallel flat
-// arrays (8-byte fingerprint + 4-byte arena offset) plus its key bytes
-// (length-prefixed) in a slab arena that never moves or frees, so inserts
-// are a single probe sequence and a bump-pointer append.
+// overhead per state. Here a state costs one 8-byte {offset, fingerprint}
+// slot in a flat huge-page-backed table plus its key bytes (length-prefixed)
+// in a slab arena that never moves or frees, so inserts are a single probe
+// sequence and a bump-pointer append.
 //
 // Durability: a SpillPool (support/spill.h) can be attached at any point;
 // slabs allocated after that are mmap'd file-backed blocks whose pages are
@@ -22,10 +22,88 @@
 #include <span>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "support/hash.h"
 #include "support/panic.h"
 #include "support/spill.h"
 
 namespace pnp::explore {
+
+/// Anonymous mapping advised onto transparent huge pages. The visited
+/// table is probed at a random slot per insert; at millions of states the
+/// table spans hundreds of megabytes, so with 4 KiB pages nearly every
+/// probe adds a dTLB miss on top of the unavoidable cache miss. 2 MiB
+/// pages cover the whole table with a few dozen TLB entries. Falls back to
+/// plain operator new when mmap is unavailable (non-Linux, or mmap
+/// failure) -- callers only see zeroed memory either way.
+class HugeZeroBuf {
+ public:
+  HugeZeroBuf() = default;
+  explicit HugeZeroBuf(std::size_t bytes) { allocate(bytes); }
+  ~HugeZeroBuf() { release(); }
+
+  HugeZeroBuf(HugeZeroBuf&& o) noexcept { *this = std::move(o); }
+  HugeZeroBuf& operator=(HugeZeroBuf&& o) noexcept {
+    if (this != &o) {
+      release();
+      data_ = o.data_;
+      bytes_ = o.bytes_;
+      mapped_ = o.mapped_;
+      o.data_ = nullptr;
+      o.bytes_ = 0;
+      o.mapped_ = false;
+    }
+    return *this;
+  }
+  HugeZeroBuf(const HugeZeroBuf&) = delete;
+  HugeZeroBuf& operator=(const HugeZeroBuf&) = delete;
+
+  void* data() const { return data_; }
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  static constexpr std::size_t kHuge = std::size_t{2} << 20;
+
+  void allocate(std::size_t bytes) {
+    bytes_ = bytes;
+#if defined(__linux__)
+    if (bytes >= kHuge) {
+      const std::size_t len = (bytes + kHuge - 1) & ~(kHuge - 1);
+      void* p = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (p != MAP_FAILED) {
+        ::madvise(p, len, MADV_HUGEPAGE);
+        data_ = p;
+        bytes_ = len;
+        mapped_ = true;
+        return;
+      }
+    }
+#endif
+    data_ = ::operator new(bytes);
+    std::memset(data_, 0, bytes);
+  }
+
+  void release() {
+#if defined(__linux__)
+    if (mapped_) {
+      ::munmap(data_, bytes_);
+      data_ = nullptr;
+      mapped_ = false;
+      return;
+    }
+#endif
+    if (data_ != nullptr) ::operator delete(data_);
+    data_ = nullptr;
+  }
+
+  void* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool mapped_ = false;
+};
 
 /// Append-only arena for length-prefixed key records. Records never span a
 /// slab boundary and slabs never move, so a returned offset stays valid for
@@ -60,10 +138,26 @@ class KeyArena {
            std::memcmp(rec.data(), key.data(), key.size()) == 0;
   }
 
+  /// Hints the cache that the record at `off` is about to be read. Two
+  /// lines: a typical key straddles a line boundary often enough that the
+  /// second serial miss would eat most of the hint's win.
+  void prefetch(std::uint32_t off) const {
+    const std::uint8_t* p = slabs_[off / kSlabBytes] + off % kSlabBytes;
+    __builtin_prefetch(p);
+    __builtin_prefetch(p + 64);
+  }
+
   /// Slabs allocated from now on come from `pool` (disk-backed) instead of
-  /// the heap. Existing slabs are untouched. Pass nullptr to detach. The
-  /// pool must outlive the arena's last access.
-  void attach_spill(support::SpillPool* pool) { spill_ = pool; }
+  /// the heap. Existing slabs are untouched, but the current slab is sealed
+  /// so the very next append already lands on the new backing -- "after
+  /// attach, keys go to disk" must not depend on how full the last heap
+  /// slab happens to be (offsets are absolute, so sealing only wastes the
+  /// slab's tail). Pass nullptr to detach. The pool must outlive the
+  /// arena's last access.
+  void attach_spill(support::SpillPool* pool) {
+    if (pool != spill_) used_ = kSlabBytes;
+    spill_ = pool;
+  }
   bool spilling() const { return spill_ != nullptr; }
 
   /// Total arena footprint, resident or not.
@@ -76,7 +170,10 @@ class KeyArena {
   }
 
  private:
-  static constexpr std::size_t kSlabBytes = std::size_t{1} << 18;  // 256 KiB
+  // 2 MiB slabs sit on one transparent huge page each: duplicate-candidate
+  // confirms read the arena at random offsets, and the huge mapping spares
+  // them the per-read dTLB miss the old 256 KiB heap slabs paid.
+  static constexpr std::size_t kSlabBytes = std::size_t{2} << 20;
   static constexpr std::size_t kMaxSlabs = (std::uint64_t{1} << 32) / kSlabBytes;
 
   void new_slab() {
@@ -86,39 +183,106 @@ class KeyArena {
     if (spill_) {
       slabs_.push_back(static_cast<std::uint8_t*>(spill_->alloc(kSlabBytes)));
     } else {
-      heap_.push_back(std::make_unique<std::uint8_t[]>(kSlabBytes));
-      slabs_.push_back(heap_.back().get());
+      heap_.emplace_back(kSlabBytes);
+      slabs_.push_back(static_cast<std::uint8_t*>(heap_.back().data()));
     }
     used_ = 0;
   }
 
   std::vector<std::uint8_t*> slabs_;  // heap- and spill-backed alike
-  std::vector<std::unique_ptr<std::uint8_t[]>> heap_;  // owns the heap slabs
+  std::vector<HugeZeroBuf> heap_;     // owns the heap slabs
   support::SpillPool* spill_ = nullptr;  // not owned; frees on destruction
   std::size_t used_ = kSlabBytes;  // forces the first slab on first append
 };
 
 /// Open-addressing set of byte keys, probed by a caller-supplied 64-bit
-/// hash. Key bytes live in the arena; the table itself is two flat arrays.
+/// hash. Key bytes live in the arena; the table is ONE flat array of 8-byte
+/// {offset, fingerprint} slots. Interleaving matters: the table is far
+/// larger than cache on big runs, so a probe that touched parallel
+/// fingerprint and offset arrays cost two DRAM misses where one slot read
+/// costs one -- and insert() is the hottest call in exact-mode exploration
+/// (~60% of a profiled bridge run). The stored fingerprint is the hash's
+/// low 32 bits; a fingerprint match is confirmed against the arena bytes,
+/// so truncation can cause a rare extra compare, never a wrong answer. The
+/// probe index is also derived from the low hash bits, which is what lets
+/// rehash() re-place slots without the full 64-bit hash. (A variant that
+/// stored short keys inline in 32-byte slots was measured slower here:
+/// linear-probe clusters span 4x the cache lines, and the 4x table defeats
+/// the TLB on kernels without transparent huge pages.)
 class FlatKeySet {
  public:
   explicit FlatKeySet(std::uint64_t expected = 0) {
     rehash(cap_for(expected));
   }
 
+  /// Hints the cache that `h`'s first probe slot is about to be read. An
+  /// insert that grows the table in between simply wastes the hint.
+  void prefetch(std::uint64_t h) const {
+    if (slots_ != nullptr)
+      __builtin_prefetch(&slots_[static_cast<std::size_t>(h) & mask_]);
+  }
+
   /// Returns true if `key` was not present before (and records it). `h`
   /// must be the same hash function for every insert into this set.
   bool insert(std::span<const std::uint8_t> key, std::uint64_t h) {
-    if ((size_ + 1) * 10 >= fps_.size() * 7) grow();
+    if ((size_ + 1) * 10 >= cap_ * 7) grow();
+    const std::uint32_t fp = static_cast<std::uint32_t>(h);
     std::size_t i = static_cast<std::size_t>(h) & mask_;
-    while (offs_[i] != kEmpty) {
-      if (fps_[i] == h && arena_.equals(offs_[i], key)) return false;
+    while (slots_[i].off1 != 0) {
+      if (slots_[i].fp == fp && arena_.equals(slots_[i].off1 - 1, key))
+        return false;
       i = (i + 1) & mask_;
     }
-    fps_[i] = h;
-    offs_[i] = arena_.append(key);
+    slots_[i].fp = fp;
+    slots_[i].off1 = arena_.append(key) + 1;
     ++size_;
     return true;
+  }
+
+  /// Result of probe_or_insert: `fresh` means the key was definitely absent
+  /// and has been inserted; otherwise `off` is the arena offset of the
+  /// first fingerprint match, to be settled by confirm_or_insert.
+  struct Staged {
+    bool fresh;
+    std::uint32_t off;
+  };
+
+  /// First half of a split insert: walks `h`'s cluster and inserts the key
+  /// outright when no stored fingerprint matches (the definitely-fresh
+  /// case). On a fingerprint match it leaves the table unchanged,
+  /// prefetches the matching record's bytes, and returns the offset for a
+  /// later confirm_or_insert. An insert is two DEPENDENT memory reads --
+  /// probe slot, then key bytes at the offset the slot holds -- and on big
+  /// tables both are DRAM misses the out-of-order window cannot hide;
+  /// splitting them across two calls lets a pipelined caller overlay each
+  /// with real work (the explorer overlays successor generation).
+  Staged probe_or_insert(std::span<const std::uint8_t> key, std::uint64_t h) {
+    if ((size_ + 1) * 10 >= cap_ * 7) grow();
+    const std::uint32_t fp = static_cast<std::uint32_t>(h);
+    std::size_t i = static_cast<std::size_t>(h) & mask_;
+    while (slots_[i].off1 != 0) {
+      if (slots_[i].fp == fp) {
+        const std::uint32_t off = slots_[i].off1 - 1;
+        arena_.prefetch(off);
+        return {false, off};
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i].fp = fp;
+    slots_[i].off1 = arena_.append(key) + 1;
+    ++size_;
+    return {true, 0};
+  }
+
+  /// Second half: settles a probe_or_insert fingerprint match. Returns
+  /// false when the record equals `key` (a genuine duplicate -- the common
+  /// case); a fingerprint collision falls back to a full insert, which
+  /// steps past the colliding slot and probes on. Intervening inserts and
+  /// grows are fine: arena offsets never move.
+  bool confirm_or_insert(std::span<const std::uint8_t> key, std::uint64_t h,
+                         std::uint32_t off) {
+    if (arena_.equals(off, key)) return false;
+    return insert(key, h);
   }
 
   std::uint64_t size() const { return size_; }
@@ -126,15 +290,15 @@ class FlatKeySet {
   /// Pre-sizes the table for `n` keys (never shrinks).
   void reserve(std::uint64_t n) {
     const std::size_t cap = cap_for(n);
-    if (cap > fps_.size()) rehash(cap);
+    if (cap > cap_) rehash(cap);
   }
 
   /// Calls `f(std::span<const std::uint8_t>)` once per stored key, in
   /// table order. Used by checkpointing to enumerate the visited set.
   template <class F>
   void for_each_key(F&& f) const {
-    for (std::size_t i = 0; i < offs_.size(); ++i) {
-      if (offs_[i] != kEmpty) f(arena_.at(offs_[i]));
+    for (std::size_t i = 0; i < cap_; ++i) {
+      if (slots_[i].off1 != 0) f(arena_.at(slots_[i].off1 - 1));
     }
   }
 
@@ -146,16 +310,13 @@ class FlatKeySet {
   /// deliberately excluded -- their pages are clean-evictable, which is the
   /// whole point of spilling.
   std::uint64_t approx_bytes() const {
-    return fps_.capacity() * sizeof(std::uint64_t) +
-           offs_.capacity() * sizeof(std::uint32_t) + arena_.resident_bytes();
+    return cap_ * sizeof(Slot) + arena_.resident_bytes();
   }
 
   /// Disk-backed share of the arena.
   std::uint64_t spill_bytes() const { return arena_.spill_bytes(); }
 
  private:
-  static constexpr std::uint32_t kEmpty = 0xffffffffu;
-
   static std::size_t cap_for(std::uint64_t expected) {
     // smallest power of two holding `expected` at <= 0.7 load
     std::size_t cap = 64;
@@ -163,26 +324,39 @@ class FlatKeySet {
     return cap;
   }
 
+  // off1 is the arena offset + 1, so the all-zeroes slot a fresh mapping
+  // starts with means "free" (kernel zero pages, no memset pass).
+  struct Slot {
+    std::uint32_t off1;  // arena offset + 1; 0 marks a free slot
+    std::uint32_t fp;    // low 32 bits of the key hash
+  };
+
   void rehash(std::size_t cap) {
-    std::vector<std::uint64_t> fps(cap, 0);
-    std::vector<std::uint32_t> offs(cap, kEmpty);
+    // The probe index comes from the stored 32-bit fingerprint, so the
+    // table cannot outgrow 2^32 slots -- the 4 GiB arena overflows first.
+    PNP_CHECK(cap <= (std::size_t{1} << 32),
+              "visited table exceeds 2^32 slots");
+    HugeZeroBuf buf(cap * sizeof(Slot));
+    Slot* slots = static_cast<Slot*>(buf.data());
     const std::size_t mask = cap - 1;
-    for (std::size_t i = 0; i < fps_.size(); ++i) {
-      if (offs_[i] == kEmpty) continue;
-      std::size_t j = static_cast<std::size_t>(fps_[i]) & mask;
-      while (offs[j] != kEmpty) j = (j + 1) & mask;
-      fps[j] = fps_[i];
-      offs[j] = offs_[i];
+    for (std::size_t i = 0; i < cap_; ++i) {
+      const Slot& s = slots_[i];
+      if (s.off1 == 0) continue;
+      std::size_t j = static_cast<std::size_t>(s.fp) & mask;
+      while (slots[j].off1 != 0) j = (j + 1) & mask;
+      slots[j] = s;
     }
-    fps_ = std::move(fps);
-    offs_ = std::move(offs);
+    buf_ = std::move(buf);
+    slots_ = slots;
+    cap_ = cap;
     mask_ = mask;
   }
 
-  void grow() { rehash(fps_.size() * 2); }
+  void grow() { rehash(cap_ * 2); }
 
-  std::vector<std::uint64_t> fps_;
-  std::vector<std::uint32_t> offs_;
+  HugeZeroBuf buf_;
+  Slot* slots_ = nullptr;
+  std::size_t cap_ = 0;
   KeyArena arena_;
   std::uint64_t size_ = 0;
   std::size_t mask_ = 0;

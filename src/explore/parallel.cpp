@@ -30,6 +30,7 @@
 #include <mutex>
 #include <thread>
 
+#include "codegen/engine.h"
 #include "explore/checkpoint.h"
 #include "explore/explorer.h"
 #include "explore/por.h"
@@ -609,6 +610,8 @@ class ParallelRun {
       const int choice = por_choose(m_, item.state, nullptr, me.scratch);
       if (choice >= 0) ++me.por_ample;
       por_visit(m_, item.state, choice, me.scratch, sink);
+    } else if (opt_.engine) {
+      opt_.engine->visit_successors(item.state, me.scratch, sink);
     } else {
       m_.visit_successors(item.state, me.scratch, sink);
     }

@@ -40,9 +40,38 @@ class VisitedSet {
     if (bitstate_) bits_.assign(bytes, 0);
   }
 
+  /// Two-phase insert for callers that can overlap the probe's cache misses
+  /// with other work (exact mode only): stage() hashes the key and prefetches
+  /// its first probe slot; insert_staged() completes the probe, usually with
+  /// the slot line already in cache. Any number of stage() calls may be in
+  /// flight; each insert_staged() must pass the hash its stage() returned.
+  std::uint64_t stage(std::span<const std::uint8_t> key) const {
+    const std::uint64_t h = fast_hash64(key);
+    set_.prefetch(h);
+    return h;
+  }
+
+  bool insert_staged(std::span<const std::uint8_t> key, std::uint64_t h) {
+    return set_.insert(key, h);
+  }
+
+  /// Deeper pipelining over the same staged hash: probe_staged() walks the
+  /// (prefetched) cluster, inserting definitely-fresh keys and prefetching
+  /// the arena record of a fingerprint match; confirm_staged() settles that
+  /// match later. See FlatKeySet::probe_or_insert.
+  FlatKeySet::Staged probe_staged(std::span<const std::uint8_t> key,
+                                  std::uint64_t h) {
+    return set_.probe_or_insert(key, h);
+  }
+
+  bool confirm_staged(std::span<const std::uint8_t> key, std::uint64_t h,
+                      std::uint32_t off) {
+    return set_.confirm_or_insert(key, h, off);
+  }
+
   /// Returns true if `key` was not present before (and records it).
   bool insert(std::span<const std::uint8_t> key) {
-    if (!bitstate_) return set_.insert(key, hash_bytes(key));
+    if (!bitstate_) return set_.insert(key, fast_hash64(key));
     const std::uint64_t nbits = bits_.size() * 8;
     const std::uint64_t b1 = (hash_bytes(key) ^ avalanche64(seed_)) % nbits;
     const std::uint64_t b2 = (hash_bytes2(key) + seed_ * kFnvPrime) % nbits;
@@ -108,7 +137,7 @@ class ShardedVisitedSet {
   }
 
   static std::uint64_t hash_key(std::span<const std::uint8_t> key) {
-    return hash_bytes(key);
+    return fast_hash64(key);
   }
 
   /// Returns true if `key` was not present (and records it). `h` must be

@@ -15,13 +15,20 @@ std::size_t pow2_at_least(std::size_t n) {
   return c;
 }
 
-void append_varint(std::vector<std::uint8_t>& out, std::uint32_t v) {
+// Compressed keys are built tens of millions of times per run; writing
+// through a raw pointer into a pre-sized buffer avoids the per-byte
+// push_back size/capacity dance that showed up in exploration profiles.
+inline std::uint8_t* write_varint(std::uint8_t* p, std::uint32_t v) {
   while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v | 0x80));
+    *p++ = static_cast<std::uint8_t>(v | 0x80);
     v >>= 7;
   }
-  out.push_back(static_cast<std::uint8_t>(v));
+  *p++ = static_cast<std::uint8_t>(v);
+  return p;
 }
+
+// Worst-case encoded size: 5 varint bytes per region plus the pid byte.
+inline std::size_t key_bound(std::size_t n_regions) { return n_regions * 5 + 1; }
 
 std::uint32_t read_varint(std::span<const std::uint8_t> key, std::size_t& at) {
   std::uint32_t v = 0;
@@ -54,11 +61,9 @@ StateCompressor::StateCompressor(const Layout& lay, int stripes,
     r.stripes = std::make_unique<Stripe[]>(static_cast<std::size_t>(n_stripes_));
     for (int i = 0; i < n_stripes_; ++i) {
       Stripe& st = r.stripes[static_cast<std::size_t>(i)];
-      st.fps.assign(per_stripe, 0);
-      st.ids.assign(per_stripe, kEmptySlot);
+      st.slots.assign(per_stripe, Slot{});
       st.store.init(width);
-      st.bytes.store(st.fps.capacity() * sizeof(std::uint64_t) +
-                         st.ids.capacity() * sizeof(std::uint32_t) +
+      st.bytes.store(st.slots.capacity() * sizeof(Slot) +
                          st.store.resident_bytes(),
                      std::memory_order_relaxed);
     }
@@ -72,50 +77,50 @@ StateCompressor::StateCompressor(const Layout& lay, int stripes,
 }
 
 void StateCompressor::grow(Stripe& st) {
-  const std::size_t cap = st.fps.size() * 2;
-  std::vector<std::uint64_t> fps(cap, 0);
-  std::vector<std::uint32_t> ids(cap, kEmptySlot);
+  const std::size_t cap = st.slots.size() * 2;
+  PNP_CHECK(cap <= (std::size_t{1} << 32),
+            "component intern table exceeds 2^32 slots");
+  std::vector<Slot> slots(cap);
   const std::size_t mask = cap - 1;
-  for (std::size_t i = 0; i < st.fps.size(); ++i) {
-    if (st.ids[i] == kEmptySlot) continue;
-    std::size_t j = static_cast<std::size_t>(st.fps[i]) & mask;
-    while (ids[j] != kEmptySlot) j = (j + 1) & mask;
-    fps[j] = st.fps[i];
-    ids[j] = st.ids[i];
+  for (const Slot& s : st.slots) {
+    if (s.id == kEmptySlot) continue;
+    std::size_t j = static_cast<std::size_t>(s.fp) & mask;
+    while (slots[j].id != kEmptySlot) j = (j + 1) & mask;
+    slots[j] = s;
   }
-  st.fps = std::move(fps);
-  st.ids = std::move(ids);
+  st.slots = std::move(slots);
 }
 
 std::uint32_t StateCompressor::intern(Region& r, const Value* vals) {
   const std::size_t width = static_cast<std::size_t>(r.width);
-  const std::uint64_t fp = hash_bytes(
+  const std::uint64_t h = fast_hash64(
       {reinterpret_cast<const std::uint8_t*>(vals), width * sizeof(Value)});
   // High bits pick the stripe, low bits probe the stripe-local table, so the
   // two uses stay independent.
-  const int si = static_cast<int>((fp >> 48) % static_cast<std::uint64_t>(n_stripes_));
+  const int si = static_cast<int>((h >> 48) % static_cast<std::uint64_t>(n_stripes_));
+  const std::uint32_t fp = static_cast<std::uint32_t>(h);
   Stripe& st = r.stripes[static_cast<std::size_t>(si)];
   std::unique_lock<std::mutex> lock(st.mu, std::defer_lock);
   if (concurrent_) lock.lock();
 
-  const std::size_t mask = st.fps.size() - 1;
-  std::size_t i = static_cast<std::size_t>(fp) & mask;
-  while (st.ids[i] != kEmptySlot) {
-    if (st.fps[i] == fp &&
-        std::memcmp(st.store.at(st.ids[i]), vals, width * sizeof(Value)) == 0)
-      return st.ids[i] * static_cast<std::uint32_t>(n_stripes_) +
+  const std::size_t mask = st.slots.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (st.slots[i].id != kEmptySlot) {
+    if (st.slots[i].fp == fp &&
+        std::memcmp(st.store.at(st.slots[i].id), vals,
+                    width * sizeof(Value)) == 0)
+      return st.slots[i].id * static_cast<std::uint32_t>(n_stripes_) +
              static_cast<std::uint32_t>(si);
     i = (i + 1) & mask;
   }
   // fresh component: append values, claim the probe slot
   const std::uint32_t local = st.count++;
   st.store.append(vals);
-  st.fps[i] = fp;
-  st.ids[i] = local;
-  if ((static_cast<std::size_t>(st.count) + 1) * 10 >= st.fps.size() * 7)
+  st.slots[i].fp = fp;
+  st.slots[i].id = local;
+  if ((static_cast<std::size_t>(st.count) + 1) * 10 >= st.slots.size() * 7)
     grow(st);
-  st.bytes.store(st.fps.capacity() * sizeof(std::uint64_t) +
-                     st.ids.capacity() * sizeof(std::uint32_t) +
+  st.bytes.store(st.slots.capacity() * sizeof(Slot) +
                      st.store.resident_bytes(),
                  std::memory_order_relaxed);
   st.spill_bytes.store(st.store.spill_bytes(), std::memory_order_relaxed);
@@ -126,11 +131,13 @@ std::uint32_t StateCompressor::intern(Region& r, const Value* vals) {
 void StateCompressor::compress(const State& s, std::vector<std::uint8_t>& out) {
   PNP_CHECK(static_cast<int>(s.mem.size()) == state_size_,
             "compress: state size does not match layout");
-  out.clear();
+  out.resize(key_bound(regions_.size()));
+  std::uint8_t* p = out.data();
   for (Region& r : regions_)
-    append_varint(out, intern(r, s.mem.data() + r.begin));
+    p = write_varint(p, intern(r, s.mem.data() + r.begin));
   PNP_CHECK(s.atomic_pid < 255, "compress: atomic pid out of byte range");
-  out.push_back(static_cast<std::uint8_t>(s.atomic_pid & 0xff));
+  *p++ = static_cast<std::uint8_t>(s.atomic_pid & 0xff);
+  out.resize(static_cast<std::size_t>(p - out.data()));
 }
 
 void StateCompressor::compress_full(const State& s,
@@ -138,13 +145,15 @@ void StateCompressor::compress_full(const State& s,
                                     std::uint32_t* ids) {
   PNP_CHECK(static_cast<int>(s.mem.size()) == state_size_,
             "compress: state size does not match layout");
-  out.clear();
+  out.resize(key_bound(regions_.size()));
+  std::uint8_t* p = out.data();
   for (std::size_t k = 0; k < regions_.size(); ++k) {
     ids[k] = intern(regions_[k], s.mem.data() + regions_[k].begin);
-    append_varint(out, ids[k]);
+    p = write_varint(p, ids[k]);
   }
   PNP_CHECK(s.atomic_pid < 255, "compress: atomic pid out of byte range");
-  out.push_back(static_cast<std::uint8_t>(s.atomic_pid & 0xff));
+  *p++ = static_cast<std::uint8_t>(s.atomic_pid & 0xff);
+  out.resize(static_cast<std::size_t>(p - out.data()));
 }
 
 void StateCompressor::compress_delta(const State& s,
@@ -154,14 +163,16 @@ void StateCompressor::compress_delta(const State& s,
                                      std::uint32_t* ids) {
   PNP_CHECK(static_cast<int>(s.mem.size()) == state_size_,
             "compress: state size does not match layout");
-  out.clear();
+  out.resize(key_bound(regions_.size()));
+  std::uint8_t* p = out.data();
   for (std::size_t k = 0; k < regions_.size(); ++k) {
     ids[k] = dirty[k] ? intern(regions_[k], s.mem.data() + regions_[k].begin)
                       : prev_ids[k];
-    append_varint(out, ids[k]);
+    p = write_varint(p, ids[k]);
   }
   PNP_CHECK(s.atomic_pid < 255, "compress: atomic pid out of byte range");
-  out.push_back(static_cast<std::uint8_t>(s.atomic_pid & 0xff));
+  *p++ = static_cast<std::uint8_t>(s.atomic_pid & 0xff);
+  out.resize(static_cast<std::size_t>(p - out.data()));
 }
 
 State StateCompressor::decompress(std::span<const std::uint8_t> key) const {

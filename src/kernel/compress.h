@@ -155,15 +155,20 @@ class StateCompressor {
   std::uint64_t spill_bytes() const;
 
  private:
-  // One lock stripe of a region's intern table: open addressing over the
-  // component fingerprint (parallel fps/ids arrays), with the component
-  // values appended to a width-strided arena. A component's global id is
-  // local_index * n_stripes + stripe, which keeps ids dense and injective
-  // without cross-stripe coordination.
+  // One lock stripe of a region's intern table: open addressing over one
+  // flat array of {local id, 32-bit fingerprint} slots (a probe touches one
+  // cache line, and the arena confirms every fingerprint match, so the
+  // truncation to 32 bits can cost a rare extra compare but never a wrong
+  // id), with the component values appended to a width-strided arena. A
+  // component's global id is local_index * n_stripes + stripe, which keeps
+  // ids dense and injective without cross-stripe coordination.
+  struct Slot {
+    std::uint32_t id = kEmptySlot;  // local index; kEmptySlot = free
+    std::uint32_t fp = 0;           // low 32 bits of the component hash
+  };
   struct Stripe {
     std::mutex mu;
-    std::vector<std::uint64_t> fps;
-    std::vector<std::uint32_t> ids;  // local indices; kEmptySlot = free
+    std::vector<Slot> slots;
     ValueArena store;
     std::uint32_t count = 0;
     std::atomic<std::uint64_t> bytes{0};        // resident footprint

@@ -37,6 +37,9 @@ const char* counter_name(Counter c) {
     case Counter::CacheMisses: return "cache_misses";
     case Counter::ObligationsVerified: return "obligations_verified";
     case Counter::ObligationsFromCache: return "obligations_from_cache";
+    case Counter::CodegenCompiles: return "codegen_compiles";
+    case Counter::CodegenCacheHits: return "codegen_cache_hits";
+    case Counter::CodegenFallbacks: return "codegen_fallbacks";
     case Counter::kCount: break;
   }
   return "?";

@@ -63,6 +63,9 @@ enum class Counter : std::uint8_t {
   CacheMisses,     // verification-cache lookups that had to recompute
   ObligationsVerified,   // obligations model-checked this run
   ObligationsFromCache,  // obligations answered by the verdict cache
+  CodegenCompiles,       // AOT modules compiled from emitted source
+  CodegenCacheHits,      // AOT modules loaded from the artifact cache
+  CodegenFallbacks,      // aot requests that degraded to bytecode
   kCount
 };
 

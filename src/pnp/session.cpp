@@ -65,6 +65,10 @@ VerifyOptions RunConfig::verify_options() const {
   v.degrade = degrade;
   v.bitstate_bytes = bitstate_bytes;
   v.minimize = minimize;
+  v.engine = engine;
+  // Compiled AOT artifacts live next to the verdict cache: both are
+  // content-addressed, so one --cache-dir serves both stores.
+  v.engine_cache_dir = cache_dir;
   // Checkpoints written through a Session are addressed by the RunConfig
   // digest, so resume() can reject a snapshot from an edited config.
   v.config_digest = digest();
@@ -105,8 +109,11 @@ ltl::CheckOptions RunConfig::ltl_options() const {
 
 std::string RunConfig::digest() const {
   // Canonical text of the verdict-relevant fields, in a fixed order.
-  // threads and the observability fields are deliberately excluded: they
-  // cannot change a verdict (see options_text in verifier.cpp).
+  // threads, the successor engine and the observability fields are
+  // deliberately excluded: they cannot change a verdict (see options_text
+  // in verifier.cpp). Keeping `engine` out is what makes checkpoints
+  // portable across engines -- an interp snapshot resumes under bytecode
+  // and vice versa, which test_codegen asserts.
   std::ostringstream os;
   os << "max_states=" << max_states << ";deadline=" << deadline_seconds
      << ";mem=" << memory_budget_bytes << ";deadlock=" << check_deadlock

@@ -49,6 +49,13 @@ struct RunConfig : ExecBudget {
   std::uint64_t bitstate_bytes = std::uint64_t{1} << 26;
   MinimizeMode minimize = MinimizeMode::Off;
   GenOptions gen{};
+  /// Successor-generation engine: interp (historical), bytecode (threaded
+  /// interpreter, always available), or aot (per-model compiled .so, cached
+  /// under cache_dir, falling back to bytecode without a host toolchain).
+  /// Deliberately excluded from digest(): engines are verdict- and
+  /// state-count-equivalent by construction, so checkpoints and cached
+  /// verdicts written under one engine stay valid under another.
+  codegen::EngineKind engine = codegen::EngineKind::Interp;
 
   // -- properties (texts; each frontend resolves them in its own scope) --
   std::string invariant_text;

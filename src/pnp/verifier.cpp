@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -91,6 +92,23 @@ void run_ladder(const kernel::Machine& m, explore::Options eopt,
                         out.reduction->total_states_after()));
       ob->end_phase(ph, 0, 0.0);
     }
+  }
+  // Successor engine over the (possibly minimized) target machine, built
+  // once and shared by both rungs. AOT artifacts are content-addressed by
+  // the machine digest, so repeated runs over an unchanged machine reuse
+  // the cached .so. On an AOT resume the bytecode fallback is disabled
+  // (strict): silently continuing a resumed search under a different
+  // engine than requested is exactly the configuration drift that resume
+  // exists to reject loudly.
+  std::unique_ptr<codegen::Engine> engine;
+  if (opt.engine != codegen::EngineKind::Interp) {
+    codegen::EngineOptions ecfg;
+    ecfg.kind = opt.engine;
+    ecfg.cache_dir = opt.engine_cache_dir;
+    ecfg.strict = opt.resume && opt.engine == codegen::EngineKind::Aot;
+    ecfg.obs = ob;
+    engine = codegen::make_engine(*target, ecfg);
+    eopt.engine = engine.get();
   }
   // Durable-run identity: one checkpoint file per property, addressed by
   // the property name; the configuration digest travels INSIDE the file
@@ -286,7 +304,9 @@ namespace {
 /// so a cache written with -j1 stays valid with -j8 (and vice versa). The
 /// durability fields (spill/checkpoint/resume, see ExecBudget) are
 /// excluded for the same reason: a spilled or resumed run reaches the
-/// verdict the uninterrupted in-RAM run would have.
+/// verdict the uninterrupted in-RAM run would have. The successor engine
+/// (interp/bytecode/aot) is excluded too -- engines are successor-set
+/// equivalent, so a verdict cached under one answers for all three.
 std::string options_text(const VerifyOptions& v, const GenOptions& g) {
   std::ostringstream os;
   os << "max_states=" << v.max_states << ";deadlock=" << v.check_deadlock

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/engine.h"
 #include "explore/explorer.h"
 #include "ltl/product.h"
 #include "obs/obs.h"
@@ -61,6 +62,21 @@ struct VerifyOptions : ExecBudget {
   /// one from the verdict-relevant budget fields. Either way the property
   /// name is folded in, so two obligations never share a checkpoint.
   std::string config_digest;
+  /// Successor-generation engine for the ladder's searches (see
+  /// src/codegen/engine.h). Engines are verdict-, state-count- and
+  /// successor-order-equivalent to the interpreter by construction (the
+  /// equivalence suite enforces it), so this is NOT part of any verdict
+  /// cache key, config digest, or checkpoint identity: a checkpoint written
+  /// under one engine resumes under another. Aot silently falls back to
+  /// Bytecode when no host toolchain is available -- except on resume,
+  /// where the fallback is an error (see run_ladder): a resumed search must
+  /// never be silently reinterpreted under a different engine than asked.
+  codegen::EngineKind engine = codegen::EngineKind::Interp;
+  /// Directory for compiled AOT artifacts (content-addressed .cpp/.so
+  /// pairs, keyed by the machine digest); empty = a shared directory under
+  /// the system temp dir. pnp::Session points this at RunConfig::cache_dir,
+  /// so verdicts and artifacts share one `--cache-dir`.
+  std::string engine_cache_dir;
 };
 
 /// Convenience for the common "just bound the search" call sites:

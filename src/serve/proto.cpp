@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "codegen/engine.h"
+
 namespace pnp::serve {
 
 namespace {
@@ -76,6 +78,14 @@ bool parse_request(const std::string& line, JobRequest& out, std::string* err) {
   out.checkpoint = root.bool_or("checkpoint");
 
   RunConfig& cfg = out.config;
+  // An unknown engine is a request error, not a protocol error: the caller
+  // answers with an error frame and the connection keeps serving.
+  if (const json::Value* v = root.get("engine")) {
+    if (!v->is_string() || !codegen::parse_engine_kind(v->str, &cfg.engine))
+      return fail(err, "unknown engine \"" + (v->is_string() ? v->str : "") +
+                           "\" (expected \"interp\", \"bytecode\" or "
+                           "\"aot\")");
+  }
   if (const json::Value* v = root.get("max_states"); v && v->is_number())
     cfg.max_states = static_cast<std::uint64_t>(v->num);
   if (const json::Value* v = root.get("deadline_seconds"); v && v->is_number())
@@ -157,6 +167,11 @@ std::string render_submit(const JobRequest& req) {
     out += ',';
     append_key(out, "threads");
     json::append_u64(out, static_cast<std::uint64_t>(cfg.threads));
+  }
+  if (cfg.engine != def.engine) {
+    out += ',';
+    append_key(out, "engine");
+    append_string(out, codegen::engine_kind_name(cfg.engine));
   }
   if (cfg.check_deadlock != def.check_deadlock)
     out += ",\"check_deadlock\":false";

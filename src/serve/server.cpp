@@ -384,6 +384,11 @@ void Server::run_job(Job& job) {
   RunConfig cfg = req.config;
   cfg.shared_cache = &cache_;
   cfg.heartbeat = false;  // no TTY on a daemon; events stream instead
+  // Compiled AOT artifacts land in the daemon's cache directory: they are
+  // content-addressed by the machine digest, so every worker shares one
+  // store and a resubmitted model reuses its .so across jobs.
+  if (cfg.engine != codegen::EngineKind::Interp && cfg.cache_dir.empty())
+    cfg.cache_dir = cache_dir_of(opts_);
   if (!req.explicit_memory || cfg.memory_budget_bytes == 0)
     cfg.memory_budget_bytes = opts_.default_job_memory;
   if (req.checkpoint && cfg.checkpoint_dir.empty()) {

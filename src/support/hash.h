@@ -45,6 +45,37 @@ inline std::uint64_t hash_bytes2(std::span<const std::uint8_t> bytes) {
   return hash_bytes(bytes, 0x9e3779b97f4a7c15ull);
 }
 
+/// Word-at-a-time hash for IN-MEMORY tables only (visited-state store,
+/// COLLAPSE component interning). FNV-1a's byte-serial multiply chain costs
+/// ~4 cycles per byte; state keys are hashed tens of millions of times per
+/// run, which made hashing itself show up in exploration profiles. This
+/// reads 8-byte words (memcpy, so alignment-safe) and is several times
+/// faster on the 20-60 byte inputs the stores see. It is NOT byte-order
+/// stable across platforms: anything persisted (verdict cache keys, AOT
+/// artifact names) must keep using stable_hash64/hash_bytes. Bitstate mode
+/// also keeps FNV so seeded swarm searches reproduce historical verdicts.
+inline std::uint64_t fast_hash64(std::span<const std::uint8_t> bytes) {
+  constexpr std::uint64_t kMul = 0x9ddfea08eb382d69ull;
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ (bytes.size() * kFnvPrime);
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    h = (h ^ w) * kMul;
+    h ^= h >> 29;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t w = 0;
+    __builtin_memcpy(&w, p, n);
+    h = (h ^ w) * kMul;
+    h ^= h >> 29;
+  }
+  return avalanche64(h);
+}
+
 /// Platform- and endian-stable 64-bit digest of a text. This is the ONLY
 /// hash the content-addressed verification cache may use for persisted
 /// keys: FNV-1a consumes bytes one at a time (no word-width or byte-order

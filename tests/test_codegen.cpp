@@ -1,0 +1,636 @@
+// Differential engine-equivalence tests for the codegen subsystem.
+//
+// The compiled engines (threaded bytecode, AOT .so) promise observable
+// equivalence with the kernel interpreter -- byte-identical successor
+// streams, Step metadata, undo coverage, verdicts, state counts, and
+// counterexample trails (the contract at the top of codegen/engine.h).
+// Four layers check that promise:
+//   (1) successor-level: full emission streams (state bytes, atomic holder,
+//       step fields, undo coverage) compared emit by emit against the
+//       interpreter, over BFS-sampled reachable states and random walks, on
+//       the paper's fig13/fig14 bridges and the fault-injection blocks;
+//   (2) the native skip + resume-token seam: engine-side suppression must
+//       equal sink-side filtering for every prefix length, and a simulated
+//       pass loop must re-stream the exact reference sequence;
+//   (3) search-level: verdicts, stored/matched/transition counts at thread
+//       counts 1/2/8, bounded (truncation-order-sensitive) runs, violation
+//       trails, and interp<->bytecode checkpoint portability;
+//   (4) the fallback ladder: no-toolchain AOT degrades to bytecode (noted),
+//       or raises ModelError under strict; cache hits are content-addressed.
+//
+// AOT cases self-skip when the host has no working toolchain, which keeps
+// the CI no-toolchain lane meaningful (it still runs every fallback test).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adl/adl.h"
+#include "bridge/bridge.h"
+#include "codegen/engine.h"
+#include "explore/checkpoint.h"
+#include "explore/explorer.h"
+#include "kernel/machine.h"
+#include "kernel/state.h"
+#include "pnp/generator.h"
+#include "support/panic.h"
+
+namespace pnp {
+namespace {
+
+namespace fs = std::filesystem;
+using kernel::Machine;
+using kernel::State;
+using kernel::Step;
+
+class TempDir {
+ public:
+  TempDir() {
+    const ::testing::TestInfo* ti =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = fs::temp_directory_path() /
+            ("pnp_codegen_" + std::to_string(::getpid()) + "_" +
+             std::string(ti->test_suite_name()) + "_" + std::string(ti->name()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+  fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+// -- model zoo ---------------------------------------------------------------
+
+/// Heap-allocated and handled by pointer: the machine points into the
+/// generator's SystemSpec, so a TestModel must never move once generated.
+struct TestModel {
+  ModelGenerator gen;
+  std::unique_ptr<Machine> m;
+  expr::Ref invariant{expr::kNoExpr};
+  std::string name;
+};
+
+std::unique_ptr<TestModel> make_fig13(bool buggy = false) {
+  auto tp = std::make_unique<TestModel>();
+  TestModel& t = *tp;
+  t.name = buggy ? "fig13-buggy" : "fig13";
+  bridge::BridgeConfig cfg;
+  cfg.cars_per_side = 1;
+  cfg.batch_n = 1;
+  cfg.buggy_async_enter = buggy;
+  t.m = std::make_unique<Machine>(
+      t.gen.generate(bridge::make_v1(cfg), {.optimize_connectors = true}));
+  t.invariant = bridge::safety_invariant(t.gen).ref;
+  return tp;
+}
+
+std::unique_ptr<TestModel> make_fig14() {
+  auto tp = std::make_unique<TestModel>();
+  TestModel& t = *tp;
+  t.name = "fig14";
+  bridge::BridgeConfig cfg;
+  cfg.cars_per_side = 1;
+  cfg.batch_n = 1;
+  cfg.enter_queue_capacity = 1;
+  t.m = std::make_unique<Machine>(
+      t.gen.generate(bridge::make_v2(cfg), {.optimize_connectors = false}));
+  t.invariant = bridge::safety_invariant(t.gen).ref;
+  return tp;
+}
+
+/// The resilience suite's counter, wired through a fault connector block
+/// (duplicating / reordering / lossy fifo): rendezvous handshakes, lossy
+/// channel semantics, and the fault blocks' extra interleavings all flow
+/// through the engines here.
+std::unique_ptr<TestModel> make_fault_counter(
+    const std::string& channel, const std::string& update = "received++") {
+  auto tp = std::make_unique<TestModel>();
+  TestModel& t = *tp;
+  t.name = "counter-" + channel;
+  const std::string src =
+      "architecture counter {\n"
+      "  global received = 0;\n"
+      "  component Sender {\n"
+      "    behavior { out_data!7,0,0,0,0,0; out_sig?SEND_SUCC,_; }\n"
+      "  }\n"
+      "  component Receiver {\n"
+      "    behavior {\n"
+      "      byte v;\n"
+      "      do\n"
+      "      :: in_data!0,0,0,0,0,0; in_sig?RECV_SUCC,_;\n"
+      "         in_data?v,_,_,_,_,_; " + update + "\n"
+      "      od\n"
+      "    }\n"
+      "  }\n"
+      "  connector Link : " + channel + " {\n"
+      "    sender Sender.out via asyn_blocking;\n"
+      "    receiver Receiver.in via blocking;\n"
+      "  }\n"
+      "}\n";
+  Architecture arch = adl::parse_architecture(src);
+  t.m = std::make_unique<Machine>(t.gen.generate(arch));
+  t.invariant = t.gen.parse_expr_text("received <= 1").ref;
+  return tp;
+}
+
+std::vector<std::unique_ptr<TestModel>> model_zoo() {
+  std::vector<std::unique_ptr<TestModel>> zoo;
+  zoo.push_back(make_fig13());
+  zoo.push_back(make_fig14());
+  zoo.push_back(make_fault_counter("duplicating_fifo(2)"));
+  zoo.push_back(make_fault_counter("reordering_fifo(2)"));
+  zoo.push_back(make_fault_counter("lossy_fifo(2)"));
+  return zoo;
+}
+
+// -- engine construction -----------------------------------------------------
+
+std::unique_ptr<codegen::Engine> make_bytecode(const Machine& m) {
+  codegen::EngineOptions o;
+  o.kind = codegen::EngineKind::Bytecode;
+  return codegen::make_engine(m, o);
+}
+
+/// Builds the AOT engine, or null when the host toolchain cannot produce it
+/// (the caller GTEST_SKIPs; the fallback itself has dedicated tests).
+std::unique_ptr<codegen::Engine> try_aot(const Machine& m,
+                                         const std::string& cache_dir) {
+  codegen::EngineOptions o;
+  o.kind = codegen::EngineKind::Aot;
+  o.cache_dir = cache_dir;
+  std::string note;
+  auto e = codegen::make_engine(m, o, &note);
+  if (e == nullptr || e->kind() != codegen::EngineKind::Aot) return nullptr;
+  return e;
+}
+
+#define SKIP_WITHOUT_AOT(eng) \
+  if ((eng) == nullptr) GTEST_SKIP() << "no host toolchain for the aot engine"
+
+// -- emission capture --------------------------------------------------------
+
+/// Everything one emit exposes to the search: successor bytes, atomic
+/// holder, step metadata, and the undo log's write coverage. The undo pairs
+/// are compared as slot->previous-value maps: the engine contract requires
+/// coverage of every written slot, not a particular log order.
+struct Emission {
+  std::vector<expr::Value> mem;
+  int atomic_pid;
+  int pid, trans, partner_pid, partner_trans;
+  int kind, chan;
+  bool assert_failed;
+  std::vector<expr::Value> msg;
+  std::vector<std::pair<int, expr::Value>> undo;
+
+  bool operator==(const Emission&) const = default;
+};
+
+std::string to_string(const Emission& e) {
+  std::string s = "pid=" + std::to_string(e.pid) +
+                  " trans=" + std::to_string(e.trans) +
+                  " partner=" + std::to_string(e.partner_pid) + "/" +
+                  std::to_string(e.partner_trans) +
+                  " kind=" + std::to_string(e.kind) +
+                  " chan=" + std::to_string(e.chan) +
+                  " assert=" + std::to_string(e.assert_failed) +
+                  " atomic=" + std::to_string(e.atomic_pid) + " mem=[";
+  for (expr::Value v : e.mem) s += std::to_string(v) + ",";
+  s += "] undo=[";
+  for (auto [slot, old] : e.undo)
+    s += std::to_string(slot) + ":" + std::to_string(old) + ",";
+  return s + "]";
+}
+
+class Recorder final : public kernel::SuccSink {
+ public:
+  Recorder(const kernel::SuccScratch& scr, int stop_after = -1)
+      : scr_(scr), stop_after_(stop_after) {}
+
+  bool on_successor(const State& ns, const Step& st) override {
+    Emission e;
+    e.mem.assign(ns.mem.begin(), ns.mem.end());
+    e.atomic_pid = ns.atomic_pid;
+    e.pid = st.pid;
+    e.trans = st.trans;
+    e.partner_pid = st.partner_pid;
+    e.partner_trans = st.partner_trans;
+    e.kind = static_cast<int>(st.event.kind);
+    e.chan = st.event.chan;
+    e.assert_failed = st.assert_failed;
+    e.msg = st.event.msg;
+    e.undo.assign(scr_.undo.begin(), scr_.undo.end());
+    std::sort(e.undo.begin(), e.undo.end());
+    e.undo.erase(std::unique(e.undo.begin(), e.undo.end()), e.undo.end());
+    out.push_back(std::move(e));
+    return stop_after_ < 0 || static_cast<int>(out.size()) < stop_after_;
+  }
+
+  std::vector<Emission> out;
+
+ private:
+  const kernel::SuccScratch& scr_;
+  int stop_after_;
+};
+
+std::vector<Emission> interp_emissions(const Machine& m, const State& s) {
+  kernel::SuccScratch scr;
+  Recorder rec(scr);
+  m.visit_successors(s, scr, rec);
+  return std::move(rec.out);
+}
+
+std::vector<Emission> engine_emissions(const codegen::Engine& e,
+                                       const State& s, std::uint32_t skip = 0,
+                                       std::uint64_t* resume = nullptr) {
+  kernel::SuccScratch scr;
+  Recorder rec(scr);
+  e.visit_successors(s, scr, rec, skip, resume);
+  return std::move(rec.out);
+}
+
+void expect_same_stream(const std::vector<Emission>& ref,
+                        const std::vector<Emission>& got,
+                        const std::string& what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_EQ(ref[i], got[i]) << what << " emit " << i << "\n  interp: "
+                              << to_string(ref[i]) << "\n  engine: "
+                              << to_string(got[i]);
+}
+
+/// Collects up to `limit` distinct reachable states, breadth-first, so the
+/// differential sweep exercises deep states (full channels, atomic holders)
+/// and not just the initial neighborhood.
+std::vector<State> reachable_states(const Machine& m, std::size_t limit) {
+  std::vector<State> out;
+  std::vector<std::string> seen;
+  std::vector<kernel::Succ> succs;
+  out.push_back(m.initial());
+  for (std::size_t i = 0; i < out.size() && out.size() < limit; ++i) {
+    succs.clear();
+    m.successors(out[i], succs);
+    for (auto& [ns, st] : succs) {
+      std::string key;
+      kernel::encode_key_into(ns, key);
+      if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+      seen.push_back(key);
+      out.push_back(ns);
+      if (out.size() >= limit) break;
+    }
+  }
+  return out;
+}
+
+// -- (1) successor-level differential sweeps ---------------------------------
+
+TEST(EngineDiff, SuccessorStreamsMatchInterpEverywhere) {
+  TempDir cache;
+  for (const auto& tp : model_zoo()) {
+    const TestModel& t = *tp;
+    const auto bc = make_bytecode(*t.m);
+    const auto aot = try_aot(*t.m, cache.str());
+    const std::vector<State> states = reachable_states(*t.m, 400);
+    ASSERT_GT(states.size(), 10u) << t.name;
+    for (const State& s : states) {
+      const std::vector<Emission> ref = interp_emissions(*t.m, s);
+      expect_same_stream(ref, engine_emissions(*bc, s), t.name + "/bytecode");
+      if (aot)
+        expect_same_stream(ref, engine_emissions(*aot, s), t.name + "/aot");
+    }
+  }
+}
+
+TEST(EngineDiff, RandomWalksMatch) {
+  TempDir cache;
+  for (const auto& tp : model_zoo()) {
+    const TestModel& t = *tp;
+    const auto bc = make_bytecode(*t.m);
+    const auto aot = try_aot(*t.m, cache.str());
+    for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+      std::mt19937 rng(seed);
+      State s = t.m->initial();
+      for (int depth = 0; depth < 120; ++depth) {
+        const std::vector<Emission> ref = interp_emissions(*t.m, s);
+        expect_same_stream(ref, engine_emissions(*bc, s),
+                           t.name + "/bytecode walk");
+        if (aot)
+          expect_same_stream(ref, engine_emissions(*aot, s),
+                             t.name + "/aot walk");
+        if (ref.empty()) break;
+        const Emission& pick = ref[rng() % ref.size()];
+        if (pick.assert_failed) break;
+        s.mem.assign(pick.mem.begin(), pick.mem.end());
+        s.atomic_pid = pick.atomic_pid;
+      }
+    }
+  }
+}
+
+TEST(EngineDiff, VisitSuccessorsOfMatchesPerProcess) {
+  TempDir cache;
+  const auto tp = make_fig13();
+  const TestModel& t = *tp;
+  const auto bc = make_bytecode(*t.m);
+  const auto aot = try_aot(*t.m, cache.str());
+  for (const State& s : reachable_states(*t.m, 200)) {
+    for (int pid = 0; pid < t.m->n_processes(); ++pid) {
+      kernel::SuccScratch scr;
+      Recorder ref_rec(scr);
+      const bool ref_any = t.m->visit_successors_of(s, pid, scr, ref_rec);
+      kernel::SuccScratch scr2;
+      Recorder bc_rec(scr2);
+      ASSERT_EQ(ref_any, bc->visit_successors_of(s, pid, scr2, bc_rec));
+      expect_same_stream(ref_rec.out, bc_rec.out, "bytecode visit_of");
+      if (aot) {
+        kernel::SuccScratch scr3;
+        Recorder aot_rec(scr3);
+        ASSERT_EQ(ref_any, aot->visit_successors_of(s, pid, scr3, aot_rec));
+        expect_same_stream(ref_rec.out, aot_rec.out, "aot visit_of");
+      }
+    }
+  }
+}
+
+// -- (2) the native skip + resume-token seam ---------------------------------
+
+TEST(EngineDiff, NativeSkipEqualsSinkSideFiltering) {
+  TempDir cache;
+  for (const auto& tp : model_zoo()) {
+    const TestModel& t = *tp;
+    const auto bc = make_bytecode(*t.m);
+    const auto aot = try_aot(*t.m, cache.str());
+    for (const State& s : reachable_states(*t.m, 60)) {
+      const std::vector<Emission> ref = interp_emissions(*t.m, s);
+      for (std::uint32_t k = 0; k <= ref.size() + 1; ++k) {
+        const std::vector<Emission> want(
+            ref.begin() + std::min<std::size_t>(k, ref.size()), ref.end());
+        expect_same_stream(want, engine_emissions(*bc, s, k),
+                           t.name + "/bytecode skip=" + std::to_string(k));
+        if (aot)
+          expect_same_stream(want, engine_emissions(*aot, s, k),
+                             t.name + "/aot skip=" + std::to_string(k));
+      }
+    }
+  }
+}
+
+/// Mirrors the DFS pass loop exactly: visit with skip = handled count and a
+/// threaded resume token, stopping at the first surfaced candidate each
+/// pass. The concatenation of the surfaced candidates must reproduce the
+/// full reference stream -- each exactly once, in order.
+void check_pass_loop(const codegen::Engine& e, const Machine& m,
+                     const State& s, const std::string& what) {
+  const std::vector<Emission> ref = interp_emissions(m, s);
+  std::vector<Emission> seen;
+  std::uint64_t tok = 0;
+  for (std::size_t pass = 0; pass <= ref.size() + 1; ++pass) {
+    kernel::SuccScratch scr;
+    Recorder rec(scr, /*stop_after=*/1);
+    e.visit_successors(s, scr, rec,
+                       static_cast<std::uint32_t>(seen.size()), &tok);
+    if (rec.out.empty()) break;
+    seen.push_back(std::move(rec.out.front()));
+  }
+  expect_same_stream(ref, seen, what);
+}
+
+TEST(EngineDiff, ResumeTokenPassLoopReproducesStream) {
+  TempDir cache;
+  for (const auto& tp : model_zoo()) {
+    const TestModel& t = *tp;
+    const auto bc = make_bytecode(*t.m);
+    const auto aot = try_aot(*t.m, cache.str());
+    for (const State& s : reachable_states(*t.m, 80)) {
+      check_pass_loop(*bc, *t.m, s, t.name + "/bytecode pass loop");
+      if (aot) check_pass_loop(*aot, *t.m, s, t.name + "/aot pass loop");
+    }
+  }
+}
+
+// -- (3) search-level equivalence --------------------------------------------
+
+explore::Result run_explore(const TestModel& t, const codegen::Engine* eng,
+                            int threads, std::uint64_t max_states = 0,
+                            bool want_trace = false) {
+  explore::Options o;
+  o.invariant = t.invariant;
+  o.invariant_name = "safety";
+  o.want_trace = want_trace;
+  o.threads = threads;
+  o.engine = eng;
+  if (max_states > 0) o.max_states = max_states;
+  return explore::explore(*t.m, o);
+}
+
+TEST(EngineExplore, Fig13FullSpaceAllEnginesAllThreadCounts) {
+  TempDir cache;
+  const auto tp = make_fig13();
+  const TestModel& t = *tp;
+  const auto bc = make_bytecode(*t.m);
+  const auto aot = try_aot(*t.m, cache.str());
+  const explore::Result ref = run_explore(t, nullptr, 1);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(ref.stats.complete);
+  ASSERT_GT(ref.stats.states_stored, 10000u);
+  for (const int threads : {1, 2, 8}) {
+    for (const codegen::Engine* eng :
+         {static_cast<const codegen::Engine*>(bc.get()),
+         static_cast<const codegen::Engine*>(aot.get())}) {
+      if (eng == nullptr) continue;
+      const explore::Result r = run_explore(t, eng, threads);
+      const std::string what = std::string(
+          codegen::engine_kind_name(eng->kind())) +
+          " threads=" + std::to_string(threads);
+      EXPECT_TRUE(r.ok()) << what;
+      EXPECT_TRUE(r.stats.complete) << what;
+      EXPECT_EQ(r.stats.states_stored, ref.stats.states_stored) << what;
+      EXPECT_EQ(r.stats.states_matched, ref.stats.states_matched) << what;
+      EXPECT_EQ(r.stats.transitions, ref.stats.transitions) << what;
+    }
+  }
+}
+
+TEST(EngineExplore, Fig14BoundedTruncationMatches) {
+  // A bounded run's totals depend on the exact traversal order, so equal
+  // counts here pin the engines to the interpreter's candidate order, not
+  // just its candidate sets.
+  TempDir cache;
+  const auto tp = make_fig14();
+  const TestModel& t = *tp;
+  const auto bc = make_bytecode(*t.m);
+  const auto aot = try_aot(*t.m, cache.str());
+  const std::uint64_t bound = 60'000;
+  const explore::Result ref = run_explore(t, nullptr, 1, bound);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_FALSE(ref.stats.complete);
+  ASSERT_EQ(ref.stats.truncation, explore::TruncationReason::MaxStates);
+  for (const codegen::Engine* eng :
+       {static_cast<const codegen::Engine*>(bc.get()),
+         static_cast<const codegen::Engine*>(aot.get())}) {
+    if (eng == nullptr) continue;
+    const explore::Result r = run_explore(t, eng, 1, bound);
+    const std::string what = codegen::engine_kind_name(eng->kind());
+    EXPECT_EQ(r.stats.truncation, explore::TruncationReason::MaxStates)
+        << what;
+    EXPECT_EQ(r.stats.states_stored, ref.stats.states_stored) << what;
+    EXPECT_EQ(r.stats.states_matched, ref.stats.states_matched) << what;
+  }
+}
+
+TEST(EngineExplore, ViolationTrailsMatch) {
+  TempDir cache;
+  // the buggy bridge (race on async enter) and the counting receiver
+  // behind a duplicating fifo both produce invariant violations
+  std::vector<std::unique_ptr<TestModel>> models;
+  models.push_back(make_fig13(/*buggy=*/true));
+  models.push_back(make_fault_counter("duplicating_fifo(2)"));
+  for (const auto& tp : models) {
+    const TestModel& t = *tp;
+    const auto bc = make_bytecode(*t.m);
+    const auto aot = try_aot(*t.m, cache.str());
+    const explore::Result ref =
+        run_explore(t, nullptr, 1, 0, /*want_trace=*/true);
+    ASSERT_TRUE(ref.violation.has_value()) << t.name;
+    for (const codegen::Engine* eng :
+         {static_cast<const codegen::Engine*>(bc.get()),
+         static_cast<const codegen::Engine*>(aot.get())}) {
+      if (eng == nullptr) continue;
+      const explore::Result r = run_explore(t, eng, 1, 0, true);
+      const std::string what =
+          t.name + "/" + codegen::engine_kind_name(eng->kind());
+      ASSERT_TRUE(r.violation.has_value()) << what;
+      EXPECT_EQ(r.violation->kind, ref.violation->kind) << what;
+      const auto& rs = ref.violation->trace.steps;
+      const auto& gs = r.violation->trace.steps;
+      ASSERT_EQ(rs.size(), gs.size()) << what;
+      for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(rs[i].step.pid, gs[i].step.pid) << what << " step " << i;
+        EXPECT_EQ(rs[i].step.trans, gs[i].step.trans) << what << " step " << i;
+      }
+      EXPECT_EQ(ref.violation->trace.final_state, r.violation->trace.final_state)
+          << what;
+    }
+  }
+}
+
+TEST(EngineCheckpoint, PortableBetweenInterpAndBytecode) {
+  // Checkpoints are raw state arrays -- engine-independent by design
+  // (RunConfig::digest() excludes the engine for the same reason). Cut a
+  // run under one engine, resume under the other, in both directions.
+  const auto tp = make_fig13();
+  const TestModel& t = *tp;
+  const auto bc = make_bytecode(*t.m);
+  const explore::Result ref = run_explore(t, nullptr, 1);
+  ASSERT_TRUE(ref.stats.complete);
+  struct Leg {
+    const codegen::Engine* cut;
+    const codegen::Engine* resume;
+    const char* what;
+  };
+  for (const Leg leg : {Leg{nullptr, bc.get(), "interp->bytecode"},
+                        Leg{bc.get(), nullptr, "bytecode->interp"}}) {
+    TempDir dir;
+    const std::string path = (dir.path() / "cut.pnp.ckpt").string();
+    explore::Options base;
+    base.invariant = t.invariant;
+    base.invariant_name = "safety";
+    base.checkpoint_path = path;
+    base.config_digest = "codegen-portability";
+    explore::Options cut = base;
+    cut.engine = leg.cut;
+    cut.max_states = 4000;
+    const explore::Result first = explore::explore(*t.m, cut);
+    ASSERT_FALSE(first.stats.complete) << leg.what;
+    const explore::Checkpoint c = explore::read_checkpoint(path);
+    explore::Options ro = base;
+    ro.engine = leg.resume;
+    ro.resume_from = &c;
+    const explore::Result r = explore::explore(*t.m, ro);
+    EXPECT_TRUE(r.ok()) << leg.what;
+    EXPECT_TRUE(r.stats.resumed) << leg.what;
+    EXPECT_TRUE(r.stats.complete) << leg.what;
+    EXPECT_EQ(r.stats.states_stored, ref.stats.states_stored) << leg.what;
+  }
+}
+
+// -- (4) fallback ladder + artifact cache ------------------------------------
+
+TEST(EngineFallback, MissingToolchainFallsBackToBytecode) {
+  TempDir cache;
+  const auto tp = make_fig13();
+  const TestModel& t = *tp;
+  codegen::EngineOptions o;
+  o.kind = codegen::EngineKind::Aot;
+  o.cache_dir = cache.str();
+  o.cxx = "/nonexistent/pnp-no-such-compiler";
+  std::string note;
+  const auto e = codegen::make_engine(*t.m, o, &note);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind(), codegen::EngineKind::Bytecode);
+  EXPECT_NE(note.find("using bytecode"), std::string::npos) << note;
+  // the fallback engine is still a correct engine
+  const State init = t.m->initial();
+  expect_same_stream(interp_emissions(*t.m, init), engine_emissions(*e, init),
+                     "fallback bytecode");
+}
+
+TEST(EngineFallback, StrictModeRaisesModelError) {
+  TempDir cache;
+  const auto tp = make_fig13();
+  const TestModel& t = *tp;
+  codegen::EngineOptions o;
+  o.kind = codegen::EngineKind::Aot;
+  o.cache_dir = cache.str();
+  o.cxx = "/nonexistent/pnp-no-such-compiler";
+  o.strict = true;
+  EXPECT_THROW(codegen::make_engine(*t.m, o), ModelError);
+}
+
+TEST(EngineCache, SecondBuildIsAContentAddressedHit) {
+  TempDir cache;
+  const auto tp = make_fig13();
+  const TestModel& t = *tp;
+  const auto first = try_aot(*t.m, cache.str());
+  SKIP_WITHOUT_AOT(first);
+  const auto count_so = [&] {
+    std::size_t n = 0;
+    for (const auto& ent : fs::directory_iterator(cache.path()))
+      if (ent.path().extension() == ".so") ++n;
+    return n;
+  };
+  ASSERT_EQ(count_so(), 1u);
+  // same machine -> same digest -> the exact artifact is reused
+  const auto second = try_aot(*t.m, cache.str());
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(count_so(), 1u);
+  // a semantically different machine gets its own artifact
+  const auto other = make_fault_counter("duplicating_fifo(2)");
+  const auto third = try_aot(*other->m, cache.str());
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ(count_so(), 2u);
+}
+
+TEST(EngineCache, MachineDigestIsStableAcrossRegeneration) {
+  // Two independent generations of the same architecture must agree (the
+  // digest keys the shared artifact cache across processes and runs), and
+  // distinct machines must not.
+  const auto a = make_fig13();
+  const auto b = make_fig13();
+  EXPECT_EQ(codegen::machine_digest(*a->m), codegen::machine_digest(*b->m));
+  const auto c = make_fig14();
+  EXPECT_NE(codegen::machine_digest(*a->m), codegen::machine_digest(*c->m));
+}
+
+}  // namespace
+}  // namespace pnp

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "codegen/engine.h"
 #include "serve/client.h"
 #include "serve/proto.h"
 #include "serve/queue.h"
@@ -137,6 +138,35 @@ TEST(ServeProto, SubmitRoundTrips) {
   EXPECT_EQ(back.config.end_invariant_text, "x == 3");
   EXPECT_EQ(back.config.ltl, req.config.ltl);
   EXPECT_EQ(back.config.props, req.config.props);
+}
+
+TEST(ServeProto, EngineKeyRoundTripsAndRejectsUnknown) {
+  // Every named engine survives render -> parse; the default (interp) is
+  // omitted from the frame and restored on parse.
+  for (const auto kind :
+       {codegen::EngineKind::Interp, codegen::EngineKind::Bytecode,
+        codegen::EngineKind::Aot}) {
+    JobRequest req;
+    req.id = "job-e";
+    req.model_text = "architecture a {}";
+    req.config.engine = kind;
+    const std::string frame = render_submit(req);
+    if (kind == codegen::EngineKind::Interp)
+      EXPECT_EQ(frame.find("\"engine\""), std::string::npos) << frame;
+    JobRequest back;
+    std::string err;
+    ASSERT_TRUE(parse_request(frame, back, &err)) << err;
+    EXPECT_EQ(back.config.engine, kind);
+  }
+  // An unknown engine is a structured request error naming the choices.
+  JobRequest req;
+  std::string err;
+  EXPECT_FALSE(parse_request(
+      "{\"pnp.job.v1\":\"submit\",\"id\":\"x\",\"model\":\"m\","
+      "\"engine\":\"jit\"}",
+      req, &err));
+  EXPECT_NE(err.find("unknown engine"), std::string::npos) << err;
+  EXPECT_NE(err.find("bytecode"), std::string::npos) << err;
 }
 
 TEST(ServeProto, MalformedFramesAreRejectedWithReasons) {
@@ -448,6 +478,36 @@ TEST_F(ServeTest, MalformedFrameGetsErrorAndConnectionSurvives) {
   EXPECT_TRUE(client.ping(&err)) << err;
   EXPECT_TRUE(WaitForStats(
       [](const ServerStats& s) { return s.protocol_errors == 1; }));
+}
+
+TEST_F(ServeTest, CompiledEngineJobRunsAndUnknownEngineGetsErrorFrame) {
+  StartServer();
+  Client client = Connect();
+  std::string err;
+  // An unknown engine value comes back as an error frame and leaves the
+  // connection usable (request error, not protocol error).
+  ASSERT_TRUE(client.send_line(
+                  "{\"pnp.job.v1\":\"submit\",\"id\":\"x\","
+                  "\"model\":\"m\",\"engine\":\"jit\"}",
+                  &err))
+      << err;
+  std::string frame;
+  ASSERT_TRUE(client.recv_line(&frame, &err)) << err;
+  json::Value msg;
+  ASSERT_TRUE(json::parse(frame, msg, &err)) << err;
+  EXPECT_EQ(msg.str_or(kSchema), "error");
+  EXPECT_NE(msg.str_or("reason").find("unknown engine"), std::string::npos)
+      << msg.str_or("reason");
+  // The same connection then runs a real job under the bytecode engine.
+  JobRequest req;
+  req.id = "demo.arch";
+  req.model_text = kDemoArch;
+  req.config.end_invariant_text = "delivered == 3";
+  req.config.engine = codegen::EngineKind::Bytecode;
+  Client::Outcome out;
+  ASSERT_TRUE(client.submit_and_wait(req, &out, &err)) << err;
+  EXPECT_TRUE(out.accepted);
+  EXPECT_TRUE(out.passed);
 }
 
 TEST_F(ServeTest, OversizedFrameClosesConnection) {

@@ -206,13 +206,23 @@ const FlagDef kFlags[] = {
        a.cfg.minimize =
            v == "strong" ? MinimizeMode::Strong : MinimizeMode::Weak;
      }},
+    {"engine", "PNPV_ENGINE", "KIND", nullptr,
+     "successor engine: interp (default), bytecode (threaded fallback "
+     "interpreter) or aot (per-model compiled .so, cached under "
+     "--cache-dir; falls back to bytecode when no host toolchain is "
+     "present, except with --resume, where the fallback is an error). "
+     "Verdicts and state counts are engine-independent",
+     [](Args& a, const std::string& v) {
+       if (!codegen::parse_engine_kind(v, &a.cfg.engine))
+         usage("--engine must be interp, bytecode or aot (got '" + v + "')");
+     }},
     {"no-protocols", nullptr, nullptr, nullptr,
      "(.arch) skip the per-connector port-protocol obligations",
      [](Args& a, const std::string&) { a.cfg.connector_protocols = false; }},
     {"cache-dir", "PNPV_CACHE_DIR", "DIR", nullptr,
-     "(.arch) persist obligation verdicts under DIR: re-runs of an "
-     "unchanged design answer from the cache, a connector swap re-verifies "
-     "only the dirtied slice",
+     "persist obligation verdicts (.arch) and --engine aot compiled "
+     "artifacts under DIR: re-runs of an unchanged design answer from the "
+     "cache, a connector swap re-verifies only the dirtied slice",
      [](Args& a, const std::string& v) { a.cfg.cache_dir = v; }},
     {"spill-dir", "PNPV_SPILL_DIR", "DIR", nullptr,
      "back the visited/intern stores with mmap'd files under DIR when the "
@@ -556,8 +566,11 @@ int main(int argc, char** argv) {
       return finish(rep);
     }
 
-    if (!args.cfg.cache_dir.empty())
-      usage("--cache-dir applies to .arch designs only");
+    // --cache-dir on a .pml model is meaningful only as the AOT artifact
+    // store; there are no obligation verdicts to cache for raw machines.
+    if (!args.cfg.cache_dir.empty() &&
+        args.cfg.engine != codegen::EngineKind::Aot)
+      usage("--cache-dir applies to .arch designs (or --engine aot) only");
     if (args.resilience) usage("--resilience applies to .arch designs only");
     model::SystemSpec sys = pml::parse(slurp(args.model_path));
     kernel::Machine m(sys);
