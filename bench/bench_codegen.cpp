@@ -8,12 +8,19 @@
 //   bench_codegen [--quick] [--json]
 //
 // --quick shrinks the instance for CI smoke runs; --json emits rows
-// ({bench, threads, states, states_per_sec, wall_seconds, and for the
-// compiled engines speedup_vs_interp}) consumed by scripts/bench.sh, which
-// gates the aot speedup ratio and the compile-time budget against the
-// committed baseline. Speedups are measured within one process on one
-// machine (machine-normalized): the ratio, not the absolute states/sec, is
-// what the gate holds steady across runner generations.
+// ({bench, threads, states, states_per_sec, wall_seconds, bytes_per_state,
+// and for the compiled engines speedup_vs_interp}) consumed by
+// scripts/bench.sh, which gates the aot speedup ratio, bytes/state, and the
+// compile-time budget against the committed baseline. Speedups are measured
+// within one process on one machine (machine-normalized): the ratio, not
+// the absolute states/sec, is what the gate holds steady across runner
+// generations.
+//
+// Beyond the plain reachability sweep, the codegen_por_* rows time the
+// POR-reduced search (engine-backed ample probe + chosen-pid expansion) and
+// the codegen_ltl_* rows time the LTL product search (engine-backed system
+// side, interpreted Buchi stepping) -- the two hot loops the engines
+// compile end to end. Each lane's speedup is against its own interp row.
 //
 // The codegen_compile row times the cold emit + host-compile + dlopen path
 // and the warm content-addressed cache hit; the artifact cache directory is
@@ -31,6 +38,7 @@
 #include "codegen/engine.h"
 #include "common.h"
 #include "explore/explorer.h"
+#include "ltl/product.h"
 #include "obs/obs.h"
 
 using namespace pnp;
@@ -44,7 +52,8 @@ struct Row {
   int threads{1};
   std::uint64_t states{0};
   double wall{0.0};
-  double speedup{0.0};  // vs the interp row at the same thread count; 0 = n/a
+  double speedup{0.0};  // vs the interp row of the same lane; 0 = n/a
+  double bytes_per_state{0.0};  // visited-store footprint; 0 = not tracked
 
   double states_per_sec() const {
     return static_cast<double>(states) / std::max(wall, 1e-9);
@@ -52,13 +61,14 @@ struct Row {
 };
 
 explore::Result run(const kernel::Machine& m, expr::Ref inv, int threads,
-                    const codegen::Engine* engine) {
+                    const codegen::Engine* engine, bool por = false) {
   explore::Options opt;
   opt.want_trace = false;
   opt.invariant = inv;
   opt.invariant_name = "safety";
   opt.threads = threads;
   opt.engine = engine;
+  opt.por = por;
   return explore::explore(m, opt);
 }
 
@@ -154,10 +164,93 @@ int main(int argc, char** argv) {
       }
       if (ref_states == 0) ref_states = r.stats.states_stored;
       else ok = ok && r.stats.states_stored == ref_states;
-      Row row{e.name, t, r.stats.states_stored, r.stats.seconds, 0.0};
+      Row row{e.name, t, r.stats.states_stored, r.stats.seconds, 0.0,
+              r.stats.store_bytes_per_state()};
       if (e.engine == nullptr) interp_wall[si] = r.stats.seconds;
       else if (interp_wall[si] > 0.0)
         row.speedup = interp_wall[si] / std::max(r.stats.seconds, 1e-9);
+      rows.push_back(row);
+    }
+  }
+
+  // POR lane: the engine-backed ample probe + chosen-pid expansion. The
+  // reduced graph is engine-independent (identical successor streams give
+  // identical ample sets), so the lane doubles as an equivalence check of
+  // its own reference state count.
+  {
+    double por_interp_wall = 0.0;
+    std::uint64_t por_ref_states = 0;
+    const char* names[] = {"codegen_por_interp", "codegen_por_bytecode",
+                           "codegen_por_aot"};
+    const codegen::Engine* por_engines[] = {nullptr, bytecode.get(),
+                                            aot.get()};
+    for (int i = 0; i < 3; ++i) {
+      explore::Result r;
+      for (int rep = 0; rep < timing_reps; ++rep) {
+        explore::Result attempt = run(m, inv, 1, por_engines[i], /*por=*/true);
+        ok = ok && attempt.ok() && attempt.stats.complete;
+        if (rep == 0 || attempt.stats.seconds < r.stats.seconds)
+          r = std::move(attempt);
+      }
+      if (por_ref_states == 0) por_ref_states = r.stats.states_stored;
+      else ok = ok && r.stats.states_stored == por_ref_states;
+      Row row{names[i], 1, r.stats.states_stored, r.stats.seconds, 0.0,
+              r.stats.store_bytes_per_state()};
+      if (i == 0) por_interp_wall = r.stats.seconds;
+      else row.speedup = por_interp_wall / std::max(r.stats.seconds, 1e-9);
+      rows.push_back(row);
+    }
+  }
+
+  // LTL lane: nested-DFS product search with engine-backed system-side
+  // successor generation (Buchi stepping stays interpreted). The lane
+  // deliberately runs the 1-car instance in BOTH modes: the product
+  // search keeps its own (unpipelined) visited probe, and on the
+  // DRAM-bound 6M-state product that probe dominates wall time and
+  // degenerates the ratio to ~1.0x for every engine -- a property of the
+  // product search's store, not of the engines this lane gates (measured:
+  // a bounded 690k-state product already drops AOT to 1.3x where the
+  // cache-resident space holds 1.5-1.7x). "G safe" holds, so every run
+  // covers the full product. (Pipelining the product probe like the
+  // section-15.4 DFS sink is the follow-up that would let this lane run
+  // the full-space product.)
+  {
+    BridgeConfig lcfg = cfg;
+    lcfg.cars_per_side = 1;
+    ModelGenerator lgen;
+    Architecture larch = make_v1(lcfg);
+    const kernel::Machine lm =
+        lgen.generate(larch, {.optimize_connectors = true});
+    lgen.add_prop("safe", safety_invariant(lgen));
+    double ltl_interp_wall = 0.0;
+    std::uint64_t ltl_ref_states = 0;
+    const char* names[] = {"codegen_ltl_interp", "codegen_ltl_bytecode",
+                           "codegen_ltl_aot"};
+    const codegen::EngineKind kinds[] = {codegen::EngineKind::Interp,
+                                         codegen::EngineKind::Bytecode,
+                                         codegen::EngineKind::Aot};
+    for (int i = 0; i < 3; ++i) {
+      ltl::CheckOptions copt;
+      copt.want_trace = false;
+      copt.engine = kinds[i];
+      copt.engine_cache_dir = cache_dir.string();
+      // The product fits in cache, so each run is short; best-of-9 pins the
+      // clean minimum even right after the DRAM-heavy sweep lanes above.
+      ltl::LtlResult r;
+      for (int rep = 0; rep < 9; ++rep) {
+        ltl::LtlResult attempt =
+            ltl::check_ltl(lm, lgen.props(), "G safe", copt);
+        ok = ok && attempt.holds && attempt.stats.complete &&
+             attempt.engine_actual == kinds[i];
+        if (rep == 0 || attempt.stats.seconds < r.stats.seconds)
+          r = std::move(attempt);
+      }
+      if (ltl_ref_states == 0) ltl_ref_states = r.stats.states_stored;
+      else ok = ok && r.stats.states_stored == ltl_ref_states;
+      Row row{names[i], 1, r.stats.states_stored, r.stats.seconds, 0.0,
+              r.stats.store_bytes_per_state()};
+      if (i == 0) ltl_interp_wall = r.stats.seconds;
+      else row.speedup = ltl_interp_wall / std::max(r.stats.seconds, 1e-9);
       rows.push_back(row);
     }
   }
@@ -172,6 +265,8 @@ int main(int argc, char** argv) {
                   r.bench.c_str(), r.threads,
                   static_cast<unsigned long long>(r.states),
                   r.states_per_sec(), r.wall);
+      if (r.bytes_per_state > 0.0)
+        std::printf(", \"bytes_per_state\": %.1f", r.bytes_per_state);
       if (r.speedup > 0.0)
         std::printf(", \"speedup_vs_interp\": %.3f", r.speedup);
       std::printf("}%s\n", i + 1 < rows.size() ? "," : "");
@@ -188,10 +283,10 @@ int main(int argc, char** argv) {
               "optimized blocks)\n\n",
               cfg.cars_per_side);
   print_header({"bench", "threads", "states", "states/sec", "speedup",
-                "time"},
-               {18, 9, 12, 14, 10, 12});
+                "bytes/st", "time"},
+               {21, 9, 12, 14, 10, 10, 12});
   for (const Row& r : rows) {
-    print_cell(r.bench, 18);
+    print_cell(r.bench, 21);
     print_cell(std::to_string(r.threads), 9);
     print_cell(std::to_string(r.states), 12);
     print_cell(std::to_string(static_cast<long long>(r.states_per_sec())),
@@ -199,6 +294,9 @@ int main(int argc, char** argv) {
     char buf[32];
     std::snprintf(buf, sizeof buf, r.speedup > 0.0 ? "%.2fx" : "-",
                   r.speedup);
+    print_cell(buf, 10);
+    std::snprintf(buf, sizeof buf, r.bytes_per_state > 0.0 ? "%.1f" : "-",
+                  r.bytes_per_state);
     print_cell(buf, 10);
     print_cell(fmt_ms(r.wall) + " ms", 12);
     std::printf("\n");

@@ -28,9 +28,11 @@
 # bench_parallel, plus {"bench", "mode", "states", "ratio", ...} reduction-
 # ratio rows and {"bench", "mode", "obligations", "cache_hits", "hit_rate",
 # ...} cache rows from bench_reduce, plus the compiled-engine rows from
-# bench_codegen: codegen_{interp,bytecode,aot} throughput rows carrying
-# "speedup_vs_interp" and one codegen_compile row with the cold/warm
-# artifact-cache compile times. Both benches exit non-zero when a run
+# bench_codegen: codegen_{interp,bytecode,aot} throughput rows (and the
+# codegen_por_* / codegen_ltl_* lanes for the engine-backed POR and LTL
+# product searches) carrying "speedup_vs_interp" and "bytes_per_state",
+# and one codegen_compile row with the cold/warm artifact-cache compile
+# times. Both benches exit non-zero when a run
 # fails verification, minimized verdicts diverge, or state counts disagree
 # across thread counts, so this doubles as a determinism/soundness gate.
 set -euo pipefail
@@ -246,48 +248,82 @@ gate_codegen_cache() {
 }
 
 # Codegen speed gates (wall-clock, in the retried group): the AOT engine
-# must hold >= 1.8x over the interpreter (acceptance bar is 2x on a quiet
-# machine; 1.8 leaves headroom for shared-runner noise the retry cannot
-# fully cancel), the bytecode fallback >= 1.2x, and a cold AOT compile must
+# must hold >= 1.8x over the interpreter on the plain sweep (acceptance bar
+# is 2x on a quiet machine; 1.8 leaves headroom for shared-runner noise the
+# retry cannot fully cancel), >= 1.6x on the POR-reduced search, the
+# bytecode fallback >= 1.2x on those lanes, and a cold AOT compile must
 # fit the 15s budget -- compiling one specialized TU, not a project. The
+# LTL lane holds softer floors (1.35x aot / 1.10x bytecode): the product
+# search keeps interpreted per-transition work in the loop by design --
+# Buchi label evaluation, product-key encode, visited probe -- so the
+# engine's share is structurally smaller there; a quiet machine measures
+# ~1.5-1.7x aot / ~1.2-1.3x bytecode (BENCH.json records the measured
+# number; the floor is a regression tripwire, not the headline). The
 # smoke instance completes in ~30-60ms with every store cache-resident,
 # which both compresses the real ratio (the engines' win grows with DRAM-
 # bound probes) and amplifies timer noise, so smoke mode holds softer bars
-# (1.4x / 1.1x) -- the full bars are enforced where they mean something,
-# on the full-space run that writes BENCH.json.
+# across the board -- the full bars are enforced where they mean
+# something, on the full-space run that writes BENCH.json.
 gate_codegen_speed() {
   awk -v abar="$([[ $smoke -eq 1 ]] && echo 1.4 || echo 1.8)" \
+      -v pbar="$([[ $smoke -eq 1 ]] && echo 1.3 || echo 1.6)" \
+      -v lbar="$([[ $smoke -eq 1 ]] && echo 1.25 || echo 1.35)" \
+      -v lbbar="$([[ $smoke -eq 1 ]] && echo 1.05 || echo 1.10)" \
       -v bbar="$([[ $smoke -eq 1 ]] && echo 1.1 || echo 1.2)" '
+    function speedup() {
+      return substr($0, RSTART + 21, RLENGTH - 21) + 0
+    }
     /"bench": "codegen_aot"/ && match($0, /"speedup_vs_interp": [0-9.]+/) {
-      aot = substr($0, RSTART + 21, RLENGTH - 21) + 0
+      aot = speedup()
     }
     /"bench": "codegen_bytecode"/ && match($0, /"speedup_vs_interp": [0-9.]+/) {
-      bc = substr($0, RSTART + 21, RLENGTH - 21) + 0
+      bc = speedup()
+    }
+    /"bench": "codegen_por_aot"/ && match($0, /"speedup_vs_interp": [0-9.]+/) {
+      por_aot = speedup()
+    }
+    /"bench": "codegen_por_bytecode"/ && match($0, /"speedup_vs_interp": [0-9.]+/) {
+      por_bc = speedup()
+    }
+    /"bench": "codegen_ltl_aot"/ && match($0, /"speedup_vs_interp": [0-9.]+/) {
+      ltl_aot = speedup()
+    }
+    /"bench": "codegen_ltl_bytecode"/ && match($0, /"speedup_vs_interp": [0-9.]+/) {
+      ltl_bc = speedup()
     }
     /"bench": "codegen_compile"/ && match($0, /"cold_ms": [0-9.]+/) {
       cold = substr($0, RSTART + 11, RLENGTH - 11) + 0; saw_cold = 1
     }
+    function need(v, bar, name) {
+      if (v == 0) {
+        printf "FAIL no %s speedup row\n", name > "/dev/stderr"
+        return 1
+      }
+      if (v < bar) {
+        printf "FAIL %s speedup %.2fx below %.1fx bar\n", name, v, bar \
+               > "/dev/stderr"
+        return 1
+      }
+      return 0
+    }
     END {
       bad = 0
-      if (aot == 0) { print "FAIL no codegen_aot speedup row" > "/dev/stderr"; bad = 1 }
-      else if (aot < abar) {
-        printf "FAIL aot speedup %.2fx below %.1fx bar\n", aot, abar > "/dev/stderr"
-        bad = 1
-      }
-      if (bc == 0) { print "FAIL no codegen_bytecode speedup row" > "/dev/stderr"; bad = 1 }
-      else if (bc < bbar) {
-        printf "FAIL bytecode speedup %.2fx below %.1fx bar\n", bc, bbar > "/dev/stderr"
-        bad = 1
-      }
+      bad += need(aot, abar, "codegen_aot")
+      bad += need(bc, bbar, "codegen_bytecode")
+      bad += need(por_aot, pbar, "codegen_por_aot")
+      bad += need(por_bc, bbar, "codegen_por_bytecode")
+      bad += need(ltl_aot, lbar, "codegen_ltl_aot")
+      bad += need(ltl_bc, lbbar, "codegen_ltl_bytecode")
       if (!saw_cold) { print "FAIL no codegen cold-compile row" > "/dev/stderr"; bad = 1 }
       else if (cold > 15000) {
         printf "FAIL cold aot compile %.0fms exceeds 15s budget\n", cold > "/dev/stderr"
         bad = 1
       }
       if (!bad)
-        printf "codegen gates passed (aot %.2fx, bytecode %.2fx, cold compile %.0fms)\n",
-               aot, bc, cold > "/dev/stderr"
-      exit bad
+        printf "codegen gates passed (aot %.2fx, por %.2fx, ltl %.2fx, " \
+               "bytecode %.2fx, cold compile %.0fms)\n",
+               aot, por_aot, ltl_aot, bc, cold > "/dev/stderr"
+      exit bad > 0 ? 1 : 0
     }' "$out"
 }
 

@@ -25,11 +25,16 @@ fi
 if [[ "${1:-}" == "--tsan" ]]; then
   # Race detection focused on the code that actually runs threads: the
   # parallel explorer suite, the explorer regression suite, the threaded
-  # pnpv smoke runs, and the pnpd server (reader threads + worker pool +
-  # shared cache/ledger -- see src/serve/).
+  # pnpv smoke runs, the pnpd server (reader threads + worker pool +
+  # shared cache/ledger -- see src/serve/), and the engine-backed searches
+  # that share one immutable Engine across workers (EnginePor runs the
+  # parallel POR sweep at threads 2/8 through bytecode and AOT backends;
+  # EngineExplore covers the plain parallel sweep; EngineLtl the racing
+  # nested-DFS workers).
   cmake -B build-tsan -S . -DPNP_SANITIZE=thread
-  cmake --build build-tsan -j --target test_parallel test_explore test_serve pnpv
+  cmake --build build-tsan -j --target test_parallel test_explore test_serve \
+    test_codegen pnpv
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-      -R 'Parallel|Swarm|Explore|Serve|pnpv\.threads'
+      -R 'Parallel|Swarm|Explore|Serve|pnpv\.threads|EnginePor|EngineExplore|EngineLtl'
 fi

@@ -11,6 +11,8 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "codegen/aot_abi.h"
@@ -27,7 +29,7 @@ namespace fs = std::filesystem;
 // Bump whenever the generated code's SHAPE changes (new helpers, different
 // specialization decisions) even if the ABI is unchanged: the emitter
 // version is part of the cache key, so old artifacts simply stop matching.
-constexpr int kEmitterVersion = 3;
+constexpr int kEmitterVersion = 4;
 
 std::string hex64(std::uint64_t v) {
   char buf[17];
@@ -154,14 +156,33 @@ class AotEngine final : public Engine {
   }
 
   bool visit_successors_of(const kernel::State& s, int pid,
-                           kernel::SuccScratch& scratch,
-                           kernel::SuccSink& sink) const override {
+                           kernel::SuccScratch& scratch, kernel::SuccSink& sink,
+                           std::uint32_t skip) const override {
     HostCtx host{&scratch, &sink};
     pnp_aot_ctx ctx;
-    prepare(s, scratch, host, ctx, 0);
+    prepare(s, scratch, host, ctx, skip);
     const std::uint32_t r = mod_->visit_of(&ctx, pid);
     finish(s, scratch);
     return (r & 1u) != 0;
+  }
+
+  bool encode_support() const override { return mod_->dirty_mask != nullptr; }
+
+  std::uint64_t dirty_regions(const std::pair<int, kernel::Value>* undo,
+                              std::size_t n) const override {
+    // The undo log's (slot, previous value) pairs cross the C ABI as a flat
+    // i32 array with stride 2, slot first.
+    static_assert(sizeof(std::pair<int, kernel::Value>) ==
+                      2 * sizeof(std::int32_t),
+                  "undo entries must be two packed i32s for the C ABI");
+    static_assert(std::is_standard_layout_v<std::pair<int, kernel::Value>>,
+                  "undo entries must be standard-layout for the C ABI");
+    return mod_->dirty_mask(reinterpret_cast<const std::int32_t*>(undo),
+                            static_cast<std::int32_t>(n), 2);
+  }
+
+  std::uint64_t region_hash(const kernel::Value* mem, int r) const override {
+    return mod_->region_hash(mem, static_cast<std::int32_t>(r));
   }
 
  private:
@@ -323,6 +344,33 @@ std::unique_ptr<Engine> make_aot_engine(const kernel::Machine& m,
     return nullptr;
   }
   return std::make_unique<AotEngine>(m, handle, mod);
+}
+
+std::string describe_engines(const std::string& cache_dir) {
+  EngineOptions opt;
+  opt.cache_dir = cache_dir;
+  const std::string cxx = pick_cxx(opt);
+  // The same invocation shape make_aot_engine uses, minus the compile: a
+  // toolchain that answers --version is one the build step can exec.
+  const bool have_cxx =
+      std::system((shell_quote(cxx) + " --version > /dev/null 2>&1").c_str()) ==
+      0;
+  std::string out = "successor engines:\n";
+  out += "  interp    always available (the historical interpreter)\n";
+  out += "  bytecode  always available (threaded-bytecode interpreter)\n";
+  out += std::string("  aot       ") +
+         (have_cxx ? "available (host toolchain found)"
+                   : "unavailable on this host (falls back to bytecode)") +
+         "\n";
+  out += "aot toolchain: " + cxx +
+         (have_cxx ? "  [probe ok]" : "  [probe failed: not runnable]") + "\n";
+  std::string why;
+  const fs::path dir = pick_cache_dir(opt, &why);
+  out += "aot artifact cache: " +
+         (dir.empty() ? "unavailable (" + why + ")" : dir.string()) + "\n";
+  out += "aot abi: v" + std::to_string(kAotAbiVersion) + ", emitter v" +
+         std::to_string(kEmitterVersion) + "\n";
+  return out;
 }
 
 }  // namespace pnp::codegen

@@ -27,4 +27,11 @@ std::unique_ptr<Engine> make_aot_engine(const kernel::Machine& m,
                                         const EngineOptions& opt,
                                         std::string* why);
 
+/// Human-readable backend diagnostic (`pnpv --engine list`): the available
+/// backends, the AOT toolchain probe (the compiler make_aot_engine would
+/// invoke, and whether it runs), the resolved artifact-cache directory for
+/// `cache_dir` (empty = the shared temp-dir default), and the ABI/emitter
+/// versions that key the artifact cache.
+std::string describe_engines(const std::string& cache_dir);
+
 }  // namespace pnp::codegen

@@ -86,10 +86,17 @@ class Engine {
                                 std::uint32_t skip = 0,
                                 std::uint64_t* resume = nullptr) const = 0;
 
-  /// Drop-in for Machine::visit_successors_of.
+  /// Drop-in for Machine::visit_successors_of, with the same native `skip`
+  /// semantics as visit_successors: the pass-based DFS re-streams a POR
+  /// frame's chosen-pid candidates once per child, and candidates below the
+  /// frame's resume point are suppressed without mutate/emit/revert. No
+  /// resume token: a single process's sweep has no earlier processes to
+  /// fast-forward past (the full-expansion overload above carries the
+  /// token for choice-less frames).
   virtual bool visit_successors_of(const kernel::State& s, int pid,
                                    kernel::SuccScratch& scratch,
-                                   kernel::SuccSink& sink) const = 0;
+                                   kernel::SuccSink& sink,
+                                   std::uint32_t skip = 0) const = 0;
 
   /// Resume-token encoding shared by the engines: the stopped-at process
   /// and the number of candidates enumerated before that process began.
@@ -107,6 +114,31 @@ class Engine {
   /// Vector-building convenience (swarm workers permute materialized
   /// successor lists; mirrors Machine::successors).
   void successors(const kernel::State& s, std::vector<kernel::Succ>& out) const;
+
+  /// Layout-specialized store path. When supported (layouts with at most 64
+  /// COLLAPSE regions), the engine serves the two per-stored-state walks the
+  /// generic compressor pays on every delta re-intern: mapping the undo log
+  /// to the set of dirtied regions, and hashing a dirty region's value span.
+  /// Both must be bit-exact with the kernel (dirty set == regions owning the
+  /// undone slots; hash == support::fast_hash64 over the region bytes): the
+  /// compressor derives stripe choice, fingerprint, and probe sequence --
+  /// and therefore every component id and encoded key byte -- from that
+  /// hash, so a divergent hash would split identical components across
+  /// stripes and break visited-set identity.
+  virtual bool encode_support() const { return false; }
+  /// Bitmask of the regions owning the slots in `undo` (bit k = region k).
+  virtual std::uint64_t dirty_regions(
+      const std::pair<int, kernel::Value>* undo, std::size_t n) const {
+    (void)undo;
+    (void)n;
+    return 0;
+  }
+  /// fast_hash64 of region `r`'s value span in `mem`.
+  virtual std::uint64_t region_hash(const kernel::Value* mem, int r) const {
+    (void)mem;
+    (void)r;
+    return 0;
+  }
 
  protected:
   explicit Engine(const kernel::Machine& m) : m_(&m) {}

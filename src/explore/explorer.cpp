@@ -1,6 +1,7 @@
 #include "explore/explorer.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <deque>
 #include <memory>
@@ -141,6 +142,10 @@ class FlatRun {
       const std::size_t n = static_cast<std::size_t>(compressor_.n_regions());
       ids_tmp_.resize(n);
       dirty_.resize(n);
+      if (opt.engine != nullptr && opt.engine->encode_support() && n <= 64) {
+        enc_engine_ = opt.engine;
+        region_hashes_.resize(n);
+      }
     }
     if (opt.obs != nullptr) blk_ = opt.obs->recorder().open_block();
     if (!opt.checkpoint_path.empty() || opt.resume_from != nullptr) {
@@ -498,7 +503,8 @@ class FlatRun {
       if (first) {
         f.checked = true;
         if (opt_.por) {
-          f.por_choice = por_choose(m_, f.state, proviso, scratch_);
+          f.por_choice = por_choose(m_, f.state, proviso, scratch_,
+                                    opt_.engine);
           if (f.por_choice >= 0) ++por_ample_;
         }
         max_depth_seen_ = std::max(max_depth_seen_,
@@ -513,9 +519,20 @@ class FlatRun {
         }
       }
       DfsSink sink(*this, f);
-      if (opt_.por)
-        por_visit(m_, f.state, f.por_choice, scratch_, sink);
-      else if (opt_.engine) {
+      if (opt_.por) {
+        if (opt_.engine) {
+          // Engine-backed POR: same native skip / resume-token / deferred-
+          // probe pipeline as the plain engine path below, applied to the
+          // recorded ample choice's stream (full sweep when choice < 0).
+          sink.idx_ = f.next;
+          sink.defer_ = !opt_.bitstate;
+          por_visit(m_, f.state, f.por_choice, scratch_, sink, opt_.engine,
+                    f.next, &f.resume);
+          drain_pending(f, sink);
+        } else {
+          por_visit(m_, f.state, f.por_choice, scratch_, sink);
+        }
+      } else if (opt_.engine) {
         // Compiled engines suppress the already-handled candidates natively
         // (guard bookkeeping intact, no mutate/emit/revert): start the sink's
         // index where the engine resumes so candidate numbering is unchanged.
@@ -684,9 +701,9 @@ class FlatRun {
       const State& hs = nodes_[static_cast<std::size_t>(head)].state;
       BfsSink sink(*this, head);
       if (opt_.por) {
-        const int choice = por_choose(m_, hs, nullptr, scratch_);
+        const int choice = por_choose(m_, hs, nullptr, scratch_, opt_.engine);
         if (choice >= 0) ++por_ample_;
-        por_visit(m_, hs, choice, scratch_, sink);
+        por_visit(m_, hs, choice, scratch_, sink, opt_.engine);
       } else if (opt_.engine)
         opt_.engine->visit_successors(hs, scratch_, sink);
       else
@@ -735,13 +752,30 @@ class FlatRun {
       kernel::encode_key_into(s, probe_buf_);
       return byte_span(probe_buf_);
     }
-    std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
-    const std::vector<int>& reg = compressor_.region_of_slot();
-    for (const auto& [slot, old] : scratch_.undo)
-      dirty_[static_cast<std::size_t>(
-          reg[static_cast<std::size_t>(slot)])] = 1;
-    compressor_.compress_delta(s, parent_ids.data(), dirty_.data(), key_buf_,
-                               ids_tmp_.data());
+    if (enc_engine_ != nullptr) {
+      // Engine store path: the undo log folds to a region bitmask through
+      // the engine's constant slot->mask table, and each dirty region's
+      // hash comes from its open-coded layout walk (bit-exact fast_hash64,
+      // so ids and key bytes are unchanged -- see Engine::encode_support).
+      const std::uint64_t dirty = enc_engine_->dirty_regions(
+          scratch_.undo.data(), scratch_.undo.size());
+      for (std::uint64_t rest = dirty; rest != 0; rest &= rest - 1) {
+        const int k = std::countr_zero(rest);
+        region_hashes_[static_cast<std::size_t>(k)] =
+            enc_engine_->region_hash(s.mem.data(), k);
+      }
+      compressor_.compress_delta_masked(s, parent_ids.data(), dirty,
+                                        region_hashes_.data(), key_buf_,
+                                        ids_tmp_.data());
+    } else {
+      std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+      const std::vector<int>& reg = compressor_.region_of_slot();
+      for (const auto& [slot, old] : scratch_.undo)
+        dirty_[static_cast<std::size_t>(
+            reg[static_cast<std::size_t>(slot)])] = 1;
+      compressor_.compress_delta(s, parent_ids.data(), dirty_.data(), key_buf_,
+                                 ids_tmp_.data());
+    }
     ++compress_delta_;
     return key_buf_;
   }
@@ -981,6 +1015,10 @@ class FlatRun {
   std::vector<std::uint32_t> ids_tmp_;  // last-compressed state's region ids
   Pending pend_[2];  // engine-path probe pipeline, oldest first (DFS only)
   std::vector<std::uint8_t> dirty_;     // per-region dirty flags (reused)
+  // Engine-specialized store path (null = generic compressor walk): set
+  // when the engine open-codes this layout's dirty-mask and region-hash.
+  const codegen::Engine* enc_engine_ = nullptr;
+  std::vector<std::uint64_t> region_hashes_;  // per-region, dirty bits only
   std::string probe_buf_;
 
   std::uint64_t matched_ = 0;
@@ -1174,11 +1212,11 @@ class PermutedRun {
       if (succs_for != idx) {
         succs.clear();
         if (!f.checked && opt_.por) {
-          f.por_choice = por_choose(m_, f.state, proviso);
+          f.por_choice = por_choose(m_, f.state, proviso, opt_.engine);
           if (f.por_choice >= 0) ++por_ample_;
         }
         if (opt_.por)
-          por_expand(m_, f.state, f.por_choice, succs);
+          por_expand(m_, f.state, f.por_choice, succs, opt_.engine);
         else if (opt_.engine)
           opt_.engine->successors(f.state, succs);
         else
@@ -1279,7 +1317,7 @@ class PermutedRun {
       succs.clear();
       if (opt_.por)
         por_successors(m_, nodes[static_cast<std::size_t>(head)].state, succs,
-                       nullptr);
+                       nullptr, opt_.engine);
       else if (opt_.engine)
         opt_.engine->successors(nodes[static_cast<std::size_t>(head)].state,
                                 succs);

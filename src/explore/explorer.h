@@ -69,9 +69,10 @@ struct Options {
 
   /// Compiled successor engine (codegen::make_engine). Null runs the
   /// interpreted Machine::visit_successors -- the historical path. Engines
-  /// are drop-in equivalent (same successors, same order, same verdicts);
-  /// POR ample-set probing and LTL product search always use the
-  /// interpreter regardless. Not owned; must outlive the exploration.
+  /// are drop-in equivalent (same successors, same order, same verdicts)
+  /// and serve every search mode, including the POR ample probe and chosen
+  /// expansion; engines with encode_support() additionally serve the
+  /// COLLAPSE delta store path. Not owned; must outlive the exploration.
   const codegen::Engine* engine = nullptr;
 
   // -- durability (see DESIGN.md section 13) -------------------------------

@@ -607,9 +607,10 @@ class ParallelRun {
       // BFS-style ample choice (no cycle proviso): a pure function of the
       // state, so the reduced graph -- and the reached-state count -- does
       // not depend on thread count or interleaving.
-      const int choice = por_choose(m_, item.state, nullptr, me.scratch);
+      const int choice =
+          por_choose(m_, item.state, nullptr, me.scratch, opt_.engine);
       if (choice >= 0) ++me.por_ample;
-      por_visit(m_, item.state, choice, me.scratch, sink);
+      por_visit(m_, item.state, choice, me.scratch, sink, opt_.engine);
     } else if (opt_.engine) {
       opt_.engine->visit_successors(item.state, me.scratch, sink);
     } else {

@@ -5,12 +5,24 @@
 // is both invisible to properties and independent of every other process's
 // transitions). The cycle proviso (C3) is enforced by rejecting candidates
 // with a successor already on the DFS stack.
+//
+// Every entry point optionally takes a codegen::Engine: when non-null, both
+// the per-pid ample probe and the chosen expansion run the compiled backend
+// instead of the interpreter. The engine equivalence contract (byte-identical
+// successor streams and Step fields, engine.h) makes the ample decision a
+// pure function of the state either way -- the probe is a conjunction over
+// the streamed successors, so identical streams give identical ample sets.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "kernel/machine.h"
+
+namespace pnp::codegen {
+class Engine;
+}
 
 namespace pnp::explore {
 
@@ -25,22 +37,32 @@ using OnStackFn = std::function<bool(const kernel::State&)>;
 /// SuccScratch probes candidates by mutate-and-revert (no state copies);
 /// the two-argument form allocates its own scratch.
 int por_choose(const kernel::Machine& m, const kernel::State& s,
-               const OnStackFn* on_stack, kernel::SuccScratch& scratch);
+               const OnStackFn* on_stack, kernel::SuccScratch& scratch,
+               const codegen::Engine* engine = nullptr);
 int por_choose(const kernel::Machine& m, const kernel::State& s,
-               const OnStackFn* on_stack);
+               const OnStackFn* on_stack,
+               const codegen::Engine* engine = nullptr);
 
 /// Appends the successors of `s` per a recorded choice (-1 = all processes,
 /// otherwise only that pid's).
 void por_expand(const kernel::Machine& m, const kernel::State& s, int choice,
-                std::vector<kernel::Succ>& out);
+                std::vector<kernel::Succ>& out,
+                const codegen::Engine* engine = nullptr);
 
 /// Streaming por_expand: successors per the recorded choice are handed to
-/// `sink` one at a time (see Machine::visit_successors).
+/// `sink` one at a time (see Machine::visit_successors). With an engine,
+/// `skip` and `resume` carry the pass-based DFS's native candidate
+/// suppression and fast-forward token through to the backend (engine.h);
+/// the interpreter path ignores both and keeps the historical sink-side
+/// skip, so interpreter callers must pass 0 / nullptr.
 void por_visit(const kernel::Machine& m, const kernel::State& s, int choice,
-               kernel::SuccScratch& scratch, kernel::SuccSink& sink);
+               kernel::SuccScratch& scratch, kernel::SuccSink& sink,
+               const codegen::Engine* engine = nullptr, std::uint32_t skip = 0,
+               std::uint64_t* resume = nullptr);
 
 /// choose + expand in one call (used by BFS, which never revisits a frame).
 void por_successors(const kernel::Machine& m, const kernel::State& s,
-                    std::vector<kernel::Succ>& out, const OnStackFn* on_stack);
+                    std::vector<kernel::Succ>& out, const OnStackFn* on_stack,
+                    const codegen::Engine* engine = nullptr);
 
 }  // namespace pnp::explore

@@ -95,6 +95,12 @@ std::uint32_t StateCompressor::intern(Region& r, const Value* vals) {
   const std::size_t width = static_cast<std::size_t>(r.width);
   const std::uint64_t h = fast_hash64(
       {reinterpret_cast<const std::uint8_t*>(vals), width * sizeof(Value)});
+  return intern_hashed(r, vals, h);
+}
+
+std::uint32_t StateCompressor::intern_hashed(Region& r, const Value* vals,
+                                             std::uint64_t h) {
+  const std::size_t width = static_cast<std::size_t>(r.width);
   // High bits pick the stripe, low bits probe the stripe-local table, so the
   // two uses stay independent.
   const int si = static_cast<int>((h >> 48) % static_cast<std::uint64_t>(n_stripes_));
@@ -168,6 +174,30 @@ void StateCompressor::compress_delta(const State& s,
   for (std::size_t k = 0; k < regions_.size(); ++k) {
     ids[k] = dirty[k] ? intern(regions_[k], s.mem.data() + regions_[k].begin)
                       : prev_ids[k];
+    p = write_varint(p, ids[k]);
+  }
+  PNP_CHECK(s.atomic_pid < 255, "compress: atomic pid out of byte range");
+  *p++ = static_cast<std::uint8_t>(s.atomic_pid & 0xff);
+  out.resize(static_cast<std::size_t>(p - out.data()));
+}
+
+void StateCompressor::compress_delta_masked(const State& s,
+                                            const std::uint32_t* prev_ids,
+                                            std::uint64_t dirty,
+                                            const std::uint64_t* hashes,
+                                            std::vector<std::uint8_t>& out,
+                                            std::uint32_t* ids) {
+  PNP_CHECK(static_cast<int>(s.mem.size()) == state_size_,
+            "compress: state size does not match layout");
+  PNP_CHECK(regions_.size() <= 64,
+            "compress_delta_masked: layout exceeds 64 regions");
+  out.resize(key_bound(regions_.size()));
+  std::uint8_t* p = out.data();
+  for (std::size_t k = 0; k < regions_.size(); ++k) {
+    ids[k] = (dirty >> k) & 1u
+                 ? intern_hashed(regions_[k], s.mem.data() + regions_[k].begin,
+                                 hashes[k])
+                 : prev_ids[k];
     p = write_varint(p, ids[k]);
   }
   PNP_CHECK(s.atomic_pid < 255, "compress: atomic pid out of byte range");

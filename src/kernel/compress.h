@@ -125,6 +125,19 @@ class StateCompressor {
                       const std::uint8_t* dirty,
                       std::vector<std::uint8_t>& out, std::uint32_t* ids);
 
+  /// compress_delta() fed by a codegen engine's specialized store path: the
+  /// dirty set arrives as a region bitmask (so layouts are capped at 64
+  /// regions for this entry) and each dirty region's hash is precomputed by
+  /// the engine's open-coded layout walk instead of the generic
+  /// fast_hash64 loop here. `hashes[k]` must be bit-exact fast_hash64 of
+  /// region k's value span whenever bit k of `dirty` is set -- ids, stripe
+  /// placement, and the output bytes are derived from it and must match
+  /// what compress() would produce.
+  void compress_delta_masked(const State& s, const std::uint32_t* prev_ids,
+                             std::uint64_t dirty, const std::uint64_t* hashes,
+                             std::vector<std::uint8_t>& out,
+                             std::uint32_t* ids);
+
   /// Region index covering each state slot (regions partition the slots).
   const std::vector<int>& region_of_slot() const { return region_of_slot_; }
 
@@ -183,6 +196,7 @@ class StateCompressor {
   static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
 
   std::uint32_t intern(Region& r, const Value* vals);
+  std::uint32_t intern_hashed(Region& r, const Value* vals, std::uint64_t h);
   static void grow(Stripe& st);
 
   std::vector<Region> regions_;

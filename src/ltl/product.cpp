@@ -57,10 +57,11 @@ class ProductSearch {
  public:
   ProductSearch(const Machine& m, const PropertyContext& ctx,
                 const BuchiAutomaton& ba, const CheckOptions& opt,
+                const codegen::Engine* engine = nullptr,
                 std::uint64_t perm_seed = 0,
                 const std::atomic<bool>* stop = nullptr)
-      : m_(m), ctx_(ctx), ba_(ba), opt_(opt), perm_seed_(perm_seed),
-        stop_(stop) {
+      : m_(m), ctx_(ctx), ba_(ba), opt_(opt), engine_(engine),
+        perm_seed_(perm_seed), stop_(stop) {
     PNP_CHECK(ctx.size() <= 64, "at most 64 propositions supported");
     PNP_CHECK(!opt.weak_fairness || m.n_processes() <= 62,
               "weak fairness supports at most 62 processes");
@@ -107,12 +108,20 @@ class ProductSearch {
   }
 
  private:
+  /// Allocation-free variant for the probe-per-transition hot path: `out`
+  /// is replaced (capacity reused), so steady-state probes touch the
+  /// allocator only when a state is actually new and copied into the set.
+  void prod_key_into(std::string& out, const State& s, int q, int copy) const {
+    kernel::encode_key_into(s, out);
+    out.push_back(static_cast<char>(q & 0xff));
+    out.push_back(static_cast<char>((q >> 8) & 0xff));
+    out.push_back(static_cast<char>((q >> 16) & 0xff));
+    out.push_back(static_cast<char>(copy & 0xff));
+  }
+
   std::string prod_key(const State& s, int q, int copy) const {
-    std::string key = kernel::encode_key(s);
-    key.push_back(static_cast<char>(q & 0xff));
-    key.push_back(static_cast<char>((q >> 8) & 0xff));
-    key.push_back(static_cast<char>((q >> 16) & 0xff));
-    key.push_back(static_cast<char>(copy & 0xff));
+    std::string key;
+    prod_key_into(key, s, q, copy);
     return key;
   }
 
@@ -156,7 +165,13 @@ class ProductSearch {
   void prod_successors(const State& s, int q, int copy,
                        std::vector<ProdSucc>& out) {
     sys_succs_.clear();
-    m_.successors(s, sys_succs_);
+    // System-side expansion is the hot inner loop of the product search; the
+    // engine streams byte-identical successors in the same order, so the
+    // product (keys, DFS order, trails) is unchanged.
+    if (engine_ != nullptr)
+      engine_->successors(s, sys_succs_);
+    else
+      m_.successors(s, sys_succs_);
     const BuchiState& bq = ba_.states[static_cast<std::size_t>(q)];
 
     std::uint64_t enabled_pids = 0;
@@ -179,13 +194,24 @@ class ProductSearch {
       permute(s, q, copy, out);
       return;
     }
-    for (const kernel::Succ& succ : sys_succs_) {
+    for (kernel::Succ& succ : sys_succs_) {
       const std::uint64_t mask = props_mask(succ.first);
       const int c2 = next_copy(q, copy, succ.second.pid,
                                succ.second.partner_pid, enabled_pids);
-      for (int q2 : bq.out)
-        if (label_sat(ba_.states[static_cast<std::size_t>(q2)], mask))
-          out.push_back({succ.first, q2, c2, succ.second, false});
+      // Copy the system state for all but the last satisfiable Buchi edge,
+      // then move it into the final ProdSucc: sys_succs_ is scratch that is
+      // cleared on the next expansion, and push order (ascending q2) is
+      // preserved, so the DFS is byte-identical to the copying version.
+      int pending = -1;
+      for (int q2 : bq.out) {
+        if (!label_sat(ba_.states[static_cast<std::size_t>(q2)], mask))
+          continue;
+        if (pending >= 0)
+          out.push_back({succ.first, pending, c2, succ.second, false});
+        pending = q2;
+      }
+      if (pending >= 0)
+        out.push_back({std::move(succ.first), pending, c2, succ.second, false});
     }
     permute(s, q, copy, out);
   }
@@ -252,8 +278,11 @@ class ProductSearch {
       }
       if (f.next < succs.size()) {
         ProdSucc& succ = succs[f.next++];
-        std::string key = prod_key(succ.state, succ.q, succ.copy);
-        if (!visited1_.insert(key).second) continue;
+        // Probe with the reusable scratch key; the string is only copied
+        // into the set (and the frame) when the state is genuinely new.
+        prod_key_into(key_scratch_, succ.state, succ.q, succ.copy);
+        if (visited1_.contains(key_scratch_)) continue;
+        visited1_.insert(key_scratch_);
         if (visited1_.size() >= opt_.max_states) {
           complete_ = false;
           continue;
@@ -262,7 +291,7 @@ class ProductSearch {
         nf.state = std::move(succ.state);
         nf.q = succ.q;
         nf.copy = succ.copy;
-        nf.key = std::move(key);
+        nf.key = key_scratch_;
         nf.in_step = succ.step;
         nf.in_stutter = succ.stutter;
         on_stack.insert(nf.key);
@@ -323,15 +352,16 @@ class ProductSearch {
         continue;
       }
       ProdSucc& succ = succs[f.next++];
-      std::string key = prod_key(succ.state, succ.q, succ.copy);
-      if (on_stack1.contains(key)) {
+      prod_key_into(key_scratch_, succ.state, succ.q, succ.copy);
+      if (on_stack1.contains(key_scratch_)) {
         // cycle closes through the outer stack
         for (std::size_t i = 1; i < stack.size(); ++i)
           cycle_out.push_back({stack[i].in_step, stack[i].in_stutter});
         cycle_out.push_back({succ.step, succ.stutter});
         return true;
       }
-      if (!visited2_.insert(key).second) continue;
+      if (visited2_.contains(key_scratch_)) continue;
+      visited2_.insert(key_scratch_);
       if (visited2_.size() >= opt_.max_states) {
         complete_ = false;
         continue;
@@ -374,6 +404,7 @@ class ProductSearch {
   const PropertyContext& ctx_;
   const BuchiAutomaton& ba_;
   const CheckOptions& opt_;
+  const codegen::Engine* engine_{nullptr};
   std::uint64_t perm_seed_{0};
   const std::atomic<bool>* stop_{nullptr};
   int n_copies_{1};
@@ -395,6 +426,7 @@ class ProductSearch {
   std::unordered_set<std::string> visited1_;
   std::unordered_set<std::string> visited2_;
   std::vector<kernel::Succ> sys_succs_;
+  std::string key_scratch_;
   std::uint64_t transitions_ = 0;
   bool complete_ = true;
   bool aborted_ = false;
@@ -410,13 +442,29 @@ LtlResult check_ltl(const kernel::Machine& m, FormulaPool& pool,
   const FRef neg = pool.negate(phi);
   const BuchiAutomaton ba = build_buchi(pool, neg, &ctx);
   const int threads = explore::resolve_threads(opt.threads);
+
+  // One engine serves every worker: engines are immutable after construction
+  // and all mutable search state (scratch, visited sets) is per-worker.
+  // Non-strict: an unavailable AOT toolchain degrades to bytecode with the
+  // reason captured in `engine_note` rather than failing the check.
+  std::unique_ptr<codegen::Engine> engine;
+  std::string engine_note;
+  if (opt.engine != codegen::EngineKind::Interp) {
+    codegen::EngineOptions ecfg;
+    ecfg.kind = opt.engine;
+    ecfg.cache_dir = opt.engine_cache_dir;
+    ecfg.strict = false;
+    ecfg.obs = opt.obs;
+    engine = codegen::make_engine(m, ecfg, &engine_note);
+  }
+
   std::size_t phase = 0;
   if (opt.obs != nullptr)
     phase = opt.obs->begin_phase(
         threads <= 1 ? "ltl-product" : "ltl-product-racing", opt.max_states);
   LtlResult r;
   if (threads <= 1) {
-    ProductSearch search(m, ctx, ba, opt);
+    ProductSearch search(m, ctx, ba, opt, engine.get());
     r = search.run();
     search.publish_counters();
   } else {
@@ -436,7 +484,7 @@ LtlResult check_ltl(const kernel::Machine& m, FormulaPool& pool,
             w == 0 ? 0
                    : avalanche64(0x17e1'0ba5'e11eull +
                                  static_cast<std::uint64_t>(w));
-        ProductSearch search(m, ctx, ba, opt, seed, &stop);
+        ProductSearch search(m, ctx, ba, opt, engine.get(), seed, &stop);
         LtlResult wr = search.run();
         if (search.aborted()) return;
         int expected = -1;
@@ -454,6 +502,9 @@ LtlResult check_ltl(const kernel::Machine& m, FormulaPool& pool,
     r.stats.threads = threads;
   }
   r.formula_text = pool.to_string(phi, &ctx);
+  r.engine_requested = opt.engine;
+  r.engine_actual = engine ? engine->kind() : codegen::EngineKind::Interp;
+  r.engine_note = std::move(engine_note);
   if (opt.obs != nullptr) {
     opt.obs->end_phase(phase, r.stats.states_stored, r.stats.seconds,
                        r.stats.complete ? std::string()

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "codegen/engine.h"
 #include "explore/explorer.h"
 #include "kernel/machine.h"
 #include "ltl/buchi.h"
@@ -31,6 +32,15 @@ struct CheckOptions : ExecBudget {
   bool weak_fairness = false;
   /// Observability context; null = no telemetry.
   obs::Observer* obs = nullptr;
+  /// Compiled successor backend for the system side of the product search;
+  /// Buchi stepping and proposition evaluation stay interpreted (they are
+  /// cold). The engine is built once per check and shared by all racing
+  /// workers (engines are immutable after construction and thread-safe
+  /// through caller-owned scratch). `aot` falls back to `bytecode` when no
+  /// toolchain is available; the resolution is recorded in LtlResult.
+  codegen::EngineKind engine = codegen::EngineKind::Interp;
+  /// Artifact cache directory for AOT engines (codegen::EngineOptions).
+  std::string engine_cache_dir;
 };
 
 /// Designated initializers cannot reach into the ExecBudget base, so these
@@ -55,6 +65,12 @@ struct LtlResult {
   std::optional<explore::Violation> violation;
   std::size_t buchi_states{0};
   std::string formula_text;
+  /// Requested vs. resolved successor backend for the system side, plus the
+  /// fallback explanation when they differ (e.g. "aot unavailable (no
+  /// toolchain); using bytecode"). Engines never affect verdicts or trails.
+  codegen::EngineKind engine_requested{codegen::EngineKind::Interp};
+  codegen::EngineKind engine_actual{codegen::EngineKind::Interp};
+  std::string engine_note;
 };
 
 /// Checks that `m` satisfies `phi` (passed positively; negation, automaton

@@ -599,6 +599,21 @@ void LedgerSink::write_record(const Event& finish) {
     rec += ",\"mode\":";
     append_string(rec, *mode);
   }
+  // Resolved successor engine: requested vs. actual backend plus the
+  // fallback reason when they differ (e.g. aot degrading to bytecode on a
+  // toolchain-less host). Informational -- engines cannot change verdicts.
+  if (const std::string* ereq = find_attr(finish, "engine.requested")) {
+    rec += ",\"engine\":{\"requested\":";
+    append_string(rec, *ereq);
+    const std::string* eact = find_attr(finish, "engine.actual");
+    rec += ",\"actual\":";
+    append_string(rec, eact != nullptr ? *eact : *ereq);
+    if (const std::string* enote = find_attr(finish, "engine.note")) {
+      rec += ",\"note\":";
+      append_string(rec, *enote);
+    }
+    rec += '}';
+  }
   // Cooperative-stop stamp: lets ledger consumers tell "stopped on
   // purpose, partial verdict" from a run that ran to its natural end.
   if (find_attr(finish, "interrupted") != nullptr)
@@ -786,6 +801,23 @@ bool validate_ledger_record(const std::string& line, std::string* err) {
   if (trail &&
       !require(trail->type == T::String, "'trail' is not a string", err))
     return false;
+  const json::Value* engine = root.get("engine");
+  if (engine) {
+    if (!require(engine->type == T::Object, "'engine' is not an object", err))
+      return false;
+    const json::Value* req = engine->get("requested");
+    if (!require(req && req->type == T::String,
+                 "engine missing string 'requested'", err))
+      return false;
+    const json::Value* act = engine->get("actual");
+    if (!require(act && act->type == T::String,
+                 "engine missing string 'actual'", err))
+      return false;
+    const json::Value* note = engine->get("note");
+    if (note && !require(note->type == T::String,
+                         "'engine.note' is not a string", err))
+      return false;
+  }
   return true;
 }
 

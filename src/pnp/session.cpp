@@ -33,6 +33,8 @@ RunCheck to_check(const char* kind, std::string label,
   c.states_stored = o.result.stats.states_stored;
   c.seconds = o.result.stats.seconds;
   c.detail = o.report();
+  c.engine = codegen::engine_kind_name(o.engine_actual);
+  c.engine_note = o.engine_note;
   return c;
 }
 
@@ -104,6 +106,8 @@ ltl::CheckOptions RunConfig::ltl_options() const {
   ltl::CheckOptions c;
   static_cast<ExecBudget&>(c) = *this;
   c.weak_fairness = ltl_weak_fairness;
+  c.engine = engine;
+  c.engine_cache_dir = cache_dir;
   return c;
 }
 
@@ -235,6 +239,24 @@ void Session::finish_run(RunReport& rep, Clock::time_point started) {
   std::vector<std::pair<std::string, std::string>> attrs;
   attrs.emplace_back("mode", rep.mode);
   if (!rep.trail_path.empty()) attrs.emplace_back("trail", rep.trail_path);
+  // Resolved successor engine for the whole run: the request comes from the
+  // config, the resolution from the first check that actually ran a search
+  // (engines resolve identically within a run -- one toolchain, one cache).
+  // A cache-hit-only run resolves nothing and honestly reports the request.
+  {
+    attrs.emplace_back("engine.requested",
+                       codegen::engine_kind_name(cfg_.engine));
+    std::string actual = codegen::engine_kind_name(cfg_.engine);
+    std::string note;
+    for (const RunCheck& c : rep.checks)
+      if (!c.engine.empty()) {
+        actual = c.engine;
+        note = c.engine_note;
+        break;
+      }
+    attrs.emplace_back("engine.actual", actual);
+    if (!note.empty()) attrs.emplace_back("engine.note", note);
+  }
   // A SIGINT/SIGTERM stop still lands a clean RunFinished record, marked
   // so ledger consumers can tell "stopped on purpose" from "verdict".
   if (cfg_.interrupt != nullptr &&
@@ -256,7 +278,7 @@ RunReport Session::verify(const Architecture& arch) {
   for (const ObligationResult& o : s.obligations)
     rep.checks.push_back(RunCheck{o.kind, o.label, o.passed, o.from_cache,
                                   o.stage, o.states_stored, o.seconds,
-                                  o.detail});
+                                  o.detail, o.engine, o.engine_note});
   finish_run(rep, t0);
   return rep;
 }
@@ -389,6 +411,8 @@ RunReport Session::verify_machine(const kernel::Machine& m,
       c.states_stored = lo.result.stats.states_stored;
       c.seconds = lo.result.stats.seconds;
       c.detail = lo.report();
+      c.engine = codegen::engine_kind_name(lo.result.engine_actual);
+      c.engine_note = lo.result.engine_note;
       note_check(obs_, c);
       rep.checks.push_back(std::move(c));
     }

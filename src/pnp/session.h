@@ -110,6 +110,11 @@ struct RunCheck {
   /// Full sub-report (stats, degradation stages, counterexample trace).
   /// Empty for cache hits -- the cache stores verdicts, not traces.
   std::string detail;
+  /// Resolved successor backend ("interp"/"bytecode"/"aot"; empty for
+  /// cache hits, where no search ran) and the fallback note when the
+  /// resolution differs from the request.
+  std::string engine;
+  std::string engine_note;
 };
 
 struct RunReport {

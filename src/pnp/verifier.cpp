@@ -101,15 +101,18 @@ void run_ladder(const kernel::Machine& m, explore::Options eopt,
   // engine than requested is exactly the configuration drift that resume
   // exists to reject loudly.
   std::unique_ptr<codegen::Engine> engine;
+  out.engine_requested = opt.engine;
   if (opt.engine != codegen::EngineKind::Interp) {
     codegen::EngineOptions ecfg;
     ecfg.kind = opt.engine;
     ecfg.cache_dir = opt.engine_cache_dir;
     ecfg.strict = opt.resume && opt.engine == codegen::EngineKind::Aot;
     ecfg.obs = ob;
-    engine = codegen::make_engine(*target, ecfg);
+    engine = codegen::make_engine(*target, ecfg, &out.engine_note);
     eopt.engine = engine.get();
   }
+  out.engine_actual =
+      engine != nullptr ? engine->kind() : codegen::EngineKind::Interp;
   // Durable-run identity: one checkpoint file per property, addressed by
   // the property name; the configuration digest travels INSIDE the file
   // (pnp.ckpt.v1 header), so resuming under an edited configuration finds
@@ -199,6 +202,13 @@ std::string SafetyOutcome::report() const {
   std::ostringstream os;
   os << "[" << (passed() ? "PASS" : "FAIL") << "] " << property_name << "\n";
   append_stats(os, result.stats);
+  if (engine_requested != codegen::EngineKind::Interp) {
+    os << "  engine: " << codegen::engine_kind_name(engine_actual);
+    if (engine_actual != engine_requested)
+      os << " (requested " << codegen::engine_kind_name(engine_requested)
+         << "; " << engine_note << ")";
+    os << "\n";
+  }
   if (reduction) os << "  " << reduction->summary() << "\n";
   if (degraded()) {
     os << "  degradation ladder:\n";
@@ -246,6 +256,14 @@ std::string LtlOutcome::report() const {
   os << "[" << (passed() ? "PASS" : "FAIL") << "] LTL: " << result.formula_text
      << "  (Buchi states: " << result.buchi_states << ")\n";
   append_stats(os, result.stats);
+  if (result.engine_requested != codegen::EngineKind::Interp) {
+    os << "  engine: " << codegen::engine_kind_name(result.engine_actual);
+    if (result.engine_actual != result.engine_requested)
+      os << " (requested "
+         << codegen::engine_kind_name(result.engine_requested) << "; "
+         << result.engine_note << ")";
+    os << "\n";
+  }
   if (result.violation) {
     os << "  " << result.violation->message << "\n";
     os << trace::to_string(result.violation->trace);
@@ -405,6 +423,8 @@ ObligationResult from_safety(const reduce::ObligationKey& key,
   r.states_stored = so.result.stats.states_stored;
   r.seconds = so.result.stats.seconds;
   r.detail = so.report();
+  r.engine = codegen::engine_kind_name(so.engine_actual);
+  r.engine_note = so.engine_note;
   cache.record(key, {"", key.kind, key.label, r.passed, r.stage,
                      r.states_stored, r.seconds});
   return r;
@@ -631,6 +651,8 @@ SuiteReport verify_obligations(const Architecture& arch,
     static_cast<ExecBudget&>(copt) = static_cast<const ExecBudget&>(opts.verify);
     copt.weak_fairness = opts.ltl_weak_fairness;
     copt.obs = ob;
+    copt.engine = opts.verify.engine;
+    copt.engine_cache_dir = opts.verify.engine_cache_dir;
     for (const std::string& formula : opts.ltl) {
       const reduce::ObligationKey key = global_key(
           "ltl", formula,
@@ -650,6 +672,8 @@ SuiteReport verify_obligations(const Architecture& arch,
       r.states_stored = lo.result.stats.states_stored;
       r.seconds = lo.result.stats.seconds;
       r.detail = lo.report();
+      r.engine = codegen::engine_kind_name(lo.result.engine_actual);
+      r.engine_note = lo.result.engine_note;
       cache.record(key, {"", key.kind, key.label, r.passed, r.stage,
                          r.states_stored, r.seconds});
       rep.obligations.push_back(std::move(r));

@@ -104,6 +104,13 @@ struct SafetyOutcome {
   std::vector<VerifyStage> stages;
   /// Per-process reduction statistics when a minimized rung ran.
   std::optional<reduce::ReductionStats> reduction;
+  /// Requested vs. resolved successor backend plus the fallback reason when
+  /// they differ (e.g. "aot unavailable (no toolchain); using bytecode").
+  /// Purely informational -- engines never change verdicts -- which is why
+  /// this lives in the outcome and NOT in any cache key or digest.
+  codegen::EngineKind engine_requested{codegen::EngineKind::Interp};
+  codegen::EngineKind engine_actual{codegen::EngineKind::Interp};
+  std::string engine_note;
 
   bool passed() const { return result.ok(); }
   /// True when the exact search was truncated and the bitstate rung ran.
@@ -206,6 +213,11 @@ struct ObligationResult {
   /// Full per-obligation report; only populated when verified this run
   /// (the cache stores verdicts, not counterexamples).
   std::string detail;
+  /// Resolved successor backend name ("interp"/"bytecode"/"aot") and the
+  /// fallback note when it differs from the request. Empty on cache hits
+  /// (the cache stores verdicts; the engine cannot change them).
+  std::string engine;
+  std::string engine_note;
 };
 
 struct SuiteReport {

@@ -38,9 +38,12 @@
 #include "codegen/engine.h"
 #include "explore/checkpoint.h"
 #include "explore/explorer.h"
+#include "explore/por.h"
 #include "kernel/machine.h"
 #include "kernel/state.h"
+#include "ltl/product.h"
 #include "pnp/generator.h"
+#include "support/hash.h"
 #include "support/panic.h"
 
 namespace pnp {
@@ -630,6 +633,283 @@ TEST(EngineCache, MachineDigestIsStableAcrossRegeneration) {
   EXPECT_EQ(codegen::machine_digest(*a->m), codegen::machine_digest(*b->m));
   const auto c = make_fig14();
   EXPECT_NE(codegen::machine_digest(*a->m), codegen::machine_digest(*c->m));
+}
+
+// -- (5) engine-backed POR ---------------------------------------------------
+
+TEST(EnginePor, AmpleChoicesMatchInterpOnReachableSample) {
+  // The ample decision is a conjunction over the streamed successors of each
+  // candidate process, so byte-identical streams must give the identical
+  // choice (pid or -1) in every reachable state.
+  TempDir cache;
+  std::vector<std::unique_ptr<TestModel>> models;
+  models.push_back(make_fig13());
+  models.push_back(make_fault_counter("duplicating_fifo(2)"));
+  for (const auto& tp : models) {
+    const TestModel& t = *tp;
+    const auto bc = make_bytecode(*t.m);
+    const auto aot = try_aot(*t.m, cache.str());
+    const std::vector<State> sample = reachable_states(*t.m, 1500);
+    for (const codegen::Engine* eng :
+         {static_cast<const codegen::Engine*>(bc.get()),
+          static_cast<const codegen::Engine*>(aot.get())}) {
+      if (eng == nullptr) continue;
+      const std::string what =
+          t.name + "/" + codegen::engine_kind_name(eng->kind());
+      kernel::SuccScratch scr_i;
+      kernel::SuccScratch scr_e;
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        const int want =
+            explore::por_choose(*t.m, sample[i], nullptr, scr_i);
+        const int got =
+            explore::por_choose(*t.m, sample[i], nullptr, scr_e, eng);
+        ASSERT_EQ(want, got) << what << " state " << i;
+      }
+    }
+  }
+}
+
+TEST(EnginePor, ReducedSearchTotalsMatchAtAllThreadCounts) {
+  // Full POR runs: the reduced graph (and therefore every count) must be
+  // engine-independent at each thread count. The reference is the interp
+  // POR run at the SAME thread count -- sequential POR applies the C3
+  // stack proviso while parallel POR is proviso-free, so the reduced
+  // graphs legitimately differ across thread counts, never across engines.
+  TempDir cache;
+  const auto tp = make_fig13();
+  const TestModel& t = *tp;
+  const auto bc = make_bytecode(*t.m);
+  const auto aot = try_aot(*t.m, cache.str());
+  for (const int threads : {1, 2, 8}) {
+    explore::Options base;
+    base.invariant = t.invariant;
+    base.invariant_name = "safety";
+    base.por = true;
+    base.threads = threads;
+    const explore::Result ref = explore::explore(*t.m, base);
+    ASSERT_TRUE(ref.ok());
+    ASSERT_TRUE(ref.stats.complete);
+    for (const codegen::Engine* eng :
+         {static_cast<const codegen::Engine*>(bc.get()),
+          static_cast<const codegen::Engine*>(aot.get())}) {
+      if (eng == nullptr) continue;
+      explore::Options o = base;
+      o.engine = eng;
+      const explore::Result r = explore::explore(*t.m, o);
+      const std::string what = std::string(
+          codegen::engine_kind_name(eng->kind())) +
+          " threads=" + std::to_string(threads);
+      EXPECT_TRUE(r.ok()) << what;
+      EXPECT_TRUE(r.stats.complete) << what;
+      EXPECT_EQ(r.stats.states_stored, ref.stats.states_stored) << what;
+      EXPECT_EQ(r.stats.states_matched, ref.stats.states_matched) << what;
+      EXPECT_EQ(r.stats.transitions, ref.stats.transitions) << what;
+    }
+  }
+}
+
+TEST(EnginePor, BfsReducedSearchMatches) {
+  // BFS takes the por_successors (choose + expand in one call) path.
+  TempDir cache;
+  const auto tp = make_fig13();
+  const TestModel& t = *tp;
+  const auto bc = make_bytecode(*t.m);
+  const auto aot = try_aot(*t.m, cache.str());
+  explore::Options base;
+  base.invariant = t.invariant;
+  base.invariant_name = "safety";
+  base.por = true;
+  base.bfs = true;
+  const explore::Result ref = explore::explore(*t.m, base);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(ref.stats.complete);
+  for (const codegen::Engine* eng :
+       {static_cast<const codegen::Engine*>(bc.get()),
+        static_cast<const codegen::Engine*>(aot.get())}) {
+    if (eng == nullptr) continue;
+    explore::Options o = base;
+    o.engine = eng;
+    const explore::Result r = explore::explore(*t.m, o);
+    const std::string what = codegen::engine_kind_name(eng->kind());
+    EXPECT_TRUE(r.ok()) << what;
+    EXPECT_EQ(r.stats.states_stored, ref.stats.states_stored) << what;
+    EXPECT_EQ(r.stats.transitions, ref.stats.transitions) << what;
+  }
+}
+
+// -- (6) engine-backed LTL product search ------------------------------------
+
+TEST(EngineLtl, ProductSearchAndTrailsMatchAcrossEnginesAndThreads) {
+  // System-side successor generation through the engine must leave the
+  // nested-DFS product search observably unchanged: verdict, stored /
+  // transition counts and the lasso trail at threads=1 (fully
+  // deterministic), verdict at threads 2/8 (racing workers -- whichever
+  // finishes is authoritative, but the winner's identity is timing
+  // dependent, so counts are not comparable).
+  TempDir cache;
+  struct Case {
+    std::unique_ptr<TestModel> t;
+    bool holds;
+  };
+  std::vector<Case> cases;
+  cases.push_back({make_fig13(), true});
+  cases.push_back({make_fig13(/*buggy=*/true), false});
+  for (Case& c : cases) {
+    TestModel& t = *c.t;
+    t.gen.add_prop("safe", bridge::safety_invariant(t.gen));
+    const bool have_aot = try_aot(*t.m, cache.str()) != nullptr;
+    ltl::CheckOptions base;
+    base.engine_cache_dir = cache.str();
+    const ltl::LtlResult ref = ltl::check_ltl(*t.m, t.gen.props(), "G safe",
+                                              base);
+    ASSERT_EQ(ref.holds, c.holds) << t.name;
+    for (const codegen::EngineKind kind :
+         {codegen::EngineKind::Bytecode, codegen::EngineKind::Aot}) {
+      if (kind == codegen::EngineKind::Aot && !have_aot) continue;
+      const std::string what =
+          t.name + "/" + codegen::engine_kind_name(kind);
+      ltl::CheckOptions o = base;
+      o.engine = kind;
+      const ltl::LtlResult r = ltl::check_ltl(*t.m, t.gen.props(), "G safe",
+                                              o);
+      EXPECT_EQ(r.holds, ref.holds) << what;
+      EXPECT_EQ(r.engine_requested, kind) << what;
+      EXPECT_EQ(r.engine_actual, kind) << what;
+      EXPECT_EQ(r.buchi_states, ref.buchi_states) << what;
+      EXPECT_EQ(r.stats.states_stored, ref.stats.states_stored) << what;
+      EXPECT_EQ(r.stats.transitions, ref.stats.transitions) << what;
+      ASSERT_EQ(r.violation.has_value(), ref.violation.has_value()) << what;
+      if (ref.violation.has_value()) {
+        const auto& rs = ref.violation->trace.steps;
+        const auto& gs = r.violation->trace.steps;
+        ASSERT_EQ(rs.size(), gs.size()) << what;
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+          EXPECT_EQ(rs[i].step.pid, gs[i].step.pid) << what << " step " << i;
+          EXPECT_EQ(rs[i].step.trans, gs[i].step.trans)
+              << what << " step " << i;
+        }
+      }
+      for (const int threads : {2, 8}) {
+        ltl::CheckOptions ro = o;
+        ro.threads = threads;
+        const ltl::LtlResult rr =
+            ltl::check_ltl(*t.m, t.gen.props(), "G safe", ro);
+        EXPECT_EQ(rr.holds, ref.holds)
+            << what << " threads=" << threads;
+        EXPECT_EQ(rr.engine_actual, kind) << what << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// -- (7) the specialized encode seam -----------------------------------------
+
+TEST(EngineEncode, DirtyMasksAndRegionHashesAreBitExact) {
+  // The compressor derives stripe choice, fingerprint, and probe sequence
+  // from the region hash, so the engine's open-coded hash must be bit-exact
+  // fast_hash64 and the undo->region mask must match region_of_slot -- any
+  // drift would split identical components and corrupt visited-set
+  // identity (the search-level tests would see inflated state counts; this
+  // pins the seam directly).
+  TempDir cache;
+  std::vector<std::unique_ptr<TestModel>> models;
+  models.push_back(make_fig13());
+  models.push_back(make_fault_counter("duplicating_fifo(2)"));
+  for (const auto& tp : models) {
+    const TestModel& t = *tp;
+    const auto regions = t.m->layout().regions();
+    ASSERT_LE(regions.size(), 64u) << t.name;
+    const auto bc = make_bytecode(*t.m);
+    const auto aot = try_aot(*t.m, cache.str());
+    const std::vector<State> sample = reachable_states(*t.m, 300);
+    for (const codegen::Engine* eng :
+         {static_cast<const codegen::Engine*>(bc.get()),
+          static_cast<const codegen::Engine*>(aot.get())}) {
+      if (eng == nullptr) continue;
+      const std::string what =
+          t.name + "/" + codegen::engine_kind_name(eng->kind());
+      ASSERT_TRUE(eng->encode_support()) << what;
+      for (const State& s : sample) {
+        for (std::size_t r = 0; r < regions.size(); ++r) {
+          const auto [begin, width] = regions[r];
+          const std::uint64_t want = fast_hash64(
+              {reinterpret_cast<const std::uint8_t*>(s.mem.data() + begin),
+               static_cast<std::size_t>(width) * sizeof(expr::Value)});
+          ASSERT_EQ(want, eng->region_hash(s.mem.data(), static_cast<int>(r)))
+              << what << " region " << r;
+        }
+      }
+      // one-slot undo logs: each slot dirties exactly its owning region
+      for (std::size_t r = 0; r < regions.size(); ++r) {
+        const auto [begin, width] = regions[r];
+        for (int slot = begin; slot < begin + width; ++slot) {
+          const std::pair<int, expr::Value> undo[] = {{slot, 0}};
+          EXPECT_EQ(eng->dirty_regions(undo, 1), std::uint64_t{1} << r)
+              << what << " slot " << slot;
+        }
+      }
+      // a full-state undo log dirties every region
+      std::vector<std::pair<int, expr::Value>> all;
+      for (int slot = 0; slot < t.m->layout().size(); ++slot)
+        all.push_back({slot, 0});
+      EXPECT_EQ(eng->dirty_regions(all.data(), all.size()),
+                regions.size() == 64
+                    ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << regions.size()) - 1)
+          << what;
+    }
+  }
+}
+
+TEST(EngineCheckpoint, BfsCutPortableAcrossEnginesWithDeltaEncode) {
+  // POR-less BFS cut under one engine, resumed under another: the resumed
+  // leg re-interns restored raw states and then runs the resuming engine's
+  // specialized delta path (dirty_regions + region_hash feeding
+  // compress_delta_masked), so equal final counts certify the new encode
+  // path against both the interpreter and the other backend.
+  TempDir cache;
+  const auto tp = make_fig13();
+  const TestModel& t = *tp;
+  const auto bc = make_bytecode(*t.m);
+  const auto aot = try_aot(*t.m, cache.str());
+  explore::Options full;
+  full.invariant = t.invariant;
+  full.invariant_name = "safety";
+  full.bfs = true;
+  const explore::Result ref = explore::explore(*t.m, full);
+  ASSERT_TRUE(ref.stats.complete);
+  struct Leg {
+    const codegen::Engine* cut;
+    const codegen::Engine* resume;
+    std::string what;
+  };
+  std::vector<Leg> legs = {{nullptr, bc.get(), "interp->bytecode"},
+                           {bc.get(), nullptr, "bytecode->interp"}};
+  if (aot != nullptr) {
+    legs.push_back({aot.get(), nullptr, "aot->interp"});
+    legs.push_back({bc.get(), aot.get(), "bytecode->aot"});
+  }
+  for (const Leg& leg : legs) {
+    TempDir dir;
+    const std::string path = (dir.path() / "cut.pnp.ckpt").string();
+    explore::Options base = full;
+    base.checkpoint_path = path;
+    base.config_digest = "codegen-bfs-portability";
+    explore::Options cut = base;
+    cut.engine = leg.cut;
+    cut.max_states = 4000;
+    const explore::Result first = explore::explore(*t.m, cut);
+    ASSERT_FALSE(first.stats.complete) << leg.what;
+    const explore::Checkpoint c = explore::read_checkpoint(path);
+    explore::Options ro = base;
+    ro.engine = leg.resume;
+    ro.resume_from = &c;
+    const explore::Result r = explore::explore(*t.m, ro);
+    EXPECT_TRUE(r.ok()) << leg.what;
+    EXPECT_TRUE(r.stats.resumed) << leg.what;
+    EXPECT_TRUE(r.stats.complete) << leg.what;
+    EXPECT_EQ(r.stats.states_stored, ref.stats.states_stored) << leg.what;
+  }
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "adl/adl.h"
+#include "codegen/aot.h"
 #include "pml/parser.h"
 #include "pnp/pnp.h"
 #include "serve/client.h"
@@ -61,6 +62,8 @@ struct Args {
   int simulate = 0;
   std::uint64_t seed = 1;
   bool msc = false;
+  bool verbose = false;      // print per-check engine resolution
+  bool engine_list = false;  // --engine list: backend diagnostic, no model
   // -- daemon / client mode (see serve/server.h) --
   bool serve = false;
   bool submit = false;
@@ -211,11 +214,21 @@ const FlagDef kFlags[] = {
      "interpreter) or aot (per-model compiled .so, cached under "
      "--cache-dir; falls back to bytecode when no host toolchain is "
      "present, except with --resume, where the fallback is an error). "
-     "Verdicts and state counts are engine-independent",
+     "Verdicts and state counts are engine-independent. "
+     "'--engine list' prints the backend diagnostic and exits",
      [](Args& a, const std::string& v) {
+       if (v == "list") {
+         a.engine_list = true;
+         return;
+       }
        if (!codegen::parse_engine_kind(v, &a.cfg.engine))
-         usage("--engine must be interp, bytecode or aot (got '" + v + "')");
+         usage("--engine must be interp, bytecode, aot or list (got '" + v +
+               "')");
      }},
+    {"verbose", "PNPV_VERBOSE", nullptr, nullptr,
+     "also print the resolved successor engine per check (requested vs. "
+     "actual backend, with the fallback reason when they differ)",
+     [](Args& a, const std::string&) { a.verbose = true; }},
     {"no-protocols", nullptr, nullptr, nullptr,
      "(.arch) skip the per-connector port-protocol obligations",
      [](Args& a, const std::string&) { a.cfg.connector_protocols = false; }},
@@ -380,7 +393,8 @@ Args parse_args(int argc, char** argv) {
       usage("more than one model file given");
     }
   }
-  if (a.model_path.empty() && !a.serve) usage("no model file given");
+  if (a.model_path.empty() && !a.serve && !a.engine_list)
+    usage("no model file given");
   return a;
 }
 
@@ -515,6 +529,10 @@ int run_submit(const Args& args) {
 
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
+  if (args.engine_list) {
+    std::printf("%s", codegen::describe_engines(args.cfg.cache_dir).c_str());
+    return 0;
+  }
   if (args.serve) return run_serve(args);
   if (args.submit) return run_submit(args);
   if (args.cfg.resume && args.cfg.checkpoint_dir.empty())
@@ -530,8 +548,19 @@ int main(int argc, char** argv) {
   try {
     Session session(args.cfg);
     /// Shared epilogue: report, torn-ledger warning, interrupt exit code.
-    auto finish = [&session](const RunReport& rep) {
+    auto finish = [&session, &args](const RunReport& rep) {
       std::printf("%s", rep.report().c_str());
+      if (args.verbose) {
+        std::printf("engine: requested %s\n",
+                    codegen::engine_kind_name(args.cfg.engine));
+        for (const RunCheck& c : rep.checks) {
+          if (c.engine.empty()) continue;
+          std::printf("engine: %s '%s': %s%s%s\n", c.kind.c_str(),
+                      c.label.c_str(), c.engine.c_str(),
+                      c.engine_note.empty() ? "" : " -- ",
+                      c.engine_note.c_str());
+        }
+      }
       if (session.ledger_recovered_torn())
         std::fprintf(stderr,
                      "pnpv: note: recovered a torn final record in %s "
